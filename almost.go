@@ -1,0 +1,171 @@
+// Package almost is the public API of the ALMOST reproduction:
+// "ALMOST: Adversarial Learning to Mitigate Oracle-less ML Attacks via
+// Synthesis Tuning" (Chowdhury et al., DAC 2023).
+//
+// ALMOST makes logic-locked netlists resilient to oracle-less
+// machine-learning attacks not by inventing a new locking scheme but by
+// tuning logic synthesis: a simulated-annealing search over synthesis
+// recipes, guided by an adversarially trained proxy attacker, finds
+// recipes under which state-of-the-art attacks collapse to ~50% key
+// recovery (random guessing) with marginal PPA cost.
+//
+// # Quick start
+//
+//	design, _ := almost.GenerateBenchmark("c1908")
+//	hardened := almost.Harden(design, 64, almost.DefaultConfig())
+//	fmt.Println(hardened.Recipe)            // S_ALMOST
+//	fmt.Println(hardened.Search.Accuracy)   // proxy-estimated attack accuracy
+//
+// The heavy lifting lives in the internal packages (AIG engine,
+// synthesis transforms, SAT solver, GNN, attacks); this package exposes
+// stable aliases and entry points so downstream code never imports
+// internal paths directly.
+package almost
+
+import (
+	"io"
+	"math/rand"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/attack/omla"
+	"github.com/nyu-secml/almost/internal/attack/redundancy"
+	"github.com/nyu-secml/almost/internal/attack/scope"
+	"github.com/nyu-secml/almost/internal/bench"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/cnf"
+	"github.com/nyu-secml/almost/internal/core"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/synth"
+	"github.com/nyu-secml/almost/internal/techmap"
+)
+
+// Core type aliases. Aliasing (rather than wrapping) keeps the full
+// method sets available to API users.
+type (
+	// AIG is an and-inverter graph netlist.
+	AIG = aig.AIG
+	// Key is a key-bit vector for a locked netlist.
+	Key = lock.Key
+	// Recipe is an ordered synthesis script.
+	Recipe = synth.Recipe
+	// Step is a single synthesis transformation.
+	Step = synth.Step
+	// Config bundles every framework knob.
+	Config = core.Config
+	// Hardened is the output of the end-to-end pipeline.
+	Hardened = core.Hardened
+	// Proxy is a trained attack-accuracy estimator.
+	Proxy = core.Proxy
+	// ModelKind selects the proxy training regime.
+	ModelKind = core.ModelKind
+	// SearchResult is the outcome of the Eq. 1 recipe search.
+	SearchResult = core.SearchResult
+	// PPAResult reports mapped power-performance-area.
+	PPAResult = techmap.Result
+)
+
+// Proxy model kinds (Table I).
+const (
+	ModelResyn2      = core.ModelResyn2
+	ModelRandom      = core.ModelRandom
+	ModelAdversarial = core.ModelAdversarial
+)
+
+// DefaultConfig returns laptop-scale framework settings.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// PaperConfig returns the full-size settings of §IV-A.
+func PaperConfig() Config { return core.PaperConfig() }
+
+// GenerateBenchmark builds a named ISCAS85-profile benchmark circuit
+// (c432, c499, c880, c1355, c1908, c2670, c3540, c5315, c6288, c7552).
+func GenerateBenchmark(name string) (*AIG, error) { return circuits.Generate(name) }
+
+// Benchmarks lists the available benchmark names.
+func Benchmarks() []string { return circuits.Names() }
+
+// PaperBenchmarks lists the seven circuits of the paper's tables.
+func PaperBenchmarks() []string { return circuits.PaperSet() }
+
+// ParseBench reads an ISCAS85 ".bench" netlist.
+func ParseBench(r io.Reader) (*AIG, error) { return bench.Parse(r) }
+
+// WriteBench writes an AIG as a ".bench" netlist.
+func WriteBench(w io.Writer, g *AIG) error { return bench.Write(w, g) }
+
+// Lock applies random logic locking with keySize XOR/XNOR key gates.
+func Lock(g *AIG, keySize int, rng *rand.Rand) (*AIG, Key) {
+	return lock.Lock(g, keySize, rng)
+}
+
+// ApplyKey substitutes the key into a locked netlist, recovering the
+// functional circuit.
+func ApplyKey(g *AIG, key Key) (*AIG, error) { return lock.ApplyKey(g, key) }
+
+// Resyn2 returns the baseline delay-optimization recipe (ABC resyn2).
+func Resyn2() Recipe { return synth.Resyn2() }
+
+// RandomRecipe draws a uniform random recipe of length n.
+func RandomRecipe(rng *rand.Rand, n int) Recipe { return synth.RandomRecipe(rng, n) }
+
+// ParseRecipe parses a semicolon-separated recipe script, e.g.
+// "balance; rewrite -z; refactor".
+func ParseRecipe(script string) (Recipe, error) { return synth.ParseRecipe(script) }
+
+// Harden runs the complete ALMOST flow: RLL-lock the design, train the
+// adversarial proxy M*, search for S_ALMOST (Eq. 1), and synthesize the
+// hardened netlist.
+func Harden(design *AIG, keySize int, cfg Config) *Hardened {
+	return core.SecureSynthesis(design, keySize, cfg)
+}
+
+// TrainProxy trains one of the three proxy attacker models against a
+// locked netlist.
+func TrainProxy(locked *AIG, kind ModelKind, baseline Recipe, cfg Config) *Proxy {
+	return core.TrainProxy(locked, kind, baseline, cfg)
+}
+
+// SearchRecipe runs the security-aware SA recipe search with a trained
+// proxy as evaluator.
+func SearchRecipe(locked *AIG, truth Key, proxy *Proxy, cfg Config) SearchResult {
+	return core.SearchRecipe(locked, truth, proxy, cfg)
+}
+
+// AttackOMLA trains an independent OMLA attacker against the netlist
+// (which was synthesized with recipe) and returns its key-recovery
+// accuracy against the true key.
+func AttackOMLA(netlist *AIG, recipe Recipe, truth Key) float64 {
+	return omla.Train(netlist, recipe, omla.DefaultConfig()).Accuracy(netlist, truth)
+}
+
+// AttackSCOPE runs the SCOPE constant-propagation attack.
+func AttackSCOPE(netlist *AIG, truth Key) float64 {
+	return scope.Accuracy(netlist, truth, scope.DefaultConfig())
+}
+
+// AttackRedundancy runs the redundancy-identification attack.
+func AttackRedundancy(netlist *AIG, truth Key) float64 {
+	return redundancy.Accuracy(netlist, truth, redundancy.DefaultConfig())
+}
+
+// Equivalent checks combinational equivalence of two netlists by SAT.
+func Equivalent(a, b *AIG) (bool, []bool) { return cnf.Equivalent(a, b) }
+
+// EquivalentUnderKey checks that a locked netlist under the given key
+// matches the original design.
+func EquivalentUnderKey(orig, locked *AIG, key Key) (bool, []bool) {
+	return cnf.EquivalentUnderKey(orig, locked, key)
+}
+
+// PPA maps the netlist onto the NanGate45-like library and reports
+// area/delay/power. highEffort selects the "+opt" flow.
+func PPA(g *AIG, highEffort bool) PPAResult {
+	eff := techmap.EffortNone
+	if highEffort {
+		eff = techmap.EffortHigh
+	}
+	return techmap.Map(g, techmap.NanGate45(), eff)
+}
+
+// Accuracy scores a guessed key against the truth.
+func Accuracy(truth, guess Key) float64 { return lock.Accuracy(truth, guess) }

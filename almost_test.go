@@ -1,0 +1,103 @@
+package almost_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	almost "github.com/nyu-secml/almost"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	design, err := almost.GenerateBenchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, key := almost.Lock(design, 8, rand.New(rand.NewSource(1)))
+	if ok, _ := almost.EquivalentUnderKey(design, locked, key); !ok {
+		t.Fatal("correct key rejected")
+	}
+	unlocked, err := almost.ApplyKey(locked, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := almost.Equivalent(design, unlocked); !ok {
+		t.Fatal("ApplyKey broke the function")
+	}
+}
+
+func TestPublicBenchIO(t *testing.T) {
+	design, _ := almost.GenerateBenchmark("c432")
+	var sb strings.Builder
+	if err := almost.WriteBench(&sb, design); err != nil {
+		t.Fatal(err)
+	}
+	back, err := almost.ParseBench(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := almost.Equivalent(design, back); !ok {
+		t.Fatal("bench round trip broke the function")
+	}
+}
+
+func TestPublicRecipeHelpers(t *testing.T) {
+	r := almost.Resyn2()
+	if len(r) != 10 {
+		t.Fatalf("resyn2 length = %d", len(r))
+	}
+	parsed, err := almost.ParseRecipe(r.String())
+	if err != nil || !parsed.Equal(r) {
+		t.Fatalf("recipe parse round trip: %v %v", parsed, err)
+	}
+	rr := almost.RandomRecipe(rand.New(rand.NewSource(2)), 10)
+	if len(rr) != 10 {
+		t.Fatalf("random recipe length = %d", len(rr))
+	}
+}
+
+func TestPublicBenchmarkLists(t *testing.T) {
+	if len(almost.Benchmarks()) < 10 {
+		t.Fatalf("benchmarks = %v", almost.Benchmarks())
+	}
+	if len(almost.PaperBenchmarks()) != 7 {
+		t.Fatalf("paper benchmarks = %v", almost.PaperBenchmarks())
+	}
+}
+
+func TestPublicPPA(t *testing.T) {
+	design, _ := almost.GenerateBenchmark("c432")
+	low := almost.PPA(design, false)
+	high := almost.PPA(design, true)
+	if low.Area <= 0 || high.Area <= 0 {
+		t.Fatalf("degenerate PPA: %v %v", low, high)
+	}
+}
+
+func TestPublicAccuracy(t *testing.T) {
+	truth := almost.Key{true, false}
+	if almost.Accuracy(truth, almost.Key{true, false}) != 1 {
+		t.Fatal("accuracy wrong")
+	}
+}
+
+func TestPublicHardenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test in -short mode")
+	}
+	design, _ := almost.GenerateBenchmark("c432")
+	cfg := almost.DefaultConfig()
+	cfg.Attack.Rounds = 2
+	cfg.Attack.Epochs = 4
+	cfg.AdvPeriod = 2
+	cfg.AdvGates = 6
+	cfg.AdvSAIters = 2
+	cfg.SA.Iterations = 4
+	h := almost.Harden(design, 8, cfg)
+	if ok, _ := almost.EquivalentUnderKey(design, h.Netlist, h.Key); !ok {
+		t.Fatal("hardened netlist broken under key")
+	}
+	if len(h.Recipe) != cfg.RecipeLen {
+		t.Fatalf("recipe length %d", len(h.Recipe))
+	}
+}

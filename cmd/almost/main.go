@@ -1,0 +1,340 @@
+// Command almost is the CLI front end of the ALMOST framework. It covers
+// the whole flow the paper describes — benchmark generation, RLL
+// locking, recipe-driven synthesis, the three oracle-less attacks,
+// security-aware recipe tuning, PPA reporting — and can regenerate every
+// experiment of the evaluation section.
+//
+// Usage:
+//
+//	almost gen -circuit c1908 -o c1908.bench
+//	almost lock -in c1908.bench -keysize 64 -seed 1 -o locked.bench -keyfile key.txt
+//	almost synth -in locked.bench -recipe "balance; rewrite; refactor" -o out.bench
+//	almost attack -in locked.bench -attack omla -recipe resyn2 -keyfile key.txt
+//	almost tune -in locked.bench -keyfile key.txt -o recipe.txt
+//	almost ppa -in out.bench
+//	almost experiment -name table2 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/attack/omla"
+	"github.com/nyu-secml/almost/internal/attack/redundancy"
+	"github.com/nyu-secml/almost/internal/attack/scope"
+	"github.com/nyu-secml/almost/internal/bench"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/core"
+	"github.com/nyu-secml/almost/internal/experiments"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/synth"
+	"github.com/nyu-secml/almost/internal/techmap"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "lock":
+		err = cmdLock(os.Args[2:])
+	case "synth":
+		err = cmdSynth(os.Args[2:])
+	case "attack":
+		err = cmdAttack(os.Args[2:])
+	case "tune":
+		err = cmdTune(os.Args[2:])
+	case "ppa":
+		err = cmdPPA(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "almost: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "almost: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `almost — security-aware synthesis tuning (DAC'23 reproduction)
+
+commands:
+  gen         generate a benchmark circuit (.bench)
+  lock        apply random logic locking
+  synth       apply a synthesis recipe
+  attack      run an oracle-less attack (omla | scope | redundancy)
+  tune        search for an ML-resilient recipe (the ALMOST flow)
+  ppa         report area/delay/power of a netlist
+  experiment  regenerate a paper artifact
+              (transfer | table1 | fig4 | table2 | table3 | fig5)
+
+run "almost <command> -h" for per-command flags`)
+}
+
+func readNetlist(path string) (*aig.AIG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return bench.Parse(f)
+}
+
+func writeNetlist(path string, g *aig.AIG) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return bench.Write(f, g)
+}
+
+func parseRecipeFlag(s string) (synth.Recipe, error) {
+	if s == "resyn2" || s == "" {
+		return synth.Resyn2(), nil
+	}
+	return synth.ParseRecipe(s)
+}
+
+func readKeyFile(path string) (lock.Key, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := strings.TrimSpace(string(data))
+	key := make(lock.Key, 0, len(s))
+	for _, c := range s {
+		switch c {
+		case '0':
+			key = append(key, false)
+		case '1':
+			key = append(key, true)
+		default:
+			return nil, fmt.Errorf("bad key character %q", c)
+		}
+	}
+	return key, nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	circuit := fs.String("circuit", "c1908", "benchmark name ("+strings.Join(circuits.Names(), ", ")+")")
+	out := fs.String("o", "", "output .bench path (default stdout)")
+	fs.Parse(args)
+	g, err := circuits.Generate(*circuit)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", *circuit, g)
+	if *out == "" {
+		return bench.Write(os.Stdout, g)
+	}
+	return writeNetlist(*out, g)
+}
+
+func cmdLock(args []string) error {
+	fs := flag.NewFlagSet("lock", flag.ExitOnError)
+	in := fs.String("in", "", "input .bench netlist (required)")
+	keySize := fs.Int("keysize", 64, "number of key gates")
+	seed := fs.Int64("seed", 1, "locking seed")
+	out := fs.String("o", "", "output .bench path (default stdout)")
+	keyFile := fs.String("keyfile", "", "file to store the correct key")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("lock: -in is required")
+	}
+	g, err := readNetlist(*in)
+	if err != nil {
+		return err
+	}
+	locked, key := lock.Lock(g, *keySize, rand.New(rand.NewSource(*seed)))
+	fmt.Fprintf(os.Stderr, "locked: %v key=%s\n", locked, key)
+	if *keyFile != "" {
+		if err := os.WriteFile(*keyFile, []byte(key.String()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	if *out == "" {
+		return bench.Write(os.Stdout, locked)
+	}
+	return writeNetlist(*out, locked)
+}
+
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	in := fs.String("in", "", "input .bench netlist (required)")
+	recipeStr := fs.String("recipe", "resyn2", `recipe script or "resyn2"`)
+	out := fs.String("o", "", "output .bench path (default stdout)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("synth: -in is required")
+	}
+	g, err := readNetlist(*in)
+	if err != nil {
+		return err
+	}
+	recipe, err := parseRecipeFlag(*recipeStr)
+	if err != nil {
+		return err
+	}
+	h := recipe.Apply(g)
+	fmt.Fprintf(os.Stderr, "synth: %v -> %v (recipe: %s)\n", g, h, recipe)
+	if *out == "" {
+		return bench.Write(os.Stdout, h)
+	}
+	return writeNetlist(*out, h)
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	in := fs.String("in", "", "locked .bench netlist (required)")
+	attackName := fs.String("attack", "omla", "omla | scope | redundancy")
+	recipeStr := fs.String("recipe", "resyn2", "defender's recipe (omla only)")
+	keyFile := fs.String("keyfile", "", "true key file (reports accuracy when given)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("attack: -in is required")
+	}
+	g, err := readNetlist(*in)
+	if err != nil {
+		return err
+	}
+	var guess lock.Key
+	switch *attackName {
+	case "omla":
+		recipe, err := parseRecipeFlag(*recipeStr)
+		if err != nil {
+			return err
+		}
+		atk := omla.Train(g, recipe, omla.DefaultConfig())
+		guess = atk.PredictKey(g)
+	case "scope":
+		guess = scope.PredictKey(g, scope.DefaultConfig())
+	case "redundancy":
+		guess = redundancy.PredictKey(g, redundancy.DefaultConfig())
+	default:
+		return fmt.Errorf("attack: unknown attack %q", *attackName)
+	}
+	fmt.Printf("predicted key: %s\n", guess)
+	if *keyFile != "" {
+		truth, err := readKeyFile(*keyFile)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("accuracy: %.2f%%\n", lock.Accuracy(truth, guess)*100)
+	}
+	return nil
+}
+
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	in := fs.String("in", "", "locked .bench netlist (required)")
+	keyFile := fs.String("keyfile", "", "true key file (required)")
+	out := fs.String("o", "", "file for the tuned recipe (default stdout)")
+	netOut := fs.String("net", "", "optional path for the ALMOST-synthesized netlist")
+	full := fs.Bool("full", false, "use the paper's full-size settings (slow)")
+	fs.Parse(args)
+	if *in == "" || *keyFile == "" {
+		return fmt.Errorf("tune: -in and -keyfile are required")
+	}
+	g, err := readNetlist(*in)
+	if err != nil {
+		return err
+	}
+	key, err := readKeyFile(*keyFile)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	if *full {
+		cfg = core.PaperConfig()
+	}
+	fmt.Fprintln(os.Stderr, "training adversarial proxy M*...")
+	proxy := core.TrainProxy(g, core.ModelAdversarial, synth.Resyn2(), cfg)
+	fmt.Fprintln(os.Stderr, "searching for S_ALMOST (Eq. 1)...")
+	res := core.SearchRecipe(g, key, proxy, cfg)
+	fmt.Fprintf(os.Stderr, "best proxy accuracy: %.2f%%\n", res.Accuracy*100)
+	line := res.Recipe.String() + "\n"
+	if *out == "" {
+		fmt.Print(line)
+	} else if err := os.WriteFile(*out, []byte(line), 0o644); err != nil {
+		return err
+	}
+	if *netOut != "" {
+		return writeNetlist(*netOut, res.Recipe.Apply(g))
+	}
+	return nil
+}
+
+func cmdPPA(args []string) error {
+	fs := flag.NewFlagSet("ppa", flag.ExitOnError)
+	in := fs.String("in", "", "input .bench netlist (required)")
+	opt := fs.Bool("opt", false, "high-effort mapping (+opt)")
+	cells := fs.Bool("cells", false, "print the cell histogram")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("ppa: -in is required")
+	}
+	g, err := readNetlist(*in)
+	if err != nil {
+		return err
+	}
+	eff := techmap.EffortNone
+	if *opt {
+		eff = techmap.EffortHigh
+	}
+	r := techmap.Map(g, techmap.NanGate45(), eff)
+	fmt.Println(r)
+	if *cells {
+		fmt.Print(r.CellReport())
+	}
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	name := fs.String("name", "table2", "transfer | table1 | fig4 | table2 | table3 | fig5")
+	quick := fs.Bool("quick", true, "reduced settings (minutes); -quick=false uses the paper's full settings")
+	benches := fs.String("benchmarks", "", "comma-separated benchmark override")
+	fs.Parse(args)
+	opt := experiments.FullOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	if *benches != "" {
+		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+	opt.Out = os.Stdout
+	switch *name {
+	case "transfer":
+		experiments.RunTransferability(opt.Benchmarks[0], opt.KeySizes[0], opt)
+	case "table1":
+		experiments.RunTableI(opt)
+	case "fig4":
+		experiments.RunFig4(opt)
+	case "table2":
+		experiments.RunTableII(opt)
+	case "table3":
+		res := experiments.RunTableII(opt)
+		experiments.RunTableIII(opt, res.Recipes)
+	case "fig5":
+		experiments.RunFig5(opt)
+	default:
+		return fmt.Errorf("experiment: unknown name %q", *name)
+	}
+	return nil
+}

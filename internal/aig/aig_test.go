@@ -1,0 +1,551 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitPacking(t *testing.T) {
+	l := MakeLit(7, true)
+	if l.Node() != 7 || !l.Neg() {
+		t.Fatalf("MakeLit(7,true) = %v", l)
+	}
+	if l.Not().Neg() {
+		t.Fatalf("Not did not clear complement")
+	}
+	if l.Not().Node() != 7 {
+		t.Fatalf("Not changed node")
+	}
+	if l.NotIf(false) != l {
+		t.Fatalf("NotIf(false) changed literal")
+	}
+	if l.NotIf(true) != l.Not() {
+		t.Fatalf("NotIf(true) != Not()")
+	}
+}
+
+func TestConstLits(t *testing.T) {
+	if False.Not() != True || True.Not() != False {
+		t.Fatalf("constant literal complement broken")
+	}
+}
+
+func TestAndTrivialCases(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	if got := g.And(a, False); got != False {
+		t.Errorf("a AND 0 = %v, want False", got)
+	}
+	if got := g.And(a, True); got != a {
+		t.Errorf("a AND 1 = %v, want a", got)
+	}
+	if got := g.And(a, a); got != a {
+		t.Errorf("a AND a = %v, want a", got)
+	}
+	if got := g.And(a, a.Not()); got != False {
+		t.Errorf("a AND !a = %v, want False", got)
+	}
+	if g.NumAnds() != 0 {
+		t.Errorf("trivial cases created %d AND nodes", g.NumAnds())
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	n1 := g.And(a, b)
+	n2 := g.And(b, a)
+	if n1 != n2 {
+		t.Fatalf("commutative strash failed: %v vs %v", n1, n2)
+	}
+	n3 := g.And(a.Not(), b)
+	if n3 == n1 {
+		t.Fatalf("different function hashed to same node")
+	}
+	if g.NumAnds() != 2 {
+		t.Fatalf("expected 2 AND nodes, got %d", g.NumAnds())
+	}
+}
+
+func TestXorTruth(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	g.AddOutput(g.Xor(a, b), "x")
+	for _, tc := range []struct {
+		a, b, want bool
+	}{{false, false, false}, {true, false, true}, {false, true, true}, {true, true, false}} {
+		out := g.EvalSingle([]bool{tc.a, tc.b})
+		if out[0] != tc.want {
+			t.Errorf("xor(%v,%v) = %v, want %v", tc.a, tc.b, out[0], tc.want)
+		}
+	}
+}
+
+func TestXnorMuxTruth(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	s := g.AddInput("s")
+	g.AddOutput(g.Xnor(a, b), "xn")
+	g.AddOutput(g.Mux(s, a, b), "m")
+	for i := 0; i < 8; i++ {
+		av, bv, sv := i&1 == 1, i&2 == 2, i&4 == 4
+		out := g.EvalSingle([]bool{av, bv, sv})
+		if out[0] != (av == bv) {
+			t.Errorf("xnor(%v,%v) = %v", av, bv, out[0])
+		}
+		want := bv
+		if sv {
+			want = av
+		}
+		if out[1] != want {
+			t.Errorf("mux(%v,%v,%v) = %v, want %v", sv, av, bv, out[1], want)
+		}
+	}
+}
+
+func TestAndNOrN(t *testing.T) {
+	g := New()
+	var ins []Lit
+	for i := 0; i < 5; i++ {
+		ins = append(ins, g.AddInput("i"))
+	}
+	g.AddOutput(g.AndN(ins), "and")
+	g.AddOutput(g.OrN(ins), "or")
+	for mask := 0; mask < 32; mask++ {
+		in := make([]bool, 5)
+		all, any := true, false
+		for i := range in {
+			in[i] = mask&(1<<i) != 0
+			all = all && in[i]
+			any = any || in[i]
+		}
+		out := g.EvalSingle(in)
+		if out[0] != all || out[1] != any {
+			t.Fatalf("mask %05b: and=%v or=%v", mask, out[0], out[1])
+		}
+	}
+	if g.AndN(nil) != True {
+		t.Errorf("AndN(nil) != True")
+	}
+	if g.OrN(nil) != False {
+		t.Errorf("OrN(nil) != False")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	n1 := g.And(a, b)
+	n2 := g.And(n1, c)
+	g.AddOutput(n2, "o")
+	if g.Level(a.Node()) != 0 {
+		t.Errorf("input level != 0")
+	}
+	if g.Level(n1.Node()) != 1 || g.Level(n2.Node()) != 2 {
+		t.Errorf("levels wrong: %d %d", g.Level(n1.Node()), g.Level(n2.Node()))
+	}
+	if g.NumLevels() != 2 {
+		t.Errorf("NumLevels = %d, want 2", g.NumLevels())
+	}
+}
+
+func TestKeyInputs(t *testing.T) {
+	g := New()
+	g.AddInput("a")
+	g.AddKeyInput("k0")
+	g.AddInput("b")
+	g.AddKeyInput("k1")
+	if g.NumKeyInputs() != 2 {
+		t.Fatalf("NumKeyInputs = %d", g.NumKeyInputs())
+	}
+	idx := g.KeyInputIndices()
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 3 {
+		t.Fatalf("KeyInputIndices = %v", idx)
+	}
+	if g.InputIsKey(0) || !g.InputIsKey(1) {
+		t.Fatalf("InputIsKey flags wrong")
+	}
+}
+
+func TestCleanupRemovesDangling(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	used := g.And(a, b)
+	g.And(a.Not(), b) // dangling
+	g.AddOutput(used, "o")
+	if g.NumAnds() != 2 {
+		t.Fatalf("setup: %d ANDs", g.NumAnds())
+	}
+	c := g.Cleanup()
+	if c.NumAnds() != 1 {
+		t.Fatalf("Cleanup left %d ANDs, want 1", c.NumAnds())
+	}
+	if !EquivalentBySim(g, c, rand.New(rand.NewSource(1)), 4) {
+		t.Fatalf("Cleanup changed function")
+	}
+}
+
+func TestCleanupPreservesInterface(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	k := g.AddKeyInput("k")
+	g.AddOutput(g.Xor(a, k), "o")
+	c := g.Cleanup()
+	if c.NumInputs() != 2 || c.NumKeyInputs() != 1 {
+		t.Fatalf("interface changed: %v", c.Stats())
+	}
+	if c.InputName(0) != "a" || c.InputName(1) != "k" {
+		t.Fatalf("names changed: %q %q", c.InputName(0), c.InputName(1))
+	}
+	if c.OutputName(0) != "o" {
+		t.Fatalf("output name changed")
+	}
+}
+
+func TestRebuilderSubstitution(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	n := g.And(a, b)
+	g.AddOutput(n, "o")
+	// Substitute the AND node with OR.
+	rb := NewRebuilder(g)
+	na := rb.LitOf(a)
+	nb := rb.LitOf(b)
+	rb.Map(n.Node(), rb.Dst.Or(na, nb))
+	h := rb.Finish()
+	out := h.EvalSingle([]bool{true, false})
+	if !out[0] {
+		t.Fatalf("substituted OR not effective")
+	}
+}
+
+func TestSimulate64MatchesEvalSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomAIG(rng, 8, 4, 40)
+	for trial := 0; trial < 20; trial++ {
+		in := make([]bool, g.NumInputs())
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		single := g.EvalSingle(in)
+		words := make([]uint64, len(in))
+		for i, b := range in {
+			if b {
+				words[i] = ^uint64(0)
+			}
+		}
+		out := g.Simulate64(words)
+		for i := range single {
+			bulk := out[i]&1 == 1
+			if single[i] != bulk || (out[i] != 0 && out[i] != ^uint64(0)) {
+				t.Fatalf("trial %d output %d: single=%v word=%x", trial, i, single[i], out[i])
+			}
+		}
+	}
+}
+
+func TestSimulateWordsMatchesSimulate64(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomAIG(rng, 6, 3, 30)
+	const w = 3
+	in := make([][]uint64, g.NumInputs())
+	for i := range in {
+		in[i] = make([]uint64, w)
+		for k := range in[i] {
+			in[i][k] = rng.Uint64()
+		}
+	}
+	multi := g.SimulateWords(in, w)
+	for k := 0; k < w; k++ {
+		col := make([]uint64, g.NumInputs())
+		for i := range col {
+			col[i] = in[i][k]
+		}
+		single := g.Simulate64(col)
+		for o := range single {
+			if single[o] != multi[o][k] {
+				t.Fatalf("word %d output %d mismatch", k, o)
+			}
+		}
+	}
+}
+
+func TestFanoutCounts(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	n1 := g.And(a, b)
+	n2 := g.And(n1, a.Not())
+	g.AddOutput(n1, "o1")
+	g.AddOutput(n2, "o2")
+	counts := g.FanoutCounts()
+	if counts[a.Node()] != 2 {
+		t.Errorf("fanout(a) = %d, want 2", counts[a.Node()])
+	}
+	if counts[n1.Node()] != 2 { // feeds n2 and o1
+		t.Errorf("fanout(n1) = %d, want 2", counts[n1.Node()])
+	}
+	if counts[n2.Node()] != 1 {
+		t.Errorf("fanout(n2) = %d, want 1", counts[n2.Node()])
+	}
+}
+
+func TestTopoOrderIsTopological(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomAIG(rng, 10, 5, 80)
+	order := g.TopoOrder()
+	pos := map[int]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, id := range order {
+		f0, f1 := g.Fanins(id)
+		for _, f := range []Lit{f0, f1} {
+			if g.IsAnd(f.Node()) {
+				if p, ok := pos[f.Node()]; !ok || p >= pos[id] {
+					t.Fatalf("node %d fanin %d not earlier", id, f.Node())
+				}
+			}
+		}
+	}
+}
+
+func TestKHopNeighborhood(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	n1 := g.And(a, b)
+	n2 := g.And(n1, c)
+	n3 := g.And(n2, a)
+	g.AddOutput(n3, "o")
+	fo := g.Fanouts()
+	nb0 := g.KHopNeighborhood(n2.Node(), 0, fo)
+	if len(nb0) != 1 || nb0[0] != n2.Node() {
+		t.Fatalf("0-hop = %v", nb0)
+	}
+	nb1 := g.KHopNeighborhood(n2.Node(), 1, fo)
+	want := map[int]bool{n1.Node(): true, c.Node(): true, n3.Node(): true, n2.Node(): true}
+	if len(nb1) != len(want) {
+		t.Fatalf("1-hop = %v, want %v", nb1, want)
+	}
+	for _, id := range nb1 {
+		if !want[id] {
+			t.Fatalf("unexpected node %d in 1-hop", id)
+		}
+	}
+}
+
+func TestTFICone(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	n1 := g.And(a, b)
+	n2 := g.And(c, a)
+	g.AddOutput(n1, "o1")
+	g.AddOutput(n2, "o2")
+	cone := g.TFICone(n1)
+	if len(cone) != 3 { // a, b, n1
+		t.Fatalf("TFI cone = %v", cone)
+	}
+}
+
+func TestMFFC(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	n1 := g.And(a, b)  // only feeds n2
+	n2 := g.And(n1, c) // root
+	shared := g.And(a, c)
+	n3 := g.And(shared, b) // other output keeps shared alive
+	g.AddOutput(n2, "o1")
+	g.AddOutput(n3, "o2")
+	fc := g.FanoutCounts()
+	m := g.MFFC(n2.Node(), fc)
+	if len(m) != 2 { // n1, n2
+		t.Fatalf("MFFC = %v, want {n1,n2}", m)
+	}
+	m3 := g.MFFC(n3.Node(), fc)
+	if len(m3) != 2 { // shared + n3: shared only feeds n3
+		t.Fatalf("MFFC(n3) = %v", m3)
+	}
+}
+
+func TestWindowTT(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	x := g.Xor(a, b)
+	g.AddOutput(x, "o")
+	tt, ok := g.WindowTT(x.Node(), []int{a.Node(), b.Node()})
+	if !ok {
+		t.Fatalf("window not closed")
+	}
+	if x.Neg() {
+		tt = ^tt & TTMask(2)
+	}
+	if tt != 0x6 { // XOR truth table on 2 vars: 0110
+		t.Fatalf("tt = %x, want 6", tt)
+	}
+	// Window with a missing leaf must fail.
+	if _, ok := g.WindowTT(x.Node(), []int{a.Node()}); ok {
+		t.Fatalf("unclosed window accepted")
+	}
+}
+
+func TestTTMask(t *testing.T) {
+	if TTMask(2) != 0xF || TTMask(3) != 0xFF || TTMask(6) != ^uint64(0) {
+		t.Fatalf("TTMask wrong: %x %x %x", TTMask(2), TTMask(3), TTMask(6))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	g.AddOutput(g.And(a, b), "o")
+	c := g.Clone()
+	c.And(a.Not(), b.Not())
+	if g.NumNodes() == c.NumNodes() {
+		t.Fatalf("clone shares node storage")
+	}
+	if !EquivalentBySim(g, c, rand.New(rand.NewSource(2)), 2) {
+		t.Fatalf("clone changed function")
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	g := New()
+	a := g.AddInput("a")
+	k := g.AddKeyInput("k")
+	g.AddOutput(g.And(a, k), "o")
+	s := g.Stats()
+	if s.Inputs != 1 || s.KeyInputs != 1 || s.Outputs != 1 || s.Ands != 1 || s.Levels != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if g.String() == "" {
+		t.Fatalf("empty String()")
+	}
+}
+
+// randomAIG builds a random connected AIG for property testing.
+func randomAIG(rng *rand.Rand, nIn, nOut, nAnd int) *AIG {
+	g := New()
+	lits := make([]Lit, 0, nIn+nAnd)
+	for i := 0; i < nIn; i++ {
+		lits = append(lits, g.AddInput("i"))
+	}
+	for len(lits) < nIn+nAnd {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		l := g.And(a, b)
+		if g.IsAnd(l.Node()) {
+			lits = append(lits, l)
+		}
+	}
+	for i := 0; i < nOut; i++ {
+		g.AddOutput(lits[len(lits)-1-i].NotIf(rng.Intn(2) == 1), "o")
+	}
+	return g
+}
+
+// Property: Cleanup never changes the simulated function and never grows
+// the AND count.
+func TestCleanupPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAIG(rng, 5+rng.Intn(5), 1+rng.Intn(4), 10+rng.Intn(60))
+		c := g.Cleanup()
+		if c.NumAnds() > g.NumAnds() {
+			return false
+		}
+		return EquivalentBySim(g, c, rng, 4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: And is commutative and idempotent at the literal level.
+func TestAndAlgebraQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		var lits []Lit
+		for i := 0; i < 4; i++ {
+			lits = append(lits, g.AddInput("i"))
+		}
+		a := lits[rng.Intn(4)].NotIf(rng.Intn(2) == 1)
+		b := lits[rng.Intn(4)].NotIf(rng.Intn(2) == 1)
+		if g.And(a, b) != g.And(b, a) {
+			return false
+		}
+		if g.And(a, a) != a {
+			return false
+		}
+		return g.And(a, a.Not()) == False
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: signatures of a node equal simulation of that node's function.
+func TestSignaturesConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomAIG(rng, 6, 2, 30)
+	sigRng := rand.New(rand.NewSource(99))
+	sigs := g.Signatures(sigRng, 2)
+	// Outputs must match SimulateWords with the same input stream.
+	inRng := rand.New(rand.NewSource(99))
+	in := make([][]uint64, g.NumInputs())
+	for i := range in {
+		in[i] = []uint64{inRng.Uint64(), inRng.Uint64()}
+	}
+	for o := 0; o < g.NumOutputs(); o++ {
+		po := g.Output(o)
+		for k := 0; k < 2; k++ {
+			want := sigs[po.Node()][k]
+			if po.Neg() {
+				want = ^want
+			}
+			got := g.SimulateWords(in, 2)[o][k]
+			if got != want {
+				t.Fatalf("output %d word %d: %x vs %x", o, k, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkSimulate64(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomAIG(rng, 32, 16, 2000)
+	in := RandomPatterns(rng, g.NumInputs())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Simulate64(in)
+	}
+}
+
+func BenchmarkAndStrash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := New()
+		a := g.AddInput("a")
+		c := g.AddInput("b")
+		cur := a
+		for j := 0; j < 500; j++ {
+			cur = g.And(cur, c.NotIf(j%2 == 0))
+			c = cur.Not()
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package aig
+
+import "sort"
+
+// KHopNeighborhood returns the node IDs within k undirected hops of the
+// seed node, following both fanin and fanout edges. The result is sorted
+// and always contains the seed. This is the "locality" extraction used by
+// OMLA-style attacks: the sub-circuit structure around a key gate.
+func (g *AIG) KHopNeighborhood(seed, k int, fanouts [][]int) []int {
+	if fanouts == nil {
+		fanouts = g.Fanouts()
+	}
+	dist := map[int]int{seed: 0}
+	frontier := []int{seed}
+	for d := 0; d < k; d++ {
+		var next []int
+		for _, id := range frontier {
+			var adj []int
+			if g.nodes[id].kind == KindAnd {
+				adj = append(adj, g.nodes[id].fanin0.Node(), g.nodes[id].fanin1.Node())
+			}
+			adj = append(adj, fanouts[id]...)
+			for _, a := range adj {
+				if _, ok := dist[a]; !ok {
+					dist[a] = d + 1
+					next = append(next, a)
+				}
+			}
+		}
+		frontier = next
+	}
+	ids := make([]int, 0, len(dist))
+	for id := range dist {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// TFICone returns the transitive fanin cone of literal root (node IDs,
+// sorted), including root's node and stopping at inputs/constants.
+func (g *AIG) TFICone(root Lit) []int {
+	seen := map[int]bool{}
+	var walk func(id int)
+	walk = func(id int) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		if g.nodes[id].kind == KindAnd {
+			walk(g.nodes[id].fanin0.Node())
+			walk(g.nodes[id].fanin1.Node())
+		}
+	}
+	walk(root.Node())
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// MFFC returns the maximum fanout-free cone of node root: the set of AND
+// nodes (including root) whose every fanout path leads back into the
+// cone. Removing the root would let exactly these nodes be deleted.
+// fanoutCounts must come from FanoutCounts on the same graph.
+func (g *AIG) MFFC(root int, fanoutCounts []int) []int {
+	if g.nodes[root].kind != KindAnd {
+		return nil
+	}
+	inCone := map[int]bool{root: true}
+	// Walk fanins; a fanin joins the cone if all its fanouts are in the cone.
+	// We approximate by reference counting: simulate deleting the root.
+	ref := map[int]int{}
+	var collect func(id int)
+	collect = func(id int) {
+		n := &g.nodes[id]
+		for _, f := range []Lit{n.fanin0, n.fanin1} {
+			fid := f.Node()
+			if g.nodes[fid].kind != KindAnd {
+				continue
+			}
+			ref[fid]++
+			if ref[fid] == fanoutCounts[fid] && !inCone[fid] {
+				inCone[fid] = true
+				collect(fid)
+			}
+		}
+	}
+	collect(root)
+	ids := make([]int, 0, len(inCone))
+	for id := range inCone {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Window describes a cut-rooted sub-function: a root node, its leaf
+// literals (inputs of the window), and the truth table of the root as a
+// function of the leaves (up to 6 leaves, one uint64 word).
+type Window struct {
+	Root   int
+	Leaves []Lit  // leaf literals, positive polarity node refs
+	TT     uint64 // truth table over len(Leaves) variables
+	Volume int    // number of AND nodes strictly inside the window
+}
+
+// ttVar returns the truth table of variable v among n variables.
+func ttVar(v int) uint64 {
+	// Standard projections for up to 6 variables.
+	masks := [6]uint64{
+		0xAAAAAAAAAAAAAAAA,
+		0xCCCCCCCCCCCCCCCC,
+		0xF0F0F0F0F0F0F0F0,
+		0xFF00FF00FF00FF00,
+		0xFFFF0000FFFF0000,
+		0xFFFFFFFF00000000,
+	}
+	return masks[v]
+}
+
+// TTMask returns the mask of valid truth-table bits for n variables.
+func TTMask(n int) uint64 {
+	if n >= 6 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (1 << uint(n))) - 1
+}
+
+// WindowTT computes the truth table of root as a function of the given
+// leaf nodes (at most 6). Every path from root must end at a leaf, the
+// constant node, or be fully contained; otherwise ok is false.
+func (g *AIG) WindowTT(root int, leaves []int) (tt uint64, ok bool) {
+	if len(leaves) > 6 {
+		return 0, false
+	}
+	idx := map[int]int{}
+	for i, l := range leaves {
+		idx[l] = i
+	}
+	memo := map[int]uint64{}
+	var eval func(id int) (uint64, bool)
+	eval = func(id int) (uint64, bool) {
+		if i, isLeaf := idx[id]; isLeaf {
+			return ttVar(i), true
+		}
+		if v, ok := memo[id]; ok {
+			return v, true
+		}
+		n := &g.nodes[id]
+		switch n.kind {
+		case KindConst:
+			return 0, true
+		case KindInput:
+			return 0, false // input that is not a leaf: window is not closed
+		}
+		a, ok0 := eval(n.fanin0.Node())
+		if !ok0 {
+			return 0, false
+		}
+		if n.fanin0.Neg() {
+			a = ^a
+		}
+		b, ok1 := eval(n.fanin1.Node())
+		if !ok1 {
+			return 0, false
+		}
+		if n.fanin1.Neg() {
+			b = ^b
+		}
+		v := a & b
+		memo[id] = v
+		return v, true
+	}
+	v, ok := eval(root)
+	if !ok {
+		return 0, false
+	}
+	return v & TTMask(len(leaves)), true
+}

@@ -1,0 +1,180 @@
+package aig
+
+import "math/rand"
+
+// Simulate64 performs 64-way bit-parallel simulation. in holds one 64-bit
+// pattern word per input (in input creation order); the returned slice
+// holds one word per output. Bit i of each word is an independent pattern.
+func (g *AIG) Simulate64(in []uint64) []uint64 {
+	if len(in) != len(g.pis) {
+		panic("aig: Simulate64 input width mismatch")
+	}
+	vals := g.simNodes(in)
+	out := make([]uint64, len(g.pos))
+	for i, po := range g.pos {
+		v := vals[po.Node()]
+		if po.Neg() {
+			v = ^v
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// simNodes returns the simulation word of every node.
+func (g *AIG) simNodes(in []uint64) []uint64 {
+	vals := make([]uint64, len(g.nodes))
+	vals[0] = 0
+	for i, id := range g.pis {
+		vals[id] = in[i]
+	}
+	for id := 1; id < len(g.nodes); id++ {
+		n := &g.nodes[id]
+		if n.kind != KindAnd {
+			continue
+		}
+		a := vals[n.fanin0.Node()]
+		if n.fanin0.Neg() {
+			a = ^a
+		}
+		b := vals[n.fanin1.Node()]
+		if n.fanin1.Neg() {
+			b = ^b
+		}
+		vals[id] = a & b
+	}
+	return vals
+}
+
+// SimulateWords runs bit-parallel simulation with w words per signal
+// (64*w patterns). in is indexed [input][word]. The result is indexed
+// [output][word].
+func (g *AIG) SimulateWords(in [][]uint64, w int) [][]uint64 {
+	vals := make([][]uint64, len(g.nodes))
+	zero := make([]uint64, w)
+	vals[0] = zero
+	for i, id := range g.pis {
+		vals[id] = in[i]
+	}
+	for id := 1; id < len(g.nodes); id++ {
+		n := &g.nodes[id]
+		if n.kind != KindAnd {
+			continue
+		}
+		av := vals[n.fanin0.Node()]
+		bv := vals[n.fanin1.Node()]
+		out := make([]uint64, w)
+		an, bn := n.fanin0.Neg(), n.fanin1.Neg()
+		for k := 0; k < w; k++ {
+			a, b := av[k], bv[k]
+			if an {
+				a = ^a
+			}
+			if bn {
+				b = ^b
+			}
+			out[k] = a & b
+		}
+		vals[id] = out
+	}
+	res := make([][]uint64, len(g.pos))
+	for i, po := range g.pos {
+		v := vals[po.Node()]
+		out := make([]uint64, w)
+		for k := 0; k < w; k++ {
+			if po.Neg() {
+				out[k] = ^v[k]
+			} else {
+				out[k] = v[k]
+			}
+		}
+		res[i] = out
+	}
+	return res
+}
+
+// EvalSingle evaluates the AIG on a single Boolean input assignment.
+func (g *AIG) EvalSingle(in []bool) []bool {
+	words := make([]uint64, len(in))
+	for i, b := range in {
+		if b {
+			words[i] = 1
+		}
+	}
+	out := g.Simulate64(words)
+	res := make([]bool, len(out))
+	for i, w := range out {
+		res[i] = w&1 == 1
+	}
+	return res
+}
+
+// RandomPatterns generates one random 64-pattern word per input.
+func RandomPatterns(rng *rand.Rand, nIn int) []uint64 {
+	in := make([]uint64, nIn)
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	return in
+}
+
+// Signatures computes a per-node simulation signature of w words using
+// random patterns from rng. Used by resubstitution to find candidate
+// divisors and by equivalence filtering.
+func (g *AIG) Signatures(rng *rand.Rand, w int) [][]uint64 {
+	in := make([][]uint64, len(g.pis))
+	for i := range in {
+		in[i] = make([]uint64, w)
+		for k := range in[i] {
+			in[i][k] = rng.Uint64()
+		}
+	}
+	vals := make([][]uint64, len(g.nodes))
+	vals[0] = make([]uint64, w)
+	for i, id := range g.pis {
+		vals[id] = in[i]
+	}
+	for id := 1; id < len(g.nodes); id++ {
+		n := &g.nodes[id]
+		if n.kind != KindAnd {
+			continue
+		}
+		av := vals[n.fanin0.Node()]
+		bv := vals[n.fanin1.Node()]
+		out := make([]uint64, w)
+		an, bn := n.fanin0.Neg(), n.fanin1.Neg()
+		for k := 0; k < w; k++ {
+			a, b := av[k], bv[k]
+			if an {
+				a = ^a
+			}
+			if bn {
+				b = ^b
+			}
+			out[k] = a & b
+		}
+		vals[id] = out
+	}
+	return vals
+}
+
+// EquivalentBySim checks functional equivalence of two AIGs with the same
+// input/output interface by random simulation with rounds*64 patterns.
+// It is a necessary (not sufficient) check; internal/cnf provides exact
+// SAT-based checking. Returns false on any detected mismatch.
+func EquivalentBySim(a, b *AIG, rng *rand.Rand, rounds int) bool {
+	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
+		return false
+	}
+	for r := 0; r < rounds; r++ {
+		in := RandomPatterns(rng, a.NumInputs())
+		oa := a.Simulate64(in)
+		ob := b.Simulate64(in)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

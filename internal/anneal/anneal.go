@@ -1,0 +1,94 @@
+// Package anneal provides the generic simulated-annealing driver used by
+// both of ALMOST's searches: the security-aware recipe generation of
+// Eq. 1 and the adversarial-sample generation of Eq. 3 (and, in the
+// re-synthesis analysis of Fig. 5, PPA-targeted searches).
+//
+// The schedule matches the paper's setup: geometric cooling from an
+// initial temperature with a Metropolis acceptance criterion whose
+// divisor is scaled by an "acceptance" constant (the paper uses
+// T0 = 120, acceptance = 1.8, 100 iterations).
+package anneal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Problem defines a state space for annealing. Implementations must be
+// deterministic given the rng stream.
+type Problem[S any] interface {
+	// Energy is the objective to minimize.
+	Energy(s S) float64
+	// Neighbor proposes a move from s.
+	Neighbor(s S, rng *rand.Rand) S
+}
+
+// Config sets the schedule.
+type Config struct {
+	Iterations int
+	InitTemp   float64 // T0
+	Acceptance float64 // scales the Metropolis divisor
+	Cooling    float64 // geometric factor per iteration; 0 = auto
+	// Target, if non-zero-valued via HasTarget, stops the search early
+	// when energy <= Target.
+	Target    float64
+	HasTarget bool
+}
+
+// PaperConfig mirrors §IV-C: 100 iterations, T0=120, acceptance=1.8.
+func PaperConfig() Config {
+	return Config{Iterations: 100, InitTemp: 120, Acceptance: 1.8}
+}
+
+// TracePoint records one iteration for the Fig. 4/5 style curves.
+type TracePoint[S any] struct {
+	Iteration int
+	Energy    float64 // energy of the current state after the move
+	Best      float64 // best energy so far
+	State     S       // current state
+}
+
+// Result is the annealing outcome.
+type Result[S any] struct {
+	Best       S
+	BestEnergy float64
+	Trace      []TracePoint[S]
+}
+
+// Run anneals from init, recording a trace point per iteration.
+func Run[S any](p Problem[S], init S, cfg Config, rng *rand.Rand) Result[S] {
+	cooling := cfg.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		// Auto: decay to ~1% of T0 over the run.
+		cooling = math.Pow(0.01, 1/math.Max(1, float64(cfg.Iterations)))
+	}
+	cur := init
+	curE := p.Energy(cur)
+	best := cur
+	bestE := curE
+	temp := cfg.InitTemp
+	res := Result[S]{}
+	for it := 0; it < cfg.Iterations; it++ {
+		cand := p.Neighbor(cur, rng)
+		candE := p.Energy(cand)
+		accept := candE <= curE
+		if !accept && temp > 0 {
+			prob := math.Exp(-(candE - curE) / (temp * cfg.Acceptance))
+			accept = rng.Float64() < prob
+		}
+		if accept {
+			cur, curE = cand, candE
+		}
+		if curE < bestE {
+			best, bestE = cur, curE
+		}
+		res.Trace = append(res.Trace, TracePoint[S]{Iteration: it, Energy: curE, Best: bestE, State: cur})
+		temp *= cooling
+		if cfg.HasTarget && bestE <= cfg.Target {
+			break
+		}
+	}
+	res.Best = best
+	res.BestEnergy = bestE
+	return res
+}

@@ -1,0 +1,98 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadratic is a 1-D toy problem with minimum at 7.
+type quadratic struct{}
+
+func (quadratic) Energy(x float64) float64 { return (x - 7) * (x - 7) }
+func (quadratic) Neighbor(x float64, rng *rand.Rand) float64 {
+	return x + rng.NormFloat64()
+}
+
+func TestRunConvergesOnQuadratic(t *testing.T) {
+	cfg := Config{Iterations: 500, InitTemp: 10, Acceptance: 1.0}
+	res := Run[float64](quadratic{}, -20, cfg, rand.New(rand.NewSource(1)))
+	if math.Abs(res.Best-7) > 0.5 {
+		t.Fatalf("best = %v, want ~7", res.Best)
+	}
+	if res.BestEnergy > 0.3 {
+		t.Fatalf("best energy = %v", res.BestEnergy)
+	}
+}
+
+func TestTraceRecordsEveryIteration(t *testing.T) {
+	cfg := Config{Iterations: 50, InitTemp: 5, Acceptance: 1.8}
+	res := Run[float64](quadratic{}, 0, cfg, rand.New(rand.NewSource(2)))
+	if len(res.Trace) != 50 {
+		t.Fatalf("trace length = %d", len(res.Trace))
+	}
+	// Best is monotone non-increasing.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Best > res.Trace[i-1].Best+1e-12 {
+			t.Fatalf("best energy increased at %d", i)
+		}
+	}
+	if res.Trace[len(res.Trace)-1].Best != res.BestEnergy {
+		t.Fatalf("final best mismatch")
+	}
+}
+
+func TestEarlyStopOnTarget(t *testing.T) {
+	cfg := Config{Iterations: 10000, InitTemp: 10, Acceptance: 1.0,
+		Target: 0.01, HasTarget: true}
+	res := Run[float64](quadratic{}, -20, cfg, rand.New(rand.NewSource(3)))
+	if len(res.Trace) == 10000 {
+		t.Fatalf("no early stop")
+	}
+	if res.BestEnergy > 0.01 {
+		t.Fatalf("stopped without reaching target: %v", res.BestEnergy)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := PaperConfig()
+	r1 := Run[float64](quadratic{}, 0, cfg, rand.New(rand.NewSource(4)))
+	r2 := Run[float64](quadratic{}, 0, cfg, rand.New(rand.NewSource(4)))
+	if r1.Best != r2.Best || len(r1.Trace) != len(r2.Trace) {
+		t.Fatalf("nondeterministic annealing")
+	}
+}
+
+// hill has a local minimum at 0 (energy 1) and global at 10 (energy 0),
+// separated by a barrier; greedy from 0 stays stuck, SA with temperature
+// should escape at least sometimes.
+type hill struct{}
+
+func (hill) Energy(x float64) float64 {
+	switch {
+	case x < 3:
+		return 1 + x*x*0.01
+	case x < 7:
+		return 3 - 0.01*x // barrier plateau, decreasing
+	default:
+		return (x - 10) * (x - 10) * 0.1
+	}
+}
+func (hill) Neighbor(x float64, rng *rand.Rand) float64 {
+	return x + rng.NormFloat64()*2
+}
+
+func TestTemperatureEscapesLocalMinimum(t *testing.T) {
+	hot := Config{Iterations: 2000, InitTemp: 50, Acceptance: 1.8}
+	res := Run[float64](hill{}, 0, hot, rand.New(rand.NewSource(5)))
+	if res.BestEnergy > 0.5 {
+		t.Fatalf("SA stuck in local minimum: best=%v energy=%v", res.Best, res.BestEnergy)
+	}
+}
+
+func TestPaperConfigValues(t *testing.T) {
+	cfg := PaperConfig()
+	if cfg.Iterations != 100 || cfg.InitTemp != 120 || cfg.Acceptance != 1.8 {
+		t.Fatalf("paper config drifted: %+v", cfg)
+	}
+}

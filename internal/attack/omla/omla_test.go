@@ -1,0 +1,112 @@
+package omla
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/subgraph"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+func TestGenerateDataShapes(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := lock.Lock(g, 8, rand.New(rand.NewSource(1)))
+	rng := rand.New(rand.NewSource(2))
+	data := GenerateData(locked, func(int) synth.Recipe { return synth.Resyn2() },
+		3, 10, subgraph.DefaultExtractor(), rng)
+	if len(data) != 30 {
+		t.Fatalf("samples = %d, want 30", len(data))
+	}
+	zeros, ones := 0, 0
+	for _, d := range data {
+		switch d.Label {
+		case 0:
+			zeros++
+		case 1:
+			ones++
+		default:
+			t.Fatalf("bad label %d", d.Label)
+		}
+	}
+	if zeros == 0 || ones == 0 {
+		t.Fatalf("degenerate label distribution: %d/%d", zeros, ones)
+	}
+}
+
+func TestGenerateDataUsesRecipePerRound(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := lock.Lock(g, 4, rand.New(rand.NewSource(3)))
+	var rounds []int
+	GenerateData(locked, func(r int) synth.Recipe {
+		rounds = append(rounds, r)
+		return synth.Recipe{synth.StepBalance}
+	}, 4, 5, subgraph.DefaultExtractor(), rand.New(rand.NewSource(4)))
+	if len(rounds) != 4 || rounds[3] != 3 {
+		t.Fatalf("rounds = %v", rounds)
+	}
+}
+
+func TestTrainedAttackBeatsRandomGuessing(t *testing.T) {
+	// The central claim of the OMLA substrate: on a vulnerable RLL +
+	// deterministic-recipe netlist, the attack recovers well over 50% of
+	// key bits.
+	g := circuits.MustGenerate("c1908")
+	locked, key := lock.Lock(g, 64, rand.New(rand.NewSource(5)))
+	recipe := synth.Resyn2()
+	target := recipe.Apply(locked)
+	atk := Train(target, recipe, DefaultConfig())
+	acc := atk.Accuracy(target, key)
+	if acc < 0.55 {
+		t.Fatalf("attack accuracy %.2f%% — should be well above random", acc*100)
+	}
+	t.Logf("OMLA accuracy on c1908/resyn2: %.2f%%", acc*100)
+}
+
+func TestPredictKeyLengthAndDeterminism(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := lock.Lock(g, 12, rand.New(rand.NewSource(6)))
+	cfg := DefaultConfig()
+	cfg.Rounds = 2
+	cfg.Epochs = 3
+	atk := Train(locked, synth.Recipe{synth.StepBalance}, cfg)
+	k1 := atk.PredictKey(locked)
+	k2 := atk.PredictKey(locked)
+	if len(k1) != 12 {
+		t.Fatalf("predicted key length %d", len(k1))
+	}
+	if k1.String() != k2.String() {
+		t.Fatalf("prediction not deterministic")
+	}
+}
+
+func TestPredictKeyIndicesSubset(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := lock.Lock(g, 8, rand.New(rand.NewSource(7)))
+	cfg := DefaultConfig()
+	cfg.Rounds = 2
+	cfg.Epochs = 3
+	atk := Train(locked, synth.Recipe{synth.StepBalance}, cfg)
+	kis := locked.KeyInputIndices()
+	full := atk.PredictKey(locked)
+	sub := atk.PredictKeyIndices(locked, kis[2:5])
+	for i, b := range sub {
+		if b != full[2+i] {
+			t.Fatalf("subset prediction differs at %d", i)
+		}
+	}
+}
+
+func TestTrainingIsDeterministicForSeed(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, key := lock.Lock(g, 16, rand.New(rand.NewSource(8)))
+	cfg := DefaultConfig()
+	cfg.Rounds = 2
+	cfg.Epochs = 5
+	a1 := Train(locked, synth.Resyn2(), cfg)
+	a2 := Train(locked, synth.Resyn2(), cfg)
+	if a1.Accuracy(locked, key) != a2.Accuracy(locked, key) {
+		t.Fatalf("training not deterministic")
+	}
+}

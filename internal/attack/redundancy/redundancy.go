@@ -1,0 +1,177 @@
+// Package redundancy implements the redundancy-identification attack of
+// Li and Orailoglu ("Piercing Logic Locking Keys through Redundancy
+// Identification", DATE 2019). The attack assumes the original design is
+// fully testable: every stuck-at fault can be excited and observed. A
+// wrong key value tends to introduce untestable (redundant) faults, so
+// for each key bit the attacker counts untestable stuck-at faults under
+// both values and guesses the value inducing fewer.
+//
+// Testability is decided exactly with the SAT solver on a good/faulty
+// miter, after a cheap random-simulation filter dispatches the (common)
+// clearly-testable faults.
+package redundancy
+
+import (
+	"math/rand"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/cnf"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/sat"
+)
+
+// Config controls the attack effort.
+type Config struct {
+	// FaultSamples is the number of stuck-at fault sites examined per key
+	// value; sites are drawn half from the key input's neighborhood and
+	// half uniformly, deterministically from Seed.
+	FaultSamples int
+	// SimRounds is the number of 64-pattern random simulation rounds used
+	// to filter clearly-testable faults before SAT.
+	SimRounds int
+	// SATConflicts bounds the per-fault SAT effort; Unknown counts as
+	// testable (conservative: fewer spurious redundancies).
+	SATConflicts int64
+	Seed         int64
+}
+
+// DefaultConfig balances fidelity and runtime.
+func DefaultConfig() Config {
+	return Config{FaultSamples: 24, SimRounds: 4, SATConflicts: 2000, Seed: 1}
+}
+
+// fault is a stuck-at fault site.
+type fault struct {
+	node int
+	val  bool // stuck-at value
+}
+
+// PredictKey runs the attack, returning the guessed key in key-input
+// order.
+func PredictKey(g *aig.AIG, cfg Config) lock.Key {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	kIdx := g.KeyInputIndices()
+	key := make(lock.Key, len(kIdx))
+	fanouts := g.Fanouts()
+	order := g.TopoOrder()
+	for j, ki := range kIdx {
+		faults := sampleFaults(g, ki, order, fanouts, cfg.FaultSamples, rng)
+		u0 := countUntestable(lock.FixInputs(g, map[int]bool{ki: false}), faults, cfg, rng)
+		u1 := countUntestable(lock.FixInputs(g, map[int]bool{ki: true}), faults, cfg, rng)
+		key[j] = u1 < u0
+	}
+	return key
+}
+
+// sampleFaults draws fault sites: the key input's 3-hop neighborhood
+// first (where key-induced redundancy concentrates), padded with uniform
+// sites. Sites are identified by node ID in the *original* locked graph;
+// countUntestable maps them by position in topological order so the IDs
+// remain meaningful after cofactoring.
+func sampleFaults(g *aig.AIG, ki int, order []int, fanouts [][]int, n int, rng *rand.Rand) []fault {
+	seed := g.Input(ki).Node()
+	nb := g.KHopNeighborhood(seed, 3, fanouts)
+	var sites []int
+	for _, id := range nb {
+		if g.IsAnd(id) {
+			sites = append(sites, id)
+		}
+	}
+	if len(sites) > n/2 {
+		sites = sites[:n/2]
+	}
+	for len(sites) < n && len(order) > 0 {
+		sites = append(sites, order[rng.Intn(len(order))])
+	}
+	faults := make([]fault, 0, len(sites))
+	for i, s := range sites {
+		faults = append(faults, fault{node: s, val: i%2 == 0})
+	}
+	return faults
+}
+
+// countUntestable counts faults of the cofactor that no input assignment
+// can expose. Fault sites are re-mapped by relative topological position.
+func countUntestable(cof *aig.AIG, faults []fault, cfg Config, rng *rand.Rand) int {
+	order := cof.TopoOrder()
+	if len(order) == 0 {
+		return len(faults)
+	}
+	untestable := 0
+	for i, f := range faults {
+		// Deterministic position-based transfer of the fault site.
+		pos := (f.node + i) % len(order)
+		site := order[pos]
+		if !testable(cof, site, f.val, cfg, rng) {
+			untestable++
+		}
+	}
+	return untestable
+}
+
+// testable reports whether stuck-at-val at node site is detectable at any
+// output for some input assignment.
+func testable(g *aig.AIG, site int, val bool, cfg Config, rng *rand.Rand) bool {
+	// Fast path: random simulation of good vs faulty circuit.
+	faulty := injectFault(g, site, val)
+	for r := 0; r < cfg.SimRounds; r++ {
+		in := aig.RandomPatterns(rng, g.NumInputs())
+		good := g.Simulate64(in)
+		bad := faulty.Simulate64(in)
+		for o := range good {
+			if good[o] != bad[o] {
+				return true
+			}
+		}
+	}
+	// Exact path: SAT on the difference miter.
+	s := sat.New(0)
+	s.MaxConflicts = cfg.SATConflicts
+	eg := cnf.Encode(g, s)
+	ef := cnf.Encode(faulty, s)
+	for i := 0; i < g.NumInputs(); i++ {
+		la, lb := eg.InputLit(i), ef.InputLit(i)
+		s.AddClause(la.Not(), lb)
+		s.AddClause(la, lb.Not())
+	}
+	var diffs []sat.Lit
+	for i := 0; i < g.NumOutputs(); i++ {
+		oa := eg.LitOf(g.Output(i))
+		ob := ef.LitOf(faulty.Output(i))
+		d := sat.MkLit(s.NewVar(), false)
+		s.AddClause(d.Not(), oa, ob)
+		s.AddClause(d.Not(), oa.Not(), ob.Not())
+		diffs = append(diffs, d)
+	}
+	s.AddClause(diffs...)
+	switch s.Solve() {
+	case sat.Sat:
+		return true
+	case sat.Unsat:
+		return false
+	}
+	return true // Unknown: assume testable
+}
+
+// injectFault returns a copy of g with node site's output stuck at val.
+func injectFault(g *aig.AIG, site int, val bool) *aig.AIG {
+	rb := aig.NewRebuilder(g)
+	for _, id := range g.TopoOrder() {
+		f0, f1 := g.Fanins(id)
+		nl := rb.Dst.And(rb.LitOf(f0), rb.LitOf(f1))
+		if id == site {
+			if val {
+				nl = aig.True
+			} else {
+				nl = aig.False
+			}
+		}
+		rb.Map(id, nl)
+	}
+	return rb.Finish()
+}
+
+// Accuracy attacks g and scores against the true key.
+func Accuracy(g *aig.AIG, truth lock.Key, cfg Config) float64 {
+	return lock.Accuracy(truth, PredictKey(g, cfg))
+}

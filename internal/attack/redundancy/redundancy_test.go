@@ -1,0 +1,89 @@
+package redundancy
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/cnf"
+	"github.com/nyu-secml/almost/internal/lock"
+)
+
+func TestInjectFaultChangesFunction(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	n := g.And(a, b)
+	g.AddOutput(n, "o")
+	f := injectFault(g, n.Node(), true) // output stuck-at-1
+	if ok, _ := cnf.Equivalent(g, f); ok {
+		t.Fatal("stuck-at-1 on the only gate should change the function")
+	}
+	out := f.EvalSingle([]bool{false, false})
+	if !out[0] {
+		t.Fatal("faulty circuit should output 1")
+	}
+}
+
+func TestTestableDetectsTestableFault(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	n := g.And(a, b)
+	g.AddOutput(n, "o")
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	if !testable(g, n.Node(), true, cfg, rng) {
+		t.Fatal("sa1 on AND output is testable (a=b=0)")
+	}
+	if !testable(g, n.Node(), false, cfg, rng) {
+		t.Fatal("sa0 on AND output is testable (a=b=1)")
+	}
+}
+
+func TestTestableDetectsRedundantFault(t *testing.T) {
+	// o = (a&b) | a: the (a&b) term is absorbed; sa0 on it is untestable.
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	ab := g.And(a, b)
+	g.AddOutput(g.Or(ab, a), "o")
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(2))
+	if testable(g, ab.Node(), false, cfg, rng) {
+		t.Fatal("sa0 on absorbed term must be untestable")
+	}
+}
+
+func TestPredictKeyLengthAndDeterminism(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := lock.Lock(g, 6, rand.New(rand.NewSource(3)))
+	cfg := DefaultConfig()
+	cfg.FaultSamples = 8
+	k1 := PredictKey(locked, cfg)
+	k2 := PredictKey(locked, cfg)
+	if len(k1) != 6 {
+		t.Fatalf("key length = %d", len(k1))
+	}
+	if k1.String() != k2.String() {
+		t.Fatalf("attack not deterministic")
+	}
+}
+
+func TestAccuracyInPlausibleBand(t *testing.T) {
+	// Table II: the redundancy attack on RLL hovers at or below random
+	// (19%–50% in the paper). Check we are not degenerate.
+	if testing.Short() {
+		t.Skip("slow attack in -short mode")
+	}
+	g := circuits.MustGenerate("c499")
+	locked, truth := lock.Lock(g, 16, rand.New(rand.NewSource(4)))
+	cfg := DefaultConfig()
+	cfg.FaultSamples = 12
+	acc := Accuracy(locked, truth, cfg)
+	if acc < 0.1 || acc > 0.9 {
+		t.Fatalf("redundancy accuracy %.2f implausible", acc)
+	}
+	t.Logf("redundancy accuracy: %.2f%%", acc*100)
+}

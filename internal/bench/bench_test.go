@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/nyu-secml/almost/internal/aig"
+)
+
+const tiny = `
+# a tiny test circuit
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+OUTPUT(z)
+t1 = AND(a, b)
+t2 = OR(t1, c)
+y = NAND(t2, a)
+z = XOR(b, c)
+`
+
+func TestParseTiny(t *testing.T) {
+	g, err := ParseString(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumInputs() != 3 || g.NumOutputs() != 2 {
+		t.Fatalf("interface: %v", g.Stats())
+	}
+	// y = !( (a&b | c) & a ); z = b ^ c
+	for mask := 0; mask < 8; mask++ {
+		a, b, c := mask&1 == 1, mask&2 == 2, mask&4 == 4
+		out := g.EvalSingle([]bool{a, b, c})
+		wantY := !(((a && b) || c) && a)
+		wantZ := b != c
+		if out[0] != wantY || out[1] != wantZ {
+			t.Fatalf("mask %03b: got %v,%v want %v,%v", mask, out[0], out[1], wantY, wantZ)
+		}
+	}
+}
+
+func TestParseGateVariety(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(o1)
+OUTPUT(o2)
+OUTPUT(o3)
+OUTPUT(o4)
+n1 = NOR(a, b, c)
+n2 = XNOR(a, b)
+n3 = NOT(c)
+n4 = BUFF(a)
+o1 = BUFF(n1)
+o2 = BUFF(n2)
+o3 = AND(n3, n4)
+o4 = XOR(a, b, c)
+`
+	g, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 8; mask++ {
+		a, b, c := mask&1 == 1, mask&2 == 2, mask&4 == 4
+		out := g.EvalSingle([]bool{a, b, c})
+		if out[0] != !(a || b || c) {
+			t.Errorf("NOR wrong at %03b", mask)
+		}
+		if out[1] != (a == b) {
+			t.Errorf("XNOR wrong at %03b", mask)
+		}
+		if out[2] != (!c && a) {
+			t.Errorf("AND(NOT,BUFF) wrong at %03b", mask)
+		}
+		if out[3] != (a != b != c) {
+			t.Errorf("3-input XOR wrong at %03b", mask)
+		}
+	}
+}
+
+func TestParseOutOfOrderDefinitions(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(t1, t2)
+t2 = OR(a, b)
+t1 = NAND(a, b)
+`
+	g, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.EvalSingle([]bool{true, false})
+	// t1 = !(a&b)=1, t2 = a|b = 1, y = 1
+	if !out[0] {
+		t.Fatalf("out-of-order parse wrong result")
+	}
+}
+
+func TestParseKeyInputConvention(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(keyinput0)
+OUTPUT(y)
+y = XOR(a, keyinput0)
+`
+	g, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumKeyInputs() != 1 {
+		t.Fatalf("keyinput0 not flagged as key input")
+	}
+	if g.InputIsKey(0) || !g.InputIsKey(1) {
+		t.Fatalf("wrong input flagged")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"cycle", "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = AND(a, y)\n", "unresolved or cyclic"},
+		{"dup input", "INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n", "duplicate input"},
+		{"dup signal", "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\ny = NOT(a)\n", "duplicate signal"},
+		{"unknown gate", "INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n", "unknown gate"},
+		{"dff", "INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n", "DFF"},
+		{"undriven output", "INPUT(a)\nOUTPUT(y)\n", "not driven"},
+		{"bad not arity", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n", "NOT takes"},
+		{"malformed decl", "INPUT a\nOUTPUT(y)\ny = BUFF(a)\n", ""},
+		{"missing paren", "INPUT(a)\nOUTPUT(y)\ny = AND a\n", "malformed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.src)
+			if err == nil {
+				t.Fatalf("expected error")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	_, err := ParseString("INPUT(a)\nOUTPUT(y)\ny = MAJ(a)\n")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want *ParseError, got %T", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("line = %d, want 3", pe.Line)
+	}
+}
+
+func randomAIG(rng *rand.Rand, nIn, nOut, nAnd int) *aig.AIG {
+	g := aig.New()
+	lits := make([]aig.Lit, 0, nIn+nAnd)
+	for i := 0; i < nIn; i++ {
+		lits = append(lits, g.AddInput(strings.Repeat("i", 1)+string(rune('a'+i))))
+	}
+	for len(lits) < nIn+nAnd {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		l := g.And(a, b)
+		if g.IsAnd(l.Node()) {
+			lits = append(lits, l)
+		}
+	}
+	for i := 0; i < nOut; i++ {
+		g.AddOutput(lits[len(lits)-1-i].NotIf(rng.Intn(2) == 1), "out"+string(rune('0'+i)))
+	}
+	return g
+}
+
+func TestRoundTripEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAIG(rng, 4+rng.Intn(5), 1+rng.Intn(3), 5+rng.Intn(40))
+		s, err := WriteString(g)
+		if err != nil {
+			return false
+		}
+		h, err := ParseString(s)
+		if err != nil {
+			return false
+		}
+		return aig.EquivalentBySim(g, h, rng, 4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripPreservesKeyInputs(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	k := g.AddKeyInput("keyinput0")
+	g.AddOutput(g.Xnor(a, k), "y")
+	s, err := WriteString(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumKeyInputs() != 1 {
+		t.Fatalf("key input lost in round trip:\n%s", s)
+	}
+}
+
+func TestWriteConstantOutput(t *testing.T) {
+	g := aig.New()
+	g.AddInput("a")
+	g.AddOutput(aig.True, "always1")
+	g.AddOutput(aig.False, "always0")
+	s, err := WriteString(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("parse back: %v\n%s", err, s)
+	}
+	out := h.EvalSingle([]bool{true})
+	if !out[0] || out[1] {
+		t.Fatalf("constants wrong: %v", out)
+	}
+}
+
+func TestWriteInvertedOutput(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	g.AddOutput(a.Not(), "na")
+	s, err := WriteString(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.EvalSingle([]bool{false})
+	if !out[0] {
+		t.Fatalf("inverted output wrong")
+	}
+}

@@ -1,0 +1,265 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+)
+
+func TestAllProfilesGenerate(t *testing.T) {
+	for _, p := range Catalog() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			g, err := Generate(p.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumInputs() != p.Inputs {
+				t.Errorf("inputs = %d, want %d", g.NumInputs(), p.Inputs)
+			}
+			if g.NumOutputs() != p.Outputs {
+				t.Errorf("outputs = %d, want %d", g.NumOutputs(), p.Outputs)
+			}
+			// Gate count should be within a factor of ~3 of the published
+			// profile (the AIG decomposition of a gate-level netlist is
+			// naturally larger for XOR-rich circuits).
+			lo, hi := p.RefGates/3, p.RefGates*4
+			if g.NumAnds() < lo || g.NumAnds() > hi {
+				t.Errorf("AND count %d outside [%d,%d] for profile %d gates",
+					g.NumAnds(), lo, hi, p.RefGates)
+			}
+			if g.NumKeyInputs() != 0 {
+				t.Errorf("fresh benchmark has key inputs")
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range []string{"c432", "c1355", "c6288"} {
+		g1 := MustGenerate(name)
+		g2 := MustGenerate(name)
+		if g1.NumNodes() != g2.NumNodes() || g1.NumAnds() != g2.NumAnds() {
+			t.Fatalf("%s: non-deterministic structure", name)
+		}
+		if !aig.EquivalentBySim(g1, g2, rand.New(rand.NewSource(1)), 4) {
+			t.Fatalf("%s: non-deterministic function", name)
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("c9999"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestPaperSetKnown(t *testing.T) {
+	for _, n := range PaperSet() {
+		if _, ok := ProfileOf(n); !ok {
+			t.Errorf("paper benchmark %s missing profile", n)
+		}
+		if _, err := Generate(n); err != nil {
+			t.Errorf("paper benchmark %s: %v", n, err)
+		}
+	}
+	if len(PaperSet()) != 7 {
+		t.Errorf("paper set size = %d, want 7", len(PaperSet()))
+	}
+}
+
+func TestC6288IsMultiplier(t *testing.T) {
+	g := MustGenerate("c6288")
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		av := rng.Uint64() & 0xFFFF
+		bv := rng.Uint64() & 0xFFFF
+		in := make([]bool, 32)
+		for i := 0; i < 16; i++ {
+			in[i] = av&(1<<i) != 0
+			in[16+i] = bv&(1<<i) != 0
+		}
+		out := g.EvalSingle(in)
+		var prod uint64
+		for i, b := range out {
+			if b {
+				prod |= 1 << i
+			}
+		}
+		if prod != av*bv {
+			t.Fatalf("c6288: %d*%d = %d, circuit says %d", av, bv, av*bv, prod)
+		}
+	}
+}
+
+func TestC499C1355SameFunction(t *testing.T) {
+	// c1355 is the NAND-expanded c499: identical function, more gates.
+	g499 := MustGenerate("c499")
+	g1355 := MustGenerate("c1355")
+	if !aig.EquivalentBySim(g499, g1355, rand.New(rand.NewSource(4)), 16) {
+		t.Fatal("c1355 function differs from c499")
+	}
+	if g1355.NumAnds() <= g499.NumAnds() {
+		t.Fatalf("c1355 (%d ANDs) should be larger than c499 (%d ANDs)",
+			g1355.NumAnds(), g499.NumAnds())
+	}
+}
+
+func TestAdderComponent(t *testing.T) {
+	g := aig.New()
+	var a, b []aig.Lit
+	for i := 0; i < 8; i++ {
+		a = append(a, g.AddInput("a"))
+	}
+	for i := 0; i < 8; i++ {
+		b = append(b, g.AddInput("b"))
+	}
+	sum, cout := rippleAdder(g, a, b, aig.False)
+	for _, s := range sum {
+		g.AddOutput(s, "s")
+	}
+	g.AddOutput(cout, "co")
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		av := rng.Intn(256)
+		bv := rng.Intn(256)
+		in := make([]bool, 16)
+		for i := 0; i < 8; i++ {
+			in[i] = av&(1<<i) != 0
+			in[8+i] = bv&(1<<i) != 0
+		}
+		out := g.EvalSingle(in)
+		got := 0
+		for i := 0; i < 9; i++ {
+			if out[i] {
+				got |= 1 << i
+			}
+		}
+		if got != av+bv {
+			t.Fatalf("%d+%d = %d, got %d", av, bv, av+bv, got)
+		}
+	}
+}
+
+func TestComparatorComponents(t *testing.T) {
+	g := aig.New()
+	var a, b []aig.Lit
+	for i := 0; i < 4; i++ {
+		a = append(a, g.AddInput("a"))
+	}
+	for i := 0; i < 4; i++ {
+		b = append(b, g.AddInput("b"))
+	}
+	g.AddOutput(equality(g, a, b), "eq")
+	g.AddOutput(lessThan(g, a, b), "lt")
+	for av := 0; av < 16; av++ {
+		for bv := 0; bv < 16; bv++ {
+			in := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				in[i] = av&(1<<i) != 0
+				in[4+i] = bv&(1<<i) != 0
+			}
+			out := g.EvalSingle(in)
+			if out[0] != (av == bv) || out[1] != (av < bv) {
+				t.Fatalf("cmp(%d,%d) = eq:%v lt:%v", av, bv, out[0], out[1])
+			}
+		}
+	}
+}
+
+func TestMuxTreeAndDecoder(t *testing.T) {
+	g := aig.New()
+	var sel, data []aig.Lit
+	for i := 0; i < 3; i++ {
+		sel = append(sel, g.AddInput("s"))
+	}
+	for i := 0; i < 8; i++ {
+		data = append(data, g.AddInput("d"))
+	}
+	g.AddOutput(muxTree(g, sel, data), "m")
+	for _, line := range decoder(g, sel) {
+		g.AddOutput(line, "dec")
+	}
+	for s := 0; s < 8; s++ {
+		for dmask := 0; dmask < 256; dmask += 37 {
+			in := make([]bool, 11)
+			for i := 0; i < 3; i++ {
+				in[i] = s&(1<<i) != 0
+			}
+			for i := 0; i < 8; i++ {
+				in[3+i] = dmask&(1<<i) != 0
+			}
+			out := g.EvalSingle(in)
+			if out[0] != (dmask&(1<<s) != 0) {
+				t.Fatalf("mux sel=%d data=%08b -> %v", s, dmask, out[0])
+			}
+			for line := 0; line < 8; line++ {
+				if out[1+line] != (line == s) {
+					t.Fatalf("decoder line %d at sel %d = %v", line, s, out[1+line])
+				}
+			}
+		}
+	}
+}
+
+func TestPriorityEncoder(t *testing.T) {
+	g := aig.New()
+	var req []aig.Lit
+	for i := 0; i < 4; i++ {
+		req = append(req, g.AddInput("r"))
+	}
+	grants, none := priorityEncoder(g, req)
+	for _, gr := range grants {
+		g.AddOutput(gr, "g")
+	}
+	g.AddOutput(none, "none")
+	for mask := 0; mask < 16; mask++ {
+		in := make([]bool, 4)
+		for i := range in {
+			in[i] = mask&(1<<i) != 0
+		}
+		out := g.EvalSingle(in)
+		first := -1
+		for i := 0; i < 4; i++ {
+			if in[i] {
+				first = i
+				break
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if out[i] != (i == first) {
+				t.Fatalf("mask %04b grant %d = %v", mask, i, out[i])
+			}
+		}
+		if out[4] != (first == -1) {
+			t.Fatalf("mask %04b none = %v", mask, out[4])
+		}
+	}
+}
+
+func TestParityTree(t *testing.T) {
+	g := aig.New()
+	var in []aig.Lit
+	for i := 0; i < 7; i++ {
+		in = append(in, g.AddInput("x"))
+	}
+	g.AddOutput(parityTree(g, in), "p")
+	for mask := 0; mask < 128; mask++ {
+		bits := make([]bool, 7)
+		par := false
+		for i := range bits {
+			bits[i] = mask&(1<<i) != 0
+			par = par != bits[i]
+		}
+		if got := g.EvalSingle(bits)[0]; got != par {
+			t.Fatalf("parity(%07b) = %v, want %v", mask, got, par)
+		}
+	}
+}
+
+func BenchmarkGenerateC7552(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MustGenerate("c7552")
+	}
+}

@@ -1,0 +1,242 @@
+// Package cnf bridges AIGs and the SAT solver: Tseitin encoding, miter
+// construction for combinational equivalence checking, and the
+// stuck-at-fault testability queries used by the redundancy attack.
+package cnf
+
+import (
+	"fmt"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/sat"
+)
+
+// Encoding maps an AIG into solver variables.
+type Encoding struct {
+	G *aig.AIG
+	S *sat.Solver
+	// nodeVar[id] is the solver variable of AIG node id; -1 if the node is
+	// outside the encoded cone.
+	nodeVar []int
+}
+
+// LitOf translates an AIG literal into a solver literal.
+func (e *Encoding) LitOf(l aig.Lit) sat.Lit {
+	v := e.nodeVar[l.Node()]
+	if v < 0 {
+		panic(fmt.Sprintf("cnf: node %d not encoded", l.Node()))
+	}
+	return sat.MkLit(v, l.Neg())
+}
+
+// InputLit returns the solver literal of input index i.
+func (e *Encoding) InputLit(i int) sat.Lit {
+	return e.LitOf(e.G.Input(i))
+}
+
+// Encode adds the Tseitin encoding of the whole AIG to solver s and
+// returns the encoding. The constant node is constrained to false.
+func Encode(g *aig.AIG, s *sat.Solver) *Encoding {
+	e := &Encoding{G: g, S: s, nodeVar: make([]int, g.NumNodes())}
+	for i := range e.nodeVar {
+		e.nodeVar[i] = -1
+	}
+	// Constant node.
+	cv := s.NewVar()
+	e.nodeVar[0] = cv
+	s.AddClause(sat.MkLit(cv, true))
+	for i := 0; i < g.NumInputs(); i++ {
+		e.nodeVar[g.Input(i).Node()] = s.NewVar()
+	}
+	for _, id := range g.TopoOrder() {
+		e.encodeAnd(id)
+	}
+	// Some outputs may be inputs/constants directly; ensure all output
+	// nodes are encoded (TopoOrder covers AND nodes only).
+	for i := 0; i < g.NumOutputs(); i++ {
+		n := g.Output(i).Node()
+		if e.nodeVar[n] < 0 {
+			e.encodeAnd(n)
+		}
+	}
+	return e
+}
+
+func (e *Encoding) encodeAnd(id int) {
+	if e.nodeVar[id] >= 0 {
+		return
+	}
+	if !e.G.IsAnd(id) {
+		// Unreferenced input (possible when an output bypasses logic).
+		e.nodeVar[id] = e.S.NewVar()
+		return
+	}
+	f0, f1 := e.G.Fanins(id)
+	e.encodeAnd(f0.Node())
+	e.encodeAnd(f1.Node())
+	v := e.S.NewVar()
+	e.nodeVar[id] = v
+	a := e.LitOf(f0)
+	b := e.LitOf(f1)
+	o := sat.MkLit(v, false)
+	// o <-> a & b
+	e.S.AddClause(o.Not(), a)
+	e.S.AddClause(o.Not(), b)
+	e.S.AddClause(o, a.Not(), b.Not())
+}
+
+// Equivalent performs SAT-based combinational equivalence checking of two
+// AIGs with identical interfaces. It returns (true, nil) when equivalent,
+// (false, cex) with a counterexample input assignment otherwise.
+func Equivalent(a, b *aig.AIG) (bool, []bool) {
+	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
+		return false, nil
+	}
+	s := sat.New(0)
+	ea := Encode(a, s)
+	eb := Encode(b, s)
+	// Tie inputs together.
+	for i := 0; i < a.NumInputs(); i++ {
+		la, lb := ea.InputLit(i), eb.InputLit(i)
+		s.AddClause(la.Not(), lb)
+		s.AddClause(la, lb.Not())
+	}
+	// Miter: OR over per-output XORs must be satisfiable for inequivalence.
+	var diffs []sat.Lit
+	for i := 0; i < a.NumOutputs(); i++ {
+		oa := ea.LitOf(a.Output(i))
+		ob := eb.LitOf(b.Output(i))
+		d := sat.MkLit(s.NewVar(), false)
+		// d -> (oa xor ob); onboth directions for soundness of the OR.
+		s.AddClause(d.Not(), oa, ob)
+		s.AddClause(d.Not(), oa.Not(), ob.Not())
+		s.AddClause(d, oa.Not(), ob)
+		s.AddClause(d, oa, ob.Not())
+		diffs = append(diffs, d)
+	}
+	s.AddClause(diffs...)
+	if s.Solve() == sat.Unsat {
+		return true, nil
+	}
+	cex := make([]bool, a.NumInputs())
+	for i := range cex {
+		cex[i] = s.ValueOf(ea.InputLit(i).Var())
+	}
+	return false, cex
+}
+
+// EquivalentUnderKey checks that locked (with its key inputs fixed to
+// key) is equivalent to orig on all primary inputs. The locked AIG's key
+// inputs are identified by its key-input flags; key is indexed in
+// key-input order.
+func EquivalentUnderKey(orig, locked *aig.AIG, key []bool) (bool, []bool) {
+	s := sat.New(0)
+	eo := Encode(orig, s)
+	el := Encode(locked, s)
+	kIdx := locked.KeyInputIndices()
+	if len(kIdx) != len(key) {
+		return false, nil
+	}
+	// Fix key bits.
+	for j, ki := range kIdx {
+		l := el.InputLit(ki)
+		if key[j] {
+			s.AddClause(l)
+		} else {
+			s.AddClause(l.Not())
+		}
+	}
+	// Tie non-key inputs in order.
+	oi := 0
+	for i := 0; i < locked.NumInputs(); i++ {
+		if locked.InputIsKey(i) {
+			continue
+		}
+		la, lb := eo.InputLit(oi), el.InputLit(i)
+		s.AddClause(la.Not(), lb)
+		s.AddClause(la, lb.Not())
+		oi++
+	}
+	if oi != orig.NumInputs() {
+		return false, nil
+	}
+	var diffs []sat.Lit
+	for i := 0; i < orig.NumOutputs(); i++ {
+		oa := eo.LitOf(orig.Output(i))
+		ob := el.LitOf(locked.Output(i))
+		d := sat.MkLit(s.NewVar(), false)
+		s.AddClause(d.Not(), oa, ob)
+		s.AddClause(d.Not(), oa.Not(), ob.Not())
+		s.AddClause(d, oa.Not(), ob)
+		s.AddClause(d, oa, ob.Not())
+		diffs = append(diffs, d)
+	}
+	s.AddClause(diffs...)
+	if s.Solve() == sat.Unsat {
+		return true, nil
+	}
+	cex := make([]bool, orig.NumInputs())
+	for i := range cex {
+		cex[i] = s.ValueOf(eo.InputLit(i).Var())
+	}
+	return false, cex
+}
+
+// LitsEquivalent checks, within a single AIG, whether two literals are
+// functionally equivalent (over all input assignments). Used by
+// resubstitution to verify candidate replacements exactly.
+func LitsEquivalent(g *aig.AIG, x, y aig.Lit, maxConflicts int64) (equal bool, proven bool) {
+	if x == y {
+		return true, true
+	}
+	s := sat.New(0)
+	s.MaxConflicts = maxConflicts
+	e := encodeCones(g, s, []aig.Lit{x, y})
+	lx, ly := e.LitOf(x), e.LitOf(y)
+	// SAT iff x != y somewhere.
+	d := sat.MkLit(s.NewVar(), false)
+	s.AddClause(d.Not(), lx, ly)
+	s.AddClause(d.Not(), lx.Not(), ly.Not())
+	s.AddClause(d)
+	switch s.Solve() {
+	case sat.Unsat:
+		return true, true
+	case sat.Sat:
+		return false, true
+	}
+	return false, false
+}
+
+// encodeCones encodes only the cones of the given literals.
+func encodeCones(g *aig.AIG, s *sat.Solver, roots []aig.Lit) *Encoding {
+	e := &Encoding{G: g, S: s, nodeVar: make([]int, g.NumNodes())}
+	for i := range e.nodeVar {
+		e.nodeVar[i] = -1
+	}
+	cv := s.NewVar()
+	e.nodeVar[0] = cv
+	s.AddClause(sat.MkLit(cv, true))
+	var walk func(id int)
+	walk = func(id int) {
+		if e.nodeVar[id] >= 0 {
+			return
+		}
+		if !g.IsAnd(id) {
+			e.nodeVar[id] = s.NewVar()
+			return
+		}
+		f0, f1 := g.Fanins(id)
+		walk(f0.Node())
+		walk(f1.Node())
+		v := s.NewVar()
+		e.nodeVar[id] = v
+		a, b := e.LitOf(f0), e.LitOf(f1)
+		o := sat.MkLit(v, false)
+		s.AddClause(o.Not(), a)
+		s.AddClause(o.Not(), b)
+		s.AddClause(o, a.Not(), b.Not())
+	}
+	for _, r := range roots {
+		walk(r.Node())
+	}
+	return e
+}

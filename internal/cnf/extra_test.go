@@ -1,0 +1,56 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/sat"
+)
+
+// TestLitsEquivalentBudgetUnknown forces the conflict budget low enough
+// that the solver gives up, exercising the (equal=false, proven=false)
+// path resubstitution must treat as "don't merge".
+func TestLitsEquivalentBudgetUnknown(t *testing.T) {
+	// A miter over a multiplier slice is hard enough to exceed one
+	// conflict.
+	g := circuits.MustGenerate("c6288")
+	var roots []aig.Lit
+	for i := 0; i < g.NumOutputs(); i++ {
+		roots = append(roots, g.Output(i))
+	}
+	// Compare two unrelated high outputs with a 1-conflict budget.
+	eq, proven := LitsEquivalent(g, roots[20], roots[25], 1)
+	if proven && eq {
+		t.Fatal("unrelated multiplier outputs proven equal")
+	}
+	// Either refuted quickly (proven, !eq) or budget exhausted (!proven):
+	// both are acceptable, but a claim of equality is not.
+}
+
+func TestEncodeCoversOutputsThatAreInputs(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	g.AddOutput(a, "pass")
+	g.AddOutput(a.Not(), "inv")
+	s := sat.New(0)
+	e := Encode(g, s)
+	la := e.LitOf(g.Output(0))
+	lb := e.LitOf(g.Output(1))
+	// pass and inv must be complementary.
+	s.AddClause(la)
+	s.AddClause(lb)
+	if s.Solve() != sat.Unsat {
+		t.Fatal("input-driven outputs not complementary in encoding")
+	}
+}
+
+func TestEquivalentUnderKeyWrongSizes(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := lock.Lock(g, 4, rand.New(rand.NewSource(9)))
+	if ok, _ := EquivalentUnderKey(g, locked, lock.Key{true}); ok {
+		t.Fatal("short key accepted")
+	}
+}

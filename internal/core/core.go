@@ -1,0 +1,311 @@
+// Package core implements the ALMOST framework — the paper's primary
+// contribution: security-aware synthesis-recipe generation that makes
+// RLL-locked netlists resilient to oracle-less ML attacks.
+//
+// It combines three pieces:
+//
+//  1. Proxy attacker models (§III-B / Table I): M^resyn2 (trained on the
+//     baseline recipe), M^random (trained on random recipes), and the
+//     adversarially trained M* of Algorithm 1, which interleaves GIN
+//     training with simulated-annealing searches for recipes whose
+//     localities the current model mispredicts (Eq. 3), augmenting the
+//     training set with those adversarial samples (Eq. 6).
+//  2. Security-aware SA recipe search (Eq. 1 / §III-C): black-box
+//     simulated annealing over fixed-length recipes minimizing
+//     |Acc − 0.5| as estimated by a proxy model.
+//  3. The end-to-end secure-synthesis pipeline: lock with plain RLL,
+//     train M*, search for S_ALMOST, and emit the hardened netlist.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/anneal"
+	"github.com/nyu-secml/almost/internal/attack/omla"
+	"github.com/nyu-secml/almost/internal/gnn"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/subgraph"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// ModelKind selects the proxy-attacker training regime (Table I).
+type ModelKind int
+
+// Proxy model variants.
+const (
+	ModelResyn2      ModelKind = iota // M^resyn2: defender-baseline recipe
+	ModelRandom                       // M^random: fresh random recipe per round
+	ModelAdversarial                  // M*: Algorithm 1 adversarial training
+)
+
+// String names the variant as in the paper.
+func (k ModelKind) String() string {
+	switch k {
+	case ModelResyn2:
+		return "M^resyn2"
+	case ModelRandom:
+		return "M^random"
+	case ModelAdversarial:
+		return "M*"
+	}
+	return fmt.Sprintf("ModelKind(%d)", int(k))
+}
+
+// Config collects every knob of the framework. Zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Attack holds the shared GNN/extraction settings.
+	Attack omla.Config
+	// AdvPeriod is R in Algorithm 1: adversarial augmentation happens
+	// every AdvPeriod epochs.
+	AdvPeriod int
+	// AdvGates is the number of relock gates (= samples) added per
+	// augmentation (the paper adds 200).
+	AdvGates int
+	// AdvSAIters bounds the SA search for each adversarial recipe.
+	AdvSAIters int
+	// SA is the schedule for the Eq. 1 recipe search.
+	SA anneal.Config
+	// RecipeLen is L (the paper fixes L = 10).
+	RecipeLen int
+	Seed      int64
+}
+
+// DefaultConfig returns laptop-scale settings that preserve the paper's
+// structure (Alg. 1 cadence, SA schedule shape, L = 10).
+func DefaultConfig() Config {
+	return Config{
+		Attack:     omla.DefaultConfig(),
+		AdvPeriod:  10,
+		AdvGates:   40,
+		AdvSAIters: 12,
+		SA:         anneal.Config{Iterations: 40, InitTemp: 120, Acceptance: 1.8},
+		RecipeLen:  synth.RecipeLength,
+		Seed:       1,
+	}
+}
+
+// PaperConfig returns the full-size settings reported in §IV-A: 1000
+// initial samples, 350 epochs, augmentation of 200 samples every 50
+// epochs, SA for 100 iterations with T0 = 120 and acceptance = 1.8.
+func PaperConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Attack.Rounds = 25 // 25 rounds × 40 gates = 1000 samples
+	cfg.Attack.GatesPerRound = 40
+	cfg.Attack.Epochs = 350
+	cfg.AdvPeriod = 50
+	cfg.AdvGates = 200
+	cfg.AdvSAIters = 20
+	cfg.SA = anneal.PaperConfig()
+	return cfg
+}
+
+// Proxy is a trained accuracy evaluator: a proxy for running the real
+// attack at every SA iteration (Fig. 2's "alternative flow").
+type Proxy struct {
+	Kind   ModelKind
+	Attack *omla.Attack
+}
+
+// TrainProxy trains a proxy model of the given kind against the locked
+// netlist. baseline is the defender's reference recipe (resyn2 in the
+// paper), used by ModelResyn2.
+func TrainProxy(locked *aig.AIG, kind ModelKind, baseline synth.Recipe, cfg Config) *Proxy {
+	switch kind {
+	case ModelResyn2:
+		return &Proxy{Kind: kind, Attack: omla.Train(locked, baseline, cfg.Attack)}
+	case ModelRandom:
+		rng := rand.New(rand.NewSource(cfg.Seed + 101))
+		ext := subgraph.Extractor{Hops: cfg.Attack.Hops}
+		dataRng := rand.New(rand.NewSource(cfg.Attack.Seed))
+		data := omla.GenerateData(locked, func(int) synth.Recipe {
+			return synth.RandomRecipe(rng, cfg.RecipeLen)
+		}, cfg.Attack.Rounds, cfg.Attack.GatesPerRound, ext, dataRng)
+		return &Proxy{Kind: kind, Attack: omla.TrainOnData(data, cfg.Attack)}
+	case ModelAdversarial:
+		return &Proxy{Kind: kind, Attack: trainAdversarial(locked, cfg)}
+	}
+	panic(fmt.Sprintf("core: unknown model kind %d", int(kind)))
+}
+
+// advProblem is the Eq. 3 search: find a recipe maximizing the model's
+// loss on freshly relocked localities (gradient-free adversarial
+// perturbation in recipe space).
+type advProblem struct {
+	model    *gnn.Model
+	relocked *aig.AIG
+	kis      []int
+	bits     []bool
+	ext      subgraph.Extractor
+}
+
+func (p *advProblem) Energy(r synth.Recipe) float64 {
+	resynth := r.Apply(p.relocked)
+	kisAll := resynth.KeyInputIndices()
+	kis := make([]int, len(p.kis))
+	for i, ko := range p.kis {
+		kis[i] = kisAll[ko]
+	}
+	gs := p.ext.Labeled(resynth, kis, p.bits)
+	return -p.model.Loss(gs) // maximize loss = minimize negative loss
+}
+
+func (p *advProblem) Neighbor(r synth.Recipe, rng *rand.Rand) synth.Recipe {
+	return synth.MutateRecipe(rng, r)
+}
+
+// trainAdversarial implements Algorithm 1.
+func trainAdversarial(locked *aig.AIG, cfg Config) *omla.Attack {
+	acfg := cfg.Attack
+	rng := rand.New(rand.NewSource(cfg.Seed + 211))
+	recipeRng := rand.New(rand.NewSource(cfg.Seed + 223))
+	ext := subgraph.Extractor{Hops: acfg.Hops}
+
+	// Line 1-2: initial data from random-recipe relock/resynthesize.
+	data := omla.GenerateData(locked, func(int) synth.Recipe {
+		return synth.RandomRecipe(recipeRng, cfg.RecipeLen)
+	}, acfg.Rounds, acfg.GatesPerRound, ext, rng)
+
+	gcfg := gnn.Config{
+		InDim:     subgraph.FeatureDim,
+		Hidden:    acfg.Hidden,
+		Layers:    acfg.Layers,
+		LR:        acfg.LR,
+		BatchSize: 32,
+	}
+	model := gnn.NewModel(gcfg, rand.New(rand.NewSource(cfg.Seed+227))) // line 3: He init
+	trainRng := rand.New(rand.NewSource(cfg.Seed + 229))
+
+	for epoch := 0; epoch < acfg.Epochs; epoch++ { // line 4
+		if cfg.AdvPeriod > 0 && epoch > 0 && epoch%cfg.AdvPeriod == 0 { // line 5
+			// Line 6: SA for an adversarial recipe s*.
+			relocked, keyOrder, bits := lock.Relock(locked, cfg.AdvGates, rng)
+			prob := &advProblem{model: model, relocked: relocked, kis: keyOrder,
+				bits: bits, ext: ext}
+			saCfg := anneal.Config{Iterations: cfg.AdvSAIters, InitTemp: cfg.SA.InitTemp,
+				Acceptance: cfg.SA.Acceptance}
+			res := anneal.Run[synth.Recipe](prob, synth.RandomRecipe(recipeRng, cfg.RecipeLen),
+				saCfg, rand.New(rand.NewSource(cfg.Seed+int64(epoch))))
+			// Line 7: augment D_training with X^{s*}.
+			resynth := res.Best.Apply(relocked)
+			kisAll := resynth.KeyInputIndices()
+			kis := make([]int, len(keyOrder))
+			for i, ko := range keyOrder {
+				kis[i] = kisAll[ko]
+			}
+			data = append(data, ext.Labeled(resynth, kis, bits)...)
+		}
+		model.TrainEpoch(data, trainRng) // lines 8-9
+	}
+	return &omla.Attack{Model: model, Ext: ext}
+}
+
+// EstimateAccuracy predicts the attack accuracy obtained on the locked
+// netlist after synthesizing it with recipe r — the quantity Eq. 1
+// minimizes toward 0.5. The defender knows the true key, so accuracy is
+// measured exactly against it.
+func (p *Proxy) EstimateAccuracy(locked *aig.AIG, r synth.Recipe, truth lock.Key) float64 {
+	return p.Attack.Accuracy(r.Apply(locked), truth)
+}
+
+// searchProblem is the Eq. 1 objective |Acc − 0.5|.
+type searchProblem struct {
+	proxy  *Proxy
+	locked *aig.AIG
+	truth  lock.Key
+	// cache avoids re-synthesizing recipes SA revisits.
+	cache map[string]float64
+	// onEval, if set, observes every evaluated (recipe, accuracy) pair.
+	onEval func(r synth.Recipe, acc float64)
+}
+
+func (p *searchProblem) accuracy(r synth.Recipe) float64 {
+	key := r.String()
+	if v, ok := p.cache[key]; ok {
+		return v
+	}
+	acc := p.proxy.EstimateAccuracy(p.locked, r, p.truth)
+	p.cache[key] = acc
+	if p.onEval != nil {
+		p.onEval(r, acc)
+	}
+	return acc
+}
+
+func (p *searchProblem) Energy(r synth.Recipe) float64 {
+	return math.Abs(p.accuracy(r) - 0.5)
+}
+
+func (p *searchProblem) Neighbor(r synth.Recipe, rng *rand.Rand) synth.Recipe {
+	return synth.MutateRecipe(rng, r)
+}
+
+// SearchTracePoint records the accuracy trajectory of the recipe search —
+// the curves of Fig. 4.
+type SearchTracePoint struct {
+	Iteration int
+	Accuracy  float64
+	Recipe    synth.Recipe
+}
+
+// SearchResult is the outcome of the Eq. 1 search.
+type SearchResult struct {
+	Recipe   synth.Recipe // S_ALMOST
+	Accuracy float64      // proxy-estimated accuracy of Recipe
+	Trace    []SearchTracePoint
+}
+
+// SearchRecipe runs the security-aware SA recipe generation (Eq. 1) using
+// the proxy as the accuracy evaluator. When the budget ends without
+// reaching ~50%, the best recipe found is returned (as the paper does for
+// c2670, c5315, c7552).
+func SearchRecipe(locked *aig.AIG, truth lock.Key, proxy *Proxy, cfg Config) SearchResult {
+	prob := &searchProblem{proxy: proxy, locked: locked, truth: truth,
+		cache: map[string]float64{}}
+	rng := rand.New(rand.NewSource(cfg.Seed + 307))
+	init := synth.RandomRecipe(rng, cfg.RecipeLen)
+	res := anneal.Run[synth.Recipe](prob, init, cfg.SA, rng)
+	out := SearchResult{
+		Recipe:   res.Best,
+		Accuracy: prob.accuracy(res.Best),
+	}
+	for _, tp := range res.Trace {
+		out.Trace = append(out.Trace, SearchTracePoint{
+			Iteration: tp.Iteration,
+			Accuracy:  prob.accuracy(tp.State),
+			Recipe:    tp.State,
+		})
+	}
+	return out
+}
+
+// Hardened is the output of the end-to-end pipeline.
+type Hardened struct {
+	Locked  *aig.AIG     // RLL-locked netlist (pre-synthesis)
+	Netlist *aig.AIG     // S_ALMOST-synthesized locked netlist
+	Key     lock.Key     // the correct key
+	Recipe  synth.Recipe // S_ALMOST
+	Search  SearchResult
+	Proxy   *Proxy
+}
+
+// SecureSynthesis runs the full ALMOST flow on an unlocked design:
+// RLL-lock with keySize bits, train the adversarial proxy M*, search for
+// S_ALMOST, and synthesize the final netlist with it.
+func SecureSynthesis(design *aig.AIG, keySize int, cfg Config) *Hardened {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	locked, key := lock.Lock(design, keySize, rng)
+	proxy := TrainProxy(locked, ModelAdversarial, synth.Resyn2(), cfg)
+	search := SearchRecipe(locked, key, proxy, cfg)
+	return &Hardened{
+		Locked:  locked,
+		Netlist: search.Recipe.Apply(locked),
+		Key:     key,
+		Recipe:  search.Recipe,
+		Search:  search,
+		Proxy:   proxy,
+	}
+}

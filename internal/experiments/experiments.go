@@ -1,0 +1,217 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV): the model-transferability motivation (§III-A),
+// Table I (proxy-model accuracy), Fig. 4 (SA recipe-search traces),
+// Table II (OMLA/SCOPE/redundancy, resyn2 vs ALMOST), Fig. 5 (attacker
+// re-synthesis), and Table III (PPA overheads).
+//
+// Each experiment is a pure function of its Options (fixed seeds), so
+// reruns regenerate identical artifacts. Quick options trade benchmark
+// count and training epochs for wall-clock while keeping the result
+// shapes; Full options mirror the paper's settings.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/core"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	Benchmarks    []string
+	KeySizes      []int
+	Cfg           core.Config
+	RandomSetSize int // size of the random-recipe evaluation set
+	Seed          int64
+	Out           io.Writer // table/series sink; nil discards
+}
+
+// QuickOptions returns a configuration that finishes each experiment in
+// minutes on a laptop while preserving the paper's qualitative shapes.
+func QuickOptions() Options {
+	cfg := core.DefaultConfig()
+	cfg.Attack.Epochs = 15
+	cfg.Attack.Rounds = 6
+	cfg.SA.Iterations = 20
+	cfg.AdvPeriod = 5
+	cfg.AdvGates = 30
+	cfg.AdvSAIters = 6
+	return Options{
+		Benchmarks:    []string{"c1355", "c1908"},
+		KeySizes:      []int{64},
+		Cfg:           cfg,
+		RandomSetSize: 8,
+		Seed:          1,
+	}
+}
+
+// FullOptions mirrors the paper's setup: all seven ISCAS85 benchmarks,
+// key sizes 64 and 128, full Algorithm 1 settings, SA for 100 iterations.
+func FullOptions() Options {
+	return Options{
+		Benchmarks:    circuits.PaperSet(),
+		KeySizes:      []int{64, 128},
+		Cfg:           core.PaperConfig(),
+		RandomSetSize: 100,
+		Seed:          1,
+	}
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// lockedInstance deterministically locks a benchmark for an experiment.
+func lockedInstance(name string, keySize int, seed int64) (*aig.AIG, *aig.AIG, lock.Key) {
+	g := circuits.MustGenerate(name)
+	locked, key := lock.Lock(g, keySize, rand.New(rand.NewSource(seed)))
+	return g, locked, key
+}
+
+// randomRecipeSet draws n deterministic random recipes.
+func randomRecipeSet(n, length int, seed int64) []synth.Recipe {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]synth.Recipe, n)
+	for i := range out {
+		out[i] = synth.RandomRecipe(rng, length)
+	}
+	return out
+}
+
+// --- §III-A: model transferability motivation -------------------------
+
+// TransferResult holds the 2×2 cross-accuracy matrix of §III-A.
+type TransferResult struct {
+	Benchmark string
+	S1, S2    synth.Recipe
+	// Acc[i][j] = accuracy of model trained on S_i attacking T_{S_j}.
+	Acc [2][2]float64
+}
+
+// RunTransferability reproduces the §III-A experiment: two attack models
+// trained on two different recipes, evaluated across both synthesized
+// netlists. The paper reports the diagonal (matched recipe) beating the
+// off-diagonal on c5315.
+func RunTransferability(bench string, keySize int, opt Options) TransferResult {
+	_, locked, key := lockedInstance(bench, keySize, opt.Seed)
+	rng := rand.New(rand.NewSource(opt.Seed + 11))
+	s1 := synth.RandomRecipe(rng, opt.Cfg.RecipeLen)
+	s2 := synth.RandomRecipe(rng, opt.Cfg.RecipeLen)
+	t1 := s1.Apply(locked)
+	t2 := s2.Apply(locked)
+
+	res := TransferResult{Benchmark: bench, S1: s1, S2: s2}
+	for i, s := range []synth.Recipe{s1, s2} {
+		cfg := opt.Cfg
+		cfg.Attack.Seed = opt.Seed + int64(i)
+		p := core.TrainProxy(locked, core.ModelResyn2, s, cfg)
+		res.Acc[i][0] = p.Attack.Accuracy(t1, key)
+		res.Acc[i][1] = p.Attack.Accuracy(t2, key)
+	}
+	w := opt.out()
+	fmt.Fprintf(w, "Transferability (%s, K=%d)\n", bench, keySize)
+	fmt.Fprintf(w, "             T_S1      T_S2\n")
+	fmt.Fprintf(w, "M_S1      %6.2f%%   %6.2f%%\n", res.Acc[0][0]*100, res.Acc[0][1]*100)
+	fmt.Fprintf(w, "M_S2      %6.2f%%   %6.2f%%\n", res.Acc[1][0]*100, res.Acc[1][1]*100)
+	return res
+}
+
+// --- Table I: proxy-model accuracy ------------------------------------
+
+// TableICell is the (resyn2, random-set-average) accuracy pair for one
+// (model, benchmark, key size).
+type TableICell struct {
+	Resyn2    float64
+	RandomAvg float64
+}
+
+// TableIResult maps model kind -> benchmark -> cell, per key size.
+type TableIResult struct {
+	KeySizes   []int
+	Benchmarks []string
+	// Cells[kind][keySizeIdx][benchIdx]
+	Cells map[core.ModelKind][][]TableICell
+}
+
+// RunTableI reproduces Table I: predicted attack accuracy of M^resyn2,
+// M^random, and M* on the resyn2-synthesized netlist and on a set of
+// random-recipe netlists.
+func RunTableI(opt Options) TableIResult {
+	res := TableIResult{
+		KeySizes:   opt.KeySizes,
+		Benchmarks: opt.Benchmarks,
+		Cells:      map[core.ModelKind][][]TableICell{},
+	}
+	kinds := []core.ModelKind{core.ModelResyn2, core.ModelRandom, core.ModelAdversarial}
+	for _, kind := range kinds {
+		res.Cells[kind] = make([][]TableICell, len(opt.KeySizes))
+		for ki := range opt.KeySizes {
+			res.Cells[kind][ki] = make([]TableICell, len(opt.Benchmarks))
+		}
+	}
+	resyn := synth.Resyn2()
+	for ki, keySize := range opt.KeySizes {
+		for bi, bench := range opt.Benchmarks {
+			_, locked, key := lockedInstance(bench, keySize, opt.Seed)
+			tResyn := resyn.Apply(locked)
+			randomSet := randomRecipeSet(opt.RandomSetSize, opt.Cfg.RecipeLen, opt.Seed+99)
+			randomNets := make([]*aig.AIG, len(randomSet))
+			for i, r := range randomSet {
+				randomNets[i] = r.Apply(locked)
+			}
+			for _, kind := range kinds {
+				p := core.TrainProxy(locked, kind, resyn, opt.Cfg)
+				cell := TableICell{Resyn2: p.Attack.Accuracy(tResyn, key)}
+				var sum float64
+				for _, net := range randomNets {
+					sum += p.Attack.Accuracy(net, key)
+				}
+				if len(randomNets) > 0 {
+					cell.RandomAvg = sum / float64(len(randomNets))
+				}
+				res.Cells[kind][ki][bi] = cell
+			}
+		}
+	}
+	res.print(opt.out())
+	return res
+}
+
+func (r TableIResult) print(w io.Writer) {
+	fmt.Fprintf(w, "\nTABLE I: PREDICTED ATTACK ACCURACY (%%) FOR DIFFERENT ADVERSARIAL MODELS\n")
+	for _, kind := range []core.ModelKind{core.ModelResyn2, core.ModelRandom, core.ModelAdversarial} {
+		for ki, keySize := range r.KeySizes {
+			fmt.Fprintf(w, "%-9s K=%-4d", kind, keySize)
+			for bi, bench := range r.Benchmarks {
+				c := r.Cells[kind][ki][bi]
+				fmt.Fprintf(w, " | %s resyn2=%5.2f random=%5.2f", bench, c.Resyn2*100, c.RandomAvg*100)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Gap returns, for the given kind and key-size index, the mean absolute
+// difference between resyn2 and random-set accuracy across benchmarks —
+// the consistency metric the paper uses to argue M* is the best proxy.
+func (r TableIResult) Gap(kind core.ModelKind, ki int) float64 {
+	cells := r.Cells[kind][ki]
+	var sum float64
+	for _, c := range cells {
+		d := c.Resyn2 - c.RandomAvg
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(cells))
+}

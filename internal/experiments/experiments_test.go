@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/core"
+	"github.com/nyu-secml/almost/internal/techmap"
+)
+
+// microOptions shrinks everything to unit-test scale: one small
+// benchmark, minimal training, few SA iterations.
+func microOptions() Options {
+	opt := QuickOptions()
+	opt.Benchmarks = []string{"c432"}
+	opt.KeySizes = []int{8}
+	opt.RandomSetSize = 2
+	opt.Cfg.Attack.Rounds = 2
+	opt.Cfg.Attack.GatesPerRound = 10
+	opt.Cfg.Attack.Epochs = 4
+	opt.Cfg.AdvPeriod = 2
+	opt.Cfg.AdvGates = 6
+	opt.Cfg.AdvSAIters = 2
+	opt.Cfg.SA.Iterations = 4
+	return opt
+}
+
+func TestRunTransferability(t *testing.T) {
+	opt := microOptions()
+	var buf bytes.Buffer
+	opt.Out = &buf
+	res := RunTransferability("c432", 8, opt)
+	if res.Benchmark != "c432" {
+		t.Fatalf("benchmark = %q", res.Benchmark)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if res.Acc[i][j] < 0 || res.Acc[i][j] > 1 {
+				t.Fatalf("Acc[%d][%d] = %v", i, j, res.Acc[i][j])
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "Transferability") {
+		t.Fatalf("missing report output")
+	}
+	if res.S1.Equal(res.S2) {
+		t.Fatalf("S1 and S2 should differ")
+	}
+}
+
+func TestRunTableI(t *testing.T) {
+	opt := microOptions()
+	var buf bytes.Buffer
+	opt.Out = &buf
+	res := RunTableI(opt)
+	for _, kind := range []core.ModelKind{core.ModelResyn2, core.ModelRandom, core.ModelAdversarial} {
+		cells := res.Cells[kind]
+		if len(cells) != 1 || len(cells[0]) != 1 {
+			t.Fatalf("%v: wrong cell shape", kind)
+		}
+		c := cells[0][0]
+		if c.Resyn2 < 0 || c.Resyn2 > 1 || c.RandomAvg < 0 || c.RandomAvg > 1 {
+			t.Fatalf("%v: out-of-range accuracies %+v", kind, c)
+		}
+		if g := res.Gap(kind, 0); g < 0 || g > 1 {
+			t.Fatalf("%v: gap %v", kind, g)
+		}
+	}
+	if !strings.Contains(buf.String(), "TABLE I") {
+		t.Fatalf("missing table output")
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	opt := microOptions()
+	var buf bytes.Buffer
+	opt.Out = &buf
+	series := RunFig4(opt)
+	if len(series) != 1 {
+		t.Fatalf("series = %d", len(series))
+	}
+	s := series[0]
+	for _, kind := range []core.ModelKind{core.ModelResyn2, core.ModelRandom, core.ModelAdversarial} {
+		if len(s.Curves[kind]) == 0 {
+			t.Fatalf("%v: empty curve", kind)
+		}
+		if len(s.Recipes[kind]) != opt.Cfg.RecipeLen {
+			t.Fatalf("%v: recipe length %d", kind, len(s.Recipes[kind]))
+		}
+	}
+	// IterationsToReach with a huge tolerance is iteration 0; with a
+	// negative tolerance it is never.
+	if s.IterationsToReach(core.ModelResyn2, 1.0) != 0 {
+		t.Fatalf("tolerant reach should be 0")
+	}
+	if s.IterationsToReach(core.ModelResyn2, -1) != -1 {
+		t.Fatalf("impossible reach should be -1")
+	}
+	if !strings.Contains(buf.String(), "FIG 4") {
+		t.Fatalf("missing figure output")
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	opt := microOptions()
+	var buf bytes.Buffer
+	opt.Out = &buf
+	series := RunFig5(opt)
+	if len(series) != 2 { // delay + area for one benchmark
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			t.Fatalf("%v: empty trace", s.Target)
+		}
+		for _, p := range s.Points {
+			if p.Ratio <= 0 {
+				t.Fatalf("%v: non-positive PPA ratio %v", s.Target, p.Ratio)
+			}
+			if p.Accuracy < 0 || p.Accuracy > 1 {
+				t.Fatalf("%v: accuracy %v", s.Target, p.Accuracy)
+			}
+		}
+		if c := s.Correlation(); c < -1.0001 || c > 1.0001 {
+			t.Fatalf("correlation %v out of range", c)
+		}
+	}
+	if !strings.Contains(buf.String(), "FIG 5") {
+		t.Fatalf("missing figure output")
+	}
+}
+
+func TestRunTableIIAndIII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attack-heavy experiment in -short mode")
+	}
+	opt := microOptions()
+	var buf bytes.Buffer
+	opt.Out = &buf
+	res := RunTableII(opt)
+	if len(res.Rows) != 3 { // three attacks × one key size
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		c, ok := row.Cells["c432"]
+		if !ok {
+			t.Fatalf("%s: missing benchmark cell", row.Attack)
+		}
+		for _, v := range []float64{c.Resyn2, c.ALMOST} {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: accuracy %v", row.Attack, v)
+			}
+		}
+	}
+	if _, ok := res.Cell(AttackOMLA, 8, "c432"); !ok {
+		t.Fatalf("Cell lookup failed")
+	}
+	if _, ok := res.Cell(AttackOMLA, 999, "c432"); ok {
+		t.Fatalf("Cell lookup for absent key size succeeded")
+	}
+	if !strings.Contains(buf.String(), "TABLE II") {
+		t.Fatalf("missing table II output")
+	}
+
+	// Table III reuses the recipes from Table II.
+	res3 := RunTableIII(opt, res.Recipes)
+	cell := res3.Cells["c432"][8]
+	for _, effort := range []techmap.Effort{techmap.EffortNone, techmap.EffortHigh} {
+		c := cell[effort]
+		for _, v := range []float64{c.Area, c.Delay, c.Power} {
+			if v < -95 || v > 500 {
+				t.Fatalf("implausible overhead %v", v)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "TABLE III") {
+		t.Fatalf("missing table III output")
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	q := QuickOptions()
+	f := FullOptions()
+	if len(f.Benchmarks) != 7 {
+		t.Fatalf("full benchmarks = %d", len(f.Benchmarks))
+	}
+	if len(f.KeySizes) != 2 || f.KeySizes[0] != 64 || f.KeySizes[1] != 128 {
+		t.Fatalf("full key sizes = %v", f.KeySizes)
+	}
+	if q.Cfg.Attack.Epochs >= f.Cfg.Attack.Epochs {
+		t.Fatalf("quick should train fewer epochs than full")
+	}
+	if q.out() == nil {
+		t.Fatalf("nil-out options must provide a sink")
+	}
+}
+
+func TestRandomRecipeSetDeterministic(t *testing.T) {
+	a := randomRecipeSet(5, 10, 42)
+	b := randomRecipeSet(5, 10, 42)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("recipe set not deterministic")
+		}
+	}
+}

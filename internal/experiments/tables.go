@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/nyu-secml/almost/internal/attack/omla"
+	"github.com/nyu-secml/almost/internal/attack/redundancy"
+	"github.com/nyu-secml/almost/internal/attack/scope"
+	"github.com/nyu-secml/almost/internal/core"
+	"github.com/nyu-secml/almost/internal/synth"
+	"github.com/nyu-secml/almost/internal/techmap"
+)
+
+// --- Table II: SOTA attacks on resyn2 vs ALMOST netlists --------------
+
+// AttackName identifies the attacks of Table II.
+type AttackName string
+
+// Attacks evaluated in Table II.
+const (
+	AttackOMLA       AttackName = "OMLA"
+	AttackSCOPE      AttackName = "SCOPE"
+	AttackRedundancy AttackName = "Redundancy"
+)
+
+// TableIICell is the (resyn2, ALMOST) accuracy pair for one attack on
+// one benchmark/key size.
+type TableIICell struct {
+	Resyn2 float64
+	ALMOST float64
+}
+
+// TableIIRow is one (attack, key size) row across benchmarks.
+type TableIIRow struct {
+	Attack  AttackName
+	KeySize int
+	Cells   map[string]TableIICell // benchmark -> cell
+}
+
+// TableIIResult is the full table plus the ALMOST recipes used.
+type TableIIResult struct {
+	Rows    []TableIIRow
+	Recipes map[string]map[int]synth.Recipe // benchmark -> keySize -> S_ALMOST
+}
+
+// RunTableII reproduces Table II: for every benchmark and key size, an
+// S_ALMOST recipe is generated with the M* proxy, then OMLA (trained
+// independently with knowledge of the respective recipe), SCOPE, and the
+// redundancy attack are run against both the resyn2- and the
+// ALMOST-synthesized locked netlists.
+func RunTableII(opt Options) TableIIResult {
+	res := TableIIResult{Recipes: map[string]map[int]synth.Recipe{}}
+	resyn := synth.Resyn2()
+	rows := map[AttackName]map[int]*TableIIRow{}
+	for _, atk := range []AttackName{AttackOMLA, AttackSCOPE, AttackRedundancy} {
+		rows[atk] = map[int]*TableIIRow{}
+		for _, ks := range opt.KeySizes {
+			rows[atk][ks] = &TableIIRow{Attack: atk, KeySize: ks, Cells: map[string]TableIICell{}}
+		}
+	}
+	for _, bench := range opt.Benchmarks {
+		res.Recipes[bench] = map[int]synth.Recipe{}
+		for _, keySize := range opt.KeySizes {
+			_, locked, key := lockedInstance(bench, keySize, opt.Seed)
+			proxy := core.TrainProxy(locked, core.ModelAdversarial, resyn, opt.Cfg)
+			search := core.SearchRecipe(locked, key, proxy, opt.Cfg)
+			res.Recipes[bench][keySize] = search.Recipe
+
+			baseNet := resyn.Apply(locked)
+			almostNet := search.Recipe.Apply(locked)
+
+			// OMLA: independent attacker per netlist, knowing the recipe.
+			acfg := opt.Cfg.Attack
+			acfg.Seed = opt.Seed + 131
+			omlaBase := omla.Train(baseNet, resyn, acfg).Accuracy(baseNet, key)
+			omlaAlmost := omla.Train(almostNet, search.Recipe, acfg).Accuracy(almostNet, key)
+			rows[AttackOMLA][keySize].Cells[bench] = TableIICell{omlaBase, omlaAlmost}
+
+			// SCOPE.
+			scfg := scope.DefaultConfig()
+			rows[AttackSCOPE][keySize].Cells[bench] = TableIICell{
+				scope.Accuracy(baseNet, key, scfg),
+				scope.Accuracy(almostNet, key, scfg),
+			}
+
+			// Redundancy.
+			rcfg := redundancy.DefaultConfig()
+			rcfg.FaultSamples = redundancySamples(opt)
+			rows[AttackRedundancy][keySize].Cells[bench] = TableIICell{
+				redundancy.Accuracy(baseNet, key, rcfg),
+				redundancy.Accuracy(almostNet, key, rcfg),
+			}
+		}
+	}
+	for _, atk := range []AttackName{AttackOMLA, AttackSCOPE, AttackRedundancy} {
+		for _, ks := range opt.KeySizes {
+			res.Rows = append(res.Rows, *rows[atk][ks])
+		}
+	}
+	res.print(opt.out(), opt.Benchmarks)
+	return res
+}
+
+// redundancySamples scales the redundancy attack's fault sampling down
+// for quick runs.
+func redundancySamples(opt Options) int {
+	if opt.RandomSetSize < 50 {
+		return 10
+	}
+	return redundancy.DefaultConfig().FaultSamples
+}
+
+func (r TableIIResult) print(w io.Writer, benches []string) {
+	fmt.Fprintf(w, "\nTABLE II: ATTACK ACCURACY (%%) CONSIDERING SOTA ATTACKS\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-11s K=%-4d resyn2 |", row.Attack, row.KeySize)
+		for _, b := range benches {
+			fmt.Fprintf(w, " %s=%5.2f", b, row.Cells[b].Resyn2*100)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-11s K=%-4d ALMOST |", row.Attack, row.KeySize)
+		for _, b := range benches {
+			fmt.Fprintf(w, " %s=%5.2f", b, row.Cells[b].ALMOST*100)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Cell fetches a cell by attack, key size, and benchmark.
+func (r TableIIResult) Cell(a AttackName, keySize int, bench string) (TableIICell, bool) {
+	for _, row := range r.Rows {
+		if row.Attack == a && row.KeySize == keySize {
+			c, ok := row.Cells[bench]
+			return c, ok
+		}
+	}
+	return TableIICell{}, false
+}
+
+// --- Table III: PPA overhead ------------------------------------------
+
+// TableIIICell holds the area/delay/power overheads (%) for one
+// (benchmark, key size) at one effort level.
+type TableIIICell struct {
+	Area, Delay, Power float64
+}
+
+// TableIIIResult maps benchmark -> keySize -> effort -> cell.
+type TableIIIResult struct {
+	Cells map[string]map[int]map[techmap.Effort]TableIIICell
+}
+
+// RunTableIII reproduces Table III: PPA overhead of ALMOST-synthesized
+// circuits relative to the locked baseline netlist, mapped with no
+// optimization (-opt) and with high-effort optimization (+opt).
+func RunTableIII(opt Options, recipes map[string]map[int]synth.Recipe) TableIIIResult {
+	res := TableIIIResult{Cells: map[string]map[int]map[techmap.Effort]TableIIICell{}}
+	lib := techmap.NanGate45()
+	resyn := synth.Resyn2()
+	for _, bench := range opt.Benchmarks {
+		res.Cells[bench] = map[int]map[techmap.Effort]TableIIICell{}
+		for _, keySize := range opt.KeySizes {
+			_, locked, key := lockedInstance(bench, keySize, opt.Seed)
+			recipe := recipeFor(recipes, bench, keySize)
+			if recipe == nil {
+				// Regenerate when the caller did not supply Table II output.
+				proxy := core.TrainProxy(locked, core.ModelAdversarial, resyn, opt.Cfg)
+				search := core.SearchRecipe(locked, key, proxy, opt.Cfg)
+				recipe = search.Recipe
+			}
+			almostNet := recipe.Apply(locked)
+			res.Cells[bench][keySize] = map[techmap.Effort]TableIIICell{}
+			for _, effort := range []techmap.Effort{techmap.EffortNone, techmap.EffortHigh} {
+				base := techmap.Map(locked, lib, effort)
+				al := techmap.Map(almostNet, lib, effort)
+				a, d, p := techmap.Overhead(base, al)
+				res.Cells[bench][keySize][effort] = TableIIICell{Area: a, Delay: d, Power: p}
+			}
+		}
+	}
+	res.print(opt.out(), opt)
+	return res
+}
+
+func recipeFor(recipes map[string]map[int]synth.Recipe, bench string, keySize int) synth.Recipe {
+	if recipes == nil {
+		return nil
+	}
+	if m, ok := recipes[bench]; ok {
+		return m[keySize]
+	}
+	return nil
+}
+
+func (r TableIIIResult) print(w io.Writer, opt Options) {
+	fmt.Fprintf(w, "\nTABLE III: PPA OVERHEAD (%%) FOR ALMOST SYNTHESIZED CIRCUITS\n")
+	for _, metric := range []string{"Area", "Delay", "Power"} {
+		for _, keySize := range opt.KeySizes {
+			fmt.Fprintf(w, "%-6s K=%-4d", metric, keySize)
+			for _, bench := range opt.Benchmarks {
+				c := r.Cells[bench][keySize]
+				pick := func(cell TableIIICell) float64 {
+					switch metric {
+					case "Area":
+						return cell.Area
+					case "Delay":
+						return cell.Delay
+					}
+					return cell.Power
+				}
+				fmt.Fprintf(w, " | %s -opt=%+6.2f +opt=%+6.2f", bench,
+					pick(c[techmap.EffortNone]), pick(c[techmap.EffortHigh]))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

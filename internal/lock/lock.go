@@ -1,0 +1,215 @@
+// Package lock implements random logic locking (RLL / EPIC-style), the
+// deliberately weak scheme the paper locks with: XOR/XNOR key gates are
+// inserted on randomly chosen wires, and the netlist is correct only
+// under the right key. In AIG form an XNOR key gate is an XOR node with a
+// complemented output edge, so "bubble pushing" — the classic trick of
+// hiding whether a key gate is XOR or XNOR by migrating inverters — is
+// inherent to the representation: after any synthesis pass the
+// complement may sit on any edge of the locality.
+//
+// The package also provides relocking (inserting additional key gates
+// with known bits into an already-locked netlist), which is how the
+// oracle-less attacks build their self-referencing training sets.
+package lock
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nyu-secml/almost/internal/aig"
+)
+
+// Key is an ordered key-bit vector, aligned with the key inputs of the
+// locked netlist in creation order.
+type Key []bool
+
+// String renders the key as a bit string, LSB (first key input) first.
+func (k Key) String() string {
+	out := make([]byte, len(k))
+	for i, b := range k {
+		if b {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+// RandomKey draws a uniform key of the given size.
+func RandomKey(rng *rand.Rand, size int) Key {
+	k := make(Key, size)
+	for i := range k {
+		k[i] = rng.Intn(2) == 1
+	}
+	return k
+}
+
+// Accuracy returns the fraction of positions where guess matches truth —
+// the attack metric used throughout the paper (footnote 2).
+func Accuracy(truth, guess Key) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range truth {
+		if i < len(guess) && truth[i] == guess[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(truth))
+}
+
+// Lock inserts keySize XOR/XNOR key gates on distinct randomly chosen
+// wires of g and returns the locked netlist together with the correct
+// key. Key inputs are named with the standard "keyinput%d" prefix,
+// numbered after any key inputs already present (so Lock doubles as the
+// relocking primitive).
+//
+// For key bit 0 the gate is XOR (pass-through at k=0); for key bit 1 it
+// is XNOR (pass-through at k=1), per RLL.
+func Lock(g *aig.AIG, keySize int, rng *rand.Rand) (*aig.AIG, Key) {
+	targets := chooseTargets(g, keySize, rng)
+	key := RandomKey(rng, len(targets))
+	base := g.NumKeyInputs()
+
+	rb := aig.NewRebuilder(g)
+	keyLits := make([]aig.Lit, len(targets))
+	for i := range targets {
+		keyLits[i] = rb.Dst.AddKeyInput(fmt.Sprintf("keyinput%d", base+i))
+	}
+	targetIdx := map[int]int{}
+	for i, t := range targets {
+		targetIdx[t] = i
+	}
+	for _, id := range g.TopoOrder() {
+		f0, f1 := g.Fanins(id)
+		nl := rb.Dst.And(rb.LitOf(f0), rb.LitOf(f1))
+		if ti, ok := targetIdx[id]; ok {
+			locked := rb.Dst.Xor(nl, keyLits[ti]).NotIf(key[ti])
+			rb.Map(id, locked)
+		} else {
+			rb.Map(id, nl)
+		}
+	}
+	return rb.Finish(), key
+}
+
+// chooseTargets picks keySize distinct live AND nodes, uniformly.
+func chooseTargets(g *aig.AIG, keySize int, rng *rand.Rand) []int {
+	order := g.TopoOrder()
+	if keySize > len(order) {
+		keySize = len(order)
+	}
+	perm := rng.Perm(len(order))
+	targets := make([]int, keySize)
+	for i := 0; i < keySize; i++ {
+		targets[i] = order[perm[i]]
+	}
+	return targets
+}
+
+// Relock adds extra key gates with known bits to an already-locked
+// netlist — the data-generation step of self-referencing attacks. It
+// returns the relocked netlist, the indices (into the new netlist's
+// key-input order) of the added key inputs, and their bits.
+func Relock(g *aig.AIG, extra int, rng *rand.Rand) (*aig.AIG, []int, Key) {
+	before := g.NumKeyInputs()
+	relocked, key := Lock(g, extra, rng)
+	idx := make([]int, len(key))
+	for i := range idx {
+		idx[i] = before + i
+	}
+	return relocked, idx, key
+}
+
+// ApplyKey substitutes constants for all key inputs, returning the
+// functional (unlocked) circuit with only primary inputs. key is indexed
+// in key-input order.
+func ApplyKey(g *aig.AIG, key Key) (*aig.AIG, error) {
+	kIdx := g.KeyInputIndices()
+	if len(kIdx) != len(key) {
+		return nil, fmt.Errorf("lock: key size %d does not match %d key inputs", len(key), len(kIdx))
+	}
+	bits := map[int]bool{}
+	for j, ki := range kIdx {
+		bits[ki] = key[j]
+	}
+	return FixInputs(g, bits), nil
+}
+
+// FixInputs substitutes constants for the inputs whose indices appear in
+// bits, dropping those inputs from the interface. Constant propagation
+// happens structurally through the AIG's And simplifications. Used by the
+// SCOPE and redundancy attacks to cofactor circuits on key values.
+func FixInputs(g *aig.AIG, bits map[int]bool) *aig.AIG {
+	dst := aig.New()
+	m := make([]aig.Lit, g.NumNodes())
+	for i := range m {
+		m[i] = ^aig.Lit(0)
+	}
+	m[0] = aig.False
+	for i := 0; i < g.NumInputs(); i++ {
+		id := g.Input(i).Node()
+		if v, fixed := bits[i]; fixed {
+			if v {
+				m[id] = aig.True
+			} else {
+				m[id] = aig.False
+			}
+			continue
+		}
+		if g.InputIsKey(i) {
+			m[id] = dst.AddKeyInput(g.InputName(i))
+		} else {
+			m[id] = dst.AddInput(g.InputName(i))
+		}
+	}
+	var copyLit func(l aig.Lit) aig.Lit
+	copyLit = func(l aig.Lit) aig.Lit {
+		id := l.Node()
+		if m[id] == ^aig.Lit(0) {
+			f0, f1 := g.Fanins(id)
+			m[id] = dst.And(copyLit(f0), copyLit(f1))
+		}
+		return m[id].NotIf(l.Neg())
+	}
+	for i := 0; i < g.NumOutputs(); i++ {
+		dst.AddOutput(copyLit(g.Output(i)), g.OutputName(i))
+	}
+	return dst
+}
+
+// WrongKeyCorrupts reports whether flipping each single key bit changes
+// at least one output on the given number of random 64-pattern rounds.
+// Used to confirm that every key gate is functionally live.
+func WrongKeyCorrupts(g *aig.AIG, key Key, rng *rand.Rand, rounds int) []bool {
+	kIdx := g.KeyInputIndices()
+	live := make([]bool, len(key))
+	for r := 0; r < rounds; r++ {
+		in := aig.RandomPatterns(rng, g.NumInputs())
+		for j, ki := range kIdx {
+			if key[j] {
+				in[ki] = ^uint64(0)
+			} else {
+				in[ki] = 0
+			}
+		}
+		good := g.Simulate64(in)
+		for j, ki := range kIdx {
+			if live[j] {
+				continue
+			}
+			in[ki] = ^in[ki]
+			bad := g.Simulate64(in)
+			in[ki] = ^in[ki]
+			for o := range good {
+				if good[o] != bad[o] {
+					live[j] = true
+					break
+				}
+			}
+		}
+	}
+	return live
+}

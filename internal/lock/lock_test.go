@@ -1,0 +1,231 @@
+package lock
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/cnf"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+func TestKeyString(t *testing.T) {
+	k := Key{true, false, true}
+	if k.String() != "101" {
+		t.Fatalf("Key.String = %q", k.String())
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	truth := Key{true, false, true, false}
+	if a := Accuracy(truth, Key{true, false, true, false}); a != 1.0 {
+		t.Errorf("perfect = %v", a)
+	}
+	if a := Accuracy(truth, Key{false, true, false, true}); a != 0.0 {
+		t.Errorf("inverted = %v", a)
+	}
+	if a := Accuracy(truth, Key{true, false, false, true}); a != 0.5 {
+		t.Errorf("half = %v", a)
+	}
+	if a := Accuracy(Key{}, Key{}); a != 0 {
+		t.Errorf("empty = %v", a)
+	}
+}
+
+func TestLockInterface(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	rng := rand.New(rand.NewSource(1))
+	locked, key := Lock(g, 16, rng)
+	if locked.NumKeyInputs() != 16 || len(key) != 16 {
+		t.Fatalf("key inputs = %d, key = %d", locked.NumKeyInputs(), len(key))
+	}
+	if locked.NumOutputs() != g.NumOutputs() {
+		t.Fatalf("outputs changed")
+	}
+	if locked.NumInputs() != g.NumInputs()+16 {
+		t.Fatalf("inputs = %d", locked.NumInputs())
+	}
+	// Key input names follow the convention.
+	for _, ki := range locked.KeyInputIndices() {
+		if !strings.HasPrefix(locked.InputName(ki), "keyinput") {
+			t.Fatalf("bad key input name %q", locked.InputName(ki))
+		}
+	}
+}
+
+func TestLockCorrectKeyPreservesFunction(t *testing.T) {
+	g := circuits.MustGenerate("c499")
+	rng := rand.New(rand.NewSource(2))
+	locked, key := Lock(g, 24, rng)
+	if ok, cex := cnf.EquivalentUnderKey(g, locked, key); !ok {
+		t.Fatalf("correct key does not restore function (cex=%v)", cex)
+	}
+}
+
+func TestLockWrongKeyBreaksFunction(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	rng := rand.New(rand.NewSource(3))
+	locked, key := Lock(g, 8, rng)
+	wrong := append(Key(nil), key...)
+	wrong[0] = !wrong[0]
+	if ok, _ := cnf.EquivalentUnderKey(g, locked, wrong); ok {
+		t.Fatalf("wrong key still equivalent — key gate dead?")
+	}
+}
+
+func TestAllKeyGatesLive(t *testing.T) {
+	g := circuits.MustGenerate("c880")
+	rng := rand.New(rand.NewSource(4))
+	locked, key := Lock(g, 32, rng)
+	live := WrongKeyCorrupts(locked, key, rng, 8)
+	for j, l := range live {
+		if !l {
+			t.Errorf("key bit %d appears dead under random simulation", j)
+		}
+	}
+}
+
+func TestApplyKeyRemovesKeyInputs(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	rng := rand.New(rand.NewSource(5))
+	locked, key := Lock(g, 8, rng)
+	unlocked, err := ApplyKey(locked, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unlocked.NumKeyInputs() != 0 {
+		t.Fatalf("key inputs remain")
+	}
+	if unlocked.NumInputs() != g.NumInputs() {
+		t.Fatalf("inputs = %d, want %d", unlocked.NumInputs(), g.NumInputs())
+	}
+	if ok, _ := cnf.Equivalent(g, unlocked); !ok {
+		t.Fatalf("ApplyKey(correct key) != original")
+	}
+	// Wrong key must not be equivalent.
+	wrong := append(Key(nil), key...)
+	wrong[3] = !wrong[3]
+	bad, err := ApplyKey(locked, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := cnf.Equivalent(g, bad); ok {
+		t.Fatalf("ApplyKey(wrong key) == original")
+	}
+}
+
+func TestApplyKeySizeMismatch(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := Lock(g, 4, rand.New(rand.NewSource(6)))
+	if _, err := ApplyKey(locked, Key{true}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestRelockAddsDistinctKeyInputs(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	rng := rand.New(rand.NewSource(7))
+	locked, key := Lock(g, 8, rng)
+	relocked, idx, extraKey := Relock(locked, 6, rng)
+	if relocked.NumKeyInputs() != 14 {
+		t.Fatalf("key inputs = %d, want 14", relocked.NumKeyInputs())
+	}
+	if len(idx) != 6 || len(extraKey) != 6 {
+		t.Fatalf("idx=%v extra=%v", idx, extraKey)
+	}
+	for i, id := range idx {
+		if id != 8+i {
+			t.Fatalf("relock indices = %v", idx)
+		}
+	}
+	// Full key (original + extra) must restore the original function.
+	full := append(append(Key(nil), key...), extraKey...)
+	if ok, _ := cnf.EquivalentUnderKey(g, relocked, full); !ok {
+		t.Fatalf("relocked circuit broken under full correct key")
+	}
+}
+
+func TestLockedSurvivesSynthesis(t *testing.T) {
+	// The paper's whole premise: locked netlists go through synthesis and
+	// stay correct under the right key.
+	g := circuits.MustGenerate("c499")
+	rng := rand.New(rand.NewSource(8))
+	locked, key := Lock(g, 16, rng)
+	synthed := synth.Resyn2().Apply(locked)
+	if synthed.NumKeyInputs() != 16 {
+		t.Fatalf("synthesis lost key inputs: %d", synthed.NumKeyInputs())
+	}
+	if ok, _ := cnf.EquivalentUnderKey(g, synthed, key); !ok {
+		t.Fatalf("synthesized locked circuit broken under correct key")
+	}
+}
+
+func TestLockDeterministicForSeed(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	l1, k1 := Lock(g, 8, rand.New(rand.NewSource(9)))
+	l2, k2 := Lock(g, 8, rand.New(rand.NewSource(9)))
+	if l1.NumNodes() != l2.NumNodes() || k1.String() != k2.String() {
+		t.Fatalf("locking not deterministic")
+	}
+}
+
+func TestLockCapsAtCircuitSize(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	g.AddOutput(g.And(a, b), "o")
+	locked, key := Lock(g, 100, rand.New(rand.NewSource(10)))
+	if len(key) != 1 || locked.NumKeyInputs() != 1 {
+		t.Fatalf("expected cap at 1 key gate, got %d", len(key))
+	}
+}
+
+// Property: locking any circuit with any seed keeps correct-key
+// equivalence (checked by SAT) and inserts exactly keySize key inputs.
+func TestLockPropertyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test in -short mode")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAIG(rng, 5+rng.Intn(4), 2, 20+rng.Intn(40))
+		locked, key := Lock(g, 4, rng)
+		ok, _ := cnf.EquivalentUnderKey(g, locked, key)
+		return ok && locked.NumKeyInputs() == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomAIG(rng *rand.Rand, nIn, nOut, nAnd int) *aig.AIG {
+	g := aig.New()
+	lits := make([]aig.Lit, 0, nIn+nAnd)
+	for i := 0; i < nIn; i++ {
+		lits = append(lits, g.AddInput("i"))
+	}
+	for len(lits) < nIn+nAnd {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		l := g.And(a, b)
+		if g.IsAnd(l.Node()) {
+			lits = append(lits, l)
+		}
+	}
+	for i := 0; i < nOut; i++ {
+		g.AddOutput(lits[len(lits)-1-i].NotIf(rng.Intn(2) == 1), "o")
+	}
+	return g
+}
+
+func BenchmarkLockC7552(b *testing.B) {
+	g := circuits.MustGenerate("c7552")
+	rng := rand.New(rand.NewSource(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Lock(g, 128, rng)
+	}
+}

@@ -1,0 +1,280 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatMul(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.D, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatrix(3, 2)
+	copy(b.D, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.D[i] != w {
+			t.Fatalf("matmul[%d] = %v, want %v", i, c.D[i], w)
+		}
+	}
+}
+
+func TestMatMulTransposeVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(4, 3)
+	b := NewMatrix(4, 5)
+	for i := range a.D {
+		a.D[i] = rng.NormFloat64()
+	}
+	for i := range b.D {
+		b.D[i] = rng.NormFloat64()
+	}
+	// AᵀB via explicit transpose.
+	at := NewMatrix(3, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := MatMul(at, b)
+	got := MatMulATB(a, b)
+	for i := range want.D {
+		if !almostEq(got.D[i], want.D[i], 1e-12) {
+			t.Fatalf("ATB[%d] = %v, want %v", i, got.D[i], want.D[i])
+		}
+	}
+	// ABᵀ.
+	c := NewMatrix(5, 3)
+	for i := range c.D {
+		c.D[i] = rng.NormFloat64()
+	}
+	ct := NewMatrix(3, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			ct.Set(j, i, c.At(i, j))
+		}
+	}
+	want2 := MatMul(a, ct)
+	got2 := MatMulABT(a, c)
+	for i := range want2.D {
+		if !almostEq(got2.D[i], want2.D[i], 1e-12) {
+			t.Fatalf("ABT[%d] = %v, want %v", i, got2.D[i], want2.D[i])
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestReLU(t *testing.T) {
+	x := NewMatrix(1, 4)
+	copy(x.D, []float64{-1, 0, 2, -3})
+	y := ReLU(x)
+	want := []float64{0, 0, 2, 0}
+	for i, w := range want {
+		if y.D[i] != w {
+			t.Fatalf("relu[%d] = %v", i, y.D[i])
+		}
+	}
+	dy := NewMatrix(1, 4)
+	copy(dy.D, []float64{1, 1, 1, 1})
+	dx := ReLUBackward(y, dy)
+	wantDx := []float64{0, 0, 1, 0}
+	for i, w := range wantDx {
+		if dx.D[i] != w {
+			t.Fatalf("relu'[%d] = %v", i, dx.D[i])
+		}
+	}
+}
+
+func TestSoftmaxCEKnownValues(t *testing.T) {
+	logits := NewMatrix(1, 2)
+	copy(logits.D, []float64{0, 0})
+	loss, probs, grad := SoftmaxCE(logits, []int{1})
+	if !almostEq(loss, math.Log(2), 1e-12) {
+		t.Fatalf("loss = %v, want ln2", loss)
+	}
+	if !almostEq(probs.At(0, 0), 0.5, 1e-12) {
+		t.Fatalf("probs = %v", probs.D)
+	}
+	if !almostEq(grad.At(0, 0), 0.5, 1e-12) || !almostEq(grad.At(0, 1), -0.5, 1e-12) {
+		t.Fatalf("grad = %v", grad.D)
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	logits := NewMatrix(1, 2)
+	copy(logits.D, []float64{1000, 999})
+	loss, probs, _ := SoftmaxCE(logits, []int{0})
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("unstable loss %v", loss)
+	}
+	if probs.At(0, 0) < probs.At(0, 1) {
+		t.Fatalf("probabilities inverted")
+	}
+}
+
+// Numerical gradient check for Linear through softmax-CE.
+func TestLinearGradientNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lin := NewLinear(3, 2, rng)
+	x := NewMatrix(4, 3)
+	for i := range x.D {
+		x.D[i] = rng.NormFloat64()
+	}
+	labels := []int{0, 1, 1, 0}
+
+	lossAt := func() float64 {
+		y := lin.Forward(x)
+		l, _, _ := SoftmaxCE(y, labels)
+		return l
+	}
+	// Analytic gradients.
+	y := lin.Forward(x)
+	_, _, dy := SoftmaxCE(y, labels)
+	lin.W.G.Zero()
+	lin.B.G.Zero()
+	lin.Backward(x, dy)
+
+	const h = 1e-6
+	for i := 0; i < len(lin.W.W.D); i++ {
+		orig := lin.W.W.D[i]
+		lin.W.W.D[i] = orig + h
+		lp := lossAt()
+		lin.W.W.D[i] = orig - h
+		lm := lossAt()
+		lin.W.W.D[i] = orig
+		num := (lp - lm) / (2 * h)
+		if !almostEq(num, lin.W.G.D[i], 1e-5) {
+			t.Fatalf("dW[%d]: numeric %v analytic %v", i, num, lin.W.G.D[i])
+		}
+	}
+	for i := 0; i < len(lin.B.W.D); i++ {
+		orig := lin.B.W.D[i]
+		lin.B.W.D[i] = orig + h
+		lp := lossAt()
+		lin.B.W.D[i] = orig - h
+		lm := lossAt()
+		lin.B.W.D[i] = orig
+		num := (lp - lm) / (2 * h)
+		if !almostEq(num, lin.B.G.D[i], 1e-5) {
+			t.Fatalf("dB[%d]: numeric %v analytic %v", i, num, lin.B.G.D[i])
+		}
+	}
+}
+
+func TestLinearInputGradientNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lin := NewLinear(3, 2, rng)
+	x := NewMatrix(2, 3)
+	for i := range x.D {
+		x.D[i] = rng.NormFloat64()
+	}
+	labels := []int{1, 0}
+	y := lin.Forward(x)
+	_, _, dy := SoftmaxCE(y, labels)
+	dx := lin.Backward(x, dy)
+	const h = 1e-6
+	for i := range x.D {
+		orig := x.D[i]
+		x.D[i] = orig + h
+		y1 := lin.Forward(x)
+		lp, _, _ := SoftmaxCE(y1, labels)
+		x.D[i] = orig - h
+		y2 := lin.Forward(x)
+		lm, _, _ := SoftmaxCE(y2, labels)
+		x.D[i] = orig
+		num := (lp - lm) / (2 * h)
+		if !almostEq(num, dx.D[i], 1e-5) {
+			t.Fatalf("dX[%d]: numeric %v analytic %v", i, num, dx.D[i])
+		}
+	}
+}
+
+func TestAdamConvergesOnToyProblem(t *testing.T) {
+	// Learn XOR of two inputs with a small MLP — verifies the whole stack.
+	rng := rand.New(rand.NewSource(5))
+	l1 := NewLinear(2, 8, rng)
+	l2 := NewLinear(8, 2, rng)
+	params := append(l1.Params(), l2.Params()...)
+	opt := NewAdam(params, 0.05)
+
+	x := NewMatrix(4, 2)
+	copy(x.D, []float64{0, 0, 0, 1, 1, 0, 1, 1})
+	labels := []int{0, 1, 1, 0}
+
+	var loss float64
+	for epoch := 0; epoch < 300; epoch++ {
+		h := ReLU(l1.Forward(x))
+		y := l2.Forward(h)
+		var dy *Matrix
+		loss, _, dy = SoftmaxCE(y, labels)
+		dh := l2.Backward(h, dy)
+		dh = ReLUBackward(h, dh)
+		l1.Backward(x, dh)
+		opt.Step()
+	}
+	if loss > 0.05 {
+		t.Fatalf("XOR did not converge: loss %v", loss)
+	}
+	h := ReLU(l1.Forward(x))
+	y := l2.Forward(h)
+	for i, want := range labels {
+		if Argmax(y.Row(i)) != want {
+			t.Fatalf("sample %d misclassified", i)
+		}
+	}
+}
+
+func TestHeInitStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := NewParam(1000, 10)
+	p.HeInit(rng)
+	var sum, sumsq float64
+	for _, v := range p.W.D {
+		sum += v
+		sumsq += v * v
+	}
+	n := float64(len(p.W.D))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	wantVar := 2.0 / 1000
+	if math.Abs(mean) > 0.005 {
+		t.Errorf("mean = %v", mean)
+	}
+	if variance < wantVar*0.8 || variance > wantVar*1.2 {
+		t.Errorf("variance = %v, want ~%v", variance, wantVar)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax([]float64{1, 3, 2}) != 1 {
+		t.Fatal("argmax wrong")
+	}
+	if Argmax([]float64{5}) != 0 {
+		t.Fatal("singleton wrong")
+	}
+	if Argmax([]float64{2, 2}) != 0 {
+		t.Fatal("tie should pick first")
+	}
+}
+
+func TestAdamZeroGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := NewLinear(2, 2, rng)
+	opt := NewAdam(l.Params(), 0.1)
+	l.W.G.D[0] = 42
+	opt.ZeroGrads()
+	if l.W.G.D[0] != 0 {
+		t.Fatal("gradients not cleared")
+	}
+}

@@ -1,0 +1,661 @@
+// Package sat implements a small conflict-driven clause-learning (CDCL)
+// SAT solver in the MiniSat style: two-watched-literal propagation,
+// first-UIP clause learning, VSIDS-like activity-based branching, phase
+// saving, and Luby restarts.
+//
+// ALMOST uses it as the exact reasoning engine behind three substrates:
+// combinational equivalence checking (verifying that synthesis transforms
+// and locking preserve function), resubstitution verification inside the
+// synthesis engine, and the redundancy attack's stuck-at-fault
+// testability queries.
+package sat
+
+// Lit is a solver literal: variable index shifted left by one, low bit set
+// for negation. Variables are numbered from 0.
+type Lit int32
+
+// MkLit builds a literal for variable v, negated if neg.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func (b lbool) not() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	}
+	return lUndef
+}
+
+type clause struct {
+	lits    []Lit
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+type watcher struct {
+	cref    int
+	blocker Lit
+}
+
+// Status is the result of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+// Solver is a CDCL SAT solver. The zero value is ready to use.
+type Solver struct {
+	clauses []clause
+	watches [][]watcher // indexed by Lit
+
+	assign   []lbool // by variable
+	level    []int32
+	reason   []int32 // clause ref or -1
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    heap // max-activity variable heap
+	phase    []bool
+
+	claInc float64
+
+	ok        bool
+	unsatSeen bool
+
+	// Limits. MaxConflicts <= 0 means unlimited.
+	MaxConflicts int64
+	conflicts    int64
+
+	seen   []bool
+	minStk []Lit
+}
+
+// New returns a solver with n variables pre-allocated.
+func New(n int) *Solver {
+	s := &Solver{ok: true, varInc: 1, claInc: 1}
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	return s
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NewVar adds a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v, &s.activity)
+	return v
+}
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if l.Neg() {
+		return v.not()
+	}
+	return v
+}
+
+// AddClause adds a clause; returns false if the formula became trivially
+// unsatisfiable. Literals must reference existing variables.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	// Simplify: drop false/duplicate literals, detect tautology.
+	out := lits[:0:0]
+	for _, l := range lits {
+		if int(l.Var()) >= s.NumVars() {
+			panic("sat: literal references unknown variable")
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			if s.decisionLevel() == 0 {
+				continue
+			}
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], -1) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() >= 0 {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	cref := len(s.clauses)
+	s.clauses = append(s.clauses, clause{lits: out})
+	s.watchClause(cref)
+	return true
+}
+
+func (s *Solver) watchClause(cref int) {
+	c := &s.clauses[cref]
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{cref, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{cref, c.lits[0]})
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) enqueue(l Lit, from int32) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs unit propagation; returns the conflicting clause ref or -1.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[p]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := &s.clauses[w.cref]
+			if c.deleted {
+				continue
+			}
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, watcher{w.cref, c.lits[0]})
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{w.cref, c.lits[0]})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Unit or conflict.
+			kept = append(kept, watcher{w.cref, c.lits[0]})
+			if !s.enqueue(c.lits[0], int32(w.cref)) {
+				// Conflict: keep remaining watchers and report.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[p] = kept
+				s.qhead = len(s.trail)
+				return w.cref
+			}
+		}
+		s.watches[p] = kept
+	}
+	return -1
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v, &s.activity)
+}
+
+func (s *Solver) bumpClause(cref int) {
+	c := &s.clauses[cref]
+	if !c.learnt {
+		return
+	}
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for i := range s.clauses {
+			s.clauses[i].act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl int) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for asserting literal
+	counter := 0
+	p := Lit(-1)
+	idx := len(s.trail) - 1
+	for {
+		c := &s.clauses[confl]
+		s.bumpClause(confl)
+		start := 0
+		if p != Lit(-1) {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.bumpVar(v)
+				if int(s.level[v]) == s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Select next literal to expand.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = int(s.reason[p.Var()])
+	}
+	learnt[0] = p.Not()
+	// Clause minimization: drop literals implied by the rest. Keep the
+	// original literal set so every seen mark is cleared afterwards.
+	marked := append([]Lit(nil), learnt[1:]...)
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		if !s.redundant(l) {
+			out = append(out, l)
+		}
+	}
+	learnt = out
+	// Compute backtrack level.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	s.seen[learnt[0].Var()] = false
+	for _, l := range marked {
+		s.seen[l.Var()] = false
+	}
+	return learnt, btLevel
+}
+
+// redundant checks whether literal l in a learnt clause is implied by the
+// other marked literals (local minimization: reason literals all seen).
+func (s *Solver) redundant(l Lit) bool {
+	r := s.reason[l.Var()]
+	if r < 0 {
+		return false
+	}
+	for _, q := range s.clauses[r].lits[1:] {
+		v := q.Var()
+		if !s.seen[v] && s.level[v] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) backtrack(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = -1
+		if !s.order.contains(v) {
+			s.order.push(v, &s.activity)
+		}
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranch() Lit {
+	for {
+		v, ok := s.order.pop(&s.activity)
+		if !ok {
+			return Lit(-1)
+		}
+		if s.assign[v] == lUndef {
+			return MkLit(v, !s.phase[v])
+		}
+	}
+}
+
+// luby computes the Luby restart sequence value for index i (1-based):
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(i int64) int64 {
+	x := i - 1
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return int64(1) << seq
+}
+
+// reduceDB removes the least active half of learnt clauses.
+func (s *Solver) reduceDB() {
+	var learnts []int
+	for i := range s.clauses {
+		c := &s.clauses[i]
+		if c.learnt && !c.deleted && len(c.lits) > 2 {
+			learnts = append(learnts, i)
+		}
+	}
+	if len(learnts) < 100 {
+		return
+	}
+	// Partial selection: delete clauses with below-median activity unless
+	// they are a reason for a current assignment.
+	var median float64
+	{
+		acts := make([]float64, len(learnts))
+		for i, cr := range learnts {
+			acts[i] = s.clauses[cr].act
+		}
+		median = quickMedian(acts)
+	}
+	locked := map[int]bool{}
+	for _, v := range s.trail {
+		if r := s.reason[v.Var()]; r >= 0 {
+			locked[int(r)] = true
+		}
+	}
+	for _, cr := range learnts {
+		if s.clauses[cr].act < median && !locked[cr] {
+			s.clauses[cr].deleted = true
+		}
+	}
+}
+
+func quickMedian(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Simple selection by sort copy; clause DBs are small here.
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+// Solve determines satisfiability under the given assumptions.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.backtrack(0)
+	s.conflicts = 0
+	var restartN int64 = 1
+	conflictBudget := 100 * luby(restartN)
+	sinceRestart := int64(0)
+	learntCap := len(s.clauses)/3 + 500
+
+	for {
+		confl := s.propagate()
+		if confl >= 0 {
+			s.conflicts++
+			sinceRestart++
+			if s.decisionLevel() == 0 {
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			// Never backtrack past the assumption levels blindly: clamp to
+			// current assumption depth handled below by re-solving.
+			s.backtrack(btLevel)
+			if len(learnt) == 1 {
+				if !s.enqueue(learnt[0], -1) {
+					return Unsat
+				}
+			} else {
+				cref := len(s.clauses)
+				s.clauses = append(s.clauses, clause{lits: learnt, learnt: true, act: s.claInc})
+				s.watchClause(cref)
+				s.enqueue(learnt[0], int32(cref))
+			}
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+				return Unknown
+			}
+			nLearnt := 0
+			for i := range s.clauses {
+				if s.clauses[i].learnt && !s.clauses[i].deleted {
+					nLearnt++
+				}
+			}
+			if nLearnt > learntCap {
+				s.reduceDB()
+				learntCap += learntCap / 10
+			}
+			continue
+		}
+		if sinceRestart >= conflictBudget {
+			sinceRestart = 0
+			restartN++
+			conflictBudget = 100 * luby(restartN)
+			s.backtrack(0)
+			continue
+		}
+		// Apply assumptions one level at a time.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				// Already satisfied; open an empty decision level to keep
+				// the level↔assumption correspondence.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(a, -1)
+			continue
+		}
+		next := s.pickBranch()
+		if next == Lit(-1) {
+			return Sat
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(next, -1)
+	}
+}
+
+// ValueOf returns the model value of variable v after Sat.
+func (s *Solver) ValueOf(v int) bool { return s.assign[v] == lTrue }
+
+// NumConflicts returns the conflicts seen by the last Solve call.
+func (s *Solver) NumConflicts() int64 { return s.conflicts }
+
+// heap is a max-heap over variable activity with position tracking.
+type heap struct {
+	data []int
+	pos  []int // variable -> heap index, -1 if absent
+}
+
+func (h *heap) grow(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+func (h *heap) contains(v int) bool { return v < len(h.pos) && h.pos[v] >= 0 }
+
+func (h *heap) push(v int, act *[]float64) {
+	h.grow(v)
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.data = append(h.data, v)
+	h.pos[v] = len(h.data) - 1
+	h.up(h.pos[v], act)
+}
+
+func (h *heap) pop(act *[]float64) (int, bool) {
+	if len(h.data) == 0 {
+		return 0, false
+	}
+	top := h.data[0]
+	last := h.data[len(h.data)-1]
+	h.data = h.data[:len(h.data)-1]
+	h.pos[top] = -1
+	if len(h.data) > 0 {
+		h.data[0] = last
+		h.pos[last] = 0
+		h.down(0, act)
+	}
+	return top, true
+}
+
+func (h *heap) update(v int, act *[]float64) {
+	if h.contains(v) {
+		h.up(h.pos[v], act)
+	}
+}
+
+func (h *heap) up(i int, act *[]float64) {
+	a := *act
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[h.data[i]] <= a[h.data[p]] {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *heap) down(i int, act *[]float64) {
+	a := *act
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h.data) && a[h.data[l]] > a[h.data[largest]] {
+			largest = l
+		}
+		if r < len(h.data) && a[h.data[r]] > a[h.data[largest]] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.swap(i, largest)
+		i = largest
+	}
+}
+
+func (h *heap) swap(i, j int) {
+	h.data[i], h.data[j] = h.data[j], h.data[i]
+	h.pos[h.data[i]] = i
+	h.pos[h.data[j]] = j
+}

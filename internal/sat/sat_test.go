@@ -1,0 +1,298 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLitOps(t *testing.T) {
+	l := MkLit(3, true)
+	if l.Var() != 3 || !l.Neg() {
+		t.Fatalf("MkLit(3,true) = %v", l)
+	}
+	if l.Not().Neg() || l.Not().Var() != 3 {
+		t.Fatalf("Not broken")
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := New(1)
+	s.AddClause(MkLit(0, false))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if !s.ValueOf(0) {
+		t.Fatalf("model wrong")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New(1)
+	s.AddClause(MkLit(0, false))
+	s.AddClause(MkLit(0, true))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New(2)
+	s.AddClause(MkLit(0, false))
+	// After fixing var 0 true, clause (!0) simplifies to empty.
+	ok := s.AddClause(MkLit(0, true))
+	if ok {
+		t.Fatalf("adding contradicting unit should fail")
+	}
+	if s.Solve() != Unsat {
+		t.Fatalf("expected Unsat")
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New(1)
+	s.AddClause(MkLit(0, false), MkLit(0, true))
+	if s.Solve() != Sat {
+		t.Fatalf("tautology should leave formula satisfiable")
+	}
+}
+
+func TestPropagationChain(t *testing.T) {
+	// x0 & (x0 -> x1) & (x1 -> x2) ... forces all true.
+	const n = 50
+	s := New(n)
+	s.AddClause(MkLit(0, false))
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(MkLit(i, true), MkLit(i+1, false))
+	}
+	if s.Solve() != Sat {
+		t.Fatalf("chain unsat?")
+	}
+	for i := 0; i < n; i++ {
+		if !s.ValueOf(i) {
+			t.Fatalf("var %d not propagated", i)
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons, n holes — classically UNSAT and requires
+	// real search, exercising learning and backjumping.
+	n := 6
+	v := func(p, h int) int { return p*n + h }
+	s := New((n + 1) * n)
+	for p := 0; p <= n; p++ {
+		var cl []Lit
+		for h := 0; h < n; h++ {
+			cl = append(cl, MkLit(v(p, h), false))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(v(p1, h), true), MkLit(v(p2, h), true))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(%d+1,%d) = %v, want Unsat", n, n, got)
+	}
+}
+
+func TestGraphColoringSat(t *testing.T) {
+	// A 5-cycle is 3-colorable.
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	v := func(node, color int) int { return node*3 + color }
+	s := New(15)
+	for node := 0; node < 5; node++ {
+		s.AddClause(MkLit(v(node, 0), false), MkLit(v(node, 1), false), MkLit(v(node, 2), false))
+		for c1 := 0; c1 < 3; c1++ {
+			for c2 := c1 + 1; c2 < 3; c2++ {
+				s.AddClause(MkLit(v(node, c1), true), MkLit(v(node, c2), true))
+			}
+		}
+	}
+	for _, e := range edges {
+		for c := 0; c < 3; c++ {
+			s.AddClause(MkLit(v(e[0], c), true), MkLit(v(e[1], c), true))
+		}
+	}
+	if s.Solve() != Sat {
+		t.Fatalf("5-cycle should be 3-colorable")
+	}
+	// Verify the model is a proper coloring.
+	color := make([]int, 5)
+	for node := 0; node < 5; node++ {
+		color[node] = -1
+		for c := 0; c < 3; c++ {
+			if s.ValueOf(v(node, c)) {
+				color[node] = c
+				break
+			}
+		}
+		if color[node] < 0 {
+			t.Fatalf("node %d uncolored", node)
+		}
+	}
+	for _, e := range edges {
+		if color[e[0]] == color[e[1]] {
+			t.Fatalf("edge %v monochromatic", e)
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	// (x0 | x1) & (!x0 | x2)
+	s := New(3)
+	s.AddClause(MkLit(0, false), MkLit(1, false))
+	s.AddClause(MkLit(0, true), MkLit(2, false))
+	if s.Solve(MkLit(0, false), MkLit(2, true)) != Unsat {
+		t.Fatalf("assuming x0 & !x2 must be Unsat")
+	}
+	if s.Solve(MkLit(0, false)) != Sat {
+		t.Fatalf("assuming x0 must be Sat")
+	}
+	if !s.ValueOf(2) {
+		t.Fatalf("x2 must be true when x0 assumed")
+	}
+	// Solver remains reusable.
+	if s.Solve(MkLit(1, false)) != Sat {
+		t.Fatalf("assuming x1 must be Sat")
+	}
+}
+
+func TestIncrementalAddBetweenSolves(t *testing.T) {
+	s := New(2)
+	s.AddClause(MkLit(0, false), MkLit(1, false))
+	if s.Solve() != Sat {
+		t.Fatal("first solve")
+	}
+	s.AddClause(MkLit(0, true))
+	s.AddClause(MkLit(1, true))
+	if s.Solve() != Unsat {
+		t.Fatal("after adding blocking units, must be Unsat")
+	}
+}
+
+func TestMaxConflictsUnknown(t *testing.T) {
+	// Hard instance with a tiny conflict budget should return Unknown.
+	n := 8
+	v := func(p, h int) int { return p*n + h }
+	s := New((n + 1) * n)
+	s.MaxConflicts = 5
+	for p := 0; p <= n; p++ {
+		var cl []Lit
+		for h := 0; h < n; h++ {
+			cl = append(cl, MkLit(v(p, h), false))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(v(p1, h), true), MkLit(v(p2, h), true))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("budgeted solve = %v, want Unknown", got)
+	}
+}
+
+// brute-force 3-SAT checker for randomized cross-validation.
+func bruteSat(nVars int, clauses [][]Lit) bool {
+	for mask := 0; mask < 1<<nVars; mask++ {
+		ok := true
+		for _, cl := range clauses {
+			sat := false
+			for _, l := range cl {
+				val := mask&(1<<l.Var()) != 0
+				if val != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		nVars := 4 + rng.Intn(9) // 4..12
+		nClauses := 2 + rng.Intn(5*nVars)
+		var clauses [][]Lit
+		s := New(nVars)
+		for c := 0; c < nClauses; c++ {
+			var cl []Lit
+			for k := 0; k < 3; k++ {
+				cl = append(cl, MkLit(rng.Intn(nVars), rng.Intn(2) == 1))
+			}
+			clauses = append(clauses, cl)
+			s.AddClause(cl...)
+		}
+		want := bruteSat(nVars, clauses)
+		got := s.Solve()
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: solver=%v brute=%v (%d vars, %d clauses)",
+				trial, got, want, nVars, nClauses)
+		}
+		if got == Sat {
+			// Verify model.
+			for _, cl := range clauses {
+				ok := false
+				for _, l := range cl {
+					if s.ValueOf(l.Var()) != l.Neg() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d: model violates clause", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func BenchmarkPigeonhole7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := 7
+		v := func(p, h int) int { return p*n + h }
+		s := New((n + 1) * n)
+		for p := 0; p <= n; p++ {
+			var cl []Lit
+			for h := 0; h < n; h++ {
+				cl = append(cl, MkLit(v(p, h), false))
+			}
+			s.AddClause(cl...)
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					s.AddClause(MkLit(v(p1, h), true), MkLit(v(p2, h), true))
+				}
+			}
+		}
+		if s.Solve() != Unsat {
+			b.Fatal("wrong answer")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package synth
+
+import "github.com/nyu-secml/almost/internal/aig"
+
+// cutSize is the leaf limit for rewrite's cut enumeration (ABC uses
+// 4-input cuts for rewriting).
+const cutSize = 4
+
+// cutsPerNode bounds the number of cuts kept per node (priority cuts).
+const cutsPerNode = 8
+
+// Cut is a set of leaf node IDs (sorted) that separates a root from the
+// rest of the graph.
+type Cut struct {
+	Leaves []int
+}
+
+// mergeCuts unions two cuts, returning ok=false when the result exceeds
+// the leaf limit.
+func mergeCuts(a, b Cut, limit int) (Cut, bool) {
+	out := make([]int, 0, len(a.Leaves)+len(b.Leaves))
+	i, j := 0, 0
+	for i < len(a.Leaves) && j < len(b.Leaves) {
+		switch {
+		case a.Leaves[i] == b.Leaves[j]:
+			out = append(out, a.Leaves[i])
+			i++
+			j++
+		case a.Leaves[i] < b.Leaves[j]:
+			out = append(out, a.Leaves[i])
+			i++
+		default:
+			out = append(out, b.Leaves[j])
+			j++
+		}
+		if len(out) > limit {
+			return Cut{}, false
+		}
+	}
+	out = append(out, a.Leaves[i:]...)
+	out = append(out, b.Leaves[j:]...)
+	if len(out) > limit {
+		return Cut{}, false
+	}
+	return Cut{Leaves: out}, true
+}
+
+func equalCuts(a, b Cut) bool {
+	if len(a.Leaves) != len(b.Leaves) {
+		return false
+	}
+	for i := range a.Leaves {
+		if a.Leaves[i] != b.Leaves[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dominates reports whether cut a's leaves are a subset of cut b's.
+func dominates(a, b Cut) bool {
+	if len(a.Leaves) > len(b.Leaves) {
+		return false
+	}
+	i := 0
+	for _, l := range b.Leaves {
+		if i < len(a.Leaves) && a.Leaves[i] == l {
+			i++
+		}
+	}
+	return i == len(a.Leaves)
+}
+
+// EnumerateCuts computes up to cutsPerNode k-feasible cuts for every live
+// AND node, bottom-up. The trivial cut {node} is always included for
+// inputs and serves as the unit cut during merging; for AND nodes it is
+// appended last so rewriting prefers non-trivial cuts.
+func EnumerateCuts(g *aig.AIG, limit int) map[int][]Cut {
+	cuts := map[int][]Cut{}
+	unit := func(id int) []Cut { return []Cut{{Leaves: []int{id}}} }
+	for _, id := range g.TopoOrder() {
+		f0, f1 := g.Fanins(id)
+		c0 := cuts[f0.Node()]
+		if c0 == nil {
+			c0 = unit(f0.Node())
+		}
+		c1 := cuts[f1.Node()]
+		if c1 == nil {
+			c1 = unit(f1.Node())
+		}
+		var out []Cut
+	merge:
+		for _, a := range c0 {
+			for _, b := range c1 {
+				m, ok := mergeCuts(a, b, limit)
+				if !ok {
+					continue
+				}
+				for k := 0; k < len(out); k++ {
+					if dominates(out[k], m) {
+						continue merge
+					}
+				}
+				// Remove cuts dominated by the new one.
+				kept := out[:0]
+				for _, ex := range out {
+					if !dominates(m, ex) {
+						kept = append(kept, ex)
+					}
+				}
+				out = append(kept, m)
+				if len(out) >= cutsPerNode {
+					break merge
+				}
+			}
+		}
+		out = append(out, Cut{Leaves: []int{id}})
+		cuts[id] = out
+	}
+	return cuts
+}

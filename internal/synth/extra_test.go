@@ -1,0 +1,152 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/cnf"
+)
+
+func TestSynthTTSingleVariable(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	if SynthTT(g, 0x2, []aig.Lit{a}) != a { // tt(1) for f=a is bit pattern 10
+		t.Fatal("1-var projection failed")
+	}
+	if SynthTT(g, 0x1, []aig.Lit{a}) != a.Not() {
+		t.Fatal("1-var negation failed")
+	}
+	if SynthTT(g, 0x3, []aig.Lit{a}) != aig.True {
+		t.Fatal("1-var tautology failed")
+	}
+}
+
+func TestEstimateTTCostMonotoneExamples(t *testing.T) {
+	// AND of two vars costs 1 node; XOR costs 3; a constant costs 0.
+	if c := EstimateTTCost(0x8, 2); c != 1 {
+		t.Errorf("AND cost = %d, want 1", c)
+	}
+	if c := EstimateTTCost(0x6, 2); c != 3 {
+		t.Errorf("XOR cost = %d, want 3", c)
+	}
+	if c := EstimateTTCost(0x0, 2); c != 0 {
+		t.Errorf("const cost = %d, want 0", c)
+	}
+}
+
+func TestBalanceRespectsSharedNodes(t *testing.T) {
+	// A node with fanout 2 must not be duplicated into both trees.
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	d := g.AddInput("d")
+	shared := g.And(a, b)
+	o1 := g.And(g.And(shared, c), d)
+	o2 := g.And(shared, d.Not())
+	g.AddOutput(o1, "o1")
+	g.AddOutput(o2, "o2")
+	h := Balance(g)
+	if ok, _ := cnf.Equivalent(g, h); !ok {
+		t.Fatal("balance broke shared logic")
+	}
+	if h.NumAnds() > g.NumAnds() {
+		t.Fatalf("balance duplicated shared logic: %d -> %d", g.NumAnds(), h.NumAnds())
+	}
+}
+
+func TestEmptyRecipeIsIdentityFunction(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	h := Recipe{}.Apply(g)
+	if h != g {
+		// Apply returns the input unchanged for empty recipes.
+		t.Fatal("empty recipe should be identity")
+	}
+}
+
+func TestRepeatedTransformIdempotentInSize(t *testing.T) {
+	// Applying the same size-reducing transform twice should not grow.
+	g := circuits.MustGenerate("c499")
+	h1 := Rewrite(g, false)
+	h2 := Rewrite(h1, false)
+	if h2.NumAnds() > h1.NumAnds() {
+		t.Fatalf("second rewrite grew: %d -> %d", h1.NumAnds(), h2.NumAnds())
+	}
+	if ok, _ := cnf.Equivalent(g, h2); !ok {
+		t.Fatal("double rewrite broke function")
+	}
+}
+
+func TestRecipeOnLockedCircuitKeepsKeyCount(t *testing.T) {
+	// Transforms must never remove key inputs (inputs are part of the
+	// interface even when a transform makes one dead).
+	g := circuits.MustGenerate("c432")
+	locked := aig.New()
+	// Build a locked-shaped AIG via the rebuild path.
+	_ = locked
+	rng := rand.New(rand.NewSource(1))
+	r := RandomRecipe(rng, 5)
+	// Locking itself lives in internal/lock (import cycle in tests is
+	// fine, but keep this package-local: emulate with AddKeyInput).
+	h := aig.New()
+	var ins []aig.Lit
+	for i := 0; i < g.NumInputs(); i++ {
+		ins = append(ins, h.AddInput(g.InputName(i)))
+	}
+	k := h.AddKeyInput("keyinput0")
+	h.AddOutput(h.Xor(h.And(ins[0], ins[1]), k), "o")
+	out := r.Apply(h)
+	if out.NumKeyInputs() != 1 {
+		t.Fatalf("recipe %q lost key inputs", r)
+	}
+}
+
+func TestReconvWindowLeavesBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomAIG(rng, 8, 3, 80)
+	for _, id := range g.TopoOrder() {
+		leaves := reconvWindow(g, id, refactorLeafLimit)
+		if len(leaves) > refactorLeafLimit {
+			t.Fatalf("window exceeded limit: %d leaves", len(leaves))
+		}
+		if len(leaves) == 0 {
+			t.Fatalf("empty window for node %d", id)
+		}
+	}
+}
+
+func TestCutEnumerationRespectsLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := randomAIG(rng, 10, 3, 100)
+	cuts := EnumerateCuts(g, 4)
+	for id, cs := range cuts {
+		if len(cs) > cutsPerNode+1 { // +1 for the trivial cut
+			t.Fatalf("node %d has %d cuts", id, len(cs))
+		}
+		for _, c := range cs {
+			if len(c.Leaves) > 4 {
+				t.Fatalf("node %d cut %v exceeds leaf limit", id, c.Leaves)
+			}
+		}
+	}
+}
+
+func TestSigHelpers(t *testing.T) {
+	a := []uint64{0xF0F0, 0x1234}
+	b := []uint64{0xF0F0, 0x1234}
+	if !sigEqual(a, b, false) {
+		t.Fatal("equal signatures rejected")
+	}
+	c := []uint64{^uint64(0xF0F0), ^uint64(0x1234)}
+	if !sigEqual(a, c, true) {
+		t.Fatal("complement signatures rejected")
+	}
+	if sigEqual(a, c, false) {
+		t.Fatal("complement accepted as equal")
+	}
+	if sigKey(a) == sigKey(c) {
+		t.Fatal("hash collision between sig and complement (suspicious)")
+	}
+}

@@ -1,0 +1,193 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/nyu-secml/almost/internal/aig"
+)
+
+// Step is one synthesis transformation in a recipe.
+type Step uint8
+
+// The seven transformations the paper's recipes are drawn from (§IV-A),
+// in a fixed order so Step values are stable across runs.
+const (
+	StepRewrite Step = iota
+	StepResub
+	StepRefactor
+	StepRewriteZ
+	StepResubZ
+	StepRefactorZ
+	StepBalance
+	numSteps
+)
+
+// AllSteps lists every available transformation.
+func AllSteps() []Step {
+	out := make([]Step, numSteps)
+	for i := range out {
+		out[i] = Step(i)
+	}
+	return out
+}
+
+// String returns the ABC-style name of the step.
+func (s Step) String() string {
+	switch s {
+	case StepRewrite:
+		return "rewrite"
+	case StepResub:
+		return "resub"
+	case StepRefactor:
+		return "refactor"
+	case StepRewriteZ:
+		return "rewrite -z"
+	case StepResubZ:
+		return "resub -z"
+	case StepRefactorZ:
+		return "refactor -z"
+	case StepBalance:
+		return "balance"
+	}
+	return fmt.Sprintf("step(%d)", uint8(s))
+}
+
+// ParseStep converts an ABC-style name into a Step.
+func ParseStep(name string) (Step, error) {
+	switch strings.TrimSpace(name) {
+	case "rewrite", "rw":
+		return StepRewrite, nil
+	case "resub", "rs":
+		return StepResub, nil
+	case "refactor", "rf":
+		return StepRefactor, nil
+	case "rewrite -z", "rwz":
+		return StepRewriteZ, nil
+	case "resub -z", "rsz":
+		return StepResubZ, nil
+	case "refactor -z", "rfz":
+		return StepRefactorZ, nil
+	case "balance", "b":
+		return StepBalance, nil
+	}
+	return 0, fmt.Errorf("synth: unknown transformation %q", name)
+}
+
+// Apply runs the single transformation on g, returning a new AIG.
+func (s Step) Apply(g *aig.AIG) *aig.AIG {
+	switch s {
+	case StepRewrite:
+		return Rewrite(g, false)
+	case StepRewriteZ:
+		return Rewrite(g, true)
+	case StepResub:
+		return Resub(g, false)
+	case StepResubZ:
+		return Resub(g, true)
+	case StepRefactor:
+		return Refactor(g, false)
+	case StepRefactorZ:
+		return Refactor(g, true)
+	case StepBalance:
+		return Balance(g)
+	}
+	panic(fmt.Sprintf("synth: invalid step %d", uint8(s)))
+}
+
+// Recipe is an ordered sequence of transformations — the object ALMOST's
+// simulated annealing searches over.
+type Recipe []Step
+
+// RecipeLength is the fixed recipe length used throughout the paper
+// (L = 10).
+const RecipeLength = 10
+
+// Apply runs the recipe left to right, returning the final AIG.
+func (r Recipe) Apply(g *aig.AIG) *aig.AIG {
+	out := g
+	for _, s := range r {
+		out = s.Apply(out)
+	}
+	return out
+}
+
+// String renders the recipe as a semicolon-separated script.
+func (r Recipe) String() string {
+	names := make([]string, len(r))
+	for i, s := range r {
+		names[i] = s.String()
+	}
+	return strings.Join(names, "; ")
+}
+
+// ParseRecipe parses a semicolon-separated script.
+func ParseRecipe(script string) (Recipe, error) {
+	var r Recipe
+	for _, part := range strings.Split(script, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		s, err := ParseStep(part)
+		if err != nil {
+			return nil, err
+		}
+		r = append(r, s)
+	}
+	return r, nil
+}
+
+// Clone returns a copy of the recipe.
+func (r Recipe) Clone() Recipe { return append(Recipe(nil), r...) }
+
+// Equal reports element-wise equality.
+func (r Recipe) Equal(o Recipe) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if r[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Resyn2 returns the ABC resyn2 script — the paper's baseline recipe —
+// expressed over the available transforms:
+// b; rw; rf; b; rw; rwz; b; rfz; rwz; b (length 10).
+func Resyn2() Recipe {
+	return Recipe{
+		StepBalance, StepRewrite, StepRefactor, StepBalance, StepRewrite,
+		StepRewriteZ, StepBalance, StepRefactorZ, StepRewriteZ, StepBalance,
+	}
+}
+
+// RandomRecipe draws a uniform random recipe of length n.
+func RandomRecipe(rng *rand.Rand, n int) Recipe {
+	r := make(Recipe, n)
+	for i := range r {
+		r[i] = Step(rng.Intn(int(numSteps)))
+	}
+	return r
+}
+
+// MutateRecipe returns a copy with one position re-drawn — the
+// neighborhood move used by the simulated-annealing searches.
+func MutateRecipe(rng *rand.Rand, r Recipe) Recipe {
+	out := r.Clone()
+	if len(out) == 0 {
+		return out
+	}
+	i := rng.Intn(len(out))
+	for {
+		s := Step(rng.Intn(int(numSteps)))
+		if s != out[i] || int(numSteps) == 1 {
+			out[i] = s
+			break
+		}
+	}
+	return out
+}

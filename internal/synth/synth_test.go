@@ -1,0 +1,437 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/cnf"
+)
+
+func randomAIG(rng *rand.Rand, nIn, nOut, nAnd int) *aig.AIG {
+	g := aig.New()
+	lits := make([]aig.Lit, 0, nIn+nAnd)
+	for i := 0; i < nIn; i++ {
+		lits = append(lits, g.AddInput("i"))
+	}
+	for len(lits) < nIn+nAnd {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		l := g.And(a, b)
+		if g.IsAnd(l.Node()) {
+			lits = append(lits, l)
+		}
+	}
+	for i := 0; i < nOut; i++ {
+		g.AddOutput(lits[len(lits)-1-i].NotIf(rng.Intn(2) == 1), "o")
+	}
+	return g
+}
+
+// --- truth table machinery ---
+
+func TestCofactors(t *testing.T) {
+	// f = x0 AND x1 over 2 vars: tt = 1000b = 0x8.
+	tt := uint64(0x8)
+	if c := cofactor0(tt, 0) & aig.TTMask(2); c != 0 {
+		t.Errorf("cofactor0 x0 = %x, want 0", c)
+	}
+	if c := cofactor1(tt, 0) & aig.TTMask(2); c != 0xC {
+		t.Errorf("cofactor1 x0 = %x, want C (=x1)", c)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	// f = x1 over 3 vars.
+	tt := varMask(1) & aig.TTMask(3)
+	sup := support(tt, 3)
+	if len(sup) != 1 || sup[0] != 1 {
+		t.Fatalf("support = %v, want [1]", sup)
+	}
+}
+
+func TestISOPCoversExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for n := 1; n <= 6; n++ {
+		for trial := 0; trial < 50; trial++ {
+			tt := rng.Uint64() & aig.TTMask(n)
+			cs := isop(tt, tt, n)
+			if got := coverTT(cs, n); got != tt {
+				t.Fatalf("n=%d tt=%x: cover=%x", n, tt, got)
+			}
+		}
+	}
+}
+
+func TestSynthTTAllTwoVarFunctions(t *testing.T) {
+	for tt := uint64(0); tt < 16; tt++ {
+		g := aig.New()
+		a := g.AddInput("a")
+		b := g.AddInput("b")
+		root := SynthTT(g, tt, []aig.Lit{a, b})
+		g.AddOutput(root, "o")
+		for m := 0; m < 4; m++ {
+			in := []bool{m&1 == 1, m&2 == 2}
+			want := tt&(1<<uint(m)) != 0
+			if got := g.EvalSingle(in)[0]; got != want {
+				t.Fatalf("tt=%x m=%d: got %v want %v", tt, m, got, want)
+			}
+		}
+	}
+}
+
+func TestSynthTTRandomFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for n := 3; n <= 6; n++ {
+		for trial := 0; trial < 30; trial++ {
+			tt := rng.Uint64() & aig.TTMask(n)
+			g := aig.New()
+			leaves := make([]aig.Lit, n)
+			for i := range leaves {
+				leaves[i] = g.AddInput("x")
+			}
+			g.AddOutput(SynthTT(g, tt, leaves), "o")
+			for m := 0; m < 1<<uint(n); m++ {
+				in := make([]bool, n)
+				for i := range in {
+					in[i] = m&(1<<uint(i)) != 0
+				}
+				want := tt&(1<<uint(m)) != 0
+				if got := g.EvalSingle(in)[0]; got != want {
+					t.Fatalf("n=%d tt=%x m=%d wrong", n, tt, m)
+				}
+			}
+		}
+	}
+}
+
+func TestSynthTTSpecialCases(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	if SynthTT(g, 0, []aig.Lit{a, b}) != aig.False {
+		t.Error("const0 not recognized")
+	}
+	if SynthTT(g, 0xF, []aig.Lit{a, b}) != aig.True {
+		t.Error("const1 not recognized")
+	}
+	if SynthTT(g, 0xA, []aig.Lit{a, b}) != a {
+		t.Error("projection x0 not recognized")
+	}
+	if SynthTT(g, 0x5, []aig.Lit{a, b}) != a.Not() {
+		t.Error("negated projection not recognized")
+	}
+	if g.NumAnds() != 0 {
+		t.Errorf("special cases built %d nodes", g.NumAnds())
+	}
+}
+
+// --- cuts ---
+
+func TestEnumerateCutsBasic(t *testing.T) {
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	n1 := g.And(a, b)
+	n2 := g.And(n1, c)
+	g.AddOutput(n2, "o")
+	cuts := EnumerateCuts(g, 4)
+	// n2 must have a cut {a,b,c}.
+	found := false
+	for _, cut := range cuts[n2.Node()] {
+		if len(cut.Leaves) == 3 {
+			found = true
+			tt, ok := g.WindowTT(n2.Node(), cut.Leaves)
+			if !ok {
+				t.Fatalf("cut window not closed")
+			}
+			// a&b&c over leaves sorted ascending = all three true.
+			if ttPopcount(tt, 3) != 1 {
+				t.Fatalf("cut tt = %x", tt)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("missing 3-leaf cut: %v", cuts[n2.Node()])
+	}
+}
+
+func TestCutsAreValidWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomAIG(rng, 8, 3, 60)
+	cuts := EnumerateCuts(g, 4)
+	for _, id := range g.TopoOrder() {
+		for _, cut := range cuts[id] {
+			if len(cut.Leaves) == 1 && cut.Leaves[0] == id {
+				continue // trivial
+			}
+			if _, ok := g.WindowTT(id, cut.Leaves); !ok {
+				t.Fatalf("node %d: cut %v is not a closed window", id, cut.Leaves)
+			}
+		}
+	}
+}
+
+func TestMergeCutsAndDominance(t *testing.T) {
+	a := Cut{Leaves: []int{1, 3}}
+	b := Cut{Leaves: []int{3, 5}}
+	m, ok := mergeCuts(a, b, 4)
+	if !ok || len(m.Leaves) != 3 {
+		t.Fatalf("merge = %v, %v", m, ok)
+	}
+	if _, ok := mergeCuts(Cut{Leaves: []int{1, 2, 3}}, Cut{Leaves: []int{4, 5, 6}}, 4); ok {
+		t.Fatal("oversize merge accepted")
+	}
+	if !dominates(a, m) {
+		t.Fatal("subset does not dominate")
+	}
+	if dominates(m, a) {
+		t.Fatal("superset dominates")
+	}
+}
+
+// --- transforms preserve function ---
+
+func checkTransform(t *testing.T, name string, f func(*aig.AIG) *aig.AIG, g *aig.AIG) *aig.AIG {
+	t.Helper()
+	h := f(g)
+	if ok, cex := cnf.Equivalent(g, h); !ok {
+		t.Fatalf("%s changed function (cex=%v)", name, cex)
+	}
+	return h
+}
+
+func TestBalancePreservesFunctionAndReducesDepth(t *testing.T) {
+	// A long AND chain must balance to logarithmic depth.
+	g := aig.New()
+	var ins []aig.Lit
+	for i := 0; i < 16; i++ {
+		ins = append(ins, g.AddInput("x"))
+	}
+	cur := ins[0]
+	for _, l := range ins[1:] {
+		cur = g.And(cur, l)
+	}
+	g.AddOutput(cur, "o")
+	if g.NumLevels() != 15 {
+		t.Fatalf("setup depth = %d", g.NumLevels())
+	}
+	h := checkTransform(t, "balance", Balance, g)
+	if h.NumLevels() != 4 {
+		t.Fatalf("balanced depth = %d, want 4", h.NumLevels())
+	}
+}
+
+func TestTransformsPreserveFunctionOnBenchmarks(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	steps := []struct {
+		name string
+		f    func(*aig.AIG) *aig.AIG
+	}{
+		{"balance", Balance},
+		{"rewrite", func(g *aig.AIG) *aig.AIG { return Rewrite(g, false) }},
+		{"rewrite -z", func(g *aig.AIG) *aig.AIG { return Rewrite(g, true) }},
+		{"refactor", func(g *aig.AIG) *aig.AIG { return Refactor(g, false) }},
+		{"refactor -z", func(g *aig.AIG) *aig.AIG { return Refactor(g, true) }},
+		{"resub", func(g *aig.AIG) *aig.AIG { return Resub(g, false) }},
+		{"resub -z", func(g *aig.AIG) *aig.AIG { return Resub(g, true) }},
+	}
+	for _, s := range steps {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			checkTransform(t, s.name, s.f, g)
+		})
+	}
+}
+
+func TestTransformsPreserveFunctionQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick property test in -short mode")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAIG(rng, 5+rng.Intn(4), 1+rng.Intn(3), 15+rng.Intn(50))
+		for _, s := range AllSteps() {
+			h := s.Apply(g)
+			if ok, _ := cnf.Equivalent(g, h); !ok {
+				t.Logf("seed %d: %v changed function", seed, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewriteReducesRedundantLogic(t *testing.T) {
+	// Build a redundant structure: (a&b) | (a&b&c) == a&b (absorption),
+	// expressed without sharing so rewrite has something to find.
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	ab := g.And(a, b)
+	abc := g.And(g.And(a, c), b)
+	g.AddOutput(g.Or(ab, abc), "o")
+	before := g.NumAnds()
+	h := Rewrite(g, false)
+	if ok, _ := cnf.Equivalent(g, h); !ok {
+		t.Fatal("rewrite changed function")
+	}
+	if h.NumAnds() >= before {
+		t.Fatalf("rewrite did not shrink: %d -> %d", before, h.NumAnds())
+	}
+}
+
+func TestResubMergesEquivalentNodes(t *testing.T) {
+	// Two structurally different XOR implementations; resub should merge.
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	x1 := g.Xor(a, b)                          // (a&!b) | (!a&b)
+	x2 := g.And(g.Or(a, b), g.And(a, b).Not()) // (a|b) & !(a&b)
+	if x1 == x2 {
+		t.Fatal("setup: forms unexpectedly hashed together")
+	}
+	g.AddOutput(g.And(x1, x2), "both") // = x1 since x1==x2 functionally
+	before := g.NumAnds()
+	h := Resub(g, false)
+	if ok, _ := cnf.Equivalent(g, h); !ok {
+		t.Fatal("resub changed function")
+	}
+	if h.NumAnds() >= before {
+		t.Fatalf("resub did not shrink: %d -> %d", before, h.NumAnds())
+	}
+}
+
+func TestTransformsDeterministic(t *testing.T) {
+	g := circuits.MustGenerate("c499")
+	for _, s := range AllSteps() {
+		h1 := s.Apply(g)
+		h2 := s.Apply(g)
+		if h1.NumAnds() != h2.NumAnds() || h1.NumLevels() != h2.NumLevels() {
+			t.Fatalf("%v nondeterministic: %v vs %v", s, h1, h2)
+		}
+	}
+}
+
+// --- recipes ---
+
+func TestStepStringParseRoundTrip(t *testing.T) {
+	for _, s := range AllSteps() {
+		got, err := ParseStep(s.String())
+		if err != nil || got != s {
+			t.Fatalf("round trip %v: %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseStep("bogus"); err == nil {
+		t.Fatal("bogus step accepted")
+	}
+}
+
+func TestRecipeStringParse(t *testing.T) {
+	r := Resyn2()
+	if len(r) != RecipeLength {
+		t.Fatalf("resyn2 length = %d, want %d", len(r), RecipeLength)
+	}
+	parsed, err := ParseRecipe(r.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Equal(r) {
+		t.Fatalf("parse(%q) = %v", r.String(), parsed)
+	}
+	short, err := ParseRecipe("b; rw; rfz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Recipe{StepBalance, StepRewrite, StepRefactorZ}
+	if !short.Equal(want) {
+		t.Fatalf("abbreviations: %v", short)
+	}
+}
+
+func TestRandomRecipeAndMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := RandomRecipe(rng, RecipeLength)
+	if len(r) != RecipeLength {
+		t.Fatalf("length %d", len(r))
+	}
+	m := MutateRecipe(rng, r)
+	if m.Equal(r) {
+		t.Fatal("mutation is identity")
+	}
+	diff := 0
+	for i := range r {
+		if r[i] != m[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("mutation changed %d positions", diff)
+	}
+	// Original untouched.
+	r2 := RandomRecipe(rand.New(rand.NewSource(5)), RecipeLength)
+	if !r.Equal(r2) {
+		t.Fatal("RandomRecipe not deterministic for fixed seed")
+	}
+}
+
+func TestResyn2OnBenchmarkShrinks(t *testing.T) {
+	g := circuits.MustGenerate("c1908")
+	h := Resyn2().Apply(g)
+	if ok, _ := cnf.Equivalent(g, h); !ok {
+		t.Fatal("resyn2 changed function")
+	}
+	if h.NumAnds() > g.NumAnds() {
+		t.Fatalf("resyn2 grew the netlist: %d -> %d", g.NumAnds(), h.NumAnds())
+	}
+	t.Logf("c1908: %d -> %d ANDs, %d -> %d levels",
+		g.NumAnds(), h.NumAnds(), g.NumLevels(), h.NumLevels())
+}
+
+func TestDifferentRecipesDifferentStructure(t *testing.T) {
+	// The core premise of the paper: different recipes yield structurally
+	// different netlists for the same function.
+	g := circuits.MustGenerate("c880")
+	rng := rand.New(rand.NewSource(3))
+	r1 := RandomRecipe(rng, 6)
+	r2 := RandomRecipe(rng, 6)
+	h1 := r1.Apply(g)
+	h2 := r2.Apply(g)
+	if ok, _ := cnf.Equivalent(h1, h2); !ok {
+		t.Fatal("recipes changed function")
+	}
+	if h1.NumAnds() == h2.NumAnds() && h1.NumLevels() == h2.NumLevels() {
+		t.Logf("warning: recipes %q and %q yielded same size/depth (may be coincidence)", r1, r2)
+	}
+}
+
+func BenchmarkRewriteC880(b *testing.B) {
+	g := circuits.MustGenerate("c880")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rewrite(g, false)
+	}
+}
+
+func BenchmarkBalanceC1908(b *testing.B) {
+	g := circuits.MustGenerate("c1908")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Balance(g)
+	}
+}
+
+func BenchmarkResyn2C432(b *testing.B) {
+	g := circuits.MustGenerate("c432")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Resyn2().Apply(g)
+	}
+}

@@ -1,0 +1,418 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/cnf"
+)
+
+// resubSigWords is the signature width (64-bit words) used by
+// resubstitution candidate filtering.
+const resubSigWords = 8
+
+// resubSATBudget bounds the SAT effort per resubstitution proof.
+const resubSATBudget = 300
+
+// resubSeed fixes the simulation seed so resub is deterministic.
+const resubSeed = 0x5EED
+
+// Balance rebuilds AND trees to minimize depth: maximal fanout-free
+// AND-trees are collapsed into their conjuncts and re-associated
+// greedily, always pairing the two shallowest operands (Huffman style).
+// Function is preserved; levels typically drop.
+func Balance(g *aig.AIG) *aig.AIG {
+	fc := g.FanoutCounts()
+	rb := aig.NewRebuilder(g)
+	// absorbed marks AND nodes that are collapsed into a parent tree.
+	absorbed := make(map[int]bool)
+	order := g.TopoOrder()
+	for _, id := range order {
+		f0, f1 := g.Fanins(id)
+		for _, f := range []aig.Lit{f0, f1} {
+			if !f.Neg() && g.IsAnd(f.Node()) && fc[f.Node()] == 1 {
+				absorbed[f.Node()] = true
+			}
+		}
+	}
+	var conjuncts func(l aig.Lit, out []aig.Lit) []aig.Lit
+	conjuncts = func(l aig.Lit, out []aig.Lit) []aig.Lit {
+		if !l.Neg() && g.IsAnd(l.Node()) && absorbed[l.Node()] {
+			c0, c1 := g.Fanins(l.Node())
+			out = conjuncts(c0, out)
+			return conjuncts(c1, out)
+		}
+		return append(out, l)
+	}
+	for _, id := range order {
+		if absorbed[id] {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		lits := conjuncts(f0, nil)
+		lits = conjuncts(f1, lits)
+		// Translate and balance by destination level.
+		dst := make([]aig.Lit, len(lits))
+		for i, l := range lits {
+			dst[i] = rb.LitOf(l)
+		}
+		rb.Map(id, balancedAnd(rb.Dst, dst))
+	}
+	return rb.Finish().Cleanup()
+}
+
+// balancedAnd combines literals pairing the two shallowest first.
+func balancedAnd(g *aig.AIG, lits []aig.Lit) aig.Lit {
+	if len(lits) == 0 {
+		return aig.True
+	}
+	work := append([]aig.Lit(nil), lits...)
+	for len(work) > 1 {
+		sort.SliceStable(work, func(i, j int) bool {
+			return g.Level(work[i].Node()) < g.Level(work[j].Node())
+		})
+		n := g.And(work[0], work[1])
+		work = append([]aig.Lit{n}, work[2:]...)
+	}
+	return work[0]
+}
+
+// coneNodes returns the AND nodes between root and the cut leaves.
+func coneNodes(g *aig.AIG, root int, leaves []int) map[int]bool {
+	leafSet := map[int]bool{}
+	for _, l := range leaves {
+		leafSet[l] = true
+	}
+	cone := map[int]bool{}
+	var walk func(id int)
+	walk = func(id int) {
+		if leafSet[id] || cone[id] || !g.IsAnd(id) {
+			return
+		}
+		cone[id] = true
+		f0, f1 := g.Fanins(id)
+		walk(f0.Node())
+		walk(f1.Node())
+	}
+	walk(root)
+	return cone
+}
+
+// savedNodes counts how many AND nodes die if root is reimplemented over
+// the cut leaves: the intersection of root's MFFC with the cut cone.
+func savedNodes(g *aig.AIG, root int, leaves []int, fc []int) int {
+	cone := coneNodes(g, root, leaves)
+	saved := 0
+	for _, id := range g.MFFC(root, fc) {
+		if cone[id] {
+			saved++
+		}
+	}
+	return saved
+}
+
+// Rewrite performs cut-based rewriting: for every node, 4-input cuts are
+// enumerated, the cut function is resynthesized from its ISOP, and the
+// best replacement is accepted when it saves nodes (or, with zero=true,
+// also when cost-neutral, which diversifies structure without growth —
+// ABC's "rewrite -z").
+func Rewrite(g *aig.AIG, zero bool) *aig.AIG {
+	fc := g.FanoutCounts()
+	cuts := EnumerateCuts(g, cutSize)
+	rb := aig.NewRebuilder(g)
+	for _, id := range g.TopoOrder() {
+		type cand struct {
+			tt     uint64
+			leaves []int
+			gain   int
+		}
+		var best *cand
+		for _, cut := range cuts[id] {
+			if len(cut.Leaves) < 2 || (len(cut.Leaves) == 1 && cut.Leaves[0] == id) {
+				continue
+			}
+			tt, ok := g.WindowTT(id, cut.Leaves)
+			if !ok {
+				continue
+			}
+			cost := EstimateTTCost(tt, len(cut.Leaves))
+			gain := savedNodes(g, id, cut.Leaves, fc) - cost
+			if best == nil || gain > best.gain {
+				best = &cand{tt: tt, leaves: cut.Leaves, gain: gain}
+			}
+		}
+		accept := best != nil && (best.gain > 0 || (zero && best.gain == 0))
+		if accept {
+			leafLits := make([]aig.Lit, len(best.leaves))
+			for i, l := range best.leaves {
+				leafLits[i] = rb.LitOf(aig.MakeLit(l, false))
+			}
+			rb.Map(id, SynthTT(rb.Dst, best.tt, leafLits))
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		rb.Map(id, rb.Dst.And(rb.LitOf(f0), rb.LitOf(f1)))
+	}
+	return rb.Finish().Cleanup()
+}
+
+// refactorLeafLimit is the window size for refactoring (larger than
+// rewrite's cuts, within the 6-variable truth-table limit).
+const refactorLeafLimit = 6
+
+// reconvWindow grows a reconvergence-driven window rooted at id with at
+// most limit leaves, expanding the deepest expandable leaf first.
+func reconvWindow(g *aig.AIG, id, limit int) []int {
+	f0, f1 := g.Fanins(id)
+	leaves := []int{f0.Node(), f1.Node()}
+	if leaves[0] == leaves[1] {
+		leaves = leaves[:1]
+	}
+	for {
+		bestIdx, bestScore := -1, -1
+		for i, l := range leaves {
+			if !g.IsAnd(l) {
+				continue
+			}
+			c0, c1 := g.Fanins(l)
+			added := 0
+			if !containsInt(leaves, c0.Node()) {
+				added++
+			}
+			if c1.Node() != c0.Node() && !containsInt(leaves, c1.Node()) {
+				added++
+			}
+			if len(leaves)-1+added > limit {
+				continue
+			}
+			// Prefer expansions that reconverge (add fewer leaves), then
+			// deeper nodes.
+			score := (2-added)*1000 + g.Level(l)
+			if score > bestScore {
+				bestScore, bestIdx = score, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		l := leaves[bestIdx]
+		leaves = append(leaves[:bestIdx], leaves[bestIdx+1:]...)
+		c0, c1 := g.Fanins(l)
+		if !containsInt(leaves, c0.Node()) {
+			leaves = append(leaves, c0.Node())
+		}
+		if !containsInt(leaves, c1.Node()) {
+			leaves = append(leaves, c1.Node())
+		}
+	}
+	sort.Ints(leaves)
+	return leaves
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Refactor collapses one large reconvergence-driven window per node into
+// its ISOP-resynthesized form when that saves nodes (or is cost-neutral
+// with zero=true) — the analogue of ABC's refactor / refactor -z.
+func Refactor(g *aig.AIG, zero bool) *aig.AIG {
+	fc := g.FanoutCounts()
+	rb := aig.NewRebuilder(g)
+	for _, id := range g.TopoOrder() {
+		leaves := reconvWindow(g, id, refactorLeafLimit)
+		replaced := false
+		if len(leaves) >= 2 && len(leaves) <= 6 {
+			if tt, ok := g.WindowTT(id, leaves); ok {
+				cost := EstimateTTCost(tt, len(leaves))
+				gain := savedNodes(g, id, leaves, fc) - cost
+				if gain > 0 || (zero && gain == 0) {
+					leafLits := make([]aig.Lit, len(leaves))
+					for i, l := range leaves {
+						leafLits[i] = rb.LitOf(aig.MakeLit(l, false))
+					}
+					rb.Map(id, SynthTT(rb.Dst, tt, leafLits))
+					replaced = true
+				}
+			}
+		}
+		if !replaced {
+			f0, f1 := g.Fanins(id)
+			rb.Map(id, rb.Dst.And(rb.LitOf(f0), rb.LitOf(f1)))
+		}
+	}
+	return rb.Finish().Cleanup()
+}
+
+// sigKey folds a signature into a hashable key.
+func sigKey(sig []uint64) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, w := range sig {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+func sigEqual(a, b []uint64, neg bool) bool {
+	for i := range a {
+		w := b[i]
+		if neg {
+			w = ^w
+		}
+		if a[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Resub performs SAT-verified resubstitution. The base pass merges nodes
+// that are functionally equivalent (up to complement) to an earlier node
+// — 0-resubstitution, as in fraiging. With zero=true it additionally
+// attempts 1-resubstitution: reimplementing a node as a single AND of two
+// existing divisors from its neighborhood, accepted even when
+// cost-neutral ("resub -z").
+func Resub(g *aig.AIG, zero bool) *aig.AIG {
+	rng := rand.New(rand.NewSource(resubSeed))
+	sigs := g.Signatures(rng, resubSigWords)
+	order := g.TopoOrder()
+
+	// Candidate index: signature hash (and complement hash) -> node IDs in
+	// topological order. Inputs participate as divisors.
+	byKey := map[uint64][]int{}
+	add := func(id int) {
+		byKey[sigKey(sigs[id])] = append(byKey[sigKey(sigs[id])], id)
+	}
+	for i := 0; i < g.NumInputs(); i++ {
+		add(g.Input(i).Node())
+	}
+	for _, id := range order {
+		add(id)
+	}
+	negKey := func(sig []uint64) uint64 {
+		tmp := make([]uint64, len(sig))
+		for i, w := range sig {
+			tmp[i] = ^w
+		}
+		return sigKey(tmp)
+	}
+
+	fanouts := g.Fanouts()
+	rb := aig.NewRebuilder(g)
+	merged := map[int]bool{}
+	for _, id := range order {
+		if lit, ok := zeroResub(g, id, sigs, byKey, negKey, merged); ok {
+			rb.Map(id, rb.LitOf(lit))
+			merged[id] = true
+			continue
+		}
+		if zero {
+			if lit, ok := oneResub(g, id, sigs, fanouts); ok {
+				a0, a1 := lit[0], lit[1]
+				nl := rb.Dst.And(rb.LitOf(a0), rb.LitOf(a1)).NotIf(lit[2].Neg())
+				rb.Map(id, nl)
+				continue
+			}
+		}
+		f0, f1 := g.Fanins(id)
+		rb.Map(id, rb.Dst.And(rb.LitOf(f0), rb.LitOf(f1)))
+	}
+	return rb.Finish().Cleanup()
+}
+
+// zeroResub finds an earlier node equivalent to id (possibly
+// complemented) and returns the replacement literal in the source graph.
+func zeroResub(g *aig.AIG, id int, sigs [][]uint64, byKey map[uint64][]int, negKey func([]uint64) uint64, merged map[int]bool) (aig.Lit, bool) {
+	try := func(cands []int, neg bool) (aig.Lit, bool) {
+		for _, m := range cands {
+			if m >= id || merged[m] {
+				continue
+			}
+			if !sigEqual(sigs[id], sigs[m], neg) {
+				continue
+			}
+			eq, proven := cnf.LitsEquivalent(g, aig.MakeLit(id, false), aig.MakeLit(m, neg), resubSATBudget)
+			if proven && eq {
+				return aig.MakeLit(m, neg), true
+			}
+		}
+		return 0, false
+	}
+	if l, ok := try(byKey[sigKey(sigs[id])], false); ok {
+		return l, true
+	}
+	if l, ok := try(byKey[negKey(sigs[id])], true); ok {
+		return l, true
+	}
+	return 0, false
+}
+
+// oneResub searches divisor pairs (d0, d1) from the structural
+// neighborhood of id such that id == (d0' AND d1')^p, verified by SAT.
+// On success it returns [d0Lit, d1Lit, polarity] where polarity's
+// complement bit applies to the AND.
+func oneResub(g *aig.AIG, id int, sigs [][]uint64, fanouts [][]int) ([3]aig.Lit, bool) {
+	// Divisors: 2-hop structural neighborhood, excluding id and its TFO
+	// (larger IDs), capped for cost.
+	nb := g.KHopNeighborhood(id, 2, fanouts)
+	var div []int
+	for _, d := range nb {
+		if d < id && !g.IsConst(d) {
+			div = append(div, d)
+		}
+	}
+	if len(div) > 12 {
+		div = div[:12]
+	}
+	target := sigs[id]
+	for i := 0; i < len(div); i++ {
+		for j := i + 1; j < len(div); j++ {
+			for pol := 0; pol < 8; pol++ {
+				n0, n1, np := pol&1 == 1, pol&2 == 2, pol&4 == 4
+				if matchAnd(target, sigs[div[i]], sigs[div[j]], n0, n1, np) {
+					l0 := aig.MakeLit(div[i], n0)
+					l1 := aig.MakeLit(div[j], n1)
+					if eq, proven := litEquivAnd(g, aig.MakeLit(id, false), l0, l1, np); proven && eq {
+						return [3]aig.Lit{l0, l1, aig.MakeLit(0, np)}, true
+					}
+				}
+			}
+		}
+	}
+	return [3]aig.Lit{}, false
+}
+
+func matchAnd(target, s0, s1 []uint64, n0, n1, np bool) bool {
+	for k := range target {
+		a, b := s0[k], s1[k]
+		if n0 {
+			a = ^a
+		}
+		if n1 {
+			b = ^b
+		}
+		v := a & b
+		if np {
+			v = ^v
+		}
+		if target[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// litEquivAnd checks x == (a AND b) ^ np via SAT on the source graph.
+func litEquivAnd(g *aig.AIG, x, a, b aig.Lit, np bool) (bool, bool) {
+	// Reuse LitsEquivalent by expressing the AND inside a throwaway clone.
+	h := g.Clone()
+	t := h.And(a, b).NotIf(np)
+	return cnf.LitsEquivalent(h, x, t, resubSATBudget)
+}

@@ -1,0 +1,216 @@
+// Package synth implements the logic-synthesis engine ALMOST tunes: the
+// seven AIG transformations the paper draws recipes from (rewrite, resub,
+// refactor, their zero-cost -z variants, and balance), plus recipe
+// handling and the resyn2 baseline script.
+//
+// The transforms follow the ABC playbook: cut/window enumeration, truth
+// table computation, ISOP-based resynthesis, SAT-verified
+// resubstitution, and level-minimizing tree balancing. They are
+// deterministic: a given recipe applied to a given AIG always yields the
+// same netlist — the property that makes synthesis-induced key-gate
+// structure learnable, and that ALMOST exploits in reverse.
+package synth
+
+import (
+	"math/bits"
+
+	"github.com/nyu-secml/almost/internal/aig"
+)
+
+// cube is a product term over window variables: for variable i,
+// mask bit i set means the variable appears; value bit i gives its
+// polarity (1 = positive).
+type cube struct {
+	mask, value uint8
+}
+
+// cofactor0 returns tt with variable v set to 0, duplicated into both
+// halves so the result is still a full table.
+func cofactor0(tt uint64, v int) uint64 {
+	m := varMask(v)
+	lo := tt & ^m
+	return lo | lo<<(1<<uint(v))
+}
+
+// cofactor1 returns tt with variable v set to 1.
+func cofactor1(tt uint64, v int) uint64 {
+	m := varMask(v)
+	hi := tt & m
+	return hi | hi>>(1<<uint(v))
+}
+
+func varMask(v int) uint64 {
+	masks := [6]uint64{
+		0xAAAAAAAAAAAAAAAA,
+		0xCCCCCCCCCCCCCCCC,
+		0xF0F0F0F0F0F0F0F0,
+		0xFF00FF00FF00FF00,
+		0xFFFF0000FFFF0000,
+		0xFFFFFFFF00000000,
+	}
+	return masks[v]
+}
+
+// support returns the variables (< n) that tt actually depends on.
+func support(tt uint64, n int) []int {
+	var vars []int
+	for v := 0; v < n; v++ {
+		if cofactor0(tt, v) != cofactor1(tt, v) {
+			vars = append(vars, v)
+		}
+	}
+	return vars
+}
+
+// isop computes an irredundant sum-of-products cover with
+// L ⊆ cover ⊆ U using the Minato-Morreale procedure. n is the variable
+// count. The returned cover, interpreted as OR of cubes, equals L when
+// U == L.
+func isop(L, U uint64, n int) []cube {
+	mask := aig.TTMask(n)
+	L &= mask
+	U &= mask
+	if L == 0 {
+		return nil
+	}
+	if U == mask {
+		return []cube{{}} // tautology cube
+	}
+	// Pick the highest variable in the support of L or U's complement.
+	v := -1
+	for i := n - 1; i >= 0; i-- {
+		if cofactor0(L, i) != cofactor1(L, i) || cofactor0(U, i) != cofactor1(U, i) {
+			v = i
+			break
+		}
+	}
+	if v < 0 {
+		// L is constant non-zero and U is constant non-one: impossible
+		// given the guards above, but return the safe cover.
+		return []cube{{}}
+	}
+	L0, L1 := cofactor0(L, v)&mask, cofactor1(L, v)&mask
+	U0, U1 := cofactor0(U, v)&mask, cofactor1(U, v)&mask
+
+	c0 := isop(L0&^U1, U0, n)
+	c1 := isop(L1&^U0, U1, n)
+	cov0 := coverTT(c0, n)
+	cov1 := coverTT(c1, n)
+	Lnew := (L0 &^ cov0) | (L1 &^ cov1)
+	c2 := isop(Lnew, U0&U1, n)
+
+	out := make([]cube, 0, len(c0)+len(c1)+len(c2))
+	for _, c := range c0 {
+		c.mask |= 1 << uint(v)
+		// polarity negative: value bit stays 0
+		out = append(out, c)
+	}
+	for _, c := range c1 {
+		c.mask |= 1 << uint(v)
+		c.value |= 1 << uint(v)
+		out = append(out, c)
+	}
+	out = append(out, c2...)
+	return out
+}
+
+// cubeTT returns the truth table of a cube over n variables.
+func cubeTT(c cube, n int) uint64 {
+	tt := aig.TTMask(n)
+	for v := 0; v < n; v++ {
+		if c.mask&(1<<uint(v)) == 0 {
+			continue
+		}
+		if c.value&(1<<uint(v)) != 0 {
+			tt &= varMask(v)
+		} else {
+			tt &= ^varMask(v)
+		}
+	}
+	return tt & aig.TTMask(n)
+}
+
+// coverTT ORs together the cubes' tables.
+func coverTT(cs []cube, n int) uint64 {
+	var tt uint64
+	for _, c := range cs {
+		tt |= cubeTT(c, n)
+	}
+	return tt & aig.TTMask(n)
+}
+
+// buildSOP constructs OR-of-AND cubes over the leaf literals in g.
+func buildSOP(g *aig.AIG, cs []cube, leaves []aig.Lit) aig.Lit {
+	terms := make([]aig.Lit, 0, len(cs))
+	for _, c := range cs {
+		var lits []aig.Lit
+		for v := 0; v < len(leaves); v++ {
+			if c.mask&(1<<uint(v)) == 0 {
+				continue
+			}
+			lits = append(lits, leaves[v].NotIf(c.value&(1<<uint(v)) == 0))
+		}
+		terms = append(terms, g.AndN(lits))
+	}
+	return g.OrN(terms)
+}
+
+// SynthTT builds an AIG implementation of truth table tt over the given
+// leaf literals (n = len(leaves) ≤ 6) in graph g, returning the root
+// literal. It synthesizes both the function and its complement via ISOP
+// and keeps the cheaper form; the cost is measured on a scratch graph so
+// the choice is deterministic and graph-independent.
+func SynthTT(g *aig.AIG, tt uint64, leaves []aig.Lit) aig.Lit {
+	n := len(leaves)
+	mask := aig.TTMask(n)
+	tt &= mask
+	switch tt {
+	case 0:
+		return aig.False
+	case mask:
+		return aig.True
+	}
+	for v := 0; v < n; v++ {
+		if tt == varMask(v)&mask {
+			return leaves[v]
+		}
+		if tt == ^varMask(v)&mask {
+			return leaves[v].Not()
+		}
+	}
+	pos := isop(tt, tt, n)
+	neg := isop(^tt&mask, ^tt&mask, n)
+	if sopCost(pos, n) <= sopCost(neg, n) {
+		return buildSOP(g, pos, leaves)
+	}
+	return buildSOP(g, neg, leaves).Not()
+}
+
+// sopCost estimates the AND-node count of a cube cover built on a scratch
+// graph (capturing intra-cover sharing through structural hashing).
+func sopCost(cs []cube, n int) int {
+	scratch := aig.New()
+	leaves := make([]aig.Lit, n)
+	for i := range leaves {
+		leaves[i] = scratch.AddInput("l")
+	}
+	buildSOP(scratch, cs, leaves)
+	return scratch.NumAnds()
+}
+
+// EstimateTTCost returns the scratch-graph AND-node cost of implementing
+// tt over n fresh leaves, as used by rewrite's gain computation.
+func EstimateTTCost(tt uint64, n int) int {
+	scratch := aig.New()
+	leaves := make([]aig.Lit, n)
+	for i := range leaves {
+		leaves[i] = scratch.AddInput("l")
+	}
+	SynthTT(scratch, tt, leaves)
+	return scratch.NumAnds()
+}
+
+// ttPopcount returns the number of minterms in tt over n variables.
+func ttPopcount(tt uint64, n int) int {
+	return bits.OnesCount64(tt & aig.TTMask(n))
+}

@@ -1,0 +1,51 @@
+// Package techmap maps AIGs onto a standard-cell library and reports
+// power-performance-area (PPA) metrics. It stands in for the commercial
+// flow the paper uses (Synopsys DC + NanGate 45 nm): Table III only needs
+// overheads of ALMOST-synthesized netlists relative to a baseline mapped
+// with the same tool, so a consistent tree-covering mapper with a
+// NanGate45-flavored library preserves the comparison.
+//
+// The mapper covers the AIG with cell patterns (INV/BUF, AND2/NAND2,
+// OR2/NOR2, XOR2/XNOR2, AOI21/OAI21) by dynamic programming over both
+// output polarities of every node, minimizing area. Delay is computed by
+// static timing over the chosen cover; power combines leakage with
+// activity-weighted dynamic power, with switching activity estimated by
+// random simulation.
+package techmap
+
+// Cell describes a library cell.
+type Cell struct {
+	Name    string
+	Area    float64 // µm²
+	Delay   float64 // ns, single pin-to-output figure
+	Leakage float64 // nW
+	InCap   float64 // normalized input capacitance (dynamic power weight)
+}
+
+// Library is a named set of cells.
+type Library struct {
+	Name string
+	Inv, Buf,
+	And2, Nand2,
+	Or2, Nor2,
+	Xor2, Xnor2,
+	Aoi21, Oai21 Cell
+}
+
+// NanGate45 returns a library with area/delay/leakage figures modeled on
+// the NanGate 45 nm Open Cell Library's X1 drive cells.
+func NanGate45() *Library {
+	return &Library{
+		Name:  "nangate45-like",
+		Inv:   Cell{"INV_X1", 0.532, 0.010, 1.7, 1.0},
+		Buf:   Cell{"BUF_X1", 0.798, 0.022, 2.3, 1.1},
+		And2:  Cell{"AND2_X1", 1.064, 0.022, 3.0, 1.2},
+		Nand2: Cell{"NAND2_X1", 0.798, 0.013, 2.2, 1.2},
+		Or2:   Cell{"OR2_X1", 1.064, 0.024, 3.1, 1.2},
+		Nor2:  Cell{"NOR2_X1", 0.798, 0.017, 2.1, 1.2},
+		Xor2:  Cell{"XOR2_X1", 1.596, 0.030, 4.5, 1.7},
+		Xnor2: Cell{"XNOR2_X1", 1.596, 0.031, 4.6, 1.7},
+		Aoi21: Cell{"AOI21_X1", 1.064, 0.019, 2.6, 1.3},
+		Oai21: Cell{"OAI21_X1", 1.064, 0.020, 2.7, 1.3},
+	}
+}

@@ -1,0 +1,306 @@
+package techmap
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// Effort selects the optimization level, mirroring the paper's Table III
+// settings: -opt (no optimization) and +opt (ultra effort with area
+// recovery).
+type Effort int
+
+// Efforts.
+const (
+	EffortNone Effort = iota // "-opt": map the netlist as-is
+	EffortHigh               // "+opt": area-recovery synthesis before mapping
+)
+
+// Result reports the PPA of a mapped netlist.
+type Result struct {
+	Area     float64        // µm²
+	Delay    float64        // ns, critical path
+	Power    float64        // µW, leakage + dynamic at default activity
+	Cells    map[string]int // cell name -> count
+	NumGates int
+}
+
+// String gives a compact summary.
+func (r Result) String() string {
+	return fmt.Sprintf("area=%.2fµm² delay=%.3fns power=%.2fµW gates=%d",
+		r.Area, r.Delay, r.Power, r.NumGates)
+}
+
+// match describes one way to implement a node polarity.
+type match struct {
+	cell *Cell
+	// inputs are (source literal) pairs the cell consumes; each literal's
+	// polarity selects which polarity cost of the source node is charged.
+	inputs []aig.Lit
+	valid  bool
+}
+
+// Map covers the AIG with library cells and returns the PPA result.
+// Effort EffortHigh first runs an area-recovery pass (rewrite+balance) on
+// the AIG, modeling DC's "ultra effort + area recovery".
+func Map(g *aig.AIG, lib *Library, effort Effort) Result {
+	if effort == EffortHigh {
+		g = synth.Balance(synth.Rewrite(g, false))
+	}
+	return mapDirect(g, lib)
+}
+
+func mapDirect(g *aig.AIG, lib *Library) Result {
+	order := g.TopoOrder()
+	n := g.NumNodes()
+
+	// DP over (node, polarity): cost[2*id+p] = best area to produce node
+	// id with polarity p (0 positive, 1 negated) at its driver.
+	const inf = 1e18
+	cost := make([]float64, 2*n)
+	choice := make([]match, 2*n)
+	for i := range cost {
+		cost[i] = inf
+	}
+	// Constant and inputs are free at positive polarity; inverting them
+	// costs an inverter.
+	setLeaf := func(id int) {
+		cost[2*id] = 0
+		cost[2*id+1] = lib.Inv.Area
+		choice[2*id+1] = match{cell: &lib.Inv, inputs: []aig.Lit{aig.MakeLit(id, false)}, valid: true}
+	}
+	setLeaf(0)
+	for i := 0; i < g.NumInputs(); i++ {
+		setLeaf(g.Input(i).Node())
+	}
+
+	litCost := func(l aig.Lit) float64 {
+		idx := 2 * l.Node()
+		if l.Neg() {
+			idx++
+		}
+		return cost[idx]
+	}
+
+	for _, id := range order {
+		f0, f1 := g.Fanins(id)
+		cands := enumerateMatches(g, lib, id, f0, f1)
+		for _, m := range cands {
+			for pol := 0; pol < 2; pol++ {
+				if m.pol != pol {
+					continue
+				}
+				c := m.m.cell.Area
+				ok := true
+				for _, in := range m.m.inputs {
+					ic := litCost(in)
+					if ic >= inf {
+						ok = false
+						break
+					}
+					c += ic
+				}
+				if ok && c < cost[2*id+pol] {
+					cost[2*id+pol] = c
+					choice[2*id+pol] = m.m
+				}
+			}
+		}
+		// Fall back: derive the missing polarity with an inverter.
+		for pol := 0; pol < 2; pol++ {
+			other := 1 - pol
+			c := cost[2*id+other] + lib.Inv.Area
+			if c < cost[2*id+pol] {
+				cost[2*id+pol] = c
+				choice[2*id+pol] = match{cell: &lib.Inv, inputs: []aig.Lit{aig.MakeLit(id, other == 1)}, valid: true}
+			}
+		}
+	}
+
+	// Walk the cover from the outputs, instantiating cells.
+	type instKey struct {
+		id  int
+		pol int
+	}
+	instantiated := map[instKey]bool{}
+	cells := map[string]int{}
+	arrival := map[instKey]float64{}
+	activity := nodeActivity(g)
+	var totalArea, totalLeak, totalDyn float64
+
+	var build func(l aig.Lit) float64
+	build = func(l aig.Lit) float64 {
+		id := l.Node()
+		pol := 0
+		if l.Neg() {
+			pol = 1
+		}
+		k := instKey{id, pol}
+		if t, ok := arrival[k]; ok && instantiated[k] {
+			return t
+		}
+		if (g.IsInput(id) || g.IsConst(id)) && pol == 0 {
+			arrival[k] = 0
+			instantiated[k] = true
+			return 0
+		}
+		m := choice[2*id+pol]
+		if !m.valid {
+			panic(fmt.Sprintf("techmap: no match for node %d pol %d", id, pol))
+		}
+		// Guard against self-recursion through the inverter fallback.
+		instantiated[k] = true
+		worst := 0.0
+		for _, in := range m.inputs {
+			t := build(in)
+			if t > worst {
+				worst = t
+			}
+		}
+		t := worst + m.cell.Delay
+		arrival[k] = t
+		cells[m.cell.Name]++
+		totalArea += m.cell.Area
+		totalLeak += m.cell.Leakage
+		// Dynamic power: output toggle rate times input cap load proxy.
+		totalDyn += activity[id] * m.cell.InCap * 10
+		return t
+	}
+
+	var delay float64
+	for i := 0; i < g.NumOutputs(); i++ {
+		if t := build(g.Output(i)); t > delay {
+			delay = t
+		}
+	}
+	nGates := 0
+	for _, c := range cells {
+		nGates += c
+	}
+	return Result{
+		Area:     totalArea,
+		Delay:    delay,
+		Power:    totalLeak/1000 + totalDyn/1000, // nW -> µW scaleish
+		Cells:    cells,
+		NumGates: nGates,
+	}
+}
+
+type polMatch struct {
+	m   match
+	pol int
+}
+
+// enumerateMatches lists the cell patterns rooted at AND node id.
+func enumerateMatches(g *aig.AIG, lib *Library, id int, f0, f1 aig.Lit) []polMatch {
+	var out []polMatch
+	add := func(pol int, cell *Cell, inputs ...aig.Lit) {
+		out = append(out, polMatch{m: match{cell: cell, inputs: inputs, valid: true}, pol: pol})
+	}
+	// AND2 / NAND2 consume the fanin literals as-is.
+	add(0, &lib.And2, f0, f1)
+	add(1, &lib.Nand2, f0, f1)
+	// NOR2/OR2: n = !a & !b.
+	if f0.Neg() && f1.Neg() {
+		add(0, &lib.Nor2, f0.Not(), f1.Not())
+		add(1, &lib.Or2, f0.Not(), f1.Not())
+	}
+	// XNOR/XOR: n = !(a & !b) & !(!a & b)  (both fanins complemented ANDs
+	// whose own fanins cross-match with opposite polarities).
+	if f0.Neg() && f1.Neg() && g.IsAnd(f0.Node()) && g.IsAnd(f1.Node()) {
+		a0, a1 := g.Fanins(f0.Node())
+		b0, b1 := g.Fanins(f1.Node())
+		if pa, pb, ok := xorOperands(a0, a1, b0, b1); ok {
+			add(0, &lib.Xnor2, pa, pb)
+			add(1, &lib.Xor2, pa, pb)
+		}
+	}
+	// AOI21: n = !(a&b) & !c  -> n = !((a&b) | c), positive polarity.
+	if f0.Neg() && g.IsAnd(f0.Node()) && f1.Neg() {
+		a, b := g.Fanins(f0.Node())
+		add(0, &lib.Aoi21, a, b, f1.Not())
+	}
+	if f1.Neg() && g.IsAnd(f1.Node()) && f0.Neg() {
+		a, b := g.Fanins(f1.Node())
+		add(0, &lib.Aoi21, a, b, f0.Not())
+	}
+	// OAI21: n = (a|b) & c = !And(!a,!b) & c -> !n = !((a|b)&c).
+	if f0.Neg() && g.IsAnd(f0.Node()) {
+		a, b := g.Fanins(f0.Node())
+		if a.Neg() && b.Neg() {
+			add(1, &lib.Oai21, a.Not(), b.Not(), f1)
+		}
+	}
+	if f1.Neg() && g.IsAnd(f1.Node()) {
+		a, b := g.Fanins(f1.Node())
+		if a.Neg() && b.Neg() {
+			add(1, &lib.Oai21, a.Not(), b.Not(), f0)
+		}
+	}
+	return out
+}
+
+// xorOperands checks the cross-match condition for XOR detection: the
+// pairs must be {x, !y} and {!x, y}. Returns the positive operand lits.
+func xorOperands(a0, a1, b0, b1 aig.Lit) (aig.Lit, aig.Lit, bool) {
+	// Try all pairings.
+	if a0 == b0.Not() && a1 == b1.Not() {
+		return aig.Lit(a0 &^ 1), aig.Lit(a1 &^ 1), true
+	}
+	if a0 == b1.Not() && a1 == b0.Not() {
+		return aig.Lit(a0 &^ 1), aig.Lit(a1 &^ 1), true
+	}
+	return 0, 0, false
+}
+
+// nodeActivity estimates per-node switching activity 2p(1-p) from 1024
+// random patterns (fixed seed: PPA reports must be deterministic).
+func nodeActivity(g *aig.AIG) []float64 {
+	rng := rand.New(rand.NewSource(0xAC71))
+	sigs := g.Signatures(rng, 16)
+	act := make([]float64, g.NumNodes())
+	for id := range act {
+		if sigs[id] == nil {
+			continue
+		}
+		ones := 0
+		for _, w := range sigs[id] {
+			for ; w != 0; w &= w - 1 {
+				ones++
+			}
+		}
+		p := float64(ones) / float64(16*64)
+		act[id] = 2 * p * (1 - p)
+	}
+	return act
+}
+
+// CellReport renders the cell histogram sorted by name.
+func (r Result) CellReport() string {
+	names := make([]string, 0, len(r.Cells))
+	for n := range r.Cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		s += fmt.Sprintf("%-10s %d\n", n, r.Cells[n])
+	}
+	return s
+}
+
+// Overhead returns the percentage overheads of r relative to base for
+// area, delay, and power — the quantities Table III reports.
+func Overhead(base, r Result) (areaPct, delayPct, powerPct float64) {
+	pct := func(b, v float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return (v - b) / b * 100
+	}
+	return pct(base.Area, r.Area), pct(base.Delay, r.Delay), pct(base.Power, r.Power)
+}

@@ -1,0 +1,199 @@
+package techmap
+
+import (
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+)
+
+func TestMapSingleAnd(t *testing.T) {
+	lib := NanGate45()
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	g.AddOutput(g.And(a, b), "o")
+	r := Map(g, lib, EffortNone)
+	if r.Cells["AND2_X1"] != 1 || r.NumGates != 1 {
+		t.Fatalf("cells = %v", r.Cells)
+	}
+	if r.Area != lib.And2.Area {
+		t.Fatalf("area = %v", r.Area)
+	}
+	if r.Delay != lib.And2.Delay {
+		t.Fatalf("delay = %v", r.Delay)
+	}
+}
+
+func TestMapNandCheaperThanAndPlusInv(t *testing.T) {
+	lib := NanGate45()
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	g.AddOutput(g.And(a, b).Not(), "o")
+	r := Map(g, lib, EffortNone)
+	if r.Cells["NAND2_X1"] != 1 || len(r.Cells) != 1 {
+		t.Fatalf("expected a single NAND2, got %v", r.Cells)
+	}
+}
+
+func TestMapNorPattern(t *testing.T) {
+	lib := NanGate45()
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	g.AddOutput(g.Or(a, b).Not(), "o") // !(a|b) = !a & !b
+	r := Map(g, lib, EffortNone)
+	if r.Cells["NOR2_X1"] != 1 || len(r.Cells) != 1 {
+		t.Fatalf("expected a single NOR2, got %v", r.Cells)
+	}
+}
+
+func TestMapXorPattern(t *testing.T) {
+	lib := NanGate45()
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	g.AddOutput(g.Xor(a, b), "o")
+	r := Map(g, lib, EffortNone)
+	if r.Cells["XOR2_X1"] != 1 || len(r.Cells) != 1 {
+		t.Fatalf("expected a single XOR2, got %v", r.Cells)
+	}
+	g2 := aig.New()
+	a2 := g2.AddInput("a")
+	b2 := g2.AddInput("b")
+	g2.AddOutput(g2.Xnor(a2, b2), "o")
+	r2 := Map(g2, lib, EffortNone)
+	if r2.Cells["XNOR2_X1"] != 1 || len(r2.Cells) != 1 {
+		t.Fatalf("expected a single XNOR2, got %v", r2.Cells)
+	}
+}
+
+func TestMapAoi21Pattern(t *testing.T) {
+	lib := NanGate45()
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	c := g.AddInput("c")
+	// !((a&b) | c)
+	g.AddOutput(g.Or(g.And(a, b), c).Not(), "o")
+	r := Map(g, lib, EffortNone)
+	if r.Cells["AOI21_X1"] != 1 || len(r.Cells) != 1 {
+		t.Fatalf("expected a single AOI21, got %v", r.Cells)
+	}
+}
+
+func TestMapInverterOnInput(t *testing.T) {
+	lib := NanGate45()
+	g := aig.New()
+	a := g.AddInput("a")
+	g.AddOutput(a.Not(), "o")
+	r := Map(g, lib, EffortNone)
+	if r.Cells["INV_X1"] != 1 || r.NumGates != 1 {
+		t.Fatalf("cells = %v", r.Cells)
+	}
+}
+
+func TestMapPassthroughFree(t *testing.T) {
+	lib := NanGate45()
+	g := aig.New()
+	a := g.AddInput("a")
+	g.AddOutput(a, "o")
+	r := Map(g, lib, EffortNone)
+	if r.NumGates != 0 || r.Area != 0 || r.Delay != 0 {
+		t.Fatalf("passthrough not free: %v", r)
+	}
+}
+
+func TestDelayIsCriticalPath(t *testing.T) {
+	lib := NanGate45()
+	g := aig.New()
+	var ins []aig.Lit
+	for i := 0; i < 8; i++ {
+		ins = append(ins, g.AddInput("x"))
+	}
+	// Chain of 7 ANDs: delay ~= 7 * and2 delay.
+	cur := ins[0]
+	for _, l := range ins[1:] {
+		cur = g.And(cur, l)
+	}
+	g.AddOutput(cur, "o")
+	r := Map(g, lib, EffortNone)
+	want := 7 * lib.And2.Delay
+	if r.Delay < want-1e-9 || r.Delay > want+1e-9 {
+		t.Fatalf("delay = %v, want %v", r.Delay, want)
+	}
+}
+
+func TestEffortHighReducesOrMatchesArea(t *testing.T) {
+	lib := NanGate45()
+	g := circuits.MustGenerate("c880")
+	r0 := Map(g, lib, EffortNone)
+	r1 := Map(g, lib, EffortHigh)
+	if r1.Area > r0.Area*1.05 {
+		t.Fatalf("+opt area %v much larger than -opt %v", r1.Area, r0.Area)
+	}
+}
+
+func TestMapDeterministic(t *testing.T) {
+	lib := NanGate45()
+	g := circuits.MustGenerate("c499")
+	r1 := Map(g, lib, EffortNone)
+	r2 := Map(g, lib, EffortNone)
+	if r1.Area != r2.Area || r1.Delay != r2.Delay || r1.Power != r2.Power {
+		t.Fatalf("nondeterministic mapping: %v vs %v", r1, r2)
+	}
+}
+
+func TestMapBenchmarksProducePlausiblePPA(t *testing.T) {
+	lib := NanGate45()
+	for _, name := range []string{"c432", "c1908", "c6288"} {
+		g := circuits.MustGenerate(name)
+		r := Map(g, lib, EffortNone)
+		if r.Area <= 0 || r.Delay <= 0 || r.Power <= 0 {
+			t.Errorf("%s: degenerate PPA %v", name, r)
+		}
+		if r.NumGates < g.NumAnds()/3 {
+			t.Errorf("%s: suspiciously few gates %d for %d ANDs", name, r.NumGates, g.NumAnds())
+		}
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	base := Result{Area: 100, Delay: 2, Power: 50}
+	r := Result{Area: 103, Delay: 1.8, Power: 55}
+	a, d, p := Overhead(base, r)
+	if a < 2.99 || a > 3.01 {
+		t.Errorf("area overhead = %v", a)
+	}
+	if d > -9.99 && d < -10.01 {
+		t.Errorf("delay overhead = %v", d)
+	}
+	if p < 9.99 || p > 10.01 {
+		t.Errorf("power overhead = %v", p)
+	}
+	// Zero base must not divide by zero.
+	a, d, p = Overhead(Result{}, r)
+	if a != 0 || d != 0 || p != 0 {
+		t.Errorf("zero base overheads: %v %v %v", a, d, p)
+	}
+}
+
+func TestCellReportListsCells(t *testing.T) {
+	lib := NanGate45()
+	g := circuits.MustGenerate("c432")
+	r := Map(g, lib, EffortNone)
+	rep := r.CellReport()
+	if rep == "" {
+		t.Fatal("empty cell report")
+	}
+}
+
+func BenchmarkMapC6288(b *testing.B) {
+	lib := NanGate45()
+	g := circuits.MustGenerate("c6288")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Map(g, lib, EffortNone)
+	}
+}
