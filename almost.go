@@ -16,6 +16,26 @@
 //	fmt.Println(hardened.Recipe)            // S_ALMOST
 //	fmt.Println(hardened.Search.Accuracy)   // proxy-estimated attack accuracy
 //
+// # Concurrency
+//
+// The hot path of the whole framework — synthesizing the locked netlist
+// with a candidate recipe and re-running the proxy attack, once per
+// simulated-annealing step — executes on a concurrent recipe-evaluation
+// engine. Each SA iteration proposes Config.SAProposals neighbor
+// recipes and fans them out across Config.Parallelism workers (<= 0
+// selects runtime.NumCPU(); the CLI exposes this as -jobs), every
+// worker evaluating on its own private copy of the netlist. Scores are
+// memoized under a canonical recipe hash, so recipes the annealer
+// revisits are never re-synthesized. Search results are bit-for-bit
+// deterministic for a fixed Config.Seed regardless of Parallelism:
+// proposal and acceptance randomness come from dedicated streams
+// derived from the master seed, and candidate batches are reduced in
+// proposal order.
+//
+//	cfg := almost.DefaultConfig()
+//	cfg.Parallelism = 8 // evaluate 8 candidates concurrently
+//	hardened := almost.Harden(design, 64, cfg)
+//
 // The heavy lifting lives in the internal packages (AIG engine,
 // synthesis transforms, SAT solver, GNN, attacks); this package exposes
 // stable aliases and entry points so downstream code never imports

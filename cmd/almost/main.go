@@ -10,14 +10,19 @@
 //	almost lock -in c1908.bench -keysize 64 -seed 1 -o locked.bench -keyfile key.txt
 //	almost synth -in locked.bench -recipe "balance; rewrite; refactor" -o out.bench
 //	almost attack -in locked.bench -attack omla -recipe resyn2 -keyfile key.txt
-//	almost tune -in locked.bench -keyfile key.txt -o recipe.txt
+//	almost tune -in locked.bench -keyfile key.txt -jobs 8 -o recipe.txt
 //	almost ppa -in out.bench
-//	almost experiment -name table2 -quick
+//	almost experiment -name table2 -quick -jobs 8
+//
+// The compute-heavy commands (tune, experiment) take -jobs N to set the
+// worker count of the concurrent recipe-evaluation engine; 0 (the
+// default) uses every CPU. Results are identical for any -jobs value.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -35,42 +40,56 @@ import (
 	"github.com/nyu-secml/almost/internal/techmap"
 )
 
-func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "gen":
-		err = cmdGen(os.Args[2:])
-	case "lock":
-		err = cmdLock(os.Args[2:])
-	case "synth":
-		err = cmdSynth(os.Args[2:])
-	case "attack":
-		err = cmdAttack(os.Args[2:])
-	case "tune":
-		err = cmdTune(os.Args[2:])
-	case "ppa":
-		err = cmdPPA(os.Args[2:])
-	case "experiment":
-		err = cmdExperiment(os.Args[2:])
-	case "help", "-h", "--help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "almost: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "almost: %v\n", err)
-		os.Exit(1)
-	}
+// command is one subcommand handler. Handlers write results to stdout,
+// diagnostics to stderr, and return an error instead of exiting, so the
+// dispatcher (and the tests) stay in control of process state.
+type command func(args []string, stdout, stderr io.Writer) error
+
+// commands maps subcommand names to handlers.
+var commands = map[string]command{
+	"gen":        cmdGen,
+	"lock":       cmdLock,
+	"synth":      cmdSynth,
+	"attack":     cmdAttack,
+	"tune":       cmdTune,
+	"ppa":        cmdPPA,
+	"experiment": cmdExperiment,
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `almost — security-aware synthesis tuning (DAC'23 reproduction)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches args to a subcommand and returns the process exit code:
+// 0 on success, 1 on a command error, 2 on a usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "help", "-h", "--help":
+		usage(stderr)
+		return 0
+	}
+	cmd, ok := commands[args[0]]
+	if !ok {
+		fmt.Fprintf(stderr, "almost: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err := cmd(args[1:], stdout, stderr); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		fmt.Fprintf(stderr, "almost: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `almost — security-aware synthesis tuning (DAC'23 reproduction)
 
 commands:
   gen         generate a benchmark circuit (.bench)
@@ -83,6 +102,18 @@ commands:
               (transfer | table1 | fig4 | table2 | table3 | fig5)
 
 run "almost <command> -h" for per-command flags`)
+}
+
+// newFlagSet builds a flag set that reports errors instead of exiting.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+// jobsFlag registers the shared -jobs flag on compute-heavy subcommands.
+func jobsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("jobs", 0, "evaluation workers (0 = all CPUs); results are jobs-independent")
 }
 
 func readNetlist(path string) (*aig.AIG, error) {
@@ -130,30 +161,34 @@ func readKeyFile(path string) (lock.Key, error) {
 	return key, nil
 }
 
-func cmdGen(args []string) error {
-	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+func cmdGen(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("gen", stderr)
 	circuit := fs.String("circuit", "c1908", "benchmark name ("+strings.Join(circuits.Names(), ", ")+")")
 	out := fs.String("o", "", "output .bench path (default stdout)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	g, err := circuits.Generate(*circuit)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "%s: %v\n", *circuit, g)
+	fmt.Fprintf(stderr, "%s: %v\n", *circuit, g)
 	if *out == "" {
-		return bench.Write(os.Stdout, g)
+		return bench.Write(stdout, g)
 	}
 	return writeNetlist(*out, g)
 }
 
-func cmdLock(args []string) error {
-	fs := flag.NewFlagSet("lock", flag.ExitOnError)
+func cmdLock(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("lock", stderr)
 	in := fs.String("in", "", "input .bench netlist (required)")
 	keySize := fs.Int("keysize", 64, "number of key gates")
 	seed := fs.Int64("seed", 1, "locking seed")
 	out := fs.String("o", "", "output .bench path (default stdout)")
 	keyFile := fs.String("keyfile", "", "file to store the correct key")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("lock: -in is required")
 	}
@@ -162,24 +197,26 @@ func cmdLock(args []string) error {
 		return err
 	}
 	locked, key := lock.Lock(g, *keySize, rand.New(rand.NewSource(*seed)))
-	fmt.Fprintf(os.Stderr, "locked: %v key=%s\n", locked, key)
+	fmt.Fprintf(stderr, "locked: %v key=%s\n", locked, key)
 	if *keyFile != "" {
 		if err := os.WriteFile(*keyFile, []byte(key.String()+"\n"), 0o644); err != nil {
 			return err
 		}
 	}
 	if *out == "" {
-		return bench.Write(os.Stdout, locked)
+		return bench.Write(stdout, locked)
 	}
 	return writeNetlist(*out, locked)
 }
 
-func cmdSynth(args []string) error {
-	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+func cmdSynth(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("synth", stderr)
 	in := fs.String("in", "", "input .bench netlist (required)")
 	recipeStr := fs.String("recipe", "resyn2", `recipe script or "resyn2"`)
 	out := fs.String("o", "", "output .bench path (default stdout)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("synth: -in is required")
 	}
@@ -192,20 +229,22 @@ func cmdSynth(args []string) error {
 		return err
 	}
 	h := recipe.Apply(g)
-	fmt.Fprintf(os.Stderr, "synth: %v -> %v (recipe: %s)\n", g, h, recipe)
+	fmt.Fprintf(stderr, "synth: %v -> %v (recipe: %s)\n", g, h, recipe)
 	if *out == "" {
-		return bench.Write(os.Stdout, h)
+		return bench.Write(stdout, h)
 	}
 	return writeNetlist(*out, h)
 }
 
-func cmdAttack(args []string) error {
-	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+func cmdAttack(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("attack", stderr)
 	in := fs.String("in", "", "locked .bench netlist (required)")
 	attackName := fs.String("attack", "omla", "omla | scope | redundancy")
 	recipeStr := fs.String("recipe", "resyn2", "defender's recipe (omla only)")
 	keyFile := fs.String("keyfile", "", "true key file (reports accuracy when given)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("attack: -in is required")
 	}
@@ -229,25 +268,28 @@ func cmdAttack(args []string) error {
 	default:
 		return fmt.Errorf("attack: unknown attack %q", *attackName)
 	}
-	fmt.Printf("predicted key: %s\n", guess)
+	fmt.Fprintf(stdout, "predicted key: %s\n", guess)
 	if *keyFile != "" {
 		truth, err := readKeyFile(*keyFile)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("accuracy: %.2f%%\n", lock.Accuracy(truth, guess)*100)
+		fmt.Fprintf(stdout, "accuracy: %.2f%%\n", lock.Accuracy(truth, guess)*100)
 	}
 	return nil
 }
 
-func cmdTune(args []string) error {
-	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+func cmdTune(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("tune", stderr)
 	in := fs.String("in", "", "locked .bench netlist (required)")
 	keyFile := fs.String("keyfile", "", "true key file (required)")
 	out := fs.String("o", "", "file for the tuned recipe (default stdout)")
 	netOut := fs.String("net", "", "optional path for the ALMOST-synthesized netlist")
 	full := fs.Bool("full", false, "use the paper's full-size settings (slow)")
-	fs.Parse(args)
+	jobs := jobsFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" || *keyFile == "" {
 		return fmt.Errorf("tune: -in and -keyfile are required")
 	}
@@ -263,14 +305,15 @@ func cmdTune(args []string) error {
 	if *full {
 		cfg = core.PaperConfig()
 	}
-	fmt.Fprintln(os.Stderr, "training adversarial proxy M*...")
+	cfg.Parallelism = *jobs
+	fmt.Fprintln(stderr, "training adversarial proxy M*...")
 	proxy := core.TrainProxy(g, core.ModelAdversarial, synth.Resyn2(), cfg)
-	fmt.Fprintln(os.Stderr, "searching for S_ALMOST (Eq. 1)...")
+	fmt.Fprintln(stderr, "searching for S_ALMOST (Eq. 1)...")
 	res := core.SearchRecipe(g, key, proxy, cfg)
-	fmt.Fprintf(os.Stderr, "best proxy accuracy: %.2f%%\n", res.Accuracy*100)
+	fmt.Fprintf(stderr, "best proxy accuracy: %.2f%%\n", res.Accuracy*100)
 	line := res.Recipe.String() + "\n"
 	if *out == "" {
-		fmt.Print(line)
+		fmt.Fprint(stdout, line)
 	} else if err := os.WriteFile(*out, []byte(line), 0o644); err != nil {
 		return err
 	}
@@ -280,12 +323,14 @@ func cmdTune(args []string) error {
 	return nil
 }
 
-func cmdPPA(args []string) error {
-	fs := flag.NewFlagSet("ppa", flag.ExitOnError)
+func cmdPPA(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("ppa", stderr)
 	in := fs.String("in", "", "input .bench netlist (required)")
 	opt := fs.Bool("opt", false, "high-effort mapping (+opt)")
 	cells := fs.Bool("cells", false, "print the cell histogram")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("ppa: -in is required")
 	}
@@ -298,19 +343,22 @@ func cmdPPA(args []string) error {
 		eff = techmap.EffortHigh
 	}
 	r := techmap.Map(g, techmap.NanGate45(), eff)
-	fmt.Println(r)
+	fmt.Fprintln(stdout, r)
 	if *cells {
-		fmt.Print(r.CellReport())
+		fmt.Fprint(stdout, r.CellReport())
 	}
 	return nil
 }
 
-func cmdExperiment(args []string) error {
-	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+func cmdExperiment(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("experiment", stderr)
 	name := fs.String("name", "table2", "transfer | table1 | fig4 | table2 | table3 | fig5")
 	quick := fs.Bool("quick", true, "reduced settings (minutes); -quick=false uses the paper's full settings")
 	benches := fs.String("benchmarks", "", "comma-separated benchmark override")
-	fs.Parse(args)
+	jobs := jobsFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	opt := experiments.FullOptions()
 	if *quick {
 		opt = experiments.QuickOptions()
@@ -318,7 +366,8 @@ func cmdExperiment(args []string) error {
 	if *benches != "" {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}
-	opt.Out = os.Stdout
+	opt.Cfg.Parallelism = *jobs
+	opt.Out = stdout
 	switch *name {
 	case "transfer":
 		experiments.RunTransferability(opt.Benchmarks[0], opt.KeySizes[0], opt)

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes the dispatcher the way main does, capturing both streams.
+func runCLI(args ...string) (code int, stdout, stderr string) {
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestDispatch(t *testing.T) {
+	tests := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string // substring expected on stderr ("" = don't check)
+	}{
+		{"no args", nil, 2, "commands:"},
+		{"help", []string{"help"}, 0, "commands:"},
+		{"help dash h", []string{"-h"}, 0, "commands:"},
+		{"unknown command", []string{"frobnicate"}, 2, `unknown command "frobnicate"`},
+		{"gen unknown circuit", []string{"gen", "-circuit", "c999"}, 1, ""},
+		{"lock missing in", []string{"lock"}, 1, "-in is required"},
+		{"synth missing in", []string{"synth"}, 1, "-in is required"},
+		{"synth missing input file", []string{"synth", "-in", "no-such.bench"}, 1, ""},
+		{"attack missing in", []string{"attack"}, 1, "-in is required"},
+		{"ppa missing in", []string{"ppa"}, 1, "-in is required"},
+		{"tune missing in and keyfile", []string{"tune"}, 1, "-in and -keyfile are required"},
+		// -jobs must parse on the compute-heavy commands; the command then
+		// fails on missing required flags before any heavy work happens.
+		{"tune accepts jobs flag", []string{"tune", "-jobs", "8"}, 1, "-in and -keyfile are required"},
+		{"tune rejects bad jobs value", []string{"tune", "-jobs", "many"}, 1, "invalid value"},
+		{"experiment accepts jobs flag", []string{"experiment", "-jobs", "4", "-name", "bogus"}, 1, `unknown name "bogus"`},
+		{"experiment unknown name", []string{"experiment", "-name", "nope"}, 1, `unknown name "nope"`},
+		{"subcommand help exits zero", []string{"gen", "-h"}, 0, "-circuit"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			code, _, stderr := runCLI(tt.args...)
+			if code != tt.wantCode {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tt.args, code, tt.wantCode, stderr)
+			}
+			if tt.wantErr != "" && !strings.Contains(stderr, tt.wantErr) {
+				t.Fatalf("run(%v) stderr = %q, want substring %q", tt.args, stderr, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestGenLockSynthPPARoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	design := filepath.Join(dir, "c432.bench")
+	locked := filepath.Join(dir, "locked.bench")
+	synthed := filepath.Join(dir, "out.bench")
+	keyFile := filepath.Join(dir, "key.txt")
+
+	if code, _, stderr := runCLI("gen", "-circuit", "c432", "-o", design); code != 0 {
+		t.Fatalf("gen failed (%d): %s", code, stderr)
+	}
+	if code, _, stderr := runCLI("lock", "-in", design, "-keysize", "8", "-seed", "1",
+		"-o", locked, "-keyfile", keyFile); code != 0 {
+		t.Fatalf("lock failed (%d): %s", code, stderr)
+	}
+	key, err := os.ReadFile(keyFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(key)); len(got) != 8 || strings.Trim(got, "01") != "" {
+		t.Fatalf("key file content %q, want 8 bits", got)
+	}
+	if code, _, stderr := runCLI("synth", "-in", locked,
+		"-recipe", "balance; rewrite", "-o", synthed); code != 0 {
+		t.Fatalf("synth failed (%d): %s", code, stderr)
+	}
+	code, stdout, stderr := runCLI("ppa", "-in", synthed)
+	if code != 0 {
+		t.Fatalf("ppa failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "area") && !strings.Contains(stdout, "Area") {
+		t.Fatalf("ppa output missing area report: %q", stdout)
+	}
+}
+
+func TestGenWritesParsableNetlistToStdout(t *testing.T) {
+	code, stdout, stderr := runCLI("gen", "-circuit", "c432")
+	if code != 0 {
+		t.Fatalf("gen failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "INPUT(") || !strings.Contains(stdout, "OUTPUT(") {
+		t.Fatalf("stdout does not look like a .bench netlist: %.120q", stdout)
+	}
+}
+
+func TestAttackUnknownName(t *testing.T) {
+	dir := t.TempDir()
+	design := filepath.Join(dir, "c432.bench")
+	if code, _, stderr := runCLI("gen", "-circuit", "c432", "-o", design); code != 0 {
+		t.Fatalf("gen failed (%d): %s", code, stderr)
+	}
+	code, _, stderr := runCLI("attack", "-in", design, "-attack", "psychic")
+	if code != 1 || !strings.Contains(stderr, `unknown attack "psychic"`) {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}

@@ -25,6 +25,7 @@ func main() {
 	cfg.Attack.Rounds = 3
 	cfg.Attack.Epochs = 8
 	cfg.SA.Iterations = 10
+	cfg.Parallelism = 0 // evaluate recipe candidates on every CPU (the default)
 
 	hardened := almost.Harden(design, 16, cfg)
 	fmt.Printf("hardened: %v\n", hardened.Netlist)

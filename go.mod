@@ -1,0 +1,3 @@
+module github.com/nyu-secml/almost
+
+go 1.21

@@ -233,6 +233,9 @@ func (g *AIG) And(a, b Lit) Lit {
 	if a > b {
 		a, b = b, a
 	}
+	if g.strash == nil {
+		g.rebuildStrash()
+	}
 	key := strashKey(a, b)
 	if id, ok := g.strash[key]; ok {
 		return MakeLit(id, false)
@@ -331,21 +334,39 @@ func (g *AIG) IsPONode(id int) bool {
 	return false
 }
 
-// Clone returns a deep copy of the AIG.
+// Clone returns a deep copy of the AIG. The structural-hashing table is
+// not copied eagerly: it is rebuilt from the node array on the first And
+// call on the copy (see rebuildStrash). This makes Clone cheap — O(nodes)
+// slice copies with no map traffic — which matters when handing a private
+// copy to every worker of a concurrent evaluator, where most copies are
+// only ever read.
 func (g *AIG) Clone() *AIG {
-	c := &AIG{
+	return &AIG{
 		nodes:   append([]node(nil), g.nodes...),
 		pis:     append([]int(nil), g.pis...),
 		pos:     append([]Lit(nil), g.pos...),
 		piNames: append([]string(nil), g.piNames...),
 		poNames: append([]string(nil), g.poNames...),
 		isKey:   append([]bool(nil), g.isKey...),
-		strash:  make(map[uint64]int, len(g.strash)),
 	}
-	for k, v := range g.strash {
-		c.strash[k] = v
+}
+
+// rebuildStrash reconstructs the structural-hashing table from the node
+// array. The graph is append-only and fanins are canonically ordered, so
+// the table is a pure function of the nodes; the first node wins on a
+// duplicate key, exactly as incremental insertion would have behaved.
+func (g *AIG) rebuildStrash() {
+	g.strash = make(map[uint64]int, len(g.nodes))
+	for id := range g.nodes {
+		n := &g.nodes[id]
+		if n.kind != KindAnd {
+			continue
+		}
+		k := strashKey(n.fanin0, n.fanin1)
+		if _, ok := g.strash[k]; !ok {
+			g.strash[k] = id
+		}
 	}
-	return c
 }
 
 // Rebuilder incrementally copies one AIG into a fresh one, tracking the

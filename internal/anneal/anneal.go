@@ -7,6 +7,12 @@
 // initial temperature with a Metropolis acceptance criterion whose
 // divisor is scaled by an "acceptance" constant (the paper uses
 // T0 = 120, acceptance = 1.8, 100 iterations).
+//
+// Two drivers are provided: Run, the classic sequential chain, and
+// RunParallel, which proposes a batch of K neighbors per iteration and
+// evaluates them through a BatchProblem (backed by the concurrent
+// engine in internal/engine) while remaining bit-for-bit deterministic
+// for a fixed seed, independent of evaluation concurrency.
 package anneal
 
 import (
@@ -55,13 +61,18 @@ type Result[S any] struct {
 	Trace      []TracePoint[S]
 }
 
+// coolingFactor resolves the per-iteration geometric factor, defaulting
+// to a decay reaching ~1% of T0 over the run.
+func coolingFactor(cfg Config) float64 {
+	if cfg.Cooling > 0 && cfg.Cooling < 1 {
+		return cfg.Cooling
+	}
+	return math.Pow(0.01, 1/math.Max(1, float64(cfg.Iterations)))
+}
+
 // Run anneals from init, recording a trace point per iteration.
 func Run[S any](p Problem[S], init S, cfg Config, rng *rand.Rand) Result[S] {
-	cooling := cfg.Cooling
-	if cooling <= 0 || cooling >= 1 {
-		// Auto: decay to ~1% of T0 over the run.
-		cooling = math.Pow(0.01, 1/math.Max(1, float64(cfg.Iterations)))
-	}
+	cooling := coolingFactor(cfg)
 	cur := init
 	curE := p.Energy(cur)
 	best := cur
@@ -78,6 +89,117 @@ func Run[S any](p Problem[S], init S, cfg Config, rng *rand.Rand) Result[S] {
 		}
 		if accept {
 			cur, curE = cand, candE
+		}
+		if curE < bestE {
+			best, bestE = cur, curE
+		}
+		res.Trace = append(res.Trace, TracePoint[S]{Iteration: it, Energy: curE, Best: bestE, State: cur})
+		temp *= cooling
+		if cfg.HasTarget && bestE <= cfg.Target {
+			break
+		}
+	}
+	res.Best = best
+	res.BestEnergy = bestE
+	return res
+}
+
+// BatchProblem is a Problem whose energies can be computed for a whole
+// batch of candidate states at once — the hook RunParallel uses to push
+// per-iteration proposals through a concurrent evaluator (internal/engine).
+// EnergyBatch must return energies in input order and must agree with
+// Energy on every state.
+type BatchProblem[S any] interface {
+	Problem[S]
+	EnergyBatch(ss []S) []float64
+}
+
+// ParallelConfig tunes RunParallel.
+type ParallelConfig struct {
+	// Proposals is K, the number of neighbors proposed and evaluated per
+	// iteration. Values <= 1 propose a single neighbor (still through the
+	// batch path). K changes the search trajectory; the worker count of
+	// the underlying evaluator does not.
+	Proposals int
+	// Seed derives the per-proposal and acceptance rand streams. The
+	// whole trajectory is a pure function of (problem, init, Config,
+	// ParallelConfig), independent of evaluation concurrency.
+	Seed int64
+}
+
+// mixSeed derives the rand seed for proposal i of iteration it from the
+// master seed via a splitmix64-style finalizer. A plain linear formula
+// (seed + it*K + i) would make nearby master seeds — e.g. the per-epoch
+// seeds of Algorithm 1's adversarial searches — share most of their
+// proposal streams; the avalanche mixing makes every (seed, it, i)
+// triple an effectively independent stream.
+func mixSeed(seed int64, it, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(it+1) + 0xBF58476D1CE4E5B9*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// RunParallel is the batched variant of Run used by the concurrent
+// search pipeline: every iteration proposes K neighbors of the current
+// state, evaluates all of them in one EnergyBatch call (concurrently,
+// when p implements BatchProblem), and then performs an ordered
+// reduction — candidates are considered in proposal order and the first
+// one to pass the Metropolis test becomes the new state, which preserves
+// the sequential chain's acceptance semantics while evaluating
+// speculatively in parallel.
+//
+// Determinism: proposal k of iteration it draws from its own rand.Rand
+// seeded from (Seed, it, k), and acceptance coins come from a dedicated
+// stream, so the trajectory is bit-for-bit reproducible for a fixed seed
+// regardless of how many workers the evaluator runs.
+func RunParallel[S any](p Problem[S], init S, cfg Config, pcfg ParallelConfig) Result[S] {
+	k := pcfg.Proposals
+	if k < 1 {
+		k = 1
+	}
+	batch := func(ss []S) []float64 {
+		if bp, ok := p.(BatchProblem[S]); ok {
+			return bp.EnergyBatch(ss)
+		}
+		out := make([]float64, len(ss))
+		for i, s := range ss {
+			out[i] = p.Energy(s)
+		}
+		return out
+	}
+
+	cooling := coolingFactor(cfg)
+	acceptRng := rand.New(rand.NewSource(pcfg.Seed ^ 0x5DEECE66D))
+	cur := init
+	curE := batch([]S{init})[0]
+	best := cur
+	bestE := curE
+	temp := cfg.InitTemp
+	res := Result[S]{}
+	cands := make([]S, k)
+	for it := 0; it < cfg.Iterations; it++ {
+		for i := 0; i < k; i++ {
+			propRng := rand.New(rand.NewSource(mixSeed(pcfg.Seed, it, i)))
+			cands[i] = p.Neighbor(cur, propRng)
+		}
+		energies := batch(cands)
+		// Ordered reduction: first candidate accepted by the Metropolis
+		// criterion wins; one coin is spent per considered candidate so
+		// the decision sequence is independent of evaluation order.
+		for i := 0; i < k; i++ {
+			accept := energies[i] <= curE
+			if !accept && temp > 0 {
+				prob := math.Exp(-(energies[i] - curE) / (temp * cfg.Acceptance))
+				accept = acceptRng.Float64() < prob
+			}
+			if accept {
+				cur, curE = cands[i], energies[i]
+				break
+			}
 		}
 		if curE < bestE {
 			best, bestE = cur, curE

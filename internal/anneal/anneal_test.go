@@ -96,3 +96,96 @@ func TestPaperConfigValues(t *testing.T) {
 		t.Fatalf("paper config drifted: %+v", cfg)
 	}
 }
+
+// batchQuadratic wraps quadratic with a batch interface that records how
+// evaluation was batched.
+type batchQuadratic struct {
+	quadratic
+	batchSizes []int
+}
+
+func (b *batchQuadratic) EnergyBatch(ss []float64) []float64 {
+	b.batchSizes = append(b.batchSizes, len(ss))
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		out[i] = b.Energy(s)
+	}
+	return out
+}
+
+func TestRunParallelConvergesOnQuadratic(t *testing.T) {
+	cfg := Config{Iterations: 500, InitTemp: 10, Acceptance: 1.0}
+	res := RunParallel[float64](quadratic{}, -20, cfg, ParallelConfig{Proposals: 4, Seed: 1})
+	if math.Abs(res.Best-7) > 0.5 {
+		t.Fatalf("best = %v, want ~7", res.Best)
+	}
+}
+
+func TestRunParallelDeterministic(t *testing.T) {
+	cfg := Config{Iterations: 200, InitTemp: 10, Acceptance: 1.8}
+	pcfg := ParallelConfig{Proposals: 4, Seed: 42}
+	r1 := RunParallel[float64](quadratic{}, 0, cfg, pcfg)
+	r2 := RunParallel[float64](quadratic{}, 0, cfg, pcfg)
+	if r1.Best != r2.Best || r1.BestEnergy != r2.BestEnergy {
+		t.Fatal("RunParallel not deterministic for a fixed seed")
+	}
+	if len(r1.Trace) != len(r2.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(r1.Trace), len(r2.Trace))
+	}
+	for i := range r1.Trace {
+		if r1.Trace[i].Energy != r2.Trace[i].Energy || r1.Trace[i].State != r2.Trace[i].State {
+			t.Fatalf("trace diverges at %d", i)
+		}
+	}
+}
+
+func TestRunParallelUsesBatchInterface(t *testing.T) {
+	cfg := Config{Iterations: 10, InitTemp: 5, Acceptance: 1.0}
+	p := &batchQuadratic{}
+	RunParallel[float64](p, 0, cfg, ParallelConfig{Proposals: 3, Seed: 7})
+	// One batch of 1 for the initial state, then one batch of K per iteration.
+	if len(p.batchSizes) != 11 {
+		t.Fatalf("batches = %d, want 11", len(p.batchSizes))
+	}
+	if p.batchSizes[0] != 1 {
+		t.Fatalf("initial batch size = %d, want 1", p.batchSizes[0])
+	}
+	for _, n := range p.batchSizes[1:] {
+		if n != 3 {
+			t.Fatalf("iteration batch size = %d, want K=3", n)
+		}
+	}
+}
+
+func TestRunParallelProposalsDefaultToOne(t *testing.T) {
+	cfg := Config{Iterations: 50, InitTemp: 5, Acceptance: 1.0}
+	res := RunParallel[float64](quadratic{}, 0, cfg, ParallelConfig{Seed: 5})
+	if len(res.Trace) != 50 {
+		t.Fatalf("trace length = %d", len(res.Trace))
+	}
+}
+
+func TestRunParallelEarlyStopOnTarget(t *testing.T) {
+	cfg := Config{Iterations: 10000, InitTemp: 10, Acceptance: 1.0,
+		Target: 0.01, HasTarget: true}
+	res := RunParallel[float64](quadratic{}, -20, cfg, ParallelConfig{Proposals: 4, Seed: 3})
+	if len(res.Trace) == 10000 {
+		t.Fatalf("no early stop")
+	}
+	if res.BestEnergy > 0.01 {
+		t.Fatalf("stopped without reaching target: %v", res.BestEnergy)
+	}
+}
+
+func TestRunParallelBestIsMonotone(t *testing.T) {
+	cfg := Config{Iterations: 100, InitTemp: 10, Acceptance: 1.8}
+	res := RunParallel[float64](hill{}, 0, cfg, ParallelConfig{Proposals: 4, Seed: 9})
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Best > res.Trace[i-1].Best+1e-12 {
+			t.Fatalf("best energy increased at %d", i)
+		}
+	}
+	if res.Trace[len(res.Trace)-1].Best != res.BestEnergy {
+		t.Fatalf("final best mismatch")
+	}
+}

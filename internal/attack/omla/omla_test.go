@@ -51,17 +51,26 @@ func TestGenerateDataUsesRecipePerRound(t *testing.T) {
 func TestTrainedAttackBeatsRandomGuessing(t *testing.T) {
 	// The central claim of the OMLA substrate: on a vulnerable RLL +
 	// deterministic-recipe netlist, the attack recovers well over 50% of
-	// key bits.
-	g := circuits.MustGenerate("c1908")
-	locked, key := lock.Lock(g, 64, rand.New(rand.NewSource(5)))
+	// key bits. -short trims the circuit and training budget and only
+	// checks the attack is non-degenerate; the paper-scale bar needs the
+	// full run.
+	bench, keySize, minAcc := "c1908", 64, 0.55
+	cfg := DefaultConfig()
+	if testing.Short() {
+		bench, keySize, minAcc = "c880", 32, 0.40
+		cfg.Rounds = 3
+		cfg.Epochs = 8
+	}
+	g := circuits.MustGenerate(bench)
+	locked, key := lock.Lock(g, keySize, rand.New(rand.NewSource(5)))
 	recipe := synth.Resyn2()
 	target := recipe.Apply(locked)
-	atk := Train(target, recipe, DefaultConfig())
+	atk := Train(target, recipe, cfg)
 	acc := atk.Accuracy(target, key)
-	if acc < 0.55 {
-		t.Fatalf("attack accuracy %.2f%% — should be well above random", acc*100)
+	if acc < minAcc {
+		t.Fatalf("attack accuracy %.2f%% — want at least %.0f%%", acc*100, minAcc*100)
 	}
-	t.Logf("OMLA accuracy on c1908/resyn2: %.2f%%", acc*100)
+	t.Logf("OMLA accuracy on %s/resyn2: %.2f%%", bench, acc*100)
 }
 
 func TestPredictKeyLengthAndDeterminism(t *testing.T) {

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// BenchmarkSearchRecipe measures the Eq. 1 recipe search — the hottest
+// path of the framework — at several engine worker counts on an ISCAS-85
+// benchmark. The search trajectory is identical across worker counts
+// (asserted by TestSearchRecipeJobsInvariant), so the sub-benchmarks
+// differ only in wall-clock: on an N-core machine jobs=4 should beat
+// jobs=1 by well over 2x, since each SA iteration evaluates
+// SAProposals=4 candidate recipes that are independent of one another.
+//
+//	go test -run=^$ -bench=BenchmarkSearchRecipe ./internal/core
+func BenchmarkSearchRecipe(b *testing.B) {
+	g := circuits.MustGenerate("c880")
+	locked, key := lock.Lock(g, 32, rand.New(rand.NewSource(1)))
+	cfg := DefaultConfig()
+	cfg.Attack.Rounds = 2
+	cfg.Attack.Epochs = 4
+	cfg.SA.Iterations = 12
+	cfg.SAProposals = 4
+	proxy := TrainProxy(locked, ModelResyn2, synth.Resyn2(), cfg)
+
+	var ref synth.Recipe
+	for _, jobs := range []int{1, 2, 4} {
+		cfg.Parallelism = jobs
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := SearchRecipe(locked, key, proxy, cfg)
+				if ref == nil {
+					ref = res.Recipe
+				} else if !res.Recipe.Equal(ref) {
+					b.Fatalf("jobs=%d diverged from jobs=1 result", jobs)
+				}
+			}
+		})
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"github.com/nyu-secml/almost/internal/aig"
 	"github.com/nyu-secml/almost/internal/anneal"
 	"github.com/nyu-secml/almost/internal/attack/omla"
+	"github.com/nyu-secml/almost/internal/engine"
 	"github.com/nyu-secml/almost/internal/gnn"
 	"github.com/nyu-secml/almost/internal/lock"
 	"github.com/nyu-secml/almost/internal/subgraph"
@@ -71,20 +72,32 @@ type Config struct {
 	SA anneal.Config
 	// RecipeLen is L (the paper fixes L = 10).
 	RecipeLen int
-	Seed      int64
+	// SAProposals is K, the number of neighbor recipes proposed and
+	// evaluated per SA iteration by the concurrent evaluation engine.
+	// K shapes the search trajectory (values <= 1 propose one neighbor);
+	// Parallelism does not.
+	SAProposals int
+	// Parallelism is the evaluation worker count (the CLI's --jobs): how
+	// many recipe candidates are synthesized and attacked concurrently.
+	// <= 0 selects runtime.NumCPU(). Results are bit-for-bit identical
+	// for any value; only wall-clock changes.
+	Parallelism int
+	Seed        int64
 }
 
 // DefaultConfig returns laptop-scale settings that preserve the paper's
 // structure (Alg. 1 cadence, SA schedule shape, L = 10).
 func DefaultConfig() Config {
 	return Config{
-		Attack:     omla.DefaultConfig(),
-		AdvPeriod:  10,
-		AdvGates:   40,
-		AdvSAIters: 12,
-		SA:         anneal.Config{Iterations: 40, InitTemp: 120, Acceptance: 1.8},
-		RecipeLen:  synth.RecipeLength,
-		Seed:       1,
+		Attack:      omla.DefaultConfig(),
+		AdvPeriod:   10,
+		AdvGates:    40,
+		AdvSAIters:  12,
+		SA:          anneal.Config{Iterations: 40, InitTemp: 120, Acceptance: 1.8},
+		RecipeLen:   synth.RecipeLength,
+		SAProposals: 4,
+		Parallelism: 0, // auto: runtime.NumCPU()
+		Seed:        1,
 	}
 }
 
@@ -133,28 +146,37 @@ func TrainProxy(locked *aig.AIG, kind ModelKind, baseline synth.Recipe, cfg Conf
 
 // advProblem is the Eq. 3 search: find a recipe maximizing the model's
 // loss on freshly relocked localities (gradient-free adversarial
-// perturbation in recipe space).
+// perturbation in recipe space). Like the Eq. 1 search it evaluates
+// through a concurrent engine; model inference is read-only, so workers
+// share the model while each re-synthesizes its own relocked copy.
 type advProblem struct {
-	model    *gnn.Model
-	relocked *aig.AIG
-	kis      []int
-	bits     []bool
-	ext      subgraph.Extractor
+	eng *engine.Evaluator
 }
 
-func (p *advProblem) Energy(r synth.Recipe) float64 {
-	resynth := r.Apply(p.relocked)
-	kisAll := resynth.KeyInputIndices()
-	kis := make([]int, len(p.kis))
-	for i, ko := range p.kis {
-		kis[i] = kisAll[ko]
-	}
-	gs := p.ext.Labeled(resynth, kis, p.bits)
-	return -p.model.Loss(gs) // maximize loss = minimize negative loss
+func (p *advProblem) Energy(r synth.Recipe) float64 { return p.eng.Evaluate(r) }
+
+func (p *advProblem) EnergyBatch(rs []synth.Recipe) []float64 {
+	return p.eng.EvaluateBatch(rs)
 }
 
 func (p *advProblem) Neighbor(r synth.Recipe, rng *rand.Rand) synth.Recipe {
 	return synth.MutateRecipe(rng, r)
+}
+
+// advEnergy builds the engine EvalFunc for one augmentation round: score
+// a recipe by the model's (negated) loss on the re-synthesized localities
+// of the relocked netlist. maximize loss = minimize negative loss.
+func advEnergy(model *gnn.Model, keyOrder []int, bits []bool, ext subgraph.Extractor) engine.EvalFunc {
+	return func(g *aig.AIG, r synth.Recipe) float64 {
+		resynth := r.Apply(g)
+		kisAll := resynth.KeyInputIndices()
+		kis := make([]int, len(keyOrder))
+		for i, ko := range keyOrder {
+			kis[i] = kisAll[ko]
+		}
+		gs := ext.Labeled(resynth, kis, bits)
+		return -model.Loss(gs)
+	}
 }
 
 // trainAdversarial implements Algorithm 1.
@@ -181,14 +203,18 @@ func trainAdversarial(locked *aig.AIG, cfg Config) *omla.Attack {
 
 	for epoch := 0; epoch < acfg.Epochs; epoch++ { // line 4
 		if cfg.AdvPeriod > 0 && epoch > 0 && epoch%cfg.AdvPeriod == 0 { // line 5
-			// Line 6: SA for an adversarial recipe s*.
+			// Line 6: SA for an adversarial recipe s*. Training pauses while
+			// the engine workers run read-only inference on the model.
 			relocked, keyOrder, bits := lock.Relock(locked, cfg.AdvGates, rng)
-			prob := &advProblem{model: model, relocked: relocked, kis: keyOrder,
-				bits: bits, ext: ext}
-			saCfg := anneal.Config{Iterations: cfg.AdvSAIters, InitTemp: cfg.SA.InitTemp,
-				Acceptance: cfg.SA.Acceptance}
-			res := anneal.Run[synth.Recipe](prob, synth.RandomRecipe(recipeRng, cfg.RecipeLen),
-				saCfg, rand.New(rand.NewSource(cfg.Seed+int64(epoch))))
+			init := synth.RandomRecipe(recipeRng, cfg.RecipeLen)
+			res := func() anneal.Result[synth.Recipe] {
+				eng := engine.New(relocked, cfg.Parallelism, advEnergy(model, keyOrder, bits, ext))
+				defer eng.Close()
+				saCfg := anneal.Config{Iterations: cfg.AdvSAIters, InitTemp: cfg.SA.InitTemp,
+					Acceptance: cfg.SA.Acceptance}
+				return anneal.RunParallel[synth.Recipe](&advProblem{eng: eng}, init, saCfg,
+					anneal.ParallelConfig{Proposals: cfg.SAProposals, Seed: cfg.Seed + int64(epoch)})
+			}()
 			// Line 7: augment D_training with X^{s*}.
 			resynth := res.Best.Apply(relocked)
 			kisAll := resynth.KeyInputIndices()
@@ -211,32 +237,27 @@ func (p *Proxy) EstimateAccuracy(locked *aig.AIG, r synth.Recipe, truth lock.Key
 	return p.Attack.Accuracy(r.Apply(locked), truth)
 }
 
-// searchProblem is the Eq. 1 objective |Acc − 0.5|.
+// searchProblem is the Eq. 1 objective |Acc − 0.5|, evaluated (and
+// memoized) by a concurrent engine.Evaluator whose workers each score
+// synthesize → proxy attack on a private copy of the locked netlist.
 type searchProblem struct {
-	proxy  *Proxy
-	locked *aig.AIG
-	truth  lock.Key
-	// cache avoids re-synthesizing recipes SA revisits.
-	cache map[string]float64
-	// onEval, if set, observes every evaluated (recipe, accuracy) pair.
-	onEval func(r synth.Recipe, acc float64)
+	eng *engine.Evaluator
 }
 
 func (p *searchProblem) accuracy(r synth.Recipe) float64 {
-	key := r.String()
-	if v, ok := p.cache[key]; ok {
-		return v
-	}
-	acc := p.proxy.EstimateAccuracy(p.locked, r, p.truth)
-	p.cache[key] = acc
-	if p.onEval != nil {
-		p.onEval(r, acc)
-	}
-	return acc
+	return p.eng.Evaluate(r)
 }
 
 func (p *searchProblem) Energy(r synth.Recipe) float64 {
-	return math.Abs(p.accuracy(r) - 0.5)
+	return math.Abs(p.eng.Evaluate(r) - 0.5)
+}
+
+func (p *searchProblem) EnergyBatch(rs []synth.Recipe) []float64 {
+	accs := p.eng.EvaluateBatch(rs)
+	for i, a := range accs {
+		accs[i] = math.Abs(a - 0.5)
+	}
+	return accs
 }
 
 func (p *searchProblem) Neighbor(r synth.Recipe, rng *rand.Rand) synth.Recipe {
@@ -262,12 +283,20 @@ type SearchResult struct {
 // the proxy as the accuracy evaluator. When the budget ends without
 // reaching ~50%, the best recipe found is returned (as the paper does for
 // c2670, c5315, c7552).
+//
+// Evaluation runs on the concurrent engine: every SA iteration proposes
+// cfg.SAProposals neighbors, scored across cfg.Parallelism workers with
+// memoization, and the trajectory is identical for any worker count.
 func SearchRecipe(locked *aig.AIG, truth lock.Key, proxy *Proxy, cfg Config) SearchResult {
-	prob := &searchProblem{proxy: proxy, locked: locked, truth: truth,
-		cache: map[string]float64{}}
+	eng := engine.New(locked, cfg.Parallelism, func(g *aig.AIG, r synth.Recipe) float64 {
+		return proxy.EstimateAccuracy(g, r, truth)
+	})
+	defer eng.Close()
+	prob := &searchProblem{eng: eng}
 	rng := rand.New(rand.NewSource(cfg.Seed + 307))
 	init := synth.RandomRecipe(rng, cfg.RecipeLen)
-	res := anneal.Run[synth.Recipe](prob, init, cfg.SA, rng)
+	res := anneal.RunParallel[synth.Recipe](prob, init, cfg.SA,
+		anneal.ParallelConfig{Proposals: cfg.SAProposals, Seed: cfg.Seed + 311})
 	out := SearchResult{
 		Recipe:   res.Best,
 		Accuracy: prob.accuracy(res.Best),

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled lets multi-minute integration tests stand down under the
+// race detector's ~5-10x slowdown; concurrency coverage is carried by
+// the faster jobs-invariance and engine tests.
+const raceEnabled = true

@@ -1,0 +1,183 @@
+// Package engine provides the concurrent recipe-evaluation engine behind
+// ALMOST's simulated-annealing searches. Every step of the paper's hot
+// loop — re-synthesize the locked AIG with a candidate recipe, then score
+// it (proxy attack accuracy, model loss, mapped PPA, ...) — is
+// independent of every other candidate, so the engine fans candidates
+// out across a pool of workers, each holding its own private copy of the
+// base netlist, and memoizes results in a cache keyed by a canonical
+// recipe hash so recipes the annealer revisits are never re-synthesized.
+//
+// Determinism contract: EvaluateBatch returns scores in input order and
+// the score of a recipe depends only on the recipe (the EvalFunc must be
+// a pure function of its arguments). Under that contract the results are
+// bit-for-bit identical for any worker count, which is what lets
+// anneal.RunParallel promise jobs-independent search trajectories.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// EvalFunc scores one recipe. g is a worker-private copy of the base
+// netlist handed to New, so implementations may synthesize from it freely
+// without synchronization; they must not retain g or mutate captured
+// shared state, and must be deterministic in (g, r).
+type EvalFunc func(g *aig.AIG, r synth.Recipe) float64
+
+// RecipeKey returns the canonical cache key of a recipe: its step codes
+// as raw bytes. Two recipes share a key iff they are step-for-step equal,
+// so the "hash" is collision-free.
+func RecipeKey(r synth.Recipe) string {
+	b := make([]byte, len(r))
+	for i, s := range r {
+		b[i] = byte(s)
+	}
+	return string(b)
+}
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	Hits   int // lookups answered from the cache
+	Misses int // lookups that required an evaluation
+	Size   int // distinct recipes cached
+}
+
+// job is one cache miss dispatched to the worker pool.
+type job struct {
+	recipe synth.Recipe
+	slot   int
+	out    []float64
+	wg     *sync.WaitGroup
+}
+
+// Evaluator is a concurrent, memoizing recipe evaluator. Create with New,
+// release with Close. All methods are safe for concurrent use.
+type Evaluator struct {
+	jobs int
+	fn   EvalFunc
+	reqs chan job
+	wg   sync.WaitGroup
+
+	mu    sync.Mutex
+	cache map[string]float64
+	hits  int
+	miss  int
+}
+
+// New builds an evaluator over base with the given worker count (jobs <= 0
+// selects runtime.NumCPU()). Each worker owns a Clone of base, so fn runs
+// without any sharing of the netlist between workers.
+func New(base *aig.AIG, jobs int, fn EvalFunc) *Evaluator {
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+	e := &Evaluator{
+		jobs:  jobs,
+		fn:    fn,
+		reqs:  make(chan job),
+		cache: make(map[string]float64),
+	}
+	for i := 0; i < jobs; i++ {
+		g := base.Clone()
+		e.wg.Add(1)
+		go e.worker(g)
+	}
+	return e
+}
+
+// Jobs returns the worker count.
+func (e *Evaluator) Jobs() int { return e.jobs }
+
+func (e *Evaluator) worker(g *aig.AIG) {
+	defer e.wg.Done()
+	for j := range e.reqs {
+		j.out[j.slot] = e.fn(g, j.recipe)
+		j.wg.Done()
+	}
+}
+
+// Evaluate scores one recipe, consulting the cache first.
+func (e *Evaluator) Evaluate(r synth.Recipe) float64 {
+	return e.EvaluateBatch([]synth.Recipe{r})[0]
+}
+
+// EvaluateBatch scores a batch of candidates, returning one score per
+// recipe in input order. Cache hits are answered immediately; distinct
+// misses (duplicates within the batch are evaluated once) fan out across
+// the worker pool and the call blocks until all of them finish.
+func (e *Evaluator) EvaluateBatch(rs []synth.Recipe) []float64 {
+	out := make([]float64, len(rs))
+	have := make([]bool, len(rs))
+	keys := make([]string, len(rs))
+
+	var pending []int // index of the first occurrence of each missing key
+	seen := make(map[string]int, len(rs))
+	e.mu.Lock()
+	for i, r := range rs {
+		k := RecipeKey(r)
+		keys[i] = k
+		if v, ok := e.cache[k]; ok {
+			out[i], have[i] = v, true
+			e.hits++
+			continue
+		}
+		if _, dup := seen[k]; !dup {
+			e.miss++ // one miss per evaluation, not per duplicate lookup
+			seen[k] = len(pending)
+			pending = append(pending, i)
+		}
+	}
+	e.mu.Unlock()
+
+	if len(pending) > 0 {
+		vals := make([]float64, len(pending))
+		var wg sync.WaitGroup
+		wg.Add(len(pending))
+		for slot, i := range pending {
+			e.reqs <- job{recipe: rs[i], slot: slot, out: vals, wg: &wg}
+		}
+		wg.Wait()
+		e.mu.Lock()
+		for slot, i := range pending {
+			e.cache[keys[i]] = vals[slot]
+		}
+		e.mu.Unlock()
+	}
+
+	for i := range rs {
+		if !have[i] {
+			// Either freshly computed by this batch or by a concurrent one;
+			// the cache holds it now either way.
+			e.mu.Lock()
+			out[i] = e.cache[keys[i]]
+			e.mu.Unlock()
+		}
+	}
+	return out
+}
+
+// Cached returns the cached score of r, if present.
+func (e *Evaluator) Cached(r synth.Recipe) (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.cache[RecipeKey(r)]
+	return v, ok
+}
+
+// Stats returns a snapshot of cache counters.
+func (e *Evaluator) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{Hits: e.hits, Misses: e.miss, Size: len(e.cache)}
+}
+
+// Close shuts the worker pool down and waits for in-flight evaluations.
+// The evaluator must not be used after Close.
+func (e *Evaluator) Close() {
+	close(e.reqs)
+	e.wg.Wait()
+}

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// sizeEval scores a recipe by the AND count of the synthesized netlist —
+// a real synthesize-and-measure evaluation, deterministic in the recipe.
+func sizeEval(g *aig.AIG, r synth.Recipe) float64 {
+	return float64(r.Apply(g).NumAnds())
+}
+
+// recipes returns n pairwise-distinct recipes over the cheap transforms
+// (the i-th recipe encodes i in base 3) so the suite stays fast under
+// -race on small machines; cache-key behavior is independent of which
+// steps appear.
+func recipes(n int, _ int64) []synth.Recipe {
+	cheap := []synth.Step{synth.StepBalance, synth.StepRewrite, synth.StepRewriteZ}
+	out := make([]synth.Recipe, n)
+	for i := range out {
+		r := make(synth.Recipe, 3)
+		for j, v := 0, i; j < len(r); j, v = j+1, v/len(cheap) {
+			r[j] = cheap[v%len(cheap)]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestRecipeKeyCanonical(t *testing.T) {
+	a := synth.Recipe{synth.StepBalance, synth.StepRewrite}
+	b := synth.Recipe{synth.StepBalance, synth.StepRewrite}
+	c := synth.Recipe{synth.StepRewrite, synth.StepBalance}
+	if RecipeKey(a) != RecipeKey(b) {
+		t.Fatal("equal recipes must share a key")
+	}
+	if RecipeKey(a) == RecipeKey(c) {
+		t.Fatal("reordered recipe must change the key")
+	}
+	if RecipeKey(a) == RecipeKey(a[:1]) {
+		t.Fatal("prefix must not collide")
+	}
+}
+
+func TestEvaluateMemoizes(t *testing.T) {
+	base := circuits.MustGenerate("c432")
+	var calls atomic.Int64
+	e := New(base, 2, func(g *aig.AIG, r synth.Recipe) float64 {
+		calls.Add(1)
+		return sizeEval(g, r)
+	})
+	defer e.Close()
+	r := synth.Resyn2()
+	v1 := e.Evaluate(r)
+	v2 := e.Evaluate(r.Clone()) // distinct slice, same steps
+	if v1 != v2 {
+		t.Fatalf("memoized value changed: %v vs %v", v1, v2)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("eval ran %d times, want 1", n)
+	}
+	st := e.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEvaluateBatchOrderAndDedup(t *testing.T) {
+	base := circuits.MustGenerate("c432")
+	var calls atomic.Int64
+	e := New(base, 4, func(g *aig.AIG, r synth.Recipe) float64 {
+		calls.Add(1)
+		return sizeEval(g, r)
+	})
+	defer e.Close()
+	rs := recipes(6, 7)
+	rs = append(rs, rs[0].Clone(), rs[3].Clone()) // in-batch duplicates
+	got := e.EvaluateBatch(rs)
+	if len(got) != len(rs) {
+		t.Fatalf("result length %d, want %d", len(got), len(rs))
+	}
+	for i, r := range rs {
+		if want := sizeEval(base, r); got[i] != want {
+			t.Fatalf("slot %d: got %v, want %v", i, got[i], want)
+		}
+	}
+	if n := calls.Load(); n != 6 {
+		t.Fatalf("eval ran %d times, want 6 (duplicates must dedup)", n)
+	}
+}
+
+func TestResultsIndependentOfJobs(t *testing.T) {
+	base := circuits.MustGenerate("c432")
+	rs := recipes(8, 11)
+	var ref []float64
+	for _, jobs := range []int{1, 3, 8} {
+		e := New(base, jobs, sizeEval)
+		got := e.EvaluateBatch(rs)
+		e.Close()
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("jobs=%d slot %d: %v != %v", jobs, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestConcurrentCallers(t *testing.T) {
+	base := circuits.MustGenerate("c432")
+	e := New(base, 4, sizeEval)
+	defer e.Close()
+	rs := recipes(6, 13)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Overlapping batches from many goroutines: results must match
+			// the single-threaded reference and trip no race.
+			got := e.EvaluateBatch(rs)
+			for i, r := range rs {
+				if want := sizeEval(base, r); got[i] != want {
+					t.Errorf("slot %d: got %v, want %v", i, got[i], want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestJobsDefaultsToNumCPU(t *testing.T) {
+	base := circuits.MustGenerate("c432")
+	e := New(base, 0, sizeEval)
+	defer e.Close()
+	if e.Jobs() != runtime.NumCPU() {
+		t.Fatalf("Jobs() = %d, want %d", e.Jobs(), runtime.NumCPU())
+	}
+}
+
+func TestCached(t *testing.T) {
+	base := circuits.MustGenerate("c432")
+	e := New(base, 1, sizeEval)
+	defer e.Close()
+	r := synth.Resyn2()
+	if _, ok := e.Cached(r); ok {
+		t.Fatal("cache must start empty")
+	}
+	want := e.Evaluate(r)
+	got, ok := e.Cached(r)
+	if !ok || got != want {
+		t.Fatalf("Cached = (%v, %v), want (%v, true)", got, ok, want)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"github.com/nyu-secml/almost/internal/aig"
 	"github.com/nyu-secml/almost/internal/circuits"
@@ -68,6 +70,63 @@ func (o Options) out() io.Writer {
 		return io.Discard
 	}
 	return o.Out
+}
+
+// jobs resolves the fan-out width from the framework config.
+func (o Options) jobs() int {
+	if o.Cfg.Parallelism > 0 {
+		return o.Cfg.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// cellOptions returns the Options used inside one fanned-out cell: the
+// Parallelism budget is split between the cell fan-out and each cell's
+// evaluation engine so total concurrency stays ~jobs (never jobs²), and
+// a budget wider than the cell count flows into the per-cell engines
+// instead of idling. Engine worker count never affects results, so this
+// is wall-clock-only.
+func (o Options) cellOptions(cells int) Options {
+	if j := o.jobs(); cells > 1 && j > 1 {
+		per := j / cells
+		if per < 1 {
+			per = 1
+		}
+		o.Cfg.Parallelism = per
+	}
+	return o
+}
+
+// fanOut runs fn(i) for every i in [0, n), at most jobs concurrently.
+// Every experiment's per-(benchmark, key size) cell is a pure function of
+// Options with its own seeds, so running cells concurrently and having
+// each fn write only its own result slot reproduces the sequential
+// output exactly; reports are printed after the barrier, in order.
+func fanOut(n, jobs int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, jobs)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
 }
 
 // lockedInstance deterministically locks a benchmark for an experiment.
@@ -159,29 +218,34 @@ func RunTableI(opt Options) TableIResult {
 		}
 	}
 	resyn := synth.Resyn2()
-	for ki, keySize := range opt.KeySizes {
-		for bi, bench := range opt.Benchmarks {
-			_, locked, key := lockedInstance(bench, keySize, opt.Seed)
-			tResyn := resyn.Apply(locked)
-			randomSet := randomRecipeSet(opt.RandomSetSize, opt.Cfg.RecipeLen, opt.Seed+99)
-			randomNets := make([]*aig.AIG, len(randomSet))
-			for i, r := range randomSet {
-				randomNets[i] = r.Apply(locked)
-			}
-			for _, kind := range kinds {
-				p := core.TrainProxy(locked, kind, resyn, opt.Cfg)
-				cell := TableICell{Resyn2: p.Attack.Accuracy(tResyn, key)}
-				var sum float64
-				for _, net := range randomNets {
-					sum += p.Attack.Accuracy(net, key)
-				}
-				if len(randomNets) > 0 {
-					cell.RandomAvg = sum / float64(len(randomNets))
-				}
-				res.Cells[kind][ki][bi] = cell
-			}
+	nb := len(opt.Benchmarks)
+	// Fan (key size, benchmark) cells out across workers; each cell writes
+	// only its own Cells slots, and the table is printed after the barrier.
+	ncells := len(opt.KeySizes) * nb
+	copt := opt.cellOptions(ncells)
+	fanOut(ncells, opt.jobs(), func(i int) {
+		ki, bi := i/nb, i%nb
+		keySize, bench := opt.KeySizes[ki], opt.Benchmarks[bi]
+		_, locked, key := lockedInstance(bench, keySize, opt.Seed)
+		tResyn := resyn.Apply(locked)
+		randomSet := randomRecipeSet(opt.RandomSetSize, opt.Cfg.RecipeLen, opt.Seed+99)
+		randomNets := make([]*aig.AIG, len(randomSet))
+		for i, r := range randomSet {
+			randomNets[i] = r.Apply(locked)
 		}
-	}
+		for _, kind := range kinds {
+			p := core.TrainProxy(locked, kind, resyn, copt.Cfg)
+			cell := TableICell{Resyn2: p.Attack.Accuracy(tResyn, key)}
+			var sum float64
+			for _, net := range randomNets {
+				sum += p.Attack.Accuracy(net, key)
+			}
+			if len(randomNets) > 0 {
+				cell.RandomAvg = sum / float64(len(randomNets))
+			}
+			res.Cells[kind][ki][bi] = cell
+		}
+	})
 	res.print(opt.out())
 	return res
 }

@@ -10,7 +10,8 @@ import (
 )
 
 // microOptions shrinks everything to unit-test scale: one small
-// benchmark, minimal training, few SA iterations.
+// benchmark, minimal training, few SA iterations (fewer still in -short
+// mode; the assertions are scale-agnostic).
 func microOptions() Options {
 	opt := QuickOptions()
 	opt.Benchmarks = []string{"c432"}
@@ -23,6 +24,15 @@ func microOptions() Options {
 	opt.Cfg.AdvGates = 6
 	opt.Cfg.AdvSAIters = 2
 	opt.Cfg.SA.Iterations = 4
+	opt.Cfg.SAProposals = 2
+	if testing.Short() {
+		opt.Cfg.Attack.Rounds = 1
+		opt.Cfg.Attack.GatesPerRound = 6
+		opt.Cfg.Attack.Epochs = 2
+		opt.Cfg.AdvGates = 4
+		opt.Cfg.SA.Iterations = 2
+		opt.Cfg.RecipeLen = 5 // halves the cost of every synthesis evaluation
+	}
 	return opt
 }
 
@@ -176,6 +186,29 @@ func TestRunTableIIAndIII(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "TABLE III") {
 		t.Fatalf("missing table III output")
+	}
+}
+
+// TestRunTableIJobsInvariant forces the concurrent fan-out path
+// (Parallelism > 1) — which a single-CPU machine would otherwise never
+// exercise — and checks it reproduces the sequential results exactly.
+func TestRunTableIJobsInvariant(t *testing.T) {
+	opt := microOptions()
+	opt.KeySizes = []int{6, 8} // two cells so the fan-out actually fans
+	opt.RandomSetSize = 1
+	opt.Cfg.Parallelism = 1
+	seq := RunTableI(opt)
+	opt.Cfg.Parallelism = 2
+	par := RunTableI(opt)
+	for _, kind := range []core.ModelKind{core.ModelResyn2, core.ModelRandom, core.ModelAdversarial} {
+		for ki := range opt.KeySizes {
+			for bi := range opt.Benchmarks {
+				if seq.Cells[kind][ki][bi] != par.Cells[kind][ki][bi] {
+					t.Fatalf("%v cell (%d,%d) differs across jobs: %+v vs %+v",
+						kind, ki, bi, seq.Cells[kind][ki][bi], par.Cells[kind][ki][bi])
+				}
+			}
+		}
 	}
 }
 

@@ -30,10 +30,12 @@ type Fig4Series struct {
 // paper's observed shape: searches guided by M* take longer to reach
 // ~50% because the adversarially trained model is harder to fool.
 func RunFig4(opt Options) []Fig4Series {
-	var out []Fig4Series
 	resyn := synth.Resyn2()
 	keySize := opt.KeySizes[0]
-	for _, bench := range opt.Benchmarks {
+	out := make([]Fig4Series, len(opt.Benchmarks))
+	copt := opt.cellOptions(len(opt.Benchmarks))
+	fanOut(len(opt.Benchmarks), opt.jobs(), func(bi int) {
+		bench := opt.Benchmarks[bi]
 		_, locked, key := lockedInstance(bench, keySize, opt.Seed)
 		series := Fig4Series{
 			Benchmark: bench,
@@ -41,8 +43,8 @@ func RunFig4(opt Options) []Fig4Series {
 			Recipes:   map[core.ModelKind]synth.Recipe{},
 		}
 		for _, kind := range []core.ModelKind{core.ModelAdversarial, core.ModelResyn2, core.ModelRandom} {
-			proxy := core.TrainProxy(locked, kind, resyn, opt.Cfg)
-			res := core.SearchRecipe(locked, key, proxy, opt.Cfg)
+			proxy := core.TrainProxy(locked, kind, resyn, copt.Cfg)
+			res := core.SearchRecipe(locked, key, proxy, copt.Cfg)
 			curve := make([]float64, len(res.Trace))
 			for i, tp := range res.Trace {
 				curve[i] = tp.Accuracy
@@ -50,7 +52,9 @@ func RunFig4(opt Options) []Fig4Series {
 			series.Curves[kind] = curve
 			series.Recipes[kind] = res.Recipe
 		}
-		out = append(out, series)
+		out[bi] = series
+	})
+	for _, series := range out {
 		printFig4(opt.out(), series)
 	}
 	return out
@@ -159,18 +163,20 @@ func (p *ppaProblem) Neighbor(r synth.Recipe, rng *rand.Rand) synth.Recipe {
 // correlation between PPA optimization and attack accuracy, so
 // re-synthesis does not help the attacker.
 func RunFig5(opt Options) []Fig5Series {
-	var out []Fig5Series
 	resyn := synth.Resyn2()
 	lib := techmap.NanGate45()
 	keySize := opt.KeySizes[0]
-	for _, bench := range opt.Benchmarks {
+	out := make([]Fig5Series, 2*len(opt.Benchmarks))
+	copt := opt.cellOptions(len(opt.Benchmarks))
+	fanOut(len(opt.Benchmarks), opt.jobs(), func(bi int) {
+		bench := opt.Benchmarks[bi]
 		_, locked, key := lockedInstance(bench, keySize, opt.Seed)
-		proxy := core.TrainProxy(locked, core.ModelAdversarial, resyn, opt.Cfg)
-		search := core.SearchRecipe(locked, key, proxy, opt.Cfg)
+		proxy := core.TrainProxy(locked, core.ModelAdversarial, resyn, copt.Cfg)
+		search := core.SearchRecipe(locked, key, proxy, copt.Cfg)
 		almostNet := search.Recipe.Apply(locked)
 		base := techmap.Map(resyn.Apply(locked), lib, techmap.EffortNone)
 
-		for _, target := range []PPATarget{TargetDelay, TargetArea} {
+		for ti, target := range []PPATarget{TargetDelay, TargetArea} {
 			prob := &ppaProblem{locked: almostNet, lib: lib, target: target,
 				cache: map[string]float64{}}
 			rng := rand.New(rand.NewSource(opt.Seed + 17))
@@ -188,9 +194,11 @@ func RunFig5(opt Options) []Fig5Series {
 				series.Points = append(series.Points, Fig5Point{
 					Iteration: tp.Iteration, Accuracy: acc, Ratio: ratio})
 			}
-			out = append(out, series)
-			printFig5(opt.out(), series)
+			out[2*bi+ti] = series
 		}
+	})
+	for _, series := range out {
+		printFig5(opt.out(), series)
 	}
 	return out
 }

@@ -59,39 +59,56 @@ func RunTableII(opt Options) TableIIResult {
 			rows[atk][ks] = &TableIIRow{Attack: atk, KeySize: ks, Cells: map[string]TableIICell{}}
 		}
 	}
-	for _, bench := range opt.Benchmarks {
-		res.Recipes[bench] = map[int]synth.Recipe{}
-		for _, keySize := range opt.KeySizes {
-			_, locked, key := lockedInstance(bench, keySize, opt.Seed)
-			proxy := core.TrainProxy(locked, core.ModelAdversarial, resyn, opt.Cfg)
-			search := core.SearchRecipe(locked, key, proxy, opt.Cfg)
-			res.Recipes[bench][keySize] = search.Recipe
+	// Each (benchmark, key size) pair — recipe search plus the three
+	// independent attacks — is self-contained, so pairs fan out across
+	// workers into per-pair slots, merged into the shared maps afterwards.
+	type pairResult struct {
+		recipe                synth.Recipe
+		omla, scope, redundcy TableIICell
+	}
+	nk := len(opt.KeySizes)
+	pairs := make([]pairResult, len(opt.Benchmarks)*nk)
+	copt := opt.cellOptions(len(pairs))
+	fanOut(len(pairs), opt.jobs(), func(i int) {
+		bench, keySize := opt.Benchmarks[i/nk], opt.KeySizes[i%nk]
+		_, locked, key := lockedInstance(bench, keySize, opt.Seed)
+		proxy := core.TrainProxy(locked, core.ModelAdversarial, resyn, copt.Cfg)
+		search := core.SearchRecipe(locked, key, proxy, copt.Cfg)
 
-			baseNet := resyn.Apply(locked)
-			almostNet := search.Recipe.Apply(locked)
+		baseNet := resyn.Apply(locked)
+		almostNet := search.Recipe.Apply(locked)
 
-			// OMLA: independent attacker per netlist, knowing the recipe.
-			acfg := opt.Cfg.Attack
-			acfg.Seed = opt.Seed + 131
-			omlaBase := omla.Train(baseNet, resyn, acfg).Accuracy(baseNet, key)
-			omlaAlmost := omla.Train(almostNet, search.Recipe, acfg).Accuracy(almostNet, key)
-			rows[AttackOMLA][keySize].Cells[bench] = TableIICell{omlaBase, omlaAlmost}
+		// OMLA: independent attacker per netlist, knowing the recipe.
+		acfg := opt.Cfg.Attack
+		acfg.Seed = opt.Seed + 131
+		omlaBase := omla.Train(baseNet, resyn, acfg).Accuracy(baseNet, key)
+		omlaAlmost := omla.Train(almostNet, search.Recipe, acfg).Accuracy(almostNet, key)
 
-			// SCOPE.
-			scfg := scope.DefaultConfig()
-			rows[AttackSCOPE][keySize].Cells[bench] = TableIICell{
+		scfg := scope.DefaultConfig()
+		rcfg := redundancy.DefaultConfig()
+		rcfg.FaultSamples = redundancySamples(opt)
+		pairs[i] = pairResult{
+			recipe: search.Recipe,
+			omla:   TableIICell{omlaBase, omlaAlmost},
+			scope: TableIICell{
 				scope.Accuracy(baseNet, key, scfg),
 				scope.Accuracy(almostNet, key, scfg),
-			}
-
-			// Redundancy.
-			rcfg := redundancy.DefaultConfig()
-			rcfg.FaultSamples = redundancySamples(opt)
-			rows[AttackRedundancy][keySize].Cells[bench] = TableIICell{
+			},
+			redundcy: TableIICell{
 				redundancy.Accuracy(baseNet, key, rcfg),
 				redundancy.Accuracy(almostNet, key, rcfg),
-			}
+			},
 		}
+	})
+	for i, p := range pairs {
+		bench, keySize := opt.Benchmarks[i/nk], opt.KeySizes[i%nk]
+		if res.Recipes[bench] == nil {
+			res.Recipes[bench] = map[int]synth.Recipe{}
+		}
+		res.Recipes[bench][keySize] = p.recipe
+		rows[AttackOMLA][keySize].Cells[bench] = p.omla
+		rows[AttackSCOPE][keySize].Cells[bench] = p.scope
+		rows[AttackRedundancy][keySize].Cells[bench] = p.redundcy
 	}
 	for _, atk := range []AttackName{AttackOMLA, AttackSCOPE, AttackRedundancy} {
 		for _, ks := range opt.KeySizes {
