@@ -12,9 +12,38 @@
 // # Quick start
 //
 //	design, _ := almost.GenerateBenchmark("c1908")
-//	hardened := almost.Harden(design, 64, almost.DefaultConfig())
+//	hardened, err := almost.HardenCtx(ctx, design, 64, almost.DefaultConfig())
+//	if err != nil { ... }                   // ctx canceled or config invalid
 //	fmt.Println(hardened.Recipe)            // S_ALMOST
 //	fmt.Println(hardened.Search.Accuracy)   // proxy-estimated attack accuracy
+//
+// # Cancellation, errors, and progress
+//
+// Every long-running entry point has a context-aware form — HardenCtx,
+// TrainProxyCtx, SearchRecipeCtx, AttackOMLACtx — that honors
+// cancellation and deadlines and returns errors instead of panicking.
+// Cancellation checkpoints sit at every training epoch, every SA
+// iteration, and every evaluation-engine batch, so a cancel returns in
+// bounded time; the best result computed so far is returned alongside an
+// error matching both ErrCanceled and ctx.Err(), never discarded.
+// Configs are checked up front: Config.Validate reports actionable
+// errors wrapping ErrInvalidConfig, and an out-of-range ModelKind yields
+// ErrUnknownModel.
+//
+// Progress streams through the observer option:
+//
+//	h, err := almost.HardenCtx(ctx, design, 64, cfg,
+//		almost.WithObserver(func(ev almost.Event) {
+//			if ev.Phase == almost.PhaseSearch {
+//				fmt.Printf("SA iter %d: acc %.3f\n", ev.Iteration, ev.Accuracy)
+//			}
+//		}))
+//
+// Events cover Algorithm 1 training epochs (PhaseTrain), the Eq. 3
+// adversarial searches (PhaseAdvSearch), and the Eq. 1 recipe search
+// (PhaseSearch) — the latter is the Fig. 4 accuracy trace, live. The
+// pre-context entry points (Harden, TrainProxy, SearchRecipe,
+// AttackOMLA) remain as deprecated thin wrappers.
 //
 // # Concurrency
 //
@@ -43,6 +72,8 @@
 package almost
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -82,7 +113,42 @@ type (
 	SearchResult = core.SearchResult
 	// PPAResult reports mapped power-performance-area.
 	PPAResult = techmap.Result
+	// Event is one streamed progress observation from a running pipeline.
+	Event = core.Event
+	// Phase identifies the pipeline stage an Event was emitted from.
+	Phase = core.Phase
+	// Option configures a context-aware entry point (functional options).
+	Option = core.Option
 )
+
+// Pipeline phases reported in Event.Phase.
+const (
+	PhaseLock      = core.PhaseLock
+	PhaseTrain     = core.PhaseTrain
+	PhaseAdvSearch = core.PhaseAdvSearch
+	PhaseSearch    = core.PhaseSearch
+	PhaseSynth     = core.PhaseSynth
+)
+
+// Typed errors of the context-aware API. Cancellation errors match both
+// ErrCanceled and the context's own error under errors.Is.
+var (
+	// ErrCanceled marks an error caused by context cancellation; the
+	// result returned alongside it holds the best-so-far work.
+	ErrCanceled = core.ErrCanceled
+	// ErrUnknownModel is returned for a ModelKind outside the three
+	// Table I variants.
+	ErrUnknownModel = core.ErrUnknownModel
+	// ErrInvalidConfig wraps every Config.Validate failure.
+	ErrInvalidConfig = core.ErrInvalidConfig
+)
+
+// WithObserver streams pipeline progress events to fn: training epochs
+// (PhaseTrain), Eq. 3 adversarial-search iterations (PhaseAdvSearch),
+// and Eq. 1 recipe-search iterations (PhaseSearch — the live Fig. 4
+// trace). Observers run synchronously on the pipeline goroutine; keep
+// them fast.
+func WithObserver(fn func(Event)) Option { return core.WithObserver(fn) }
 
 // Proxy model kinds (Table I).
 const (
@@ -132,28 +198,87 @@ func RandomRecipe(rng *rand.Rand, n int) Recipe { return synth.RandomRecipe(rng,
 // "balance; rewrite -z; refactor".
 func ParseRecipe(script string) (Recipe, error) { return synth.ParseRecipe(script) }
 
+// HardenCtx runs the complete ALMOST flow: RLL-lock the design, train
+// the adversarial proxy M*, search for S_ALMOST (Eq. 1), and synthesize
+// the hardened netlist.
+//
+// The context is honored at every training epoch, SA iteration, and
+// evaluation-engine batch. On cancellation the returned *Hardened is
+// non-nil and holds everything completed so far (always Locked and Key;
+// Proxy, Search, Recipe, and Netlist as far as the run got), alongside
+// an error matching both ErrCanceled and ctx.Err(). A nil *Hardened is
+// only returned for an invalid Config (ErrInvalidConfig). Progress
+// streams to WithObserver observers.
+func HardenCtx(ctx context.Context, design *AIG, keySize int, cfg Config, opts ...Option) (*Hardened, error) {
+	return core.SecureSynthesisCtx(ctx, design, keySize, cfg, opts...)
+}
+
 // Harden runs the complete ALMOST flow: RLL-lock the design, train the
 // adversarial proxy M*, search for S_ALMOST (Eq. 1), and synthesize the
 // hardened netlist.
+//
+// Deprecated: use HardenCtx, which is cancellable, streams progress
+// events, and returns errors instead of panicking.
 func Harden(design *AIG, keySize int, cfg Config) *Hardened {
 	return core.SecureSynthesis(design, keySize, cfg)
 }
 
+// TrainProxyCtx trains one of the three proxy attacker models against a
+// locked netlist, honoring ctx at every data-generation round, training
+// epoch, and (for ModelAdversarial) Eq. 3 SA iteration. On cancellation
+// the partially trained proxy is returned alongside an error matching
+// both ErrCanceled and ctx.Err(); an out-of-range kind returns
+// ErrUnknownModel. Progress streams to WithObserver observers.
+func TrainProxyCtx(ctx context.Context, locked *AIG, kind ModelKind, baseline Recipe, cfg Config, opts ...Option) (*Proxy, error) {
+	return core.TrainProxyCtx(ctx, locked, kind, baseline, cfg, opts...)
+}
+
 // TrainProxy trains one of the three proxy attacker models against a
 // locked netlist.
+//
+// Deprecated: use TrainProxyCtx, which is cancellable, streams progress
+// events, and returns errors instead of panicking.
 func TrainProxy(locked *AIG, kind ModelKind, baseline Recipe, cfg Config) *Proxy {
 	return core.TrainProxy(locked, kind, baseline, cfg)
 }
 
+// SearchRecipeCtx runs the security-aware SA recipe search (Eq. 1) with
+// a trained proxy as evaluator, honoring ctx at every SA iteration and
+// engine batch. On cancellation the best-so-far SearchResult is returned
+// alongside an error matching both ErrCanceled and ctx.Err(). Observers
+// receive a PhaseSearch event per iteration — the Fig. 4 trace, live.
+func SearchRecipeCtx(ctx context.Context, locked *AIG, truth Key, proxy *Proxy, cfg Config, opts ...Option) (SearchResult, error) {
+	return core.SearchRecipeCtx(ctx, locked, truth, proxy, cfg, opts...)
+}
+
 // SearchRecipe runs the security-aware SA recipe search with a trained
 // proxy as evaluator.
+//
+// Deprecated: use SearchRecipeCtx, which is cancellable, streams the
+// Fig. 4 trace live, and returns errors instead of panicking.
 func SearchRecipe(locked *AIG, truth Key, proxy *Proxy, cfg Config) SearchResult {
 	return core.SearchRecipe(locked, truth, proxy, cfg)
+}
+
+// AttackOMLACtx trains an independent OMLA attacker against the netlist
+// (which was synthesized with recipe) and returns its key-recovery
+// accuracy against the true key, honoring ctx at every data-generation
+// round and training epoch. On cancellation the error matches both
+// ErrCanceled and ctx.Err().
+func AttackOMLACtx(ctx context.Context, netlist *AIG, recipe Recipe, truth Key) (float64, error) {
+	atk, err := omla.TrainCtx(ctx, netlist, recipe, omla.DefaultConfig(), nil)
+	if err != nil {
+		// TrainCtx fails only on cancellation, returning bare ctx.Err().
+		return 0, fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return atk.Accuracy(netlist, truth), nil
 }
 
 // AttackOMLA trains an independent OMLA attacker against the netlist
 // (which was synthesized with recipe) and returns its key-recovery
 // accuracy against the true key.
+//
+// Deprecated: use AttackOMLACtx, which is cancellable.
 func AttackOMLA(netlist *AIG, recipe Recipe, truth Key) float64 {
 	return omla.Train(netlist, recipe, omla.DefaultConfig()).Accuracy(netlist, truth)
 }

@@ -1,6 +1,8 @@
 package almost_test
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -81,11 +83,8 @@ func TestPublicAccuracy(t *testing.T) {
 	}
 }
 
-func TestPublicHardenEndToEnd(t *testing.T) {
-	if testing.Short() {
-		t.Skip("pipeline test in -short mode")
-	}
-	design, _ := almost.GenerateBenchmark("c432")
+// testConfig shrinks the pipeline to unit-test scale.
+func testConfig() almost.Config {
 	cfg := almost.DefaultConfig()
 	cfg.Attack.Rounds = 2
 	cfg.Attack.Epochs = 4
@@ -93,11 +92,114 @@ func TestPublicHardenEndToEnd(t *testing.T) {
 	cfg.AdvGates = 6
 	cfg.AdvSAIters = 2
 	cfg.SA.Iterations = 4
+	return cfg
+}
+
+func TestPublicHardenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test in -short mode")
+	}
+	design, _ := almost.GenerateBenchmark("c432")
+	cfg := testConfig()
 	h := almost.Harden(design, 8, cfg)
 	if ok, _ := almost.EquivalentUnderKey(design, h.Netlist, h.Key); !ok {
 		t.Fatal("hardened netlist broken under key")
 	}
 	if len(h.Recipe) != cfg.RecipeLen {
 		t.Fatalf("recipe length %d", len(h.Recipe))
+	}
+}
+
+// TestPublicHardenCtxObservedEndToEnd runs the new context/observer API
+// end to end: phases stream in pipeline order and the result matches the
+// deprecated wrapper's determinism contract.
+func TestPublicHardenCtxObservedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test in -short mode")
+	}
+	design, _ := almost.GenerateBenchmark("c432")
+	cfg := testConfig()
+	var phases []almost.Phase
+	h, err := almost.HardenCtx(context.Background(), design, 8, cfg,
+		almost.WithObserver(func(ev almost.Event) {
+			if n := len(phases); n == 0 || phases[n-1] != ev.Phase {
+				phases = append(phases, ev.Phase)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := almost.EquivalentUnderKey(design, h.Netlist, h.Key); !ok {
+		t.Fatal("hardened netlist broken under key")
+	}
+	if len(phases) == 0 || phases[0] != almost.PhaseLock {
+		t.Fatalf("pipeline did not start with lock: %v", phases)
+	}
+	if phases[len(phases)-1] != almost.PhaseSynth {
+		t.Fatalf("pipeline did not end with synthesize: %v", phases)
+	}
+	sawTrain, sawSearch := false, false
+	for _, p := range phases {
+		sawTrain = sawTrain || p == almost.PhaseTrain
+		sawSearch = sawSearch || p == almost.PhaseSearch
+	}
+	if !sawTrain || !sawSearch {
+		t.Fatalf("missing train/search phases: %v", phases)
+	}
+}
+
+// TestPublicHardenCtxCancel verifies the public cancellation contract:
+// canceling mid-run returns promptly with an error matching ErrCanceled
+// and ctx.Err(), and the partial Hardened retains the completed stages.
+func TestPublicHardenCtxCancel(t *testing.T) {
+	design, _ := almost.GenerateBenchmark("c432")
+	cfg := testConfig()
+	cfg.Attack.Epochs = 10000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	epochs := 0
+	h, err := almost.HardenCtx(ctx, design, 8, cfg,
+		almost.WithObserver(func(ev almost.Event) {
+			if ev.Phase == almost.PhaseTrain {
+				epochs++
+				if epochs == 2 {
+					cancel()
+				}
+			}
+		}))
+	if !errors.Is(err, almost.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled ∧ context.Canceled", err)
+	}
+	if h == nil || h.Locked == nil || len(h.Key) != 8 {
+		t.Fatalf("partial result lost completed work: %+v", h)
+	}
+}
+
+func TestPublicConfigValidate(t *testing.T) {
+	if err := (almost.Config{}).Validate(); !errors.Is(err, almost.ErrInvalidConfig) {
+		t.Fatalf("zero config: err = %v", err)
+	}
+	if err := almost.DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config: %v", err)
+	}
+	design, _ := almost.GenerateBenchmark("c432")
+	if _, err := almost.HardenCtx(context.Background(), design, 8, almost.Config{}); !errors.Is(err, almost.ErrInvalidConfig) {
+		t.Fatalf("HardenCtx with zero config: err = %v", err)
+	}
+	locked, _ := almost.Lock(design, 8, rand.New(rand.NewSource(1)))
+	if _, err := almost.TrainProxyCtx(context.Background(), locked, almost.ModelKind(9),
+		almost.Resyn2(), almost.DefaultConfig()); !errors.Is(err, almost.ErrUnknownModel) {
+		t.Fatalf("unknown model kind: err = %v", err)
+	}
+}
+
+func TestPublicAttackOMLACtxCancel(t *testing.T) {
+	design, _ := almost.GenerateBenchmark("c432")
+	locked, key := almost.Lock(design, 8, rand.New(rand.NewSource(1)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := almost.AttackOMLACtx(ctx, locked, almost.Resyn2(), key)
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, almost.ErrCanceled) {
+		t.Fatalf("err = %v, want context.Canceled ∧ ErrCanceled", err)
 	}
 }

@@ -19,6 +19,7 @@
 package almost_test
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"testing"
@@ -50,7 +51,10 @@ func benchOptions(b *testing.B) experiments.Options {
 func BenchmarkFigTransferability(b *testing.B) {
 	opt := benchOptions(b)
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunTransferability(opt.Benchmarks[0], opt.KeySizes[0], opt)
+		res, err := experiments.RunTransferability(context.Background(), opt.Benchmarks[0], opt.KeySizes[0], opt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		diag := res.Acc[0][0] + res.Acc[1][1]
 		off := res.Acc[0][1] + res.Acc[1][0]
 		b.ReportMetric((diag-off)/2*100, "transfer-gap-pp")
@@ -62,7 +66,10 @@ func BenchmarkFigTransferability(b *testing.B) {
 func BenchmarkTableI(b *testing.B) {
 	opt := benchOptions(b)
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunTableI(opt)
+		res, err := experiments.RunTableI(context.Background(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(res.Gap(core.ModelResyn2, 0)*100, "gap-resyn2-pp")
 		b.ReportMetric(res.Gap(core.ModelAdversarial, 0)*100, "gap-Mstar-pp")
 	}
@@ -73,7 +80,10 @@ func BenchmarkTableI(b *testing.B) {
 func BenchmarkFig4(b *testing.B) {
 	opt := benchOptions(b)
 	for i := 0; i < b.N; i++ {
-		series := experiments.RunFig4(opt)
+		series, err := experiments.RunFig4(context.Background(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		s := series[0]
 		if it := s.IterationsToReach(core.ModelAdversarial, 0.02); it >= 0 {
 			b.ReportMetric(float64(it), "Mstar-iters-to-50pct")
@@ -89,7 +99,10 @@ func BenchmarkFig4(b *testing.B) {
 func BenchmarkTableII(b *testing.B) {
 	opt := benchOptions(b)
 	for i := 0; i < b.N; i++ {
-		res := experiments.RunTableII(opt)
+		res, err := experiments.RunTableII(context.Background(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if c, ok := res.Cell(experiments.AttackOMLA, opt.KeySizes[0], opt.Benchmarks[0]); ok {
 			b.ReportMetric(c.Resyn2*100, "omla-resyn2-pct")
 			b.ReportMetric(c.ALMOST*100, "omla-almost-pct")
@@ -102,8 +115,14 @@ func BenchmarkTableII(b *testing.B) {
 func BenchmarkTableIII(b *testing.B) {
 	opt := benchOptions(b)
 	for i := 0; i < b.N; i++ {
-		t2 := experiments.RunTableII(opt)
-		res := experiments.RunTableIII(opt, t2.Recipes)
+		t2, err := experiments.RunTableII(context.Background(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := experiments.RunTableIII(context.Background(), opt, t2.Recipes)
+		if err != nil {
+			b.Fatal(err)
+		}
 		cell := res.Cells[opt.Benchmarks[0]][opt.KeySizes[0]]
 		for _, c := range cell {
 			b.ReportMetric(c.Area, "area-overhead-pct")
@@ -118,7 +137,10 @@ func BenchmarkTableIII(b *testing.B) {
 func BenchmarkFig5(b *testing.B) {
 	opt := benchOptions(b)
 	for i := 0; i < b.N; i++ {
-		series := experiments.RunFig5(opt)
+		series, err := experiments.RunFig5(context.Background(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		var worst float64
 		for _, s := range series {
 			c := s.Correlation()

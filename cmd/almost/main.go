@@ -17,15 +17,26 @@
 // The compute-heavy commands (tune, experiment) take -jobs N to set the
 // worker count of the concurrent recipe-evaluation engine; 0 (the
 // default) uses every CPU. Results are identical for any -jobs value.
+// Both also take -progress to stream one-line status updates (training
+// epochs, SA iterations) to stderr.
+//
+// SIGINT/SIGTERM cancel the run context: long-running commands stop at
+// their next checkpoint, print the best result found so far, and exit
+// non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 
 	"github.com/nyu-secml/almost/internal/aig"
 	"github.com/nyu-secml/almost/internal/attack/omla"
@@ -42,8 +53,10 @@ import (
 
 // command is one subcommand handler. Handlers write results to stdout,
 // diagnostics to stderr, and return an error instead of exiting, so the
-// dispatcher (and the tests) stay in control of process state.
-type command func(args []string, stdout, stderr io.Writer) error
+// dispatcher (and the tests) stay in control of process state. The
+// context is canceled on SIGINT/SIGTERM; compute-heavy handlers pass it
+// down and surface the best-so-far result before returning the error.
+type command func(ctx context.Context, args []string, stdout, stderr io.Writer) error
 
 // commands maps subcommand names to handlers.
 var commands = map[string]command{
@@ -57,12 +70,15 @@ var commands = map[string]command{
 }
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run dispatches args to a subcommand and returns the process exit code:
-// 0 on success, 1 on a command error, 2 on a usage error.
-func run(args []string, stdout, stderr io.Writer) int {
+// 0 on success, 1 on a command error (including an interrupted run), 2 on
+// a usage error.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
 		usage(stderr)
 		return 2
@@ -78,9 +94,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		usage(stderr)
 		return 2
 	}
-	if err := cmd(args[1:], stdout, stderr); err != nil {
+	if err := cmd(ctx, args[1:], stdout, stderr); err != nil {
 		if err == flag.ErrHelp {
 			return 0
+		}
+		if errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(stderr, "almost: interrupted: %v\n", err)
+			return 1
 		}
 		fmt.Fprintf(stderr, "almost: %v\n", err)
 		return 1
@@ -114,6 +135,45 @@ func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
 // jobsFlag registers the shared -jobs flag on compute-heavy subcommands.
 func jobsFlag(fs *flag.FlagSet) *int {
 	return fs.Int("jobs", 0, "evaluation workers (0 = all CPUs); results are jobs-independent")
+}
+
+// progressFlag registers the shared -progress flag on compute-heavy
+// subcommands.
+func progressFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("progress", false, "stream one-line status updates (epochs, SA iterations) to stderr")
+}
+
+// progressObserver renders pipeline events as one-line status updates on
+// w. It is safe for concurrent cells: each event prints with one
+// serialized write.
+func progressObserver(w io.Writer) func(core.Event) {
+	var mu sync.Mutex
+	return func(ev core.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch ev.Phase {
+		case core.PhaseLock:
+			fmt.Fprintln(w, "[lock] applying random logic locking")
+		case core.PhaseTrain:
+			fmt.Fprintf(w, "[train] epoch %d/%d (%d samples)\n", ev.Epoch+1, ev.Epochs, ev.Samples)
+		case core.PhaseAdvSearch:
+			fmt.Fprintf(w, "[adv-search] iter %d/%d loss-energy %.4f best %.4f\n",
+				ev.Iteration+1, ev.Iterations, ev.Energy, ev.BestEnergy)
+		case core.PhaseSearch:
+			fmt.Fprintf(w, "[search] iter %d/%d acc %.4f |acc-0.5| best %.4f\n",
+				ev.Iteration+1, ev.Iterations, ev.Accuracy, ev.BestEnergy)
+		case core.PhaseSynth:
+			fmt.Fprintf(w, "[synthesize] applying S_ALMOST (proxy acc %.4f)\n", ev.Accuracy)
+		}
+	}
+}
+
+// observerOpts builds the core options for a -progress run.
+func observerOpts(progress bool, stderr io.Writer) []core.Option {
+	if !progress {
+		return nil
+	}
+	return []core.Option{core.WithObserver(progressObserver(stderr))}
 }
 
 func readNetlist(path string) (*aig.AIG, error) {
@@ -161,7 +221,7 @@ func readKeyFile(path string) (lock.Key, error) {
 	return key, nil
 }
 
-func cmdGen(args []string, stdout, stderr io.Writer) error {
+func cmdGen(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("gen", stderr)
 	circuit := fs.String("circuit", "c1908", "benchmark name ("+strings.Join(circuits.Names(), ", ")+")")
 	out := fs.String("o", "", "output .bench path (default stdout)")
@@ -179,7 +239,7 @@ func cmdGen(args []string, stdout, stderr io.Writer) error {
 	return writeNetlist(*out, g)
 }
 
-func cmdLock(args []string, stdout, stderr io.Writer) error {
+func cmdLock(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("lock", stderr)
 	in := fs.String("in", "", "input .bench netlist (required)")
 	keySize := fs.Int("keysize", 64, "number of key gates")
@@ -209,7 +269,7 @@ func cmdLock(args []string, stdout, stderr io.Writer) error {
 	return writeNetlist(*out, locked)
 }
 
-func cmdSynth(args []string, stdout, stderr io.Writer) error {
+func cmdSynth(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("synth", stderr)
 	in := fs.String("in", "", "input .bench netlist (required)")
 	recipeStr := fs.String("recipe", "resyn2", `recipe script or "resyn2"`)
@@ -236,7 +296,7 @@ func cmdSynth(args []string, stdout, stderr io.Writer) error {
 	return writeNetlist(*out, h)
 }
 
-func cmdAttack(args []string, stdout, stderr io.Writer) error {
+func cmdAttack(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("attack", stderr)
 	in := fs.String("in", "", "locked .bench netlist (required)")
 	attackName := fs.String("attack", "omla", "omla | scope | redundancy")
@@ -259,7 +319,10 @@ func cmdAttack(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		atk := omla.Train(g, recipe, omla.DefaultConfig())
+		atk, err := omla.TrainCtx(ctx, g, recipe, omla.DefaultConfig(), nil)
+		if err != nil {
+			return err
+		}
 		guess = atk.PredictKey(g)
 	case "scope":
 		guess = scope.PredictKey(g, scope.DefaultConfig())
@@ -279,7 +342,7 @@ func cmdAttack(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func cmdTune(args []string, stdout, stderr io.Writer) error {
+func cmdTune(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("tune", stderr)
 	in := fs.String("in", "", "locked .bench netlist (required)")
 	keyFile := fs.String("keyfile", "", "true key file (required)")
@@ -287,6 +350,7 @@ func cmdTune(args []string, stdout, stderr io.Writer) error {
 	netOut := fs.String("net", "", "optional path for the ALMOST-synthesized netlist")
 	full := fs.Bool("full", false, "use the paper's full-size settings (slow)")
 	jobs := jobsFlag(fs)
+	progress := progressFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -306,10 +370,28 @@ func cmdTune(args []string, stdout, stderr io.Writer) error {
 		cfg = core.PaperConfig()
 	}
 	cfg.Parallelism = *jobs
-	fmt.Fprintln(stderr, "training adversarial proxy M*...")
-	proxy := core.TrainProxy(g, core.ModelAdversarial, synth.Resyn2(), cfg)
+	opts := observerOpts(*progress, stderr)
+	fmt.Fprintln(stderr, "training adversarial proxy M*... (Ctrl-C stops and keeps the best so far)")
+	proxy, err := core.TrainProxyCtx(ctx, g, core.ModelAdversarial, synth.Resyn2(), cfg, opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, "interrupted during proxy training; no recipe found yet")
+		return err
+	}
 	fmt.Fprintln(stderr, "searching for S_ALMOST (Eq. 1)...")
-	res := core.SearchRecipe(g, key, proxy, cfg)
+	res, err := core.SearchRecipeCtx(ctx, g, key, proxy, cfg, opts...)
+	if err != nil {
+		// The search returns its best-so-far recipe on cancellation;
+		// surface it so the interrupted work is not lost. Before the
+		// first iteration completes the "best" is just the unevaluated
+		// random initial recipe — don't present that as a result.
+		if len(res.Trace) > 0 {
+			fmt.Fprintf(stderr, "interrupted after %d SA iterations; best recipe so far (proxy accuracy %.2f%%):\n%s\n",
+				len(res.Trace), res.Accuracy*100, res.Recipe)
+		} else {
+			fmt.Fprintln(stderr, "interrupted before the first SA iteration; no recipe found yet")
+		}
+		return err
+	}
 	fmt.Fprintf(stderr, "best proxy accuracy: %.2f%%\n", res.Accuracy*100)
 	line := res.Recipe.String() + "\n"
 	if *out == "" {
@@ -323,7 +405,7 @@ func cmdTune(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func cmdPPA(args []string, stdout, stderr io.Writer) error {
+func cmdPPA(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("ppa", stderr)
 	in := fs.String("in", "", "input .bench netlist (required)")
 	opt := fs.Bool("opt", false, "high-effort mapping (+opt)")
@@ -350,12 +432,13 @@ func cmdPPA(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func cmdExperiment(args []string, stdout, stderr io.Writer) error {
+func cmdExperiment(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("experiment", stderr)
 	name := fs.String("name", "table2", "transfer | table1 | fig4 | table2 | table3 | fig5")
 	quick := fs.Bool("quick", true, "reduced settings (minutes); -quick=false uses the paper's full settings")
 	benches := fs.String("benchmarks", "", "comma-separated benchmark override")
 	jobs := jobsFlag(fs)
+	progress := progressFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -368,22 +451,28 @@ func cmdExperiment(args []string, stdout, stderr io.Writer) error {
 	}
 	opt.Cfg.Parallelism = *jobs
 	opt.Out = stdout
+	if *progress {
+		opt.Observer = progressObserver(stderr)
+	}
+	var err error
 	switch *name {
 	case "transfer":
-		experiments.RunTransferability(opt.Benchmarks[0], opt.KeySizes[0], opt)
+		_, err = experiments.RunTransferability(ctx, opt.Benchmarks[0], opt.KeySizes[0], opt)
 	case "table1":
-		experiments.RunTableI(opt)
+		_, err = experiments.RunTableI(ctx, opt)
 	case "fig4":
-		experiments.RunFig4(opt)
+		_, err = experiments.RunFig4(ctx, opt)
 	case "table2":
-		experiments.RunTableII(opt)
+		_, err = experiments.RunTableII(ctx, opt)
 	case "table3":
-		res := experiments.RunTableII(opt)
-		experiments.RunTableIII(opt, res.Recipes)
+		var res experiments.TableIIResult
+		if res, err = experiments.RunTableII(ctx, opt); err == nil {
+			_, err = experiments.RunTableIII(ctx, opt, res.Recipes)
+		}
 	case "fig5":
-		experiments.RunFig5(opt)
+		_, err = experiments.RunFig5(ctx, opt)
 	default:
 		return fmt.Errorf("experiment: unknown name %q", *name)
 	}
-	return nil
+	return err
 }

@@ -2,16 +2,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/nyu-secml/almost/internal/core"
 )
 
 // runCLI invokes the dispatcher the way main does, capturing both streams.
 func runCLI(args ...string) (code int, stdout, stderr string) {
 	var out, errBuf bytes.Buffer
-	code = run(args, &out, &errBuf)
+	code = run(context.Background(), args, &out, &errBuf)
 	return code, out.String(), errBuf.String()
 }
 
@@ -95,6 +98,68 @@ func TestGenWritesParsableNetlistToStdout(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "INPUT(") || !strings.Contains(stdout, "OUTPUT(") {
 		t.Fatalf("stdout does not look like a .bench netlist: %.120q", stdout)
+	}
+}
+
+// TestCanceledContextStopsComputeCommands drives the SIGINT path (main
+// cancels the context via signal.NotifyContext; here the context starts
+// canceled): compute-heavy commands must exit non-zero promptly with an
+// "interrupted" diagnostic instead of running to completion.
+func TestCanceledContextStopsComputeCommands(t *testing.T) {
+	dir := t.TempDir()
+	design := filepath.Join(dir, "c432.bench")
+	locked := filepath.Join(dir, "locked.bench")
+	keyFile := filepath.Join(dir, "key.txt")
+	if code, _, stderr := runCLI("gen", "-circuit", "c432", "-o", design); code != 0 {
+		t.Fatalf("gen failed: %s", stderr)
+	}
+	if code, _, stderr := runCLI("lock", "-in", design, "-keysize", "8", "-o", locked,
+		"-keyfile", keyFile); code != 0 {
+		t.Fatalf("lock failed: %s", stderr)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, args := range [][]string{
+		{"tune", "-in", locked, "-keyfile", keyFile, "-progress"},
+		{"experiment", "-name", "table1", "-progress"},
+		{"attack", "-in", locked, "-attack", "omla"},
+	} {
+		var out, errBuf bytes.Buffer
+		code := run(ctx, args, &out, &errBuf)
+		if code != 1 {
+			t.Fatalf("run(%v) on canceled ctx = %d, want 1 (stderr: %s)", args, code, errBuf.String())
+		}
+		if !strings.Contains(errBuf.String(), "interrupted") {
+			t.Fatalf("run(%v) stderr lacks 'interrupted': %q", args, errBuf.String())
+		}
+	}
+}
+
+// TestProgressObserverRendersOneLinePerEvent pins the -progress rendering
+// contract for every pipeline phase.
+func TestProgressObserverRendersOneLinePerEvent(t *testing.T) {
+	var buf bytes.Buffer
+	obs := progressObserver(&buf)
+	obs(core.Event{Phase: core.PhaseLock})
+	obs(core.Event{Phase: core.PhaseTrain, Epoch: 4, Epochs: 30, Samples: 320})
+	obs(core.Event{Phase: core.PhaseAdvSearch, Iteration: 1, Iterations: 12, Energy: -0.7, BestEnergy: -0.9})
+	obs(core.Event{Phase: core.PhaseSearch, Iteration: 2, Iterations: 40, Accuracy: 0.61, BestEnergy: 0.11})
+	obs(core.Event{Phase: core.PhaseSynth, Accuracy: 0.52})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	for want, line := range map[string]string{
+		"[lock]":       lines[0],
+		"epoch 5/30":   lines[1],
+		"[adv-search]": lines[2],
+		"iter 3/40":    lines[3],
+		"[synthesize]": lines[4],
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q lacks %q", line, want)
+		}
 	}
 }
 

@@ -4,32 +4,54 @@
 // chip) then recovers most of the key — demonstrating why RLL alone is
 // "100% vulnerable" and why synthesis choice matters.
 //
+// The OMLA attack runs through the cancellable AttackOMLACtx entry
+// point: Ctrl-C aborts the attacker's training cleanly.
+//
 //	go run ./examples/lockandattack
+//	go run ./examples/lockandattack -quick (smaller circuit; CI uses this)
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
 
 	almost "github.com/nyu-secml/almost"
 )
 
 func main() {
-	design, err := almost.GenerateBenchmark("c1908")
+	quick := flag.Bool("quick", false, "smaller circuit and key so the example finishes in seconds")
+	flag.Parse()
+
+	bench, keySize := "c1908", 64
+	if *quick {
+		bench, keySize = "c432", 16
+	}
+	design, err := almost.GenerateBenchmark(bench)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Defender: lock with 64 key bits, synthesize with resyn2.
-	locked, key := almost.Lock(design, 64, rand.New(rand.NewSource(7)))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Defender: lock with keySize bits, synthesize with resyn2.
+	locked, key := almost.Lock(design, keySize, rand.New(rand.NewSource(7)))
 	recipe := almost.Resyn2()
 	fab := recipe.Apply(locked)
 	fmt.Printf("sent to fab: %v (recipe: resyn2)\n", fab)
 
 	// Attacker: oracle-less — only the netlist and the recipe.
 	fmt.Println("training self-referencing OMLA attacker...")
-	acc := almost.AttackOMLA(fab, recipe, key)
+	acc, err := almost.AttackOMLACtx(ctx, fab, recipe, key)
+	if err != nil {
+		log.Fatalf("attack interrupted: %v", err)
+	}
 	fmt.Printf("OMLA key-recovery accuracy:       %.1f%%\n", acc*100)
 
 	// For contrast, the two weaker oracle-less attacks.

@@ -6,9 +6,12 @@
 // decoupled (Fig. 5).
 //
 //	go run ./examples/ppatradeoff
+//	go run ./examples/ppatradeoff -quick (smaller circuit, fewer recipes; CI uses this)
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,16 +20,29 @@ import (
 )
 
 func main() {
-	design, err := almost.GenerateBenchmark("c1908")
+	quick := flag.Bool("quick", false, "smaller circuit and fewer recipes so the example finishes in seconds")
+	flag.Parse()
+
+	bench, keySize, nRandom := "c1908", 64, 6
+	cfg := almost.DefaultConfig()
+	if *quick {
+		bench, keySize, nRandom = "c432", 16, 2
+		cfg.Attack.Rounds = 1
+		cfg.Attack.Epochs = 2
+	}
+	design, err := almost.GenerateBenchmark(bench)
 	if err != nil {
 		log.Fatal(err)
 	}
-	locked, key := almost.Lock(design, 64, rand.New(rand.NewSource(3)))
+	locked, key := almost.Lock(design, keySize, rand.New(rand.NewSource(3)))
 
 	// One shared attacker model, trained on the resyn2 baseline, used as
 	// a fast accuracy probe for every candidate netlist.
-	cfg := almost.DefaultConfig()
-	proxy := almost.TrainProxy(locked, almost.ModelResyn2, almost.Resyn2(), cfg)
+	proxy, err := almost.TrainProxyCtx(context.Background(), locked,
+		almost.ModelResyn2, almost.Resyn2(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%-50s %9s %8s %8s %8s\n", "recipe", "area", "delay", "power", "attack")
 	report := func(name string, r almost.Recipe) {
@@ -40,7 +56,7 @@ func main() {
 	report("(none)", almost.Recipe{})
 	report("resyn2", almost.Resyn2())
 	rng := rand.New(rand.NewSource(11))
-	for i := 0; i < 6; i++ {
+	for i := 0; i < nRandom; i++ {
 		r := almost.RandomRecipe(rng, 10)
 		report(fmt.Sprintf("random #%d: %.40s...", i, r.String()), r)
 	}

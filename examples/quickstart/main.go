@@ -2,17 +2,32 @@
 // verify that the hardened netlist is still the same circuit under the
 // correct key.
 //
-//	go run ./examples/quickstart
+// This example uses the context-aware API: Ctrl-C cancels the run at the
+// next checkpoint (keeping the best recipe found so far), and an
+// observer streams live progress — Algorithm 1 epochs and the Fig. 4 SA
+// trace — while the pipeline runs.
+//
+//	go run ./examples/quickstart          (~30 seconds)
+//	go run ./examples/quickstart -quick   (a few seconds; CI uses this)
 package main
 
 import (
+	"context"
+	"errors"
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	almost "github.com/nyu-secml/almost"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "minimal settings so the example finishes in seconds")
+	flag.Parse()
+
 	design, err := almost.GenerateBenchmark("c432")
 	if err != nil {
 		log.Fatal(err)
@@ -26,8 +41,39 @@ func main() {
 	cfg.Attack.Epochs = 8
 	cfg.SA.Iterations = 10
 	cfg.Parallelism = 0 // evaluate recipe candidates on every CPU (the default)
+	if *quick {
+		cfg.Attack.Rounds = 1
+		cfg.Attack.Epochs = 2
+		cfg.AdvPeriod = 1
+		cfg.AdvGates = 4
+		cfg.AdvSAIters = 1
+		cfg.SA.Iterations = 2
+		cfg.RecipeLen = 5
+	}
 
-	hardened := almost.Harden(design, 16, cfg)
+	// Ctrl-C cancels the pipeline at its next checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hardened, err := almost.HardenCtx(ctx, design, 16, cfg,
+		almost.WithObserver(func(ev almost.Event) {
+			switch ev.Phase {
+			case almost.PhaseTrain:
+				if (ev.Epoch+1)%4 == 0 || ev.Epoch+1 == ev.Epochs {
+					fmt.Printf("  training M*: epoch %d/%d (%d samples)\n",
+						ev.Epoch+1, ev.Epochs, ev.Samples)
+				}
+			case almost.PhaseSearch:
+				fmt.Printf("  SA search: iter %d/%d accuracy %.3f\n",
+					ev.Iteration+1, ev.Iterations, ev.Accuracy)
+			}
+		}))
+	if err != nil {
+		if errors.Is(err, almost.ErrCanceled) && hardened != nil && len(hardened.Recipe) > 0 {
+			log.Fatalf("interrupted; best recipe so far: %s", hardened.Recipe)
+		}
+		log.Fatal(err)
+	}
 	fmt.Printf("hardened: %v\n", hardened.Netlist)
 	fmt.Printf("key:      %s\n", hardened.Key)
 	fmt.Printf("S_ALMOST: %s\n", hardened.Recipe)

@@ -4,10 +4,17 @@
 // OMLA attacker (fully aware of the respective recipe) is trained against
 // each. ALMOST's recipe drives the attack toward 50% (random guessing).
 //
+// This example deliberately sticks to the pre-context entry points
+// (TrainProxy, SearchRecipe, AttackOMLA) to demonstrate that the
+// deprecated wrappers keep working unchanged; see examples/quickstart
+// for the context/observer API.
+//
 //	go run ./examples/securesynthesis        (~2-3 minutes)
+//	go run ./examples/securesynthesis -quick (seconds, smaller circuit; CI uses this)
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -16,18 +23,33 @@ import (
 )
 
 func main() {
-	design, err := almost.GenerateBenchmark("c1908")
+	quick := flag.Bool("quick", false, "minimal settings so the example finishes in seconds")
+	flag.Parse()
+
+	bench, keySize := "c1908", 64
+	cfg := almost.DefaultConfig()
+	if *quick {
+		bench, keySize = "c432", 16
+		cfg.Attack.Rounds = 1
+		cfg.Attack.Epochs = 2
+		cfg.AdvPeriod = 1
+		cfg.AdvGates = 4
+		cfg.AdvSAIters = 1
+		cfg.SA.Iterations = 2
+		cfg.RecipeLen = 5
+	}
+
+	design, err := almost.GenerateBenchmark(bench)
 	if err != nil {
 		log.Fatal(err)
 	}
-	locked, key := almost.Lock(design, 64, rand.New(rand.NewSource(1)))
+	locked, key := almost.Lock(design, keySize, rand.New(rand.NewSource(1)))
 
 	// Baseline: resyn2.
 	resyn := almost.Resyn2()
 	baseNet := resyn.Apply(locked)
 
 	// ALMOST: adversarial proxy + SA recipe search (Eq. 1).
-	cfg := almost.DefaultConfig()
 	fmt.Println("training adversarial proxy M* (Algorithm 1)...")
 	proxy := almost.TrainProxy(locked, almost.ModelAdversarial, resyn, cfg)
 	fmt.Println("simulated-annealing recipe search...")

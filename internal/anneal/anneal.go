@@ -8,14 +8,22 @@
 // divisor is scaled by an "acceptance" constant (the paper uses
 // T0 = 120, acceptance = 1.8, 100 iterations).
 //
-// Two drivers are provided: Run, the classic sequential chain, and
-// RunParallel, which proposes a batch of K neighbors per iteration and
-// evaluates them through a BatchProblem (backed by the concurrent
+// Two drivers are provided: RunCtx, the classic sequential chain, and
+// RunParallelCtx, which proposes a batch of K neighbors per iteration
+// and evaluates them through a BatchProblem (backed by the concurrent
 // engine in internal/engine) while remaining bit-for-bit deterministic
 // for a fixed seed, independent of evaluation concurrency.
+//
+// Both drivers check the context at every iteration and, when it is
+// canceled, return the best state found so far together with ctx.Err()
+// — completed work is never discarded. An optional observer receives
+// every trace point as it is recorded, which is how the core pipeline
+// streams the Fig. 4/5 curves live. Run and RunParallel are the
+// non-cancellable wrappers kept for callers without a context.
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 )
@@ -52,6 +60,7 @@ type TracePoint[S any] struct {
 	Energy    float64 // energy of the current state after the move
 	Best      float64 // best energy so far
 	State     S       // current state
+	BestState S       // best state so far (may still be the initial state)
 }
 
 // Result is the annealing outcome.
@@ -70,16 +79,37 @@ func coolingFactor(cfg Config) float64 {
 	return math.Pow(0.01, 1/math.Max(1, float64(cfg.Iterations)))
 }
 
+// Observer receives each trace point as it is recorded, before the next
+// iteration begins. Observers must not mutate the state they are handed.
+type Observer[S any] func(TracePoint[S])
+
 // Run anneals from init, recording a trace point per iteration.
 func Run[S any](p Problem[S], init S, cfg Config, rng *rand.Rand) Result[S] {
+	res, _ := RunCtx[S](context.Background(), p, init, cfg, rng, nil)
+	return res
+}
+
+// RunCtx anneals from init, recording a trace point per iteration and
+// passing it to observe (when non-nil). The context is checked before
+// every iteration; on cancellation the best-so-far result is returned
+// alongside ctx.Err().
+func RunCtx[S any](ctx context.Context, p Problem[S], init S, cfg Config,
+	rng *rand.Rand, observe Observer[S]) (Result[S], error) {
+	res := Result[S]{Best: init, BestEnergy: math.Inf(1)}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	cooling := coolingFactor(cfg)
 	cur := init
 	curE := p.Energy(cur)
 	best := cur
 	bestE := curE
 	temp := cfg.InitTemp
-	res := Result[S]{}
 	for it := 0; it < cfg.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			res.Best, res.BestEnergy = best, bestE
+			return res, err
+		}
 		cand := p.Neighbor(cur, rng)
 		candE := p.Energy(cand)
 		accept := candE <= curE
@@ -93,7 +123,11 @@ func Run[S any](p Problem[S], init S, cfg Config, rng *rand.Rand) Result[S] {
 		if curE < bestE {
 			best, bestE = cur, curE
 		}
-		res.Trace = append(res.Trace, TracePoint[S]{Iteration: it, Energy: curE, Best: bestE, State: cur})
+		tp := TracePoint[S]{Iteration: it, Energy: curE, Best: bestE, State: cur, BestState: best}
+		res.Trace = append(res.Trace, tp)
+		if observe != nil {
+			observe(tp)
+		}
 		temp *= cooling
 		if cfg.HasTarget && bestE <= cfg.Target {
 			break
@@ -101,7 +135,7 @@ func Run[S any](p Problem[S], init S, cfg Config, rng *rand.Rand) Result[S] {
 	}
 	res.Best = best
 	res.BestEnergy = bestE
-	return res
+	return res, nil
 }
 
 // BatchProblem is a Problem whose energies can be computed for a whole
@@ -112,6 +146,17 @@ func Run[S any](p Problem[S], init S, cfg Config, rng *rand.Rand) Result[S] {
 type BatchProblem[S any] interface {
 	Problem[S]
 	EnergyBatch(ss []S) []float64
+}
+
+// BatchProblemCtx is a BatchProblem whose batch evaluation is itself
+// cancellable. RunParallelCtx prefers this interface when implemented:
+// a canceled evaluation returns an error (typically ctx.Err()) and the
+// driver finalizes with the best state found so far, so even a
+// cancellation landing mid-batch never blocks past the in-flight
+// evaluations.
+type BatchProblemCtx[S any] interface {
+	Problem[S]
+	EnergyBatchCtx(ctx context.Context, ss []S) ([]float64, error)
 }
 
 // ParallelConfig tunes RunParallel.
@@ -157,36 +202,69 @@ func mixSeed(seed int64, it, i int) int64 {
 // stream, so the trajectory is bit-for-bit reproducible for a fixed seed
 // regardless of how many workers the evaluator runs.
 func RunParallel[S any](p Problem[S], init S, cfg Config, pcfg ParallelConfig) Result[S] {
+	res, _ := RunParallelCtx[S](context.Background(), p, init, cfg, pcfg, nil)
+	return res
+}
+
+// RunParallelCtx is the cancellable, observable variant of RunParallel.
+// The context is checked before every iteration and inside every batch
+// evaluation (when p implements BatchProblemCtx); on cancellation the
+// best-so-far result is returned alongside ctx.Err(). observe, when
+// non-nil, receives every trace point as it is recorded. The trajectory
+// is identical to RunParallel's for an uncanceled context.
+func RunParallelCtx[S any](ctx context.Context, p Problem[S], init S, cfg Config,
+	pcfg ParallelConfig, observe Observer[S]) (Result[S], error) {
 	k := pcfg.Proposals
 	if k < 1 {
 		k = 1
 	}
-	batch := func(ss []S) []float64 {
+	batch := func(ss []S) ([]float64, error) {
+		if bp, ok := p.(BatchProblemCtx[S]); ok {
+			return bp.EnergyBatchCtx(ctx, ss)
+		}
 		if bp, ok := p.(BatchProblem[S]); ok {
-			return bp.EnergyBatch(ss)
+			return bp.EnergyBatch(ss), nil
 		}
 		out := make([]float64, len(ss))
 		for i, s := range ss {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			out[i] = p.Energy(s)
 		}
-		return out
+		return out, nil
 	}
 
+	res := Result[S]{Best: init, BestEnergy: math.Inf(1)}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	cooling := coolingFactor(cfg)
 	acceptRng := rand.New(rand.NewSource(pcfg.Seed ^ 0x5DEECE66D))
 	cur := init
-	curE := batch([]S{init})[0]
+	initE, err := batch([]S{init})
+	if err != nil {
+		return res, err
+	}
+	curE := initE[0]
 	best := cur
 	bestE := curE
 	temp := cfg.InitTemp
-	res := Result[S]{}
 	cands := make([]S, k)
 	for it := 0; it < cfg.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			res.Best, res.BestEnergy = best, bestE
+			return res, err
+		}
 		for i := 0; i < k; i++ {
 			propRng := rand.New(rand.NewSource(mixSeed(pcfg.Seed, it, i)))
 			cands[i] = p.Neighbor(cur, propRng)
 		}
-		energies := batch(cands)
+		energies, err := batch(cands)
+		if err != nil {
+			res.Best, res.BestEnergy = best, bestE
+			return res, err
+		}
 		// Ordered reduction: first candidate accepted by the Metropolis
 		// criterion wins; one coin is spent per considered candidate so
 		// the decision sequence is independent of evaluation order.
@@ -204,7 +282,11 @@ func RunParallel[S any](p Problem[S], init S, cfg Config, pcfg ParallelConfig) R
 		if curE < bestE {
 			best, bestE = cur, curE
 		}
-		res.Trace = append(res.Trace, TracePoint[S]{Iteration: it, Energy: curE, Best: bestE, State: cur})
+		tp := TracePoint[S]{Iteration: it, Energy: curE, Best: bestE, State: cur, BestState: best}
+		res.Trace = append(res.Trace, tp)
+		if observe != nil {
+			observe(tp)
+		}
 		temp *= cooling
 		if cfg.HasTarget && bestE <= cfg.Target {
 			break
@@ -212,5 +294,5 @@ func RunParallel[S any](p Problem[S], init S, cfg Config, pcfg ParallelConfig) R
 	}
 	res.Best = best
 	res.BestEnergy = bestE
-	return res
+	return res, nil
 }

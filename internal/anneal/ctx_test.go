@@ -1,0 +1,162 @@
+package anneal
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestRunCtxMatchesRun(t *testing.T) {
+	cfg := Config{Iterations: 80, InitTemp: 5, Acceptance: 1.8}
+	plain := Run[float64](quadratic{}, 0, cfg, rand.New(rand.NewSource(3)))
+	ctxed, err := RunCtx[float64](context.Background(), quadratic{}, 0, cfg,
+		rand.New(rand.NewSource(3)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Best != ctxed.Best || plain.BestEnergy != ctxed.BestEnergy ||
+		len(plain.Trace) != len(ctxed.Trace) {
+		t.Fatalf("RunCtx diverged from Run: %+v vs %+v", ctxed, plain)
+	}
+}
+
+func TestRunCtxCancelReturnsBestSoFar(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := Config{Iterations: 1000, InitTemp: 5, Acceptance: 1.8}
+	seen := 0
+	res, err := RunCtx[float64](ctx, quadratic{}, -20, cfg,
+		rand.New(rand.NewSource(4)), func(tp TracePoint[float64]) {
+			seen++
+			if seen == 10 {
+				cancel()
+			}
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Trace) != 10 {
+		t.Fatalf("trace length = %d, want 10 (cancellation checkpoint per iteration)", len(res.Trace))
+	}
+	if res.BestEnergy != res.Trace[len(res.Trace)-1].Best {
+		t.Fatalf("best-so-far not finalized: %v vs %v", res.BestEnergy, res.Trace[len(res.Trace)-1].Best)
+	}
+}
+
+func TestRunCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Iterations: 10, InitTemp: 5, Acceptance: 1.8}
+	res, err := RunCtx[float64](ctx, quadratic{}, 3, cfg, rand.New(rand.NewSource(5)), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Best != 3 {
+		t.Fatalf("pre-canceled run must return the initial state, got %v", res.Best)
+	}
+	if len(res.Trace) != 0 {
+		t.Fatalf("pre-canceled run recorded %d iterations", len(res.Trace))
+	}
+}
+
+// ctxQuadratic implements BatchProblemCtx, counting batch calls and
+// optionally failing after a set number of them.
+type ctxQuadratic struct {
+	batches  int
+	failAt   int // 0 = never
+	failWith error
+}
+
+func (p *ctxQuadratic) Energy(x float64) float64 { return (x - 7) * (x - 7) }
+func (p *ctxQuadratic) Neighbor(x float64, rng *rand.Rand) float64 {
+	return x + rng.NormFloat64()
+}
+func (p *ctxQuadratic) EnergyBatchCtx(ctx context.Context, xs []float64) ([]float64, error) {
+	p.batches++
+	if p.failAt > 0 && p.batches >= p.failAt {
+		return nil, p.failWith
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = p.Energy(x)
+	}
+	return out, nil
+}
+
+func TestRunParallelCtxObserverSeesEveryIteration(t *testing.T) {
+	cfg := Config{Iterations: 40, InitTemp: 5, Acceptance: 1.8}
+	pcfg := ParallelConfig{Proposals: 3, Seed: 9}
+	var events []TracePoint[float64]
+	res, err := RunParallelCtx[float64](context.Background(), &ctxQuadratic{}, -10, cfg, pcfg,
+		func(tp TracePoint[float64]) { events = append(events, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(res.Trace) {
+		t.Fatalf("observer saw %d events, trace has %d", len(events), len(res.Trace))
+	}
+	for i, ev := range events {
+		if ev != res.Trace[i] {
+			t.Fatalf("event %d diverges from trace: %+v vs %+v", i, ev, res.Trace[i])
+		}
+	}
+}
+
+func TestRunParallelCtxMatchesRunParallel(t *testing.T) {
+	cfg := Config{Iterations: 60, InitTemp: 5, Acceptance: 1.8}
+	pcfg := ParallelConfig{Proposals: 4, Seed: 11}
+	plain := RunParallel[float64](&ctxQuadratic{}, -10, cfg, pcfg)
+	ctxed, err := RunParallelCtx[float64](context.Background(), &ctxQuadratic{}, -10, cfg, pcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Best != ctxed.Best || plain.BestEnergy != ctxed.BestEnergy {
+		t.Fatalf("RunParallelCtx diverged: %v/%v vs %v/%v",
+			ctxed.Best, ctxed.BestEnergy, plain.Best, plain.BestEnergy)
+	}
+}
+
+func TestRunParallelCtxBatchErrorFinalizesBestSoFar(t *testing.T) {
+	boom := errors.New("boom")
+	p := &ctxQuadratic{failAt: 5, failWith: boom}
+	cfg := Config{Iterations: 1000, InitTemp: 5, Acceptance: 1.8}
+	res, err := RunParallelCtx[float64](context.Background(), p, -10, cfg,
+		ParallelConfig{Proposals: 2, Seed: 13}, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Batch 1 scores the initial state; batches 2-4 complete iterations
+	// 0-2; batch 5 fails, so the trace holds exactly 3 iterations.
+	if len(res.Trace) != 3 {
+		t.Fatalf("trace length = %d, want 3", len(res.Trace))
+	}
+	if res.BestEnergy != res.Trace[len(res.Trace)-1].Best {
+		t.Fatalf("best-so-far not finalized on batch error")
+	}
+}
+
+func TestRunParallelCtxCancelViaContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := Config{Iterations: 1000, InitTemp: 5, Acceptance: 1.8}
+	iters := 0
+	res, err := RunParallelCtx[float64](ctx, &ctxQuadratic{}, -10, cfg,
+		ParallelConfig{Proposals: 2, Seed: 17},
+		func(TracePoint[float64]) {
+			iters++
+			if iters == 7 {
+				cancel()
+			}
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(res.Trace) != 7 {
+		t.Fatalf("trace length = %d, want 7", len(res.Trace))
+	}
+	if res.BestEnergy > res.Trace[0].Best {
+		t.Fatalf("best-so-far worse than first iteration")
+	}
+}

@@ -12,6 +12,7 @@
 package omla
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/nyu-secml/almost/internal/aig"
@@ -55,8 +56,21 @@ func DefaultConfig() Config {
 // models M^resyn2 and M^random and by ALMOST's adversarial training.
 func GenerateData(locked *aig.AIG, recipeFor func(round int) synth.Recipe,
 	rounds, gatesPerRound int, ext subgraph.Extractor, rng *rand.Rand) []*gnn.Graph {
+	data, _ := GenerateDataCtx(context.Background(), locked, recipeFor,
+		rounds, gatesPerRound, ext, rng)
+	return data
+}
+
+// GenerateDataCtx is the cancellable variant of GenerateData: the context
+// is checked before every relock/resynthesize round, and on cancellation
+// the rounds completed so far are returned alongside ctx.Err().
+func GenerateDataCtx(ctx context.Context, locked *aig.AIG, recipeFor func(round int) synth.Recipe,
+	rounds, gatesPerRound int, ext subgraph.Extractor, rng *rand.Rand) ([]*gnn.Graph, error) {
 	var data []*gnn.Graph
 	for r := 0; r < rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return data, err
+		}
 		relocked, keyOrder, bits := lock.Relock(locked, gatesPerRound, rng)
 		resynth := recipeFor(r).Apply(relocked)
 		kisAll := resynth.KeyInputIndices()
@@ -66,7 +80,7 @@ func GenerateData(locked *aig.AIG, recipeFor func(round int) synth.Recipe,
 		}
 		data = append(data, ext.Labeled(resynth, kis, bits)...)
 	}
-	return data
+	return data, nil
 }
 
 // Attack is a trained OMLA attacker.
@@ -75,19 +89,45 @@ type Attack struct {
 	Ext   subgraph.Extractor
 }
 
+// EpochFunc observes training progress: it is called after every
+// completed epoch with the 0-based epoch index and the total epoch count.
+type EpochFunc func(epoch, epochs int)
+
 // Train builds an OMLA attacker against the given synthesized locked
 // netlist, assuming the defender used recipe (the threat model of §II:
 // "the attacks know the synthesis recipe used by the defender").
 func Train(locked *aig.AIG, recipe synth.Recipe, cfg Config) *Attack {
+	atk, _ := TrainCtx(context.Background(), locked, recipe, cfg, nil)
+	return atk
+}
+
+// TrainCtx is the cancellable, observable variant of Train. The context
+// is checked at every data-generation round and every training epoch; on
+// cancellation the partially trained attacker is returned alongside
+// ctx.Err(). onEpoch, when non-nil, is called after each epoch.
+func TrainCtx(ctx context.Context, locked *aig.AIG, recipe synth.Recipe,
+	cfg Config, onEpoch EpochFunc) (*Attack, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ext := subgraph.Extractor{Hops: cfg.Hops}
-	data := GenerateData(locked, func(int) synth.Recipe { return recipe },
+	data, err := GenerateDataCtx(ctx, locked, func(int) synth.Recipe { return recipe },
 		cfg.Rounds, cfg.GatesPerRound, ext, rng)
-	return TrainOnData(data, cfg)
+	if err != nil {
+		return &Attack{Ext: ext}, err
+	}
+	return TrainOnDataCtx(ctx, data, cfg, onEpoch)
 }
 
 // TrainOnData trains the GIN classifier on pre-generated localities.
 func TrainOnData(data []*gnn.Graph, cfg Config) *Attack {
+	atk, _ := TrainOnDataCtx(context.Background(), data, cfg, nil)
+	return atk
+}
+
+// TrainOnDataCtx is the cancellable, observable variant of TrainOnData:
+// the context is checked before every epoch, and on cancellation the
+// partially trained attacker is returned alongside ctx.Err().
+func TrainOnDataCtx(ctx context.Context, data []*gnn.Graph, cfg Config,
+	onEpoch EpochFunc) (*Attack, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed + 7919))
 	gcfg := gnn.Config{
 		InDim:     subgraph.FeatureDim,
@@ -97,10 +137,17 @@ func TrainOnData(data []*gnn.Graph, cfg Config) *Attack {
 		BatchSize: 32,
 	}
 	model := gnn.NewModel(gcfg, rng)
+	atk := &Attack{Model: model, Ext: subgraph.Extractor{Hops: cfg.Hops}}
 	for e := 0; e < cfg.Epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return atk, err
+		}
 		model.TrainEpoch(data, rng)
+		if onEpoch != nil {
+			onEpoch(e, cfg.Epochs)
+		}
 	}
-	return &Attack{Model: model, Ext: subgraph.Extractor{Hops: cfg.Hops}}
+	return atk, nil
 }
 
 // PredictKey predicts every key bit of the netlist, in key-input order.

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -55,8 +56,9 @@ func (k ModelKind) String() string {
 	return fmt.Sprintf("ModelKind(%d)", int(k))
 }
 
-// Config collects every knob of the framework. Zero value is not usable;
-// start from DefaultConfig.
+// Config collects every knob of the framework. The zero value is not
+// usable — start from DefaultConfig or PaperConfig; Validate reports
+// what is wrong with a hand-built configuration.
 type Config struct {
 	// Attack holds the shared GNN/extraction settings.
 	Attack omla.Config
@@ -126,22 +128,75 @@ type Proxy struct {
 // TrainProxy trains a proxy model of the given kind against the locked
 // netlist. baseline is the defender's reference recipe (resyn2 in the
 // paper), used by ModelResyn2.
+//
+// Deprecated: use TrainProxyCtx, which is cancellable, streams progress
+// events, and returns errors instead of panicking.
 func TrainProxy(locked *aig.AIG, kind ModelKind, baseline synth.Recipe, cfg Config) *Proxy {
+	p, err := TrainProxyCtx(context.Background(), locked, kind, baseline, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return p
+}
+
+// epochFunc adapts proxy-training epochs to PhaseTrain events. samples
+// reports the current training-set size, re-read every epoch because
+// Algorithm 1 grows the set.
+func (o *runOptions) epochFunc(samples func() int) omla.EpochFunc {
+	if len(o.observers) == 0 {
+		return nil
+	}
+	return func(epoch, epochs int) {
+		o.emit(Event{Phase: PhaseTrain, Epoch: epoch, Epochs: epochs, Samples: samples()})
+	}
+}
+
+// TrainProxyCtx trains a proxy model of the given kind against the
+// locked netlist. The context is checked at every data-generation round
+// and training epoch (and, for ModelAdversarial, every Eq. 3 SA
+// iteration); on cancellation the partially trained proxy is returned
+// alongside an error matching both ErrCanceled and ctx.Err(). Observers
+// registered via WithObserver receive PhaseTrain events per epoch and,
+// for ModelAdversarial, PhaseAdvSearch events per SA iteration.
+func TrainProxyCtx(ctx context.Context, locked *aig.AIG, kind ModelKind,
+	baseline synth.Recipe, cfg Config, opts ...Option) (*Proxy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ro := buildOptions(opts)
 	switch kind {
 	case ModelResyn2:
-		return &Proxy{Kind: kind, Attack: omla.Train(locked, baseline, cfg.Attack)}
+		atk, err := omla.TrainCtx(ctx, locked, baseline, cfg.Attack,
+			ro.epochFunc(func() int { return cfg.Attack.Rounds * cfg.Attack.GatesPerRound }))
+		if err != nil {
+			return &Proxy{Kind: kind, Attack: atk}, canceled(err)
+		}
+		return &Proxy{Kind: kind, Attack: atk}, nil
 	case ModelRandom:
 		rng := rand.New(rand.NewSource(cfg.Seed + 101))
 		ext := subgraph.Extractor{Hops: cfg.Attack.Hops}
 		dataRng := rand.New(rand.NewSource(cfg.Attack.Seed))
-		data := omla.GenerateData(locked, func(int) synth.Recipe {
+		data, err := omla.GenerateDataCtx(ctx, locked, func(int) synth.Recipe {
 			return synth.RandomRecipe(rng, cfg.RecipeLen)
 		}, cfg.Attack.Rounds, cfg.Attack.GatesPerRound, ext, dataRng)
-		return &Proxy{Kind: kind, Attack: omla.TrainOnData(data, cfg.Attack)}
+		if err != nil {
+			return &Proxy{Kind: kind, Attack: &omla.Attack{Ext: ext}}, canceled(err)
+		}
+		atk, err := omla.TrainOnDataCtx(ctx, data, cfg.Attack,
+			ro.epochFunc(func() int { return len(data) }))
+		if err != nil {
+			return &Proxy{Kind: kind, Attack: atk}, canceled(err)
+		}
+		return &Proxy{Kind: kind, Attack: atk}, nil
 	case ModelAdversarial:
-		return &Proxy{Kind: kind, Attack: trainAdversarial(locked, cfg)}
+		atk, err := trainAdversarialCtx(ctx, locked, cfg, ro)
+		if err != nil {
+			return &Proxy{Kind: kind, Attack: atk}, err
+		}
+		return &Proxy{Kind: kind, Attack: atk}, nil
 	}
-	panic(fmt.Sprintf("core: unknown model kind %d", int(kind)))
+	return nil, fmt.Errorf("%w: ModelKind(%d); valid kinds are ModelResyn2, ModelRandom, ModelAdversarial",
+		ErrUnknownModel, int(kind))
 }
 
 // advProblem is the Eq. 3 search: find a recipe maximizing the model's
@@ -157,6 +212,10 @@ func (p *advProblem) Energy(r synth.Recipe) float64 { return p.eng.Evaluate(r) }
 
 func (p *advProblem) EnergyBatch(rs []synth.Recipe) []float64 {
 	return p.eng.EvaluateBatch(rs)
+}
+
+func (p *advProblem) EnergyBatchCtx(ctx context.Context, rs []synth.Recipe) ([]float64, error) {
+	return p.eng.EvaluateBatchCtx(ctx, rs)
 }
 
 func (p *advProblem) Neighbor(r synth.Recipe, rng *rand.Rand) synth.Recipe {
@@ -179,17 +238,25 @@ func advEnergy(model *gnn.Model, keyOrder []int, bits []bool, ext subgraph.Extra
 	}
 }
 
-// trainAdversarial implements Algorithm 1.
-func trainAdversarial(locked *aig.AIG, cfg Config) *omla.Attack {
+// trainAdversarialCtx implements Algorithm 1. The context is checked at
+// every training epoch and every SA iteration of the Eq. 3 searches; on
+// cancellation the model trained so far is returned alongside an error
+// matching both ErrCanceled and ctx.Err(). ro streams PhaseTrain and
+// PhaseAdvSearch events.
+func trainAdversarialCtx(ctx context.Context, locked *aig.AIG, cfg Config,
+	ro *runOptions) (*omla.Attack, error) {
 	acfg := cfg.Attack
 	rng := rand.New(rand.NewSource(cfg.Seed + 211))
 	recipeRng := rand.New(rand.NewSource(cfg.Seed + 223))
 	ext := subgraph.Extractor{Hops: acfg.Hops}
 
 	// Line 1-2: initial data from random-recipe relock/resynthesize.
-	data := omla.GenerateData(locked, func(int) synth.Recipe {
+	data, err := omla.GenerateDataCtx(ctx, locked, func(int) synth.Recipe {
 		return synth.RandomRecipe(recipeRng, cfg.RecipeLen)
 	}, acfg.Rounds, acfg.GatesPerRound, ext, rng)
+	if err != nil {
+		return &omla.Attack{Ext: ext}, canceled(err)
+	}
 
 	gcfg := gnn.Config{
 		InDim:     subgraph.FeatureDim,
@@ -200,21 +267,38 @@ func trainAdversarial(locked *aig.AIG, cfg Config) *omla.Attack {
 	}
 	model := gnn.NewModel(gcfg, rand.New(rand.NewSource(cfg.Seed+227))) // line 3: He init
 	trainRng := rand.New(rand.NewSource(cfg.Seed + 229))
+	atk := &omla.Attack{Model: model, Ext: ext}
+
+	var advObserve anneal.Observer[synth.Recipe]
+	if len(ro.observers) > 0 {
+		advObserve = func(tp anneal.TracePoint[synth.Recipe]) {
+			ro.emit(Event{Phase: PhaseAdvSearch, Iteration: tp.Iteration,
+				Iterations: cfg.AdvSAIters, Energy: tp.Energy, BestEnergy: tp.Best,
+				Recipe: tp.State, Best: tp.BestState})
+		}
+	}
 
 	for epoch := 0; epoch < acfg.Epochs; epoch++ { // line 4
+		if err := ctx.Err(); err != nil {
+			return atk, canceled(err)
+		}
 		if cfg.AdvPeriod > 0 && epoch > 0 && epoch%cfg.AdvPeriod == 0 { // line 5
 			// Line 6: SA for an adversarial recipe s*. Training pauses while
 			// the engine workers run read-only inference on the model.
 			relocked, keyOrder, bits := lock.Relock(locked, cfg.AdvGates, rng)
 			init := synth.RandomRecipe(recipeRng, cfg.RecipeLen)
-			res := func() anneal.Result[synth.Recipe] {
+			res, err := func() (anneal.Result[synth.Recipe], error) {
 				eng := engine.New(relocked, cfg.Parallelism, advEnergy(model, keyOrder, bits, ext))
 				defer eng.Close()
 				saCfg := anneal.Config{Iterations: cfg.AdvSAIters, InitTemp: cfg.SA.InitTemp,
 					Acceptance: cfg.SA.Acceptance}
-				return anneal.RunParallel[synth.Recipe](&advProblem{eng: eng}, init, saCfg,
-					anneal.ParallelConfig{Proposals: cfg.SAProposals, Seed: cfg.Seed + int64(epoch)})
+				return anneal.RunParallelCtx[synth.Recipe](ctx, &advProblem{eng: eng}, init, saCfg,
+					anneal.ParallelConfig{Proposals: cfg.SAProposals, Seed: cfg.Seed + int64(epoch)},
+					advObserve)
 			}()
+			if err != nil {
+				return atk, canceled(err)
+			}
 			// Line 7: augment D_training with X^{s*}.
 			resynth := res.Best.Apply(relocked)
 			kisAll := resynth.KeyInputIndices()
@@ -225,8 +309,11 @@ func trainAdversarial(locked *aig.AIG, cfg Config) *omla.Attack {
 			data = append(data, ext.Labeled(resynth, kis, bits)...)
 		}
 		model.TrainEpoch(data, trainRng) // lines 8-9
+		if len(ro.observers) > 0 {
+			ro.emit(Event{Phase: PhaseTrain, Epoch: epoch, Epochs: acfg.Epochs, Samples: len(data)})
+		}
 	}
-	return &omla.Attack{Model: model, Ext: ext}
+	return atk, nil
 }
 
 // EstimateAccuracy predicts the attack accuracy obtained on the locked
@@ -260,6 +347,17 @@ func (p *searchProblem) EnergyBatch(rs []synth.Recipe) []float64 {
 	return accs
 }
 
+func (p *searchProblem) EnergyBatchCtx(ctx context.Context, rs []synth.Recipe) ([]float64, error) {
+	accs, err := p.eng.EvaluateBatchCtx(ctx, rs)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range accs {
+		accs[i] = math.Abs(a - 0.5)
+	}
+	return accs, nil
+}
+
 func (p *searchProblem) Neighbor(r synth.Recipe, rng *rand.Rand) synth.Recipe {
 	return synth.MutateRecipe(rng, r)
 }
@@ -284,10 +382,34 @@ type SearchResult struct {
 // reaching ~50%, the best recipe found is returned (as the paper does for
 // c2670, c5315, c7552).
 //
+// Deprecated: use SearchRecipeCtx, which is cancellable, streams the
+// Fig. 4 trace live, and returns errors instead of panicking.
+func SearchRecipe(locked *aig.AIG, truth lock.Key, proxy *Proxy, cfg Config) SearchResult {
+	res, err := SearchRecipeCtx(context.Background(), locked, truth, proxy, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return res
+}
+
+// SearchRecipeCtx runs the security-aware SA recipe generation (Eq. 1)
+// using the proxy as the accuracy evaluator.
+//
 // Evaluation runs on the concurrent engine: every SA iteration proposes
 // cfg.SAProposals neighbors, scored across cfg.Parallelism workers with
 // memoization, and the trajectory is identical for any worker count.
-func SearchRecipe(locked *aig.AIG, truth lock.Key, proxy *Proxy, cfg Config) SearchResult {
+//
+// The context is checked at every SA iteration and inside every engine
+// batch; on cancellation the best-so-far SearchResult (well-formed, with
+// the trace recorded up to the cancellation point) is returned alongside
+// an error matching both ErrCanceled and ctx.Err(). Observers receive a
+// PhaseSearch event per iteration — the Fig. 4 trace, live.
+func SearchRecipeCtx(ctx context.Context, locked *aig.AIG, truth lock.Key,
+	proxy *Proxy, cfg Config, opts ...Option) (SearchResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SearchResult{}, err
+	}
+	ro := buildOptions(opts)
 	eng := engine.New(locked, cfg.Parallelism, func(g *aig.AIG, r synth.Recipe) float64 {
 		return proxy.EstimateAccuracy(g, r, truth)
 	})
@@ -295,12 +417,21 @@ func SearchRecipe(locked *aig.AIG, truth lock.Key, proxy *Proxy, cfg Config) Sea
 	prob := &searchProblem{eng: eng}
 	rng := rand.New(rand.NewSource(cfg.Seed + 307))
 	init := synth.RandomRecipe(rng, cfg.RecipeLen)
-	res := anneal.RunParallel[synth.Recipe](prob, init, cfg.SA,
-		anneal.ParallelConfig{Proposals: cfg.SAProposals, Seed: cfg.Seed + 311})
-	out := SearchResult{
-		Recipe:   res.Best,
-		Accuracy: prob.accuracy(res.Best),
+
+	var observe anneal.Observer[synth.Recipe]
+	if len(ro.observers) > 0 {
+		observe = func(tp anneal.TracePoint[synth.Recipe]) {
+			// The state was evaluated by this iteration's batch, so the
+			// accuracy lookup is a cache hit.
+			ro.emit(Event{Phase: PhaseSearch, Iteration: tp.Iteration,
+				Iterations: cfg.SA.Iterations, Energy: tp.Energy, BestEnergy: tp.Best,
+				Accuracy: prob.accuracy(tp.State), Recipe: tp.State, Best: tp.BestState})
+		}
 	}
+
+	res, runErr := anneal.RunParallelCtx[synth.Recipe](ctx, prob, init, cfg.SA,
+		anneal.ParallelConfig{Proposals: cfg.SAProposals, Seed: cfg.Seed + 311}, observe)
+	out := SearchResult{Recipe: res.Best}
 	for _, tp := range res.Trace {
 		out.Trace = append(out.Trace, SearchTracePoint{
 			Iteration: tp.Iteration,
@@ -308,7 +439,19 @@ func SearchRecipe(locked *aig.AIG, truth lock.Key, proxy *Proxy, cfg Config) Sea
 			Recipe:    tp.State,
 		})
 	}
-	return out
+	if runErr != nil {
+		// Best-so-far accuracy: read the cache rather than forcing a
+		// fresh evaluation after cancellation. A miss only happens when
+		// the run was canceled before the initial state was scored.
+		if acc, ok := eng.Cached(res.Best); ok {
+			out.Accuracy = acc
+		} else {
+			out.Accuracy = math.NaN()
+		}
+		return out, canceled(runErr)
+	}
+	out.Accuracy = prob.accuracy(res.Best)
+	return out, nil
 }
 
 // Hardened is the output of the end-to-end pipeline.
@@ -324,17 +467,55 @@ type Hardened struct {
 // SecureSynthesis runs the full ALMOST flow on an unlocked design:
 // RLL-lock with keySize bits, train the adversarial proxy M*, search for
 // S_ALMOST, and synthesize the final netlist with it.
+//
+// Deprecated: use SecureSynthesisCtx, which is cancellable, streams
+// progress events, and returns errors instead of panicking.
 func SecureSynthesis(design *aig.AIG, keySize int, cfg Config) *Hardened {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	locked, key := lock.Lock(design, keySize, rng)
-	proxy := TrainProxy(locked, ModelAdversarial, synth.Resyn2(), cfg)
-	search := SearchRecipe(locked, key, proxy, cfg)
-	return &Hardened{
-		Locked:  locked,
-		Netlist: search.Recipe.Apply(locked),
-		Key:     key,
-		Recipe:  search.Recipe,
-		Search:  search,
-		Proxy:   proxy,
+	h, err := SecureSynthesisCtx(context.Background(), design, keySize, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
 	}
+	return h
+}
+
+// SecureSynthesisCtx runs the full ALMOST flow on an unlocked design:
+// RLL-lock with keySize bits, train the adversarial proxy M*, search for
+// S_ALMOST, and synthesize the final netlist with it.
+//
+// The context is threaded through every stage (training epochs, Eq. 3
+// searches, Eq. 1 search, engine batches). On cancellation the returned
+// *Hardened is non-nil and holds everything completed so far — always
+// Locked and Key, plus the partially trained Proxy, the best-so-far
+// Search, and (when a best recipe exists) the Netlist synthesized with
+// it — alongside an error matching both ErrCanceled and ctx.Err().
+// Only a Config validation failure returns a nil *Hardened.
+func SecureSynthesisCtx(ctx context.Context, design *aig.AIG, keySize int,
+	cfg Config, opts ...Option) (*Hardened, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ro := buildOptions(opts)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ro.emit(Event{Phase: PhaseLock})
+	locked, key := lock.Lock(design, keySize, rng)
+	h := &Hardened{Locked: locked, Key: key}
+
+	proxy, err := TrainProxyCtx(ctx, locked, ModelAdversarial, synth.Resyn2(), cfg, opts...)
+	h.Proxy = proxy
+	if err != nil {
+		return h, err
+	}
+	search, err := SearchRecipeCtx(ctx, locked, key, proxy, cfg, opts...)
+	h.Search = search
+	h.Recipe = search.Recipe
+	if err != nil {
+		if len(search.Recipe) > 0 {
+			h.Netlist = search.Recipe.Apply(locked)
+		}
+		return h, err
+	}
+	ro.emit(Event{Phase: PhaseSynth, Recipe: search.Recipe, Best: search.Recipe,
+		Accuracy: search.Accuracy})
+	h.Netlist = search.Recipe.Apply(locked)
+	return h, nil
 }

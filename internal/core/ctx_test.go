@@ -1,0 +1,404 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// settles waits up to ~3s for the goroutine count to drop back to the
+// baseline; used by the leak checks after canceling mid-pipeline.
+func settles(baseline int) bool {
+	for i := 0; i < 300; i++ {
+		if runtime.NumGoroutine() <= baseline {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}
+
+func lockedC432(t testing.TB) (*aig.AIG, lock.Key) {
+	t.Helper()
+	g := circuits.MustGenerate("c432")
+	locked, key := lock.Lock(g, 8, rand.New(rand.NewSource(1)))
+	return locked, key
+}
+
+func TestConfigValidateZeroValue(t *testing.T) {
+	err := Config{}.Validate()
+	if err == nil {
+		t.Fatal("zero-value Config must not validate")
+	}
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("err = %v, want ErrInvalidConfig", err)
+	}
+	if !strings.Contains(err.Error(), "DefaultConfig") {
+		t.Fatalf("message not actionable: %v", err)
+	}
+}
+
+func TestConfigValidateFieldMessages(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"recipe len", func(c *Config) { c.RecipeLen = 0 }, "RecipeLen"},
+		{"sa iterations", func(c *Config) { c.SA.Iterations = -1 }, "SA.Iterations"},
+		{"negative temp", func(c *Config) { c.SA.InitTemp = -3 }, "SA.InitTemp"},
+		{"acceptance", func(c *Config) { c.SA.Acceptance = 0 }, "SA.Acceptance"},
+		{"proposals", func(c *Config) { c.SAProposals = -2 }, "SAProposals"},
+		{"adv period", func(c *Config) { c.AdvPeriod = -1 }, "AdvPeriod"},
+		{"adv gates", func(c *Config) { c.AdvGates = 0 }, "AdvGates"},
+		{"adv sa iters", func(c *Config) { c.AdvSAIters = 0 }, "AdvSAIters"},
+		{"attack epochs", func(c *Config) { c.Attack.Epochs = 0 }, "Attack.Epochs"},
+		{"attack rounds", func(c *Config) { c.Attack.Rounds = 0 }, "Attack.Rounds"},
+		{"attack lr", func(c *Config) { c.Attack.LR = 0 }, "Attack.LR"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("err = %v, want ErrInvalidConfig", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("message %q does not name %q", err, tc.want)
+			}
+		})
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig must validate: %v", err)
+	}
+	if err := PaperConfig().Validate(); err != nil {
+		t.Fatalf("PaperConfig must validate: %v", err)
+	}
+	// AdvPeriod == 0 disables augmentation; AdvGates may then be zero.
+	cfg := DefaultConfig()
+	cfg.AdvPeriod, cfg.AdvGates, cfg.AdvSAIters = 0, 0, 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("disabled augmentation must validate: %v", err)
+	}
+}
+
+func TestTrainProxyCtxUnknownModelKind(t *testing.T) {
+	locked, _ := lockedC432(t)
+	_, err := TrainProxyCtx(context.Background(), locked, ModelKind(42), synth.Resyn2(), tinyConfig())
+	if !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("err = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestTrainProxyLegacyStillPanicsOnUnknownKind(t *testing.T) {
+	locked, _ := lockedC432(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("legacy TrainProxy must panic on an unknown kind")
+		}
+	}()
+	TrainProxy(locked, ModelKind(42), synth.Resyn2(), tinyConfig())
+}
+
+func TestSearchRecipeCtxInvalidConfig(t *testing.T) {
+	locked, key := lockedC432(t)
+	proxy, err := TrainProxyCtx(context.Background(), locked, ModelResyn2, synth.Resyn2(), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SearchRecipeCtx(context.Background(), locked, key, proxy, Config{}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("err = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := SecureSynthesisCtx(context.Background(), locked, 8, Config{}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("err = %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestSearchRecipeCtxStreamsFig4Trace asserts the observer contract: one
+// PhaseSearch event per SA iteration, carrying the same live accuracy
+// trajectory the final SearchResult.Trace reports (Fig. 4, live).
+func TestSearchRecipeCtxStreamsFig4Trace(t *testing.T) {
+	locked, key := lockedC432(t)
+	cfg := tinyConfig()
+	proxy, err := TrainProxyCtx(context.Background(), locked, ModelResyn2, synth.Resyn2(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	res, err := SearchRecipeCtx(context.Background(), locked, key, proxy, cfg,
+		WithObserver(func(ev Event) { events = append(events, ev) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events streamed")
+	}
+	if len(events) != len(res.Trace) {
+		t.Fatalf("streamed %d events, final trace has %d points", len(events), len(res.Trace))
+	}
+	for i, ev := range events {
+		if ev.Phase != PhaseSearch {
+			t.Fatalf("event %d phase = %q", i, ev.Phase)
+		}
+		if ev.Iteration != i {
+			t.Fatalf("event %d iteration = %d", i, ev.Iteration)
+		}
+		if ev.Iterations != cfg.SA.Iterations {
+			t.Fatalf("event %d total iterations = %d", i, ev.Iterations)
+		}
+		if ev.Accuracy < 0 || ev.Accuracy > 1 {
+			t.Fatalf("event %d accuracy = %v", i, ev.Accuracy)
+		}
+		if ev.Accuracy != res.Trace[i].Accuracy {
+			t.Fatalf("event %d live accuracy %v != trace accuracy %v",
+				i, ev.Accuracy, res.Trace[i].Accuracy)
+		}
+		if !ev.Recipe.Equal(res.Trace[i].Recipe) {
+			t.Fatalf("event %d recipe diverges from trace", i)
+		}
+		if len(ev.Best) != cfg.RecipeLen {
+			t.Fatalf("event %d best-so-far recipe length %d", i, len(ev.Best))
+		}
+	}
+	// The final best-so-far must be the returned recipe.
+	if last := events[len(events)-1]; !last.Best.Equal(res.Recipe) {
+		t.Fatalf("final best %v != returned recipe %v", last.Best, res.Recipe)
+	}
+}
+
+// TestSearchRecipeCtxCancelMidRun cancels the Eq. 1 search from inside
+// its own event stream and checks the contract: prompt return, an error
+// matching both ErrCanceled and context.Canceled, a well-formed partial
+// result, and no leaked engine goroutines.
+func TestSearchRecipeCtxCancelMidRun(t *testing.T) {
+	locked, key := lockedC432(t)
+	cfg := tinyConfig()
+	cfg.SA.Iterations = 1000 // far more than the canceled run will do
+	proxy, err := TrainProxyCtx(context.Background(), locked, ModelResyn2, synth.Resyn2(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const stopAfter = 3
+	seen := 0
+	res, err := SearchRecipeCtx(ctx, locked, key, proxy, cfg,
+		WithObserver(func(ev Event) {
+			seen++
+			if seen == stopAfter {
+				cancel()
+			}
+		}))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The partial result is well-formed: best-so-far recipe of the
+	// configured length, a trace cut at the cancellation point, and the
+	// accuracy of the best recipe recovered from the engine cache.
+	if len(res.Recipe) != cfg.RecipeLen {
+		t.Fatalf("partial recipe length = %d, want %d", len(res.Recipe), cfg.RecipeLen)
+	}
+	if len(res.Trace) != stopAfter {
+		t.Fatalf("partial trace has %d points, want %d", len(res.Trace), stopAfter)
+	}
+	if res.Accuracy < 0 || res.Accuracy > 1 {
+		t.Fatalf("partial accuracy = %v", res.Accuracy)
+	}
+	if !settles(before) {
+		t.Fatalf("engine goroutines leaked: before %d, now %d", before, runtime.NumGoroutine())
+	}
+}
+
+// TestSecureSynthesisCtxCancelDuringTraining cancels the end-to-end flow
+// while Algorithm 1 is still training and checks that the partial
+// Hardened keeps the completed work (lock + partially trained proxy).
+func TestSecureSynthesisCtxCancelDuringTraining(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	cfg := tinyConfig()
+	cfg.Attack.Epochs = 1000 // cancellation lands mid-training
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	trained := 0
+	h, err := SecureSynthesisCtx(ctx, g, 8, cfg,
+		WithObserver(func(ev Event) {
+			if ev.Phase == PhaseTrain {
+				trained++
+				if trained == 2 {
+					cancel()
+				}
+			}
+		}))
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled ∧ context.Canceled", err)
+	}
+	if h == nil {
+		t.Fatal("canceled run must return the partial Hardened")
+	}
+	if h.Locked == nil || len(h.Key) != 8 {
+		t.Fatalf("partial Hardened lost the locked instance: %+v", h)
+	}
+	if h.Proxy == nil || h.Proxy.Attack == nil {
+		t.Fatal("partial Hardened lost the partially trained proxy")
+	}
+	if h.Netlist != nil {
+		t.Fatal("no recipe was found, so no netlist should be synthesized")
+	}
+	if !settles(before) {
+		t.Fatalf("goroutines leaked: before %d, now %d", before, runtime.NumGoroutine())
+	}
+}
+
+// TestSecureSynthesisCtxCancelDuringSearch cancels during the Eq. 1
+// search: the partial Hardened must carry the best-so-far recipe AND the
+// netlist synthesized with it.
+func TestSecureSynthesisCtxCancelDuringSearch(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	cfg := tinyConfig()
+	cfg.SA.Iterations = 1000
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	searched := 0
+	h, err := SecureSynthesisCtx(ctx, g, 8, cfg,
+		WithObserver(func(ev Event) {
+			if ev.Phase == PhaseSearch {
+				searched++
+				if searched == 2 {
+					cancel()
+				}
+			}
+		}))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if h == nil || len(h.Recipe) != cfg.RecipeLen {
+		t.Fatalf("partial Hardened lacks best-so-far recipe: %+v", h)
+	}
+	if h.Netlist == nil {
+		t.Fatal("best-so-far recipe found but netlist not synthesized")
+	}
+	if len(h.Search.Trace) == 0 {
+		t.Fatal("partial Hardened lost the search trace")
+	}
+}
+
+// TestSecureSynthesisCtxMatchesLegacy pins the redesign: the Background-
+// context path must produce bit-for-bit the result of the deprecated
+// wrapper (which routes through it).
+func TestSecureSynthesisCtxMatchesLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full pipeline runs in -short mode")
+	}
+	g := circuits.MustGenerate("c432")
+	cfg := tinyConfig()
+	h1 := SecureSynthesis(g, 8, cfg)
+	h2, err := SecureSynthesisCtx(context.Background(), g, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h1.Recipe.Equal(h2.Recipe) {
+		t.Fatalf("legacy and ctx recipes diverge: %v vs %v", h1.Recipe, h2.Recipe)
+	}
+	if h1.Search.Accuracy != h2.Search.Accuracy {
+		t.Fatalf("accuracies diverge: %v vs %v", h1.Search.Accuracy, h2.Search.Accuracy)
+	}
+}
+
+// TestTrainProxyCtxEmitsTrainAndAdvSearchEvents checks Algorithm 1's
+// observability: epochs stream as PhaseTrain with a growing sample count,
+// and each Eq. 3 augmentation streams PhaseAdvSearch iterations.
+func TestTrainProxyCtxEmitsTrainAndAdvSearchEvents(t *testing.T) {
+	locked, _ := lockedC432(t)
+	cfg := tinyConfig()
+	var train, adv int
+	firstSamples, lastSamples := -1, -1
+	_, err := TrainProxyCtx(context.Background(), locked, ModelAdversarial, synth.Resyn2(), cfg,
+		WithObserver(func(ev Event) {
+			switch ev.Phase {
+			case PhaseTrain:
+				train++
+				if firstSamples < 0 {
+					firstSamples = ev.Samples
+				}
+				lastSamples = ev.Samples
+			case PhaseAdvSearch:
+				adv++
+				if ev.Iterations != cfg.AdvSAIters {
+					t.Errorf("adv-search total iterations = %d, want %d", ev.Iterations, cfg.AdvSAIters)
+				}
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train != cfg.Attack.Epochs {
+		t.Fatalf("saw %d train events, want %d", train, cfg.Attack.Epochs)
+	}
+	if adv == 0 {
+		t.Fatal("no adversarial-search events streamed")
+	}
+	if lastSamples <= firstSamples {
+		t.Fatalf("training set did not grow: %d -> %d", firstSamples, lastSamples)
+	}
+}
+
+// TestTrainProxyCtxCancelKeepsPartialModel cancels ModelResyn2 training
+// mid-epochs and checks the partially trained proxy is usable.
+func TestTrainProxyCtxCancelKeepsPartialModel(t *testing.T) {
+	locked, key := lockedC432(t)
+	cfg := tinyConfig()
+	cfg.Attack.Epochs = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	epochs := 0
+	p, err := TrainProxyCtx(ctx, locked, ModelResyn2, synth.Resyn2(), cfg,
+		WithObserver(func(ev Event) {
+			if ev.Phase == PhaseTrain {
+				epochs++
+				if epochs == 2 {
+					cancel()
+				}
+			}
+		}))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if p == nil || p.Attack == nil || p.Attack.Model == nil {
+		t.Fatal("partially trained proxy discarded")
+	}
+	if acc := p.EstimateAccuracy(locked, synth.Resyn2(), key); acc < 0 || acc > 1 {
+		t.Fatalf("partial proxy unusable: accuracy = %v", acc)
+	}
+}
+
+// TestHardenCtxDeadline exercises deadline-based cancellation: an already
+// expired deadline returns DeadlineExceeded without doing work.
+func TestHardenCtxDeadline(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	h, err := SecureSynthesisCtx(ctx, g, 8, tinyConfig())
+	if !errors.Is(err, context.DeadlineExceeded) || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want DeadlineExceeded ∧ ErrCanceled", err)
+	}
+	if h == nil || h.Locked == nil {
+		t.Fatal("expired-deadline run must still return the locked instance")
+	}
+}

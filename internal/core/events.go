@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// Typed errors of the pipeline API. Cancellation errors returned by the
+// Ctx entry points match both ErrCanceled and the context's own error
+// (context.Canceled or context.DeadlineExceeded) under errors.Is.
+var (
+	// ErrCanceled marks an error caused by context cancellation. The
+	// result returned alongside it holds the best work completed before
+	// the cancellation.
+	ErrCanceled = errors.New("run canceled")
+	// ErrUnknownModel is returned for a ModelKind outside the three
+	// Table I variants.
+	ErrUnknownModel = errors.New("unknown proxy model kind")
+	// ErrInvalidConfig wraps every Config.Validate failure.
+	ErrInvalidConfig = errors.New("invalid config")
+)
+
+// canceled wraps a context error so it matches both ErrCanceled and the
+// underlying context error under errors.Is.
+func canceled(cause error) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// Phase identifies the pipeline stage an Event was emitted from.
+type Phase string
+
+// Pipeline phases, in the order the end-to-end flow visits them.
+const (
+	// PhaseLock is RLL locking of the input design.
+	PhaseLock Phase = "lock"
+	// PhaseTrain is a proxy-model training epoch (Algorithm 1 line 8,
+	// or plain GIN training for M^resyn2 / M^random).
+	PhaseTrain Phase = "train"
+	// PhaseAdvSearch is an SA iteration of an Eq. 3 adversarial-recipe
+	// search inside Algorithm 1.
+	PhaseAdvSearch Phase = "adversarial-search"
+	// PhaseSearch is an SA iteration of the Eq. 1 recipe search — the
+	// live Fig. 4 trace.
+	PhaseSearch Phase = "recipe-search"
+	// PhaseSynth is the final S_ALMOST synthesis of the hardened netlist.
+	PhaseSynth Phase = "synthesize"
+)
+
+// Event is one streamed progress observation from a running pipeline.
+// Fields beyond Phase are populated per phase: training phases fill the
+// epoch fields, search phases fill the iteration/recipe fields, and
+// PhaseSearch additionally reports the proxy-estimated attack accuracy
+// (the y-axis of Fig. 4).
+type Event struct {
+	Phase Phase
+
+	// Epoch / Epochs count completed training epochs (PhaseTrain).
+	Epoch  int
+	Epochs int
+	// Samples is the training-set size at this epoch, growing at every
+	// Eq. 6 augmentation (PhaseTrain).
+	Samples int
+
+	// Iteration / Iterations count SA steps (PhaseSearch, PhaseAdvSearch).
+	Iteration  int
+	Iterations int
+	// Energy and BestEnergy are the SA objective after the move and the
+	// best seen so far (PhaseSearch: |Acc − 0.5|; PhaseAdvSearch:
+	// negated model loss).
+	Energy     float64
+	BestEnergy float64
+	// Accuracy is the proxy-estimated attack accuracy of the current
+	// recipe (PhaseSearch only; 0.5 means random guessing).
+	Accuracy float64
+	// Recipe is the SA chain's current state; Best is the best-so-far
+	// recipe. Observers must not mutate them.
+	Recipe synth.Recipe
+	Best   synth.Recipe
+}
+
+// Observer consumes streamed Events. Observers run synchronously on the
+// pipeline goroutine: keep them fast, and do not call back into the
+// pipeline from inside one.
+type Observer func(Event)
+
+// Option configures a Ctx entry point (functional options).
+type Option func(*runOptions)
+
+type runOptions struct {
+	observers []Observer
+}
+
+// WithObserver streams progress events to fn. Multiple observers may be
+// registered; each receives every event in emission order.
+func WithObserver(fn func(Event)) Option {
+	return func(o *runOptions) {
+		if fn != nil {
+			o.observers = append(o.observers, Observer(fn))
+		}
+	}
+}
+
+func buildOptions(opts []Option) *runOptions {
+	o := &runOptions{}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(o)
+		}
+	}
+	return o
+}
+
+func (o *runOptions) emit(ev Event) {
+	for _, fn := range o.observers {
+		fn(ev)
+	}
+}
+
+// Validate checks that the configuration can drive the pipeline,
+// returning an error wrapping ErrInvalidConfig with an actionable
+// message otherwise. The zero-value Config is not usable; start from
+// DefaultConfig or PaperConfig and adjust fields.
+func (c Config) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s (the zero-value Config is not usable; start from DefaultConfig or PaperConfig)",
+			ErrInvalidConfig, fmt.Sprintf(format, args...))
+	}
+	if c.RecipeLen <= 0 {
+		return fail("Config.RecipeLen must be positive (got %d); the paper fixes L = %d", c.RecipeLen, synth.RecipeLength)
+	}
+	if c.SA.Iterations <= 0 {
+		return fail("Config.SA.Iterations must be positive (got %d)", c.SA.Iterations)
+	}
+	if c.SA.InitTemp < 0 {
+		return fail("Config.SA.InitTemp must be non-negative (got %g)", c.SA.InitTemp)
+	}
+	if c.SA.Acceptance <= 0 && c.SA.InitTemp > 0 {
+		return fail("Config.SA.Acceptance must be positive when SA.InitTemp > 0 (got %g); the paper uses 1.8", c.SA.Acceptance)
+	}
+	if c.SAProposals < 0 {
+		return fail("Config.SAProposals must be non-negative (got %d); 0 or 1 proposes one neighbor per iteration", c.SAProposals)
+	}
+	if c.AdvPeriod < 0 {
+		return fail("Config.AdvPeriod must be non-negative (got %d); 0 disables adversarial augmentation", c.AdvPeriod)
+	}
+	if c.AdvPeriod > 0 {
+		if c.AdvGates <= 0 {
+			return fail("Config.AdvGates must be positive when AdvPeriod > 0 (got %d)", c.AdvGates)
+		}
+		if c.AdvSAIters <= 0 {
+			return fail("Config.AdvSAIters must be positive when AdvPeriod > 0 (got %d)", c.AdvSAIters)
+		}
+	}
+	a := c.Attack
+	if a.Hops <= 0 {
+		return fail("Config.Attack.Hops must be positive (got %d)", a.Hops)
+	}
+	if a.Rounds <= 0 {
+		return fail("Config.Attack.Rounds must be positive (got %d)", a.Rounds)
+	}
+	if a.GatesPerRound <= 0 {
+		return fail("Config.Attack.GatesPerRound must be positive (got %d)", a.GatesPerRound)
+	}
+	if a.Epochs <= 0 {
+		return fail("Config.Attack.Epochs must be positive (got %d)", a.Epochs)
+	}
+	if a.Hidden <= 0 {
+		return fail("Config.Attack.Hidden must be positive (got %d)", a.Hidden)
+	}
+	if a.Layers <= 0 {
+		return fail("Config.Attack.Layers must be positive (got %d)", a.Layers)
+	}
+	if a.LR <= 0 {
+		return fail("Config.Attack.LR must be positive (got %g)", a.LR)
+	}
+	return nil
+}

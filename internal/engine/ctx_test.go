@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+func TestEvaluateBatchCtxPreCanceledRunsNothing(t *testing.T) {
+	base := circuits.MustGenerate("c432")
+	var evals int64
+	e := New(base, 2, func(g *aig.AIG, r synth.Recipe) float64 {
+		atomic.AddInt64(&evals, 1)
+		return sizeEval(g, r)
+	})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := e.EvaluateBatchCtx(ctx, recipes(4, 1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if out != nil {
+		t.Fatalf("canceled batch returned scores %v", out)
+	}
+	if n := atomic.LoadInt64(&evals); n != 0 {
+		t.Fatalf("pre-canceled batch ran %d evaluations", n)
+	}
+}
+
+func TestEvaluateBatchCtxCancelMidBatchKeepsCompletedWork(t *testing.T) {
+	base := circuits.MustGenerate("c432")
+	ctx, cancel := context.WithCancel(context.Background())
+	var evals int64
+	// One worker, slow evaluations: cancel fires during the first job, so
+	// later jobs must never start.
+	e := New(base, 1, func(g *aig.AIG, r synth.Recipe) float64 {
+		if atomic.AddInt64(&evals, 1) == 1 {
+			cancel()
+			time.Sleep(20 * time.Millisecond)
+		}
+		return sizeEval(g, r)
+	})
+	defer e.Close()
+	rs := recipes(6, 1)
+	out, err := e.EvaluateBatchCtx(ctx, rs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if out != nil {
+		t.Fatalf("canceled batch returned scores %v", out)
+	}
+	ran := atomic.LoadInt64(&evals)
+	if ran >= int64(len(rs)) {
+		t.Fatalf("cancellation did not stop dispatch: %d/%d evaluations ran", ran, len(rs))
+	}
+	// Everything evaluated before the cancellation is cached for reuse.
+	if _, ok := e.Cached(rs[0]); !ok {
+		t.Fatal("completed evaluation was not cached")
+	}
+	// The cache must only hold fully evaluated recipes.
+	if got := e.Stats().Size; int64(got) > ran {
+		t.Fatalf("cache holds %d entries but only %d evaluations ran", got, ran)
+	}
+}
+
+func TestEvaluateCtxMatchesEvaluate(t *testing.T) {
+	base := circuits.MustGenerate("c432")
+	e := New(base, 2, sizeEval)
+	defer e.Close()
+	r := recipes(3, 1)[2]
+	got, err := e.EvaluateCtx(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := e.Evaluate(r); got != want {
+		t.Fatalf("EvaluateCtx = %v, Evaluate = %v", got, want)
+	}
+}
+
+// TestCloseAfterCanceledBatchLeaksNoGoroutines drives the cancellation
+// path and verifies the worker pool winds down completely.
+func TestCloseAfterCanceledBatchLeaksNoGoroutines(t *testing.T) {
+	base := circuits.MustGenerate("c432")
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	e := New(base, 4, sizeEval)
+	cancel()
+	if _, err := e.EvaluateBatchCtx(ctx, recipes(8, 1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	e.Close()
+	if !settles(before) {
+		t.Fatalf("goroutines did not settle: before %d, now %d", before, runtime.NumGoroutine())
+	}
+}
+
+// settles waits up to ~2s for the goroutine count to drop back to the
+// baseline (the runtime may keep a few system goroutines around).
+func settles(baseline int) bool {
+	for i := 0; i < 200; i++ {
+		if runtime.NumGoroutine() <= baseline {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}

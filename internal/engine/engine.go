@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -105,11 +106,35 @@ func (e *Evaluator) Evaluate(r synth.Recipe) float64 {
 	return e.EvaluateBatch([]synth.Recipe{r})[0]
 }
 
+// EvaluateCtx is the cancellable variant of Evaluate.
+func (e *Evaluator) EvaluateCtx(ctx context.Context, r synth.Recipe) (float64, error) {
+	out, err := e.EvaluateBatchCtx(ctx, []synth.Recipe{r})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
 // EvaluateBatch scores a batch of candidates, returning one score per
 // recipe in input order. Cache hits are answered immediately; distinct
 // misses (duplicates within the batch are evaluated once) fan out across
 // the worker pool and the call blocks until all of them finish.
 func (e *Evaluator) EvaluateBatch(rs []synth.Recipe) []float64 {
+	out, _ := e.EvaluateBatchCtx(context.Background(), rs)
+	return out
+}
+
+// EvaluateBatchCtx is the cancellable variant of EvaluateBatch: the
+// context is checked before the batch and between job dispatches. On
+// cancellation no further evaluations start, the call waits for the jobs
+// already handed to workers (so no goroutine ever races a returned
+// slice), caches their scores, and returns nil scores with ctx.Err().
+// A batch that returns an error has still made progress: every score
+// computed before the cancellation is in the cache for the next call.
+func (e *Evaluator) EvaluateBatchCtx(ctx context.Context, rs []synth.Recipe) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(rs))
 	have := make([]bool, len(rs))
 	keys := make([]string, len(rs))
@@ -136,18 +161,33 @@ func (e *Evaluator) EvaluateBatch(rs []synth.Recipe) []float64 {
 	if len(pending) > 0 {
 		vals := make([]float64, len(pending))
 		var wg sync.WaitGroup
-		wg.Add(len(pending))
+		sent := 0 // jobs handed to workers: always the prefix pending[:sent]
 		for slot, i := range pending {
-			e.reqs <- job{recipe: rs[i], slot: slot, out: vals, wg: &wg}
+			if ctx.Err() != nil {
+				break
+			}
+			wg.Add(1)
+			select {
+			case e.reqs <- job{recipe: rs[i], slot: slot, out: vals, wg: &wg}:
+				sent++
+			case <-ctx.Done():
+				wg.Done()
+			}
+			if ctx.Err() != nil {
+				break
+			}
 		}
 		wg.Wait()
 		e.mu.Lock()
-		for slot, i := range pending {
+		for slot, i := range pending[:sent] {
 			e.cache[keys[i]] = vals[slot]
 		}
 		e.mu.Unlock()
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i := range rs {
 		if !have[i] {
 			// Either freshly computed by this batch or by a concurrent one;
@@ -157,7 +197,7 @@ func (e *Evaluator) EvaluateBatch(rs []synth.Recipe) []float64 {
 			e.mu.Unlock()
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Cached returns the cached score of r, if present.

@@ -8,9 +8,17 @@
 // reruns regenerate identical artifacts. Quick options trade benchmark
 // count and training epochs for wall-clock while keeping the result
 // shapes; Full options mirror the paper's settings.
+//
+// Every Run* function takes a context and returns the partial result
+// computed so far together with an error when the context is canceled
+// (matching core.ErrCanceled and ctx.Err()); an Options.Observer, when
+// set, receives the pipeline progress events of every cell (cells run
+// concurrently, so events from different cells interleave).
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -32,6 +40,32 @@ type Options struct {
 	RandomSetSize int // size of the random-recipe evaluation set
 	Seed          int64
 	Out           io.Writer // table/series sink; nil discards
+	// Observer, when non-nil, receives the progress events of every
+	// pipeline run inside the experiment. Cells run concurrently, so
+	// events from different (benchmark, key size) cells interleave.
+	Observer core.Observer
+}
+
+// coreOpts converts the Observer into core functional options.
+func (o Options) coreOpts() []core.Option {
+	if o.Observer == nil {
+		return nil
+	}
+	return []core.Option{core.WithObserver(o.Observer)}
+}
+
+// canceledErr normalizes cancellation errors so every Run* error matches
+// core.ErrCanceled regardless of whether the cancel was caught inside a
+// pipeline call (already wrapped) or by this package's own checkpoints
+// (bare ctx.Err()).
+func canceledErr(err error) error {
+	if err == nil || errors.Is(err, core.ErrCanceled) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", core.ErrCanceled, err)
+	}
+	return err
 }
 
 // QuickOptions returns a configuration that finishes each experiment in
@@ -102,31 +136,55 @@ func (o Options) cellOptions(cells int) Options {
 // Options with its own seeds, so running cells concurrently and having
 // each fn write only its own result slot reproduces the sequential
 // output exactly; reports are printed after the barrier, in order.
-func fanOut(n, jobs int, fn func(i int)) {
+//
+// The context is checked before every cell launch: once canceled, no new
+// cells start, in-flight cells run to their own cancellation checkpoints,
+// and the first error (or ctx.Err()) is returned after the barrier.
+func fanOut(ctx context.Context, n, jobs int, fn func(i int) error) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if jobs > n {
 		jobs = n
 	}
 	if jobs <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, jobs)
+	var mu sync.Mutex
+	var firstErr error
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			fn(i)
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
 		}(i)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }
 
 // lockedInstance deterministically locks a benchmark for an experiment.
@@ -160,7 +218,7 @@ type TransferResult struct {
 // trained on two different recipes, evaluated across both synthesized
 // netlists. The paper reports the diagonal (matched recipe) beating the
 // off-diagonal on c5315.
-func RunTransferability(bench string, keySize int, opt Options) TransferResult {
+func RunTransferability(ctx context.Context, bench string, keySize int, opt Options) (TransferResult, error) {
 	_, locked, key := lockedInstance(bench, keySize, opt.Seed)
 	rng := rand.New(rand.NewSource(opt.Seed + 11))
 	s1 := synth.RandomRecipe(rng, opt.Cfg.RecipeLen)
@@ -172,7 +230,10 @@ func RunTransferability(bench string, keySize int, opt Options) TransferResult {
 	for i, s := range []synth.Recipe{s1, s2} {
 		cfg := opt.Cfg
 		cfg.Attack.Seed = opt.Seed + int64(i)
-		p := core.TrainProxy(locked, core.ModelResyn2, s, cfg)
+		p, err := core.TrainProxyCtx(ctx, locked, core.ModelResyn2, s, cfg, opt.coreOpts()...)
+		if err != nil {
+			return res, canceledErr(err)
+		}
 		res.Acc[i][0] = p.Attack.Accuracy(t1, key)
 		res.Acc[i][1] = p.Attack.Accuracy(t2, key)
 	}
@@ -181,7 +242,7 @@ func RunTransferability(bench string, keySize int, opt Options) TransferResult {
 	fmt.Fprintf(w, "             T_S1      T_S2\n")
 	fmt.Fprintf(w, "M_S1      %6.2f%%   %6.2f%%\n", res.Acc[0][0]*100, res.Acc[0][1]*100)
 	fmt.Fprintf(w, "M_S2      %6.2f%%   %6.2f%%\n", res.Acc[1][0]*100, res.Acc[1][1]*100)
-	return res
+	return res, nil
 }
 
 // --- Table I: proxy-model accuracy ------------------------------------
@@ -204,7 +265,7 @@ type TableIResult struct {
 // RunTableI reproduces Table I: predicted attack accuracy of M^resyn2,
 // M^random, and M* on the resyn2-synthesized netlist and on a set of
 // random-recipe netlists.
-func RunTableI(opt Options) TableIResult {
+func RunTableI(ctx context.Context, opt Options) (TableIResult, error) {
 	res := TableIResult{
 		KeySizes:   opt.KeySizes,
 		Benchmarks: opt.Benchmarks,
@@ -223,7 +284,7 @@ func RunTableI(opt Options) TableIResult {
 	// only its own Cells slots, and the table is printed after the barrier.
 	ncells := len(opt.KeySizes) * nb
 	copt := opt.cellOptions(ncells)
-	fanOut(ncells, opt.jobs(), func(i int) {
+	err := fanOut(ctx, ncells, opt.jobs(), func(i int) error {
 		ki, bi := i/nb, i%nb
 		keySize, bench := opt.KeySizes[ki], opt.Benchmarks[bi]
 		_, locked, key := lockedInstance(bench, keySize, opt.Seed)
@@ -234,7 +295,10 @@ func RunTableI(opt Options) TableIResult {
 			randomNets[i] = r.Apply(locked)
 		}
 		for _, kind := range kinds {
-			p := core.TrainProxy(locked, kind, resyn, copt.Cfg)
+			p, err := core.TrainProxyCtx(ctx, locked, kind, resyn, copt.Cfg, opt.coreOpts()...)
+			if err != nil {
+				return err
+			}
 			cell := TableICell{Resyn2: p.Attack.Accuracy(tResyn, key)}
 			var sum float64
 			for _, net := range randomNets {
@@ -245,9 +309,13 @@ func RunTableI(opt Options) TableIResult {
 			}
 			res.Cells[kind][ki][bi] = cell
 		}
+		return nil
 	})
+	if err != nil {
+		return res, canceledErr(err)
+	}
 	res.print(opt.out())
-	return res
+	return res, nil
 }
 
 func (r TableIResult) print(w io.Writer) {

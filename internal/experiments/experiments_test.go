@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/nyu-secml/almost/internal/core"
@@ -40,7 +43,10 @@ func TestRunTransferability(t *testing.T) {
 	opt := microOptions()
 	var buf bytes.Buffer
 	opt.Out = &buf
-	res := RunTransferability("c432", 8, opt)
+	res, err := RunTransferability(context.Background(), "c432", 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Benchmark != "c432" {
 		t.Fatalf("benchmark = %q", res.Benchmark)
 	}
@@ -63,7 +69,10 @@ func TestRunTableI(t *testing.T) {
 	opt := microOptions()
 	var buf bytes.Buffer
 	opt.Out = &buf
-	res := RunTableI(opt)
+	res, err := RunTableI(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, kind := range []core.ModelKind{core.ModelResyn2, core.ModelRandom, core.ModelAdversarial} {
 		cells := res.Cells[kind]
 		if len(cells) != 1 || len(cells[0]) != 1 {
@@ -86,7 +95,10 @@ func TestRunFig4(t *testing.T) {
 	opt := microOptions()
 	var buf bytes.Buffer
 	opt.Out = &buf
-	series := RunFig4(opt)
+	series, err := RunFig4(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(series) != 1 {
 		t.Fatalf("series = %d", len(series))
 	}
@@ -116,7 +128,10 @@ func TestRunFig5(t *testing.T) {
 	opt := microOptions()
 	var buf bytes.Buffer
 	opt.Out = &buf
-	series := RunFig5(opt)
+	series, err := RunFig5(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(series) != 2 { // delay + area for one benchmark
 		t.Fatalf("series = %d", len(series))
 	}
@@ -148,7 +163,10 @@ func TestRunTableIIAndIII(t *testing.T) {
 	opt := microOptions()
 	var buf bytes.Buffer
 	opt.Out = &buf
-	res := RunTableII(opt)
+	res, err := RunTableII(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 3 { // three attacks × one key size
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
@@ -174,7 +192,10 @@ func TestRunTableIIAndIII(t *testing.T) {
 	}
 
 	// Table III reuses the recipes from Table II.
-	res3 := RunTableIII(opt, res.Recipes)
+	res3, err := RunTableIII(context.Background(), opt, res.Recipes)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cell := res3.Cells["c432"][8]
 	for _, effort := range []techmap.Effort{techmap.EffortNone, techmap.EffortHigh} {
 		c := cell[effort]
@@ -197,9 +218,15 @@ func TestRunTableIJobsInvariant(t *testing.T) {
 	opt.KeySizes = []int{6, 8} // two cells so the fan-out actually fans
 	opt.RandomSetSize = 1
 	opt.Cfg.Parallelism = 1
-	seq := RunTableI(opt)
+	seq, err := RunTableI(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	opt.Cfg.Parallelism = 2
-	par := RunTableI(opt)
+	par, err := RunTableI(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, kind := range []core.ModelKind{core.ModelResyn2, core.ModelRandom, core.ModelAdversarial} {
 		for ki := range opt.KeySizes {
 			for bi := range opt.Benchmarks {
@@ -209,6 +236,51 @@ func TestRunTableIJobsInvariant(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestExperimentsHonorCancellation checks the ctx plumbing of every
+// experiment entry point with a pre-canceled context: prompt error
+// return, no compute.
+func TestExperimentsHonorCancellation(t *testing.T) {
+	opt := microOptions()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	check := func(name string, err error) {
+		t.Helper()
+		if !errors.Is(err, context.Canceled) || !errors.Is(err, core.ErrCanceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled ∧ core.ErrCanceled", name, err)
+		}
+	}
+	_, err := RunTransferability(ctx, "c432", 8, opt)
+	check("transfer", err)
+	_, err = RunTableI(ctx, opt)
+	check("table1", err)
+	_, err = RunFig4(ctx, opt)
+	check("fig4", err)
+	_, err = RunTableII(ctx, opt)
+	check("table2", err)
+	_, err = RunTableIII(ctx, opt, nil)
+	check("table3", err)
+	_, err = RunFig5(ctx, opt)
+	check("fig5", err)
+}
+
+// TestTableIStreamsObserverEvents checks Options.Observer wiring.
+func TestTableIStreamsObserverEvents(t *testing.T) {
+	opt := microOptions()
+	var mu sync.Mutex
+	count := 0
+	opt.Observer = func(core.Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}
+	if _, err := RunTableI(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("no events streamed through Options.Observer")
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -29,12 +30,12 @@ type Fig4Series struct {
 // accuracy evaluator, and the per-iteration accuracy is recorded. The
 // paper's observed shape: searches guided by M* take longer to reach
 // ~50% because the adversarially trained model is harder to fool.
-func RunFig4(opt Options) []Fig4Series {
+func RunFig4(ctx context.Context, opt Options) ([]Fig4Series, error) {
 	resyn := synth.Resyn2()
 	keySize := opt.KeySizes[0]
 	out := make([]Fig4Series, len(opt.Benchmarks))
 	copt := opt.cellOptions(len(opt.Benchmarks))
-	fanOut(len(opt.Benchmarks), opt.jobs(), func(bi int) {
+	err := fanOut(ctx, len(opt.Benchmarks), opt.jobs(), func(bi int) error {
 		bench := opt.Benchmarks[bi]
 		_, locked, key := lockedInstance(bench, keySize, opt.Seed)
 		series := Fig4Series{
@@ -43,8 +44,14 @@ func RunFig4(opt Options) []Fig4Series {
 			Recipes:   map[core.ModelKind]synth.Recipe{},
 		}
 		for _, kind := range []core.ModelKind{core.ModelAdversarial, core.ModelResyn2, core.ModelRandom} {
-			proxy := core.TrainProxy(locked, kind, resyn, copt.Cfg)
-			res := core.SearchRecipe(locked, key, proxy, copt.Cfg)
+			proxy, err := core.TrainProxyCtx(ctx, locked, kind, resyn, copt.Cfg, opt.coreOpts()...)
+			if err != nil {
+				return err
+			}
+			res, err := core.SearchRecipeCtx(ctx, locked, key, proxy, copt.Cfg, opt.coreOpts()...)
+			if err != nil {
+				return err
+			}
 			curve := make([]float64, len(res.Trace))
 			for i, tp := range res.Trace {
 				curve[i] = tp.Accuracy
@@ -53,11 +60,15 @@ func RunFig4(opt Options) []Fig4Series {
 			series.Recipes[kind] = res.Recipe
 		}
 		out[bi] = series
+		return nil
 	})
+	if err != nil {
+		return out, canceledErr(err)
+	}
 	for _, series := range out {
 		printFig4(opt.out(), series)
 	}
-	return out
+	return out, nil
 }
 
 func printFig4(w io.Writer, s Fig4Series) {
@@ -162,17 +173,23 @@ func (p *ppaProblem) Neighbor(r synth.Recipe, rng *rand.Rand) synth.Recipe {
 // the normalized PPA metric are recorded. The paper's claim: no
 // correlation between PPA optimization and attack accuracy, so
 // re-synthesis does not help the attacker.
-func RunFig5(opt Options) []Fig5Series {
+func RunFig5(ctx context.Context, opt Options) ([]Fig5Series, error) {
 	resyn := synth.Resyn2()
 	lib := techmap.NanGate45()
 	keySize := opt.KeySizes[0]
 	out := make([]Fig5Series, 2*len(opt.Benchmarks))
 	copt := opt.cellOptions(len(opt.Benchmarks))
-	fanOut(len(opt.Benchmarks), opt.jobs(), func(bi int) {
+	err := fanOut(ctx, len(opt.Benchmarks), opt.jobs(), func(bi int) error {
 		bench := opt.Benchmarks[bi]
 		_, locked, key := lockedInstance(bench, keySize, opt.Seed)
-		proxy := core.TrainProxy(locked, core.ModelAdversarial, resyn, copt.Cfg)
-		search := core.SearchRecipe(locked, key, proxy, copt.Cfg)
+		proxy, err := core.TrainProxyCtx(ctx, locked, core.ModelAdversarial, resyn, copt.Cfg, opt.coreOpts()...)
+		if err != nil {
+			return err
+		}
+		search, err := core.SearchRecipeCtx(ctx, locked, key, proxy, copt.Cfg, opt.coreOpts()...)
+		if err != nil {
+			return err
+		}
 		almostNet := search.Recipe.Apply(locked)
 		base := techmap.Map(resyn.Apply(locked), lib, techmap.EffortNone)
 
@@ -180,8 +197,11 @@ func RunFig5(opt Options) []Fig5Series {
 			prob := &ppaProblem{locked: almostNet, lib: lib, target: target,
 				cache: map[string]float64{}}
 			rng := rand.New(rand.NewSource(opt.Seed + 17))
-			res := anneal.Run[synth.Recipe](prob, synth.RandomRecipe(rng, opt.Cfg.RecipeLen),
-				opt.Cfg.SA, rng)
+			res, err := anneal.RunCtx[synth.Recipe](ctx, prob, synth.RandomRecipe(rng, opt.Cfg.RecipeLen),
+				opt.Cfg.SA, rng, nil)
+			if err != nil {
+				return err
+			}
 			series := Fig5Series{Benchmark: bench, Target: target}
 			for _, tp := range res.Trace {
 				net := tp.State.Apply(almostNet)
@@ -196,11 +216,15 @@ func RunFig5(opt Options) []Fig5Series {
 			}
 			out[2*bi+ti] = series
 		}
+		return nil
 	})
+	if err != nil {
+		return out, canceledErr(err)
+	}
 	for _, series := range out {
 		printFig5(opt.out(), series)
 	}
-	return out
+	return out, nil
 }
 
 func printFig5(w io.Writer, s Fig5Series) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -49,7 +50,7 @@ type TableIIResult struct {
 // independently with knowledge of the respective recipe), SCOPE, and the
 // redundancy attack are run against both the resyn2- and the
 // ALMOST-synthesized locked netlists.
-func RunTableII(opt Options) TableIIResult {
+func RunTableII(ctx context.Context, opt Options) (TableIIResult, error) {
 	res := TableIIResult{Recipes: map[string]map[int]synth.Recipe{}}
 	resyn := synth.Resyn2()
 	rows := map[AttackName]map[int]*TableIIRow{}
@@ -69,11 +70,17 @@ func RunTableII(opt Options) TableIIResult {
 	nk := len(opt.KeySizes)
 	pairs := make([]pairResult, len(opt.Benchmarks)*nk)
 	copt := opt.cellOptions(len(pairs))
-	fanOut(len(pairs), opt.jobs(), func(i int) {
+	err := fanOut(ctx, len(pairs), opt.jobs(), func(i int) error {
 		bench, keySize := opt.Benchmarks[i/nk], opt.KeySizes[i%nk]
 		_, locked, key := lockedInstance(bench, keySize, opt.Seed)
-		proxy := core.TrainProxy(locked, core.ModelAdversarial, resyn, copt.Cfg)
-		search := core.SearchRecipe(locked, key, proxy, copt.Cfg)
+		proxy, err := core.TrainProxyCtx(ctx, locked, core.ModelAdversarial, resyn, copt.Cfg, opt.coreOpts()...)
+		if err != nil {
+			return err
+		}
+		search, err := core.SearchRecipeCtx(ctx, locked, key, proxy, copt.Cfg, opt.coreOpts()...)
+		if err != nil {
+			return err
+		}
 
 		baseNet := resyn.Apply(locked)
 		almostNet := search.Recipe.Apply(locked)
@@ -81,8 +88,16 @@ func RunTableII(opt Options) TableIIResult {
 		// OMLA: independent attacker per netlist, knowing the recipe.
 		acfg := opt.Cfg.Attack
 		acfg.Seed = opt.Seed + 131
-		omlaBase := omla.Train(baseNet, resyn, acfg).Accuracy(baseNet, key)
-		omlaAlmost := omla.Train(almostNet, search.Recipe, acfg).Accuracy(almostNet, key)
+		omlaBaseAtk, err := omla.TrainCtx(ctx, baseNet, resyn, acfg, nil)
+		if err != nil {
+			return err
+		}
+		omlaBase := omlaBaseAtk.Accuracy(baseNet, key)
+		omlaAlmostAtk, err := omla.TrainCtx(ctx, almostNet, search.Recipe, acfg, nil)
+		if err != nil {
+			return err
+		}
+		omlaAlmost := omlaAlmostAtk.Accuracy(almostNet, key)
 
 		scfg := scope.DefaultConfig()
 		rcfg := redundancy.DefaultConfig()
@@ -99,7 +114,11 @@ func RunTableII(opt Options) TableIIResult {
 				redundancy.Accuracy(almostNet, key, rcfg),
 			},
 		}
+		return nil
 	})
+	if err != nil {
+		return res, canceledErr(err)
+	}
 	for i, p := range pairs {
 		bench, keySize := opt.Benchmarks[i/nk], opt.KeySizes[i%nk]
 		if res.Recipes[bench] == nil {
@@ -116,7 +135,7 @@ func RunTableII(opt Options) TableIIResult {
 		}
 	}
 	res.print(opt.out(), opt.Benchmarks)
-	return res
+	return res, nil
 }
 
 // redundancySamples scales the redundancy attack's fault sampling down
@@ -171,19 +190,28 @@ type TableIIIResult struct {
 // RunTableIII reproduces Table III: PPA overhead of ALMOST-synthesized
 // circuits relative to the locked baseline netlist, mapped with no
 // optimization (-opt) and with high-effort optimization (+opt).
-func RunTableIII(opt Options, recipes map[string]map[int]synth.Recipe) TableIIIResult {
+func RunTableIII(ctx context.Context, opt Options, recipes map[string]map[int]synth.Recipe) (TableIIIResult, error) {
 	res := TableIIIResult{Cells: map[string]map[int]map[techmap.Effort]TableIIICell{}}
 	lib := techmap.NanGate45()
 	resyn := synth.Resyn2()
 	for _, bench := range opt.Benchmarks {
 		res.Cells[bench] = map[int]map[techmap.Effort]TableIIICell{}
 		for _, keySize := range opt.KeySizes {
+			if err := ctx.Err(); err != nil {
+				return res, canceledErr(err)
+			}
 			_, locked, key := lockedInstance(bench, keySize, opt.Seed)
 			recipe := recipeFor(recipes, bench, keySize)
 			if recipe == nil {
 				// Regenerate when the caller did not supply Table II output.
-				proxy := core.TrainProxy(locked, core.ModelAdversarial, resyn, opt.Cfg)
-				search := core.SearchRecipe(locked, key, proxy, opt.Cfg)
+				proxy, err := core.TrainProxyCtx(ctx, locked, core.ModelAdversarial, resyn, opt.Cfg, opt.coreOpts()...)
+				if err != nil {
+					return res, canceledErr(err)
+				}
+				search, err := core.SearchRecipeCtx(ctx, locked, key, proxy, opt.Cfg, opt.coreOpts()...)
+				if err != nil {
+					return res, canceledErr(err)
+				}
 				recipe = search.Recipe
 			}
 			almostNet := recipe.Apply(locked)
@@ -197,7 +225,7 @@ func RunTableIII(opt Options, recipes map[string]map[int]synth.Recipe) TableIIIR
 		}
 	}
 	res.print(opt.out(), opt)
-	return res
+	return res, nil
 }
 
 func recipeFor(recipes map[string]map[int]synth.Recipe, bench string, keySize int) synth.Recipe {
