@@ -81,11 +81,11 @@ import (
 	"github.com/nyu-secml/almost/internal/attack/omla"
 	"github.com/nyu-secml/almost/internal/attack/redundancy"
 	"github.com/nyu-secml/almost/internal/attack/scope"
-	"github.com/nyu-secml/almost/internal/bench"
 	"github.com/nyu-secml/almost/internal/circuits"
 	"github.com/nyu-secml/almost/internal/cnf"
 	"github.com/nyu-secml/almost/internal/core"
 	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/netio"
 	"github.com/nyu-secml/almost/internal/synth"
 	"github.com/nyu-secml/almost/internal/techmap"
 )
@@ -174,10 +174,31 @@ func Benchmarks() []string { return circuits.Names() }
 func PaperBenchmarks() []string { return circuits.PaperSet() }
 
 // ParseBench reads an ISCAS85 ".bench" netlist.
-func ParseBench(r io.Reader) (*AIG, error) { return bench.Parse(r) }
+func ParseBench(r io.Reader) (*AIG, error) { return netio.ParseBench(r) }
 
 // WriteBench writes an AIG as a ".bench" netlist.
-func WriteBench(w io.Writer, g *AIG) error { return bench.Write(w, g) }
+func WriteBench(w io.Writer, g *AIG) error { return netio.WriteBench(w, g) }
+
+// ParseAIGER reads an AIGER netlist, accepting both the ASCII ("aag")
+// and binary ("aig") variants. Key-input metadata in the symbol table
+// and comment section is honored.
+func ParseAIGER(r io.Reader) (*AIG, error) { return netio.ParseAIGER(r) }
+
+// WriteAAG writes an AIG in ASCII AIGER format, including the symbol
+// table and the key-input annotation of locked netlists.
+func WriteAAG(w io.Writer, g *AIG) error { return netio.WriteAAG(w, g) }
+
+// WriteAIG writes an AIG in binary AIGER format, including the symbol
+// table and the key-input annotation of locked netlists.
+func WriteAIG(w io.Writer, g *AIG) error { return netio.WriteAIG(w, g) }
+
+// ReadNetlistFile loads a netlist from a .bench, .aag, or .aig file,
+// sniffing the format from the extension.
+func ReadNetlistFile(path string) (*AIG, error) { return netio.ReadFile(path) }
+
+// WriteNetlistFile stores a netlist at a .bench, .aag, or .aig path,
+// sniffing the format from the extension.
+func WriteNetlistFile(path string, g *AIG) error { return netio.WriteFile(path, g) }
 
 // Lock applies random logic locking with keySize XOR/XNOR key gates.
 func Lock(g *AIG, keySize int, rng *rand.Rand) (*AIG, Key) {

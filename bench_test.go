@@ -43,6 +43,20 @@ func benchOptions(b *testing.B) experiments.Options {
 	opt := experiments.QuickOptions()
 	opt.Benchmarks = []string{"c1908"}
 	opt.Out = os.Stdout
+	if testing.Short() {
+		// CI smoke scale (the BENCH_pr*.json trajectory points): shrink
+		// training and search budgets further and use the smallest
+		// benchmark, keeping every experiment's shape intact.
+		opt.Benchmarks = []string{"c432"}
+		opt.KeySizes = []int{16}
+		opt.RandomSetSize = 4
+		opt.Cfg.Attack.Rounds = 3
+		opt.Cfg.Attack.Epochs = 6
+		opt.Cfg.AdvPeriod = 3
+		opt.Cfg.AdvGates = 12
+		opt.Cfg.AdvSAIters = 3
+		opt.Cfg.SA.Iterations = 8
+	}
 	return opt
 }
 
@@ -157,10 +171,15 @@ func BenchmarkFig5(b *testing.B) {
 
 // --- Ablations (DESIGN.md §5) ------------------------------------------
 
-// ablationSetup locks a small benchmark deterministically.
+// ablationSetup locks a small benchmark deterministically (smaller
+// still in -short mode, matching benchOptions' CI smoke scale).
 func ablationSetup() (*almost.AIG, *almost.AIG, almost.Key) {
-	g := circuits.MustGenerate("c1355")
-	locked, key := lock.Lock(g, 32, rand.New(rand.NewSource(5)))
+	name, bits := "c1355", 32
+	if testing.Short() {
+		name, bits = "c432", 16
+	}
+	g := circuits.MustGenerate(name)
+	locked, key := lock.Lock(g, bits, rand.New(rand.NewSource(5)))
 	return g, locked, key
 }
 
@@ -172,6 +191,14 @@ func ablationConfig() almost.Config {
 	cfg.AdvGates = 16
 	cfg.AdvSAIters = 4
 	cfg.SA.Iterations = 10
+	if testing.Short() {
+		cfg.Attack.Rounds = 2
+		cfg.Attack.Epochs = 4
+		cfg.AdvPeriod = 2
+		cfg.AdvGates = 8
+		cfg.AdvSAIters = 2
+		cfg.SA.Iterations = 4
+	}
 	return cfg
 }
 

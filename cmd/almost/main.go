@@ -7,12 +7,21 @@
 // Usage:
 //
 //	almost gen -circuit c1908 -o c1908.bench
-//	almost lock -in c1908.bench -keysize 64 -seed 1 -o locked.bench -keyfile key.txt
-//	almost synth -in locked.bench -recipe "balance; rewrite; refactor" -o out.bench
+//	almost lock -circuit c1908 -keysize 64 -seed 1 -o locked.aig -keyfile key.txt
+//	almost synth -in locked.aig -recipe "balance; rewrite; refactor" -o out.bench
 //	almost attack -in locked.bench -attack omla -recipe resyn2 -keyfile key.txt
 //	almost tune -in locked.bench -keyfile key.txt -jobs 8 -o recipe.txt
-//	almost ppa -in out.bench
-//	almost experiment -name table2 -quick -jobs 8
+//	almost ppa -circuit design.aag
+//	almost convert -circuit design.bench -o design.aig
+//	almost pipeline -circuit design.aag -keysize 64 -attack scope,redundancy
+//	almost experiment -name table2 -quick -jobs 8 -benchmarks c1355,mydesign.aig
+//
+// Netlists are read and written through the internal/netio subsystem:
+// every -in/-o/-circuit file may be ISCAS-85 BENCH (.bench), ASCII
+// AIGER (.aag), or binary AIGER (.aig), with the format sniffed from
+// the extension. The shared -circuit flag accepts either a built-in
+// benchmark name (c432 ... c7552) or a netlist file path, so every
+// command runs equally on built-in and user-supplied circuits.
 //
 // The compute-heavy commands (tune, experiment) take -jobs N to set the
 // worker count of the concurrent recipe-evaluation engine; 0 (the
@@ -42,11 +51,11 @@ import (
 	"github.com/nyu-secml/almost/internal/attack/omla"
 	"github.com/nyu-secml/almost/internal/attack/redundancy"
 	"github.com/nyu-secml/almost/internal/attack/scope"
-	"github.com/nyu-secml/almost/internal/bench"
 	"github.com/nyu-secml/almost/internal/circuits"
 	"github.com/nyu-secml/almost/internal/core"
 	"github.com/nyu-secml/almost/internal/experiments"
 	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/netio"
 	"github.com/nyu-secml/almost/internal/synth"
 	"github.com/nyu-secml/almost/internal/techmap"
 )
@@ -66,6 +75,8 @@ var commands = map[string]command{
 	"attack":     cmdAttack,
 	"tune":       cmdTune,
 	"ppa":        cmdPPA,
+	"convert":    cmdConvert,
+	"pipeline":   cmdPipeline,
 	"experiment": cmdExperiment,
 }
 
@@ -113,14 +124,19 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `almost — security-aware synthesis tuning (DAC'23 reproduction)
 
 commands:
-  gen         generate a benchmark circuit (.bench)
+  gen         generate or re-export a circuit (.bench | .aag | .aig)
   lock        apply random logic locking
   synth       apply a synthesis recipe
   attack      run an oracle-less attack (omla | scope | redundancy)
   tune        search for an ML-resilient recipe (the ALMOST flow)
   ppa         report area/delay/power of a netlist
+  convert     convert a netlist between BENCH and AIGER formats
+  pipeline    full lock -> harden -> attack flow on any circuit
   experiment  regenerate a paper artifact
               (transfer | table1 | fig4 | table2 | table3 | fig5)
+
+netlist files may be .bench, .aag, or .aig (format sniffed from the
+extension); -circuit also accepts a built-in benchmark name.
 
 run "almost <command> -h" for per-command flags`)
 }
@@ -176,22 +192,48 @@ func observerOpts(progress bool, stderr io.Writer) []core.Option {
 	return []core.Option{core.WithObserver(progressObserver(stderr))}
 }
 
-func readNetlist(path string) (*aig.AIG, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// isNetlistFile reports whether spec names a netlist file — i.e. it
+// carries one of the recognized extensions — rather than a built-in
+// benchmark name.
+func isNetlistFile(spec string) bool {
+	_, err := netio.DetectFormat(spec)
+	return err == nil
+}
+
+// loadCircuit resolves the shared -circuit argument: a netlist file
+// (.bench/.aag/.aig, format sniffed from the extension) or a built-in
+// benchmark name.
+func loadCircuit(spec string) (*aig.AIG, error) {
+	if isNetlistFile(spec) {
+		return netio.ReadFile(spec)
 	}
-	defer f.Close()
-	return bench.Parse(f)
+	return circuits.Generate(spec)
+}
+
+// circuitFlags registers the two ways of naming an input netlist: -in
+// (a file) and -circuit (a built-in name or a file).
+func circuitFlags(fs *flag.FlagSet) (in, circuit *string) {
+	in = fs.String("in", "", "input netlist file (.bench | .aag | .aig)")
+	circuit = fs.String("circuit", "", "input circuit: built-in benchmark name or netlist file")
+	return in, circuit
+}
+
+// resolveInput loads the netlist named by -in/-circuit, requiring
+// exactly one of them.
+func resolveInput(cmd, in, circuit string) (*aig.AIG, error) {
+	switch {
+	case in != "" && circuit != "":
+		return nil, fmt.Errorf("%s: -in and -circuit are mutually exclusive", cmd)
+	case in != "":
+		return netio.ReadFile(in)
+	case circuit != "":
+		return loadCircuit(circuit)
+	}
+	return nil, fmt.Errorf("%s: -in (or -circuit) is required", cmd)
 }
 
 func writeNetlist(path string, g *aig.AIG) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return bench.Write(f, g)
+	return netio.WriteFile(path, g)
 }
 
 func parseRecipeFlag(s string) (synth.Recipe, error) {
@@ -223,36 +265,34 @@ func readKeyFile(path string) (lock.Key, error) {
 
 func cmdGen(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("gen", stderr)
-	circuit := fs.String("circuit", "c1908", "benchmark name ("+strings.Join(circuits.Names(), ", ")+")")
-	out := fs.String("o", "", "output .bench path (default stdout)")
+	circuit := fs.String("circuit", "c1908",
+		"benchmark name ("+strings.Join(circuits.Names(), ", ")+") or netlist file")
+	out := fs.String("o", "", "output netlist path, format by extension (default: .bench to stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, err := circuits.Generate(*circuit)
+	g, err := loadCircuit(*circuit)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stderr, "%s: %v\n", *circuit, g)
 	if *out == "" {
-		return bench.Write(stdout, g)
+		return netio.WriteBench(stdout, g)
 	}
 	return writeNetlist(*out, g)
 }
 
 func cmdLock(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("lock", stderr)
-	in := fs.String("in", "", "input .bench netlist (required)")
+	in, circuit := circuitFlags(fs)
 	keySize := fs.Int("keysize", 64, "number of key gates")
 	seed := fs.Int64("seed", 1, "locking seed")
-	out := fs.String("o", "", "output .bench path (default stdout)")
+	out := fs.String("o", "", "output netlist path, format by extension (default: .bench to stdout)")
 	keyFile := fs.String("keyfile", "", "file to store the correct key")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		return fmt.Errorf("lock: -in is required")
-	}
-	g, err := readNetlist(*in)
+	g, err := resolveInput("lock", *in, *circuit)
 	if err != nil {
 		return err
 	}
@@ -264,23 +304,20 @@ func cmdLock(ctx context.Context, args []string, stdout, stderr io.Writer) error
 		}
 	}
 	if *out == "" {
-		return bench.Write(stdout, locked)
+		return netio.WriteBench(stdout, locked)
 	}
 	return writeNetlist(*out, locked)
 }
 
 func cmdSynth(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("synth", stderr)
-	in := fs.String("in", "", "input .bench netlist (required)")
+	in, circuit := circuitFlags(fs)
 	recipeStr := fs.String("recipe", "resyn2", `recipe script or "resyn2"`)
-	out := fs.String("o", "", "output .bench path (default stdout)")
+	out := fs.String("o", "", "output netlist path, format by extension (default: .bench to stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		return fmt.Errorf("synth: -in is required")
-	}
-	g, err := readNetlist(*in)
+	g, err := resolveInput("synth", *in, *circuit)
 	if err != nil {
 		return err
 	}
@@ -291,24 +328,52 @@ func cmdSynth(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	h := recipe.Apply(g)
 	fmt.Fprintf(stderr, "synth: %v -> %v (recipe: %s)\n", g, h, recipe)
 	if *out == "" {
-		return bench.Write(stdout, h)
+		return netio.WriteBench(stdout, h)
 	}
 	return writeNetlist(*out, h)
 }
 
+// cmdConvert translates a netlist between the supported formats.
+func cmdConvert(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("convert", stderr)
+	in, circuit := circuitFlags(fs)
+	out := fs.String("o", "", "output netlist path, format by extension")
+	to := fs.String("to", "bench", "stdout format when -o is empty (bench | aag | aig)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := resolveInput("convert", *in, *circuit)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "convert: %v\n", g)
+	if *out != "" {
+		return writeNetlist(*out, g)
+	}
+	var f netio.Format
+	switch *to {
+	case "bench":
+		f = netio.FormatBench
+	case "aag":
+		f = netio.FormatAAG
+	case "aig":
+		f = netio.FormatAIG
+	default:
+		return fmt.Errorf("convert: unknown format %q (want bench, aag, or aig)", *to)
+	}
+	return netio.Write(stdout, g, f)
+}
+
 func cmdAttack(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("attack", stderr)
-	in := fs.String("in", "", "locked .bench netlist (required)")
+	in, circuit := circuitFlags(fs)
 	attackName := fs.String("attack", "omla", "omla | scope | redundancy")
 	recipeStr := fs.String("recipe", "resyn2", "defender's recipe (omla only)")
 	keyFile := fs.String("keyfile", "", "true key file (reports accuracy when given)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		return fmt.Errorf("attack: -in is required")
-	}
-	g, err := readNetlist(*in)
+	g, err := resolveInput("attack", *in, *circuit)
 	if err != nil {
 		return err
 	}
@@ -344,7 +409,7 @@ func cmdAttack(ctx context.Context, args []string, stdout, stderr io.Writer) err
 
 func cmdTune(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("tune", stderr)
-	in := fs.String("in", "", "locked .bench netlist (required)")
+	in, circuit := circuitFlags(fs)
 	keyFile := fs.String("keyfile", "", "true key file (required)")
 	out := fs.String("o", "", "file for the tuned recipe (default stdout)")
 	netOut := fs.String("net", "", "optional path for the ALMOST-synthesized netlist")
@@ -354,10 +419,10 @@ func cmdTune(ctx context.Context, args []string, stdout, stderr io.Writer) error
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" || *keyFile == "" {
-		return fmt.Errorf("tune: -in and -keyfile are required")
+	if *keyFile == "" {
+		return fmt.Errorf("tune: -keyfile is required")
 	}
-	g, err := readNetlist(*in)
+	g, err := resolveInput("tune", *in, *circuit)
 	if err != nil {
 		return err
 	}
@@ -407,16 +472,13 @@ func cmdTune(ctx context.Context, args []string, stdout, stderr io.Writer) error
 
 func cmdPPA(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("ppa", stderr)
-	in := fs.String("in", "", "input .bench netlist (required)")
+	in, circuit := circuitFlags(fs)
 	opt := fs.Bool("opt", false, "high-effort mapping (+opt)")
 	cells := fs.Bool("cells", false, "print the cell histogram")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		return fmt.Errorf("ppa: -in is required")
-	}
-	g, err := readNetlist(*in)
+	g, err := resolveInput("ppa", *in, *circuit)
 	if err != nil {
 		return err
 	}
@@ -432,11 +494,134 @@ func cmdPPA(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	return nil
 }
 
+// cmdPipeline runs the complete lock -> harden -> attack flow on one
+// circuit (built-in or external netlist): RLL-lock, train the
+// adversarial proxy, search for S_ALMOST, synthesize, then measure the
+// requested oracle-less attacks on both the resyn2 baseline and the
+// ALMOST-hardened netlist.
+func cmdPipeline(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("pipeline", stderr)
+	in, circuit := circuitFlags(fs)
+	keySize := fs.Int("keysize", 64, "number of key gates")
+	seed := fs.Int64("seed", 1, "framework seed (locking, training, search)")
+	attacks := fs.String("attack", "scope,redundancy",
+		`comma-separated attacks to run (omla | scope | redundancy), "all", or "none"`)
+	full := fs.Bool("full", false, "use the paper's full-size settings (slow)")
+	quick := fs.Bool("quick", false, "heavily reduced settings for smoke runs")
+	out := fs.String("o", "", "optional path for the hardened netlist, format by extension")
+	keyFile := fs.String("keyfile", "", "optional file to store the correct key")
+	jobs := jobsFlag(fs)
+	progress := progressFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *full && *quick {
+		return fmt.Errorf("pipeline: -full and -quick are mutually exclusive")
+	}
+	g, err := resolveInput("pipeline", *in, *circuit)
+	if err != nil {
+		return err
+	}
+	var attackList []string
+	switch *attacks {
+	case "none":
+	case "all":
+		attackList = []string{"omla", "scope", "redundancy"}
+	default:
+		for _, a := range strings.Split(*attacks, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			if a != "omla" && a != "scope" && a != "redundancy" {
+				return fmt.Errorf("pipeline: unknown attack %q", a)
+			}
+			attackList = append(attackList, a)
+		}
+	}
+	cfg := core.DefaultConfig()
+	if *full {
+		cfg = core.PaperConfig()
+	}
+	if *quick {
+		// The same trims experiments.QuickOptions applies: keep the
+		// flow's shape, shrink the training and search budgets.
+		cfg.Attack.Epochs = 15
+		cfg.Attack.Rounds = 6
+		cfg.SA.Iterations = 20
+		cfg.AdvPeriod = 5
+		cfg.AdvGates = 30
+		cfg.AdvSAIters = 6
+	}
+	cfg.Seed = *seed
+	cfg.Parallelism = *jobs
+	opts := observerOpts(*progress, stderr)
+
+	fmt.Fprintf(stderr, "pipeline: %v keysize=%d\n", g, *keySize)
+	h, err := core.SecureSynthesisCtx(ctx, g, *keySize, cfg, opts...)
+	if err != nil {
+		if h != nil && len(h.Recipe) > 0 {
+			fmt.Fprintf(stderr, "interrupted; best recipe so far (proxy accuracy %.2f%%):\n%s\n",
+				h.Search.Accuracy*100, h.Recipe)
+		}
+		return err
+	}
+	fmt.Fprintf(stdout, "recipe: %s\n", h.Recipe)
+	fmt.Fprintf(stdout, "proxy accuracy: %.2f%%\n", h.Search.Accuracy*100)
+	fmt.Fprintf(stdout, "hardened netlist: %v\n", h.Netlist)
+
+	// Persist the expensive harden artifacts before the attack phase:
+	// an attack failure or interrupt must not discard them.
+	if *keyFile != "" {
+		if err := os.WriteFile(*keyFile, []byte(h.Key.String()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		if err := writeNetlist(*out, h.Netlist); err != nil {
+			return err
+		}
+	}
+
+	if len(attackList) > 0 {
+		resyn := synth.Resyn2()
+		baseline := resyn.Apply(h.Locked)
+		run := func(name string, net *aig.AIG, recipe synth.Recipe) (float64, error) {
+			switch name {
+			case "omla":
+				atk, err := omla.TrainCtx(ctx, net, recipe, omla.DefaultConfig(), nil)
+				if err != nil {
+					return 0, err
+				}
+				return atk.Accuracy(net, h.Key), nil
+			case "scope":
+				return scope.Accuracy(net, h.Key, scope.DefaultConfig()), nil
+			default:
+				return redundancy.Accuracy(net, h.Key, redundancy.DefaultConfig()), nil
+			}
+		}
+		for _, name := range attackList {
+			base, err := run(name, baseline, resyn)
+			if err != nil {
+				return err
+			}
+			hard, err := run(name, h.Netlist, h.Recipe)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "attack %-10s resyn2 %6.2f%%  ->  ALMOST %6.2f%%\n",
+				name+":", base*100, hard*100)
+		}
+	}
+	return nil
+}
+
 func cmdExperiment(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("experiment", stderr)
 	name := fs.String("name", "table2", "transfer | table1 | fig4 | table2 | table3 | fig5")
 	quick := fs.Bool("quick", true, "reduced settings (minutes); -quick=false uses the paper's full settings")
-	benches := fs.String("benchmarks", "", "comma-separated benchmark override")
+	benches := fs.String("benchmarks", "",
+		"comma-separated benchmark override; entries may be built-in names or netlist files")
 	jobs := jobsFlag(fs)
 	progress := progressFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -447,7 +632,46 @@ func cmdExperiment(ctx context.Context, args []string, stdout, stderr io.Writer)
 		opt = experiments.QuickOptions()
 	}
 	if *benches != "" {
-		opt.Benchmarks = strings.Split(*benches, ",")
+		entries := strings.Split(*benches, ",")
+		var files []string
+		for _, e := range entries {
+			if isNetlistFile(e) {
+				files = append(files, e)
+			}
+		}
+		names := entries
+		if len(files) > 0 {
+			// External netlists run through the same drivers as the
+			// built-ins: FileSource serves them under their base names
+			// and falls back to built-in generation for the rest.
+			fileNames, src, err := experiments.FileSource(files...)
+			if err != nil {
+				return err
+			}
+			opt.Source = src
+			names = make([]string, len(entries))
+			fi := 0
+			for i, e := range entries {
+				if isNetlistFile(e) {
+					names[i] = fileNames[fi]
+					fi++
+				} else {
+					names[i] = e
+				}
+			}
+		}
+		// A file named like a built-in (or a second entry) would
+		// silently shadow it in the Source — reject ambiguous sets
+		// instead of producing indistinguishable rows.
+		seenNames := make(map[string]string, len(names))
+		for i, n := range names {
+			if prev, dup := seenNames[n]; dup {
+				return fmt.Errorf("experiment: benchmark entries %q and %q both resolve to name %q; rename the file",
+					prev, entries[i], n)
+			}
+			seenNames[n] = entries[i]
+		}
+		opt.Benchmarks = names
 	}
 	opt.Cfg.Parallelism = *jobs
 	opt.Out = stdout

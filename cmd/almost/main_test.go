@@ -30,17 +30,27 @@ func TestDispatch(t *testing.T) {
 		{"help dash h", []string{"-h"}, 0, "commands:"},
 		{"unknown command", []string{"frobnicate"}, 2, `unknown command "frobnicate"`},
 		{"gen unknown circuit", []string{"gen", "-circuit", "c999"}, 1, ""},
-		{"lock missing in", []string{"lock"}, 1, "-in is required"},
-		{"synth missing in", []string{"synth"}, 1, "-in is required"},
+		{"lock missing in", []string{"lock"}, 1, "-in (or -circuit) is required"},
+		{"synth missing in", []string{"synth"}, 1, "-in (or -circuit) is required"},
 		{"synth missing input file", []string{"synth", "-in", "no-such.bench"}, 1, ""},
-		{"attack missing in", []string{"attack"}, 1, "-in is required"},
-		{"ppa missing in", []string{"ppa"}, 1, "-in is required"},
-		{"tune missing in and keyfile", []string{"tune"}, 1, "-in and -keyfile are required"},
+		{"synth rejects both in and circuit", []string{"synth", "-in", "a.bench", "-circuit", "c432"},
+			1, "mutually exclusive"},
+		{"attack missing in", []string{"attack"}, 1, "-in (or -circuit) is required"},
+		{"ppa missing in", []string{"ppa"}, 1, "-in (or -circuit) is required"},
+		{"convert missing in", []string{"convert"}, 1, "-in (or -circuit) is required"},
+		{"convert unknown stdout format", []string{"convert", "-circuit", "c432", "-to", "blif"},
+			1, `unknown format "blif"`},
+		{"pipeline missing circuit", []string{"pipeline"}, 1, "-in (or -circuit) is required"},
+		{"pipeline unknown attack", []string{"pipeline", "-circuit", "c432", "-attack", "psychic"},
+			1, `unknown attack "psychic"`},
+		{"tune missing keyfile", []string{"tune"}, 1, "-keyfile is required"},
 		// -jobs must parse on the compute-heavy commands; the command then
 		// fails on missing required flags before any heavy work happens.
-		{"tune accepts jobs flag", []string{"tune", "-jobs", "8"}, 1, "-in and -keyfile are required"},
+		{"tune accepts jobs flag", []string{"tune", "-jobs", "8"}, 1, "-keyfile is required"},
 		{"tune rejects bad jobs value", []string{"tune", "-jobs", "many"}, 1, "invalid value"},
 		{"experiment accepts jobs flag", []string{"experiment", "-jobs", "4", "-name", "bogus"}, 1, `unknown name "bogus"`},
+		{"experiment rejects shadowing benchmarks", []string{"experiment", "-benchmarks", "c432,c432"},
+			1, `both resolve to name "c432"`},
 		{"experiment unknown name", []string{"experiment", "-name", "nope"}, 1, `unknown name "nope"`},
 		{"subcommand help exits zero", []string{"gen", "-h"}, 0, "-circuit"},
 	}
@@ -91,6 +101,65 @@ func TestGenLockSynthPPARoundTrip(t *testing.T) {
 	}
 }
 
+// TestConvertRoundTripFormats drives a circuit through every pairwise
+// format conversion via the CLI and checks the result still loads.
+func TestConvertRoundTripFormats(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "c.bench")
+	aagPath := filepath.Join(dir, "c.aag")
+	aigPath := filepath.Join(dir, "c.aig")
+
+	if code, _, stderr := runCLI("gen", "-circuit", "c432", "-o", benchPath); code != 0 {
+		t.Fatalf("gen failed: %s", stderr)
+	}
+	if code, _, stderr := runCLI("convert", "-in", benchPath, "-o", aagPath); code != 0 {
+		t.Fatalf("bench->aag failed: %s", stderr)
+	}
+	if code, _, stderr := runCLI("convert", "-in", aagPath, "-o", aigPath); code != 0 {
+		t.Fatalf("aag->aig failed: %s", stderr)
+	}
+	// The binary netlist must feed back into the ordinary flow.
+	code, stdout, stderr := runCLI("ppa", "-circuit", aigPath)
+	if code != 0 {
+		t.Fatalf("ppa on .aig failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(strings.ToLower(stdout), "area") {
+		t.Fatalf("ppa output missing area report: %q", stdout)
+	}
+	// And convert back to BENCH on stdout.
+	code, stdout, stderr = runCLI("convert", "-in", aigPath, "-to", "bench")
+	if code != 0 {
+		t.Fatalf("aig->bench stdout failed: %s", stderr)
+	}
+	if !strings.Contains(stdout, "INPUT(") {
+		t.Fatalf("stdout is not BENCH: %.120q", stdout)
+	}
+	// AIGER output to stdout as well.
+	code, stdout, _ = runCLI("convert", "-in", benchPath, "-to", "aag")
+	if code != 0 || !strings.HasPrefix(stdout, "aag ") {
+		t.Fatalf("bench->aag stdout: code=%d out=%.60q", code, stdout)
+	}
+}
+
+// TestLockedAIGERKeepsKeyMetadata locks a circuit into a binary AIGER
+// file and checks the key inputs survive for the attack command.
+func TestLockedAIGERKeepsKeyMetadata(t *testing.T) {
+	dir := t.TempDir()
+	locked := filepath.Join(dir, "locked.aig")
+	keyFile := filepath.Join(dir, "key.txt")
+	if code, _, stderr := runCLI("lock", "-circuit", "c432", "-keysize", "8",
+		"-o", locked, "-keyfile", keyFile); code != 0 {
+		t.Fatalf("lock failed: %s", stderr)
+	}
+	code, stdout, stderr := runCLI("attack", "-in", locked, "-attack", "scope", "-keyfile", keyFile)
+	if code != 0 {
+		t.Fatalf("attack on locked .aig failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "accuracy:") {
+		t.Fatalf("attack output missing accuracy: %q", stdout)
+	}
+}
+
 func TestGenWritesParsableNetlistToStdout(t *testing.T) {
 	code, stdout, stderr := runCLI("gen", "-circuit", "c432")
 	if code != 0 {
@@ -124,6 +193,7 @@ func TestCanceledContextStopsComputeCommands(t *testing.T) {
 		{"tune", "-in", locked, "-keyfile", keyFile, "-progress"},
 		{"experiment", "-name", "table1", "-progress"},
 		{"attack", "-in", locked, "-attack", "omla"},
+		{"pipeline", "-circuit", "c432", "-quick"},
 	} {
 		var out, errBuf bytes.Buffer
 		code := run(ctx, args, &out, &errBuf)
@@ -160,6 +230,37 @@ func TestProgressObserverRendersOneLinePerEvent(t *testing.T) {
 		if !strings.Contains(line, want) {
 			t.Fatalf("line %q lacks %q", line, want)
 		}
+	}
+}
+
+// TestPipelineOnExternalNetlist is the acceptance flow of the netlist
+// I/O subsystem: export a circuit to binary AIGER, then run the full
+// lock -> harden -> attack pipeline on that external file.
+func TestPipelineOnExternalNetlist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	design := filepath.Join(dir, "mydesign.aig")
+	hardened := filepath.Join(dir, "hardened.aag")
+	keyFile := filepath.Join(dir, "key.txt")
+	if code, _, stderr := runCLI("convert", "-circuit", "c432", "-o", design); code != 0 {
+		t.Fatalf("convert failed: %s", stderr)
+	}
+	code, stdout, stderr := runCLI("pipeline", "-circuit", design, "-keysize", "8",
+		"-quick", "-attack", "scope,redundancy", "-o", hardened, "-keyfile", keyFile)
+	if code != 0 {
+		t.Fatalf("pipeline failed (%d): %s", code, stderr)
+	}
+	for _, want := range []string{"recipe:", "proxy accuracy:", "attack scope:", "attack redundancy:"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("pipeline output missing %q:\n%s", want, stdout)
+		}
+	}
+	// The hardened netlist must load and keep its key inputs.
+	if code, _, stderr := runCLI("attack", "-in", hardened, "-attack", "scope",
+		"-keyfile", keyFile); code != 0 {
+		t.Fatalf("attack on hardened output failed: %s", stderr)
 	}
 }
 

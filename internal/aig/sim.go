@@ -1,6 +1,9 @@
 package aig
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Simulate64 performs 64-way bit-parallel simulation. in holds one 64-bit
 // pattern word per input (in input creation order); the returned slice
@@ -47,9 +50,22 @@ func (g *AIG) simNodes(in []uint64) []uint64 {
 }
 
 // SimulateWords runs bit-parallel simulation with w words per signal
-// (64*w patterns). in is indexed [input][word]. The result is indexed
-// [output][word].
+// (64*w patterns). in is indexed [input][word]; every row must carry at
+// least w words. The result is indexed [output][word]. Like Simulate64,
+// it panics with a descriptive message on a shape mismatch rather than
+// failing with an index error deep in the node loop.
 func (g *AIG) SimulateWords(in [][]uint64, w int) [][]uint64 {
+	if len(in) != len(g.pis) {
+		panic(fmt.Sprintf("aig: SimulateWords input width mismatch: %d patterns for %d inputs", len(in), len(g.pis)))
+	}
+	if w < 1 {
+		panic(fmt.Sprintf("aig: SimulateWords needs w >= 1 words, got %d", w))
+	}
+	for i := range in {
+		if len(in[i]) < w {
+			panic(fmt.Sprintf("aig: SimulateWords input %d has %d words, need %d", i, len(in[i]), w))
+		}
+	}
 	vals := make([][]uint64, len(g.nodes))
 	zero := make([]uint64, w)
 	vals[0] = zero
@@ -94,7 +110,12 @@ func (g *AIG) SimulateWords(in [][]uint64, w int) [][]uint64 {
 }
 
 // EvalSingle evaluates the AIG on a single Boolean input assignment.
+// It panics with a descriptive message when len(in) does not match the
+// input count.
 func (g *AIG) EvalSingle(in []bool) []bool {
+	if len(in) != len(g.pis) {
+		panic(fmt.Sprintf("aig: EvalSingle input width mismatch: %d values for %d inputs", len(in), len(g.pis)))
+	}
 	words := make([]uint64, len(in))
 	for i, b := range in {
 		if b {
@@ -120,8 +141,13 @@ func RandomPatterns(rng *rand.Rand, nIn int) []uint64 {
 
 // Signatures computes a per-node simulation signature of w words using
 // random patterns from rng. Used by resubstitution to find candidate
-// divisors and by equivalence filtering.
+// divisors and by equivalence filtering. It panics with a descriptive
+// message when w < 1 (a zero-width signature would make every pair of
+// nodes look equivalent downstream).
 func (g *AIG) Signatures(rng *rand.Rand, w int) [][]uint64 {
+	if w < 1 {
+		panic(fmt.Sprintf("aig: Signatures needs w >= 1 words, got %d", w))
+	}
 	in := make([][]uint64, len(g.pis))
 	for i := range in {
 		in[i] = make([]uint64, w)

@@ -1,0 +1,83 @@
+package aig
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// wantPanic runs fn and requires a panic whose message contains every
+// given substring — the "clear, descriptive message" contract of the
+// simulation entry points' width validation.
+func wantPanic(t *testing.T, fn func(), subs ...string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T is not a string: %v", r, r)
+		}
+		for _, s := range subs {
+			if !strings.Contains(msg, s) {
+				t.Fatalf("panic %q lacks %q", msg, s)
+			}
+		}
+	}()
+	fn()
+}
+
+func twoInputAnd() *AIG {
+	g := New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	g.AddOutput(g.And(a, b), "z")
+	return g
+}
+
+func TestSimulate64WidthValidation(t *testing.T) {
+	g := twoInputAnd()
+	wantPanic(t, func() { g.Simulate64([]uint64{1}) }, "Simulate64", "mismatch")
+}
+
+func TestSimulateWordsWidthValidation(t *testing.T) {
+	g := twoInputAnd()
+	// Wrong input count: previously an opaque index error deep in the
+	// node loop (or silently wrong values); now a descriptive panic.
+	wantPanic(t, func() { g.SimulateWords([][]uint64{{1}}, 1) },
+		"SimulateWords", "1 patterns for 2 inputs")
+	// Rows narrower than w.
+	wantPanic(t, func() { g.SimulateWords([][]uint64{{1, 2}, {3}}, 2) },
+		"SimulateWords", "input 1 has 1 words, need 2")
+	// Non-positive word count.
+	wantPanic(t, func() { g.SimulateWords([][]uint64{{}, {}}, 0) },
+		"SimulateWords", "w >= 1")
+	// And the happy path still works.
+	out := g.SimulateWords([][]uint64{{^uint64(0)}, {5}}, 1)
+	if out[0][0] != 5 {
+		t.Fatalf("and(all-ones, 5) = %d, want 5", out[0][0])
+	}
+}
+
+func TestEvalSingleWidthValidation(t *testing.T) {
+	g := twoInputAnd()
+	wantPanic(t, func() { g.EvalSingle([]bool{true}) },
+		"EvalSingle", "1 values for 2 inputs")
+	wantPanic(t, func() { g.EvalSingle([]bool{true, true, false}) },
+		"EvalSingle", "3 values for 2 inputs")
+	if got := g.EvalSingle([]bool{true, true}); !got[0] {
+		t.Fatal("and(1,1) should be 1")
+	}
+}
+
+func TestSignaturesWidthValidation(t *testing.T) {
+	g := twoInputAnd()
+	wantPanic(t, func() { g.Signatures(rand.New(rand.NewSource(1)), 0) },
+		"Signatures", "w >= 1")
+	sig := g.Signatures(rand.New(rand.NewSource(1)), 2)
+	if len(sig) != g.NumNodes() || len(sig[1]) != 2 {
+		t.Fatalf("signature shape %d x %d", len(sig), len(sig[1]))
+	}
+}

@@ -92,7 +92,12 @@ func Run[S any](p Problem[S], init S, cfg Config, rng *rand.Rand) Result[S] {
 // RunCtx anneals from init, recording a trace point per iteration and
 // passing it to observe (when non-nil). The context is checked before
 // every iteration; on cancellation the best-so-far result is returned
-// alongside ctx.Err().
+// alongside ctx.Err(). Once the initial energy has been computed the
+// returned BestEnergy is always a real energy of Best — in particular,
+// a cancellation landing before the first iteration reports the initial
+// state's energy. Only when the context is canceled before that first
+// Energy call does BestEnergy hold the +Inf sentinel, meaning "Best
+// (the initial state) was never evaluated".
 func RunCtx[S any](ctx context.Context, p Problem[S], init S, cfg Config,
 	rng *rand.Rand, observe Observer[S]) (Result[S], error) {
 	res := Result[S]{Best: init, BestEnergy: math.Inf(1)}
@@ -104,6 +109,9 @@ func RunCtx[S any](ctx context.Context, p Problem[S], init S, cfg Config,
 	curE := p.Energy(cur)
 	best := cur
 	bestE := curE
+	// From here on the result always carries a real evaluated energy,
+	// never the +Inf sentinel.
+	res.Best, res.BestEnergy = best, bestE
 	temp := cfg.InitTemp
 	for it := 0; it < cfg.Iterations; it++ {
 		if err := ctx.Err(); err != nil {
@@ -212,6 +220,12 @@ func RunParallel[S any](p Problem[S], init S, cfg Config, pcfg ParallelConfig) R
 // best-so-far result is returned alongside ctx.Err(). observe, when
 // non-nil, receives every trace point as it is recorded. The trajectory
 // is identical to RunParallel's for an uncanceled context.
+//
+// As with RunCtx, once the initial batch evaluation has succeeded the
+// returned BestEnergy is always a real evaluated energy of Best. Only
+// two early-exit paths return the +Inf sentinel instead: the context
+// was already canceled on entry, or the initial batch evaluation itself
+// failed — in both, Best (the initial state) was never evaluated.
 func RunParallelCtx[S any](ctx context.Context, p Problem[S], init S, cfg Config,
 	pcfg ParallelConfig, observe Observer[S]) (Result[S], error) {
 	k := pcfg.Proposals
@@ -249,6 +263,9 @@ func RunParallelCtx[S any](ctx context.Context, p Problem[S], init S, cfg Config
 	curE := initE[0]
 	best := cur
 	bestE := curE
+	// From here on the result always carries a real evaluated energy,
+	// never the +Inf sentinel.
+	res.Best, res.BestEnergy = best, bestE
 	temp := cfg.InitTemp
 	cands := make([]S, k)
 	for it := 0; it < cfg.Iterations; it++ {

@@ -3,6 +3,7 @@ package anneal
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -56,6 +57,59 @@ func TestRunCtxPreCanceled(t *testing.T) {
 	}
 	if len(res.Trace) != 0 {
 		t.Fatalf("pre-canceled run recorded %d iterations", len(res.Trace))
+	}
+}
+
+// cancelingQuadratic cancels the run's context from inside the first
+// Energy call — modeling a cancellation that lands between the initial
+// evaluation and the first iteration.
+type cancelingQuadratic struct {
+	cancel context.CancelFunc
+	calls  int
+}
+
+func (p *cancelingQuadratic) Energy(x float64) float64 {
+	p.calls++
+	if p.calls == 1 {
+		p.cancel()
+	}
+	return (x - 7) * (x - 7)
+}
+func (p *cancelingQuadratic) Neighbor(x float64, rng *rand.Rand) float64 {
+	return x + rng.NormFloat64()
+}
+
+// TestRunCtxCancelBeforeFirstIterationKeepsInitEnergy pins the fix for
+// the +Inf sentinel bug: a cancellation after the initial energy was
+// computed but before the first iteration must report that energy, not
+// Inf(1) attached to a real state.
+func TestRunCtxCancelBeforeFirstIterationKeepsInitEnergy(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &cancelingQuadratic{cancel: cancel}
+	cfg := Config{Iterations: 100, InitTemp: 5, Acceptance: 1.8}
+	res, err := RunCtx[float64](ctx, p, 3, cfg, rand.New(rand.NewSource(2)), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Best != 3 {
+		t.Fatalf("Best = %v, want the initial state", res.Best)
+	}
+	if want := (3.0 - 7) * (3 - 7); res.BestEnergy != want {
+		t.Fatalf("BestEnergy = %v, want the initial energy %v (not the Inf sentinel)", res.BestEnergy, want)
+	}
+}
+
+func TestRunCtxPreCanceledKeepsInfSentinel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Iterations: 10, InitTemp: 5, Acceptance: 1.8}
+	res, err := RunCtx[float64](ctx, quadratic{}, 3, cfg, rand.New(rand.NewSource(5)), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// Nothing was evaluated: the documented +Inf sentinel applies.
+	if !math.IsInf(res.BestEnergy, 1) {
+		t.Fatalf("BestEnergy = %v, want +Inf (nothing evaluated)", res.BestEnergy)
 	}
 }
 
@@ -135,6 +189,44 @@ func TestRunParallelCtxBatchErrorFinalizesBestSoFar(t *testing.T) {
 	}
 	if res.BestEnergy != res.Trace[len(res.Trace)-1].Best {
 		t.Fatalf("best-so-far not finalized on batch error")
+	}
+}
+
+// TestRunParallelCtxCancelAfterInitBatchKeepsInitEnergy is the
+// RunParallelCtx half of the +Inf sentinel fix: a cancellation landing
+// right after the successful initial batch reports the initial energy.
+func TestRunParallelCtxCancelAfterInitBatchKeepsInitEnergy(t *testing.T) {
+	// The first batch (scoring the initial state) succeeds; the second
+	// (iteration 0's proposals) reports cancellation.
+	p := &ctxQuadratic{failAt: 2, failWith: context.Canceled}
+	cfg := Config{Iterations: 100, InitTemp: 5, Acceptance: 1.8}
+	res, err := RunParallelCtx[float64](context.Background(), p, -10, cfg,
+		ParallelConfig{Proposals: 2, Seed: 3}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if want := (-10.0 - 7) * (-10 - 7); res.BestEnergy != want {
+		t.Fatalf("BestEnergy = %v, want the initial energy %v (not the Inf sentinel)", res.BestEnergy, want)
+	}
+	if res.Best != -10 {
+		t.Fatalf("Best = %v, want the initial state", res.Best)
+	}
+}
+
+// TestRunParallelCtxInitBatchErrorKeepsInfSentinel pins the documented
+// sentinel for the one remaining unevaluated path: the initial batch
+// itself fails.
+func TestRunParallelCtxInitBatchErrorKeepsInfSentinel(t *testing.T) {
+	boom := errors.New("boom")
+	p := &ctxQuadratic{failAt: 1, failWith: boom}
+	cfg := Config{Iterations: 100, InitTemp: 5, Acceptance: 1.8}
+	res, err := RunParallelCtx[float64](context.Background(), p, -10, cfg,
+		ParallelConfig{Proposals: 2, Seed: 3}, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if !math.IsInf(res.BestEnergy, 1) {
+		t.Fatalf("BestEnergy = %v, want +Inf (initial batch never evaluated)", res.BestEnergy)
 	}
 }
 

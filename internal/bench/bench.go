@@ -1,313 +1,38 @@
 // Package bench reads and writes combinational netlists in the ISCAS85
-// ".bench" format, the distribution format of the benchmarks the paper
-// evaluates on. Supported gates: AND, NAND, OR, NOR, XOR, XNOR, NOT,
-// BUFF (arbitrary arity for the symmetric gates); sequential elements
-// (DFF) are rejected because ALMOST operates on combinational blocks.
+// ".bench" format.
 //
-// Inputs whose names begin with "keyinput" (the convention used by
-// logic-locking benchmark suites) are imported as key inputs.
+// Deprecated: the implementation has moved to internal/netio, the
+// netlist I/O subsystem that also speaks ASCII and binary AIGER and
+// sniffs formats from file extensions. This package remains as a thin
+// forwarding wrapper so existing callers keep working; new code should
+// import internal/netio directly.
 package bench
 
 import (
-	"bufio"
-	"fmt"
 	"io"
-	"sort"
 	"strings"
 
 	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/netio"
 )
 
 // KeyInputPrefix is the input-name prefix that marks key inputs, matching
 // the convention of public logic-locking benchmark releases.
-const KeyInputPrefix = "keyinput"
+const KeyInputPrefix = netio.KeyInputPrefix
 
-// ParseError describes a syntax or semantic error with its line number.
-type ParseError struct {
-	Line int
-	Msg  string
-}
-
-func (e *ParseError) Error() string { return fmt.Sprintf("bench: line %d: %s", e.Line, e.Msg) }
-
-type rawGate struct {
-	name string
-	op   string
-	args []string
-	line int
-}
+// ParseError describes a syntax or semantic error with its position.
+//
+// Deprecated: this is netio.ParseError; match on that type.
+type ParseError = netio.ParseError
 
 // Parse reads a .bench netlist and builds an AIG.
-func Parse(r io.Reader) (*aig.AIG, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-
-	var inputs, outputs []string
-	var gates []rawGate
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if i := strings.Index(line, "#"); i >= 0 {
-			line = strings.TrimSpace(line[:i])
-		}
-		if line == "" {
-			continue
-		}
-		switch {
-		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
-			name, err := parenArg(line)
-			if err != nil {
-				return nil, &ParseError{lineNo, err.Error()}
-			}
-			inputs = append(inputs, name)
-		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
-			name, err := parenArg(line)
-			if err != nil {
-				return nil, &ParseError{lineNo, err.Error()}
-			}
-			outputs = append(outputs, name)
-		default:
-			g, err := parseGate(line)
-			if err != nil {
-				return nil, &ParseError{lineNo, err.Error()}
-			}
-			g.line = lineNo
-			gates = append(gates, g)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("bench: %w", err)
-	}
-	return build(inputs, outputs, gates)
-}
+func Parse(r io.Reader) (*aig.AIG, error) { return netio.ParseBench(r) }
 
 // ParseString is a convenience wrapper around Parse.
-func ParseString(s string) (*aig.AIG, error) { return Parse(strings.NewReader(s)) }
+func ParseString(s string) (*aig.AIG, error) { return netio.ParseBench(strings.NewReader(s)) }
 
-func parenArg(line string) (string, error) {
-	open := strings.Index(line, "(")
-	close := strings.LastIndex(line, ")")
-	if open < 0 || close < open {
-		return "", fmt.Errorf("malformed declaration %q", line)
-	}
-	name := strings.TrimSpace(line[open+1 : close])
-	if name == "" {
-		return "", fmt.Errorf("empty signal name in %q", line)
-	}
-	return name, nil
-}
-
-func parseGate(line string) (rawGate, error) {
-	eq := strings.Index(line, "=")
-	if eq < 0 {
-		return rawGate{}, fmt.Errorf("expected assignment, got %q", line)
-	}
-	name := strings.TrimSpace(line[:eq])
-	rhs := strings.TrimSpace(line[eq+1:])
-	open := strings.Index(rhs, "(")
-	close := strings.LastIndex(rhs, ")")
-	if open < 0 || close < open {
-		return rawGate{}, fmt.Errorf("malformed gate %q", rhs)
-	}
-	op := strings.ToUpper(strings.TrimSpace(rhs[:open]))
-	var args []string
-	for _, a := range strings.Split(rhs[open+1:close], ",") {
-		a = strings.TrimSpace(a)
-		if a != "" {
-			args = append(args, a)
-		}
-	}
-	if name == "" || len(args) == 0 {
-		return rawGate{}, fmt.Errorf("malformed gate line %q", line)
-	}
-	return rawGate{name: name, op: op, args: args}, nil
-}
-
-func build(inputs, outputs []string, gates []rawGate) (*aig.AIG, error) {
-	g := aig.New()
-	sigs := map[string]aig.Lit{}
-	for _, name := range inputs {
-		if _, dup := sigs[name]; dup {
-			return nil, fmt.Errorf("bench: duplicate input %q", name)
-		}
-		if strings.HasPrefix(name, KeyInputPrefix) {
-			sigs[name] = g.AddKeyInput(name)
-		} else {
-			sigs[name] = g.AddInput(name)
-		}
-	}
-	// Gates may appear in any order; resolve by fixpoint over remaining gates.
-	remaining := gates
-	for len(remaining) > 0 {
-		progressed := false
-		var next []rawGate
-		for _, rg := range remaining {
-			lits := make([]aig.Lit, 0, len(rg.args))
-			ready := true
-			for _, a := range rg.args {
-				l, ok := sigs[a]
-				if !ok {
-					ready = false
-					break
-				}
-				lits = append(lits, l)
-			}
-			if !ready {
-				next = append(next, rg)
-				continue
-			}
-			l, err := buildGate(g, rg.op, lits)
-			if err != nil {
-				return nil, &ParseError{rg.line, err.Error()}
-			}
-			if _, dup := sigs[rg.name]; dup {
-				return nil, &ParseError{rg.line, fmt.Sprintf("duplicate signal %q", rg.name)}
-			}
-			sigs[rg.name] = l
-			progressed = true
-		}
-		if !progressed {
-			names := make([]string, 0, len(next))
-			for _, rg := range next {
-				names = append(names, rg.name)
-			}
-			sort.Strings(names)
-			return nil, fmt.Errorf("bench: unresolved or cyclic signals: %s", strings.Join(names, ", "))
-		}
-		remaining = next
-	}
-	for _, name := range outputs {
-		l, ok := sigs[name]
-		if !ok {
-			return nil, fmt.Errorf("bench: output %q is not driven", name)
-		}
-		g.AddOutput(l, name)
-	}
-	return g, nil
-}
-
-func buildGate(g *aig.AIG, op string, args []aig.Lit) (aig.Lit, error) {
-	switch op {
-	case "AND":
-		return g.AndN(args), nil
-	case "NAND":
-		return g.AndN(args).Not(), nil
-	case "OR":
-		return g.OrN(args), nil
-	case "NOR":
-		return g.OrN(args).Not(), nil
-	case "XOR":
-		return reduceXor(g, args), nil
-	case "XNOR":
-		return reduceXor(g, args).Not(), nil
-	case "NOT":
-		if len(args) != 1 {
-			return 0, fmt.Errorf("NOT takes exactly one argument")
-		}
-		return args[0].Not(), nil
-	case "BUFF", "BUF":
-		if len(args) != 1 {
-			return 0, fmt.Errorf("BUFF takes exactly one argument")
-		}
-		return args[0], nil
-	case "DFF":
-		return 0, fmt.Errorf("sequential element DFF not supported (combinational benchmarks only)")
-	default:
-		return 0, fmt.Errorf("unknown gate type %q", op)
-	}
-}
-
-func reduceXor(g *aig.AIG, args []aig.Lit) aig.Lit {
-	acc := args[0]
-	for _, a := range args[1:] {
-		acc = g.Xor(acc, a)
-	}
-	return acc
-}
-
-// Write emits the AIG in .bench format. AND nodes become two-input AND
-// gates; complemented edges become NOT gates (shared per driving node).
-func Write(w io.Writer, g *aig.AIG) error {
-	bw := bufio.NewWriter(w)
-	name := func(id int) string {
-		if idx := g.InputIndexOfNode(id); idx >= 0 {
-			return g.InputName(idx)
-		}
-		if g.IsConst(id) {
-			return "const0"
-		}
-		return fmt.Sprintf("n%d", id)
-	}
-	for i := 0; i < g.NumInputs(); i++ {
-		fmt.Fprintf(bw, "INPUT(%s)\n", g.InputName(i))
-	}
-	for i := 0; i < g.NumOutputs(); i++ {
-		fmt.Fprintf(bw, "OUTPUT(%s)\n", g.OutputName(i))
-	}
-	order := g.TopoOrder()
-	needConst := false
-	needNot := map[int]bool{}
-	litName := func(l aig.Lit) string {
-		if l == aig.False || l == aig.True {
-			needConst = true
-			if l == aig.True {
-				needNot[0] = true
-				return "const0_inv"
-			}
-			return "const0"
-		}
-		if l.Neg() {
-			needNot[l.Node()] = true
-			return name(l.Node()) + "_inv"
-		}
-		return name(l.Node())
-	}
-	var lines []string
-	for _, id := range order {
-		f0, f1 := g.Fanins(id)
-		lines = append(lines, fmt.Sprintf("%s = AND(%s, %s)", name(id), litName(f0), litName(f1)))
-	}
-	var outLines []string
-	for i := 0; i < g.NumOutputs(); i++ {
-		po := g.Output(i)
-		outLines = append(outLines, fmt.Sprintf("%s = BUFF(%s)", g.OutputName(i), litName(po)))
-	}
-	if needConst {
-		// const0 = AND(x, NOT x) on the first input; benchmarks always have inputs.
-		if g.NumInputs() == 0 {
-			return fmt.Errorf("bench: cannot emit constant for AIG without inputs")
-		}
-		in := g.InputName(0)
-		needNot[g.Input(0).Node()] = true
-		fmt.Fprintf(bw, "const0 = AND(%s, %s_inv)\n", in, in)
-	}
-	inverters := make([]int, 0, len(needNot))
-	for id := range needNot {
-		inverters = append(inverters, id)
-	}
-	sort.Ints(inverters)
-	for _, id := range inverters {
-		if id == 0 {
-			fmt.Fprintf(bw, "const0_inv = NOT(const0)\n")
-			continue
-		}
-		fmt.Fprintf(bw, "%s_inv = NOT(%s)\n", name(id), name(id))
-	}
-	for _, l := range lines {
-		fmt.Fprintln(bw, l)
-	}
-	for _, l := range outLines {
-		fmt.Fprintln(bw, l)
-	}
-	return bw.Flush()
-}
+// Write emits the AIG in .bench format.
+func Write(w io.Writer, g *aig.AIG) error { return netio.WriteBench(w, g) }
 
 // WriteString renders the AIG to a .bench string.
-func WriteString(g *aig.AIG) (string, error) {
-	var sb strings.Builder
-	if err := Write(&sb, g); err != nil {
-		return "", err
-	}
-	return sb.String(), nil
-}
+func WriteString(g *aig.AIG) (string, error) { return netio.WriteBenchString(g) }

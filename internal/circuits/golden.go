@@ -1,0 +1,81 @@
+package circuits
+
+import (
+	"embed"
+	"fmt"
+	"sync"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/netio"
+)
+
+// The built-in benchmarks ship as golden BENCH text and are parsed
+// through internal/netio — the same loader path user-supplied netlists
+// take — so a built-in circuit and an external file are
+// indistinguishable downstream, and the netlist I/O subsystem is
+// exercised by every pipeline run. The goldens are regenerated from the
+// structural generators in iscas85.go with
+//
+//	go test ./internal/circuits -run TestGoldenFaithful -update
+//
+// and TestGoldenFaithful proves text and generators agree (interface,
+// key flags, and exact function).
+//
+//go:embed golden/*.bench
+var goldenFS embed.FS
+
+// golden is the lazily parsed form of one embedded benchmark. Each is
+// parsed at most once per process; Generate hands out cheap clones.
+type golden struct {
+	once sync.Once
+	g    *aig.AIG
+	err  error
+}
+
+var goldens = func() map[string]*golden {
+	m := make(map[string]*golden, len(profiles))
+	for _, p := range profiles {
+		m[p.Name] = &golden{}
+	}
+	return m
+}()
+
+// Generate builds the named benchmark by parsing its embedded golden
+// BENCH text (once per process; the result is cached and cloned).
+// Generation is deterministic.
+func Generate(name string) (*aig.AIG, error) {
+	gl, ok := goldens[name]
+	if !ok {
+		return nil, fmt.Errorf("circuits: unknown benchmark %q (known: %v)", name, Names())
+	}
+	gl.once.Do(func() {
+		data, err := goldenFS.ReadFile("golden/" + name + ".bench")
+		if err != nil {
+			gl.err = fmt.Errorf("circuits: embedded golden for %s: %w", name, err)
+			return
+		}
+		gl.g, gl.err = netio.ParseBenchString(string(data))
+		if gl.err != nil {
+			gl.err = fmt.Errorf("circuits: golden %s.bench: %w", name, gl.err)
+		}
+	})
+	if gl.err != nil {
+		return nil, gl.err
+	}
+	// Clone: callers extend the AIG (locking, synthesis scratch work),
+	// and the cached copy must stay pristine and data-race-free.
+	return gl.g.Clone(), nil
+}
+
+// GoldenBench returns the embedded golden BENCH text of a built-in
+// benchmark — the exact bytes Generate parses.
+func GoldenBench(name string) (string, error) {
+	if _, ok := goldens[name]; !ok {
+		return "", fmt.Errorf("circuits: unknown benchmark %q (known: %v)", name, Names())
+	}
+	data, err := goldenFS.ReadFile("golden/" + name + ".bench")
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}

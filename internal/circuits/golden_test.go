@@ -1,0 +1,101 @@
+package circuits
+
+import (
+	"flag"
+	"math/rand"
+	"os"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/netio"
+)
+
+var update = flag.Bool("update", false, "rewrite golden/*.bench from the structural generators")
+
+// TestGoldenFaithful proves the embedded golden BENCH text and the
+// structural generators describe the same circuits: identical
+// interface (names, order, key flags) and identical function under
+// dense random simulation. With -update it first rewrites the goldens
+// from the generators.
+func TestGoldenFaithful(t *testing.T) {
+	if *update {
+		if err := os.MkdirAll("golden", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range Catalog() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			gen, err := generateFromScratch(p.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *update {
+				text, err := netio.WriteBenchString(gen)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile("golden/"+p.Name+".bench", []byte(text), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := Generate(p.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.NumInputs() != gen.NumInputs() || got.NumOutputs() != gen.NumOutputs() {
+				t.Fatalf("interface: golden %v vs generator %v", got, gen)
+			}
+			for i := 0; i < gen.NumInputs(); i++ {
+				if got.InputName(i) != gen.InputName(i) || got.InputIsKey(i) != gen.InputIsKey(i) {
+					t.Fatalf("input %d: golden %q/%v vs generator %q/%v", i,
+						got.InputName(i), got.InputIsKey(i), gen.InputName(i), gen.InputIsKey(i))
+				}
+			}
+			for i := 0; i < gen.NumOutputs(); i++ {
+				if got.OutputName(i) != gen.OutputName(i) {
+					t.Fatalf("output %d: golden %q vs generator %q", i, got.OutputName(i), gen.OutputName(i))
+				}
+			}
+			rounds := 16
+			if testing.Short() {
+				rounds = 4
+			}
+			if !aig.EquivalentBySim(gen, got, rand.New(rand.NewSource(1)), rounds) {
+				t.Fatal("golden text and generator disagree on function; rerun with -update?")
+			}
+		})
+	}
+}
+
+// TestGenerateClonesAreIndependent guards the cached-parse design:
+// mutating one Generate result must not leak into the next.
+func TestGenerateClonesAreIndependent(t *testing.T) {
+	a := MustGenerate("c432")
+	before := a.NumNodes()
+	in := a.AddInput("extra")
+	a.AddOutput(in, "extra_out")
+	b := MustGenerate("c432")
+	if b.NumNodes() != before || b.NumInputs() != a.NumInputs()-1 {
+		t.Fatalf("Generate results share state: %v then %v", a, b)
+	}
+}
+
+// TestGoldenBenchExposed checks the raw golden text is available and
+// parses through the public netio path.
+func TestGoldenBenchExposed(t *testing.T) {
+	text, err := GoldenBench("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := netio.ParseBenchString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumInputs() != 36 || g.NumOutputs() != 7 {
+		t.Fatalf("unexpected c432 shape: %v", g)
+	}
+	if _, err := GoldenBench("c9999"); err == nil {
+		t.Fatal("unknown name should fail")
+	}
+}

@@ -54,8 +54,12 @@ func ProfileOf(name string) (Profile, bool) {
 	return Profile{}, false
 }
 
-// Generate builds the named benchmark. Generation is deterministic.
-func Generate(name string) (*aig.AIG, error) {
+// generateFromScratch builds the named benchmark from its structural
+// generator. This is the *source of truth* for the embedded golden
+// BENCH files (see golden.go and TestGoldenFaithful's -update flag);
+// production code loads the parsed goldens through Generate instead, so
+// there is exactly one construction path at runtime.
+func generateFromScratch(name string) (*aig.AIG, error) {
 	switch name {
 	case "c432":
 		return genC432(), nil
@@ -314,8 +318,11 @@ func genC3540() *aig.AIG {
 	for i := 4; i < 8; i++ {
 		g.AddOutput(r2[i], fmt.Sprintf("H%d", i-4))
 	}
-	g.AddOutput(c1, "C1")
-	g.AddOutput(c2, "C2")
+	// Named CO1/CO2 (not C1/C2): the control inputs are already called
+	// C<i>, and BENCH cannot express an output whose name collides with
+	// a differently-driven input.
+	g.AddOutput(c1, "CO1")
+	g.AddOutput(c2, "CO2")
 	// Shifter/rotator outputs selected by control.
 	shifted := make([]aig.Lit, 8)
 	for i := range shifted {

@@ -7,6 +7,14 @@
 // base netlist, and memoizes results in a cache keyed by a canonical
 // recipe hash so recipes the annealer revisits are never re-synthesized.
 //
+// The cache is single-flight: when several concurrent batches miss on
+// the same recipe key, exactly one caller runs the synthesize+attack
+// evaluation and the others block until the value settles — a key is
+// never evaluated twice, no matter how many searches share the
+// evaluator, and Stats.Misses counts evaluations actually started. If
+// the evaluating caller is canceled before its job reaches a worker,
+// the key is released and one of the waiters takes over.
+//
 // Determinism contract: EvaluateBatch returns scores in input order and
 // the score of a recipe depends only on the recipe (the EvalFunc must be
 // a pure function of its arguments). Under that contract the results are
@@ -42,9 +50,15 @@ func RecipeKey(r synth.Recipe) string {
 
 // Stats reports cache effectiveness.
 type Stats struct {
-	Hits   int // lookups answered from the cache
-	Misses int // lookups that required an evaluation
-	Size   int // distinct recipes cached
+	// Hits counts lookups answered without starting an evaluation:
+	// from a settled cache entry, or by waiting on an evaluation another
+	// caller already had in flight (single-flight deduplication).
+	Hits int
+	// Misses counts evaluations actually started — exactly one per
+	// distinct recipe, however many callers race on it concurrently.
+	Misses int
+	// Size counts distinct recipes with a settled score in the cache.
+	Size int
 }
 
 // job is one cache miss dispatched to the worker pool.
@@ -55,18 +69,49 @@ type job struct {
 	wg     *sync.WaitGroup
 }
 
-// Evaluator is a concurrent, memoizing recipe evaluator. Create with New,
-// release with Close. All methods are safe for concurrent use.
+// entry is one cache slot under single-flight discipline. It is
+// created (in flight) by the first caller to miss on a key; done is
+// closed when the evaluation settles. valid distinguishes a computed
+// score from an abandoned evaluation (owner canceled before its job
+// was handed to a worker) — abandoned entries are removed from the
+// cache before done closes, so a waiter that observes valid == false
+// re-resolves the key and may become the new owner.
+//
+// val and valid are written before close(done) and read only after
+// <-done, so the channel's happens-before edge makes them safe to read
+// without the evaluator lock.
+type entry struct {
+	done  chan struct{}
+	val   float64
+	valid bool
+}
+
+// settled reports whether the entry's evaluation has completed.
+func (en *entry) settled() bool {
+	select {
+	case <-en.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Evaluator is a concurrent, memoizing recipe evaluator with
+// single-flight deduplication: when several callers miss on the same
+// recipe key concurrently, exactly one evaluates it and the others wait
+// for the settled value. Create with New, release with Close. All
+// methods are safe for concurrent use.
 type Evaluator struct {
 	jobs int
 	fn   EvalFunc
 	reqs chan job
 	wg   sync.WaitGroup
 
-	mu    sync.Mutex
-	cache map[string]float64
-	hits  int
-	miss  int
+	mu      sync.Mutex
+	cache   map[string]*entry
+	hits    int
+	miss    int
+	settled int
 }
 
 // New builds an evaluator over base with the given worker count (jobs <= 0
@@ -80,7 +125,7 @@ func New(base *aig.AIG, jobs int, fn EvalFunc) *Evaluator {
 		jobs:  jobs,
 		fn:    fn,
 		reqs:  make(chan job),
-		cache: make(map[string]float64),
+		cache: make(map[string]*entry),
 	}
 	for i := 0; i < jobs; i++ {
 		g := base.Clone()
@@ -131,38 +176,61 @@ func (e *Evaluator) EvaluateBatch(rs []synth.Recipe) []float64 {
 // slice), caches their scores, and returns nil scores with ctx.Err().
 // A batch that returns an error has still made progress: every score
 // computed before the cancellation is in the cache for the next call.
+//
+// Concurrent batches missing on the same key are deduplicated
+// (single-flight): the first caller to miss evaluates, later callers
+// wait for the settled value, and Stats.Misses counts one evaluation.
+// If the evaluating caller is canceled before its job reaches a
+// worker, the key is released and a waiter takes over ownership.
 func (e *Evaluator) EvaluateBatchCtx(ctx context.Context, rs []synth.Recipe) ([]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	out := make([]float64, len(rs))
-	have := make([]bool, len(rs))
 	keys := make([]string, len(rs))
 
-	var pending []int // index of the first occurrence of each missing key
-	seen := make(map[string]int, len(rs))
+	// Classify the first occurrence of every distinct key: answered
+	// (settled cache entry), owned (we created the in-flight entry and
+	// must evaluate), or waiting (another caller's evaluation is in
+	// flight). Duplicate occurrences copy from the first at the end.
+	first := make(map[string]int, len(rs))
+	var owned []int // first-occurrence indices we own
+	var ownedEntries []*entry
+	var waiting []int // first-occurrence indices resolved by waiting
+	var waitEntries []*entry
 	e.mu.Lock()
 	for i, r := range rs {
 		k := RecipeKey(r)
 		keys[i] = k
-		if v, ok := e.cache[k]; ok {
-			out[i], have[i] = v, true
-			e.hits++
+		if _, dup := first[k]; dup {
 			continue
 		}
-		if _, dup := seen[k]; !dup {
-			e.miss++ // one miss per evaluation, not per duplicate lookup
-			seen[k] = len(pending)
-			pending = append(pending, i)
+		first[k] = i
+		if en, ok := e.cache[k]; ok {
+			if en.settled() {
+				// en.valid is always true for settled entries still in
+				// the cache: abandoned entries are removed before close.
+				out[i] = en.val
+				e.hits++
+			} else {
+				waiting = append(waiting, i)
+				waitEntries = append(waitEntries, en)
+			}
+			continue
 		}
+		en := &entry{done: make(chan struct{})}
+		e.cache[k] = en
+		e.miss++ // one miss per evaluation, not per duplicate or waiter
+		owned = append(owned, i)
+		ownedEntries = append(ownedEntries, en)
 	}
 	e.mu.Unlock()
 
-	if len(pending) > 0 {
-		vals := make([]float64, len(pending))
+	if len(owned) > 0 {
+		vals := make([]float64, len(owned))
 		var wg sync.WaitGroup
-		sent := 0 // jobs handed to workers: always the prefix pending[:sent]
-		for slot, i := range pending {
+		sent := 0 // jobs handed to workers: always the prefix owned[:sent]
+		for slot, i := range owned {
 			if ctx.Err() != nil {
 				break
 			}
@@ -178,41 +246,126 @@ func (e *Evaluator) EvaluateBatchCtx(ctx context.Context, rs []synth.Recipe) ([]
 			}
 		}
 		wg.Wait()
-		e.mu.Lock()
-		for slot, i := range pending[:sent] {
-			e.cache[keys[i]] = vals[slot]
+		e.settle(keys, owned, ownedEntries, vals, sent)
+		for slot, i := range owned[:sent] {
+			out[i] = vals[slot]
 		}
-		e.mu.Unlock()
+	}
+
+	// Resolve keys another caller was evaluating. Our own entries are
+	// settled by now, so two batches waiting on parts of each other's
+	// work cannot deadlock.
+	for wi, i := range waiting {
+		v, err := e.await(ctx, rs[i], keys[i], waitEntries[wi])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
 	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	for i := range rs {
-		if !have[i] {
-			// Either freshly computed by this batch or by a concurrent one;
-			// the cache holds it now either way.
-			e.mu.Lock()
-			out[i] = e.cache[keys[i]]
-			e.mu.Unlock()
+		if fi := first[keys[i]]; fi != i {
+			out[i] = out[fi]
 		}
 	}
 	return out, nil
 }
 
-// Cached returns the cached score of r, if present.
+// settle publishes the outcome of this batch's owned evaluations: the
+// first sent entries get their computed values; the rest were never
+// handed to a worker (cancellation) and are released so another caller
+// can claim the key.
+func (e *Evaluator) settle(keys []string, owned []int, entries []*entry, vals []float64, sent int) {
+	e.mu.Lock()
+	for slot := range owned[:sent] {
+		en := entries[slot]
+		en.val = vals[slot]
+		en.valid = true
+		e.settled++
+	}
+	for _, i := range owned[sent:] {
+		delete(e.cache, keys[i])
+	}
+	e.mu.Unlock()
+	// Close outside the lock ordering concerns: close after the map
+	// state is consistent, so a waiter that wakes and re-locks sees
+	// either the settled entry (valid) or the key absent (abandoned).
+	for _, en := range entries[:sent] {
+		close(en.done)
+	}
+	for _, en := range entries[sent:] {
+		close(en.done)
+	}
+}
+
+// await blocks until the in-flight evaluation of key settles, the
+// context is canceled, or — if the evaluating caller abandoned the key —
+// this caller takes over and evaluates r itself.
+func (e *Evaluator) await(ctx context.Context, r synth.Recipe, key string, en *entry) (float64, error) {
+	for {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-en.done:
+		}
+		if en.valid {
+			e.mu.Lock()
+			e.hits++ // answered without starting an evaluation
+			e.mu.Unlock()
+			return en.val, nil
+		}
+		// The previous owner abandoned the evaluation. Re-resolve:
+		// either someone else took over, or we claim ownership.
+		e.mu.Lock()
+		if cur, ok := e.cache[key]; ok {
+			e.mu.Unlock()
+			en = cur
+			continue
+		}
+		en = &entry{done: make(chan struct{})}
+		e.cache[key] = en
+		e.miss++
+		e.mu.Unlock()
+
+		vals := make([]float64, 1)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		sent := 1
+		select {
+		case e.reqs <- job{recipe: r, slot: 0, out: vals, wg: &wg}:
+		case <-ctx.Done():
+			wg.Done()
+			sent = 0
+		}
+		wg.Wait()
+		e.settle([]string{key}, []int{0}, []*entry{en}, vals, sent)
+		if sent == 0 {
+			return 0, ctx.Err()
+		}
+		return vals[0], nil
+	}
+}
+
+// Cached returns the settled cached score of r, if present. An
+// in-flight evaluation does not count as cached.
 func (e *Evaluator) Cached(r synth.Recipe) (float64, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	v, ok := e.cache[RecipeKey(r)]
-	return v, ok
+	en, ok := e.cache[RecipeKey(r)]
+	if !ok || !en.settled() {
+		return 0, false
+	}
+	return en.val, true
 }
 
 // Stats returns a snapshot of cache counters.
 func (e *Evaluator) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Stats{Hits: e.hits, Misses: e.miss, Size: len(e.cache)}
+	return Stats{Hits: e.hits, Misses: e.miss, Size: e.settled}
 }
 
 // Close shuts the worker pool down and waits for in-flight evaluations.

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// TestConcurrentBatchesSingleFlight pins the cache-stampede fix: many
+// concurrent EvaluateBatchCtx calls missing on the same key must run
+// exactly one evaluation, count exactly one miss, and all observe the
+// same value.
+func TestConcurrentBatchesSingleFlight(t *testing.T) {
+	base := circuits.MustGenerate("c432")
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	e := New(base, 4, func(g *aig.AIG, r synth.Recipe) float64 {
+		calls.Add(1)
+		<-gate // hold every evaluation until all batches are in flight
+		return sizeEval(g, r)
+	})
+	defer e.Close()
+
+	const callers = 8
+	r := synth.Recipe{synth.StepBalance, synth.StepRewrite}
+	var wg sync.WaitGroup
+	results := make([]float64, callers)
+	errs := make([]error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out, err := e.EvaluateBatchCtx(context.Background(), []synth.Recipe{r})
+			if err == nil {
+				results[c] = out[0]
+			}
+			errs[c] = err
+		}(c)
+	}
+	// Give every caller time to classify (one owner, the rest waiters),
+	// then release the evaluation.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("evaluation ran %d times for one key across %d concurrent batches, want 1", n, callers)
+	}
+	want := results[0]
+	for c := range results {
+		if errs[c] != nil {
+			t.Fatalf("caller %d failed: %v", c, errs[c])
+		}
+		if results[c] != want {
+			t.Fatalf("caller %d saw %v, caller 0 saw %v", c, results[c], want)
+		}
+	}
+	st := e.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("Stats.Misses = %d, want 1 (single flight)", st.Misses)
+	}
+	if st.Hits != callers-1 {
+		t.Fatalf("Stats.Hits = %d, want %d (every waiter answered without evaluating)", st.Hits, callers-1)
+	}
+	if st.Size != 1 {
+		t.Fatalf("Stats.Size = %d, want 1", st.Size)
+	}
+}
+
+// TestAbandonedOwnerHandsOffToWaiter covers the takeover path: the
+// owning batch is canceled before its job reaches a worker, so a waiter
+// must claim the key and evaluate it itself.
+func TestAbandonedOwnerHandsOffToWaiter(t *testing.T) {
+	base := circuits.MustGenerate("c432")
+	var calls atomic.Int64
+	// One worker, blocked on a decoy evaluation, so the owner's job for
+	// the contested key can never be handed to a worker before cancel.
+	decoyGate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	e := New(base, 1, func(g *aig.AIG, r synth.Recipe) float64 {
+		if len(r) == 1 { // the decoy recipe
+			started <- struct{}{}
+			<-decoyGate
+			return 0
+		}
+		calls.Add(1)
+		return sizeEval(g, r)
+	})
+	defer e.Close()
+
+	decoy := synth.Recipe{synth.StepBalance}
+	contested := synth.Recipe{synth.StepBalance, synth.StepRewrite}
+
+	// Occupy the only worker.
+	var decoyWG sync.WaitGroup
+	decoyWG.Add(1)
+	go func() {
+		defer decoyWG.Done()
+		e.EvaluateBatch([]synth.Recipe{decoy})
+	}()
+	<-started
+
+	// Owner: misses on the contested key, then blocks dispatching (the
+	// worker is busy) until its context is canceled.
+	ownerCtx, cancelOwner := context.WithCancel(context.Background())
+	ownerClassified := make(chan struct{})
+	var ownerErr error
+	var ownerWG sync.WaitGroup
+	ownerWG.Add(1)
+	go func() {
+		defer ownerWG.Done()
+		close(ownerClassified)
+		_, ownerErr = e.EvaluateBatchCtx(ownerCtx, []synth.Recipe{contested})
+	}()
+	<-ownerClassified
+	time.Sleep(20 * time.Millisecond) // let the owner reach the dispatch select
+
+	// Waiter: sees the in-flight entry and waits.
+	var waiterOut []float64
+	var waiterErr error
+	var waiterWG sync.WaitGroup
+	waiterWG.Add(1)
+	go func() {
+		defer waiterWG.Done()
+		waiterOut, waiterErr = e.EvaluateBatchCtx(context.Background(), []synth.Recipe{contested})
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	cancelOwner() // owner abandons the key
+	ownerWG.Wait()
+	if ownerErr == nil {
+		t.Fatal("owner should have been canceled")
+	}
+	close(decoyGate) // free the worker for the waiter's takeover
+	decoyWG.Wait()
+	waiterWG.Wait()
+
+	if waiterErr != nil {
+		t.Fatalf("waiter failed after takeover: %v", waiterErr)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("contested key evaluated %d times, want 1 (by the waiter)", calls.Load())
+	}
+	if v, ok := e.Cached(contested); !ok || v != waiterOut[0] {
+		t.Fatalf("cache not settled after takeover: %v %v vs %v", v, ok, waiterOut[0])
+	}
+}
+
+// TestSingleFlightManyKeysManyCallers hammers the evaluator with
+// overlapping batches (run with -race in CI): every distinct key must
+// evaluate exactly once.
+func TestSingleFlightManyKeysManyCallers(t *testing.T) {
+	base := circuits.MustGenerate("c432")
+	var calls atomic.Int64
+	e := New(base, 4, func(g *aig.AIG, r synth.Recipe) float64 {
+		calls.Add(1)
+		return sizeEval(g, r)
+	})
+	defer e.Close()
+
+	rs := recipes(12, 0)
+	const callers = 6
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Each caller evaluates an overlapping, rotated slice.
+			batch := append(append([]synth.Recipe{}, rs[c:]...), rs[:c]...)
+			if _, err := e.EvaluateBatchCtx(context.Background(), batch); err != nil {
+				t.Errorf("caller %d: %v", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != int64(len(rs)) {
+		t.Fatalf("%d evaluations for %d distinct keys", n, len(rs))
+	}
+	st := e.Stats()
+	if st.Misses != len(rs) || st.Size != len(rs) {
+		t.Fatalf("stats %+v, want Misses=Size=%d", st, len(rs))
+	}
+	if st.Hits != callers*len(rs)-len(rs) {
+		t.Fatalf("Hits = %d, want %d", st.Hits, callers*len(rs)-len(rs))
+	}
+}

@@ -22,15 +22,23 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 
 	"github.com/nyu-secml/almost/internal/aig"
 	"github.com/nyu-secml/almost/internal/circuits"
 	"github.com/nyu-secml/almost/internal/core"
 	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/netio"
 	"github.com/nyu-secml/almost/internal/synth"
 )
+
+// Source resolves a benchmark name to a fresh circuit. It must be safe
+// for concurrent calls (experiment cells fan out across workers) and
+// must return an independent netlist on every call.
+type Source func(name string) (*aig.AIG, error)
 
 // Options configures an experiment run.
 type Options struct {
@@ -40,10 +48,52 @@ type Options struct {
 	RandomSetSize int // size of the random-recipe evaluation set
 	Seed          int64
 	Out           io.Writer // table/series sink; nil discards
+	// Source resolves Benchmarks entries to circuits. When nil the
+	// built-in ISCAS-85 set is used; set it (e.g. via FileSource) to
+	// run every table/figure driver on arbitrary external netlists.
+	Source Source
 	// Observer, when non-nil, receives the progress events of every
 	// pipeline run inside the experiment. Cells run concurrently, so
 	// events from different (benchmark, key size) cells interleave.
 	Observer core.Observer
+}
+
+// circuit resolves one benchmark name through Source (or the built-ins).
+func (o Options) circuit(name string) (*aig.AIG, error) {
+	if o.Source != nil {
+		return o.Source(name)
+	}
+	return circuits.Generate(name)
+}
+
+// FileSource loads the given netlist files (formats sniffed from the
+// extensions: .bench, .aag, .aig) and returns their names — base name
+// with the extension stripped — in argument order, together with a
+// Source serving independent clones of them and falling back to the
+// built-in circuits for any other name. Loading is eager so malformed
+// files fail here, once, instead of inside a fanned-out cell.
+func FileSource(paths ...string) ([]string, Source, error) {
+	names := make([]string, 0, len(paths))
+	byName := make(map[string]*aig.AIG, len(paths))
+	for _, p := range paths {
+		g, err := netio.ReadFile(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
+		if _, dup := byName[name]; dup {
+			return nil, nil, fmt.Errorf("experiments: duplicate circuit name %q (from %s)", name, p)
+		}
+		names = append(names, name)
+		byName[name] = g
+	}
+	src := func(name string) (*aig.AIG, error) {
+		if g, ok := byName[name]; ok {
+			return g.Clone(), nil
+		}
+		return circuits.Generate(name)
+	}
+	return names, src, nil
 }
 
 // coreOpts converts the Observer into core functional options.
@@ -187,11 +237,15 @@ func fanOut(ctx context.Context, n, jobs int, fn func(i int) error) error {
 	return ctx.Err()
 }
 
-// lockedInstance deterministically locks a benchmark for an experiment.
-func lockedInstance(name string, keySize int, seed int64) (*aig.AIG, *aig.AIG, lock.Key) {
-	g := circuits.MustGenerate(name)
+// lockedInstance deterministically locks a benchmark for an experiment,
+// resolving the circuit through the configured Source.
+func (o Options) lockedInstance(name string, keySize int, seed int64) (*aig.AIG, *aig.AIG, lock.Key, error) {
+	g, err := o.circuit(name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	locked, key := lock.Lock(g, keySize, rand.New(rand.NewSource(seed)))
-	return g, locked, key
+	return g, locked, key, nil
 }
 
 // randomRecipeSet draws n deterministic random recipes.
@@ -219,7 +273,10 @@ type TransferResult struct {
 // netlists. The paper reports the diagonal (matched recipe) beating the
 // off-diagonal on c5315.
 func RunTransferability(ctx context.Context, bench string, keySize int, opt Options) (TransferResult, error) {
-	_, locked, key := lockedInstance(bench, keySize, opt.Seed)
+	_, locked, key, err := opt.lockedInstance(bench, keySize, opt.Seed)
+	if err != nil {
+		return TransferResult{Benchmark: bench}, err
+	}
 	rng := rand.New(rand.NewSource(opt.Seed + 11))
 	s1 := synth.RandomRecipe(rng, opt.Cfg.RecipeLen)
 	s2 := synth.RandomRecipe(rng, opt.Cfg.RecipeLen)
@@ -287,7 +344,10 @@ func RunTableI(ctx context.Context, opt Options) (TableIResult, error) {
 	err := fanOut(ctx, ncells, opt.jobs(), func(i int) error {
 		ki, bi := i/nb, i%nb
 		keySize, bench := opt.KeySizes[ki], opt.Benchmarks[bi]
-		_, locked, key := lockedInstance(bench, keySize, opt.Seed)
+		_, locked, key, err := opt.lockedInstance(bench, keySize, opt.Seed)
+		if err != nil {
+			return err
+		}
 		tResyn := resyn.Apply(locked)
 		randomSet := randomRecipeSet(opt.RandomSetSize, opt.Cfg.RecipeLen, opt.Seed+99)
 		randomNets := make([]*aig.AIG, len(randomSet))

@@ -37,7 +37,10 @@ func RunFig4(ctx context.Context, opt Options) ([]Fig4Series, error) {
 	copt := opt.cellOptions(len(opt.Benchmarks))
 	err := fanOut(ctx, len(opt.Benchmarks), opt.jobs(), func(bi int) error {
 		bench := opt.Benchmarks[bi]
-		_, locked, key := lockedInstance(bench, keySize, opt.Seed)
+		_, locked, key, err := opt.lockedInstance(bench, keySize, opt.Seed)
+		if err != nil {
+			return err
+		}
 		series := Fig4Series{
 			Benchmark: bench,
 			Curves:    map[core.ModelKind][]float64{},
@@ -181,7 +184,10 @@ func RunFig5(ctx context.Context, opt Options) ([]Fig5Series, error) {
 	copt := opt.cellOptions(len(opt.Benchmarks))
 	err := fanOut(ctx, len(opt.Benchmarks), opt.jobs(), func(bi int) error {
 		bench := opt.Benchmarks[bi]
-		_, locked, key := lockedInstance(bench, keySize, opt.Seed)
+		_, locked, key, err := opt.lockedInstance(bench, keySize, opt.Seed)
+		if err != nil {
+			return err
+		}
 		proxy, err := core.TrainProxyCtx(ctx, locked, core.ModelAdversarial, resyn, copt.Cfg, opt.coreOpts()...)
 		if err != nil {
 			return err

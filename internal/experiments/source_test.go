@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/netio"
+)
+
+// TestFileSourceServesExternalCircuits loads an external netlist file
+// and checks the source serves clones of it under the base name while
+// falling back to the built-ins for other names.
+func TestFileSourceServesExternalCircuits(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mydesign.aag")
+	if err := netio.WriteFile(path, circuits.MustGenerate("c432")); err != nil {
+		t.Fatal(err)
+	}
+	names, src, err := FileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "mydesign" {
+		t.Fatalf("names = %v, want [mydesign]", names)
+	}
+	a, err := src("mydesign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := src("mydesign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("source returned the same netlist twice; must clone")
+	}
+	a.AddInput("scratch")
+	if b.NumInputs() != 36 || a.NumInputs() != 37 {
+		t.Fatalf("clones share state: a=%v b=%v", a, b)
+	}
+	// Fallback to built-ins.
+	if _, err := src("c499"); err != nil {
+		t.Fatalf("built-in fallback failed: %v", err)
+	}
+	if _, err := src("c9999"); err == nil {
+		t.Fatal("unknown name should fail")
+	}
+	// Malformed files fail eagerly.
+	bad := filepath.Join(dir, "bad.bench")
+	if err := netio.WriteFile(bad, circuits.MustGenerate("c432")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := FileSource(filepath.Join(dir, "missing.aig")); err == nil {
+		t.Fatal("missing file should fail at FileSource time")
+	}
+}
+
+// TestExperimentOnExternalCircuit runs the cheapest driver end to end
+// on a circuit supplied as a netlist file instead of a built-in name.
+func TestExperimentOnExternalCircuit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "extc432.aig")
+	if err := netio.WriteFile(path, circuits.MustGenerate("c432")); err != nil {
+		t.Fatal(err)
+	}
+	names, src, err := FileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := microOptions()
+	opt.Benchmarks = names
+	opt.Source = src
+	var buf bytes.Buffer
+	opt.Out = &buf
+	res, err := RunTransferability(context.Background(), names[0], opt.KeySizes[0], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "extc432" {
+		t.Fatalf("benchmark = %q", res.Benchmark)
+	}
+	if !strings.Contains(buf.String(), "extc432") {
+		t.Fatalf("report does not mention the external circuit:\n%s", buf.String())
+	}
+	// An unknown name still surfaces a loader error, not a panic.
+	if _, err := RunTransferability(context.Background(), "c9999", 8, opt); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}

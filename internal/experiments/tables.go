@@ -72,7 +72,10 @@ func RunTableII(ctx context.Context, opt Options) (TableIIResult, error) {
 	copt := opt.cellOptions(len(pairs))
 	err := fanOut(ctx, len(pairs), opt.jobs(), func(i int) error {
 		bench, keySize := opt.Benchmarks[i/nk], opt.KeySizes[i%nk]
-		_, locked, key := lockedInstance(bench, keySize, opt.Seed)
+		_, locked, key, err := opt.lockedInstance(bench, keySize, opt.Seed)
+		if err != nil {
+			return err
+		}
 		proxy, err := core.TrainProxyCtx(ctx, locked, core.ModelAdversarial, resyn, copt.Cfg, opt.coreOpts()...)
 		if err != nil {
 			return err
@@ -200,7 +203,10 @@ func RunTableIII(ctx context.Context, opt Options, recipes map[string]map[int]sy
 			if err := ctx.Err(); err != nil {
 				return res, canceledErr(err)
 			}
-			_, locked, key := lockedInstance(bench, keySize, opt.Seed)
+			_, locked, key, err := opt.lockedInstance(bench, keySize, opt.Seed)
+			if err != nil {
+				return res, err
+			}
 			recipe := recipeFor(recipes, bench, keySize)
 			if recipe == nil {
 				// Regenerate when the caller did not supply Table II output.

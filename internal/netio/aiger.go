@@ -1,0 +1,525 @@
+package netio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/nyu-secml/almost/internal/aig"
+)
+
+// KeyInputComment is the annotation tag under which the writers record
+// key-input positions ("almost-keyinputs: 3 5 9") — an AIGER
+// comment-section line, a "#" comment in BENCH. The readers honor it,
+// so key metadata survives a round trip even when key inputs carry
+// names without the "keyinput" prefix.
+const KeyInputComment = "almost-keyinputs:"
+
+// parseKeyPositions parses the space-separated input positions of a
+// KeyInputComment annotation into dst. Positions are validated against
+// nInputs when nInputs >= 0; pass nInputs < 0 to defer range checking
+// (the BENCH reader validates after the scan, once the input count is
+// known).
+func parseKeyPositions(rest string, nInputs int, dst map[int]bool) error {
+	for _, fld := range strings.Fields(rest) {
+		pos, err := strconv.Atoi(fld)
+		if err != nil || pos < 0 || (nInputs >= 0 && pos >= nInputs) {
+			return fmt.Errorf("%s position %q out of range", KeyInputComment, fld)
+		}
+		dst[pos] = true
+	}
+	return nil
+}
+
+// maxAigerCount bounds the header counts (I, L, O, A) accepted by the
+// reader so a hostile header cannot force a giant allocation before any
+// real data is seen.
+const maxAigerCount = 1 << 22
+
+func aigerErr(f Format, line int, format string, args ...interface{}) *ParseError {
+	return &ParseError{Format: f, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// aigerFile is the intermediate form shared by the ASCII and binary
+// readers: raw literals as they appear in the file, plus symbol and
+// comment metadata, resolved into an AIG only once everything is read.
+type aigerFile struct {
+	format  Format
+	maxVar  uint32
+	inputs  []uint32    // input literals (even, distinct)
+	outputs []uint32    // output literals
+	ands    [][3]uint32 // lhs, rhs0, rhs1
+	inName  map[int]string
+	outName map[int]string
+	keyIdx  map[int]bool // explicit key-input positions from the comment section
+}
+
+// ParseAIGER reads an AIGER netlist, accepting both the ASCII ("aag")
+// and binary ("aig") variants, distinguished by the header magic.
+// Latches are rejected: ALMOST operates on combinational blocks.
+func ParseAIGER(r io.Reader) (*aig.AIG, error) {
+	br := bufio.NewReader(r)
+	header, err := readLine(br)
+	if err != nil {
+		return nil, aigerErr(FormatAAG, 1, "missing header: %v", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 6 || (fields[0] != "aag" && fields[0] != "aig") {
+		return nil, aigerErr(FormatAAG, 1, "malformed header %q (want \"aag|aig M I L O A\")", header)
+	}
+	format := FormatAAG
+	if fields[0] == "aig" {
+		format = FormatAIG
+	}
+	var m, i, l, o, a uint64
+	for fi, dst := range []*uint64{&m, &i, &l, &o, &a} {
+		v, err := strconv.ParseUint(fields[fi+1], 10, 32)
+		if err != nil {
+			return nil, aigerErr(format, 1, "bad header count %q: %v", fields[fi+1], err)
+		}
+		*dst = v
+	}
+	if l != 0 {
+		return nil, aigerErr(format, 1, "netlist has %d latches; only combinational circuits are supported", l)
+	}
+	if i > maxAigerCount || o > maxAigerCount || a > maxAigerCount || m > 2*maxAigerCount {
+		return nil, aigerErr(format, 1, "header counts exceed the supported size (max %d)", maxAigerCount)
+	}
+	if m < i+a {
+		return nil, aigerErr(format, 1, "header M=%d smaller than I+A=%d", m, i+a)
+	}
+	f := &aigerFile{
+		format:  format,
+		maxVar:  uint32(m),
+		inName:  map[int]string{},
+		outName: map[int]string{},
+		keyIdx:  map[int]bool{},
+	}
+	if format == FormatAAG {
+		err = f.readASCII(br, int(i), int(o), int(a))
+	} else {
+		err = f.readBinary(br, int(i), int(o), int(a))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := f.readSymbolsAndComments(br); err != nil {
+		return nil, err
+	}
+	return f.build()
+}
+
+// readLine reads one \n-terminated line (the final line may omit the
+// newline). The 1 MiB cap is enforced incrementally, chunk by chunk, so
+// a hostile newline-free multi-gigabyte input is rejected after the
+// first mebibyte instead of being buffered whole.
+func readLine(br *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if sb.Len()+len(chunk) > 1<<20 {
+			return "", fmt.Errorf("line longer than 1MiB")
+		}
+		sb.Write(chunk)
+		switch err {
+		case nil:
+			return strings.TrimRight(sb.String(), "\r\n"), nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if sb.Len() > 0 {
+				return strings.TrimRight(sb.String(), "\r\n"), nil
+			}
+			return "", io.EOF
+		default:
+			return "", err
+		}
+	}
+}
+
+func (f *aigerFile) readASCII(br *bufio.Reader, i, o, a int) error {
+	line := 1
+	seen := map[uint32]bool{}
+	readLit := func(what string, allowNeg bool) (uint32, error) {
+		line++
+		s, err := readLine(br)
+		if err != nil {
+			return 0, aigerErr(FormatAAG, line, "missing %s line: %v", what, err)
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+		if err != nil {
+			return 0, aigerErr(FormatAAG, line, "bad %s literal %q", what, s)
+		}
+		lit := uint32(v)
+		if lit>>1 > f.maxVar {
+			return 0, aigerErr(FormatAAG, line, "%s literal %d exceeds maximum variable %d", what, lit, f.maxVar)
+		}
+		if !allowNeg && lit&1 == 1 {
+			return 0, aigerErr(FormatAAG, line, "%s literal %d must be even", what, lit)
+		}
+		return lit, nil
+	}
+	for k := 0; k < i; k++ {
+		lit, err := readLit("input", false)
+		if err != nil {
+			return err
+		}
+		if lit == 0 {
+			return aigerErr(FormatAAG, line, "input literal must not be constant")
+		}
+		if seen[lit>>1] {
+			return aigerErr(FormatAAG, line, "duplicate input literal %d", lit)
+		}
+		seen[lit>>1] = true
+		f.inputs = append(f.inputs, lit)
+	}
+	for k := 0; k < o; k++ {
+		lit, err := readLit("output", true)
+		if err != nil {
+			return err
+		}
+		f.outputs = append(f.outputs, lit)
+	}
+	for k := 0; k < a; k++ {
+		line++
+		s, err := readLine(br)
+		if err != nil {
+			return aigerErr(FormatAAG, line, "missing and-gate line: %v", err)
+		}
+		fields := strings.Fields(s)
+		if len(fields) != 3 {
+			return aigerErr(FormatAAG, line, "malformed and-gate line %q (want \"lhs rhs0 rhs1\")", s)
+		}
+		var lits [3]uint32
+		for fi, fs := range fields {
+			v, err := strconv.ParseUint(fs, 10, 32)
+			if err != nil || uint32(v)>>1 > f.maxVar {
+				return aigerErr(FormatAAG, line, "bad and-gate literal %q", fs)
+			}
+			lits[fi] = uint32(v)
+		}
+		if lits[0]&1 == 1 || lits[0] == 0 {
+			return aigerErr(FormatAAG, line, "and-gate left-hand side %d must be a positive even literal", lits[0])
+		}
+		if seen[lits[0]>>1] {
+			return aigerErr(FormatAAG, line, "variable %d defined more than once", lits[0]>>1)
+		}
+		seen[lits[0]>>1] = true
+		f.ands = append(f.ands, lits)
+	}
+	return nil
+}
+
+func (f *aigerFile) readBinary(br *bufio.Reader, i, o, a int) error {
+	// Binary AIGER: inputs are implicit (variables 1..I); outputs are
+	// still ASCII lines; ands follow as delta-coded byte pairs with
+	// lhs(k) = 2*(I+k+1) and lhs > rhs0 >= rhs1.
+	if uint64(i)+uint64(a) != uint64(f.maxVar) {
+		return aigerErr(FormatAIG, 1, "binary header requires M = I+A, got M=%d I=%d A=%d", f.maxVar, i, a)
+	}
+	line := 1
+	for k := 0; k < i; k++ {
+		f.inputs = append(f.inputs, uint32(k+1)<<1)
+	}
+	for k := 0; k < o; k++ {
+		line++
+		s, err := readLine(br)
+		if err != nil {
+			return aigerErr(FormatAIG, line, "missing output line: %v", err)
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+		if err != nil || uint32(v)>>1 > f.maxVar {
+			return aigerErr(FormatAIG, line, "bad output literal %q", s)
+		}
+		f.outputs = append(f.outputs, uint32(v))
+	}
+	for k := 0; k < a; k++ {
+		lhs := uint32(i+k+1) << 1
+		delta0, err := readVarint(br)
+		if err != nil {
+			return aigerErr(FormatAIG, 0, "and-gate %d: %v", k, err)
+		}
+		delta1, err := readVarint(br)
+		if err != nil {
+			return aigerErr(FormatAIG, 0, "and-gate %d: %v", k, err)
+		}
+		if delta0 == 0 || delta0 > uint64(lhs) {
+			return aigerErr(FormatAIG, 0, "and-gate %d: delta %d out of range for lhs %d", k, delta0, lhs)
+		}
+		rhs0 := lhs - uint32(delta0)
+		if delta1 > uint64(rhs0) {
+			return aigerErr(FormatAIG, 0, "and-gate %d: delta %d out of range for rhs0 %d", k, delta1, rhs0)
+		}
+		rhs1 := rhs0 - uint32(delta1)
+		f.ands = append(f.ands, [3]uint32{lhs, rhs0, rhs1})
+	}
+	return nil
+}
+
+// readVarint decodes one LEB128-style AIGER delta.
+func readVarint(br *bufio.Reader) (uint64, error) {
+	var x uint64
+	for shift := 0; shift < 64; shift += 7 {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("truncated delta: %v", err)
+		}
+		x |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return x, nil
+		}
+	}
+	return 0, fmt.Errorf("delta encoding longer than 64 bits")
+}
+
+// readSymbolsAndComments consumes the optional symbol table and comment
+// section shared by both AIGER variants.
+func (f *aigerFile) readSymbolsAndComments(br *bufio.Reader) error {
+	inComment := false
+	for {
+		s, err := readLine(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return aigerErr(f.format, 0, "symbol table: %v", err)
+		}
+		if inComment {
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(s), KeyInputComment); ok {
+				if err := parseKeyPositions(rest, len(f.inputs), f.keyIdx); err != nil {
+					return aigerErr(f.format, 0, "%v", err)
+				}
+			}
+			continue
+		}
+		trimmed := strings.TrimSpace(s)
+		if trimmed == "c" {
+			inComment = true
+			continue
+		}
+		if trimmed == "" {
+			continue
+		}
+		kind := trimmed[0]
+		rest := trimmed[1:]
+		sp := strings.IndexAny(rest, " \t")
+		if (kind != 'i' && kind != 'o' && kind != 'l') || sp < 0 {
+			return aigerErr(f.format, 0, "malformed symbol-table line %q", s)
+		}
+		pos, err := strconv.Atoi(rest[:sp])
+		if err != nil || pos < 0 {
+			return aigerErr(f.format, 0, "bad symbol position in %q", s)
+		}
+		name := strings.TrimSpace(rest[sp+1:])
+		switch kind {
+		case 'i':
+			if pos >= len(f.inputs) {
+				return aigerErr(f.format, 0, "input symbol position %d out of range", pos)
+			}
+			f.inName[pos] = name
+		case 'o':
+			if pos >= len(f.outputs) {
+				return aigerErr(f.format, 0, "output symbol position %d out of range", pos)
+			}
+			f.outName[pos] = name
+		case 'l':
+			return aigerErr(f.format, 0, "latch symbol in combinational netlist")
+		}
+	}
+}
+
+// build resolves the raw literal graph into a structurally hashed AIG.
+func (f *aigerFile) build() (*aig.AIG, error) {
+	g := aig.New()
+	lits := make(map[uint32]aig.Lit, len(f.inputs)+len(f.ands)+1) // var -> AIG literal
+	lits[0] = aig.False
+	for pos, in := range f.inputs {
+		name, ok := f.inName[pos]
+		if !ok || name == "" {
+			name = fmt.Sprintf("i%d", pos)
+		}
+		if f.keyIdx[pos] || strings.HasPrefix(name, KeyInputPrefix) {
+			lits[in>>1] = g.AddKeyInput(name)
+		} else {
+			lits[in>>1] = g.AddInput(name)
+		}
+	}
+	// AND definitions may appear in any order in the ASCII format;
+	// resolve each cone iteratively (an explicit stack, not recursion —
+	// a multi-million-gate chain listed in reverse order must not
+	// overflow the goroutine stack) with cycle detection.
+	defs := make(map[uint32]int, len(f.ands)) // var -> index into f.ands
+	for idx, a := range f.ands {
+		defs[a[0]>>1] = idx
+	}
+	inProgress := make(map[uint32]bool, 16)
+	resolve := func(root uint32) (aig.Lit, error) {
+		if l, ok := lits[root]; ok {
+			return l, nil
+		}
+		stack := []uint32{root}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			if _, ok := lits[v]; ok {
+				stack = stack[:len(stack)-1]
+				delete(inProgress, v)
+				continue
+			}
+			idx, ok := defs[v]
+			if !ok {
+				return 0, aigerErr(f.format, 0, "literal %d references undefined variable %d (dangling fanin)", v<<1, v)
+			}
+			a := f.ands[idx]
+			if !inProgress[v] {
+				// First visit: push unresolved fanins; v stays on the
+				// stack and is built on the second visit.
+				inProgress[v] = true
+				for _, rhs := range [2]uint32{a[1], a[2]} {
+					w := rhs >> 1
+					if _, ok := lits[w]; ok {
+						continue
+					}
+					if inProgress[w] {
+						return 0, aigerErr(f.format, 0, "combinational cycle through variable %d", w)
+					}
+					stack = append(stack, w)
+				}
+				continue
+			}
+			// Second visit: both fanins settled above.
+			r0 := lits[a[1]>>1].NotIf(a[1]&1 == 1)
+			r1 := lits[a[2]>>1].NotIf(a[2]&1 == 1)
+			lits[v] = g.And(r0, r1)
+			stack = stack[:len(stack)-1]
+			delete(inProgress, v)
+		}
+		return lits[root], nil
+	}
+	resolveLit := func(x uint32) (aig.Lit, error) {
+		l, err := resolve(x >> 1)
+		if err != nil {
+			return 0, err
+		}
+		return l.NotIf(x&1 == 1), nil
+	}
+	// Resolve every defined AND (not only outputs' cones) so malformed
+	// dangling definitions are still diagnosed, then wire the outputs.
+	for _, a := range f.ands {
+		if _, err := resolve(a[0] >> 1); err != nil {
+			return nil, err
+		}
+	}
+	for pos, o := range f.outputs {
+		l, err := resolveLit(o)
+		if err != nil {
+			return nil, err
+		}
+		name, ok := f.outName[pos]
+		if !ok || name == "" {
+			name = fmt.Sprintf("o%d", pos)
+		}
+		g.AddOutput(l, name)
+	}
+	return g, nil
+}
+
+// aigerNumbering maps an AIG onto dense AIGER variables: the constant is
+// variable 0, inputs are 1..I in input order, and live AND nodes follow
+// in topological order.
+func aigerNumbering(g *aig.AIG) (varOf []uint32, order []int) {
+	varOf = make([]uint32, g.NumNodes())
+	for i := 0; i < g.NumInputs(); i++ {
+		varOf[g.Input(i).Node()] = uint32(i + 1)
+	}
+	order = g.TopoOrder()
+	next := uint32(g.NumInputs() + 1)
+	for _, id := range order {
+		varOf[id] = next
+		next++
+	}
+	return varOf, order
+}
+
+func aigerLit(varOf []uint32, l aig.Lit) uint32 {
+	v := varOf[l.Node()] << 1
+	if l.Neg() {
+		v |= 1
+	}
+	return v
+}
+
+// writeSymbolsAndComments emits the symbol table (every input and output
+// name) and the comment section, including the key-input annotation when
+// the netlist is locked.
+func writeSymbolsAndComments(bw *bufio.Writer, g *aig.AIG) {
+	for i := 0; i < g.NumInputs(); i++ {
+		fmt.Fprintf(bw, "i%d %s\n", i, g.InputName(i))
+	}
+	for i := 0; i < g.NumOutputs(); i++ {
+		fmt.Fprintf(bw, "o%d %s\n", i, g.OutputName(i))
+	}
+	fmt.Fprintln(bw, "c")
+	if keys := g.KeyInputIndices(); len(keys) > 0 {
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = strconv.Itoa(k)
+		}
+		fmt.Fprintf(bw, "%s %s\n", KeyInputComment, strings.Join(parts, " "))
+	}
+	fmt.Fprintln(bw, "almost netio")
+}
+
+// WriteAAG emits the AIG in ASCII AIGER format, with input/output names
+// in the symbol table and key-input positions in the comment section.
+func WriteAAG(w io.Writer, g *aig.AIG) error {
+	bw := bufio.NewWriter(w)
+	varOf, order := aigerNumbering(g)
+	ni, na := g.NumInputs(), len(order)
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", ni+na, ni, g.NumOutputs(), na)
+	for i := 0; i < ni; i++ {
+		fmt.Fprintf(bw, "%d\n", uint32(i+1)<<1)
+	}
+	for i := 0; i < g.NumOutputs(); i++ {
+		fmt.Fprintf(bw, "%d\n", aigerLit(varOf, g.Output(i)))
+	}
+	for _, id := range order {
+		f0, f1 := g.Fanins(id)
+		fmt.Fprintf(bw, "%d %d %d\n", varOf[id]<<1, aigerLit(varOf, f0), aigerLit(varOf, f1))
+	}
+	writeSymbolsAndComments(bw, g)
+	return bw.Flush()
+}
+
+// WriteAIG emits the AIG in binary AIGER format (delta-coded and gates),
+// with the same symbol-table and key-input conventions as WriteAAG.
+func WriteAIG(w io.Writer, g *aig.AIG) error {
+	bw := bufio.NewWriter(w)
+	varOf, order := aigerNumbering(g)
+	ni, na := g.NumInputs(), len(order)
+	fmt.Fprintf(bw, "aig %d %d 0 %d %d\n", ni+na, ni, g.NumOutputs(), na)
+	for i := 0; i < g.NumOutputs(); i++ {
+		fmt.Fprintf(bw, "%d\n", aigerLit(varOf, g.Output(i)))
+	}
+	for _, id := range order {
+		f0, f1 := g.Fanins(id)
+		lhs := varOf[id] << 1
+		rhs0, rhs1 := aigerLit(varOf, f0), aigerLit(varOf, f1)
+		if rhs0 < rhs1 {
+			rhs0, rhs1 = rhs1, rhs0
+		}
+		writeVarint(bw, uint64(lhs-rhs0))
+		writeVarint(bw, uint64(rhs0-rhs1))
+	}
+	writeSymbolsAndComments(bw, g)
+	return bw.Flush()
+}
+
+func writeVarint(bw *bufio.Writer, x uint64) {
+	for x >= 0x80 {
+		bw.WriteByte(byte(x&0x7f) | 0x80)
+		x >>= 7
+	}
+	bw.WriteByte(byte(x))
+}

@@ -1,0 +1,419 @@
+package netio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/nyu-secml/almost/internal/aig"
+)
+
+// KeyInputPrefix is the input-name prefix that marks key inputs, matching
+// the convention of public logic-locking benchmark releases.
+const KeyInputPrefix = "keyinput"
+
+func benchErr(line int, format string, args ...interface{}) *ParseError {
+	return &ParseError{Format: FormatBench, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type rawGate struct {
+	name string
+	op   string
+	args []string
+	line int
+}
+
+// ParseBench reads a .bench netlist and builds an AIG. Gates may appear
+// in any order. Inputs named with KeyInputPrefix become key inputs, as
+// do input positions listed in an "# almost-keyinputs: <pos...>"
+// comment (the BENCH twin of the AIGER comment-section annotation, for
+// locked netlists whose key inputs carry arbitrary names).
+func ParseBench(r io.Reader) (*aig.AIG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	var inputs, outputs []string
+	var outputLines []int
+	var gates []rawGate
+	keyIdx := map[int]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.Index(line, "#"); i >= 0 {
+			comment := strings.TrimSpace(line[i+1:])
+			if rest, ok := strings.CutPrefix(comment, KeyInputComment); ok {
+				// Range check is deferred: INPUT lines may follow the
+				// annotation, so the input count is not yet known.
+				if err := parseKeyPositions(rest, -1, keyIdx); err != nil {
+					return nil, benchErr(lineNo, "%v", err)
+				}
+			}
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
+			name, err := parenArg(line)
+			if err != nil {
+				return nil, benchErr(lineNo, "%v", err)
+			}
+			inputs = append(inputs, name)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
+			name, err := parenArg(line)
+			if err != nil {
+				return nil, benchErr(lineNo, "%v", err)
+			}
+			outputs = append(outputs, name)
+			outputLines = append(outputLines, lineNo)
+		default:
+			g, err := parseGate(line)
+			if err != nil {
+				return nil, benchErr(lineNo, "%v", err)
+			}
+			g.line = lineNo
+			gates = append(gates, g)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	for pos := range keyIdx {
+		if pos >= len(inputs) {
+			return nil, benchErr(0, "%s position %d out of range [0,%d)", KeyInputComment, pos, len(inputs))
+		}
+	}
+	return buildBench(inputs, outputs, outputLines, gates, keyIdx)
+}
+
+// ParseBenchString is a convenience wrapper around ParseBench.
+func ParseBenchString(s string) (*aig.AIG, error) { return ParseBench(strings.NewReader(s)) }
+
+func parenArg(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	name := strings.TrimSpace(line[open+1 : close])
+	if name == "" {
+		return "", fmt.Errorf("empty signal name in %q", line)
+	}
+	return name, nil
+}
+
+func parseGate(line string) (rawGate, error) {
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return rawGate{}, fmt.Errorf("expected assignment, got %q", line)
+	}
+	name := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.Index(rhs, "(")
+	close := strings.LastIndex(rhs, ")")
+	if open < 0 || close < open {
+		return rawGate{}, fmt.Errorf("malformed gate %q", rhs)
+	}
+	op := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	var args []string
+	for _, a := range strings.Split(rhs[open+1:close], ",") {
+		a = strings.TrimSpace(a)
+		if a != "" {
+			args = append(args, a)
+		}
+	}
+	if name == "" || len(args) == 0 {
+		return rawGate{}, fmt.Errorf("malformed gate line %q", line)
+	}
+	return rawGate{name: name, op: op, args: args}, nil
+}
+
+func buildBench(inputs, outputs []string, outputLines []int, gates []rawGate, keyIdx map[int]bool) (*aig.AIG, error) {
+	g := aig.New()
+	sigs := map[string]aig.Lit{}
+	for i, name := range inputs {
+		if _, dup := sigs[name]; dup {
+			return nil, benchErr(0, "duplicate input %q", name)
+		}
+		if keyIdx[i] || strings.HasPrefix(name, KeyInputPrefix) {
+			sigs[name] = g.AddKeyInput(name)
+		} else {
+			sigs[name] = g.AddInput(name)
+		}
+	}
+	// Gates may appear in any order; resolve by fixpoint over remaining gates.
+	remaining := gates
+	for len(remaining) > 0 {
+		progressed := false
+		var next []rawGate
+		for _, rg := range remaining {
+			lits := make([]aig.Lit, 0, len(rg.args))
+			ready := true
+			for _, a := range rg.args {
+				l, ok := sigs[a]
+				if !ok {
+					ready = false
+					break
+				}
+				lits = append(lits, l)
+			}
+			if !ready {
+				next = append(next, rg)
+				continue
+			}
+			l, err := buildGate(g, rg.op, lits)
+			if err != nil {
+				return nil, benchErr(rg.line, "%v", err)
+			}
+			if _, dup := sigs[rg.name]; dup {
+				return nil, benchErr(rg.line, "duplicate signal %q", rg.name)
+			}
+			sigs[rg.name] = l
+			progressed = true
+		}
+		if !progressed {
+			names := make([]string, 0, len(next))
+			for _, rg := range next {
+				names = append(names, rg.name)
+			}
+			sort.Strings(names)
+			return nil, benchErr(0, "unresolved or cyclic signals: %s", strings.Join(names, ", "))
+		}
+		remaining = next
+	}
+	for i, name := range outputs {
+		l, ok := sigs[name]
+		if !ok {
+			return nil, benchErr(outputLines[i], "output %q is not driven", name)
+		}
+		g.AddOutput(l, name)
+	}
+	return g, nil
+}
+
+func buildGate(g *aig.AIG, op string, args []aig.Lit) (aig.Lit, error) {
+	switch op {
+	case "AND":
+		return g.AndN(args), nil
+	case "NAND":
+		return g.AndN(args).Not(), nil
+	case "OR":
+		return g.OrN(args), nil
+	case "NOR":
+		return g.OrN(args).Not(), nil
+	case "XOR":
+		return reduceXor(g, args), nil
+	case "XNOR":
+		return reduceXor(g, args).Not(), nil
+	case "NOT":
+		if len(args) != 1 {
+			return 0, fmt.Errorf("NOT takes exactly one argument")
+		}
+		return args[0].Not(), nil
+	case "BUFF", "BUF":
+		if len(args) != 1 {
+			return 0, fmt.Errorf("BUFF takes exactly one argument")
+		}
+		return args[0], nil
+	case "DFF":
+		return 0, fmt.Errorf("sequential element DFF not supported (combinational benchmarks only)")
+	default:
+		return 0, fmt.Errorf("unknown gate type %q", op)
+	}
+}
+
+func reduceXor(g *aig.AIG, args []aig.Lit) aig.Lit {
+	acc := args[0]
+	for _, a := range args[1:] {
+		acc = g.Xor(acc, a)
+	}
+	return acc
+}
+
+// WriteBench emits the AIG in .bench format. AND nodes become two-input
+// AND gates; complemented edges become NOT gates (shared per driving
+// node). Internal signal names are uniquified against the interface
+// names, so a netlist whose inputs happen to be called "n5" or
+// "const0" still round-trips. An output whose name collides with an
+// input is expressible only when it is that input passed through
+// unmodified; any other interface-name collision yields an error, since
+// BENCH identifies signals purely by name.
+func WriteBench(w io.Writer, g *aig.AIG) error {
+	bw := bufio.NewWriter(w)
+	// Interface names are fixed; everything the writer invents must
+	// avoid them (and each other).
+	taken := make(map[string]bool, g.NumInputs()+g.NumOutputs())
+	for i := 0; i < g.NumInputs(); i++ {
+		n := g.InputName(i)
+		if taken[n] {
+			return fmt.Errorf("bench: duplicate input name %q is not expressible", n)
+		}
+		taken[n] = true
+	}
+	outDriver := map[string]aig.Lit{}
+	for i := 0; i < g.NumOutputs(); i++ {
+		n := g.OutputName(i)
+		if prev, dup := outDriver[n]; dup && prev != g.Output(i) {
+			return fmt.Errorf("bench: outputs named %q have different drivers", n)
+		}
+		outDriver[n] = g.Output(i)
+		taken[n] = true
+	}
+	fresh := func(base string) string {
+		n := base
+		for taken[n] {
+			n += "_"
+		}
+		taken[n] = true
+		return n
+	}
+	nodeNames := map[int]string{}
+	name := func(id int) string {
+		if idx := g.InputIndexOfNode(id); idx >= 0 {
+			return g.InputName(idx)
+		}
+		if n, ok := nodeNames[id]; ok {
+			return n
+		}
+		base := fmt.Sprintf("n%d", id)
+		if g.IsConst(id) {
+			base = "const0"
+		}
+		n := fresh(base)
+		nodeNames[id] = n
+		return n
+	}
+	for i := 0; i < g.NumInputs(); i++ {
+		fmt.Fprintf(bw, "INPUT(%s)\n", g.InputName(i))
+	}
+	// Key inputs whose names lack the conventional prefix would lose
+	// their key flag in name-only BENCH; record the positions in a
+	// comment (ignored by external tools, honored by ParseBench).
+	needKeyComment := false
+	for _, k := range g.KeyInputIndices() {
+		if !strings.HasPrefix(g.InputName(k), KeyInputPrefix) {
+			needKeyComment = true
+			break
+		}
+	}
+	if needKeyComment {
+		parts := make([]string, 0, g.NumKeyInputs())
+		for _, k := range g.KeyInputIndices() {
+			parts = append(parts, fmt.Sprintf("%d", k))
+		}
+		fmt.Fprintf(bw, "# %s %s\n", KeyInputComment, strings.Join(parts, " "))
+	}
+	for i := 0; i < g.NumOutputs(); i++ {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", g.OutputName(i))
+	}
+	// Gate lines are emitted in strict dependency order — every NOT
+	// right after its driving node is defined, every AND after both
+	// fanins. A sequential re-parse then recreates the AND nodes in
+	// exactly this (topological) order, so writing and re-reading a
+	// netlist preserves node numbering — which keeps everything seeded
+	// off node IDs (locking target choice, experiment seeds)
+	// reproducible across a round trip.
+	var body []string
+	invNames := map[int]string{}
+	constEmitted := false
+	var litName func(l aig.Lit) (string, error)
+	ensureInv := func(id int) string {
+		if n, ok := invNames[id]; ok {
+			return n
+		}
+		n := fresh(name(id) + "_inv")
+		invNames[id] = n
+		body = append(body, fmt.Sprintf("%s = NOT(%s)", n, name(id)))
+		return n
+	}
+	ensureConst := func() error {
+		if constEmitted {
+			return nil
+		}
+		// const0 = AND(x, NOT x) on the first input; the parser folds it
+		// back to the constant literal. Benchmarks always have inputs.
+		if g.NumInputs() == 0 {
+			return fmt.Errorf("bench: cannot emit constant for AIG without inputs")
+		}
+		inv := ensureInv(g.Input(0).Node())
+		body = append(body, fmt.Sprintf("%s = AND(%s, %s)", name(0), g.InputName(0), inv))
+		constEmitted = true
+		return nil
+	}
+	litName = func(l aig.Lit) (string, error) {
+		if l == aig.False || l == aig.True {
+			if err := ensureConst(); err != nil {
+				return "", err
+			}
+			if l == aig.True {
+				return ensureInv(0), nil
+			}
+			return name(0), nil
+		}
+		if l.Neg() {
+			return ensureInv(l.Node()), nil
+		}
+		return name(l.Node()), nil
+	}
+	for _, id := range g.TopoOrder() {
+		f0, f1 := g.Fanins(id)
+		n0, err := litName(f0)
+		if err != nil {
+			return err
+		}
+		n1, err := litName(f1)
+		if err != nil {
+			return err
+		}
+		body = append(body, fmt.Sprintf("%s = AND(%s, %s)", name(id), n0, n1))
+	}
+	emitted := map[string]bool{}
+	for i := 0; i < g.NumOutputs(); i++ {
+		po := g.Output(i)
+		oname := g.OutputName(i)
+		if emitted[oname] {
+			continue // same-name same-driver duplicate; one definition suffices
+		}
+		emitted[oname] = true
+		if idx := g.InputIndexOfNode(po.Node()); idx >= 0 && g.InputName(idx) == oname && !po.Neg() {
+			// The output is the like-named input passed through: the
+			// OUTPUT declaration alone expresses it.
+			continue
+		}
+		if nodeIsInput(g, oname) {
+			return fmt.Errorf("bench: output %q collides with a differently-driven input of the same name", oname)
+		}
+		n, err := litName(po)
+		if err != nil {
+			return err
+		}
+		body = append(body, fmt.Sprintf("%s = BUFF(%s)", oname, n))
+	}
+	for _, l := range body {
+		fmt.Fprintln(bw, l)
+	}
+	return bw.Flush()
+}
+
+// nodeIsInput reports whether name names an input of g.
+func nodeIsInput(g *aig.AIG, name string) bool {
+	for i := 0; i < g.NumInputs(); i++ {
+		if g.InputName(i) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteBenchString renders the AIG to a .bench string.
+func WriteBenchString(g *aig.AIG) (string, error) {
+	var sb strings.Builder
+	if err := WriteBench(&sb, g); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

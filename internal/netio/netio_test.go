@@ -1,0 +1,291 @@
+package netio_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/netio"
+)
+
+// smallAIG builds a 4-input, 2-output circuit with a key input, shared
+// logic, a complemented output, and a constant-driven output — every
+// writer edge case in one netlist.
+func smallAIG() *aig.AIG {
+	g := aig.New()
+	a := g.AddInput("a")
+	b := g.AddInput("b")
+	k := g.AddKeyInput("keyinput0")
+	c := g.AddInput("c")
+	x := g.Xor(g.And(a, b), k)
+	g.AddOutput(x, "x")
+	g.AddOutput(g.Or(x.Not(), c), "y")
+	g.AddOutput(aig.True, "one")
+	return g
+}
+
+func sameInterface(t *testing.T, want, got *aig.AIG) {
+	t.Helper()
+	if got.NumInputs() != want.NumInputs() || got.NumOutputs() != want.NumOutputs() {
+		t.Fatalf("interface changed: %v -> %v", want, got)
+	}
+	for i := 0; i < want.NumInputs(); i++ {
+		if got.InputName(i) != want.InputName(i) {
+			t.Errorf("input %d name %q, want %q", i, got.InputName(i), want.InputName(i))
+		}
+		if got.InputIsKey(i) != want.InputIsKey(i) {
+			t.Errorf("input %d key flag %v, want %v", i, got.InputIsKey(i), want.InputIsKey(i))
+		}
+	}
+	for i := 0; i < want.NumOutputs(); i++ {
+		if got.OutputName(i) != want.OutputName(i) {
+			t.Errorf("output %d name %q, want %q", i, got.OutputName(i), want.OutputName(i))
+		}
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	cases := []struct {
+		path string
+		want netio.Format
+		ok   bool
+	}{
+		{"x.bench", netio.FormatBench, true},
+		{"dir/y.AAG", netio.FormatAAG, true},
+		{"z.aig", netio.FormatAIG, true},
+		{"w.blif", 0, false},
+		{"noext", 0, false},
+	}
+	for _, c := range cases {
+		f, err := netio.DetectFormat(c.path)
+		if c.ok && (err != nil || f != c.want) {
+			t.Errorf("DetectFormat(%q) = %v, %v; want %v", c.path, f, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("DetectFormat(%q) should fail", c.path)
+		}
+	}
+}
+
+func TestFormatRoundTrips(t *testing.T) {
+	want := smallAIG()
+	rng := rand.New(rand.NewSource(7))
+	for _, f := range []netio.Format{netio.FormatBench, netio.FormatAAG, netio.FormatAIG} {
+		t.Run(f.String(), func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := netio.Write(&buf, want, f); err != nil {
+				t.Fatal(err)
+			}
+			got, err := netio.Read(&buf, f)
+			if err != nil {
+				t.Fatalf("read back: %v\ntext:\n%s", err, buf.String())
+			}
+			sameInterface(t, want, got)
+			if !aig.EquivalentBySim(want, got, rng, 16) {
+				t.Fatal("function changed through round trip")
+			}
+		})
+	}
+}
+
+func TestReadWriteFile(t *testing.T) {
+	want := smallAIG()
+	rng := rand.New(rand.NewSource(8))
+	dir := t.TempDir()
+	for _, name := range []string{"c.bench", "c.aag", "c.aig"} {
+		path := filepath.Join(dir, name)
+		if err := netio.WriteFile(path, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := netio.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !aig.EquivalentBySim(want, got, rng, 8) {
+			t.Fatalf("%s: function changed", name)
+		}
+	}
+	if err := netio.WriteFile(filepath.Join(dir, "c.blif"), want); err == nil {
+		t.Fatal("unknown extension should fail")
+	}
+}
+
+func TestParseAAGSpecExample(t *testing.T) {
+	// The and-gate example from the AIGER format description.
+	const text = `aag 3 2 0 1 1
+2
+4
+6
+6 2 4
+i0 x
+i1 y
+o0 z
+`
+	g, err := netio.ParseAIGER(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumInputs() != 2 || g.NumOutputs() != 1 || g.NumAnds() != 1 {
+		t.Fatalf("wrong shape: %v", g)
+	}
+	if g.InputName(0) != "x" || g.InputName(1) != "y" || g.OutputName(0) != "z" {
+		t.Fatal("symbol table ignored")
+	}
+	for _, c := range []struct {
+		a, b, want bool
+	}{{false, false, false}, {true, false, false}, {false, true, false}, {true, true, true}} {
+		if got := g.EvalSingle([]bool{c.a, c.b})[0]; got != c.want {
+			t.Fatalf("and(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestParseAAGOutOfOrderAnds(t *testing.T) {
+	// AND definitions in non-topological order must still resolve.
+	const text = `aag 4 2 0 1 2
+2
+4
+8
+8 6 2
+6 2 4
+`
+	g, err := netio.ParseAIGER(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 = (2&4)&2 = a&b
+	if got := g.EvalSingle([]bool{true, true})[0]; !got {
+		t.Fatal("out-of-order resolution broke the function")
+	}
+}
+
+func TestKeyMetadataArbitraryNames(t *testing.T) {
+	// Key inputs whose names do NOT carry the "keyinput" prefix must
+	// still round-trip as key inputs via the comment annotation — in
+	// all three formats (BENCH uses a "#" comment).
+	g := aig.New()
+	a := g.AddInput("a")
+	k := g.AddKeyInput("totally_ordinary_name")
+	g.AddOutput(g.Xor(a, k), "z")
+	for _, f := range []netio.Format{netio.FormatBench, netio.FormatAAG, netio.FormatAIG} {
+		var buf bytes.Buffer
+		if err := netio.Write(&buf, g, f); err != nil {
+			t.Fatal(err)
+		}
+		got, err := netio.Read(&buf, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumKeyInputs() != 1 || !got.InputIsKey(1) {
+			t.Fatalf("%v: key flag lost (key inputs: %d)", f, got.NumKeyInputs())
+		}
+		if got.InputName(1) != "totally_ordinary_name" {
+			t.Fatalf("%v: name mangled to %q", f, got.InputName(1))
+		}
+	}
+}
+
+// TestParseAAGDeepChainIterative guards the iterative cone resolver: a
+// long AND chain listed in reverse order must parse without recursion
+// (the old recursive resolver overflowed the goroutine stack).
+func TestParseAAGDeepChainIterative(t *testing.T) {
+	const n = 200_000
+	var sb strings.Builder
+	// Two inputs (vars 1, 2); gate var i = AND(var i-1, var 1) for
+	// i in [3, n+2] — structurally distinct at every level, so nothing
+	// strashes away. Emit deepest-first so the resolver must walk the
+	// whole chain from the root.
+	fmt.Fprintf(&sb, "aag %d 2 0 1 %d\n2\n4\n%d\n", n+2, n, (n+2)*2)
+	for i := n + 2; i >= 3; i-- {
+		fmt.Fprintf(&sb, "%d %d 2\n", i*2, (i-1)*2)
+	}
+	g, err := netio.ParseAIGER(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumAnds() != n {
+		t.Fatalf("chain has %d ands, want %d", g.NumAnds(), n)
+	}
+}
+
+// TestParseAIGERSelfLoop pins cycle detection for the degenerate
+// self-referential gate.
+func TestParseAIGERSelfLoop(t *testing.T) {
+	const text = "aag 2 1 0 1 1\n2\n4\n4 4 2\n"
+	if _, err := netio.ParseAIGER(strings.NewReader(text)); err == nil {
+		t.Fatal("self-loop must be rejected")
+	}
+}
+
+// TestOversizedLineRejectedIncrementally feeds a newline-free input
+// larger than the 1 MiB line cap and expects a bounded, typed failure.
+func TestOversizedLineRejectedIncrementally(t *testing.T) {
+	huge := strings.Repeat("9", 3<<20)
+	if _, err := netio.ParseAIGER(strings.NewReader(huge)); err == nil {
+		t.Fatal("oversized header line must be rejected")
+	}
+	if _, err := netio.ParseAIGER(strings.NewReader("aag 1 1 0 0 0\n" + huge)); err == nil {
+		t.Fatal("oversized body line must be rejected")
+	}
+}
+
+func TestParseAIGERErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"empty", ""},
+		{"bad magic", "aog 1 1 0 0 0\n2\n"},
+		{"short header", "aag 1 1\n"},
+		{"negative count", "aag -1 0 0 0 0\n"},
+		{"huge count", "aag 99999999999 99999999999 0 0 0\n"},
+		{"latches", "aag 2 1 1 0 0\n2\n4 2\n"},
+		{"M too small", "aag 1 2 0 0 0\n2\n4\n"},
+		{"odd input", "aag 1 1 0 0 0\n3\n"},
+		{"const input", "aag 1 1 0 0 0\n0\n"},
+		{"dup input", "aag 2 2 0 0 0\n2\n2\n"},
+		{"missing and", "aag 2 1 0 0 1\n2\n"},
+		{"and redefines input", "aag 2 1 0 0 1\n2\n2 2 2\n"},
+		{"odd lhs", "aag 2 1 0 0 1\n2\n5 2 2\n"},
+		{"dangling fanin", "aag 3 1 0 1 1\n2\n6\n6 2 4\n"},
+		{"cycle", "aag 3 1 0 1 2\n2\n4\n4 6 2\n6 4 2\n"},
+		{"out of range output", "aag 1 1 0 1 0\n2\n99\n"},
+		{"bad symbol", "aag 1 1 0 0 0\n2\nq0 name\n"},
+		{"symbol position", "aag 1 1 0 0 0\n2\ni5 name\n"},
+		{"binary M mismatch", "aig 5 1 0 0 1\n"},
+		{"binary truncated", "aig 2 1 0 0 1\n"},
+		{"binary bad key comment", "aig 1 1 0 0 0\nc\nalmost-keyinputs: 7\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := netio.ParseAIGER(strings.NewReader(c.text)); err == nil {
+				t.Fatalf("expected error for %q", c.text)
+			}
+		})
+	}
+}
+
+func TestBenchErrorsAreTyped(t *testing.T) {
+	_, err := netio.ParseBenchString("z = FROB(a)\nINPUT(a)\nOUTPUT(z)\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *netio.ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error %T is not a *ParseError: %v", err, err)
+	}
+	if pe.Line != 1 {
+		t.Fatalf("line = %d, want 1", pe.Line)
+	}
+}
+
+func asParseError(err error, pe **netio.ParseError) bool {
+	e, ok := err.(*netio.ParseError)
+	if ok {
+		*pe = e
+	}
+	return ok
+}

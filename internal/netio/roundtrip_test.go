@@ -1,0 +1,125 @@
+package netio_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/cnf"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/netio"
+)
+
+// exactSet lists circuits small enough for exact SAT equivalence
+// checking of the round-tripped netlist on every run.
+var exactSet = map[string]bool{"c432": true, "c499": true, "c880": true}
+
+// through pushes g through one format and back.
+func through(t *testing.T, g *aig.AIG, f netio.Format) *aig.AIG {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := netio.Write(&buf, g, f); err != nil {
+		t.Fatalf("write %v: %v", f, err)
+	}
+	h, err := netio.Read(&buf, f)
+	if err != nil {
+		t.Fatalf("read %v: %v", f, err)
+	}
+	return h
+}
+
+// TestBuiltinsRoundTrip drives every built-in ISCAS-85 circuit, locked
+// and unlocked, through BENCH -> AIG -> AIGER(ascii) -> AIG ->
+// AIGER(binary) -> AIG -> BENCH and verifies interface preservation and
+// functional equivalence (random simulation always; exact CNF
+// equivalence on the small circuits).
+func TestBuiltinsRoundTrip(t *testing.T) {
+	names := circuits.Names()
+	if testing.Short() {
+		names = []string{"c432", "c499", "c1908", "c6288"}
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			orig := circuits.MustGenerate(name)
+			locked, _ := lock.Lock(orig, 32, rand.New(rand.NewSource(11)))
+			for label, g := range map[string]*aig.AIG{"unlocked": orig, "locked": locked} {
+				chain := through(t, g, netio.FormatBench)
+				chain = through(t, chain, netio.FormatAAG)
+				chain = through(t, chain, netio.FormatAIG)
+				chain = through(t, chain, netio.FormatBench)
+				sameInterface(t, g, chain)
+				if g.NumKeyInputs() != chain.NumKeyInputs() {
+					t.Fatalf("%s: key inputs %d -> %d", label, g.NumKeyInputs(), chain.NumKeyInputs())
+				}
+				if !aig.EquivalentBySim(g, chain, rand.New(rand.NewSource(3)), 16) {
+					t.Fatalf("%s: function changed through round trip", label)
+				}
+				if exactSet[name] && !testing.Short() {
+					if eq, cex := cnf.Equivalent(g, chain); !eq {
+						t.Fatalf("%s: SAT found a counterexample: %v", label, cex)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLockedKeyPositionsSurvive checks that the exact key-input
+// positions and names of a locked netlist survive both AIGER variants.
+func TestLockedKeyPositionsSurvive(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, key := lock.Lock(g, 16, rand.New(rand.NewSource(5)))
+	for _, f := range []netio.Format{netio.FormatAAG, netio.FormatAIG, netio.FormatBench} {
+		got := through(t, locked, f)
+		wantIdx := locked.KeyInputIndices()
+		gotIdx := got.KeyInputIndices()
+		if len(wantIdx) != len(gotIdx) {
+			t.Fatalf("%v: key count %d -> %d", f, len(wantIdx), len(gotIdx))
+		}
+		for i := range wantIdx {
+			if wantIdx[i] != gotIdx[i] {
+				t.Fatalf("%v: key position %d moved to %d", f, wantIdx[i], gotIdx[i])
+			}
+		}
+		// The right key must still unlock the round-tripped netlist.
+		un, err := lock.ApplyKey(got, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !aig.EquivalentBySim(g, un, rand.New(rand.NewSource(6)), 8) {
+			t.Fatalf("%v: round-tripped netlist no longer unlocks", f)
+		}
+	}
+}
+
+func BenchmarkParseBenchC7552(b *testing.B) {
+	text, err := netio.WriteBenchString(circuits.MustGenerate("c7552"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netio.ParseBenchString(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseAIGBinaryC7552(b *testing.B) {
+	var buf bytes.Buffer
+	if err := netio.WriteAIG(&buf, circuits.MustGenerate("c7552")); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netio.ParseAIGER(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
