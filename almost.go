@@ -41,9 +41,33 @@
 //
 // Events cover Algorithm 1 training epochs (PhaseTrain), the Eq. 3
 // adversarial searches (PhaseAdvSearch), and the Eq. 1 recipe search
-// (PhaseSearch) — the latter is the Fig. 4 accuracy trace, live. The
-// pre-context entry points (Harden, TrainProxy, SearchRecipe,
-// AttackOMLA) remain as deprecated thin wrappers.
+// (PhaseSearch) — the latter is the Fig. 4 accuracy trace, live, with
+// Event.Attack naming the ensemble member each point belongs to. The
+// panic-era pre-context entry points (Harden, TrainProxy, SearchRecipe,
+// AttackOMLA) have been removed; see the README migration note.
+//
+// # Pluggable attacks and locking schemes
+//
+// The extension surface of the library is two interfaces and a
+// registry. An Attacker reports its key-recovery accuracy on a locked
+// netlist; a Locker inserts key gates. The built-ins register themselves
+// under "omla", "scope", "redundancy" (attacks) and "rll", "mux"
+// (locking schemes); third-party modules add their own with
+// RegisterAttacker / RegisterLocker and immediately compose with the
+// rest of the framework:
+//
+//	almost.RegisterAttacker(myAttack{})           // Name() = "mine"
+//	cfg := almost.DefaultConfig()
+//	cfg.EvalAttacks = []string{"omla", "mine"}    // ensemble objective
+//	cfg.Lockers = []string{"rll", "mux"}          // mixed-scheme locking
+//	hardened, err := almost.HardenCtx(ctx, design, 64, cfg)
+//
+// With more than one EvalAttacks entry the Eq. 1 search minimizes an
+// ensemble objective — per candidate recipe every named attack runs on
+// the synthesized netlist and the deviations |Acc − 0.5| reduce to the
+// worst case (or the mean, Config.EnsembleReduce). Trajectories stay
+// bit-for-bit deterministic for any Parallelism and any attack-set
+// order: attacks reduce in registration order.
 //
 // # Concurrency
 //
@@ -63,7 +87,7 @@
 //
 //	cfg := almost.DefaultConfig()
 //	cfg.Parallelism = 8 // evaluate 8 candidates concurrently
-//	hardened := almost.Harden(design, 64, cfg)
+//	hardened, err := almost.HardenCtx(ctx, design, 64, cfg)
 //
 // The heavy lifting lives in the internal packages (AIG engine,
 // synthesis transforms, SAT solver, GNN, attacks); this package exposes
@@ -78,9 +102,6 @@ import (
 	"math/rand"
 
 	"github.com/nyu-secml/almost/internal/aig"
-	"github.com/nyu-secml/almost/internal/attack/omla"
-	"github.com/nyu-secml/almost/internal/attack/redundancy"
-	"github.com/nyu-secml/almost/internal/attack/scope"
 	"github.com/nyu-secml/almost/internal/circuits"
 	"github.com/nyu-secml/almost/internal/cnf"
 	"github.com/nyu-secml/almost/internal/core"
@@ -119,7 +140,56 @@ type (
 	Phase = core.Phase
 	// Option configures a context-aware entry point (functional options).
 	Option = core.Option
+	// Attacker is a pluggable oracle-less attack (see RegisterAttacker).
+	Attacker = core.Attacker
+	// Locker is a pluggable logic-locking scheme (see RegisterLocker).
+	Locker = core.Locker
+	// KeyPredictor is the optional Attacker upgrade for attacks that can
+	// report the predicted key itself.
+	KeyPredictor = core.KeyPredictor
+	// EnsembleReduce selects how an attack ensemble's deviations combine
+	// into the search objective.
+	EnsembleReduce = core.EnsembleReduce
 )
+
+// Ensemble reductions for Config.EnsembleReduce.
+const (
+	// ReduceWorst (default) minimizes the worst deviation from 50%.
+	ReduceWorst = core.ReduceWorst
+	// ReduceMean minimizes the mean deviation from 50%.
+	ReduceMean = core.ReduceMean
+)
+
+// RegisterAttacker adds an attack to the registry, making it available
+// to Config.EvalAttacks, the experiment drivers, and the CLI. Safe for
+// concurrent use; duplicate or empty names are rejected. Register
+// third-party attacks (typically from an init function of the importing
+// module) before building Configs that name them.
+func RegisterAttacker(a Attacker) error { return core.RegisterAttacker(a) }
+
+// RegisterLocker adds a locking scheme to the registry, making it
+// available to Config.Lockers and the CLI's -locker flag. Safe for
+// concurrent use; duplicate or empty names are rejected.
+func RegisterLocker(l Locker) error { return core.RegisterLocker(l) }
+
+// Attackers lists the registered attack names in registration order
+// (built-ins first: omla, scope, redundancy).
+func Attackers() []string { return core.Attackers() }
+
+// Lockers lists the registered locking-scheme names in registration
+// order (built-ins first: rll, mux).
+func Lockers() []string { return core.Lockers() }
+
+// LookupAttacker resolves a registered attack by name.
+func LookupAttacker(name string) (Attacker, bool) { return core.LookupAttacker(name) }
+
+// LookupLocker resolves a registered locking scheme by name.
+func LookupLocker(name string) (Locker, bool) { return core.LookupLocker(name) }
+
+// WithRecipe tells an Attacker which synthesis recipe the defender used
+// (self-referencing attacks like OMLA re-synthesize their training data
+// with it; attacks that don't need it ignore it).
+func WithRecipe(r Recipe) Option { return core.WithRecipe(r) }
 
 // Pipeline phases reported in Event.Phase.
 const (
@@ -205,6 +275,20 @@ func Lock(g *AIG, keySize int, rng *rand.Rand) (*AIG, Key) {
 	return lock.Lock(g, keySize, rng)
 }
 
+// LockMux applies MUX-based locking: each key gate multiplexes the true
+// signal against a decoy wire, hiding which fanin is functional.
+func LockMux(g *AIG, keySize int, rng *rand.Rand) (*AIG, Key) {
+	return lock.LockMux(g, keySize, rng)
+}
+
+// LockWithCtx locks g by chaining registered locking schemes by name
+// (nil or empty selects plain RLL). The key budget splits evenly across
+// the chain and the returned key concatenates the per-scheme keys in
+// chain order.
+func LockWithCtx(ctx context.Context, g *AIG, keySize int, lockers []string, rng *rand.Rand) (*AIG, Key, error) {
+	return core.LockWithCtx(ctx, g, keySize, lockers, rng)
+}
+
 // ApplyKey substitutes the key into a locked netlist, recovering the
 // functional circuit.
 func ApplyKey(g *AIG, key Key) (*AIG, error) { return lock.ApplyKey(g, key) }
@@ -219,9 +303,10 @@ func RandomRecipe(rng *rand.Rand, n int) Recipe { return synth.RandomRecipe(rng,
 // "balance; rewrite -z; refactor".
 func ParseRecipe(script string) (Recipe, error) { return synth.ParseRecipe(script) }
 
-// HardenCtx runs the complete ALMOST flow: RLL-lock the design, train
-// the adversarial proxy M*, search for S_ALMOST (Eq. 1), and synthesize
-// the hardened netlist.
+// HardenCtx runs the complete ALMOST flow: lock the design with the
+// cfg.Lockers chain (plain RLL by default), train the adversarial proxy
+// M*, search for S_ALMOST (Eq. 1, against the cfg.EvalAttacks
+// objective), and synthesize the hardened netlist.
 //
 // The context is honored at every training epoch, SA iteration, and
 // evaluation-engine batch. On cancellation the returned *Hardened is
@@ -234,16 +319,6 @@ func HardenCtx(ctx context.Context, design *AIG, keySize int, cfg Config, opts .
 	return core.SecureSynthesisCtx(ctx, design, keySize, cfg, opts...)
 }
 
-// Harden runs the complete ALMOST flow: RLL-lock the design, train the
-// adversarial proxy M*, search for S_ALMOST (Eq. 1), and synthesize the
-// hardened netlist.
-//
-// Deprecated: use HardenCtx, which is cancellable, streams progress
-// events, and returns errors instead of panicking.
-func Harden(design *AIG, keySize int, cfg Config) *Hardened {
-	return core.SecureSynthesis(design, keySize, cfg)
-}
-
 // TrainProxyCtx trains one of the three proxy attacker models against a
 // locked netlist, honoring ctx at every data-generation round, training
 // epoch, and (for ModelAdversarial) Eq. 3 SA iteration. On cancellation
@@ -254,64 +329,47 @@ func TrainProxyCtx(ctx context.Context, locked *AIG, kind ModelKind, baseline Re
 	return core.TrainProxyCtx(ctx, locked, kind, baseline, cfg, opts...)
 }
 
-// TrainProxy trains one of the three proxy attacker models against a
-// locked netlist.
-//
-// Deprecated: use TrainProxyCtx, which is cancellable, streams progress
-// events, and returns errors instead of panicking.
-func TrainProxy(locked *AIG, kind ModelKind, baseline Recipe, cfg Config) *Proxy {
-	return core.TrainProxy(locked, kind, baseline, cfg)
-}
-
 // SearchRecipeCtx runs the security-aware SA recipe search (Eq. 1) with
 // a trained proxy as evaluator, honoring ctx at every SA iteration and
-// engine batch. On cancellation the best-so-far SearchResult is returned
+// engine batch. cfg.EvalAttacks widens the objective to an attack
+// ensemble. On cancellation the best-so-far SearchResult is returned
 // alongside an error matching both ErrCanceled and ctx.Err(). Observers
-// receive a PhaseSearch event per iteration — the Fig. 4 trace, live.
+// receive one PhaseSearch event per ensemble attack per iteration — the
+// Fig. 4 trace, live.
 func SearchRecipeCtx(ctx context.Context, locked *AIG, truth Key, proxy *Proxy, cfg Config, opts ...Option) (SearchResult, error) {
 	return core.SearchRecipeCtx(ctx, locked, truth, proxy, cfg, opts...)
 }
 
-// SearchRecipe runs the security-aware SA recipe search with a trained
-// proxy as evaluator.
-//
-// Deprecated: use SearchRecipeCtx, which is cancellable, streams the
-// Fig. 4 trace live, and returns errors instead of panicking.
-func SearchRecipe(locked *AIG, truth Key, proxy *Proxy, cfg Config) SearchResult {
-	return core.SearchRecipe(locked, truth, proxy, cfg)
+// attackByName runs a registered attack on a locked netlist.
+func attackByName(ctx context.Context, name string, netlist *AIG, truth Key, opts ...Option) (float64, error) {
+	atk, ok := core.LookupAttacker(name)
+	if !ok {
+		return 0, fmt.Errorf("almost: attack %q is not registered", name)
+	}
+	return atk.AttackCtx(ctx, netlist, truth, opts...)
 }
 
 // AttackOMLACtx trains an independent OMLA attacker against the netlist
 // (which was synthesized with recipe) and returns its key-recovery
 // accuracy against the true key, honoring ctx at every data-generation
 // round and training epoch. On cancellation the error matches both
-// ErrCanceled and ctx.Err().
+// ErrCanceled and ctx.Err(); any other failure is returned unwrapped.
 func AttackOMLACtx(ctx context.Context, netlist *AIG, recipe Recipe, truth Key) (float64, error) {
-	atk, err := omla.TrainCtx(ctx, netlist, recipe, omla.DefaultConfig(), nil)
-	if err != nil {
-		// TrainCtx fails only on cancellation, returning bare ctx.Err().
-		return 0, fmt.Errorf("%w: %w", ErrCanceled, err)
-	}
-	return atk.Accuracy(netlist, truth), nil
+	return attackByName(ctx, "omla", netlist, truth, WithRecipe(recipe))
 }
 
-// AttackOMLA trains an independent OMLA attacker against the netlist
-// (which was synthesized with recipe) and returns its key-recovery
-// accuracy against the true key.
-//
-// Deprecated: use AttackOMLACtx, which is cancellable.
-func AttackOMLA(netlist *AIG, recipe Recipe, truth Key) float64 {
-	return omla.Train(netlist, recipe, omla.DefaultConfig()).Accuracy(netlist, truth)
+// AttackSCOPECtx runs the SCOPE constant-propagation attack, honoring
+// ctx at every key bit. On cancellation the error matches both
+// ErrCanceled and ctx.Err().
+func AttackSCOPECtx(ctx context.Context, netlist *AIG, truth Key) (float64, error) {
+	return attackByName(ctx, "scope", netlist, truth)
 }
 
-// AttackSCOPE runs the SCOPE constant-propagation attack.
-func AttackSCOPE(netlist *AIG, truth Key) float64 {
-	return scope.Accuracy(netlist, truth, scope.DefaultConfig())
-}
-
-// AttackRedundancy runs the redundancy-identification attack.
-func AttackRedundancy(netlist *AIG, truth Key) float64 {
-	return redundancy.Accuracy(netlist, truth, redundancy.DefaultConfig())
+// AttackRedundancyCtx runs the redundancy-identification attack,
+// honoring ctx at every key bit. On cancellation the error matches both
+// ErrCanceled and ctx.Err().
+func AttackRedundancyCtx(ctx context.Context, netlist *AIG, truth Key) (float64, error) {
+	return attackByName(ctx, "redundancy", netlist, truth)
 }
 
 // Equivalent checks combinational equivalence of two netlists by SAT.

@@ -134,7 +134,10 @@ func TestPublicHardenEndToEnd(t *testing.T) {
 	}
 	design, _ := almost.GenerateBenchmark("c432")
 	cfg := testConfig()
-	h := almost.Harden(design, 8, cfg)
+	h, err := almost.HardenCtx(context.Background(), design, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ok, _ := almost.EquivalentUnderKey(design, h.Netlist, h.Key); !ok {
 		t.Fatal("hardened netlist broken under key")
 	}
@@ -143,9 +146,107 @@ func TestPublicHardenEndToEnd(t *testing.T) {
 	}
 }
 
-// TestPublicHardenCtxObservedEndToEnd runs the new context/observer API
-// end to end: phases stream in pipeline order and the result matches the
-// deprecated wrapper's determinism contract.
+// TestPublicRegistry covers the acceptance criteria of the pluggable
+// Attacker/Locker redesign from the public surface.
+func TestPublicRegistry(t *testing.T) {
+	if got := almost.Attackers(); len(got) < 3 {
+		t.Fatalf("Attackers() = %v, want >= 3", got)
+	}
+	if got := almost.Lockers(); len(got) < 2 {
+		t.Fatalf("Lockers() = %v, want >= 2", got)
+	}
+	for _, name := range almost.Attackers() {
+		if _, ok := almost.LookupAttacker(name); !ok {
+			t.Fatalf("attacker %q listed but not resolvable", name)
+		}
+	}
+	if _, ok := almost.LookupLocker("mux"); !ok {
+		t.Fatal("mux locker missing")
+	}
+	if err := almost.RegisterAttacker(nil); err == nil {
+		t.Fatal("nil attacker registered")
+	}
+}
+
+// publicAttacker is a minimal third-party Attacker registered through
+// the public API — the external-module extension path of the README.
+type publicAttacker struct{}
+
+func (publicAttacker) Name() string { return "public-test-attack" }
+func (publicAttacker) AttackCtx(ctx context.Context, _ *almost.AIG, _ almost.Key, _ ...almost.Option) (float64, error) {
+	return 0.5, ctx.Err()
+}
+
+func TestPublicRegisterThirdPartyAttacker(t *testing.T) {
+	if err := almost.RegisterAttacker(publicAttacker{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := almost.RegisterAttacker(publicAttacker{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	atk, ok := almost.LookupAttacker("public-test-attack")
+	if !ok {
+		t.Fatal("registered attacker not resolvable")
+	}
+	design, _ := almost.GenerateBenchmark("c432")
+	locked, key := almost.Lock(design, 8, rand.New(rand.NewSource(3)))
+	acc, err := atk.AttackCtx(context.Background(), locked, key)
+	if err != nil || acc != 0.5 {
+		t.Fatalf("AttackCtx = %v, %v", acc, err)
+	}
+	// And the registered attack is a valid ensemble member.
+	cfg := almost.DefaultConfig()
+	cfg.EvalAttacks = []string{"omla", "public-test-attack"}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("ensemble config with third-party attack rejected: %v", err)
+	}
+}
+
+func TestPublicCtxAttacks(t *testing.T) {
+	design, _ := almost.GenerateBenchmark("c432")
+	locked, key := almost.Lock(design, 8, rand.New(rand.NewSource(4)))
+	acc, err := almost.AttackSCOPECtx(context.Background(), locked, key)
+	if err != nil || acc < 0 || acc > 1 {
+		t.Fatalf("AttackSCOPECtx = %v, %v", acc, err)
+	}
+	acc, err = almost.AttackRedundancyCtx(context.Background(), locked, key)
+	if err != nil || acc < 0 || acc > 1 {
+		t.Fatalf("AttackRedundancyCtx = %v, %v", acc, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := almost.AttackSCOPECtx(ctx, locked, key); !errors.Is(err, almost.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled SCOPE: err = %v", err)
+	}
+	if _, err := almost.AttackRedundancyCtx(ctx, locked, key); !errors.Is(err, almost.ErrCanceled) {
+		t.Fatalf("canceled redundancy: err = %v", err)
+	}
+}
+
+// TestPublicMixedLocking drives LockMux and LockWithCtx through the
+// public API.
+func TestPublicMixedLocking(t *testing.T) {
+	design, _ := almost.GenerateBenchmark("c432")
+	muxed, key := almost.LockMux(design, 8, rand.New(rand.NewSource(5)))
+	if ok, _ := almost.EquivalentUnderKey(design, muxed, key); !ok {
+		t.Fatal("MUX-locked netlist broken under correct key")
+	}
+	chained, key2, err := almost.LockWithCtx(context.Background(), design, 9,
+		[]string{"rll", "mux"}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(key2) != 9 || chained.NumKeyInputs() != 9 {
+		t.Fatalf("chained lock: %d bits, %d key inputs", len(key2), chained.NumKeyInputs())
+	}
+	if ok, _ := almost.EquivalentUnderKey(design, chained, key2); !ok {
+		t.Fatal("chained-locked netlist broken under correct key")
+	}
+}
+
+// TestPublicHardenCtxObservedEndToEnd runs the context/observer API
+// end to end: phases stream in pipeline order and the hardened netlist
+// stays correct under the key.
 func TestPublicHardenCtxObservedEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("pipeline test in -short mode")

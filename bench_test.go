@@ -32,6 +32,26 @@ import (
 	"github.com/nyu-secml/almost/internal/synth"
 )
 
+// trainProxyB and searchB run the Ctx entry points with a background
+// context, aborting the benchmark on error.
+func trainProxyB(b *testing.B, locked *almost.AIG, kind core.ModelKind, cfg core.Config) *core.Proxy {
+	b.Helper()
+	p, err := core.TrainProxyCtx(context.Background(), locked, kind, synth.Resyn2(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func searchB(b *testing.B, locked *almost.AIG, key lock.Key, proxy *core.Proxy, cfg core.Config) core.SearchResult {
+	b.Helper()
+	res, err := core.SearchRecipeCtx(context.Background(), locked, key, proxy, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
 // benchOptions picks experiment scale: quick by default, paper-size with
 // ALMOST_BENCH_FULL=1.
 func benchOptions(b *testing.B) experiments.Options {
@@ -215,8 +235,8 @@ func BenchmarkAblationCadence(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := ablationConfig()
 				cfg.AdvPeriod = r
-				p := core.TrainProxy(locked, core.ModelAdversarial, synth.Resyn2(), cfg)
-				res := core.SearchRecipe(locked, key, p, cfg)
+				p := trainProxyB(b, locked, core.ModelAdversarial, cfg)
+				res := searchB(b, locked, key, p, cfg)
 				b.ReportMetric(res.Accuracy*100, "final-acc-pct")
 			}
 		})
@@ -231,7 +251,7 @@ func BenchmarkAblationHops(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := ablationConfig()
 				cfg.Attack.Hops = hops
-				p := core.TrainProxy(locked, core.ModelResyn2, synth.Resyn2(), cfg)
+				p := trainProxyB(b, locked, core.ModelResyn2, cfg)
 				acc := p.EstimateAccuracy(locked, synth.Resyn2(), key)
 				b.ReportMetric(acc*100, "attack-acc-pct")
 			}
@@ -248,7 +268,7 @@ func BenchmarkAblationModel(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := ablationConfig()
 				cfg.Attack.Layers = layers
-				p := core.TrainProxy(locked, core.ModelResyn2, synth.Resyn2(), cfg)
+				p := trainProxyB(b, locked, core.ModelResyn2, cfg)
 				acc := p.EstimateAccuracy(locked, synth.Resyn2(), key)
 				b.ReportMetric(acc*100, "attack-acc-pct")
 			}
@@ -261,7 +281,7 @@ func BenchmarkAblationModel(b *testing.B) {
 func BenchmarkAblationSchedule(b *testing.B) {
 	_, locked, key := ablationSetup()
 	cfgBase := ablationConfig()
-	proxy := core.TrainProxy(locked, core.ModelResyn2, synth.Resyn2(), cfgBase)
+	proxy := trainProxyB(b, locked, core.ModelResyn2, cfgBase)
 	for _, mode := range []string{"sa", "greedy"} {
 		b.Run(mode, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -269,7 +289,7 @@ func BenchmarkAblationSchedule(b *testing.B) {
 				if mode == "greedy" {
 					cfg.SA.InitTemp = 0
 				}
-				res := core.SearchRecipe(locked, key, proxy, cfg)
+				res := searchB(b, locked, key, proxy, cfg)
 				b.ReportMetric(res.Accuracy*100, "final-acc-pct")
 			}
 		})
@@ -280,13 +300,13 @@ func BenchmarkAblationSchedule(b *testing.B) {
 func BenchmarkAblationLength(b *testing.B) {
 	_, locked, key := ablationSetup()
 	cfgBase := ablationConfig()
-	proxy := core.TrainProxy(locked, core.ModelResyn2, synth.Resyn2(), cfgBase)
+	proxy := trainProxyB(b, locked, core.ModelResyn2, cfgBase)
 	for _, l := range []int{5, 10, 15} {
 		b.Run("L="+string(rune('0'+l/5))+"x5", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := cfgBase
 				cfg.RecipeLen = l
-				res := core.SearchRecipe(locked, key, proxy, cfg)
+				res := searchB(b, locked, key, proxy, cfg)
 				b.ReportMetric(res.Accuracy*100, "final-acc-pct")
 			}
 		})
@@ -300,6 +320,8 @@ func BenchmarkHardenC432(b *testing.B) {
 	cfg := ablationConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		almost.Harden(design, 8, cfg)
+		if _, err := almost.HardenCtx(context.Background(), design, 8, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

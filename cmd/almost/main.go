@@ -7,14 +7,21 @@
 // Usage:
 //
 //	almost gen -circuit c1908 -o c1908.bench
-//	almost lock -circuit c1908 -keysize 64 -seed 1 -o locked.aig -keyfile key.txt
+//	almost lock -circuit c1908 -keysize 64 -seed 1 -locker rll,mux -o locked.aig -keyfile key.txt
 //	almost synth -in locked.aig -recipe "balance; rewrite; refactor" -o out.bench
+//	almost attack -list
 //	almost attack -in locked.bench -attack omla -recipe resyn2 -keyfile key.txt
-//	almost tune -in locked.bench -keyfile key.txt -jobs 8 -o recipe.txt
+//	almost tune -in locked.bench -keyfile key.txt -attacks omla,scope -jobs 8 -o recipe.txt
 //	almost ppa -circuit design.aag
 //	almost convert -circuit design.bench -o design.aig
-//	almost pipeline -circuit design.aag -keysize 64 -attack scope,redundancy
+//	almost pipeline -circuit design.aag -keysize 64 -locker mux -attacks omla,scope -attack all
 //	almost experiment -name table2 -quick -jobs 8 -benchmarks c1355,mydesign.aig
+//
+// Attacks and locking schemes resolve through the framework registry:
+// "attack -list" enumerates the registered attacks, -locker accepts any
+// registered locking scheme (chains allowed, comma-separated), and
+// tune/pipeline -attacks sets the attack ensemble the recipe search
+// optimizes against (Config.EvalAttacks).
 //
 // Netlists are read and written through the internal/netio subsystem:
 // every -in/-o/-circuit file may be ISCAS-85 BENCH (.bench), ASCII
@@ -48,9 +55,6 @@ import (
 	"syscall"
 
 	"github.com/nyu-secml/almost/internal/aig"
-	"github.com/nyu-secml/almost/internal/attack/omla"
-	"github.com/nyu-secml/almost/internal/attack/redundancy"
-	"github.com/nyu-secml/almost/internal/attack/scope"
 	"github.com/nyu-secml/almost/internal/circuits"
 	"github.com/nyu-secml/almost/internal/core"
 	"github.com/nyu-secml/almost/internal/experiments"
@@ -125,10 +129,11 @@ func usage(w io.Writer) {
 
 commands:
   gen         generate or re-export a circuit (.bench | .aag | .aig)
-  lock        apply random logic locking
+  lock        apply logic locking (-locker picks the registered scheme)
   synth       apply a synthesis recipe
-  attack      run an oracle-less attack (omla | scope | redundancy)
-  tune        search for an ML-resilient recipe (the ALMOST flow)
+  attack      run a registered oracle-less attack (attack -list to enumerate)
+  tune        search for an ML-resilient recipe (the ALMOST flow;
+              -attacks picks the objective's attack ensemble)
   ppa         report area/delay/power of a netlist
   convert     convert a netlist between BENCH and AIGER formats
   pipeline    full lock -> harden -> attack flow on any circuit
@@ -159,6 +164,31 @@ func progressFlag(fs *flag.FlagSet) *bool {
 	return fs.Bool("progress", false, "stream one-line status updates (epochs, SA iterations) to stderr")
 }
 
+// lockerFlag registers the shared -locker flag: a registered locking
+// scheme, or a comma-separated chain of them.
+func lockerFlag(fs *flag.FlagSet) *string {
+	return fs.String("locker", "rll",
+		"locking scheme(s), comma-separated chain ("+strings.Join(core.Lockers(), " | ")+")")
+}
+
+// attacksFlag registers the shared -attacks flag: the registered attacks
+// the Eq. 1 search optimizes against (Config.EvalAttacks).
+func attacksFlag(fs *flag.FlagSet) *string {
+	return fs.String("attacks", "omla",
+		"search-objective attack ensemble, comma-separated ("+strings.Join(core.Attackers(), " | ")+")")
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // progressObserver renders pipeline events as one-line status updates on
 // w. It is safe for concurrent cells: each event prints with one
 // serialized write.
@@ -169,15 +199,27 @@ func progressObserver(w io.Writer) func(core.Event) {
 		defer mu.Unlock()
 		switch ev.Phase {
 		case core.PhaseLock:
-			fmt.Fprintln(w, "[lock] applying random logic locking")
+			if len(ev.Lockers) > 0 {
+				fmt.Fprintf(w, "[lock] applying logic locking (%s)\n", strings.Join(ev.Lockers, " -> "))
+			} else {
+				fmt.Fprintln(w, "[lock] applying logic locking")
+			}
 		case core.PhaseTrain:
-			fmt.Fprintf(w, "[train] epoch %d/%d (%d samples)\n", ev.Epoch+1, ev.Epochs, ev.Samples)
+			label := ""
+			if ev.Attack != "" {
+				label = " [" + ev.Attack + "]"
+			}
+			fmt.Fprintf(w, "[train]%s epoch %d/%d (%d samples)\n", label, ev.Epoch+1, ev.Epochs, ev.Samples)
 		case core.PhaseAdvSearch:
 			fmt.Fprintf(w, "[adv-search] iter %d/%d loss-energy %.4f best %.4f\n",
 				ev.Iteration+1, ev.Iterations, ev.Energy, ev.BestEnergy)
 		case core.PhaseSearch:
-			fmt.Fprintf(w, "[search] iter %d/%d acc %.4f |acc-0.5| best %.4f\n",
-				ev.Iteration+1, ev.Iterations, ev.Accuracy, ev.BestEnergy)
+			label := ""
+			if ev.Attack != "" {
+				label = " [" + ev.Attack + "]"
+			}
+			fmt.Fprintf(w, "[search]%s iter %d/%d acc %.4f |acc-0.5| best %.4f\n",
+				label, ev.Iteration+1, ev.Iterations, ev.Accuracy, ev.BestEnergy)
 		case core.PhaseSynth:
 			fmt.Fprintf(w, "[synthesize] applying S_ALMOST (proxy acc %.4f)\n", ev.Accuracy)
 		}
@@ -287,6 +329,7 @@ func cmdLock(ctx context.Context, args []string, stdout, stderr io.Writer) error
 	in, circuit := circuitFlags(fs)
 	keySize := fs.Int("keysize", 64, "number of key gates")
 	seed := fs.Int64("seed", 1, "locking seed")
+	locker := lockerFlag(fs)
 	out := fs.String("o", "", "output netlist path, format by extension (default: .bench to stdout)")
 	keyFile := fs.String("keyfile", "", "file to store the correct key")
 	if err := fs.Parse(args); err != nil {
@@ -296,7 +339,11 @@ func cmdLock(ctx context.Context, args []string, stdout, stderr io.Writer) error
 	if err != nil {
 		return err
 	}
-	locked, key := lock.Lock(g, *keySize, rand.New(rand.NewSource(*seed)))
+	locked, key, err := core.LockWithCtx(ctx, g, *keySize, splitList(*locker),
+		rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(stderr, "locked: %v key=%s\n", locked, key)
 	if *keyFile != "" {
 		if err := os.WriteFile(*keyFile, []byte(key.String()+"\n"), 0o644); err != nil {
@@ -367,43 +414,64 @@ func cmdConvert(ctx context.Context, args []string, stdout, stderr io.Writer) er
 func cmdAttack(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("attack", stderr)
 	in, circuit := circuitFlags(fs)
-	attackName := fs.String("attack", "omla", "omla | scope | redundancy")
-	recipeStr := fs.String("recipe", "resyn2", "defender's recipe (omla only)")
+	attackName := fs.String("attack", "omla",
+		"registered attack name ("+strings.Join(core.Attackers(), " | ")+")")
+	recipeStr := fs.String("recipe", "resyn2", "defender's recipe (self-referencing attacks)")
 	keyFile := fs.String("keyfile", "", "true key file (reports accuracy when given)")
+	list := fs.Bool("list", false, "list the registered attacks and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		for _, name := range core.Attackers() {
+			fmt.Fprintln(stdout, name)
+		}
+		return nil
+	}
+	atk, ok := core.LookupAttacker(*attackName)
+	if !ok {
+		return fmt.Errorf("attack: unknown attack %q (registered: %s)",
+			*attackName, strings.Join(core.Attackers(), ", "))
 	}
 	g, err := resolveInput("attack", *in, *circuit)
 	if err != nil {
 		return err
 	}
-	var guess lock.Key
-	switch *attackName {
-	case "omla":
-		recipe, err := parseRecipeFlag(*recipeStr)
-		if err != nil {
-			return err
-		}
-		atk, err := omla.TrainCtx(ctx, g, recipe, omla.DefaultConfig(), nil)
-		if err != nil {
-			return err
-		}
-		guess = atk.PredictKey(g)
-	case "scope":
-		guess = scope.PredictKey(g, scope.DefaultConfig())
-	case "redundancy":
-		guess = redundancy.PredictKey(g, redundancy.DefaultConfig())
-	default:
-		return fmt.Errorf("attack: unknown attack %q", *attackName)
+	recipe, err := parseRecipeFlag(*recipeStr)
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(stdout, "predicted key: %s\n", guess)
-	if *keyFile != "" {
-		truth, err := readKeyFile(*keyFile)
+	opts := []core.Option{core.WithRecipe(recipe)}
+	// Attacks that can surface the guessed key do; the Attacker
+	// interface itself only promises an accuracy.
+	kp, canPredict := atk.(core.KeyPredictor)
+	if canPredict {
+		guess, err := kp.PredictKeyCtx(ctx, g, opts...)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "accuracy: %.2f%%\n", lock.Accuracy(truth, guess)*100)
+		fmt.Fprintf(stdout, "predicted key: %s\n", guess)
+		if *keyFile != "" {
+			truth, err := readKeyFile(*keyFile)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "accuracy: %.2f%%\n", lock.Accuracy(truth, guess)*100)
+		}
+		return nil
 	}
+	if *keyFile == "" {
+		return fmt.Errorf("attack: %q reports accuracy only; -keyfile is required", *attackName)
+	}
+	truth, err := readKeyFile(*keyFile)
+	if err != nil {
+		return err
+	}
+	acc, err := atk.AttackCtx(ctx, g, truth, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "accuracy: %.2f%%\n", acc*100)
 	return nil
 }
 
@@ -414,6 +482,7 @@ func cmdTune(ctx context.Context, args []string, stdout, stderr io.Writer) error
 	out := fs.String("o", "", "file for the tuned recipe (default stdout)")
 	netOut := fs.String("net", "", "optional path for the ALMOST-synthesized netlist")
 	full := fs.Bool("full", false, "use the paper's full-size settings (slow)")
+	attacks := attacksFlag(fs)
 	jobs := jobsFlag(fs)
 	progress := progressFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -434,7 +503,11 @@ func cmdTune(ctx context.Context, args []string, stdout, stderr io.Writer) error
 	if *full {
 		cfg = core.PaperConfig()
 	}
+	cfg.EvalAttacks = splitList(*attacks)
 	cfg.Parallelism = *jobs
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("tune: %w", err)
+	}
 	opts := observerOpts(*progress, stderr)
 	fmt.Fprintln(stderr, "training adversarial proxy M*... (Ctrl-C stops and keeps the best so far)")
 	proxy, err := core.TrainProxyCtx(ctx, g, core.ModelAdversarial, synth.Resyn2(), cfg, opts...)
@@ -495,17 +568,19 @@ func cmdPPA(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 }
 
 // cmdPipeline runs the complete lock -> harden -> attack flow on one
-// circuit (built-in or external netlist): RLL-lock, train the
-// adversarial proxy, search for S_ALMOST, synthesize, then measure the
-// requested oracle-less attacks on both the resyn2 baseline and the
-// ALMOST-hardened netlist.
+// circuit (built-in or external netlist): lock with the -locker chain,
+// train the adversarial proxy, search for S_ALMOST against the -attacks
+// ensemble objective, synthesize, then measure the -attack evaluation
+// attacks on both the resyn2 baseline and the ALMOST-hardened netlist.
 func cmdPipeline(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("pipeline", stderr)
 	in, circuit := circuitFlags(fs)
 	keySize := fs.Int("keysize", 64, "number of key gates")
 	seed := fs.Int64("seed", 1, "framework seed (locking, training, search)")
 	attacks := fs.String("attack", "scope,redundancy",
-		`comma-separated attacks to run (omla | scope | redundancy), "all", or "none"`)
+		`comma-separated evaluation attacks ("`+strings.Join(core.Attackers(), `" | "`)+`"), "all", or "none"`)
+	evalAttacks := attacksFlag(fs)
+	locker := lockerFlag(fs)
 	full := fs.Bool("full", false, "use the paper's full-size settings (slow)")
 	quick := fs.Bool("quick", false, "heavily reduced settings for smoke runs")
 	out := fs.String("o", "", "optional path for the hardened netlist, format by extension")
@@ -526,15 +601,12 @@ func cmdPipeline(ctx context.Context, args []string, stdout, stderr io.Writer) e
 	switch *attacks {
 	case "none":
 	case "all":
-		attackList = []string{"omla", "scope", "redundancy"}
+		attackList = core.Attackers()
 	default:
-		for _, a := range strings.Split(*attacks, ",") {
-			a = strings.TrimSpace(a)
-			if a == "" {
-				continue
-			}
-			if a != "omla" && a != "scope" && a != "redundancy" {
-				return fmt.Errorf("pipeline: unknown attack %q", a)
+		for _, a := range splitList(*attacks) {
+			if _, ok := core.LookupAttacker(a); !ok {
+				return fmt.Errorf("pipeline: unknown attack %q (registered: %s)",
+					a, strings.Join(core.Attackers(), ", "))
 			}
 			attackList = append(attackList, a)
 		}
@@ -555,6 +627,11 @@ func cmdPipeline(ctx context.Context, args []string, stdout, stderr io.Writer) e
 	}
 	cfg.Seed = *seed
 	cfg.Parallelism = *jobs
+	cfg.EvalAttacks = splitList(*evalAttacks)
+	cfg.Lockers = splitList(*locker)
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
 	opts := observerOpts(*progress, stderr)
 
 	fmt.Fprintf(stderr, "pipeline: %v keysize=%d\n", g, *keySize)
@@ -587,18 +664,11 @@ func cmdPipeline(ctx context.Context, args []string, stdout, stderr io.Writer) e
 		resyn := synth.Resyn2()
 		baseline := resyn.Apply(h.Locked)
 		run := func(name string, net *aig.AIG, recipe synth.Recipe) (float64, error) {
-			switch name {
-			case "omla":
-				atk, err := omla.TrainCtx(ctx, net, recipe, omla.DefaultConfig(), nil)
-				if err != nil {
-					return 0, err
-				}
-				return atk.Accuracy(net, h.Key), nil
-			case "scope":
-				return scope.Accuracy(net, h.Key, scope.DefaultConfig()), nil
-			default:
-				return redundancy.Accuracy(net, h.Key, redundancy.DefaultConfig()), nil
+			atk, ok := core.LookupAttacker(name)
+			if !ok {
+				return 0, fmt.Errorf("pipeline: attack %q is not registered", name)
 			}
+			return atk.AttackCtx(ctx, net, h.Key, core.WithRecipe(recipe))
 		}
 		for _, name := range attackList {
 			base, err := run(name, baseline, resyn)

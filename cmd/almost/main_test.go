@@ -264,6 +264,96 @@ func TestPipelineOnExternalNetlist(t *testing.T) {
 	}
 }
 
+// TestAttackList is the golden test for the registry listing: the three
+// built-in attacks print one per line, in registration order.
+func TestAttackList(t *testing.T) {
+	code, stdout, stderr := runCLI("attack", "-list")
+	if code != 0 {
+		t.Fatalf("attack -list failed (%d): %s", code, stderr)
+	}
+	if want := "omla\nscope\nredundancy\n"; stdout != want {
+		t.Fatalf("attack -list = %q, want %q", stdout, want)
+	}
+}
+
+// TestLockWithLockerFlag drives the -locker flag through rll, mux, and a
+// chain; each run must produce a loadable netlist with the right number
+// of key inputs, and an unknown scheme must fail with the registry list.
+func TestLockWithLockerFlag(t *testing.T) {
+	dir := t.TempDir()
+	for _, locker := range []string{"rll", "mux", "rll,mux"} {
+		out := filepath.Join(dir, strings.ReplaceAll(locker, ",", "-")+".bench")
+		keyFile := filepath.Join(dir, strings.ReplaceAll(locker, ",", "-")+".key")
+		if code, _, stderr := runCLI("lock", "-circuit", "c432", "-keysize", "8",
+			"-locker", locker, "-o", out, "-keyfile", keyFile); code != 0 {
+			t.Fatalf("lock -locker %s failed: %s", locker, stderr)
+		}
+		key, err := os.ReadFile(keyFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.TrimSpace(string(key)); len(got) != 8 {
+			t.Fatalf("lock -locker %s: key %q, want 8 bits", locker, got)
+		}
+		// The locked netlist must feed the attack command.
+		code, stdout, stderr := runCLI("attack", "-in", out, "-attack", "scope", "-keyfile", keyFile)
+		if code != 0 {
+			t.Fatalf("attack on -locker %s output failed: %s", locker, stderr)
+		}
+		if !strings.Contains(stdout, "accuracy:") {
+			t.Fatalf("attack output missing accuracy: %q", stdout)
+		}
+	}
+	code, _, stderr := runCLI("lock", "-circuit", "c432", "-locker", "bogus")
+	if code != 1 || !strings.Contains(stderr, `unknown locker "bogus"`) ||
+		!strings.Contains(stderr, "registered:") {
+		t.Fatalf("lock -locker bogus: code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestTuneAndPipelineRejectUnknownEnsembleAttacks covers the -attacks
+// flag validation on both compute commands (before any heavy work).
+func TestTuneAndPipelineRejectUnknownEnsembleAttacks(t *testing.T) {
+	dir := t.TempDir()
+	locked := filepath.Join(dir, "locked.bench")
+	keyFile := filepath.Join(dir, "key.txt")
+	if code, _, stderr := runCLI("lock", "-circuit", "c432", "-keysize", "8",
+		"-o", locked, "-keyfile", keyFile); code != 0 {
+		t.Fatalf("lock failed: %s", stderr)
+	}
+	code, _, stderr := runCLI("tune", "-in", locked, "-keyfile", keyFile, "-attacks", "psychic")
+	if code != 1 || !strings.Contains(stderr, `unknown attack "psychic"`) {
+		t.Fatalf("tune -attacks psychic: code=%d stderr=%q", code, stderr)
+	}
+	code, _, stderr = runCLI("pipeline", "-circuit", "c432", "-attacks", "omla,psychic")
+	if code != 1 || !strings.Contains(stderr, `unknown attack "psychic"`) {
+		t.Fatalf("pipeline -attacks psychic: code=%d stderr=%q", code, stderr)
+	}
+	code, _, stderr = runCLI("pipeline", "-circuit", "c432", "-locker", "nope")
+	if code != 1 || !strings.Contains(stderr, `unknown locker "nope"`) {
+		t.Fatalf("pipeline -locker nope: code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestPipelineEnsembleQuick runs the hardening pipeline with a MUX
+// locker and a two-attack ensemble objective at smoke scale — the CLI
+// face of the redesign's acceptance flow.
+func TestPipelineEnsembleQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run; skipped in -short mode")
+	}
+	code, stdout, stderr := runCLI("pipeline", "-circuit", "c432", "-keysize", "8",
+		"-quick", "-locker", "rll,mux", "-attacks", "omla,scope", "-attack", "scope")
+	if code != 0 {
+		t.Fatalf("ensemble pipeline failed (%d): %s", code, stderr)
+	}
+	for _, want := range []string{"recipe:", "proxy accuracy:", "attack scope:"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("pipeline output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
 func TestAttackUnknownName(t *testing.T) {
 	dir := t.TempDir()
 	design := filepath.Join(dir, "c432.bench")

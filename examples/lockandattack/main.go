@@ -54,9 +54,20 @@ func main() {
 	}
 	fmt.Printf("OMLA key-recovery accuracy:       %.1f%%\n", acc*100)
 
-	// For contrast, the two weaker oracle-less attacks.
-	fmt.Printf("SCOPE key-recovery accuracy:      %.1f%%\n", almost.AttackSCOPE(fab, key)*100)
-	fmt.Printf("redundancy key-recovery accuracy: %.1f%%\n", almost.AttackRedundancy(fab, key)*100)
+	// For contrast, every other registered oracle-less attack — new
+	// attacks registered via almost.RegisterAttacker show up here with
+	// no further changes.
+	for _, name := range almost.Attackers() {
+		if name == "omla" {
+			continue
+		}
+		atk, _ := almost.LookupAttacker(name)
+		acc, err := atk.AttackCtx(ctx, fab, key)
+		if err != nil {
+			log.Fatalf("%s interrupted: %v", name, err)
+		}
+		fmt.Printf("%-10s key-recovery accuracy:  %6.1f%%\n", name, acc*100)
+	}
 
 	fmt.Println("\n(50% = random guessing; OMLA well above 50% means RLL+resyn2 leaks the key)")
 }

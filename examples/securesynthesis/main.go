@@ -4,20 +4,24 @@
 // OMLA attacker (fully aware of the respective recipe) is trained against
 // each. ALMOST's recipe drives the attack toward 50% (random guessing).
 //
-// This example deliberately sticks to the pre-context entry points
-// (TrainProxy, SearchRecipe, AttackOMLA) to demonstrate that the
-// deprecated wrappers keep working unchanged; see examples/quickstart
-// for the context/observer API.
+// The example runs each stage explicitly through the context-aware
+// entry points (TrainProxyCtx, SearchRecipeCtx, AttackOMLACtx), so
+// Ctrl-C aborts any stage cleanly; see examples/quickstart for the
+// single-call HardenCtx flow with a progress observer.
 //
 //	go run ./examples/securesynthesis        (~2-3 minutes)
 //	go run ./examples/securesynthesis -quick (seconds, smaller circuit; CI uses this)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
 
 	almost "github.com/nyu-secml/almost"
 )
@@ -43,6 +47,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	locked, key := almost.Lock(design, keySize, rand.New(rand.NewSource(1)))
 
 	// Baseline: resyn2.
@@ -51,16 +57,28 @@ func main() {
 
 	// ALMOST: adversarial proxy + SA recipe search (Eq. 1).
 	fmt.Println("training adversarial proxy M* (Algorithm 1)...")
-	proxy := almost.TrainProxy(locked, almost.ModelAdversarial, resyn, cfg)
+	proxy, err := almost.TrainProxyCtx(ctx, locked, almost.ModelAdversarial, resyn, cfg)
+	if err != nil {
+		log.Fatalf("proxy training interrupted: %v", err)
+	}
 	fmt.Println("simulated-annealing recipe search...")
-	search := almost.SearchRecipe(locked, key, proxy, cfg)
+	search, err := almost.SearchRecipeCtx(ctx, locked, key, proxy, cfg)
+	if err != nil {
+		log.Fatalf("recipe search interrupted: %v", err)
+	}
 	almostNet := search.Recipe.Apply(locked)
 	fmt.Printf("S_ALMOST = %s\n\n", search.Recipe)
 
 	// Independent attackers with full recipe knowledge.
 	fmt.Println("attacking both netlists with independently trained OMLA...")
-	baseAcc := almost.AttackOMLA(baseNet, resyn, key)
-	almostAcc := almost.AttackOMLA(almostNet, search.Recipe, key)
+	baseAcc, err := almost.AttackOMLACtx(ctx, baseNet, resyn, key)
+	if err != nil {
+		log.Fatalf("attack interrupted: %v", err)
+	}
+	almostAcc, err := almost.AttackOMLACtx(ctx, almostNet, search.Recipe, key)
+	if err != nil {
+		log.Fatalf("attack interrupted: %v", err)
+	}
 
 	fmt.Printf("\n%-22s %8s\n", "netlist", "OMLA acc")
 	fmt.Printf("%-22s %7.1f%%\n", "resyn2 (baseline)", baseAcc*100)

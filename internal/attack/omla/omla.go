@@ -176,3 +176,17 @@ func (a *Attack) PredictKeyIndices(g *aig.AIG, kis []int) lock.Key {
 func (a *Attack) Accuracy(g *aig.AIG, truth lock.Key) float64 {
 	return lock.Accuracy(truth, a.PredictKey(g))
 }
+
+// AccuracyCtx is the one-shot attack entry: train a fresh attacker
+// against the netlist (assumed synthesized with recipe) and score its
+// key prediction against the true key. On cancellation it returns 0
+// alongside the bare ctx.Err(); callers that want a framework-level
+// cancellation error wrap it themselves.
+func AccuracyCtx(ctx context.Context, locked *aig.AIG, recipe synth.Recipe,
+	truth lock.Key, cfg Config, onEpoch EpochFunc) (float64, error) {
+	atk, err := TrainCtx(ctx, locked, recipe, cfg, onEpoch)
+	if err != nil {
+		return 0, err
+	}
+	return atk.Accuracy(locked, truth), nil
+}

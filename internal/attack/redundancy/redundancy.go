@@ -12,6 +12,7 @@
 package redundancy
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/nyu-secml/almost/internal/aig"
@@ -49,18 +50,29 @@ type fault struct {
 // PredictKey runs the attack, returning the guessed key in key-input
 // order.
 func PredictKey(g *aig.AIG, cfg Config) lock.Key {
+	key, _ := PredictKeyCtx(context.Background(), g, cfg)
+	return key
+}
+
+// PredictKeyCtx is the cancellable variant of PredictKey: the context is
+// checked before every key bit's untestability count, and on cancellation
+// the bits guessed so far are returned alongside ctx.Err().
+func PredictKeyCtx(ctx context.Context, g *aig.AIG, cfg Config) (lock.Key, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	kIdx := g.KeyInputIndices()
-	key := make(lock.Key, len(kIdx))
+	key := make(lock.Key, 0, len(kIdx))
 	fanouts := g.Fanouts()
 	order := g.TopoOrder()
-	for j, ki := range kIdx {
+	for _, ki := range kIdx {
+		if err := ctx.Err(); err != nil {
+			return key, err
+		}
 		faults := sampleFaults(g, ki, order, fanouts, cfg.FaultSamples, rng)
 		u0 := countUntestable(lock.FixInputs(g, map[int]bool{ki: false}), faults, cfg, rng)
 		u1 := countUntestable(lock.FixInputs(g, map[int]bool{ki: true}), faults, cfg, rng)
-		key[j] = u1 < u0
+		key = append(key, u1 < u0)
 	}
-	return key
+	return key, nil
 }
 
 // sampleFaults draws fault sites: the key input's 3-hop neighborhood
@@ -174,4 +186,14 @@ func injectFault(g *aig.AIG, site int, val bool) *aig.AIG {
 // Accuracy attacks g and scores against the true key.
 func Accuracy(g *aig.AIG, truth lock.Key, cfg Config) float64 {
 	return lock.Accuracy(truth, PredictKey(g, cfg))
+}
+
+// AccuracyCtx is the cancellable variant of Accuracy: on cancellation it
+// returns 0 alongside ctx.Err().
+func AccuracyCtx(ctx context.Context, g *aig.AIG, truth lock.Key, cfg Config) (float64, error) {
+	guess, err := PredictKeyCtx(ctx, g, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return lock.Accuracy(truth, guess), nil
 }

@@ -1,6 +1,8 @@
 package redundancy
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -86,4 +88,31 @@ func TestAccuracyInPlausibleBand(t *testing.T) {
 		t.Fatalf("redundancy accuracy %.2f implausible", acc)
 	}
 	t.Logf("redundancy accuracy: %.2f%%", acc*100)
+}
+
+func TestPredictKeyCtxMatchesAndCancels(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, truth := lock.Lock(g, 6, rand.New(rand.NewSource(9)))
+	cfg := DefaultConfig()
+	cfg.FaultSamples = 6
+	key, err := PredictKeyCtx(context.Background(), locked, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.String() != PredictKey(locked, cfg).String() {
+		t.Fatal("ctx and plain variants disagree")
+	}
+	acc, err := AccuracyCtx(context.Background(), locked, truth, cfg)
+	if err != nil || acc != Accuracy(locked, truth, cfg) {
+		t.Fatalf("AccuracyCtx = %v, %v", acc, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial, err := PredictKeyCtx(ctx, locked, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(partial) != 0 {
+		t.Fatalf("pre-canceled run guessed %d bits", len(partial))
+	}
 }

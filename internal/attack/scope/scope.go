@@ -12,6 +12,8 @@
 package scope
 
 import (
+	"context"
+
 	"github.com/nyu-secml/almost/internal/aig"
 	"github.com/nyu-secml/almost/internal/lock"
 	"github.com/nyu-secml/almost/internal/synth"
@@ -61,15 +63,26 @@ func extract(g *aig.AIG) features {
 // smaller synthesized report is taken as the guess. Ties fall back to
 // the secondary features, then to 0.
 func PredictKey(g *aig.AIG, cfg Config) lock.Key {
+	key, _ := PredictKeyCtx(context.Background(), g, cfg)
+	return key
+}
+
+// PredictKeyCtx is the cancellable variant of PredictKey: the context is
+// checked before every key bit's cofactor pair is synthesized, and on
+// cancellation the bits guessed so far are returned alongside ctx.Err().
+func PredictKeyCtx(ctx context.Context, g *aig.AIG, cfg Config) (lock.Key, error) {
 	kIdx := g.KeyInputIndices()
-	key := make(lock.Key, len(kIdx))
-	for j, ki := range kIdx {
+	key := make(lock.Key, 0, len(kIdx))
+	for _, ki := range kIdx {
+		if err := ctx.Err(); err != nil {
+			return key, err
+		}
 		c0 := cfg.Recipe.Apply(lock.FixInputs(g, map[int]bool{ki: false}))
 		c1 := cfg.Recipe.Apply(lock.FixInputs(g, map[int]bool{ki: true}))
 		f0, f1 := extract(c0), extract(c1)
-		key[j] = decide(f0, f1)
+		key = append(key, decide(f0, f1))
 	}
-	return key
+	return key, nil
 }
 
 // decide returns the guessed bit: true (1) when the bit-1 cofactor looks
@@ -90,4 +103,14 @@ func decide(f0, f1 features) bool {
 // Accuracy attacks g and scores against the true key.
 func Accuracy(g *aig.AIG, truth lock.Key, cfg Config) float64 {
 	return lock.Accuracy(truth, PredictKey(g, cfg))
+}
+
+// AccuracyCtx is the cancellable variant of Accuracy: on cancellation it
+// returns 0 alongside ctx.Err().
+func AccuracyCtx(ctx context.Context, g *aig.AIG, truth lock.Key, cfg Config) (float64, error) {
+	guess, err := PredictKeyCtx(ctx, g, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return lock.Accuracy(truth, guess), nil
 }

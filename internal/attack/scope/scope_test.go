@@ -1,6 +1,8 @@
 package scope
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -76,5 +78,33 @@ func TestDecideTieBreaks(t *testing.T) {
 	// Equal ANDs and literals, different levels.
 	if !decide(features{ands: 10, litProxy: 20, levels: 6}, features{ands: 10, litProxy: 20, levels: 5}) {
 		t.Fatal("level tiebreak wrong")
+	}
+}
+
+func TestPredictKeyCtxMatchesAndCancels(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, truth := lock.Lock(g, 8, rand.New(rand.NewSource(9)))
+	key, err := PredictKeyCtx(context.Background(), locked, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.String() != PredictKey(locked, DefaultConfig()).String() {
+		t.Fatal("ctx and plain variants disagree")
+	}
+	acc, err := AccuracyCtx(context.Background(), locked, truth, DefaultConfig())
+	if err != nil || acc != Accuracy(locked, truth, DefaultConfig()) {
+		t.Fatalf("AccuracyCtx = %v, %v", acc, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial, err := PredictKeyCtx(ctx, locked, DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(partial) != 0 {
+		t.Fatalf("pre-canceled run guessed %d bits", len(partial))
+	}
+	if _, err := AccuracyCtx(ctx, locked, truth, DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AccuracyCtx err = %v", err)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/nyu-secml/almost/internal/aig"
 	"github.com/nyu-secml/almost/internal/anneal"
@@ -85,6 +86,53 @@ type Config struct {
 	// for any value; only wall-clock changes.
 	Parallelism int
 	Seed        int64
+
+	// Lockers names the registered locking schemes SecureSynthesisCtx
+	// chains, in order, to lock the input design (the CLI's -locker).
+	// The key budget is split evenly across the chain. Nil or empty
+	// selects plain RLL ("rll"), the paper's scheme.
+	Lockers []string
+	// EvalAttacks names the registered attacks the Eq. 1 recipe search
+	// optimizes against (the CLI's -attacks). Nil or empty selects the
+	// paper's objective: the OMLA proxy alone. With several attacks the
+	// search minimizes an ensemble objective — per candidate recipe,
+	// every named attack is evaluated on the synthesized netlist
+	// (concurrently, on the evaluation engine) and the per-attack
+	// deviations |Acc_a − 0.5| are reduced per EnsembleReduce, in
+	// registration order, so the trajectory is deterministic for any
+	// Parallelism and any order this list is written in. The "omla"
+	// entry is estimated by the trained proxy (Fig. 2's tractable
+	// "alternative flow"); every other name runs the registered attack
+	// itself.
+	EvalAttacks []string
+	// EnsembleReduce selects how per-attack deviations combine into the
+	// search energy: ReduceWorst (default) guards the worst case,
+	// ReduceMean the average.
+	EnsembleReduce EnsembleReduce
+}
+
+// EnsembleReduce selects the reduction of per-attack deviations
+// |Acc_a − 0.5| into the scalar the Eq. 1 search minimizes.
+type EnsembleReduce int
+
+// Ensemble reductions.
+const (
+	// ReduceWorst minimizes the maximum deviation: the hardened netlist
+	// is only as strong as its weakest spot, so guard the worst case.
+	ReduceWorst EnsembleReduce = iota
+	// ReduceMean minimizes the mean deviation across the ensemble.
+	ReduceMean
+)
+
+// String names the reduction.
+func (m EnsembleReduce) String() string {
+	switch m {
+	case ReduceWorst:
+		return "worst"
+	case ReduceMean:
+		return "mean"
+	}
+	return fmt.Sprintf("EnsembleReduce(%d)", int(m))
 }
 
 // DefaultConfig returns laptop-scale settings that preserve the paper's
@@ -123,20 +171,6 @@ func PaperConfig() Config {
 type Proxy struct {
 	Kind   ModelKind
 	Attack *omla.Attack
-}
-
-// TrainProxy trains a proxy model of the given kind against the locked
-// netlist. baseline is the defender's reference recipe (resyn2 in the
-// paper), used by ModelResyn2.
-//
-// Deprecated: use TrainProxyCtx, which is cancellable, streams progress
-// events, and returns errors instead of panicking.
-func TrainProxy(locked *aig.AIG, kind ModelKind, baseline synth.Recipe, cfg Config) *Proxy {
-	p, err := TrainProxyCtx(context.Background(), locked, kind, baseline, cfg)
-	if err != nil {
-		panic(fmt.Sprintf("core: %v", err))
-	}
-	return p
 }
 
 // epochFunc adapts proxy-training epochs to PhaseTrain events. samples
@@ -324,38 +358,113 @@ func (p *Proxy) EstimateAccuracy(locked *aig.AIG, r synth.Recipe, truth lock.Key
 	return p.Attack.Accuracy(r.Apply(locked), truth)
 }
 
-// searchProblem is the Eq. 1 objective |Acc − 0.5|, evaluated (and
-// memoized) by a concurrent engine.Evaluator whose workers each score
-// synthesize → proxy attack on a private copy of the locked netlist.
+// searchProblem is the Eq. 1 objective, generalized to an attack
+// ensemble: per candidate recipe every attack of the (canonicalized)
+// EvalAttacks list is evaluated on the synthesized netlist, the
+// deviations |Acc_a − 0.5| are reduced per EnsembleReduce, and the
+// engine memoizes the reduced energy under the recipe's canonical hash
+// while the per-attack accuracies land in accs. Workers each score on a
+// private copy of the locked netlist, so the whole objective is a pure
+// function of the recipe and the trajectory is jobs-invariant.
 type searchProblem struct {
-	eng *engine.Evaluator
+	eng     *engine.Evaluator
+	attacks []string // canonical (registration) order
+	reduce  EnsembleReduce
+	accs    sync.Map // engine.RecipeKey -> []float64, aligned with attacks
+
+	// mu guards evalErr, the first non-cancellation failure reported by
+	// an ensemble attacker. Built-ins only fail on cancellation, but a
+	// registered third-party attack may fail for real — the next batch
+	// surfaces the error instead of letting the search run to a
+	// meaningless result on NaN energies.
+	mu      sync.Mutex
+	evalErr error
 }
 
-func (p *searchProblem) accuracy(r synth.Recipe) float64 {
-	return p.eng.Evaluate(r)
+func (p *searchProblem) recordErr(err error) {
+	p.mu.Lock()
+	if p.evalErr == nil {
+		p.evalErr = err
+	}
+	p.mu.Unlock()
 }
 
-func (p *searchProblem) Energy(r synth.Recipe) float64 {
-	return math.Abs(p.eng.Evaluate(r) - 0.5)
+func (p *searchProblem) firstErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evalErr
 }
+
+// accuracies returns the per-attack accuracies of an evaluated recipe.
+// Scores are recorded before the engine settles the energy, so any
+// recipe the engine has scored resolves here.
+func (p *searchProblem) accuracies(r synth.Recipe) ([]float64, bool) {
+	v, ok := p.accs.Load(engine.RecipeKey(r))
+	if !ok {
+		return nil, false
+	}
+	return v.([]float64), true
+}
+
+// headline compresses per-attack accuracies into the single Accuracy the
+// result and trace report: under ReduceWorst the accuracy of the attack
+// deviating most from 0.5 (ties resolved in registration order), under
+// ReduceMean the mean accuracy. For a single-attack objective both are
+// that attack's accuracy, matching the pre-ensemble semantics.
+func (p *searchProblem) headline(accs []float64) float64 {
+	if len(accs) == 0 {
+		return math.NaN()
+	}
+	if p.reduce == ReduceMean {
+		var sum float64
+		for _, a := range accs {
+			sum += a
+		}
+		return sum / float64(len(accs))
+	}
+	worst := 0
+	for i, a := range accs {
+		if math.Abs(a-0.5) > math.Abs(accs[worst]-0.5) {
+			worst = i
+		}
+	}
+	return accs[worst]
+}
+
+func (p *searchProblem) reduceEnergy(accs []float64) float64 {
+	switch p.reduce {
+	case ReduceMean:
+		var sum float64
+		for _, a := range accs {
+			sum += math.Abs(a - 0.5)
+		}
+		return sum / float64(len(accs))
+	default:
+		var worst float64
+		for i, a := range accs {
+			if d := math.Abs(a - 0.5); i == 0 || d > worst || math.IsNaN(d) {
+				worst = d
+			}
+		}
+		return worst
+	}
+}
+
+func (p *searchProblem) Energy(r synth.Recipe) float64 { return p.eng.Evaluate(r) }
 
 func (p *searchProblem) EnergyBatch(rs []synth.Recipe) []float64 {
-	accs := p.eng.EvaluateBatch(rs)
-	for i, a := range accs {
-		accs[i] = math.Abs(a - 0.5)
-	}
-	return accs
+	return p.eng.EvaluateBatch(rs)
 }
 
 func (p *searchProblem) EnergyBatchCtx(ctx context.Context, rs []synth.Recipe) ([]float64, error) {
-	accs, err := p.eng.EvaluateBatchCtx(ctx, rs)
+	out, err := p.eng.EvaluateBatchCtx(ctx, rs)
 	if err != nil {
 		return nil, err
 	}
-	for i, a := range accs {
-		accs[i] = math.Abs(a - 0.5)
+	if err := p.firstErr(); err != nil {
+		return nil, err
 	}
-	return accs, nil
+	return out, nil
 }
 
 func (p *searchProblem) Neighbor(r synth.Recipe, rng *rand.Rand) synth.Recipe {
@@ -366,55 +475,98 @@ func (p *searchProblem) Neighbor(r synth.Recipe, rng *rand.Rand) synth.Recipe {
 // the curves of Fig. 4.
 type SearchTracePoint struct {
 	Iteration int
-	Accuracy  float64
-	Recipe    synth.Recipe
+	// Accuracy is the headline accuracy of the iteration's recipe (for
+	// the default OMLA-only objective: the proxy-estimated accuracy).
+	Accuracy float64
+	// Accuracies holds the per-attack accuracies of an ensemble
+	// objective, keyed by registered attack name.
+	Accuracies map[string]float64
+	Recipe     synth.Recipe
 }
 
 // SearchResult is the outcome of the Eq. 1 search.
 type SearchResult struct {
 	Recipe   synth.Recipe // S_ALMOST
-	Accuracy float64      // proxy-estimated accuracy of Recipe
-	Trace    []SearchTracePoint
-}
-
-// SearchRecipe runs the security-aware SA recipe generation (Eq. 1) using
-// the proxy as the accuracy evaluator. When the budget ends without
-// reaching ~50%, the best recipe found is returned (as the paper does for
-// c2670, c5315, c7552).
-//
-// Deprecated: use SearchRecipeCtx, which is cancellable, streams the
-// Fig. 4 trace live, and returns errors instead of panicking.
-func SearchRecipe(locked *aig.AIG, truth lock.Key, proxy *Proxy, cfg Config) SearchResult {
-	res, err := SearchRecipeCtx(context.Background(), locked, truth, proxy, cfg)
-	if err != nil {
-		panic(fmt.Sprintf("core: %v", err))
-	}
-	return res
+	Accuracy float64      // headline accuracy of Recipe (see SearchTracePoint)
+	// Attacks is the ensemble evaluated, in canonical registration order
+	// (["omla"] for the paper's default objective).
+	Attacks []string
+	// Accuracies holds Recipe's per-attack accuracies by attack name.
+	Accuracies map[string]float64
+	Trace      []SearchTracePoint
 }
 
 // SearchRecipeCtx runs the security-aware SA recipe generation (Eq. 1)
-// using the proxy as the accuracy evaluator.
+// using the proxy as the accuracy evaluator. When the budget ends
+// without reaching ~50%, the best recipe found is returned (as the paper
+// does for c2670, c5315, c7552).
 //
-// Evaluation runs on the concurrent engine: every SA iteration proposes
-// cfg.SAProposals neighbors, scored across cfg.Parallelism workers with
-// memoization, and the trajectory is identical for any worker count.
+// cfg.EvalAttacks generalizes the objective to an attack ensemble: every
+// named registered attack is evaluated per candidate and the deviations
+// reduce per cfg.EnsembleReduce. The "omla" entry is estimated by the
+// trained proxy; other entries run the registered attack on the
+// candidate netlist. Evaluation runs on the concurrent engine: every SA
+// iteration proposes cfg.SAProposals neighbors, scored across
+// cfg.Parallelism workers with memoization, and the trajectory is
+// identical for any worker count and any EvalAttacks order.
 //
 // The context is checked at every SA iteration and inside every engine
 // batch; on cancellation the best-so-far SearchResult (well-formed, with
 // the trace recorded up to the cancellation point) is returned alongside
-// an error matching both ErrCanceled and ctx.Err(). Observers receive a
-// PhaseSearch event per iteration — the Fig. 4 trace, live.
+// an error matching both ErrCanceled and ctx.Err(). Observers receive
+// one PhaseSearch event per attack per iteration, labeled with the
+// attack name — the Fig. 4 trace, live, one curve per ensemble member.
 func SearchRecipeCtx(ctx context.Context, locked *aig.AIG, truth lock.Key,
 	proxy *Proxy, cfg Config, opts ...Option) (SearchResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return SearchResult{}, err
 	}
+	attacks, err := canonicalAttacks(cfg.EvalAttacks)
+	if err != nil {
+		return SearchResult{}, err
+	}
 	ro := buildOptions(opts)
+	prob := &searchProblem{attacks: attacks, reduce: cfg.EnsembleReduce}
+
+	// One estimator per ensemble member. "omla" is the trained proxy —
+	// re-training the real OMLA per candidate is exactly the naive flow
+	// Fig. 2 rejects; the others run the registered attack itself.
+	evals := make([]func(net *aig.AIG, r synth.Recipe) float64, len(attacks))
+	for i, name := range attacks {
+		if name == "omla" {
+			evals[i] = func(net *aig.AIG, _ synth.Recipe) float64 {
+				return proxy.Attack.Accuracy(net, truth)
+			}
+			continue
+		}
+		atk, _ := LookupAttacker(name) // canonicalAttacks verified the name
+		name := name
+		evals[i] = func(net *aig.AIG, r synth.Recipe) float64 {
+			acc, err := atk.AttackCtx(ctx, net, truth, WithRecipe(r))
+			if err != nil {
+				// Cancellation is surfaced by the engine batch itself; a
+				// genuine attacker failure is recorded so the next batch
+				// aborts the search with it rather than annealing on NaN.
+				if ctx.Err() == nil {
+					prob.recordErr(fmt.Errorf("core: ensemble attack %q failed: %w", name, err))
+				}
+				return math.NaN()
+			}
+			return acc
+		}
+	}
+
 	eng := engine.New(locked, cfg.Parallelism, func(g *aig.AIG, r synth.Recipe) float64 {
-		return proxy.EstimateAccuracy(g, r, truth)
+		net := r.Apply(g)
+		accs := make([]float64, len(evals))
+		for i, eval := range evals {
+			accs[i] = eval(net, r)
+		}
+		prob.accs.Store(engine.RecipeKey(r), accs)
+		return prob.reduceEnergy(accs)
 	})
 	defer eng.Close()
-	prob := &searchProblem{eng: eng}
+	prob.eng = eng
 	rng := rand.New(rand.NewSource(cfg.Seed + 307))
 	init := synth.RandomRecipe(rng, cfg.RecipeLen)
 
@@ -422,65 +574,73 @@ func SearchRecipeCtx(ctx context.Context, locked *aig.AIG, truth lock.Key,
 	if len(ro.observers) > 0 {
 		observe = func(tp anneal.TracePoint[synth.Recipe]) {
 			// The state was evaluated by this iteration's batch, so the
-			// accuracy lookup is a cache hit.
-			ro.emit(Event{Phase: PhaseSearch, Iteration: tp.Iteration,
-				Iterations: cfg.SA.Iterations, Energy: tp.Energy, BestEnergy: tp.Best,
-				Accuracy: prob.accuracy(tp.State), Recipe: tp.State, Best: tp.BestState})
+			// accuracy lookup always resolves.
+			accs, _ := prob.accuracies(tp.State)
+			for i, name := range attacks {
+				acc := math.NaN()
+				if i < len(accs) {
+					acc = accs[i]
+				}
+				ro.emit(Event{Phase: PhaseSearch, Attack: name, Iteration: tp.Iteration,
+					Iterations: cfg.SA.Iterations, Energy: tp.Energy, BestEnergy: tp.Best,
+					Accuracy: acc, Recipe: tp.State, Best: tp.BestState})
+			}
 		}
 	}
 
 	res, runErr := anneal.RunParallelCtx[synth.Recipe](ctx, prob, init, cfg.SA,
 		anneal.ParallelConfig{Proposals: cfg.SAProposals, Seed: cfg.Seed + 311}, observe)
-	out := SearchResult{Recipe: res.Best}
+	out := SearchResult{Recipe: res.Best, Attacks: attacks}
+	byName := func(accs []float64) map[string]float64 {
+		m := make(map[string]float64, len(attacks))
+		for i, name := range attacks {
+			if i < len(accs) {
+				m[name] = accs[i]
+			}
+		}
+		return m
+	}
 	for _, tp := range res.Trace {
+		accs, _ := prob.accuracies(tp.State)
 		out.Trace = append(out.Trace, SearchTracePoint{
-			Iteration: tp.Iteration,
-			Accuracy:  prob.accuracy(tp.State),
-			Recipe:    tp.State,
+			Iteration:  tp.Iteration,
+			Accuracy:   prob.headline(accs),
+			Accuracies: byName(accs),
+			Recipe:     tp.State,
 		})
 	}
-	if runErr != nil {
-		// Best-so-far accuracy: read the cache rather than forcing a
-		// fresh evaluation after cancellation. A miss only happens when
-		// the run was canceled before the initial state was scored.
-		if acc, ok := eng.Cached(res.Best); ok {
-			out.Accuracy = acc
-		} else {
-			out.Accuracy = math.NaN()
-		}
-		return out, canceled(runErr)
+	// Best-so-far accuracies come from the recorded evaluations rather
+	// than a fresh run; a miss only happens when the search was canceled
+	// before the initial state was scored.
+	if accs, ok := prob.accuracies(res.Best); ok {
+		out.Accuracy = prob.headline(accs)
+		out.Accuracies = byName(accs)
+	} else {
+		out.Accuracy = math.NaN()
 	}
-	out.Accuracy = prob.accuracy(res.Best)
+	if runErr != nil {
+		// A cancellation gets the ErrCanceled wrapper; a genuine ensemble
+		// attacker failure is returned as recorded.
+		return out, canceledIfCtx(ctx, runErr)
+	}
 	return out, nil
 }
 
 // Hardened is the output of the end-to-end pipeline.
 type Hardened struct {
-	Locked  *aig.AIG     // RLL-locked netlist (pre-synthesis)
+	Locked  *aig.AIG     // locked netlist (pre-synthesis)
 	Netlist *aig.AIG     // S_ALMOST-synthesized locked netlist
 	Key     lock.Key     // the correct key
+	Lockers []string     // locking schemes applied, in chain order
 	Recipe  synth.Recipe // S_ALMOST
 	Search  SearchResult
 	Proxy   *Proxy
 }
 
-// SecureSynthesis runs the full ALMOST flow on an unlocked design:
-// RLL-lock with keySize bits, train the adversarial proxy M*, search for
-// S_ALMOST, and synthesize the final netlist with it.
-//
-// Deprecated: use SecureSynthesisCtx, which is cancellable, streams
-// progress events, and returns errors instead of panicking.
-func SecureSynthesis(design *aig.AIG, keySize int, cfg Config) *Hardened {
-	h, err := SecureSynthesisCtx(context.Background(), design, keySize, cfg)
-	if err != nil {
-		panic(fmt.Sprintf("core: %v", err))
-	}
-	return h
-}
-
 // SecureSynthesisCtx runs the full ALMOST flow on an unlocked design:
-// RLL-lock with keySize bits, train the adversarial proxy M*, search for
-// S_ALMOST, and synthesize the final netlist with it.
+// lock with keySize bits using the cfg.Lockers chain (plain RLL by
+// default), train the adversarial proxy M*, search for S_ALMOST against
+// the cfg.EvalAttacks objective, and synthesize the final netlist.
 //
 // The context is threaded through every stage (training epochs, Eq. 3
 // searches, Eq. 1 search, engine batches). On cancellation the returned
@@ -488,7 +648,8 @@ func SecureSynthesis(design *aig.AIG, keySize int, cfg Config) *Hardened {
 // Locked and Key, plus the partially trained Proxy, the best-so-far
 // Search, and (when a best recipe exists) the Netlist synthesized with
 // it — alongside an error matching both ErrCanceled and ctx.Err().
-// Only a Config validation failure returns a nil *Hardened.
+// A nil *Hardened is returned only when no work completed at all: an
+// invalid Config, or a locking-stage failure.
 func SecureSynthesisCtx(ctx context.Context, design *aig.AIG, keySize int,
 	cfg Config, opts ...Option) (*Hardened, error) {
 	if err := cfg.Validate(); err != nil {
@@ -496,9 +657,16 @@ func SecureSynthesisCtx(ctx context.Context, design *aig.AIG, keySize int,
 	}
 	ro := buildOptions(opts)
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	ro.emit(Event{Phase: PhaseLock})
-	locked, key := lock.Lock(design, keySize, rng)
-	h := &Hardened{Locked: locked, Key: key}
+	chain, _ := canonicalLockers(cfg.Lockers) // Validate checked the names
+	ro.emit(Event{Phase: PhaseLock, Lockers: chain})
+	locked, key, err := LockWithCtx(ctx, design, keySize, cfg.Lockers, rng)
+	if err != nil {
+		// Locking failed before any durable work existed, so there is no
+		// partial Hardened to return; a third-party locker that honored
+		// the context still yields an ErrCanceled-matching error.
+		return nil, canceledIfCtx(ctx, err)
+	}
+	h := &Hardened{Locked: locked, Key: key, Lockers: chain}
 
 	proxy, err := TrainProxyCtx(ctx, locked, ModelAdversarial, synth.Resyn2(), cfg, opts...)
 	h.Proxy = proxy

@@ -1,15 +1,47 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
+	"github.com/nyu-secml/almost/internal/aig"
 	"github.com/nyu-secml/almost/internal/attack/omla"
 	"github.com/nyu-secml/almost/internal/circuits"
 	"github.com/nyu-secml/almost/internal/cnf"
 	"github.com/nyu-secml/almost/internal/lock"
 	"github.com/nyu-secml/almost/internal/synth"
 )
+
+// trainProxyT, searchT, and hardenT run the Ctx entry points with a
+// background context, failing the test on any error — the test-side
+// replacement for the retired panic-era wrappers.
+func trainProxyT(t testing.TB, locked *aig.AIG, kind ModelKind, cfg Config) *Proxy {
+	t.Helper()
+	p, err := TrainProxyCtx(context.Background(), locked, kind, synth.Resyn2(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func searchT(t testing.TB, locked *aig.AIG, key lock.Key, proxy *Proxy, cfg Config) SearchResult {
+	t.Helper()
+	res, err := SearchRecipeCtx(context.Background(), locked, key, proxy, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func hardenT(t testing.TB, g *aig.AIG, keySize int, cfg Config) *Hardened {
+	t.Helper()
+	h, err := SecureSynthesisCtx(context.Background(), g, keySize, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
 
 // tinyConfig keeps unit-test runtime low while exercising every code path
 // (including adversarial augmentation and batched proposal evaluation).
@@ -49,7 +81,7 @@ func TestTrainProxyAllKinds(t *testing.T) {
 	locked, key := lock.Lock(g, 8, rand.New(rand.NewSource(1)))
 	cfg := tinyConfig()
 	for _, kind := range []ModelKind{ModelResyn2, ModelRandom, ModelAdversarial} {
-		p := TrainProxy(locked, kind, synth.Resyn2(), cfg)
+		p := trainProxyT(t, locked, kind, cfg)
 		if p.Kind != kind || p.Attack == nil {
 			t.Fatalf("%v: bad proxy", kind)
 		}
@@ -68,10 +100,10 @@ func TestAdversarialTrainingAugmentsData(t *testing.T) {
 	g := circuits.MustGenerate("c432")
 	locked, key := lock.Lock(g, 8, rand.New(rand.NewSource(2)))
 	cfg := tinyConfig()
-	pAdv := TrainProxy(locked, ModelAdversarial, synth.Resyn2(), cfg)
+	pAdv := trainProxyT(t, locked, ModelAdversarial, cfg)
 	cfgOff := cfg
 	cfgOff.AdvPeriod = 0 // disables augmentation
-	pOff := TrainProxy(locked, ModelAdversarial, synth.Resyn2(), cfgOff)
+	pOff := trainProxyT(t, locked, ModelAdversarial, cfgOff)
 	r := synth.Resyn2()
 	// Not a strict inequality requirement — just confirm the two training
 	// regimes are distinguishable (different predictions somewhere).
@@ -87,8 +119,8 @@ func TestSearchRecipeReturnsTraceAndRecipe(t *testing.T) {
 	g := circuits.MustGenerate("c432")
 	locked, key := lock.Lock(g, 8, rand.New(rand.NewSource(4)))
 	cfg := tinyConfig()
-	proxy := TrainProxy(locked, ModelResyn2, synth.Resyn2(), cfg)
-	res := SearchRecipe(locked, key, proxy, cfg)
+	proxy := trainProxyT(t, locked, ModelResyn2, cfg)
+	res := searchT(t, locked, key, proxy, cfg)
 	if len(res.Recipe) != cfg.RecipeLen {
 		t.Fatalf("recipe length = %d", len(res.Recipe))
 	}
@@ -112,12 +144,12 @@ func TestSearchRecipeJobsInvariant(t *testing.T) {
 	g := circuits.MustGenerate("c432")
 	locked, key := lock.Lock(g, 8, rand.New(rand.NewSource(9)))
 	cfg := tinyConfig()
-	proxy := TrainProxy(locked, ModelResyn2, synth.Resyn2(), cfg)
+	proxy := trainProxyT(t, locked, ModelResyn2, cfg)
 
 	cfg.Parallelism = 1
-	serial := SearchRecipe(locked, key, proxy, cfg)
+	serial := searchT(t, locked, key, proxy, cfg)
 	cfg.Parallelism = 8
-	parallel := SearchRecipe(locked, key, proxy, cfg)
+	parallel := searchT(t, locked, key, proxy, cfg)
 
 	if !serial.Recipe.Equal(parallel.Recipe) {
 		t.Fatalf("jobs=1 and jobs=8 found different recipes:\n  %s\n  %s",
@@ -146,9 +178,9 @@ func TestSecureSynthesisJobsInvariant(t *testing.T) {
 	g := circuits.MustGenerate("c432")
 	cfg := tinyConfig()
 	cfg.Parallelism = 1
-	h1 := SecureSynthesis(g, 8, cfg)
+	h1 := hardenT(t, g, 8, cfg)
 	cfg.Parallelism = 4
-	h4 := SecureSynthesis(g, 8, cfg)
+	h4 := hardenT(t, g, 8, cfg)
 	if !h1.Recipe.Equal(h4.Recipe) {
 		t.Fatalf("jobs=1 and jobs=4 pipelines diverged:\n  %s\n  %s", h1.Recipe, h4.Recipe)
 	}
@@ -161,9 +193,9 @@ func TestSearchIsDeterministic(t *testing.T) {
 	g := circuits.MustGenerate("c432")
 	locked, key := lock.Lock(g, 8, rand.New(rand.NewSource(5)))
 	cfg := tinyConfig()
-	proxy := TrainProxy(locked, ModelResyn2, synth.Resyn2(), cfg)
-	r1 := SearchRecipe(locked, key, proxy, cfg)
-	r2 := SearchRecipe(locked, key, proxy, cfg)
+	proxy := trainProxyT(t, locked, ModelResyn2, cfg)
+	r1 := searchT(t, locked, key, proxy, cfg)
+	r2 := searchT(t, locked, key, proxy, cfg)
 	if !r1.Recipe.Equal(r2.Recipe) || r1.Accuracy != r2.Accuracy {
 		t.Fatal("search not deterministic")
 	}
@@ -175,7 +207,7 @@ func TestSecureSynthesisEndToEnd(t *testing.T) {
 	// valid recipe.
 	g := circuits.MustGenerate("c432")
 	cfg := tinyConfig()
-	h := SecureSynthesis(g, 8, cfg)
+	h := hardenT(t, g, 8, cfg)
 	if h.Netlist.NumKeyInputs() != 8 || len(h.Key) != 8 {
 		t.Fatalf("hardened interface wrong: %v", h.Netlist.Stats())
 	}
@@ -230,8 +262,8 @@ func TestALMOSTReducesAttackAccuracy(t *testing.T) {
 	// claim doesn't need a wide proposal fan-out.
 	cfg.SA.Iterations = 15
 	cfg.SAProposals = 2
-	proxy := TrainProxy(locked, ModelAdversarial, synth.Resyn2(), cfg)
-	res := SearchRecipe(locked, key, proxy, cfg)
+	proxy := trainProxyT(t, locked, ModelAdversarial, cfg)
+	res := searchT(t, locked, key, proxy, cfg)
 
 	// Independent attackers (fresh seed, full knowledge of the respective
 	// recipe) against both netlists.

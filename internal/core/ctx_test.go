@@ -100,16 +100,6 @@ func TestTrainProxyCtxUnknownModelKind(t *testing.T) {
 	}
 }
 
-func TestTrainProxyLegacyStillPanicsOnUnknownKind(t *testing.T) {
-	locked, _ := lockedC432(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("legacy TrainProxy must panic on an unknown kind")
-		}
-	}()
-	TrainProxy(locked, ModelKind(42), synth.Resyn2(), tinyConfig())
-}
-
 func TestSearchRecipeCtxInvalidConfig(t *testing.T) {
 	locked, key := lockedC432(t)
 	proxy, err := TrainProxyCtx(context.Background(), locked, ModelResyn2, synth.Resyn2(), tinyConfig())
@@ -299,22 +289,24 @@ func TestSecureSynthesisCtxCancelDuringSearch(t *testing.T) {
 	}
 }
 
-// TestSecureSynthesisCtxMatchesLegacy pins the redesign: the Background-
-// context path must produce bit-for-bit the result of the deprecated
-// wrapper (which routes through it).
-func TestSecureSynthesisCtxMatchesLegacy(t *testing.T) {
+// TestSecureSynthesisCtxDeterministic pins the redesign: two runs of the
+// pipeline with the same seed are bit-for-bit identical.
+func TestSecureSynthesisCtxDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two full pipeline runs in -short mode")
 	}
 	g := circuits.MustGenerate("c432")
 	cfg := tinyConfig()
-	h1 := SecureSynthesis(g, 8, cfg)
+	h1, err := SecureSynthesisCtx(context.Background(), g, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	h2, err := SecureSynthesisCtx(context.Background(), g, 8, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !h1.Recipe.Equal(h2.Recipe) {
-		t.Fatalf("legacy and ctx recipes diverge: %v vs %v", h1.Recipe, h2.Recipe)
+		t.Fatalf("seeded reruns diverge: %v vs %v", h1.Recipe, h2.Recipe)
 	}
 	if h1.Search.Accuracy != h2.Search.Accuracy {
 		t.Fatalf("accuracies diverge: %v vs %v", h1.Search.Accuracy, h2.Search.Accuracy)

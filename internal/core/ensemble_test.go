@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/cnf"
+	"github.com/nyu-secml/almost/internal/lock"
+)
+
+// ensembleConfig is tinyConfig with a two-attack objective; SCOPE is
+// cheap enough to run per candidate at 8 key bits.
+func ensembleConfig() Config {
+	cfg := tinyConfig()
+	cfg.EvalAttacks = []string{"omla", "scope"}
+	return cfg
+}
+
+func assertSameSearch(t *testing.T, a, b SearchResult, label string) {
+	t.Helper()
+	if !a.Recipe.Equal(b.Recipe) {
+		t.Fatalf("%s: recipes diverge:\n  %s\n  %s", label, a.Recipe, b.Recipe)
+	}
+	if a.Accuracy != b.Accuracy {
+		t.Fatalf("%s: accuracy differs: %v vs %v", label, a.Accuracy, b.Accuracy)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("%s: trace lengths differ: %d vs %d", label, len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i].Accuracy != b.Trace[i].Accuracy || !a.Trace[i].Recipe.Equal(b.Trace[i].Recipe) {
+			t.Fatalf("%s: trace diverges at iteration %d", label, i)
+		}
+		for name, acc := range a.Trace[i].Accuracies {
+			if b.Trace[i].Accuracies[name] != acc {
+				t.Fatalf("%s: per-attack accuracy %q diverges at iteration %d", label, name, i)
+			}
+		}
+	}
+	for name, acc := range a.Accuracies {
+		if b.Accuracies[name] != acc {
+			t.Fatalf("%s: final per-attack accuracy %q differs", label, name)
+		}
+	}
+}
+
+// TestEnsembleSearchJobsInvariant is the acceptance criterion of the
+// ensemble objective: with EvalAttacks = [omla, scope] the trajectory is
+// bit-for-bit identical for Parallelism 1 and 8.
+func TestEnsembleSearchJobsInvariant(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, key := lock.Lock(g, 8, rand.New(rand.NewSource(9)))
+	cfg := ensembleConfig()
+	proxy := trainProxyT(t, locked, ModelResyn2, cfg)
+
+	cfg.Parallelism = 1
+	serial := searchT(t, locked, key, proxy, cfg)
+	cfg.Parallelism = 8
+	parallel := searchT(t, locked, key, proxy, cfg)
+	assertSameSearch(t, serial, parallel, "jobs=1 vs jobs=8")
+
+	if len(serial.Attacks) != 2 || serial.Attacks[0] != "omla" || serial.Attacks[1] != "scope" {
+		t.Fatalf("ensemble = %v, want [omla scope]", serial.Attacks)
+	}
+	for _, tp := range serial.Trace {
+		if len(tp.Accuracies) != 2 {
+			t.Fatalf("trace point lacks per-attack accuracies: %+v", tp)
+		}
+	}
+}
+
+// TestEnsembleSearchOrderInvariant: the trajectory must not depend on
+// the order the caller lists the attacks in — EvalAttacks is
+// canonicalized to registration order before reduction.
+func TestEnsembleSearchOrderInvariant(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pure determinism check; concurrency coverage is TestEnsembleSearchJobsInvariant")
+	}
+	g := circuits.MustGenerate("c432")
+	locked, key := lock.Lock(g, 8, rand.New(rand.NewSource(10)))
+	cfg := ensembleConfig()
+	proxy := trainProxyT(t, locked, ModelResyn2, cfg)
+
+	cfg.EvalAttacks = []string{"omla", "scope"}
+	fwd := searchT(t, locked, key, proxy, cfg)
+	cfg.EvalAttacks = []string{"scope", "omla"}
+	rev := searchT(t, locked, key, proxy, cfg)
+	assertSameSearch(t, fwd, rev, "attack-set order")
+	if len(rev.Attacks) != 2 || rev.Attacks[0] != "omla" {
+		t.Fatalf("canonical order not applied: %v", rev.Attacks)
+	}
+}
+
+// TestEnsembleWorstHeadline pins the ReduceWorst semantics: the headline
+// accuracy is the ensemble member deviating most from 0.5.
+func TestEnsembleWorstHeadline(t *testing.T) {
+	p := &searchProblem{reduce: ReduceWorst}
+	if got := p.headline([]float64{0.52, 0.91}); got != 0.91 {
+		t.Fatalf("worst headline = %v, want 0.91", got)
+	}
+	if got := p.headline([]float64{0.1, 0.6}); got != 0.1 {
+		t.Fatalf("worst headline = %v, want 0.1", got)
+	}
+	if got := p.reduceEnergy([]float64{0.52, 0.91}); math.Abs(got-0.41) > 1e-12 {
+		t.Fatalf("worst energy = %v, want 0.41", got)
+	}
+	pm := &searchProblem{reduce: ReduceMean}
+	if got := pm.headline([]float64{0.4, 0.6}); got != 0.5 {
+		t.Fatalf("mean headline = %v, want 0.5", got)
+	}
+	if got := pm.reduceEnergy([]float64{0.4, 0.8}); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("mean energy = %v, want 0.2", got)
+	}
+}
+
+// TestEnsembleSingleAttackMatchesDefault: EvalAttacks = ["omla"] must be
+// byte-identical to the default nil objective — the paper's Eq. 1.
+func TestEnsembleSingleAttackMatchesDefault(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pure determinism check; concurrency coverage is TestEnsembleSearchJobsInvariant")
+	}
+	g := circuits.MustGenerate("c432")
+	locked, key := lock.Lock(g, 8, rand.New(rand.NewSource(11)))
+	cfg := tinyConfig()
+	proxy := trainProxyT(t, locked, ModelResyn2, cfg)
+
+	def := searchT(t, locked, key, proxy, cfg)
+	cfg.EvalAttacks = []string{"omla"}
+	exp := searchT(t, locked, key, proxy, cfg)
+	assertSameSearch(t, def, exp, "nil vs explicit [omla]")
+}
+
+// TestEnsembleEventsCarryAttackLabels: one PhaseSearch event per attack
+// per iteration, labeled, with the matching per-attack accuracy.
+func TestEnsembleEventsCarryAttackLabels(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, key := lock.Lock(g, 8, rand.New(rand.NewSource(12)))
+	cfg := ensembleConfig()
+	proxy := trainProxyT(t, locked, ModelResyn2, cfg)
+
+	var events []Event
+	res, err := SearchRecipeCtx(context.Background(), locked, key, proxy, cfg,
+		WithObserver(func(ev Event) { events = append(events, ev) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(res.Trace); len(events) != want {
+		t.Fatalf("streamed %d events, want %d (2 per iteration)", len(events), want)
+	}
+	for i, ev := range events {
+		wantAttack := res.Attacks[i%2]
+		if ev.Attack != wantAttack {
+			t.Fatalf("event %d attack = %q, want %q", i, ev.Attack, wantAttack)
+		}
+		if got := res.Trace[i/2].Accuracies[wantAttack]; ev.Accuracy != got {
+			t.Fatalf("event %d accuracy %v != trace %v", i, ev.Accuracy, got)
+		}
+	}
+}
+
+// TestSecureSynthesisEnsembleAndMuxLocker runs the acceptance flow of
+// the redesign end to end: HardenCtx-equivalent pipeline with an rll+mux
+// locker chain and a two-attack ensemble objective, bit-for-bit
+// identical across Parallelism 1 and 8, and functionally correct under
+// the concatenated key.
+func TestSecureSynthesisEnsembleAndMuxLocker(t *testing.T) {
+	if raceEnabled {
+		t.Skip("two full pipeline runs under -race")
+	}
+	g := circuits.MustGenerate("c432")
+	cfg := ensembleConfig()
+	cfg.Lockers = []string{"rll", "mux"}
+
+	cfg.Parallelism = 1
+	h1, err := SecureSynthesisCtx(context.Background(), g, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 8
+	h8, err := SecureSynthesisCtx(context.Background(), g, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSearch(t, h1.Search, h8.Search, "pipeline jobs=1 vs jobs=8")
+	if h1.Key.String() != h8.Key.String() {
+		t.Fatal("locking diverged across Parallelism")
+	}
+	if len(h1.Lockers) != 2 || h1.Lockers[0] != "rll" || h1.Lockers[1] != "mux" {
+		t.Fatalf("locker chain = %v", h1.Lockers)
+	}
+	if h1.Netlist.NumKeyInputs() != 8 {
+		t.Fatalf("key inputs = %d", h1.Netlist.NumKeyInputs())
+	}
+	if ok, cex := cnf.EquivalentUnderKey(g, h1.Netlist, h1.Key); !ok {
+		t.Fatalf("mixed-locked hardened netlist broken under key (cex=%v)", cex)
+	}
+}
+
+// TestValidateEnsembleFields covers the new Config surface.
+func TestValidateEnsembleFields(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EvalAttacks = []string{"bogus"}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown EvalAttacks entry validated")
+	}
+	cfg = DefaultConfig()
+	cfg.Lockers = []string{"bogus"}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown Lockers entry validated")
+	}
+	cfg = DefaultConfig()
+	cfg.EnsembleReduce = EnsembleReduce(42)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown EnsembleReduce validated")
+	}
+	cfg = DefaultConfig()
+	cfg.EvalAttacks = []string{"omla", "scope", "redundancy"}
+	cfg.Lockers = []string{"mux", "rll"}
+	cfg.EnsembleReduce = ReduceMean
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid ensemble config rejected: %v", err)
+	}
+}

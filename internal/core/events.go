@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/nyu-secml/almost/internal/attack/omla"
+	"github.com/nyu-secml/almost/internal/attack/redundancy"
 	"github.com/nyu-secml/almost/internal/synth"
 )
 
@@ -56,6 +58,14 @@ const (
 type Event struct {
 	Phase Phase
 
+	// Attack labels the event with the registered attack it concerns:
+	// PhaseSearch events under an ensemble objective carry one event per
+	// attack per iteration, and attacker adapters label their own
+	// training epochs. Empty for events that concern no specific attack.
+	Attack string
+	// Lockers names the locking-scheme chain being applied (PhaseLock).
+	Lockers []string
+
 	// Epoch / Epochs count completed training epochs (PhaseTrain).
 	Epoch  int
 	Epochs int
@@ -90,6 +100,15 @@ type Option func(*runOptions)
 
 type runOptions struct {
 	observers []Observer
+	// recipe is the defender's synthesis recipe, consumed by
+	// self-referencing attackers (WithRecipe).
+	recipe synth.Recipe
+	// omlaCfg overrides the built-in OMLA attacker's training settings
+	// (WithOMLAConfig).
+	omlaCfg *omla.Config
+	// redundancyCfg overrides the built-in redundancy attacker's effort
+	// settings (WithRedundancyConfig).
+	redundancyCfg *redundancy.Config
 }
 
 // WithObserver streams progress events to fn. Multiple observers may be
@@ -100,6 +119,28 @@ func WithObserver(fn func(Event)) Option {
 			o.observers = append(o.observers, Observer(fn))
 		}
 	}
+}
+
+// WithRecipe tells an Attacker which synthesis recipe the defender used
+// (the §II threat model grants the attacker that knowledge).
+// Self-referencing attacks such as OMLA re-synthesize their training
+// data with it; attackers that don't need it ignore it.
+func WithRecipe(r synth.Recipe) Option {
+	return func(o *runOptions) { o.recipe = r }
+}
+
+// WithOMLAConfig overrides the built-in OMLA attacker's training
+// settings for one AttackCtx call (e.g. to shrink epochs in quick
+// experiment runs). Other attackers ignore it.
+func WithOMLAConfig(cfg omla.Config) Option {
+	return func(o *runOptions) { o.omlaCfg = &cfg }
+}
+
+// WithRedundancyConfig overrides the built-in redundancy attacker's
+// effort settings for one AttackCtx call (e.g. to shrink fault sampling
+// in quick experiment runs). Other attackers ignore it.
+func WithRedundancyConfig(cfg redundancy.Config) Option {
+	return func(o *runOptions) { o.redundancyCfg = &cfg }
 }
 
 func buildOptions(opts []Option) *runOptions {
@@ -152,6 +193,15 @@ func (c Config) Validate() error {
 		if c.AdvSAIters <= 0 {
 			return fail("Config.AdvSAIters must be positive when AdvPeriod > 0 (got %d)", c.AdvSAIters)
 		}
+	}
+	if _, err := canonicalAttacks(c.EvalAttacks); err != nil {
+		return err
+	}
+	if _, err := canonicalLockers(c.Lockers); err != nil {
+		return err
+	}
+	if c.EnsembleReduce != ReduceWorst && c.EnsembleReduce != ReduceMean {
+		return fail("Config.EnsembleReduce must be ReduceWorst or ReduceMean (got %d)", int(c.EnsembleReduce))
 	}
 	a := c.Attack
 	if a.Hops <= 0 {

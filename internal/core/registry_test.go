@@ -1,0 +1,260 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/cnf"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// fakeAttacker is a registrable test double with a configurable name.
+type fakeAttacker struct {
+	name string
+	acc  float64
+}
+
+func (f fakeAttacker) Name() string { return f.name }
+func (f fakeAttacker) AttackCtx(ctx context.Context, _ *aig.AIG, _ lock.Key, _ ...Option) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, canceled(err)
+	}
+	return f.acc, nil
+}
+
+// fakeLocker delegates to RLL under a test-local name.
+type fakeLocker struct{ name string }
+
+func (f fakeLocker) Name() string { return f.name }
+func (f fakeLocker) LockCtx(_ context.Context, g *aig.AIG, keySize int, rng *rand.Rand) (*aig.AIG, lock.Key, error) {
+	locked, key := lock.Lock(g, keySize, rng)
+	return locked, key, nil
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	atks := Attackers()
+	if len(atks) < 3 {
+		t.Fatalf("Attackers() = %v, want at least the three built-ins", atks)
+	}
+	// Registration order starts with the built-ins, which is the
+	// canonical ensemble reduction order.
+	if atks[0] != "omla" || atks[1] != "scope" || atks[2] != "redundancy" {
+		t.Fatalf("built-in attacker order drifted: %v", atks)
+	}
+	lks := Lockers()
+	if len(lks) < 2 {
+		t.Fatalf("Lockers() = %v, want at least rll and mux", lks)
+	}
+	if lks[0] != "rll" || lks[1] != "mux" {
+		t.Fatalf("built-in locker order drifted: %v", lks)
+	}
+	for _, n := range atks {
+		if _, ok := LookupAttacker(n); !ok {
+			t.Fatalf("listed attacker %q does not resolve", n)
+		}
+	}
+	for _, n := range lks {
+		if _, ok := LookupLocker(n); !ok {
+			t.Fatalf("listed locker %q does not resolve", n)
+		}
+	}
+	if _, ok := LookupAttacker("no-such-attack"); ok {
+		t.Fatal("unknown attacker resolved")
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	if err := RegisterAttacker(fakeAttacker{name: "omla"}); err == nil {
+		t.Fatal("duplicate attacker name accepted")
+	}
+	if err := RegisterAttacker(fakeAttacker{name: ""}); err == nil {
+		t.Fatal("empty attacker name accepted")
+	}
+	if err := RegisterAttacker(nil); err == nil {
+		t.Fatal("nil attacker accepted")
+	}
+	if err := RegisterLocker(fakeLocker{name: "rll"}); err == nil {
+		t.Fatal("duplicate locker name accepted")
+	}
+	if err := RegisterLocker(nil); err == nil {
+		t.Fatal("nil locker accepted")
+	}
+}
+
+// TestRegistryConcurrentRegisterLookup hammers the registry from many
+// goroutines; run with -race this is the concurrency-safety check of the
+// registration API.
+func TestRegistryConcurrentRegisterLookup(t *testing.T) {
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("conc-attack-%d", i)
+			if err := RegisterAttacker(fakeAttacker{name: name, acc: 0.5}); err != nil {
+				t.Errorf("register %s: %v", name, err)
+			}
+			for j := 0; j < 50; j++ {
+				Attackers()
+				LookupAttacker("omla")
+				LookupAttacker(name)
+				Lockers()
+				LookupLocker("mux")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if _, ok := LookupAttacker(fmt.Sprintf("conc-attack-%d", i)); !ok {
+			t.Fatalf("concurrently registered attacker %d lost", i)
+		}
+	}
+}
+
+func TestThirdPartyAttackerJoinsEnsemble(t *testing.T) {
+	name := "third-party-const"
+	if err := RegisterAttacker(fakeAttacker{name: name, acc: 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	locked, key := lockedC432(t)
+	cfg := tinyConfig()
+	cfg.EvalAttacks = []string{name, "omla"}
+	proxy, err := TrainProxyCtx(context.Background(), locked, ModelResyn2, synth.Resyn2(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SearchRecipeCtx(context.Background(), locked, key, proxy, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical order puts the built-in first (registered in init),
+	// the third-party attack after it.
+	if len(res.Attacks) != 2 || res.Attacks[0] != "omla" || res.Attacks[1] != name {
+		t.Fatalf("canonical ensemble order = %v", res.Attacks)
+	}
+	if got := res.Accuracies[name]; got != 0.75 {
+		t.Fatalf("third-party accuracy = %v, want 0.75", got)
+	}
+}
+
+// failingAttacker always errors with an uncanceled context — the
+// third-party failure mode the ensemble search must surface instead of
+// annealing to a meaningless NaN result.
+type failingAttacker struct{ name string }
+
+func (f failingAttacker) Name() string { return f.name }
+func (f failingAttacker) AttackCtx(context.Context, *aig.AIG, lock.Key, ...Option) (float64, error) {
+	return 0, errors.New("model file missing")
+}
+
+func TestEnsembleSurfacesAttackerFailure(t *testing.T) {
+	name := "third-party-broken"
+	if err := RegisterAttacker(failingAttacker{name: name}); err != nil {
+		t.Fatal(err)
+	}
+	locked, key := lockedC432(t)
+	cfg := tinyConfig()
+	cfg.EvalAttacks = []string{"omla", name}
+	proxy, err := TrainProxyCtx(context.Background(), locked, ModelResyn2, synth.Resyn2(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = SearchRecipeCtx(context.Background(), locked, key, proxy, cfg)
+	if err == nil {
+		t.Fatal("search with a failing ensemble attacker returned err = nil")
+	}
+	if !strings.Contains(err.Error(), name) || !strings.Contains(err.Error(), "model file missing") {
+		t.Fatalf("failure not attributed: %v", err)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Fatalf("non-cancellation failure mislabeled as canceled: %v", err)
+	}
+}
+
+func TestCanonicalAttacksValidation(t *testing.T) {
+	if _, err := canonicalAttacks([]string{"omla", "omla"}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("duplicate attack: err = %v", err)
+	}
+	if _, err := canonicalAttacks([]string{"nope"}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("unknown attack: err = %v", err)
+	} else if !strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("unknown-attack message not actionable: %v", err)
+	}
+	got, err := canonicalAttacks(nil)
+	if err != nil || len(got) != 1 || got[0] != "omla" {
+		t.Fatalf("default objective = %v, %v", got, err)
+	}
+	// Canonicalization sorts into registration order.
+	got, err = canonicalAttacks([]string{"redundancy", "omla", "scope"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "omla" || got[1] != "scope" || got[2] != "redundancy" {
+		t.Fatalf("canonical order = %v", got)
+	}
+}
+
+func TestLockWithCtxChainsSchemes(t *testing.T) {
+	g := circuits.MustGenerate("c880")
+	rng := rand.New(rand.NewSource(7))
+	locked, key, err := LockWithCtx(context.Background(), g, 17, []string{"rll", "mux"}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 17 split across 2 schemes: rll gets 9 (8 + remainder), mux 8.
+	if len(key) != 17 || locked.NumKeyInputs() != 17 {
+		t.Fatalf("key = %d bits, %d key inputs; want 17", len(key), locked.NumKeyInputs())
+	}
+	if ok, cex := cnf.EquivalentUnderKey(g, locked, key); !ok {
+		t.Fatalf("rll+mux chain broken under concatenated key (cex=%v)", cex)
+	}
+	if _, _, err := LockWithCtx(context.Background(), g, 8, []string{"bogus"}, rng); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("unknown locker: err = %v", err)
+	}
+}
+
+func TestBuiltinAttackersHonorContext(t *testing.T) {
+	locked, key := lockedC432(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{"omla", "scope", "redundancy"} {
+		atk, ok := LookupAttacker(name)
+		if !ok {
+			t.Fatalf("built-in %q missing", name)
+		}
+		_, err := atk.AttackCtx(ctx, locked, key)
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want ErrCanceled ∧ context.Canceled", name, err)
+		}
+	}
+}
+
+// TestBuiltinAttackersPredictKeys checks the optional KeyPredictor
+// upgrade every built-in ships: predicted keys have one bit per key
+// input.
+func TestBuiltinAttackersPredictKeys(t *testing.T) {
+	locked, key := lockedC432(t)
+	for _, name := range []string{"scope", "redundancy"} {
+		atk, _ := LookupAttacker(name)
+		kp, ok := atk.(KeyPredictor)
+		if !ok {
+			t.Fatalf("built-in %q lacks KeyPredictor", name)
+		}
+		guess, err := kp.PredictKeyCtx(context.Background(), locked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(guess) != len(key) {
+			t.Fatalf("%s predicted %d bits, want %d", name, len(guess), len(key))
+		}
+	}
+}

@@ -56,6 +56,34 @@ type Options struct {
 	// pipeline run inside the experiment. Cells run concurrently, so
 	// events from different (benchmark, key size) cells interleave.
 	Observer core.Observer
+	// Attacks names the registered attacks Table II evaluates, one row
+	// per attack. Nil selects every registered attack in registration
+	// order — so a third-party attack registered before the run gets a
+	// table row automatically.
+	Attacks []string
+}
+
+// attackNames resolves the Table II attack rows: opt.Attacks when set
+// (each name must be registered), otherwise all registered attacks.
+func (o Options) attackNames() ([]AttackName, error) {
+	names := o.Attacks
+	if names == nil {
+		names = core.Attackers()
+	}
+	out := make([]AttackName, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			return nil, fmt.Errorf("experiments: attack %q listed twice", n)
+		}
+		seen[n] = true
+		if _, ok := core.LookupAttacker(n); !ok {
+			return nil, fmt.Errorf("experiments: attack %q is not registered (registered: %s)",
+				n, strings.Join(core.Attackers(), ", "))
+		}
+		out = append(out, AttackName(n))
+	}
+	return out, nil
 }
 
 // circuit resolves one benchmark name through Source (or the built-ins).

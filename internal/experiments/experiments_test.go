@@ -39,6 +39,58 @@ func microOptions() Options {
 	return opt
 }
 
+// TestAttackNames covers the Options.Attacks resolution: nil selects
+// every registered attack in registration order, explicit subsets are
+// honored, unknown names are rejected with the registered list.
+func TestAttackNames(t *testing.T) {
+	opt := microOptions()
+	names, err := opt.attackNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 3 || names[0] != AttackOMLA || names[1] != AttackSCOPE || names[2] != AttackRedundancy {
+		t.Fatalf("default attack rows = %v", names)
+	}
+	opt.Attacks = []string{"scope"}
+	names, err = opt.attackNames()
+	if err != nil || len(names) != 1 || names[0] != AttackSCOPE {
+		t.Fatalf("subset rows = %v, %v", names, err)
+	}
+	opt.Attacks = []string{"psychic"}
+	if _, err := opt.attackNames(); err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("unknown attack accepted: %v", err)
+	}
+	opt.Attacks = []string{"omla", "omla"}
+	if _, err := opt.attackNames(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate attack accepted: %v", err)
+	}
+}
+
+// TestRunTableIISubsetRows runs Table II restricted to the cheap SCOPE
+// row — the per-attack column/row selection the registry redesign adds.
+func TestRunTableIISubsetRows(t *testing.T) {
+	opt := microOptions()
+	opt.Attacks = []string{"scope"}
+	var buf bytes.Buffer
+	opt.Out = &buf
+	res, err := RunTableII(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Attack != AttackSCOPE {
+		t.Fatalf("rows = %+v, want one scope row", res.Rows)
+	}
+	if len(res.Attacks) != 1 || res.Attacks[0] != AttackSCOPE {
+		t.Fatalf("attacks = %v", res.Attacks)
+	}
+	if _, ok := res.Cell(AttackSCOPE, 8, "c432"); !ok {
+		t.Fatal("scope cell missing")
+	}
+	if !strings.Contains(buf.String(), "TABLE II") {
+		t.Fatal("missing table II output")
+	}
+}
+
 func TestRunTransferability(t *testing.T) {
 	opt := microOptions()
 	var buf bytes.Buffer

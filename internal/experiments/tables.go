@@ -5,24 +5,32 @@ import (
 	"fmt"
 	"io"
 
-	"github.com/nyu-secml/almost/internal/attack/omla"
 	"github.com/nyu-secml/almost/internal/attack/redundancy"
-	"github.com/nyu-secml/almost/internal/attack/scope"
 	"github.com/nyu-secml/almost/internal/core"
 	"github.com/nyu-secml/almost/internal/synth"
 	"github.com/nyu-secml/almost/internal/techmap"
 )
 
+// redundancySamples scales the redundancy attack's fault sampling down
+// for quick runs.
+func redundancySamples(opt Options) int {
+	if opt.RandomSetSize < 50 {
+		return 10
+	}
+	return redundancy.DefaultConfig().FaultSamples
+}
+
 // --- Table II: SOTA attacks on resyn2 vs ALMOST netlists --------------
 
-// AttackName identifies the attacks of Table II.
+// AttackName identifies an attack row of Table II by its registered
+// name (core.Attackers()).
 type AttackName string
 
-// Attacks evaluated in Table II.
+// Built-in attacks evaluated in Table II.
 const (
-	AttackOMLA       AttackName = "OMLA"
-	AttackSCOPE      AttackName = "SCOPE"
-	AttackRedundancy AttackName = "Redundancy"
+	AttackOMLA       AttackName = "omla"
+	AttackSCOPE      AttackName = "scope"
+	AttackRedundancy AttackName = "redundancy"
 )
 
 // TableIICell is the (resyn2, ALMOST) accuracy pair for one attack on
@@ -41,36 +49,44 @@ type TableIIRow struct {
 
 // TableIIResult is the full table plus the ALMOST recipes used.
 type TableIIResult struct {
+	Attacks []AttackName // row order: the attacks evaluated
 	Rows    []TableIIRow
 	Recipes map[string]map[int]synth.Recipe // benchmark -> keySize -> S_ALMOST
 }
 
 // RunTableII reproduces Table II: for every benchmark and key size, an
-// S_ALMOST recipe is generated with the M* proxy, then OMLA (trained
-// independently with knowledge of the respective recipe), SCOPE, and the
-// redundancy attack are run against both the resyn2- and the
-// ALMOST-synthesized locked netlists.
+// S_ALMOST recipe is generated with the M* proxy, then every attack of
+// opt.Attacks — default: all registered attacks, in registration order
+// (OMLA trained independently with knowledge of the respective recipe,
+// SCOPE, redundancy, plus any third-party registrations) — is run
+// against both the resyn2- and the ALMOST-synthesized locked netlists.
+// One table row per (attack, key size): registering a new attack adds
+// its row with no changes here.
 func RunTableII(ctx context.Context, opt Options) (TableIIResult, error) {
-	res := TableIIResult{Recipes: map[string]map[int]synth.Recipe{}}
+	attacks, err := opt.attackNames()
+	if err != nil {
+		return TableIIResult{}, err
+	}
+	res := TableIIResult{Attacks: attacks, Recipes: map[string]map[int]synth.Recipe{}}
 	resyn := synth.Resyn2()
 	rows := map[AttackName]map[int]*TableIIRow{}
-	for _, atk := range []AttackName{AttackOMLA, AttackSCOPE, AttackRedundancy} {
+	for _, atk := range attacks {
 		rows[atk] = map[int]*TableIIRow{}
 		for _, ks := range opt.KeySizes {
 			rows[atk][ks] = &TableIIRow{Attack: atk, KeySize: ks, Cells: map[string]TableIICell{}}
 		}
 	}
-	// Each (benchmark, key size) pair — recipe search plus the three
+	// Each (benchmark, key size) pair — recipe search plus the
 	// independent attacks — is self-contained, so pairs fan out across
 	// workers into per-pair slots, merged into the shared maps afterwards.
 	type pairResult struct {
-		recipe                synth.Recipe
-		omla, scope, redundcy TableIICell
+		recipe synth.Recipe
+		cells  map[AttackName]TableIICell
 	}
 	nk := len(opt.KeySizes)
 	pairs := make([]pairResult, len(opt.Benchmarks)*nk)
 	copt := opt.cellOptions(len(pairs))
-	err := fanOut(ctx, len(pairs), opt.jobs(), func(i int) error {
+	err = fanOut(ctx, len(pairs), opt.jobs(), func(i int) error {
 		bench, keySize := opt.Benchmarks[i/nk], opt.KeySizes[i%nk]
 		_, locked, key, err := opt.lockedInstance(bench, keySize, opt.Seed)
 		if err != nil {
@@ -88,35 +104,33 @@ func RunTableII(ctx context.Context, opt Options) (TableIIResult, error) {
 		baseNet := resyn.Apply(locked)
 		almostNet := search.Recipe.Apply(locked)
 
-		// OMLA: independent attacker per netlist, knowing the recipe.
+		// Independent attacker per netlist, with full recipe knowledge
+		// (the §II threat model), through the registry interface. Quick
+		// runs shrink OMLA training (opt.Cfg.Attack) and redundancy
+		// fault sampling via the per-attack config options.
 		acfg := opt.Cfg.Attack
 		acfg.Seed = opt.Seed + 131
-		omlaBaseAtk, err := omla.TrainCtx(ctx, baseNet, resyn, acfg, nil)
-		if err != nil {
-			return err
-		}
-		omlaBase := omlaBaseAtk.Accuracy(baseNet, key)
-		omlaAlmostAtk, err := omla.TrainCtx(ctx, almostNet, search.Recipe, acfg, nil)
-		if err != nil {
-			return err
-		}
-		omlaAlmost := omlaAlmostAtk.Accuracy(almostNet, key)
-
-		scfg := scope.DefaultConfig()
 		rcfg := redundancy.DefaultConfig()
 		rcfg.FaultSamples = redundancySamples(opt)
-		pairs[i] = pairResult{
-			recipe: search.Recipe,
-			omla:   TableIICell{omlaBase, omlaAlmost},
-			scope: TableIICell{
-				scope.Accuracy(baseNet, key, scfg),
-				scope.Accuracy(almostNet, key, scfg),
-			},
-			redundcy: TableIICell{
-				redundancy.Accuracy(baseNet, key, rcfg),
-				redundancy.Accuracy(almostNet, key, rcfg),
-			},
+		cells := make(map[AttackName]TableIICell, len(attacks))
+		for _, name := range attacks {
+			atk, ok := core.LookupAttacker(string(name))
+			if !ok {
+				return fmt.Errorf("experiments: attack %q is not registered", name)
+			}
+			base, err := atk.AttackCtx(ctx, baseNet, key,
+				core.WithRecipe(resyn), core.WithOMLAConfig(acfg), core.WithRedundancyConfig(rcfg))
+			if err != nil {
+				return err
+			}
+			hard, err := atk.AttackCtx(ctx, almostNet, key,
+				core.WithRecipe(search.Recipe), core.WithOMLAConfig(acfg), core.WithRedundancyConfig(rcfg))
+			if err != nil {
+				return err
+			}
+			cells[name] = TableIICell{base, hard}
 		}
+		pairs[i] = pairResult{recipe: search.Recipe, cells: cells}
 		return nil
 	})
 	if err != nil {
@@ -128,26 +142,17 @@ func RunTableII(ctx context.Context, opt Options) (TableIIResult, error) {
 			res.Recipes[bench] = map[int]synth.Recipe{}
 		}
 		res.Recipes[bench][keySize] = p.recipe
-		rows[AttackOMLA][keySize].Cells[bench] = p.omla
-		rows[AttackSCOPE][keySize].Cells[bench] = p.scope
-		rows[AttackRedundancy][keySize].Cells[bench] = p.redundcy
+		for name, cell := range p.cells {
+			rows[name][keySize].Cells[bench] = cell
+		}
 	}
-	for _, atk := range []AttackName{AttackOMLA, AttackSCOPE, AttackRedundancy} {
+	for _, atk := range attacks {
 		for _, ks := range opt.KeySizes {
 			res.Rows = append(res.Rows, *rows[atk][ks])
 		}
 	}
 	res.print(opt.out(), opt.Benchmarks)
 	return res, nil
-}
-
-// redundancySamples scales the redundancy attack's fault sampling down
-// for quick runs.
-func redundancySamples(opt Options) int {
-	if opt.RandomSetSize < 50 {
-		return 10
-	}
-	return redundancy.DefaultConfig().FaultSamples
 }
 
 func (r TableIIResult) print(w io.Writer, benches []string) {

@@ -95,6 +95,58 @@ func Lock(g *aig.AIG, keySize int, rng *rand.Rand) (*aig.AIG, Key) {
 	return rb.Finish(), key
 }
 
+// LockMux inserts keySize MUX key gates on distinct randomly chosen
+// wires of g and returns the locked netlist together with the correct
+// key. Each key gate replaces a wire t with MUX(k, t, d): under the
+// correct key bit the multiplexer selects the true signal, under the
+// wrong bit a decoy signal d drawn from elsewhere in the circuit (a
+// primary input or an AND node earlier in topological order, so the
+// graph stays acyclic). MUX locking hides which of the two fanins is
+// functional, a structurally different obfuscation from RLL's XOR/XNOR
+// inversion — and the second built-in scheme behind the Locker registry.
+//
+// Key inputs follow the same "keyinput%d" naming convention as Lock,
+// numbered after any key inputs already present, so LockMux composes
+// with Lock (and with itself) for mixed-scheme locking.
+func LockMux(g *aig.AIG, keySize int, rng *rand.Rand) (*aig.AIG, Key) {
+	targets := chooseTargets(g, keySize, rng)
+	key := RandomKey(rng, len(targets))
+	base := g.NumKeyInputs()
+
+	rb := aig.NewRebuilder(g)
+	keyLits := make([]aig.Lit, len(targets))
+	for i := range targets {
+		keyLits[i] = rb.Dst.AddKeyInput(fmt.Sprintf("keyinput%d", base+i))
+	}
+	targetIdx := map[int]int{}
+	for i, t := range targets {
+		targetIdx[t] = i
+	}
+	// Decoy pool: primary-input literals up front, AND nodes appended as
+	// they are rebuilt, so any decoy drawn for a target is guaranteed to
+	// be available (and earlier in topological order) at insertion time.
+	decoys := make([]aig.Lit, 0, g.NumNodes())
+	for i := 0; i < g.NumInputs(); i++ {
+		decoys = append(decoys, g.Input(i))
+	}
+	for _, id := range g.TopoOrder() {
+		f0, f1 := g.Fanins(id)
+		nl := rb.Dst.And(rb.LitOf(f0), rb.LitOf(f1))
+		if ti, ok := targetIdx[id]; ok {
+			d := rb.LitOf(decoys[rng.Intn(len(decoys))]).NotIf(rng.Intn(2) == 1)
+			t, e := nl, d
+			if !key[ti] { // correct bit 0 must select the true signal
+				t, e = d, nl
+			}
+			rb.Map(id, rb.Dst.Mux(keyLits[ti], t, e))
+		} else {
+			rb.Map(id, nl)
+		}
+		decoys = append(decoys, aig.MakeLit(id, false))
+	}
+	return rb.Finish(), key
+}
+
 // chooseTargets picks keySize distinct live AND nodes, uniformly.
 func chooseTargets(g *aig.AIG, keySize int, rng *rand.Rand) []int {
 	order := g.TopoOrder()

@@ -88,6 +88,62 @@ func TestAllKeyGatesLive(t *testing.T) {
 	}
 }
 
+func TestLockMuxCorrectKeyPreservesFunction(t *testing.T) {
+	g := circuits.MustGenerate("c499")
+	rng := rand.New(rand.NewSource(21))
+	locked, key := LockMux(g, 24, rng)
+	if locked.NumKeyInputs() != 24 || len(key) != 24 {
+		t.Fatalf("key inputs = %d, key = %d", locked.NumKeyInputs(), len(key))
+	}
+	for _, ki := range locked.KeyInputIndices() {
+		if !strings.HasPrefix(locked.InputName(ki), "keyinput") {
+			t.Fatalf("bad key input name %q", locked.InputName(ki))
+		}
+	}
+	if ok, cex := cnf.EquivalentUnderKey(g, locked, key); !ok {
+		t.Fatalf("correct key does not restore function (cex=%v)", cex)
+	}
+}
+
+func TestLockMuxSurvivesSynthesis(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	rng := rand.New(rand.NewSource(22))
+	locked, key := LockMux(g, 12, rng)
+	synthed := synth.Resyn2().Apply(locked)
+	if synthed.NumKeyInputs() != 12 {
+		t.Fatalf("synthesis lost key inputs: %d", synthed.NumKeyInputs())
+	}
+	if ok, _ := cnf.EquivalentUnderKey(g, synthed, key); !ok {
+		t.Fatalf("synthesized MUX-locked circuit broken under correct key")
+	}
+}
+
+func TestLockMuxDeterministicForSeed(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	l1, k1 := LockMux(g, 8, rand.New(rand.NewSource(23)))
+	l2, k2 := LockMux(g, 8, rand.New(rand.NewSource(23)))
+	if l1.NumNodes() != l2.NumNodes() || k1.String() != k2.String() {
+		t.Fatalf("MUX locking not deterministic")
+	}
+}
+
+// TestLockMuxComposesWithRLL chains the two schemes — the mixed-locking
+// scenario Config.Lockers enables — and checks the concatenated key
+// restores the original function.
+func TestLockMuxComposesWithRLL(t *testing.T) {
+	g := circuits.MustGenerate("c880")
+	rng := rand.New(rand.NewSource(24))
+	l1, k1 := Lock(g, 8, rng)
+	l2, k2 := LockMux(l1, 8, rng)
+	if l2.NumKeyInputs() != 16 {
+		t.Fatalf("key inputs = %d, want 16", l2.NumKeyInputs())
+	}
+	full := append(append(Key(nil), k1...), k2...)
+	if ok, _ := cnf.EquivalentUnderKey(g, l2, full); !ok {
+		t.Fatalf("RLL+MUX chain broken under concatenated key")
+	}
+}
+
 func TestApplyKeyRemovesKeyInputs(t *testing.T) {
 	g := circuits.MustGenerate("c432")
 	rng := rand.New(rand.NewSource(5))
