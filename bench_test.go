@@ -1,6 +1,7 @@
 // Benchmark harness regenerating every table and figure of the paper's
-// evaluation (see DESIGN.md §4 for the experiment index, and
-// EXPERIMENTS.md for recorded paper-vs-measured results).
+// evaluation (see README.md for the experiment index and PAPER.md for
+// the quantities each table/figure reports; recorded data points live in
+// the BENCH_pr*.json files at the repo root).
 //
 // Each benchmark runs one reduced-scale experiment per iteration; since
 // every experiment takes well over a second, go test's default policy
@@ -13,9 +14,9 @@
 // default 10-minute timeout on a single core — pass -timeout 60m (or
 // run benchmarks selectively, as the recorded bench_output.txt does).
 //
-// The Ablation* benchmarks cover the design decisions called out in
-// DESIGN.md §5 (adversarial cadence R, model class, locality radius k,
-// SA schedule, recipe length L).
+// The Ablation* benchmarks cover the framework's main design decisions
+// (adversarial cadence R, model class, locality radius k, SA schedule,
+// recipe length L).
 package almost_test
 
 import (
@@ -81,7 +82,7 @@ func benchOptions(b *testing.B) experiments.Options {
 }
 
 // BenchmarkFigTransferability regenerates the §III-A motivation: the
-// cross-recipe accuracy matrix (E1 in DESIGN.md).
+// cross-recipe accuracy matrix.
 func BenchmarkFigTransferability(b *testing.B) {
 	opt := benchOptions(b)
 	for i := 0; i < b.N; i++ {
@@ -95,7 +96,7 @@ func BenchmarkFigTransferability(b *testing.B) {
 	}
 }
 
-// BenchmarkTableI regenerates Table I (E2): the three proxy models'
+// BenchmarkTableI regenerates Table I: the three proxy models'
 // accuracy on T_resyn2 vs the random-recipe set.
 func BenchmarkTableI(b *testing.B) {
 	opt := benchOptions(b)
@@ -109,7 +110,7 @@ func BenchmarkTableI(b *testing.B) {
 	}
 }
 
-// BenchmarkFig4 regenerates Fig. 4 (E3): SA recipe-search traces under
+// BenchmarkFig4 regenerates Fig. 4: SA recipe-search traces under
 // the three evaluator models.
 func BenchmarkFig4(b *testing.B) {
 	opt := benchOptions(b)
@@ -128,7 +129,7 @@ func BenchmarkFig4(b *testing.B) {
 	}
 }
 
-// BenchmarkTableII regenerates Table II (E4): OMLA, SCOPE, and the
+// BenchmarkTableII regenerates Table II: OMLA, SCOPE, and the
 // redundancy attack against resyn2- and ALMOST-synthesized netlists.
 func BenchmarkTableII(b *testing.B) {
 	opt := benchOptions(b)
@@ -144,7 +145,7 @@ func BenchmarkTableII(b *testing.B) {
 	}
 }
 
-// BenchmarkTableIII regenerates Table III (E6): PPA overheads of the
+// BenchmarkTableIII regenerates Table III: PPA overheads of the
 // ALMOST netlists relative to the locked baseline, -opt and +opt.
 func BenchmarkTableIII(b *testing.B) {
 	opt := benchOptions(b)
@@ -165,7 +166,7 @@ func BenchmarkTableIII(b *testing.B) {
 	}
 }
 
-// BenchmarkFig5 regenerates Fig. 5 (E5): attacker re-synthesis toward
+// BenchmarkFig5 regenerates Fig. 5: attacker re-synthesis toward
 // area/delay with accuracy overlay; reports the |correlation| the paper
 // argues is near zero.
 func BenchmarkFig5(b *testing.B) {
@@ -189,7 +190,7 @@ func BenchmarkFig5(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §5) ------------------------------------------
+// --- Ablations ---------------------------------------------------------
 
 // ablationSetup locks a small benchmark deterministically (smaller
 // still in -short mode, matching benchOptions' CI smoke scale).

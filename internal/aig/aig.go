@@ -89,6 +89,11 @@ type AIG struct {
 	isKey   []bool // parallel to pis: true if the input is a key input
 
 	strash map[uint64]int // (fanin0,fanin1) -> AND node ID
+
+	// gen counts Reset calls. Caches keyed by graph identity (SimScratch
+	// schedules, synthesis arenas) include it so recycled storage —
+	// same pointer, rebuilt contents — never serves stale entries.
+	gen uint64
 }
 
 // New returns an empty AIG containing only the constant node.
@@ -289,10 +294,27 @@ func (g *AIG) OrN(ls []Lit) Lit {
 	return g.AndN(inv).Not()
 }
 
+// FanoutCountsInto is the scratch-reusing variant of FanoutCounts: the
+// buffer is resized (reallocating only when capacity is short), cleared,
+// filled, and returned.
+func (g *AIG) FanoutCountsInto(counts []int) []int {
+	if cap(counts) < len(g.nodes) {
+		counts = make([]int, len(g.nodes))
+	}
+	counts = counts[:len(g.nodes)]
+	for i := range counts {
+		counts[i] = 0
+	}
+	return g.fanoutCountsInto(counts)
+}
+
 // FanoutCounts returns, for every node, the number of fanout references
 // from AND nodes and outputs.
 func (g *AIG) FanoutCounts() []int {
-	counts := make([]int, len(g.nodes))
+	return g.fanoutCountsInto(make([]int, len(g.nodes)))
+}
+
+func (g *AIG) fanoutCountsInto(counts []int) []int {
 	for id := range g.nodes {
 		if g.nodes[id].kind != KindAnd {
 			continue
@@ -351,6 +373,36 @@ func (g *AIG) Clone() *AIG {
 	}
 }
 
+// Generation returns the graph's reset counter. Two observations of the
+// same *AIG with equal Generation and NumNodes are guaranteed to expose
+// the same nodes (the graph is append-only between Resets), which is the
+// invariant scratch/arena caches key on.
+func (g *AIG) Generation() uint64 { return g.gen }
+
+// Reset clears the graph back to the empty state (constant node only),
+// retaining all allocated storage — node array, interface slices, and the
+// structural-hashing table's buckets — for reuse. It is the recycling
+// primitive behind arena-backed synthesis: rebuilding into a Reset graph
+// performs no steady-state allocations once capacities have warmed up.
+//
+// The caller must own the graph exclusively: any outstanding reference
+// (including a SimScratch that scheduled it) observes the bumped
+// generation and rebuilds, but concurrent readers would race.
+func (g *AIG) Reset() {
+	g.gen++
+	g.nodes = append(g.nodes[:0], node{kind: KindConst})
+	g.pis = g.pis[:0]
+	g.pos = g.pos[:0]
+	g.piNames = g.piNames[:0]
+	g.poNames = g.poNames[:0]
+	g.isKey = g.isKey[:0]
+	if g.strash == nil {
+		g.strash = make(map[uint64]int)
+	} else {
+		clear(g.strash)
+	}
+}
+
 // rebuildStrash reconstructs the structural-hashing table from the node
 // array. The graph is append-only and fanins are canonically ordered, so
 // the table is a pure function of the nodes; the first node wins on a
@@ -385,8 +437,30 @@ const unmapped = ^Lit(0)
 
 // NewRebuilder creates a rebuilder with all inputs pre-mapped in order.
 func NewRebuilder(src *AIG) *Rebuilder {
-	dst := New()
-	rb := &Rebuilder{Src: src, Dst: dst, m: make([]Lit, len(src.nodes))}
+	rb := &Rebuilder{}
+	rb.ResetInto(src, New())
+	return rb
+}
+
+// Reset re-targets the rebuilder at src with a fresh destination graph,
+// reusing the mapping slice's storage. Equivalent to *rb = *NewRebuilder(src)
+// minus the per-pass mapping allocation; use ResetInto to also recycle
+// destination-graph storage.
+func (rb *Rebuilder) Reset(src *AIG) { rb.ResetInto(src, New()) }
+
+// ResetInto re-targets the rebuilder at src, recycling dst (which is
+// Reset and must be exclusively owned by the caller) as the destination.
+// The rebuilder's mapping slice is reused, so a rebuild pass over a
+// warmed rebuilder and recycled graph performs no steady-state
+// allocations. The previous destination is untouched — it has usually
+// escaped as a pass's result.
+func (rb *Rebuilder) ResetInto(src, dst *AIG) {
+	dst.Reset()
+	rb.Src, rb.Dst = src, dst
+	if cap(rb.m) < len(src.nodes) {
+		rb.m = make([]Lit, len(src.nodes))
+	}
+	rb.m = rb.m[:len(src.nodes)]
 	for i := range rb.m {
 		rb.m[i] = unmapped
 	}
@@ -400,7 +474,6 @@ func NewRebuilder(src *AIG) *Rebuilder {
 		}
 		rb.m[id] = l
 	}
-	return rb
 }
 
 // Map overrides the destination literal for src node id.
@@ -452,27 +525,45 @@ func (g *AIG) Cleanup() *AIG {
 // live cone.
 func (g *AIG) TopoOrder() []int {
 	live := make([]bool, len(g.nodes))
-	var mark func(id int)
-	mark = func(id int) {
-		if live[id] {
-			return
-		}
-		live[id] = true
-		if g.nodes[id].kind == KindAnd {
-			mark(g.nodes[id].fanin0.Node())
-			mark(g.nodes[id].fanin1.Node())
-		}
-	}
+	return g.topoOrderInto(live, nil)
+}
+
+// topoOrderInto computes TopoOrder using caller-provided buffers: live
+// must be a zeroed []bool of NumNodes, order is appended to (pass a
+// reused slice truncated to zero length). Fanin IDs are always smaller
+// than fanout IDs in an append-only AIG, so liveness propagates in one
+// descending sweep with no recursion.
+func (g *AIG) topoOrderInto(live []bool, order []int) []int {
 	for _, po := range g.pos {
-		mark(po.Node())
+		live[po.Node()] = true
 	}
-	var order []int
+	for id := len(g.nodes) - 1; id >= 1; id-- {
+		if live[id] && g.nodes[id].kind == KindAnd {
+			live[g.nodes[id].fanin0.Node()] = true
+			live[g.nodes[id].fanin1.Node()] = true
+		}
+	}
 	for id := 1; id < len(g.nodes); id++ {
 		if live[id] && g.nodes[id].kind == KindAnd {
 			order = append(order, id)
 		}
 	}
 	return order
+}
+
+// TopoOrderInto is the scratch-reusing variant of TopoOrder: live is
+// resized (reallocating only when capacity is short) and cleared, and
+// the order is appended into order[:0]. It returns the resized live
+// buffer and the order for the caller to retain for the next call.
+func (g *AIG) TopoOrderInto(live []bool, order []int) ([]bool, []int) {
+	if cap(live) < len(g.nodes) {
+		live = make([]bool, len(g.nodes))
+	}
+	live = live[:len(g.nodes)]
+	for i := range live {
+		live[i] = false
+	}
+	return live, g.topoOrderInto(live, order[:0])
 }
 
 // Stats summarizes an AIG for reporting.

@@ -5,55 +5,206 @@ import (
 	"math/rand"
 )
 
-// Simulate64 performs 64-way bit-parallel simulation. in holds one 64-bit
-// pattern word per input (in input creation order); the returned slice
-// holds one word per output. Bit i of each word is an independent pattern.
-func (g *AIG) Simulate64(in []uint64) []uint64 {
-	if len(in) != len(g.pis) {
-		panic("aig: Simulate64 input width mismatch")
+// simGate is one AND evaluation in a levelized schedule: read the two
+// fanin rows, complement as the literals say, write the output row.
+type simGate struct {
+	f0, f1 Lit
+	out    int32
+}
+
+// SimScratch holds reusable, caller-owned simulation state: the
+// levelized gate schedule of the last simulated graph plus the per-node
+// value buffer. A scratch may be reused across calls and across graphs
+// (the schedule is rebuilt automatically when the graph changes); it must
+// not be shared between goroutines. The zero value is ready to use.
+//
+// Slices returned by SignaturesInto alias the scratch buffer and are
+// valid only until the scratch's next use.
+type SimScratch struct {
+	owner  *AIG
+	gen    uint64
+	nNodes int
+	sched  []simGate
+	vals   []uint64
+	rows   [][]uint64
+}
+
+// Reset drops the cached schedule and releases no memory: buffers are
+// kept for reuse, but the next simulation rebuilds the schedule. Call it
+// after recycling a graph the scratch may have scheduled (AIG.Reset
+// already invalidates the schedule via the graph's generation stamp, so
+// Reset is only needed to drop the scratch's reference to a graph).
+func (s *SimScratch) Reset() {
+	s.owner = nil
+	s.nNodes = 0
+	s.sched = s.sched[:0]
+}
+
+// schedule returns the levelized AND-gate schedule of g, rebuilding it
+// when the scratch last scheduled a different (or since-modified) graph.
+// Ascending node ID is a topological — hence level-respecting — order in
+// an append-only AIG, so the schedule is the AND nodes in ID order with
+// their fanin literals flattened out of the node array.
+func (s *SimScratch) schedule(g *AIG) []simGate {
+	if s.owner == g && s.gen == g.gen && s.nNodes == len(g.nodes) {
+		return s.sched
 	}
-	vals := g.simNodes(in)
-	out := make([]uint64, len(g.pos))
+	s.owner, s.gen, s.nNodes = g, g.gen, len(g.nodes)
+	if cap(s.sched) < g.NumAnds() {
+		s.sched = make([]simGate, 0, g.NumAnds())
+	}
+	s.sched = s.sched[:0]
+	for id := 1; id < len(g.nodes); id++ {
+		n := &g.nodes[id]
+		if n.kind == KindAnd {
+			s.sched = append(s.sched, simGate{f0: n.fanin0, f1: n.fanin1, out: int32(id)})
+		}
+	}
+	return s.sched
+}
+
+// buf returns the scratch value buffer resized to n words.
+func (s *SimScratch) buf(n int) []uint64 {
+	if cap(s.vals) < n {
+		s.vals = make([]uint64, n)
+	}
+	return s.vals[:n]
+}
+
+// simCore runs the schedule over a node-major value buffer with stride w
+// words per node. This is the single literal-evaluation loop behind
+// Simulate64, SimulateWords, Signatures, and their Into variants.
+func simCore(sched []simGate, vals []uint64, w int) {
+	if w == 1 {
+		for _, op := range sched {
+			a := vals[op.f0>>1]
+			if op.f0&1 != 0 {
+				a = ^a
+			}
+			b := vals[op.f1>>1]
+			if op.f1&1 != 0 {
+				b = ^b
+			}
+			vals[op.out] = a & b
+		}
+		return
+	}
+	for _, op := range sched {
+		av := vals[int(op.f0>>1)*w:][:w]
+		bv := vals[int(op.f1>>1)*w:][:w]
+		out := vals[int(op.out)*w:][:w]
+		an, bn := op.f0.Neg(), op.f1.Neg()
+		for k := 0; k < w; k++ {
+			a, b := av[k], bv[k]
+			if an {
+				a = ^a
+			}
+			if bn {
+				b = ^b
+			}
+			out[k] = a & b
+		}
+	}
+}
+
+// SimulateInto is the scratch-reusing core of Simulate64: 64-way
+// bit-parallel simulation writing the per-output words into dst, which is
+// grown (reallocated) only when its capacity is short. It returns
+// dst[:NumOutputs]. With a warm scratch and an adequate dst it performs
+// no allocations. s must not be nil.
+func (g *AIG) SimulateInto(s *SimScratch, dst, in []uint64) []uint64 {
+	if len(in) != len(g.pis) {
+		panic(fmt.Sprintf("aig: SimulateInto input width mismatch: %d patterns for %d inputs", len(in), len(g.pis)))
+	}
+	sched := s.schedule(g)
+	vals := s.buf(len(g.nodes))
+	vals[0] = 0
+	for i, id := range g.pis {
+		vals[id] = in[i]
+	}
+	simCore(sched, vals, 1)
+	if cap(dst) < len(g.pos) {
+		dst = make([]uint64, len(g.pos))
+	}
+	dst = dst[:len(g.pos)]
 	for i, po := range g.pos {
 		v := vals[po.Node()]
 		if po.Neg() {
 			v = ^v
 		}
-		out[i] = v
+		dst[i] = v
 	}
-	return out
+	return dst
 }
 
-// simNodes returns the simulation word of every node.
-func (g *AIG) simNodes(in []uint64) []uint64 {
-	vals := make([]uint64, len(g.nodes))
-	vals[0] = 0
+// Simulate64 performs 64-way bit-parallel simulation. in holds one 64-bit
+// pattern word per input (in input creation order); the returned slice
+// holds one word per output. Bit i of each word is an independent pattern.
+// It is a thin allocating wrapper over SimulateInto; hot loops should
+// hold a SimScratch and call SimulateInto directly.
+func (g *AIG) Simulate64(in []uint64) []uint64 {
+	if len(in) != len(g.pis) {
+		panic("aig: Simulate64 input width mismatch")
+	}
+	var s SimScratch
+	return g.SimulateInto(&s, nil, in)
+}
+
+// SimulateWordsInto is the scratch-reusing core of SimulateWords:
+// bit-parallel simulation with w words per signal, writing per-output
+// rows into dst. dst and its rows are grown only when capacity is short;
+// pass the previous return value to reuse them. The result rows are
+// caller-owned (they do not alias the scratch). s must not be nil.
+func (g *AIG) SimulateWordsInto(s *SimScratch, dst [][]uint64, in [][]uint64, w int) [][]uint64 {
+	if len(in) != len(g.pis) {
+		panic(fmt.Sprintf("aig: SimulateWordsInto input width mismatch: %d patterns for %d inputs", len(in), len(g.pis)))
+	}
+	if w < 1 {
+		panic(fmt.Sprintf("aig: SimulateWordsInto needs w >= 1 words, got %d", w))
+	}
+	for i := range in {
+		if len(in[i]) < w {
+			panic(fmt.Sprintf("aig: SimulateWordsInto input %d has %d words, need %d", i, len(in[i]), w))
+		}
+	}
+	sched := s.schedule(g)
+	vals := s.buf(len(g.nodes) * w)
+	for k := 0; k < w; k++ {
+		vals[k] = 0
+	}
 	for i, id := range g.pis {
-		vals[id] = in[i]
+		copy(vals[id*w:id*w+w], in[i][:w])
 	}
-	for id := 1; id < len(g.nodes); id++ {
-		n := &g.nodes[id]
-		if n.kind != KindAnd {
-			continue
-		}
-		a := vals[n.fanin0.Node()]
-		if n.fanin0.Neg() {
-			a = ^a
-		}
-		b := vals[n.fanin1.Node()]
-		if n.fanin1.Neg() {
-			b = ^b
-		}
-		vals[id] = a & b
+	simCore(sched, vals, w)
+	if cap(dst) < len(g.pos) {
+		dst = make([][]uint64, len(g.pos))
 	}
-	return vals
+	dst = dst[:len(g.pos)]
+	for i, po := range g.pos {
+		row := dst[i]
+		if cap(row) < w {
+			row = make([]uint64, w)
+		}
+		row = row[:w]
+		v := vals[po.Node()*w:]
+		if po.Neg() {
+			for k := 0; k < w; k++ {
+				row[k] = ^v[k]
+			}
+		} else {
+			copy(row, v[:w])
+		}
+		dst[i] = row
+	}
+	return dst
 }
 
 // SimulateWords runs bit-parallel simulation with w words per signal
 // (64*w patterns). in is indexed [input][word]; every row must carry at
 // least w words. The result is indexed [output][word]. Like Simulate64,
 // it panics with a descriptive message on a shape mismatch rather than
-// failing with an index error deep in the node loop.
+// failing with an index error deep in the node loop. It is a thin
+// allocating wrapper over SimulateWordsInto.
 func (g *AIG) SimulateWords(in [][]uint64, w int) [][]uint64 {
 	if len(in) != len(g.pis) {
 		panic(fmt.Sprintf("aig: SimulateWords input width mismatch: %d patterns for %d inputs", len(in), len(g.pis)))
@@ -66,47 +217,8 @@ func (g *AIG) SimulateWords(in [][]uint64, w int) [][]uint64 {
 			panic(fmt.Sprintf("aig: SimulateWords input %d has %d words, need %d", i, len(in[i]), w))
 		}
 	}
-	vals := make([][]uint64, len(g.nodes))
-	zero := make([]uint64, w)
-	vals[0] = zero
-	for i, id := range g.pis {
-		vals[id] = in[i]
-	}
-	for id := 1; id < len(g.nodes); id++ {
-		n := &g.nodes[id]
-		if n.kind != KindAnd {
-			continue
-		}
-		av := vals[n.fanin0.Node()]
-		bv := vals[n.fanin1.Node()]
-		out := make([]uint64, w)
-		an, bn := n.fanin0.Neg(), n.fanin1.Neg()
-		for k := 0; k < w; k++ {
-			a, b := av[k], bv[k]
-			if an {
-				a = ^a
-			}
-			if bn {
-				b = ^b
-			}
-			out[k] = a & b
-		}
-		vals[id] = out
-	}
-	res := make([][]uint64, len(g.pos))
-	for i, po := range g.pos {
-		v := vals[po.Node()]
-		out := make([]uint64, w)
-		for k := 0; k < w; k++ {
-			if po.Neg() {
-				out[k] = ^v[k]
-			} else {
-				out[k] = v[k]
-			}
-		}
-		res[i] = out
-	}
-	return res
+	var s SimScratch
+	return g.SimulateWordsInto(&s, nil, in, w)
 }
 
 // EvalSingle evaluates the AIG on a single Boolean input assignment.
@@ -139,63 +251,73 @@ func RandomPatterns(rng *rand.Rand, nIn int) []uint64 {
 	return in
 }
 
+// SignaturesInto computes a per-node simulation signature of w words
+// using random patterns from rng, reusing the scratch's buffers. The
+// returned rows (one per node, indexed by node ID) alias the scratch and
+// are valid only until the scratch's next use; callers that need to
+// retain them must copy. It panics when w < 1 (a zero-width signature
+// would make every pair of nodes look equivalent downstream). s must not
+// be nil.
+func (g *AIG) SignaturesInto(s *SimScratch, rng *rand.Rand, w int) [][]uint64 {
+	if w < 1 {
+		panic(fmt.Sprintf("aig: SignaturesInto needs w >= 1 words, got %d", w))
+	}
+	sched := s.schedule(g)
+	vals := s.buf(len(g.nodes) * w)
+	for k := 0; k < w; k++ {
+		vals[k] = 0
+	}
+	// Draw input patterns in input order, matching Signatures' historical
+	// rng consumption exactly so seeded results are stable.
+	for _, id := range g.pis {
+		row := vals[id*w : id*w+w]
+		for k := range row {
+			row[k] = rng.Uint64()
+		}
+	}
+	simCore(sched, vals, w)
+	if cap(s.rows) < len(g.nodes) {
+		s.rows = make([][]uint64, len(g.nodes))
+	}
+	s.rows = s.rows[:len(g.nodes)]
+	for id := range s.rows {
+		s.rows[id] = vals[id*w : id*w+w]
+	}
+	return s.rows
+}
+
 // Signatures computes a per-node simulation signature of w words using
 // random patterns from rng. Used by resubstitution to find candidate
 // divisors and by equivalence filtering. It panics with a descriptive
-// message when w < 1 (a zero-width signature would make every pair of
-// nodes look equivalent downstream).
+// message when w < 1. It is a thin wrapper over SignaturesInto with a
+// throwaway scratch, so the returned rows are caller-owned.
 func (g *AIG) Signatures(rng *rand.Rand, w int) [][]uint64 {
 	if w < 1 {
 		panic(fmt.Sprintf("aig: Signatures needs w >= 1 words, got %d", w))
 	}
-	in := make([][]uint64, len(g.pis))
-	for i := range in {
-		in[i] = make([]uint64, w)
-		for k := range in[i] {
-			in[i][k] = rng.Uint64()
-		}
-	}
-	vals := make([][]uint64, len(g.nodes))
-	vals[0] = make([]uint64, w)
-	for i, id := range g.pis {
-		vals[id] = in[i]
-	}
-	for id := 1; id < len(g.nodes); id++ {
-		n := &g.nodes[id]
-		if n.kind != KindAnd {
-			continue
-		}
-		av := vals[n.fanin0.Node()]
-		bv := vals[n.fanin1.Node()]
-		out := make([]uint64, w)
-		an, bn := n.fanin0.Neg(), n.fanin1.Neg()
-		for k := 0; k < w; k++ {
-			a, b := av[k], bv[k]
-			if an {
-				a = ^a
-			}
-			if bn {
-				b = ^b
-			}
-			out[k] = a & b
-		}
-		vals[id] = out
-	}
-	return vals
+	var s SimScratch
+	return g.SignaturesInto(&s, rng, w)
 }
 
 // EquivalentBySim checks functional equivalence of two AIGs with the same
 // input/output interface by random simulation with rounds*64 patterns.
 // It is a necessary (not sufficient) check; internal/cnf provides exact
-// SAT-based checking. Returns false on any detected mismatch.
+// SAT-based checking. Returns false on any detected mismatch. Buffers are
+// reused across rounds, so the cost is two schedules plus three slices
+// regardless of the round count.
 func EquivalentBySim(a, b *AIG, rng *rand.Rand, rounds int) bool {
 	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
 		return false
 	}
+	var sa, sb SimScratch
+	in := make([]uint64, a.NumInputs())
+	var oa, ob []uint64
 	for r := 0; r < rounds; r++ {
-		in := RandomPatterns(rng, a.NumInputs())
-		oa := a.Simulate64(in)
-		ob := b.Simulate64(in)
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		oa = a.SimulateInto(&sa, oa, in)
+		ob = b.SimulateInto(&sb, ob, in)
 		for i := range oa {
 			if oa[i] != ob[i] {
 				return false

@@ -150,14 +150,21 @@ func TrainOnDataCtx(ctx context.Context, data []*gnn.Graph, cfg Config,
 	return atk, nil
 }
 
-// PredictKey predicts every key bit of the netlist, in key-input order.
-func (a *Attack) PredictKey(g *aig.AIG) lock.Key {
+// PredictKeyWith predicts every key bit of the netlist, in key-input
+// order, using sc's pooled inference matrices (nil for a private
+// scratch). Predictions are bit-for-bit identical for any scratch.
+func (a *Attack) PredictKeyWith(sc *gnn.Scratch, g *aig.AIG) lock.Key {
 	gs := a.Ext.All(g)
 	key := make(lock.Key, len(gs))
 	for i, sg := range gs {
-		key[i] = a.Model.Predict(sg) == 1
+		key[i] = a.Model.PredictWith(sc, sg) == 1
 	}
 	return key
+}
+
+// PredictKey predicts every key bit of the netlist, in key-input order.
+func (a *Attack) PredictKey(g *aig.AIG) lock.Key {
+	return a.PredictKeyWith(nil, g)
 }
 
 // PredictKeyIndices predicts bits only for the key inputs at the given
@@ -171,10 +178,18 @@ func (a *Attack) PredictKeyIndices(g *aig.AIG, kis []int) lock.Key {
 	return key
 }
 
+// AccuracyWith attacks g and scores the prediction against the true key
+// using sc's pooled inference matrices (nil for a private scratch) —
+// the per-candidate evaluation of the Eq. 1 search, where the engine
+// hands every worker its own scratch.
+func (a *Attack) AccuracyWith(sc *gnn.Scratch, g *aig.AIG, truth lock.Key) float64 {
+	return lock.Accuracy(truth, a.PredictKeyWith(sc, g))
+}
+
 // Accuracy attacks g and scores the prediction against the true key —
 // the headline metric of Tables I and II.
 func (a *Attack) Accuracy(g *aig.AIG, truth lock.Key) float64 {
-	return lock.Accuracy(truth, a.PredictKey(g))
+	return a.AccuracyWith(nil, g, truth)
 }
 
 // AccuracyCtx is the one-shot attack entry: train a fresh attacker

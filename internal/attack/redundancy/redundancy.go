@@ -47,6 +47,30 @@ type fault struct {
 	val  bool // stuck-at value
 }
 
+// scratch is the attack's reusable state: simulation buffers for the
+// good and faulty circuits, a rebuilder plus recycled graph storage for
+// fault injection, and the pattern/output buffers of the random filter.
+type scratch struct {
+	simGood, simBad aig.SimScratch
+	rb              aig.Rebuilder
+	spare           []*aig.AIG
+	in, good, bad   []uint64
+}
+
+func (st *scratch) grab() *aig.AIG {
+	if n := len(st.spare); n > 0 {
+		g := st.spare[n-1]
+		st.spare = st.spare[:n-1]
+		return g
+	}
+	return aig.New()
+}
+
+func (st *scratch) put(g *aig.AIG) {
+	g.Reset()
+	st.spare = append(st.spare, g)
+}
+
 // PredictKey runs the attack, returning the guessed key in key-input
 // order.
 func PredictKey(g *aig.AIG, cfg Config) lock.Key {
@@ -63,13 +87,14 @@ func PredictKeyCtx(ctx context.Context, g *aig.AIG, cfg Config) (lock.Key, error
 	key := make(lock.Key, 0, len(kIdx))
 	fanouts := g.Fanouts()
 	order := g.TopoOrder()
+	st := &scratch{}
 	for _, ki := range kIdx {
 		if err := ctx.Err(); err != nil {
 			return key, err
 		}
 		faults := sampleFaults(g, ki, order, fanouts, cfg.FaultSamples, rng)
-		u0 := countUntestable(lock.FixInputs(g, map[int]bool{ki: false}), faults, cfg, rng)
-		u1 := countUntestable(lock.FixInputs(g, map[int]bool{ki: true}), faults, cfg, rng)
+		u0 := countUntestable(lock.FixInputs(g, map[int]bool{ki: false}), faults, cfg, rng, st)
+		u1 := countUntestable(lock.FixInputs(g, map[int]bool{ki: true}), faults, cfg, rng, st)
 		key = append(key, u1 < u0)
 	}
 	return key, nil
@@ -104,7 +129,7 @@ func sampleFaults(g *aig.AIG, ki int, order []int, fanouts [][]int, n int, rng *
 
 // countUntestable counts faults of the cofactor that no input assignment
 // can expose. Fault sites are re-mapped by relative topological position.
-func countUntestable(cof *aig.AIG, faults []fault, cfg Config, rng *rand.Rand) int {
+func countUntestable(cof *aig.AIG, faults []fault, cfg Config, rng *rand.Rand, st *scratch) int {
 	order := cof.TopoOrder()
 	if len(order) == 0 {
 		return len(faults)
@@ -114,7 +139,7 @@ func countUntestable(cof *aig.AIG, faults []fault, cfg Config, rng *rand.Rand) i
 		// Deterministic position-based transfer of the fault site.
 		pos := (f.node + i) % len(order)
 		site := order[pos]
-		if !testable(cof, site, f.val, cfg, rng) {
+		if !testable(cof, order, site, f.val, cfg, rng, st) {
 			untestable++
 		}
 	}
@@ -122,14 +147,24 @@ func countUntestable(cof *aig.AIG, faults []fault, cfg Config, rng *rand.Rand) i
 }
 
 // testable reports whether stuck-at-val at node site is detectable at any
-// output for some input assignment.
-func testable(g *aig.AIG, site int, val bool, cfg Config, rng *rand.Rand) bool {
+// output for some input assignment. The faulty copy is built into (and
+// recycled from) the scratch's graph pool, and the random filter reuses
+// the scratch's pattern/output buffers and sim schedules.
+func testable(g *aig.AIG, order []int, site int, val bool, cfg Config, rng *rand.Rand, st *scratch) bool {
 	// Fast path: random simulation of good vs faulty circuit.
-	faulty := injectFault(g, site, val)
+	faulty := injectFault(g, order, site, val, st)
+	defer st.put(faulty)
+	if cap(st.in) < g.NumInputs() {
+		st.in = make([]uint64, g.NumInputs())
+	}
+	in := st.in[:g.NumInputs()]
 	for r := 0; r < cfg.SimRounds; r++ {
-		in := aig.RandomPatterns(rng, g.NumInputs())
-		good := g.Simulate64(in)
-		bad := faulty.Simulate64(in)
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		good := g.SimulateInto(&st.simGood, st.good, in)
+		bad := faulty.SimulateInto(&st.simBad, st.bad, in)
+		st.good, st.bad = good, bad
 		for o := range good {
 			if good[o] != bad[o] {
 				return true
@@ -165,12 +200,13 @@ func testable(g *aig.AIG, site int, val bool, cfg Config, rng *rand.Rand) bool {
 	return true // Unknown: assume testable
 }
 
-// injectFault returns a copy of g with node site's output stuck at val.
-func injectFault(g *aig.AIG, site int, val bool) *aig.AIG {
-	rb := aig.NewRebuilder(g)
-	for _, id := range g.TopoOrder() {
+// injectFault returns a copy of g with node site's output stuck at val,
+// built over g's topological order into recycled graph storage.
+func injectFault(g *aig.AIG, order []int, site int, val bool, st *scratch) *aig.AIG {
+	st.rb.ResetInto(g, st.grab())
+	for _, id := range order {
 		f0, f1 := g.Fanins(id)
-		nl := rb.Dst.And(rb.LitOf(f0), rb.LitOf(f1))
+		nl := st.rb.Dst.And(st.rb.LitOf(f0), st.rb.LitOf(f1))
 		if id == site {
 			if val {
 				nl = aig.True
@@ -178,9 +214,9 @@ func injectFault(g *aig.AIG, site int, val bool) *aig.AIG {
 				nl = aig.False
 			}
 		}
-		rb.Map(id, nl)
+		st.rb.Map(id, nl)
 	}
-	return rb.Finish()
+	return st.rb.Finish()
 }
 
 // Accuracy attacks g and scores against the true key.

@@ -18,7 +18,7 @@ func TestInjectFaultChangesFunction(t *testing.T) {
 	b := g.AddInput("b")
 	n := g.And(a, b)
 	g.AddOutput(n, "o")
-	f := injectFault(g, n.Node(), true) // output stuck-at-1
+	f := injectFault(g, g.TopoOrder(), n.Node(), true, &scratch{}) // output stuck-at-1
 	if ok, _ := cnf.Equivalent(g, f); ok {
 		t.Fatal("stuck-at-1 on the only gate should change the function")
 	}
@@ -36,10 +36,10 @@ func TestTestableDetectsTestableFault(t *testing.T) {
 	g.AddOutput(n, "o")
 	cfg := DefaultConfig()
 	rng := rand.New(rand.NewSource(1))
-	if !testable(g, n.Node(), true, cfg, rng) {
+	if !testable(g, g.TopoOrder(), n.Node(), true, cfg, rng, &scratch{}) {
 		t.Fatal("sa1 on AND output is testable (a=b=0)")
 	}
-	if !testable(g, n.Node(), false, cfg, rng) {
+	if !testable(g, g.TopoOrder(), n.Node(), false, cfg, rng, &scratch{}) {
 		t.Fatal("sa0 on AND output is testable (a=b=1)")
 	}
 }
@@ -53,7 +53,7 @@ func TestTestableDetectsRedundantFault(t *testing.T) {
 	g.AddOutput(g.Or(ab, a), "o")
 	cfg := DefaultConfig()
 	rng := rand.New(rand.NewSource(2))
-	if testable(g, ab.Node(), false, cfg, rng) {
+	if testable(g, g.TopoOrder(), ab.Node(), false, cfg, rng, &scratch{}) {
 		t.Fatal("sa0 on absorbed term must be untestable")
 	}
 }

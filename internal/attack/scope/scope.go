@@ -70,16 +70,29 @@ func PredictKey(g *aig.AIG, cfg Config) lock.Key {
 // PredictKeyCtx is the cancellable variant of PredictKey: the context is
 // checked before every key bit's cofactor pair is synthesized, and on
 // cancellation the bits guessed so far are returned alongside ctx.Err().
+// One synthesis arena is shared across all 2·|key| cofactor syntheses,
+// and every cofactor netlist is recycled after feature extraction, so
+// the attack's per-bit allocation cost is near-constant.
 func PredictKeyCtx(ctx context.Context, g *aig.AIG, cfg Config) (lock.Key, error) {
 	kIdx := g.KeyInputIndices()
 	key := make(lock.Key, 0, len(kIdx))
+	a := synth.NewArena()
+	cofactor := func(ki int, v bool) features {
+		cof := lock.FixInputs(g, map[int]bool{ki: v})
+		net := cfg.Recipe.Run(cof, a)
+		f := extract(net)
+		a.Recycle(net)
+		if net != cof {
+			a.Recycle(cof)
+		}
+		return f
+	}
 	for _, ki := range kIdx {
 		if err := ctx.Err(); err != nil {
 			return key, err
 		}
-		c0 := cfg.Recipe.Apply(lock.FixInputs(g, map[int]bool{ki: false}))
-		c1 := cfg.Recipe.Apply(lock.FixInputs(g, map[int]bool{ki: true}))
-		f0, f1 := extract(c0), extract(c1)
+		f0 := cofactor(ki, false)
+		f1 := cofactor(ki, true)
 		key = append(key, decide(f0, f1))
 	}
 	return key, nil

@@ -10,7 +10,8 @@
 // ALUs for c880/c3540, wide control + comparators for c2670/c5315/c7552).
 // ALMOST's mechanism only depends on circuit scale and local structure
 // statistics — not on the exact Boolean functions — so this substitution
-// preserves the attack/defense behaviour; see DESIGN.md §2.
+// preserves the attack/defense behaviour; README.md ("Benchmark
+// circuits") and PAPER.md discuss the substitution and its limits.
 //
 // All generators are pure functions of their profile (no RNG), so every
 // run of the experiments sees identical circuits.

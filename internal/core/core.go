@@ -256,19 +256,36 @@ func (p *advProblem) Neighbor(r synth.Recipe, rng *rand.Rand) synth.Recipe {
 	return synth.MutateRecipe(rng, r)
 }
 
+// gnnScratch returns the worker's pooled GNN inference scratch, lazily
+// parked in the engine scratch's Aux slot.
+func gnnScratch(s *engine.Scratch) *gnn.Scratch {
+	sc, ok := s.Aux.(*gnn.Scratch)
+	if !ok {
+		sc = gnn.NewScratch()
+		s.Aux = sc
+	}
+	return sc
+}
+
 // advEnergy builds the engine EvalFunc for one augmentation round: score
 // a recipe by the model's (negated) loss on the re-synthesized localities
 // of the relocked netlist. maximize loss = minimize negative loss.
+// Synthesis runs through the worker's arena and the scored netlist is
+// recycled; model inference reuses the worker's GNN scratch.
 func advEnergy(model *gnn.Model, keyOrder []int, bits []bool, ext subgraph.Extractor) engine.EvalFunc {
-	return func(g *aig.AIG, r synth.Recipe) float64 {
-		resynth := r.Apply(g)
+	return func(g *aig.AIG, s *engine.Scratch, r synth.Recipe) float64 {
+		resynth := r.Run(g, s.Arena)
 		kisAll := resynth.KeyInputIndices()
 		kis := make([]int, len(keyOrder))
 		for i, ko := range keyOrder {
 			kis[i] = kisAll[ko]
 		}
 		gs := ext.Labeled(resynth, kis, bits)
-		return -model.Loss(gs)
+		loss := model.LossWith(gnnScratch(s), gs)
+		if resynth != g { // an empty recipe returns g itself
+			s.Arena.Recycle(resynth)
+		}
+		return -loss
 	}
 }
 
@@ -530,18 +547,21 @@ func SearchRecipeCtx(ctx context.Context, locked *aig.AIG, truth lock.Key,
 
 	// One estimator per ensemble member. "omla" is the trained proxy —
 	// re-training the real OMLA per candidate is exactly the naive flow
-	// Fig. 2 rejects; the others run the registered attack itself.
-	evals := make([]func(net *aig.AIG, r synth.Recipe) float64, len(attacks))
+	// Fig. 2 rejects; the others run the registered attack itself. Each
+	// estimator receives the worker's engine scratch so proxy inference
+	// reuses pooled matrices; registered attacks must not retain the
+	// netlist (it is recycled after scoring).
+	evals := make([]func(net *aig.AIG, s *engine.Scratch, r synth.Recipe) float64, len(attacks))
 	for i, name := range attacks {
 		if name == "omla" {
-			evals[i] = func(net *aig.AIG, _ synth.Recipe) float64 {
-				return proxy.Attack.Accuracy(net, truth)
+			evals[i] = func(net *aig.AIG, s *engine.Scratch, _ synth.Recipe) float64 {
+				return proxy.Attack.AccuracyWith(gnnScratch(s), net, truth)
 			}
 			continue
 		}
 		atk, _ := LookupAttacker(name) // canonicalAttacks verified the name
 		name := name
-		evals[i] = func(net *aig.AIG, r synth.Recipe) float64 {
+		evals[i] = func(net *aig.AIG, _ *engine.Scratch, r synth.Recipe) float64 {
 			acc, err := atk.AttackCtx(ctx, net, truth, WithRecipe(r))
 			if err != nil {
 				// Cancellation is surfaced by the engine batch itself; a
@@ -556,13 +576,16 @@ func SearchRecipeCtx(ctx context.Context, locked *aig.AIG, truth lock.Key,
 		}
 	}
 
-	eng := engine.New(locked, cfg.Parallelism, func(g *aig.AIG, r synth.Recipe) float64 {
-		net := r.Apply(g)
+	eng := engine.New(locked, cfg.Parallelism, func(g *aig.AIG, s *engine.Scratch, r synth.Recipe) float64 {
+		net := r.Run(g, s.Arena)
 		accs := make([]float64, len(evals))
 		for i, eval := range evals {
-			accs[i] = eval(net, r)
+			accs[i] = eval(net, s, r)
 		}
 		prob.accs.Store(engine.RecipeKey(r), accs)
+		if net != g { // an empty recipe returns g itself
+			s.Arena.Recycle(net)
+		}
 		return prob.reduceEnergy(accs)
 	})
 	defer eng.Close()

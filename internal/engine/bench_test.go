@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// BenchmarkEngineCacheHit measures the steady-state cost of the annealer
+// revisiting a memoized recipe — the "engine batch" hit row of
+// BENCH_pr5.json. Expected allocs/op: 0.
+func BenchmarkEngineCacheHit(b *testing.B) {
+	base := circuits.MustGenerate("c432")
+	e := New(base, 1, sizeEval)
+	defer e.Close()
+	r := synth.Resyn2()
+	e.Evaluate(r) // populate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Evaluate(r)
+	}
+}
+
+// BenchmarkEngineBatchEval measures a cold batch of 8 distinct recipes
+// through a fresh evaluator (worker spin-up, synthesis, settle) — the
+// "engine batch" miss row of BENCH_pr5.json; dominated by the synthesis
+// allocations the arena removes.
+func BenchmarkEngineBatchEval(b *testing.B) {
+	base := circuits.MustGenerate("c432")
+	rs := recipes(8, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New(base, 1, sizeEval)
+		e.EvaluateBatch(rs)
+		e.Close()
+	}
+}

@@ -16,9 +16,9 @@ import (
 func TestEvaluateBatchCtxPreCanceledRunsNothing(t *testing.T) {
 	base := circuits.MustGenerate("c432")
 	var evals int64
-	e := New(base, 2, func(g *aig.AIG, r synth.Recipe) float64 {
+	e := New(base, 2, func(g *aig.AIG, s *Scratch, r synth.Recipe) float64 {
 		atomic.AddInt64(&evals, 1)
-		return sizeEval(g, r)
+		return sizeEval(g, s, r)
 	})
 	defer e.Close()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -41,12 +41,12 @@ func TestEvaluateBatchCtxCancelMidBatchKeepsCompletedWork(t *testing.T) {
 	var evals int64
 	// One worker, slow evaluations: cancel fires during the first job, so
 	// later jobs must never start.
-	e := New(base, 1, func(g *aig.AIG, r synth.Recipe) float64 {
+	e := New(base, 1, func(g *aig.AIG, s *Scratch, r synth.Recipe) float64 {
 		if atomic.AddInt64(&evals, 1) == 1 {
 			cancel()
 			time.Sleep(20 * time.Millisecond)
 		}
-		return sizeEval(g, r)
+		return sizeEval(g, s, r)
 	})
 	defer e.Close()
 	rs := recipes(6, 1)

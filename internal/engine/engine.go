@@ -17,9 +17,16 @@
 //
 // Determinism contract: EvaluateBatch returns scores in input order and
 // the score of a recipe depends only on the recipe (the EvalFunc must be
-// a pure function of its arguments). Under that contract the results are
-// bit-for-bit identical for any worker count, which is what lets
+// a pure function of the netlist and recipe — the worker Scratch it
+// receives is storage, never an input). Under that contract the results
+// are bit-for-bit identical for any worker count, which is what lets
 // anneal.RunParallel promise jobs-independent search trajectories.
+//
+// Allocation contract: worker state (netlist clone, synthesis arena, sim
+// scratch) is pooled across batches, cache lookups build their key into
+// a stack buffer, and a settled hit via Evaluate/EvaluateCtx/Cached
+// allocates nothing — the steady-state cost of the annealer revisiting a
+// recipe is one mutex-guarded map probe.
 package engine
 
 import (
@@ -31,21 +38,59 @@ import (
 	"github.com/nyu-secml/almost/internal/synth"
 )
 
+// Scratch is the reusable per-worker state handed to every EvalFunc
+// call: a worker-private clone of the base netlist plus warm scratch
+// buffers for synthesis and simulation. Scratches are pooled (sync.Pool)
+// across batches, so a long-lived evaluator reaches a zero-allocation
+// steady state: the arena recycles every intermediate netlist of a
+// recipe, the sim scratch reuses its schedule and value buffers, and Aux
+// lets an EvalFunc stash its own per-worker state (core keeps a GNN
+// inference scratch there).
+//
+// A Scratch is confined to one evaluation at a time — EvalFuncs may use
+// it freely without synchronization but must not retain any part of it
+// (or anything allocated from the Arena) past the call's return.
+type Scratch struct {
+	g *aig.AIG // worker-private clone of the evaluator's base netlist
+
+	// Arena pools synthesis storage; score netlists with r.Run(g, s.Arena)
+	// and hand the result to s.Arena.Recycle once scored.
+	Arena *synth.Arena
+	// Sim pools simulation schedules and buffers for the Into-style
+	// aig APIs.
+	Sim *aig.SimScratch
+	// Aux is EvalFunc-owned per-worker state, lazily initialized by the
+	// EvalFunc itself (it starts nil on a fresh scratch).
+	Aux any
+}
+
 // EvalFunc scores one recipe. g is a worker-private copy of the base
-// netlist handed to New, so implementations may synthesize from it freely
-// without synchronization; they must not retain g or mutate captured
-// shared state, and must be deterministic in (g, r).
-type EvalFunc func(g *aig.AIG, r synth.Recipe) float64
+// netlist handed to New and s is the worker's scratch state, so
+// implementations may synthesize from g and allocate from s freely
+// without synchronization; they must not retain g or s (or anything
+// handed out by s.Arena/s.Sim) past the call, must not mutate captured
+// shared state, and the returned score must be a pure function of (g, r)
+// alone — never of scratch contents — so results are bit-for-bit
+// identical for any worker count.
+type EvalFunc func(g *aig.AIG, s *Scratch, r synth.Recipe) float64
 
 // RecipeKey returns the canonical cache key of a recipe: its step codes
 // as raw bytes. Two recipes share a key iff they are step-for-step equal,
-// so the "hash" is collision-free.
+// so the "hash" is collision-free. It allocates the returned string; the
+// evaluator's own lookups go through appendRecipeKey + compiler-optimized
+// map indexing instead, so cache hits allocate nothing.
 func RecipeKey(r synth.Recipe) string {
-	b := make([]byte, len(r))
-	for i, s := range r {
-		b[i] = byte(s)
+	return string(appendRecipeKey(make([]byte, 0, len(r)), r))
+}
+
+// appendRecipeKey appends r's canonical key bytes to dst. With a
+// stack-backed dst and a map lookup of the form m[string(key)] the whole
+// path is allocation-free (the compiler elides the string conversion).
+func appendRecipeKey(dst []byte, r synth.Recipe) []byte {
+	for _, s := range r {
+		dst = append(dst, byte(s))
 	}
-	return string(b)
+	return dst
 }
 
 // Stats reports cache effectiveness.
@@ -102,10 +147,11 @@ func (en *entry) settled() bool {
 // for the settled value. Create with New, release with Close. All
 // methods are safe for concurrent use.
 type Evaluator struct {
-	jobs int
-	fn   EvalFunc
-	reqs chan job
-	wg   sync.WaitGroup
+	jobs    int
+	fn      EvalFunc
+	reqs    chan job
+	wg      sync.WaitGroup
+	scratch sync.Pool // of *Scratch; New clones the base netlist lazily
 
 	mu      sync.Mutex
 	cache   map[string]*entry
@@ -115,8 +161,12 @@ type Evaluator struct {
 }
 
 // New builds an evaluator over base with the given worker count (jobs <= 0
-// selects runtime.NumCPU()). Each worker owns a Clone of base, so fn runs
-// without any sharing of the netlist between workers.
+// selects runtime.NumCPU()). Worker scratch state — a private Clone of
+// base plus synthesis/simulation buffers — comes from a sync.Pool: each
+// worker checks one out for its lifetime, so scratches (and their
+// warmed arenas) survive across batches instead of being rebuilt per
+// evaluation. Every e.fn invocation happens on a worker goroutine with
+// that worker's scratch; there is no inline evaluation path.
 func New(base *aig.AIG, jobs int, fn EvalFunc) *Evaluator {
 	if jobs <= 0 {
 		jobs = runtime.NumCPU()
@@ -127,10 +177,12 @@ func New(base *aig.AIG, jobs int, fn EvalFunc) *Evaluator {
 		reqs:  make(chan job),
 		cache: make(map[string]*entry),
 	}
+	e.scratch.New = func() any {
+		return &Scratch{g: base.Clone(), Arena: synth.NewArena(), Sim: &aig.SimScratch{}}
+	}
 	for i := 0; i < jobs; i++ {
-		g := base.Clone()
 		e.wg.Add(1)
-		go e.worker(g)
+		go e.worker()
 	}
 	return e
 }
@@ -138,21 +190,39 @@ func New(base *aig.AIG, jobs int, fn EvalFunc) *Evaluator {
 // Jobs returns the worker count.
 func (e *Evaluator) Jobs() int { return e.jobs }
 
-func (e *Evaluator) worker(g *aig.AIG) {
+func (e *Evaluator) worker() {
 	defer e.wg.Done()
+	s := e.scratch.Get().(*Scratch)
+	defer e.scratch.Put(s)
 	for j := range e.reqs {
-		j.out[j.slot] = e.fn(g, j.recipe)
+		j.out[j.slot] = e.fn(s.g, s, j.recipe)
 		j.wg.Done()
 	}
 }
 
-// Evaluate scores one recipe, consulting the cache first.
+// Evaluate scores one recipe, consulting the cache first. A settled cache
+// hit is answered inline without allocating.
 func (e *Evaluator) Evaluate(r synth.Recipe) float64 {
-	return e.EvaluateBatch([]synth.Recipe{r})[0]
+	v, _ := e.EvaluateCtx(context.Background(), r)
+	return v
 }
 
-// EvaluateCtx is the cancellable variant of Evaluate.
+// EvaluateCtx is the cancellable variant of Evaluate. A settled cache hit
+// is answered inline without allocating; misses go through the batch
+// path (worker dispatch, single-flight deduplication).
 func (e *Evaluator) EvaluateCtx(ctx context.Context, r synth.Recipe) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var kb [32]byte
+	key := appendRecipeKey(kb[:0], r)
+	e.mu.Lock()
+	if en, ok := e.cache[string(key)]; ok && en.settled() {
+		e.hits++
+		e.mu.Unlock()
+		return en.val, nil
+	}
+	e.mu.Unlock()
 	out, err := e.EvaluateBatchCtx(ctx, []synth.Recipe{r})
 	if err != nil {
 		return 0, err
@@ -350,11 +420,14 @@ func (e *Evaluator) await(ctx context.Context, r synth.Recipe, key string, en *e
 }
 
 // Cached returns the settled cached score of r, if present. An
-// in-flight evaluation does not count as cached.
+// in-flight evaluation does not count as cached. Like EvaluateCtx's hit
+// path, the lookup is allocation-free.
 func (e *Evaluator) Cached(r synth.Recipe) (float64, bool) {
+	var kb [32]byte
+	key := appendRecipeKey(kb[:0], r)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	en, ok := e.cache[RecipeKey(r)]
+	en, ok := e.cache[string(key)]
 	if !ok || !en.settled() {
 		return 0, false
 	}

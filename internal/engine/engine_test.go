@@ -13,7 +13,19 @@ import (
 
 // sizeEval scores a recipe by the AND count of the synthesized netlist —
 // a real synthesize-and-measure evaluation, deterministic in the recipe.
-func sizeEval(g *aig.AIG, r synth.Recipe) float64 {
+// It exercises the scratch contract: synthesize through the worker arena
+// and recycle the scored netlist.
+func sizeEval(g *aig.AIG, s *Scratch, r synth.Recipe) float64 {
+	net := r.Run(g, s.Arena)
+	v := float64(net.NumAnds())
+	if net != g { // an empty recipe returns g itself; never recycle the clone
+		s.Arena.Recycle(net)
+	}
+	return v
+}
+
+// sizeOf is the scratch-free reference for sizeEval's score.
+func sizeOf(g *aig.AIG, r synth.Recipe) float64 {
 	return float64(r.Apply(g).NumAnds())
 }
 
@@ -52,9 +64,9 @@ func TestRecipeKeyCanonical(t *testing.T) {
 func TestEvaluateMemoizes(t *testing.T) {
 	base := circuits.MustGenerate("c432")
 	var calls atomic.Int64
-	e := New(base, 2, func(g *aig.AIG, r synth.Recipe) float64 {
+	e := New(base, 2, func(g *aig.AIG, s *Scratch, r synth.Recipe) float64 {
 		calls.Add(1)
-		return sizeEval(g, r)
+		return sizeEval(g, s, r)
 	})
 	defer e.Close()
 	r := synth.Resyn2()
@@ -75,9 +87,9 @@ func TestEvaluateMemoizes(t *testing.T) {
 func TestEvaluateBatchOrderAndDedup(t *testing.T) {
 	base := circuits.MustGenerate("c432")
 	var calls atomic.Int64
-	e := New(base, 4, func(g *aig.AIG, r synth.Recipe) float64 {
+	e := New(base, 4, func(g *aig.AIG, s *Scratch, r synth.Recipe) float64 {
 		calls.Add(1)
-		return sizeEval(g, r)
+		return sizeEval(g, s, r)
 	})
 	defer e.Close()
 	rs := recipes(6, 7)
@@ -87,7 +99,7 @@ func TestEvaluateBatchOrderAndDedup(t *testing.T) {
 		t.Fatalf("result length %d, want %d", len(got), len(rs))
 	}
 	for i, r := range rs {
-		if want := sizeEval(base, r); got[i] != want {
+		if want := sizeOf(base, r); got[i] != want {
 			t.Fatalf("slot %d: got %v, want %v", i, got[i], want)
 		}
 	}
@@ -130,7 +142,7 @@ func TestConcurrentCallers(t *testing.T) {
 			// the single-threaded reference and trip no race.
 			got := e.EvaluateBatch(rs)
 			for i, r := range rs {
-				if want := sizeEval(base, r); got[i] != want {
+				if want := sizeOf(base, r); got[i] != want {
 					t.Errorf("slot %d: got %v, want %v", i, got[i], want)
 					return
 				}

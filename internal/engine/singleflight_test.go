@@ -20,10 +20,10 @@ func TestConcurrentBatchesSingleFlight(t *testing.T) {
 	base := circuits.MustGenerate("c432")
 	var calls atomic.Int64
 	gate := make(chan struct{})
-	e := New(base, 4, func(g *aig.AIG, r synth.Recipe) float64 {
+	e := New(base, 4, func(g *aig.AIG, s *Scratch, r synth.Recipe) float64 {
 		calls.Add(1)
 		<-gate // hold every evaluation until all batches are in flight
-		return sizeEval(g, r)
+		return sizeEval(g, s, r)
 	})
 	defer e.Close()
 
@@ -83,14 +83,14 @@ func TestAbandonedOwnerHandsOffToWaiter(t *testing.T) {
 	// the contested key can never be handed to a worker before cancel.
 	decoyGate := make(chan struct{})
 	started := make(chan struct{}, 1)
-	e := New(base, 1, func(g *aig.AIG, r synth.Recipe) float64 {
+	e := New(base, 1, func(g *aig.AIG, s *Scratch, r synth.Recipe) float64 {
 		if len(r) == 1 { // the decoy recipe
 			started <- struct{}{}
 			<-decoyGate
 			return 0
 		}
 		calls.Add(1)
-		return sizeEval(g, r)
+		return sizeEval(g, s, r)
 	})
 	defer e.Close()
 
@@ -158,9 +158,9 @@ func TestAbandonedOwnerHandsOffToWaiter(t *testing.T) {
 func TestSingleFlightManyKeysManyCallers(t *testing.T) {
 	base := circuits.MustGenerate("c432")
 	var calls atomic.Int64
-	e := New(base, 4, func(g *aig.AIG, r synth.Recipe) float64 {
+	e := New(base, 4, func(g *aig.AIG, s *Scratch, r synth.Recipe) float64 {
 		calls.Add(1)
-		return sizeEval(g, r)
+		return sizeEval(g, s, r)
 	})
 	defer e.Close()
 

@@ -13,6 +13,7 @@
 package gnn
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 
@@ -82,9 +83,14 @@ func NewModel(cfg Config, rng *rand.Rand) *Model {
 
 // aggregate computes (1+eps)H + A·H.
 func aggregate(h *nn.Matrix, adj [][]int, eps float64) *nn.Matrix {
-	s := nn.NewMatrix(h.R, h.C)
+	return aggregateInto(nn.NewMatrix(h.R, h.C), h, adj, eps)
+}
+
+// aggregateInto computes (1+eps)H + A·H into dst (same shape as h, fully
+// overwritten), returning dst.
+func aggregateInto(dst, h *nn.Matrix, adj [][]int, eps float64) *nn.Matrix {
 	for i := 0; i < h.R; i++ {
-		sr := s.Row(i)
+		sr := dst.Row(i)
 		hr := h.Row(i)
 		for j := range sr {
 			sr[j] = (1 + eps) * hr[j]
@@ -96,7 +102,127 @@ func aggregate(h *nn.Matrix, adj [][]int, eps float64) *nn.Matrix {
 			}
 		}
 	}
-	return s
+	return dst
+}
+
+// Scratch pools the intermediate matrices of inference-only forward
+// passes, so evaluating a trained model inside the recipe-search hot loop
+// stops allocating per sample. A scratch is not safe for concurrent use;
+// the engine keeps one per worker (Scratch.Aux). The zero value is ready.
+type Scratch struct {
+	pool []*nn.Matrix
+}
+
+// NewScratch returns an empty scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// mat checks a matrix of shape r×c out of the pool (contents undefined).
+func (s *Scratch) mat(r, c int) *nn.Matrix {
+	need := r * c
+	for i := len(s.pool) - 1; i >= 0; i-- {
+		m := s.pool[i]
+		if cap(m.D) >= need {
+			s.pool[i] = s.pool[len(s.pool)-1]
+			s.pool = s.pool[:len(s.pool)-1]
+			m.R, m.C = r, c
+			m.D = m.D[:need]
+			return m
+		}
+	}
+	return nn.NewMatrix(r, c)
+}
+
+// put returns a matrix to the pool.
+func (s *Scratch) put(m *nn.Matrix) {
+	s.pool = append(s.pool, m)
+}
+
+// forwardLogits runs an inference-only forward pass (no activation
+// cache) with pooled matrices, returning the scratch-owned 1×2 logits.
+// The arithmetic — including nn.MatMul's zero-skip accumulation order —
+// matches forward exactly, so predictions and losses are bit-for-bit
+// identical to the allocating path.
+func (m *Model) forwardLogits(sc *Scratch, g *Graph) *nn.Matrix {
+	h := g.X
+	owned := false
+	for _, l := range m.layers {
+		agg := sc.mat(h.R, h.C)
+		aggregateInto(agg, h, g.Adj, m.cfg.Eps)
+		a1 := sc.mat(h.R, l.l1.OutDim())
+		nn.ReLUInPlace(l.l1.ForwardInto(a1, agg))
+		out := sc.mat(h.R, l.l2.OutDim())
+		nn.ReLUInPlace(l.l2.ForwardInto(out, a1))
+		sc.put(agg)
+		sc.put(a1)
+		if owned {
+			sc.put(h)
+		}
+		h, owned = out, true
+	}
+	// Mean readout.
+	pooled := sc.mat(1, h.C)
+	pooled.Zero()
+	for i := 0; i < h.R; i++ {
+		hr := h.Row(i)
+		for j := range hr {
+			pooled.D[j] += hr[j]
+		}
+	}
+	for j := range pooled.D {
+		pooled.D[j] /= float64(h.R)
+	}
+	if owned {
+		sc.put(h)
+	}
+	hid := sc.mat(1, m.head1.OutDim())
+	nn.ReLUInPlace(m.head1.ForwardInto(hid, pooled))
+	logits := sc.mat(1, m.head2.OutDim())
+	m.head2.ForwardInto(logits, hid)
+	sc.put(pooled)
+	sc.put(hid)
+	return logits
+}
+
+// softmaxProb1 returns P(label=1) from a logits row with the exact
+// arithmetic of nn.SoftmaxCE (max-shift, exp in index order, single
+// division).
+func softmaxProb1(row []float64) float64 {
+	maxv := row[0]
+	for _, v := range row[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum, p1 float64
+	for j, v := range row {
+		e := math.Exp(v - maxv)
+		if j == 1 {
+			p1 = e
+		}
+		sum += e
+	}
+	return p1 / sum
+}
+
+// softmaxCE returns the cross-entropy of a logits row against label,
+// matching nn.SoftmaxCE bit for bit for a single-row batch.
+func softmaxCE(row []float64, label int) float64 {
+	maxv := row[0]
+	for _, v := range row[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum, py float64
+	for j, v := range row {
+		e := math.Exp(v - maxv)
+		if j == label {
+			py = e
+		}
+		sum += e
+	}
+	py /= sum
+	return -math.Log(math.Max(py, 1e-12))
 }
 
 // aggregateBackward propagates dS back to dH.
@@ -183,54 +309,81 @@ func (m *Model) backward(c *forwardCache, dLogits *nn.Matrix) {
 	}
 }
 
-// PredictProb returns P(label=1) for one graph.
-func (m *Model) PredictProb(g *Graph) float64 {
-	c := m.forward(g)
-	_, probs, _ := nn.SoftmaxCE(c.logits, []int{0}) // label irrelevant for probs
-	return probs.At(0, 1)
+// PredictProbWith returns P(label=1) for one graph, using sc's pooled
+// matrices (nil for a private scratch).
+func (m *Model) PredictProbWith(sc *Scratch, g *Graph) float64 {
+	if sc == nil {
+		sc = NewScratch()
+	}
+	logits := m.forwardLogits(sc, g)
+	p := softmaxProb1(logits.Row(0))
+	sc.put(logits)
+	return p
 }
 
-// Predict returns the predicted label of one graph.
-func (m *Model) Predict(g *Graph) int {
-	if m.PredictProb(g) >= 0.5 {
+// PredictProb returns P(label=1) for one graph.
+func (m *Model) PredictProb(g *Graph) float64 { return m.PredictProbWith(nil, g) }
+
+// PredictWith returns the predicted label of one graph, using sc's
+// pooled matrices (nil for a private scratch).
+func (m *Model) PredictWith(sc *Scratch, g *Graph) int {
+	if m.PredictProbWith(sc, g) >= 0.5 {
 		return 1
 	}
 	return 0
 }
 
-// Accuracy evaluates classification accuracy on a set.
-func (m *Model) Accuracy(gs []*Graph) float64 {
+// Predict returns the predicted label of one graph.
+func (m *Model) Predict(g *Graph) int { return m.PredictWith(nil, g) }
+
+// AccuracyWith evaluates classification accuracy on a set, using sc's
+// pooled matrices (nil for a private scratch).
+func (m *Model) AccuracyWith(sc *Scratch, gs []*Graph) float64 {
 	if len(gs) == 0 {
 		return 0
 	}
+	if sc == nil {
+		sc = NewScratch()
+	}
 	n := 0
 	for _, g := range gs {
-		if m.Predict(g) == g.Label {
+		if m.PredictWith(sc, g) == g.Label {
 			n++
 		}
 	}
 	return float64(n) / float64(len(gs))
 }
 
-// Loss computes, without updating, the mean CE loss on a set.
-func (m *Model) Loss(gs []*Graph) float64 {
+// Accuracy evaluates classification accuracy on a set.
+func (m *Model) Accuracy(gs []*Graph) float64 { return m.AccuracyWith(nil, gs) }
+
+// LossWith computes, without updating, the mean CE loss on a set, using
+// sc's pooled matrices (nil for a private scratch).
+func (m *Model) LossWith(sc *Scratch, gs []*Graph) float64 {
+	if sc == nil {
+		sc = NewScratch()
+	}
 	var total float64
 	for _, g := range gs {
-		c := m.forward(g)
-		l, _, _ := nn.SoftmaxCE(c.logits, []int{g.Label})
-		total += l
+		logits := m.forwardLogits(sc, g)
+		total += softmaxCE(logits.Row(0), g.Label)
+		sc.put(logits)
 	}
 	return total / float64(len(gs))
 }
 
+// Loss computes, without updating, the mean CE loss on a set.
+func (m *Model) Loss(gs []*Graph) float64 { return m.LossWith(nil, gs) }
+
 // PerSampleLoss returns each graph's CE loss, used by the adversarial
 // sample selection in Algorithm 1 (Eq. 3 maximizes this quantity).
 func (m *Model) PerSampleLoss(gs []*Graph) []float64 {
+	sc := NewScratch()
 	out := make([]float64, len(gs))
 	for i, g := range gs {
-		c := m.forward(g)
-		l, _, _ := nn.SoftmaxCE(c.logits, []int{g.Label})
-		out[i] = l
+		logits := m.forwardLogits(sc, g)
+		out[i] = softmaxCE(logits.Row(0), g.Label)
+		sc.put(logits)
 	}
 	return out
 }

@@ -234,12 +234,19 @@ func FixInputs(g *aig.AIG, bits map[int]bool) *aig.AIG {
 
 // WrongKeyCorrupts reports whether flipping each single key bit changes
 // at least one output on the given number of random 64-pattern rounds.
-// Used to confirm that every key gate is functionally live.
+// Used to confirm that every key gate is functionally live. One sim
+// scratch and one output-buffer pair are reused across all rounds and
+// key bits.
 func WrongKeyCorrupts(g *aig.AIG, key Key, rng *rand.Rand, rounds int) []bool {
 	kIdx := g.KeyInputIndices()
 	live := make([]bool, len(key))
+	var sim aig.SimScratch
+	in := make([]uint64, g.NumInputs())
+	var good, bad []uint64
 	for r := 0; r < rounds; r++ {
-		in := aig.RandomPatterns(rng, g.NumInputs())
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
 		for j, ki := range kIdx {
 			if key[j] {
 				in[ki] = ^uint64(0)
@@ -247,13 +254,13 @@ func WrongKeyCorrupts(g *aig.AIG, key Key, rng *rand.Rand, rounds int) []bool {
 				in[ki] = 0
 			}
 		}
-		good := g.Simulate64(in)
+		good = g.SimulateInto(&sim, good, in)
 		for j, ki := range kIdx {
 			if live[j] {
 				continue
 			}
 			in[ki] = ^in[ki]
-			bad := g.Simulate64(in)
+			bad = g.SimulateInto(&sim, bad, in)
 			in[ki] = ^in[ki]
 			for o := range good {
 				if good[o] != bad[o] {

@@ -47,13 +47,24 @@ func (m *Matrix) Zero() {
 
 // MatMul returns A·B.
 func MatMul(a, b *Matrix) *Matrix {
+	return MatMulInto(NewMatrix(a.R, b.C), a, b)
+}
+
+// MatMulInto computes A·B into dst (which must be R(a)×C(b) and must not
+// alias a or b), returning dst. It performs the exact accumulation order
+// of MatMul — including the zero-skip — so results are bit-for-bit
+// identical; dst is fully overwritten.
+func MatMulInto(dst, a, b *Matrix) *Matrix {
 	if a.C != b.R {
 		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C))
 	}
-	out := NewMatrix(a.R, b.C)
+	if dst.R != a.R || dst.C != b.C {
+		panic(fmt.Sprintf("nn: matmul dst shape %dx%d, want %dx%d", dst.R, dst.C, a.R, b.C))
+	}
+	dst.Zero()
 	for i := 0; i < a.R; i++ {
 		ar := a.Row(i)
-		or := out.Row(i)
+		or := dst.Row(i)
 		for k, av := range ar {
 			if av == 0 {
 				continue
@@ -64,7 +75,7 @@ func MatMul(a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // MatMulATB returns Aᵀ·B.
@@ -144,7 +155,13 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 
 // Forward computes X·W + b.
 func (l *Linear) Forward(x *Matrix) *Matrix {
-	y := MatMul(x, l.W.W)
+	return l.ForwardInto(NewMatrix(x.R, l.W.W.C), x)
+}
+
+// ForwardInto computes X·W + b into dst (which must be R(x)×out and must
+// not alias x), returning dst. Bit-for-bit identical to Forward.
+func (l *Linear) ForwardInto(dst, x *Matrix) *Matrix {
+	y := MatMulInto(dst, x, l.W.W)
 	for i := 0; i < y.R; i++ {
 		yr := y.Row(i)
 		for j := range yr {
@@ -153,6 +170,9 @@ func (l *Linear) Forward(x *Matrix) *Matrix {
 	}
 	return y
 }
+
+// OutDim returns the layer's output width.
+func (l *Linear) OutDim() int { return l.W.W.C }
 
 // Backward accumulates parameter gradients for input x and upstream
 // gradient dy, returning the gradient w.r.t. x.
@@ -183,6 +203,18 @@ func ReLU(x *Matrix) *Matrix {
 		}
 	}
 	return y
+}
+
+// ReLUInPlace clamps x to max(0,x) elementwise without allocating. Only
+// for inference paths: the training path needs the pre-activation kept
+// separate from the mask, so it stays on ReLU.
+func ReLUInPlace(x *Matrix) *Matrix {
+	for i, v := range x.D {
+		if v < 0 {
+			x.D[i] = 0
+		}
+	}
+	return x
 }
 
 // ReLUBackward masks dy by the activation pattern of y (the ReLU output).

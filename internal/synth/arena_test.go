@@ -1,0 +1,257 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+)
+
+// sameAIG reports full structural identity: node-for-node, name-for-name.
+// Far stronger than functional equivalence — it pins the arena paths to
+// the allocating wrappers bit for bit, which is what keeps engine
+// memoization and search trajectories independent of who owns the
+// memory.
+func sameAIG(t *testing.T, label string, a, b *aig.AIG) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("%s: node count %d != %d", label, a.NumNodes(), b.NumNodes())
+	}
+	for id := 0; id < a.NumNodes(); id++ {
+		if a.Kind(id) != b.Kind(id) {
+			t.Fatalf("%s: node %d kind %v != %v", label, id, a.Kind(id), b.Kind(id))
+		}
+		if a.IsAnd(id) {
+			a0, a1 := a.Fanins(id)
+			b0, b1 := b.Fanins(id)
+			if a0 != b0 || a1 != b1 {
+				t.Fatalf("%s: node %d fanins (%v,%v) != (%v,%v)", label, id, a0, a1, b0, b1)
+			}
+		}
+	}
+	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
+		t.Fatalf("%s: interface mismatch", label)
+	}
+	for i := 0; i < a.NumInputs(); i++ {
+		if a.InputName(i) != b.InputName(i) || a.InputIsKey(i) != b.InputIsKey(i) {
+			t.Fatalf("%s: input %d differs", label, i)
+		}
+	}
+	for i := 0; i < a.NumOutputs(); i++ {
+		if a.Output(i) != b.Output(i) || a.OutputName(i) != b.OutputName(i) {
+			t.Fatalf("%s: output %d differs", label, i)
+		}
+	}
+}
+
+// lockLike adds key inputs XOR-mixed into the logic without importing
+// internal/lock (which depends on this package's siblings): enough to
+// exercise key-input preservation through every arena path.
+func lockLike(g *aig.AIG, bits int, rng *rand.Rand) *aig.AIG {
+	rb := aig.NewRebuilder(g)
+	keys := make([]aig.Lit, bits)
+	for i := range keys {
+		keys[i] = rb.Dst.AddKeyInput("keyinput")
+	}
+	order := g.TopoOrder()
+	targets := map[int]int{}
+	for i := 0; i < bits && len(order) > 0; i++ {
+		targets[order[rng.Intn(len(order))]] = i
+	}
+	for _, id := range order {
+		f0, f1 := g.Fanins(id)
+		nl := rb.Dst.And(rb.LitOf(f0), rb.LitOf(f1))
+		if ki, ok := targets[id]; ok {
+			nl = rb.Dst.Xor(nl, keys[ki])
+		}
+		rb.Map(id, nl)
+	}
+	return rb.Finish()
+}
+
+// TestArenaTransformsMatchWrappers is the tentpole equivalence gate:
+// every transform and a random recipe, on every built-in circuit, locked
+// and unlocked, must produce the identical netlist through a shared
+// arena (with recycling) and through the allocating nil-arena wrappers.
+func TestArenaTransformsMatchWrappers(t *testing.T) {
+	names := circuits.Names()
+	if testing.Short() {
+		names = []string{"c432", "c499"}
+	}
+	shared := NewArena()
+	for _, name := range names {
+		base := circuits.MustGenerate(name)
+		locked := lockLike(base, 8, rand.New(rand.NewSource(1)))
+		for _, tc := range []struct {
+			label string
+			g     *aig.AIG
+		}{
+			{name, base},
+			{name + "+lock", locked},
+		} {
+			for _, s := range AllSteps() {
+				if testing.Short() && (s == StepResub || s == StepResubZ) && name != "c432" {
+					continue // SAT-heavy; one circuit covers the path
+				}
+				want := s.Apply(tc.g)
+				got := s.Run(tc.g, shared)
+				sameAIG(t, tc.label+"/"+s.String(), got, want)
+				shared.Recycle(got)
+			}
+			r := RandomRecipe(rand.New(rand.NewSource(9)), 6)
+			want := r.Apply(tc.g)
+			got := r.Run(tc.g, shared)
+			sameAIG(t, tc.label+"/"+r.String(), got, want)
+			shared.Recycle(got)
+		}
+	}
+}
+
+// TestArenaReuseAcrossRecipesIsStateless pins that a warmed, heavily
+// reused arena gives the same answer as a fresh one — recycled storage
+// must never leak state into results.
+func TestArenaReuseAcrossRecipesIsStateless(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	rng := rand.New(rand.NewSource(17))
+	shared := NewArena()
+	for i := 0; i < 4; i++ {
+		r := RandomRecipe(rng, 5)
+		want := r.Run(g, NewArena())
+		got := r.Run(g, shared)
+		sameAIG(t, r.String(), got, want)
+		shared.Recycle(got)
+		shared.Recycle(want)
+	}
+}
+
+// TestEnumerateCutsArenaMatchesMap pins the pooled cut enumeration to
+// the exported map wrapper.
+func TestEnumerateCutsArenaMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := randomAIG(rng, 9, 3, 90)
+	want := EnumerateCuts(g, 4)
+	a := NewArena()
+	got := a.enumerateCuts(g, 4)
+	for id, cs := range want {
+		if len(got[id]) != len(cs) {
+			t.Fatalf("node %d: %d cuts != %d", id, len(got[id]), len(cs))
+		}
+		for k := range cs {
+			if len(got[id][k].Leaves) != len(cs[k].Leaves) {
+				t.Fatalf("node %d cut %d: leaf count differs", id, k)
+			}
+			for j := range cs[k].Leaves {
+				if got[id][k].Leaves[j] != cs[k].Leaves[j] {
+					t.Fatalf("node %d cut %d leaf %d differs", id, k, j)
+				}
+			}
+		}
+	}
+}
+
+// TestTTPlanMatchesEstimateTTCost pins the memoized ISOP plan to the
+// exported estimator across exhaustive small functions and random larger
+// ones.
+func TestTTPlanMatchesEstimateTTCost(t *testing.T) {
+	a := NewArena()
+	for tt := uint64(0); tt < 256; tt++ { // all 3-var functions
+		if got, want := a.ttPlanFor(tt, 3).cost, EstimateTTCost(tt, 3); got != want {
+			t.Fatalf("tt=%x n=3: plan cost %d != %d", tt, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(29))
+	for n := 4; n <= 6; n++ {
+		for trial := 0; trial < 40; trial++ {
+			tt := rng.Uint64() & aig.TTMask(n)
+			got, want := a.ttPlanFor(tt, n).cost, EstimateTTCost(tt, n)
+			if got != want {
+				t.Fatalf("tt=%x n=%d: plan cost %d != %d", tt, n, got, want)
+			}
+			// Memoized second lookup must agree with itself.
+			if a.ttPlanFor(tt, n).cost != got {
+				t.Fatalf("tt=%x n=%d: memo unstable", tt, n)
+			}
+		}
+	}
+}
+
+// TestWindowTTArenaMatchesAIG pins the epoch-marked window evaluator to
+// the map-based aig method.
+func TestWindowTTArenaMatchesAIG(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomAIG(rng, 8, 3, 70)
+	a := NewArena()
+	cuts := a.enumerateCuts(g, 4)
+	for _, id := range g.TopoOrder() {
+		for _, cut := range cuts[id] {
+			wantTT, wantOK := g.WindowTT(id, cut.Leaves)
+			gotTT, gotOK := a.windowTT(g, id, cut.Leaves)
+			if wantOK != gotOK || (wantOK && wantTT != gotTT) {
+				t.Fatalf("node %d cut %v: (%x,%v) != (%x,%v)", id, cut.Leaves, gotTT, gotOK, wantTT, wantOK)
+			}
+		}
+	}
+}
+
+// TestSavedNodesArenaMatchesMaps pins the epoch-marked cone/MFFC
+// intersection to the historical map-based computation, recreated here.
+func TestSavedNodesArenaMatchesMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	g := randomAIG(rng, 8, 3, 80)
+	fc := g.FanoutCounts()
+	a := NewArena()
+	cuts := a.enumerateCuts(g, 4)
+	refSaved := func(root int, leaves []int) int {
+		leafSet := map[int]bool{}
+		for _, l := range leaves {
+			leafSet[l] = true
+		}
+		cone := map[int]bool{}
+		var walk func(id int)
+		walk = func(id int) {
+			if leafSet[id] || cone[id] || !g.IsAnd(id) {
+				return
+			}
+			cone[id] = true
+			f0, f1 := g.Fanins(id)
+			walk(f0.Node())
+			walk(f1.Node())
+		}
+		walk(root)
+		saved := 0
+		for _, id := range g.MFFC(root, fc) {
+			if cone[id] {
+				saved++
+			}
+		}
+		return saved
+	}
+	for _, id := range g.TopoOrder() {
+		for _, cut := range cuts[id] {
+			if want, got := refSaved(id, cut.Leaves), a.savedNodes(g, id, cut.Leaves, fc); want != got {
+				t.Fatalf("node %d cut %v: saved %d != %d", id, cut.Leaves, got, want)
+			}
+		}
+	}
+}
+
+// TestRecipeRunSteadyStateAllocs is the allocation-regression gate for
+// the arena-backed synthesis path: after warmup, a full balance pass
+// into recycled storage must stay within a tiny constant allocation
+// budget (the transform closures; no per-node or per-graph storage).
+func TestRecipeRunSteadyStateAllocs(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	a := NewArena()
+	for i := 0; i < 3; i++ {
+		a.Recycle(Balance(g, a)) // warm every buffer on the real circuit
+	}
+	n := testing.AllocsPerRun(10, func() {
+		a.Recycle(Balance(g, a))
+	})
+	// One conjuncts closure per pass is expected; per-node or per-graph
+	// allocations would show up as hundreds.
+	if n > 8 {
+		t.Fatalf("steady-state Balance allocates %.1f objects per run, want <= 8", n)
+	}
+}

@@ -18,7 +18,18 @@ type Cut struct {
 // mergeCuts unions two cuts, returning ok=false when the result exceeds
 // the leaf limit.
 func mergeCuts(a, b Cut, limit int) (Cut, bool) {
-	out := make([]int, 0, len(a.Leaves)+len(b.Leaves))
+	out, ok := mergeCutsInto(make([]int, 0, len(a.Leaves)+len(b.Leaves)), a, b, limit)
+	if !ok {
+		return Cut{}, false
+	}
+	return Cut{Leaves: out}, true
+}
+
+// mergeCutsInto unions two cuts into dst (which the caller provides with
+// enough capacity for len(a)+len(b) leaves to stay allocation-free),
+// returning ok=false when the result exceeds the leaf limit.
+func mergeCutsInto(dst []int, a, b Cut, limit int) ([]int, bool) {
+	out := dst[:0]
 	i, j := 0, 0
 	for i < len(a.Leaves) && j < len(b.Leaves) {
 		switch {
@@ -34,15 +45,15 @@ func mergeCuts(a, b Cut, limit int) (Cut, bool) {
 			j++
 		}
 		if len(out) > limit {
-			return Cut{}, false
+			return out, false
 		}
 	}
 	out = append(out, a.Leaves[i:]...)
 	out = append(out, b.Leaves[j:]...)
 	if len(out) > limit {
-		return Cut{}, false
+		return out, false
 	}
-	return Cut{Leaves: out}, true
+	return out, true
 }
 
 func equalCuts(a, b Cut) bool {
@@ -74,48 +85,16 @@ func dominates(a, b Cut) bool {
 // EnumerateCuts computes up to cutsPerNode k-feasible cuts for every live
 // AND node, bottom-up. The trivial cut {node} is always included for
 // inputs and serves as the unit cut during merging; for AND nodes it is
-// appended last so rewriting prefers non-trivial cuts.
+// appended last so rewriting prefers non-trivial cuts. It is a thin
+// wrapper over the arena enumeration; the transforms call that directly
+// so the cut storage is pooled across passes.
 func EnumerateCuts(g *aig.AIG, limit int) map[int][]Cut {
+	a := NewArena()
 	cuts := map[int][]Cut{}
-	unit := func(id int) []Cut { return []Cut{{Leaves: []int{id}}} }
-	for _, id := range g.TopoOrder() {
-		f0, f1 := g.Fanins(id)
-		c0 := cuts[f0.Node()]
-		if c0 == nil {
-			c0 = unit(f0.Node())
+	for id, cs := range a.enumerateCuts(g, limit) {
+		if cs != nil {
+			cuts[id] = cs
 		}
-		c1 := cuts[f1.Node()]
-		if c1 == nil {
-			c1 = unit(f1.Node())
-		}
-		var out []Cut
-	merge:
-		for _, a := range c0 {
-			for _, b := range c1 {
-				m, ok := mergeCuts(a, b, limit)
-				if !ok {
-					continue
-				}
-				for k := 0; k < len(out); k++ {
-					if dominates(out[k], m) {
-						continue merge
-					}
-				}
-				// Remove cuts dominated by the new one.
-				kept := out[:0]
-				for _, ex := range out {
-					if !dominates(m, ex) {
-						kept = append(kept, ex)
-					}
-				}
-				out = append(kept, m)
-				if len(out) >= cutsPerNode {
-					break merge
-				}
-			}
-		}
-		out = append(out, Cut{Leaves: []int{id}})
-		cuts[id] = out
 	}
 	return cuts
 }

@@ -48,7 +48,7 @@ func TestBalanceRespectsSharedNodes(t *testing.T) {
 	o2 := g.And(shared, d.Not())
 	g.AddOutput(o1, "o1")
 	g.AddOutput(o2, "o2")
-	h := Balance(g)
+	h := Balance(g, nil)
 	if ok, _ := cnf.Equivalent(g, h); !ok {
 		t.Fatal("balance broke shared logic")
 	}
@@ -69,8 +69,8 @@ func TestEmptyRecipeIsIdentityFunction(t *testing.T) {
 func TestRepeatedTransformIdempotentInSize(t *testing.T) {
 	// Applying the same size-reducing transform twice should not grow.
 	g := circuits.MustGenerate("c499")
-	h1 := Rewrite(g, false)
-	h2 := Rewrite(h1, false)
+	h1 := Rewrite(g, false, nil)
+	h2 := Rewrite(h1, false, nil)
 	if h2.NumAnds() > h1.NumAnds() {
 		t.Fatalf("second rewrite grew: %d -> %d", h1.NumAnds(), h2.NumAnds())
 	}
@@ -106,8 +106,9 @@ func TestRecipeOnLockedCircuitKeepsKeyCount(t *testing.T) {
 func TestReconvWindowLeavesBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	g := randomAIG(rng, 8, 3, 80)
+	a := NewArena()
 	for _, id := range g.TopoOrder() {
-		leaves := reconvWindow(g, id, refactorLeafLimit)
+		leaves := a.reconvWindow(g, id, refactorLeafLimit)
 		if len(leaves) > refactorLeafLimit {
 			t.Fatalf("window exceeded limit: %d leaves", len(leaves))
 		}

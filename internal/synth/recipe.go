@@ -75,23 +75,29 @@ func ParseStep(name string) (Step, error) {
 	return 0, fmt.Errorf("synth: unknown transformation %q", name)
 }
 
-// Apply runs the single transformation on g, returning a new AIG.
-func (s Step) Apply(g *aig.AIG) *aig.AIG {
+// Apply runs the single transformation on g, returning a new AIG. It is
+// a thin wrapper over Run with a private arena.
+func (s Step) Apply(g *aig.AIG) *aig.AIG { return s.Run(g, nil) }
+
+// Run runs the single transformation on g with the given arena (nil for
+// a private one), returning a new AIG. The result is bit-for-bit
+// identical for any arena, including nil.
+func (s Step) Run(g *aig.AIG, a *Arena) *aig.AIG {
 	switch s {
 	case StepRewrite:
-		return Rewrite(g, false)
+		return Rewrite(g, false, a)
 	case StepRewriteZ:
-		return Rewrite(g, true)
+		return Rewrite(g, true, a)
 	case StepResub:
-		return Resub(g, false)
+		return Resub(g, false, a)
 	case StepResubZ:
-		return Resub(g, true)
+		return Resub(g, true, a)
 	case StepRefactor:
-		return Refactor(g, false)
+		return Refactor(g, false, a)
 	case StepRefactorZ:
-		return Refactor(g, true)
+		return Refactor(g, true, a)
 	case StepBalance:
-		return Balance(g)
+		return Balance(g, a)
 	}
 	panic(fmt.Sprintf("synth: invalid step %d", uint8(s)))
 }
@@ -104,11 +110,29 @@ type Recipe []Step
 // (L = 10).
 const RecipeLength = 10
 
-// Apply runs the recipe left to right, returning the final AIG.
-func (r Recipe) Apply(g *aig.AIG) *aig.AIG {
+// Apply runs the recipe left to right, returning the final AIG. It is a
+// thin wrapper over Run with a private arena (which already pools
+// storage across the recipe's steps).
+func (r Recipe) Apply(g *aig.AIG) *aig.AIG { return r.Run(g, nil) }
+
+// Run runs the recipe left to right with the given arena (nil for a
+// private one), returning the final AIG. Intermediate netlists are
+// recycled into the arena as soon as the next step no longer needs them,
+// so a warmed arena evaluates a recipe with near-zero steady-state graph
+// allocations; the input g is never recycled, and the returned AIG is
+// caller-owned (hand it to Arena.Recycle when done to close the loop —
+// but note an empty recipe returns g itself, so guard with `out != g`
+// before recycling when g must outlive the call). The result is
+// bit-for-bit identical for any arena, including nil.
+func (r Recipe) Run(g *aig.AIG, a *Arena) *aig.AIG {
+	a = ensure(a)
 	out := g
 	for _, s := range r {
-		out = s.Apply(out)
+		next := s.Run(out, a)
+		if out != g {
+			a.Recycle(out)
+		}
+		out = next
 	}
 	return out
 }

@@ -219,7 +219,7 @@ func TestBalancePreservesFunctionAndReducesDepth(t *testing.T) {
 	if g.NumLevels() != 15 {
 		t.Fatalf("setup depth = %d", g.NumLevels())
 	}
-	h := checkTransform(t, "balance", Balance, g)
+	h := checkTransform(t, "balance", func(g *aig.AIG) *aig.AIG { return Balance(g, nil) }, g)
 	if h.NumLevels() != 4 {
 		t.Fatalf("balanced depth = %d, want 4", h.NumLevels())
 	}
@@ -231,13 +231,13 @@ func TestTransformsPreserveFunctionOnBenchmarks(t *testing.T) {
 		name string
 		f    func(*aig.AIG) *aig.AIG
 	}{
-		{"balance", Balance},
-		{"rewrite", func(g *aig.AIG) *aig.AIG { return Rewrite(g, false) }},
-		{"rewrite -z", func(g *aig.AIG) *aig.AIG { return Rewrite(g, true) }},
-		{"refactor", func(g *aig.AIG) *aig.AIG { return Refactor(g, false) }},
-		{"refactor -z", func(g *aig.AIG) *aig.AIG { return Refactor(g, true) }},
-		{"resub", func(g *aig.AIG) *aig.AIG { return Resub(g, false) }},
-		{"resub -z", func(g *aig.AIG) *aig.AIG { return Resub(g, true) }},
+		{"balance", func(g *aig.AIG) *aig.AIG { return Balance(g, nil) }},
+		{"rewrite", func(g *aig.AIG) *aig.AIG { return Rewrite(g, false, nil) }},
+		{"rewrite -z", func(g *aig.AIG) *aig.AIG { return Rewrite(g, true, nil) }},
+		{"refactor", func(g *aig.AIG) *aig.AIG { return Refactor(g, false, nil) }},
+		{"refactor -z", func(g *aig.AIG) *aig.AIG { return Refactor(g, true, nil) }},
+		{"resub", func(g *aig.AIG) *aig.AIG { return Resub(g, false, nil) }},
+		{"resub -z", func(g *aig.AIG) *aig.AIG { return Resub(g, true, nil) }},
 	}
 	for _, s := range steps {
 		s := s
@@ -279,7 +279,7 @@ func TestRewriteReducesRedundantLogic(t *testing.T) {
 	abc := g.And(g.And(a, c), b)
 	g.AddOutput(g.Or(ab, abc), "o")
 	before := g.NumAnds()
-	h := Rewrite(g, false)
+	h := Rewrite(g, false, nil)
 	if ok, _ := cnf.Equivalent(g, h); !ok {
 		t.Fatal("rewrite changed function")
 	}
@@ -300,7 +300,7 @@ func TestResubMergesEquivalentNodes(t *testing.T) {
 	}
 	g.AddOutput(g.And(x1, x2), "both") // = x1 since x1==x2 functionally
 	before := g.NumAnds()
-	h := Resub(g, false)
+	h := Resub(g, false, nil)
 	if ok, _ := cnf.Equivalent(g, h); !ok {
 		t.Fatal("resub changed function")
 	}
@@ -414,24 +414,48 @@ func TestDifferentRecipesDifferentStructure(t *testing.T) {
 
 func BenchmarkRewriteC880(b *testing.B) {
 	g := circuits.MustGenerate("c880")
+	a := NewArena()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Rewrite(g, false)
+		a.Recycle(Rewrite(g, false, a))
 	}
 }
 
 func BenchmarkBalanceC1908(b *testing.B) {
 	g := circuits.MustGenerate("c1908")
+	a := NewArena()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Balance(g)
+		a.Recycle(Balance(g, a))
 	}
 }
 
+// BenchmarkResyn2C432 measures the paper's baseline recipe end to end on
+// a warmed arena with the result recycled each iteration — the
+// steady-state cost one engine worker pays per candidate recipe. This is
+// the "synth recipe" row of BENCH_pr5.json; run with -benchmem.
 func BenchmarkResyn2C432(b *testing.B) {
 	g := circuits.MustGenerate("c432")
+	a := NewArena()
+	r := Resyn2()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Resyn2().Apply(g)
+		a.Recycle(r.Run(g, a))
+	}
+}
+
+// BenchmarkResyn2C432NoArena is the allocating-wrapper variant of
+// BenchmarkResyn2C432 (a private arena per Apply, result garbage
+// collected) — the migration-cost comparison point.
+func BenchmarkResyn2C432NoArena(b *testing.B) {
+	g := circuits.MustGenerate("c432")
+	r := Resyn2()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Apply(g)
 	}
 }

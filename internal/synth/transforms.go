@@ -21,16 +21,18 @@ const resubSeed = 0x5EED
 // Balance rebuilds AND trees to minimize depth: maximal fanout-free
 // AND-trees are collapsed into their conjuncts and re-associated
 // greedily, always pairing the two shallowest operands (Huffman style).
-// Function is preserved; levels typically drop.
-func Balance(g *aig.AIG) *aig.AIG {
-	fc := g.FanoutCounts()
-	rb := aig.NewRebuilder(g)
+// Function is preserved; levels typically drop. a supplies reusable
+// scratch storage and may be nil.
+func Balance(g *aig.AIG, a *Arena) *aig.AIG {
+	a = ensure(a)
+	fc := a.fanoutCounts(g)
+	order := a.topo(g)
+	rb := a.begin(g)
 	// absorbed marks AND nodes that are collapsed into a parent tree.
-	absorbed := make(map[int]bool)
-	order := g.TopoOrder()
+	absorbed := a.boolNodes(g.NumNodes())
 	for _, id := range order {
 		f0, f1 := g.Fanins(id)
-		for _, f := range []aig.Lit{f0, f1} {
+		for _, f := range [2]aig.Lit{f0, f1} {
 			if !f.Neg() && g.IsAnd(f.Node()) && fc[f.Node()] == 1 {
 				absorbed[f.Node()] = true
 			}
@@ -50,111 +52,92 @@ func Balance(g *aig.AIG) *aig.AIG {
 			continue
 		}
 		f0, f1 := g.Fanins(id)
-		lits := conjuncts(f0, nil)
+		lits := conjuncts(f0, a.conj[:0])
 		lits = conjuncts(f1, lits)
+		a.conj = lits
 		// Translate and balance by destination level.
-		dst := make([]aig.Lit, len(lits))
+		if cap(a.dstLits) < len(lits) {
+			a.dstLits = make([]aig.Lit, len(lits))
+		}
+		dst := a.dstLits[:len(lits)]
 		for i, l := range lits {
 			dst[i] = rb.LitOf(l)
 		}
 		rb.Map(id, balancedAnd(rb.Dst, dst))
 	}
-	return rb.Finish().Cleanup()
+	return a.finishCleanup()
 }
 
-// balancedAnd combines literals pairing the two shallowest first.
-func balancedAnd(g *aig.AIG, lits []aig.Lit) aig.Lit {
-	if len(lits) == 0 {
+// balancedAnd combines literals pairing the two shallowest first. It
+// sorts and shrinks work in place; the caller must not reuse its
+// contents. The stable insertion sort yields the exact permutation
+// sort.SliceStable produced historically (stable sorts are unique).
+func balancedAnd(g *aig.AIG, work []aig.Lit) aig.Lit {
+	if len(work) == 0 {
 		return aig.True
 	}
-	work := append([]aig.Lit(nil), lits...)
 	for len(work) > 1 {
-		sort.SliceStable(work, func(i, j int) bool {
-			return g.Level(work[i].Node()) < g.Level(work[j].Node())
-		})
+		for i := 1; i < len(work); i++ {
+			for j := i; j > 0 && g.Level(work[j].Node()) < g.Level(work[j-1].Node()); j-- {
+				work[j], work[j-1] = work[j-1], work[j]
+			}
+		}
 		n := g.And(work[0], work[1])
-		work = append([]aig.Lit{n}, work[2:]...)
+		copy(work[1:], work[2:])
+		work[0] = n
+		work = work[:len(work)-1]
 	}
 	return work[0]
-}
-
-// coneNodes returns the AND nodes between root and the cut leaves.
-func coneNodes(g *aig.AIG, root int, leaves []int) map[int]bool {
-	leafSet := map[int]bool{}
-	for _, l := range leaves {
-		leafSet[l] = true
-	}
-	cone := map[int]bool{}
-	var walk func(id int)
-	walk = func(id int) {
-		if leafSet[id] || cone[id] || !g.IsAnd(id) {
-			return
-		}
-		cone[id] = true
-		f0, f1 := g.Fanins(id)
-		walk(f0.Node())
-		walk(f1.Node())
-	}
-	walk(root)
-	return cone
-}
-
-// savedNodes counts how many AND nodes die if root is reimplemented over
-// the cut leaves: the intersection of root's MFFC with the cut cone.
-func savedNodes(g *aig.AIG, root int, leaves []int, fc []int) int {
-	cone := coneNodes(g, root, leaves)
-	saved := 0
-	for _, id := range g.MFFC(root, fc) {
-		if cone[id] {
-			saved++
-		}
-	}
-	return saved
 }
 
 // Rewrite performs cut-based rewriting: for every node, 4-input cuts are
 // enumerated, the cut function is resynthesized from its ISOP, and the
 // best replacement is accepted when it saves nodes (or, with zero=true,
 // also when cost-neutral, which diversifies structure without growth —
-// ABC's "rewrite -z").
-func Rewrite(g *aig.AIG, zero bool) *aig.AIG {
-	fc := g.FanoutCounts()
-	cuts := EnumerateCuts(g, cutSize)
-	rb := aig.NewRebuilder(g)
-	for _, id := range g.TopoOrder() {
-		type cand struct {
-			tt     uint64
-			leaves []int
-			gain   int
-		}
-		var best *cand
+// ABC's "rewrite -z"). a supplies reusable scratch storage and may be
+// nil.
+func Rewrite(g *aig.AIG, zero bool, a *Arena) *aig.AIG {
+	a = ensure(a)
+	fc := a.fanoutCounts(g)
+	cuts := a.enumerateCuts(g, cutSize)
+	rb := a.begin(g)
+	for _, id := range a.topo(g) {
+		var (
+			found      bool
+			bestTT     uint64
+			bestLeaves []int
+			bestGain   int
+		)
 		for _, cut := range cuts[id] {
 			if len(cut.Leaves) < 2 || (len(cut.Leaves) == 1 && cut.Leaves[0] == id) {
 				continue
 			}
-			tt, ok := g.WindowTT(id, cut.Leaves)
+			tt, ok := a.windowTT(g, id, cut.Leaves)
 			if !ok {
 				continue
 			}
-			cost := EstimateTTCost(tt, len(cut.Leaves))
-			gain := savedNodes(g, id, cut.Leaves, fc) - cost
-			if best == nil || gain > best.gain {
-				best = &cand{tt: tt, leaves: cut.Leaves, gain: gain}
+			cost := a.ttPlanFor(tt, len(cut.Leaves)).cost
+			gain := a.savedNodes(g, id, cut.Leaves, fc) - cost
+			if !found || gain > bestGain {
+				found, bestTT, bestLeaves, bestGain = true, tt, cut.Leaves, gain
 			}
 		}
-		accept := best != nil && (best.gain > 0 || (zero && best.gain == 0))
+		accept := found && (bestGain > 0 || (zero && bestGain == 0))
 		if accept {
-			leafLits := make([]aig.Lit, len(best.leaves))
-			for i, l := range best.leaves {
+			if cap(a.dstLits) < len(bestLeaves) {
+				a.dstLits = make([]aig.Lit, len(bestLeaves))
+			}
+			leafLits := a.dstLits[:len(bestLeaves)]
+			for i, l := range bestLeaves {
 				leafLits[i] = rb.LitOf(aig.MakeLit(l, false))
 			}
-			rb.Map(id, SynthTT(rb.Dst, best.tt, leafLits))
+			rb.Map(id, a.synthTT(rb.Dst, bestTT, leafLits))
 			continue
 		}
 		f0, f1 := g.Fanins(id)
 		rb.Map(id, rb.Dst.And(rb.LitOf(f0), rb.LitOf(f1)))
 	}
-	return rb.Finish().Cleanup()
+	return a.finishCleanup()
 }
 
 // refactorLeafLimit is the window size for refactoring (larger than
@@ -162,10 +145,11 @@ func Rewrite(g *aig.AIG, zero bool) *aig.AIG {
 const refactorLeafLimit = 6
 
 // reconvWindow grows a reconvergence-driven window rooted at id with at
-// most limit leaves, expanding the deepest expandable leaf first.
-func reconvWindow(g *aig.AIG, id, limit int) []int {
+// most limit leaves, expanding the deepest expandable leaf first. The
+// returned slice aliases the arena and is valid until the next call.
+func (a *Arena) reconvWindow(g *aig.AIG, id, limit int) []int {
 	f0, f1 := g.Fanins(id)
-	leaves := []int{f0.Node(), f1.Node()}
+	leaves := append(a.winLeaves[:0], f0.Node(), f1.Node())
 	if leaves[0] == leaves[1] {
 		leaves = leaves[:1]
 	}
@@ -207,6 +191,7 @@ func reconvWindow(g *aig.AIG, id, limit int) []int {
 		}
 	}
 	sort.Ints(leaves)
+	a.winLeaves = leaves
 	return leaves
 }
 
@@ -221,23 +206,28 @@ func containsInt(xs []int, x int) bool {
 
 // Refactor collapses one large reconvergence-driven window per node into
 // its ISOP-resynthesized form when that saves nodes (or is cost-neutral
-// with zero=true) — the analogue of ABC's refactor / refactor -z.
-func Refactor(g *aig.AIG, zero bool) *aig.AIG {
-	fc := g.FanoutCounts()
-	rb := aig.NewRebuilder(g)
-	for _, id := range g.TopoOrder() {
-		leaves := reconvWindow(g, id, refactorLeafLimit)
+// with zero=true) — the analogue of ABC's refactor / refactor -z. a
+// supplies reusable scratch storage and may be nil.
+func Refactor(g *aig.AIG, zero bool, a *Arena) *aig.AIG {
+	a = ensure(a)
+	fc := a.fanoutCounts(g)
+	rb := a.begin(g)
+	for _, id := range a.topo(g) {
+		leaves := a.reconvWindow(g, id, refactorLeafLimit)
 		replaced := false
 		if len(leaves) >= 2 && len(leaves) <= 6 {
-			if tt, ok := g.WindowTT(id, leaves); ok {
-				cost := EstimateTTCost(tt, len(leaves))
-				gain := savedNodes(g, id, leaves, fc) - cost
+			if tt, ok := a.windowTT(g, id, leaves); ok {
+				cost := a.ttPlanFor(tt, len(leaves)).cost
+				gain := a.savedNodes(g, id, leaves, fc) - cost
 				if gain > 0 || (zero && gain == 0) {
-					leafLits := make([]aig.Lit, len(leaves))
+					if cap(a.dstLits) < len(leaves) {
+						a.dstLits = make([]aig.Lit, len(leaves))
+					}
+					leafLits := a.dstLits[:len(leaves)]
 					for i, l := range leaves {
 						leafLits[i] = rb.LitOf(aig.MakeLit(l, false))
 					}
-					rb.Map(id, SynthTT(rb.Dst, tt, leafLits))
+					rb.Map(id, a.synthTT(rb.Dst, tt, leafLits))
 					replaced = true
 				}
 			}
@@ -247,7 +237,7 @@ func Refactor(g *aig.AIG, zero bool) *aig.AIG {
 			rb.Map(id, rb.Dst.And(rb.LitOf(f0), rb.LitOf(f1)))
 		}
 	}
-	return rb.Finish().Cleanup()
+	return a.finishCleanup()
 }
 
 // sigKey folds a signature into a hashable key.
@@ -278,15 +268,22 @@ func sigEqual(a, b []uint64, neg bool) bool {
 // — 0-resubstitution, as in fraiging. With zero=true it additionally
 // attempts 1-resubstitution: reimplementing a node as a single AND of two
 // existing divisors from its neighborhood, accepted even when
-// cost-neutral ("resub -z").
-func Resub(g *aig.AIG, zero bool) *aig.AIG {
+// cost-neutral ("resub -z"). a supplies reusable scratch storage and may
+// be nil.
+func Resub(g *aig.AIG, zero bool, a *Arena) *aig.AIG {
+	a = ensure(a)
 	rng := rand.New(rand.NewSource(resubSeed))
-	sigs := g.Signatures(rng, resubSigWords)
-	order := g.TopoOrder()
+	sigs := g.SignaturesInto(&a.sim, rng, resubSigWords)
+	order := a.topo(g)
 
 	// Candidate index: signature hash (and complement hash) -> node IDs in
 	// topological order. Inputs participate as divisors.
-	byKey := map[uint64][]int{}
+	if a.byKey == nil {
+		a.byKey = map[uint64][]int{}
+	} else {
+		clear(a.byKey)
+	}
+	byKey := a.byKey
 	add := func(id int) {
 		byKey[sigKey(sigs[id])] = append(byKey[sigKey(sigs[id])], id)
 	}
@@ -297,7 +294,10 @@ func Resub(g *aig.AIG, zero bool) *aig.AIG {
 		add(id)
 	}
 	negKey := func(sig []uint64) uint64 {
-		tmp := make([]uint64, len(sig))
+		if cap(a.negBuf) < len(sig) {
+			a.negBuf = make([]uint64, len(sig))
+		}
+		tmp := a.negBuf[:len(sig)]
 		for i, w := range sig {
 			tmp[i] = ^w
 		}
@@ -305,8 +305,8 @@ func Resub(g *aig.AIG, zero bool) *aig.AIG {
 	}
 
 	fanouts := g.Fanouts()
-	rb := aig.NewRebuilder(g)
-	merged := map[int]bool{}
+	rb := a.begin(g)
+	merged := a.boolNodes(g.NumNodes())
 	for _, id := range order {
 		if lit, ok := zeroResub(g, id, sigs, byKey, negKey, merged); ok {
 			rb.Map(id, rb.LitOf(lit))
@@ -324,12 +324,12 @@ func Resub(g *aig.AIG, zero bool) *aig.AIG {
 		f0, f1 := g.Fanins(id)
 		rb.Map(id, rb.Dst.And(rb.LitOf(f0), rb.LitOf(f1)))
 	}
-	return rb.Finish().Cleanup()
+	return a.finishCleanup()
 }
 
 // zeroResub finds an earlier node equivalent to id (possibly
 // complemented) and returns the replacement literal in the source graph.
-func zeroResub(g *aig.AIG, id int, sigs [][]uint64, byKey map[uint64][]int, negKey func([]uint64) uint64, merged map[int]bool) (aig.Lit, bool) {
+func zeroResub(g *aig.AIG, id int, sigs [][]uint64, byKey map[uint64][]int, negKey func([]uint64) uint64, merged []bool) (aig.Lit, bool) {
 	try := func(cands []int, neg bool) (aig.Lit, bool) {
 		for _, m := range cands {
 			if m >= id || merged[m] {

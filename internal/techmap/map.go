@@ -46,10 +46,14 @@ type match struct {
 
 // Map covers the AIG with library cells and returns the PPA result.
 // Effort EffortHigh first runs an area-recovery pass (rewrite+balance) on
-// the AIG, modeling DC's "ultra effort + area recovery".
+// the AIG, modeling DC's "ultra effort + area recovery". The pass shares
+// one synthesis arena and recycles the intermediate netlist.
 func Map(g *aig.AIG, lib *Library, effort Effort) Result {
 	if effort == EffortHigh {
-		g = synth.Balance(synth.Rewrite(g, false))
+		a := synth.NewArena()
+		rw := synth.Rewrite(g, false, a)
+		g = synth.Balance(rw, a)
+		a.Recycle(rw)
 	}
 	return mapDirect(g, lib)
 }
@@ -258,10 +262,12 @@ func xorOperands(a0, a1, b0, b1 aig.Lit) (aig.Lit, aig.Lit, bool) {
 }
 
 // nodeActivity estimates per-node switching activity 2p(1-p) from 1024
-// random patterns (fixed seed: PPA reports must be deterministic).
+// random patterns (fixed seed: PPA reports must be deterministic). The
+// signature rows alias the local sim scratch and never escape.
 func nodeActivity(g *aig.AIG) []float64 {
 	rng := rand.New(rand.NewSource(0xAC71))
-	sigs := g.Signatures(rng, 16)
+	var sim aig.SimScratch
+	sigs := g.SignaturesInto(&sim, rng, 16)
 	act := make([]float64, g.NumNodes())
 	for id := range act {
 		if sigs[id] == nil {
