@@ -51,8 +51,9 @@
 // The extension surface of the library is two interfaces and a
 // registry. An Attacker reports its key-recovery accuracy on a locked
 // netlist; a Locker inserts key gates. The built-ins register themselves
-// under "omla", "scope", "redundancy" (attacks) and "rll", "mux"
-// (locking schemes); third-party modules add their own with
+// under "omla", "scope", "redundancy", "satattack", "appsat" (attacks)
+// and "rll", "mux", "antisat" (locking schemes); third-party modules add
+// their own with
 // RegisterAttacker / RegisterLocker and immediately compose with the
 // rest of the framework:
 //
@@ -102,6 +103,7 @@ import (
 	"math/rand"
 
 	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/attack/satattack"
 	"github.com/nyu-secml/almost/internal/circuits"
 	"github.com/nyu-secml/almost/internal/cnf"
 	"github.com/nyu-secml/almost/internal/core"
@@ -150,6 +152,16 @@ type (
 	// EnsembleReduce selects how an attack ensemble's deviations combine
 	// into the search objective.
 	EnsembleReduce = core.EnsembleReduce
+	// Oracle answers input queries of an unlocked working chip, the extra
+	// capability the oracle-guided SAT-attack family assumes.
+	Oracle = satattack.Oracle
+	// SATAttackConfig controls SAT-attack effort and the AppSAT
+	// approximation schedule.
+	SATAttackConfig = satattack.Config
+	// SATAttackResult is a SAT-attack outcome: the recovered (or
+	// best-so-far) key, the DIP count, and whether the key is proved
+	// exact.
+	SATAttackResult = satattack.Result
 )
 
 // Ensemble reductions for Config.EnsembleReduce.
@@ -173,11 +185,11 @@ func RegisterAttacker(a Attacker) error { return core.RegisterAttacker(a) }
 func RegisterLocker(l Locker) error { return core.RegisterLocker(l) }
 
 // Attackers lists the registered attack names in registration order
-// (built-ins first: omla, scope, redundancy).
+// (built-ins first: omla, scope, redundancy, satattack, appsat).
 func Attackers() []string { return core.Attackers() }
 
 // Lockers lists the registered locking-scheme names in registration
-// order (built-ins first: rll, mux).
+// order (built-ins first: rll, mux, antisat).
 func Lockers() []string { return core.Lockers() }
 
 // LookupAttacker resolves a registered attack by name.
@@ -190,6 +202,17 @@ func LookupLocker(name string) (Locker, bool) { return core.LookupLocker(name) }
 // (self-referencing attacks like OMLA re-synthesize their training data
 // with it; attacks that don't need it ignore it).
 func WithRecipe(r Recipe) Option { return core.WithRecipe(r) }
+
+// WithOracle hands the oracle-guided attacks ("satattack", "appsat") a
+// working unlocked chip to query. Evaluation entry points that already
+// hold the true key derive a simulation oracle themselves; key
+// prediction through the registry requires one explicitly.
+func WithOracle(o Oracle) Option { return core.WithOracle(o) }
+
+// WithSATAttackConfig overrides the effort settings of the registered
+// "satattack"/"appsat" attackers (DIP budget, per-call conflict budget,
+// AppSAT estimation schedule).
+func WithSATAttackConfig(cfg SATAttackConfig) Option { return core.WithSATAttackConfig(cfg) }
 
 // Pipeline phases reported in Event.Phase.
 const (
@@ -279,6 +302,20 @@ func Lock(g *AIG, keySize int, rng *rand.Rand) (*AIG, Key) {
 // signal against a decoy wire, hiding which fanin is functional.
 func LockMux(g *AIG, keySize int, rng *rand.Rand) (*AIG, Key) {
 	return lock.LockMux(g, keySize, rng)
+}
+
+// LockAntiSAT applies an anti-SAT/SARLock-style point-function defense:
+// a comparator block keyed with keySize bits corrupts one output on
+// exactly one input pattern per wrong key, pushing the oracle-guided SAT
+// attack's DIP count exponential in the key width. It composes with the
+// other schemes (lock the circuit first, then stack "antisat" on top —
+// or chain them via LockWithCtx with Config.Lockers semantics). Note the
+// defense is deliberately one-sided: it does nothing against the
+// oracle-less ML attacks the paper targets, and its point-function
+// structure is itself detectable by structural analysis — see the README
+// threat-model section.
+func LockAntiSAT(g *AIG, keySize int, rng *rand.Rand) (*AIG, Key) {
+	return lock.LockAntiSAT(g, keySize, rng)
 }
 
 // LockWithCtx locks g by chaining registered locking schemes by name
@@ -372,13 +409,58 @@ func AttackRedundancyCtx(ctx context.Context, netlist *AIG, truth Key) (float64,
 	return attackByName(ctx, "redundancy", netlist, truth)
 }
 
+// SimOracle wraps a key-free netlist (the original design) as an Oracle
+// via bit-parallel simulation. It panics if the netlist still has key
+// inputs. The returned closure is not safe for concurrent use.
+func SimOracle(g *AIG) Oracle { return satattack.SimOracle(g) }
+
+// DefaultSATAttackConfig balances SAT-attack fidelity and runtime.
+func DefaultSATAttackConfig() SATAttackConfig { return satattack.DefaultConfig() }
+
+// AttackSATCtx runs the classic oracle-guided SAT attack (Subramanyan et
+// al., HOST 2015) against a locked netlist: it alternates between
+// solving a key miter for a distinguishing input pattern and pinning the
+// key candidates to the oracle's answer, until the surviving keys are
+// provably equivalent (Result.Exact). Cancellation is honored inside
+// each SAT call and returns the best-so-far key alongside an error
+// matching ctx.Err(); budget exhaustion (cfg.MaxDIPs, cfg.SolveConflicts)
+// is not an error — it returns the best candidate with Exact == false.
+func AttackSATCtx(ctx context.Context, locked *AIG, oracle Oracle, cfg SATAttackConfig) (SATAttackResult, error) {
+	return satattack.AttackCtx(ctx, locked, oracle, cfg)
+}
+
+// AttackAppSATCtx runs the approximate AppSAT variant (Shamsi et al.,
+// HOST 2017): every cfg.EstimateEvery DIPs the candidate key's error
+// rate is estimated on random oracle queries, and the attack settles for
+// an approximately-correct key once the estimate reaches
+// cfg.ErrorTarget — the standard counter to point-function defenses like
+// LockAntiSAT, whose exact attack cost is exponential.
+func AttackAppSATCtx(ctx context.Context, locked *AIG, oracle Oracle, cfg SATAttackConfig) (SATAttackResult, error) {
+	return satattack.AppSATCtx(ctx, locked, oracle, cfg)
+}
+
 // Equivalent checks combinational equivalence of two netlists by SAT.
-func Equivalent(a, b *AIG) (bool, []bool) { return cnf.Equivalent(a, b) }
+// The error (matching cnf.ErrMismatch) reports an interface-arity
+// mismatch — a malformed comparison, distinct from inequivalence.
+func Equivalent(a, b *AIG) (bool, []bool, error) { return cnf.Equivalent(a, b) }
+
+// EquivalentCtx is Equivalent with cancellation threaded into the SAT
+// search itself.
+func EquivalentCtx(ctx context.Context, a, b *AIG) (bool, []bool, error) {
+	return cnf.EquivalentCtx(ctx, a, b)
+}
 
 // EquivalentUnderKey checks that a locked netlist under the given key
-// matches the original design.
-func EquivalentUnderKey(orig, locked *AIG, key Key) (bool, []bool) {
+// matches the original design. The error (matching cnf.ErrMismatch)
+// reports a key-size or interface mismatch.
+func EquivalentUnderKey(orig, locked *AIG, key Key) (bool, []bool, error) {
 	return cnf.EquivalentUnderKey(orig, locked, key)
+}
+
+// EquivalentUnderKeyCtx is EquivalentUnderKey with cancellation threaded
+// into the SAT search itself.
+func EquivalentUnderKeyCtx(ctx context.Context, orig, locked *AIG, key Key) (bool, []bool, error) {
+	return cnf.EquivalentUnderKeyCtx(ctx, orig, locked, key)
 }
 
 // PPA maps the netlist onto the NanGate45-like library and reports

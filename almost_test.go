@@ -17,14 +17,14 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	locked, key := almost.Lock(design, 8, rand.New(rand.NewSource(1)))
-	if ok, _ := almost.EquivalentUnderKey(design, locked, key); !ok {
+	if ok, _, _ := almost.EquivalentUnderKey(design, locked, key); !ok {
 		t.Fatal("correct key rejected")
 	}
 	unlocked, err := almost.ApplyKey(locked, key)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := almost.Equivalent(design, unlocked); !ok {
+	if ok, _, _ := almost.Equivalent(design, unlocked); !ok {
 		t.Fatal("ApplyKey broke the function")
 	}
 }
@@ -39,7 +39,7 @@ func TestPublicBenchIO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := almost.Equivalent(design, back); !ok {
+	if ok, _, _ := almost.Equivalent(design, back); !ok {
 		t.Fatal("bench round trip broke the function")
 	}
 }
@@ -55,7 +55,7 @@ func TestPublicAIGERAndFileIO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := almost.Equivalent(design, back); !ok {
+	if ok, _, _ := almost.Equivalent(design, back); !ok {
 		t.Fatal("aag round trip broke the function")
 	}
 	// Extension-sniffed file I/O, binary AIGER, with key metadata.
@@ -71,7 +71,7 @@ func TestPublicAIGERAndFileIO(t *testing.T) {
 	if got.NumKeyInputs() != 8 {
 		t.Fatalf("key inputs lost through .aig file: %d", got.NumKeyInputs())
 	}
-	if ok, _ := almost.Equivalent(locked, got); !ok {
+	if ok, _, _ := almost.Equivalent(locked, got); !ok {
 		t.Fatal("file round trip broke the function")
 	}
 }
@@ -138,7 +138,7 @@ func TestPublicHardenEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := almost.EquivalentUnderKey(design, h.Netlist, h.Key); !ok {
+	if ok, _, _ := almost.EquivalentUnderKey(design, h.Netlist, h.Key); !ok {
 		t.Fatal("hardened netlist broken under key")
 	}
 	if len(h.Recipe) != cfg.RecipeLen {
@@ -228,7 +228,7 @@ func TestPublicCtxAttacks(t *testing.T) {
 func TestPublicMixedLocking(t *testing.T) {
 	design, _ := almost.GenerateBenchmark("c432")
 	muxed, key := almost.LockMux(design, 8, rand.New(rand.NewSource(5)))
-	if ok, _ := almost.EquivalentUnderKey(design, muxed, key); !ok {
+	if ok, _, _ := almost.EquivalentUnderKey(design, muxed, key); !ok {
 		t.Fatal("MUX-locked netlist broken under correct key")
 	}
 	chained, key2, err := almost.LockWithCtx(context.Background(), design, 9,
@@ -239,7 +239,7 @@ func TestPublicMixedLocking(t *testing.T) {
 	if len(key2) != 9 || chained.NumKeyInputs() != 9 {
 		t.Fatalf("chained lock: %d bits, %d key inputs", len(key2), chained.NumKeyInputs())
 	}
-	if ok, _ := almost.EquivalentUnderKey(design, chained, key2); !ok {
+	if ok, _, _ := almost.EquivalentUnderKey(design, chained, key2); !ok {
 		t.Fatal("chained-locked netlist broken under correct key")
 	}
 }
@@ -263,7 +263,7 @@ func TestPublicHardenCtxObservedEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := almost.EquivalentUnderKey(design, h.Netlist, h.Key); !ok {
+	if ok, _, _ := almost.EquivalentUnderKey(design, h.Netlist, h.Key); !ok {
 		t.Fatal("hardened netlist broken under key")
 	}
 	if len(phases) == 0 || phases[0] != almost.PhaseLock {

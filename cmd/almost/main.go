@@ -1,8 +1,9 @@
 // Command almost is the CLI front end of the ALMOST framework. It covers
 // the whole flow the paper describes — benchmark generation, RLL
-// locking, recipe-driven synthesis, the three oracle-less attacks,
-// security-aware recipe tuning, PPA reporting — and can regenerate every
-// experiment of the evaluation section.
+// locking, recipe-driven synthesis, the oracle-less attacks plus the
+// oracle-guided SAT-attack family, security-aware recipe tuning, PPA
+// reporting — and can regenerate every experiment of the evaluation
+// section.
 //
 // Usage:
 //
@@ -11,6 +12,7 @@
 //	almost synth -in locked.aig -recipe "balance; rewrite; refactor" -o out.bench
 //	almost attack -list
 //	almost attack -in locked.bench -attack omla -recipe resyn2 -keyfile key.txt
+//	almost attack -in locked.bench -attack satattack -oracle c1908.bench -keyfile key.txt
 //	almost tune -in locked.bench -keyfile key.txt -attacks omla,scope -jobs 8 -o recipe.txt
 //	almost ppa -circuit design.aag
 //	almost convert -circuit design.bench -o design.aig
@@ -55,6 +57,7 @@ import (
 	"syscall"
 
 	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/attack/satattack"
 	"github.com/nyu-secml/almost/internal/circuits"
 	"github.com/nyu-secml/almost/internal/core"
 	"github.com/nyu-secml/almost/internal/experiments"
@@ -418,6 +421,8 @@ func cmdAttack(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		"registered attack name ("+strings.Join(core.Attackers(), " | ")+")")
 	recipeStr := fs.String("recipe", "resyn2", "defender's recipe (self-referencing attacks)")
 	keyFile := fs.String("keyfile", "", "true key file (reports accuracy when given)")
+	oracleFile := fs.String("oracle", "",
+		"unlocked netlist simulated as the oracle (oracle-guided attacks: satattack, appsat)")
 	list := fs.Bool("list", false, "list the registered attacks and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -442,12 +447,28 @@ func cmdAttack(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		return err
 	}
 	opts := []core.Option{core.WithRecipe(recipe)}
+	if *oracleFile != "" {
+		og, err := netio.ReadFile(*oracleFile)
+		if err != nil {
+			return fmt.Errorf("attack: -oracle: %w", err)
+		}
+		if og.NumKeyInputs() != 0 {
+			return fmt.Errorf("attack: -oracle netlist %q still has %d key inputs; the oracle is the unlocked design",
+				*oracleFile, og.NumKeyInputs())
+		}
+		opts = append(opts, core.WithOracle(satattack.SimOracle(og)))
+	}
 	// Attacks that can surface the guessed key do; the Attacker
 	// interface itself only promises an accuracy.
 	kp, canPredict := atk.(core.KeyPredictor)
 	if canPredict {
 		guess, err := kp.PredictKeyCtx(ctx, g, opts...)
 		if err != nil {
+			// An interrupted attack (SIGINT) still surfaces the
+			// best-so-far key it pried out before the cancellation.
+			if len(guess) > 0 {
+				fmt.Fprintf(stderr, "interrupted; best-so-far key: %s\n", guess)
+			}
 			return err
 		}
 		fmt.Fprintf(stdout, "predicted key: %s\n", guess)

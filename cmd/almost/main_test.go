@@ -264,14 +264,15 @@ func TestPipelineOnExternalNetlist(t *testing.T) {
 	}
 }
 
-// TestAttackList is the golden test for the registry listing: the three
-// built-in attacks print one per line, in registration order.
+// TestAttackList is the golden test for the registry listing: the five
+// built-in attacks print one per line, in registration order (oracle-less
+// first, then the oracle-guided SAT family).
 func TestAttackList(t *testing.T) {
 	code, stdout, stderr := runCLI("attack", "-list")
 	if code != 0 {
 		t.Fatalf("attack -list failed (%d): %s", code, stderr)
 	}
-	if want := "omla\nscope\nredundancy\n"; stdout != want {
+	if want := "omla\nscope\nredundancy\nsatattack\nappsat\n"; stdout != want {
 		t.Fatalf("attack -list = %q, want %q", stdout, want)
 	}
 }

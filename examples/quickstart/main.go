@@ -80,7 +80,7 @@ func main() {
 	fmt.Printf("proxy-estimated attack accuracy: %.1f%% (0.5 = random guessing)\n",
 		hardened.Search.Accuracy*100)
 
-	if ok, _ := almost.EquivalentUnderKey(design, hardened.Netlist, hardened.Key); !ok {
+	if ok, _, _ := almost.EquivalentUnderKey(design, hardened.Netlist, hardened.Key); !ok {
 		log.Fatal("hardened netlist is not equivalent under the correct key")
 	}
 	fmt.Println("SAT check: hardened netlist ≡ design under the correct key ✓")

@@ -79,8 +79,9 @@ func PredictKey(g *aig.AIG, cfg Config) lock.Key {
 }
 
 // PredictKeyCtx is the cancellable variant of PredictKey: the context is
-// checked before every key bit's untestability count, and on cancellation
-// the bits guessed so far are returned alongside ctx.Err().
+// checked before every key bit's untestability count and polled inside
+// each testability SAT search (via the solver's Stop hook), and on
+// cancellation the bits guessed so far are returned alongside ctx.Err().
 func PredictKeyCtx(ctx context.Context, g *aig.AIG, cfg Config) (lock.Key, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	kIdx := g.KeyInputIndices()
@@ -93,8 +94,8 @@ func PredictKeyCtx(ctx context.Context, g *aig.AIG, cfg Config) (lock.Key, error
 			return key, err
 		}
 		faults := sampleFaults(g, ki, order, fanouts, cfg.FaultSamples, rng)
-		u0 := countUntestable(lock.FixInputs(g, map[int]bool{ki: false}), faults, cfg, rng, st)
-		u1 := countUntestable(lock.FixInputs(g, map[int]bool{ki: true}), faults, cfg, rng, st)
+		u0 := countUntestable(ctx, lock.FixInputs(g, map[int]bool{ki: false}), faults, cfg, rng, st)
+		u1 := countUntestable(ctx, lock.FixInputs(g, map[int]bool{ki: true}), faults, cfg, rng, st)
 		key = append(key, u1 < u0)
 	}
 	return key, nil
@@ -129,17 +130,23 @@ func sampleFaults(g *aig.AIG, ki int, order []int, fanouts [][]int, n int, rng *
 
 // countUntestable counts faults of the cofactor that no input assignment
 // can expose. Fault sites are re-mapped by relative topological position.
-func countUntestable(cof *aig.AIG, faults []fault, cfg Config, rng *rand.Rand, st *scratch) int {
+// A canceled ctx short-circuits the remaining faults as testable (the
+// conservative direction); the caller notices ctx.Err() and discards the
+// bit anyway.
+func countUntestable(ctx context.Context, cof *aig.AIG, faults []fault, cfg Config, rng *rand.Rand, st *scratch) int {
 	order := cof.TopoOrder()
 	if len(order) == 0 {
 		return len(faults)
 	}
 	untestable := 0
 	for i, f := range faults {
+		if ctx.Err() != nil {
+			return untestable
+		}
 		// Deterministic position-based transfer of the fault site.
 		pos := (f.node + i) % len(order)
 		site := order[pos]
-		if !testable(cof, order, site, f.val, cfg, rng, st) {
+		if !testable(ctx, cof, order, site, f.val, cfg, rng, st) {
 			untestable++
 		}
 	}
@@ -149,8 +156,10 @@ func countUntestable(cof *aig.AIG, faults []fault, cfg Config, rng *rand.Rand, s
 // testable reports whether stuck-at-val at node site is detectable at any
 // output for some input assignment. The faulty copy is built into (and
 // recycled from) the scratch's graph pool, and the random filter reuses
-// the scratch's pattern/output buffers and sim schedules.
-func testable(g *aig.AIG, order []int, site int, val bool, cfg Config, rng *rand.Rand, st *scratch) bool {
+// the scratch's pattern/output buffers and sim schedules. ctx is polled
+// inside the SAT search via the solver's Stop hook; cancellation surfaces
+// as Unknown, which counts as testable — never as a proved redundancy.
+func testable(ctx context.Context, g *aig.AIG, order []int, site int, val bool, cfg Config, rng *rand.Rand, st *scratch) bool {
 	// Fast path: random simulation of good vs faulty circuit.
 	faulty := injectFault(g, order, site, val, st)
 	defer st.put(faulty)
@@ -171,9 +180,15 @@ func testable(g *aig.AIG, order []int, site int, val bool, cfg Config, rng *rand
 			}
 		}
 	}
-	// Exact path: SAT on the difference miter.
+	// Exact path: SAT on the difference miter. The Stop hook makes even a
+	// single long Solve call interruptible; the budget-exhaustion case
+	// below already treats Unknown as testable, which is also the right
+	// answer for cancellation.
 	s := sat.New(0)
 	s.MaxConflicts = cfg.SATConflicts
+	if ctx.Done() != nil {
+		s.Stop = func() bool { return ctx.Err() != nil }
+	}
 	eg := cnf.Encode(g, s)
 	ef := cnf.Encode(faulty, s)
 	for i := 0; i < g.NumInputs(); i++ {

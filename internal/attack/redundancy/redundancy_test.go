@@ -19,7 +19,7 @@ func TestInjectFaultChangesFunction(t *testing.T) {
 	n := g.And(a, b)
 	g.AddOutput(n, "o")
 	f := injectFault(g, g.TopoOrder(), n.Node(), true, &scratch{}) // output stuck-at-1
-	if ok, _ := cnf.Equivalent(g, f); ok {
+	if ok, _, _ := cnf.Equivalent(g, f); ok {
 		t.Fatal("stuck-at-1 on the only gate should change the function")
 	}
 	out := f.EvalSingle([]bool{false, false})
@@ -36,10 +36,10 @@ func TestTestableDetectsTestableFault(t *testing.T) {
 	g.AddOutput(n, "o")
 	cfg := DefaultConfig()
 	rng := rand.New(rand.NewSource(1))
-	if !testable(g, g.TopoOrder(), n.Node(), true, cfg, rng, &scratch{}) {
+	if !testable(context.Background(), g, g.TopoOrder(), n.Node(), true, cfg, rng, &scratch{}) {
 		t.Fatal("sa1 on AND output is testable (a=b=0)")
 	}
-	if !testable(g, g.TopoOrder(), n.Node(), false, cfg, rng, &scratch{}) {
+	if !testable(context.Background(), g, g.TopoOrder(), n.Node(), false, cfg, rng, &scratch{}) {
 		t.Fatal("sa0 on AND output is testable (a=b=1)")
 	}
 }
@@ -53,7 +53,7 @@ func TestTestableDetectsRedundantFault(t *testing.T) {
 	g.AddOutput(g.Or(ab, a), "o")
 	cfg := DefaultConfig()
 	rng := rand.New(rand.NewSource(2))
-	if testable(g, g.TopoOrder(), ab.Node(), false, cfg, rng, &scratch{}) {
+	if testable(context.Background(), g, g.TopoOrder(), ab.Node(), false, cfg, rng, &scratch{}) {
 		t.Fatal("sa0 on absorbed term must be untestable")
 	}
 }
@@ -114,5 +114,23 @@ func TestPredictKeyCtxMatchesAndCancels(t *testing.T) {
 	}
 	if len(partial) != 0 {
 		t.Fatalf("pre-canceled run guessed %d bits", len(partial))
+	}
+}
+
+func TestTestableHonorsCtxInsideSAT(t *testing.T) {
+	// With the random filter disabled, testability must be decided by
+	// SAT; a canceled context makes the solver give up with Unknown,
+	// which must be read as "testable" — never as a proved redundancy.
+	g := circuits.MustGenerate("c6288")
+	cfg := DefaultConfig()
+	cfg.SimRounds = 0 // force the SAT path
+	cfg.SATConflicts = 0
+	rng := rand.New(rand.NewSource(8))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	order := g.TopoOrder()
+	site := order[len(order)/2]
+	if !testable(ctx, g, order, site, true, cfg, rng, &scratch{}) {
+		t.Fatal("canceled SAT query must conservatively report testable")
 	}
 }

@@ -1,0 +1,52 @@
+package satattack
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/lock"
+)
+
+// BenchmarkSATAttack measures the oracle-guided SAT attack against plain
+// RLL and against RLL stacked with the anti-SAT point function, across
+// key sizes — the BENCH_pr6.json data point. The interesting number is
+// not ns/op but the reported dips/attack metric: on plain RLL the DIP
+// count grows roughly linearly with the key width, while each anti-SAT
+// key bit (in the comparator half) doubles it. exact/attack records
+// whether the attack converged inside the budget (1) or timed out with a
+// candidate key (0).
+//
+//	go test -run=^$ -bench BenchmarkSATAttack ./internal/attack/satattack
+func BenchmarkSATAttack(b *testing.B) {
+	g := circuits.MustGenerate("c432")
+	oracle := SimOracle(g)
+	cfg := DefaultConfig()
+	cfg.MaxDIPs = 512
+	for _, scheme := range []string{"rll", "rll+antisat"} {
+		for _, keySize := range []int{8, 12, 16} {
+			b.Run(fmt.Sprintf("%s/k%d", scheme, keySize), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(31))
+				locked, _ := lock.Lock(g, keySize, rng)
+				if scheme == "rll+antisat" {
+					locked, _ = lock.LockAntiSAT(locked, keySize, rng)
+				}
+				var dips, exact int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := Attack(locked, oracle, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					dips += res.DIPs
+					if res.Exact {
+						exact++
+					}
+				}
+				b.ReportMetric(float64(dips)/float64(b.N), "dips/attack")
+				b.ReportMetric(float64(exact)/float64(b.N), "exact/attack")
+			})
+		}
+	}
+}

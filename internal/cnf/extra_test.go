@@ -1,6 +1,7 @@
 package cnf
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -50,7 +51,14 @@ func TestEncodeCoversOutputsThatAreInputs(t *testing.T) {
 func TestEquivalentUnderKeyWrongSizes(t *testing.T) {
 	g := circuits.MustGenerate("c432")
 	locked, _ := lock.Lock(g, 4, rand.New(rand.NewSource(9)))
-	if ok, _ := EquivalentUnderKey(g, locked, lock.Key{true}); ok {
+	ok, cex, err := EquivalentUnderKey(g, locked, lock.Key{true})
+	if ok {
 		t.Fatal("short key accepted")
+	}
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("short key: err = %v, want ErrMismatch", err)
+	}
+	if cex != nil {
+		t.Fatal("mismatch must not fabricate a counterexample")
 	}
 }

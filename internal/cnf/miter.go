@@ -1,0 +1,266 @@
+package cnf
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/sat"
+)
+
+// KeyMiter is the incremental SAT instance at the heart of the
+// oracle-guided SAT attack (Subramanyan et al.): two copies of a locked
+// netlist share their primary inputs but carry independent key vectors
+// KA and KB, and a switchable difference constraint asserts that the two
+// copies disagree on at least one output. While the difference constraint
+// is active, a Sat answer yields a distinguishing input pattern (DIP) —
+// an input on which some pair of keys disagrees. After each DIP is
+// resolved against the oracle, AddIOConstraint pins both key vectors to
+// agree with the observed input/output behavior; when the miter finally
+// goes Unsat no two surviving keys disagree anywhere, so any surviving
+// key (SolveKey) is functionally correct.
+//
+// The instance is incremental: one solver accumulates learnt clauses
+// across the whole DIP loop, and the difference constraint is guarded by
+// an activation literal passed as an assumption, so SolveKey can ignore
+// it without rebuilding anything.
+type KeyMiter struct {
+	// S is the underlying solver. Callers may set budgets (MaxConflicts,
+	// MaxPropagations) or a Stop hook on it; any Solve the miter performs
+	// then returns sat.Unknown on exhaustion.
+	S *sat.Solver
+
+	locked   *aig.AIG
+	piVars   []sat.Lit // shared primary inputs, in PI (non-key) order
+	keyA     []sat.Lit // key vector of copy A, in key-input order
+	keyB     []sat.Lit
+	act      sat.Lit // activation literal of the difference constraint
+	falseLit sat.Lit // a literal forced false at level 0 (shared constant)
+
+	// inMap[i] = -1 for key inputs, else the PI position of input i.
+	inMap []int
+
+	haveModel bool // last Solve on S answered Sat
+}
+
+// NewKeyMiter builds the two-copy key miter for a locked netlist.
+func NewKeyMiter(locked *aig.AIG) (*KeyMiter, error) {
+	kIdx := locked.KeyInputIndices()
+	if len(kIdx) == 0 {
+		return nil, fmt.Errorf("%w: netlist has no key inputs", ErrMismatch)
+	}
+	if locked.NumOutputs() == 0 {
+		return nil, fmt.Errorf("%w: netlist has no outputs", ErrMismatch)
+	}
+	s := sat.New(0)
+	m := &KeyMiter{S: s, locked: locked}
+
+	fv := s.NewVar()
+	m.falseLit = sat.MkLit(fv, false)
+	s.AddClause(m.falseLit.Not())
+
+	m.inMap = make([]int, locked.NumInputs())
+	for i := range m.inMap {
+		if locked.InputIsKey(i) {
+			m.inMap[i] = -1
+		} else {
+			m.inMap[i] = len(m.piVars)
+			m.piVars = append(m.piVars, sat.MkLit(s.NewVar(), false))
+		}
+	}
+	m.keyA = make([]sat.Lit, len(kIdx))
+	m.keyB = make([]sat.Lit, len(kIdx))
+	for j := range kIdx {
+		m.keyA[j] = sat.MkLit(s.NewVar(), false)
+		m.keyB[j] = sat.MkLit(s.NewVar(), false)
+	}
+
+	keyPos := make(map[int]int, len(kIdx))
+	for j, ki := range kIdx {
+		keyPos[ki] = j
+	}
+	outA := m.encodeCopy(func(i int) sat.Lit {
+		if p := m.inMap[i]; p >= 0 {
+			return m.piVars[p]
+		}
+		return m.keyA[keyPos[i]]
+	})
+	outB := m.encodeCopy(func(i int) sat.Lit {
+		if p := m.inMap[i]; p >= 0 {
+			return m.piVars[p]
+		}
+		return m.keyB[keyPos[i]]
+	})
+
+	// Switchable difference: act -> OR_i (outA_i xor outB_i).
+	m.act = sat.MkLit(s.NewVar(), false)
+	diffs := make([]sat.Lit, 0, len(outA)+1)
+	for i := range outA {
+		d := sat.MkLit(s.NewVar(), false)
+		s.AddClause(d.Not(), outA[i], outB[i])
+		s.AddClause(d.Not(), outA[i].Not(), outB[i].Not())
+		diffs = append(diffs, d)
+	}
+	diffs = append(diffs, m.act.Not())
+	s.AddClause(diffs...)
+	return m, nil
+}
+
+// encodeCopy Tseitin-encodes one copy of the locked netlist onto the
+// miter's solver, mapping each input through leaf, and returns the
+// output literals.
+func (m *KeyMiter) encodeCopy(leaf func(i int) sat.Lit) []sat.Lit {
+	g := m.locked
+	s := m.S
+	nv := make([]sat.Lit, g.NumNodes())
+	unset := sat.MkLit(1<<30, false)
+	for i := range nv {
+		nv[i] = unset
+	}
+	nv[0] = m.falseLit
+	for i := 0; i < g.NumInputs(); i++ {
+		nv[g.Input(i).Node()] = leaf(i)
+	}
+	litOf := func(l aig.Lit) sat.Lit {
+		base := nv[l.Node()]
+		if l.Neg() {
+			return base.Not()
+		}
+		return base
+	}
+	var walk func(id int)
+	walk = func(id int) {
+		if nv[id] != unset {
+			return
+		}
+		f0, f1 := g.Fanins(id)
+		walk(f0.Node())
+		walk(f1.Node())
+		o := sat.MkLit(s.NewVar(), false)
+		nv[id] = o
+		a, b := litOf(f0), litOf(f1)
+		s.AddClause(o.Not(), a)
+		s.AddClause(o.Not(), b)
+		s.AddClause(o, a.Not(), b.Not())
+	}
+	outs := make([]sat.Lit, g.NumOutputs())
+	for i := 0; i < g.NumOutputs(); i++ {
+		walk(g.Output(i).Node())
+		outs[i] = litOf(g.Output(i))
+	}
+	return outs
+}
+
+// NumKeys returns the key width of the miter.
+func (m *KeyMiter) NumKeys() int { return len(m.keyA) }
+
+// NumPIs returns the number of shared primary inputs.
+func (m *KeyMiter) NumPIs() int { return len(m.piVars) }
+
+// SolveDIP searches for a distinguishing input pattern. Sat means DIP()
+// and KeyA()/KeyB() are valid; Unsat means no key pair disagrees under
+// the accumulated I/O constraints (the attack has converged); Unknown
+// means a budget or Stop hook on S fired.
+func (m *KeyMiter) SolveDIP() sat.Status {
+	st := m.S.Solve(m.act)
+	m.haveModel = st == sat.Sat
+	return st
+}
+
+// SolveKey solves the constraint set with the difference constraint
+// inactive and returns a key consistent with every recorded I/O pair.
+// After SolveDIP reports Unsat, this key is functionally correct. Unsat
+// here means the oracle constraints themselves are contradictory (which
+// indicates a bug or a non-deterministic oracle); Unknown means budget
+// exhaustion.
+func (m *KeyMiter) SolveKey() ([]bool, sat.Status) {
+	st := m.S.Solve()
+	m.haveModel = st == sat.Sat
+	if st != sat.Sat {
+		return nil, st
+	}
+	return m.KeyA(), st
+}
+
+// DIP returns the primary-input assignment of the last Sat answer, in
+// PI (non-key input) order.
+func (m *KeyMiter) DIP() []bool {
+	m.mustModel()
+	in := make([]bool, len(m.piVars))
+	for i, l := range m.piVars {
+		in[i] = m.S.ValueOf(l.Var())
+	}
+	return in
+}
+
+// KeyA returns key vector A of the last Sat answer — the candidate key
+// the attack tracks as its best-so-far guess.
+func (m *KeyMiter) KeyA() []bool {
+	m.mustModel()
+	k := make([]bool, len(m.keyA))
+	for i, l := range m.keyA {
+		k[i] = m.S.ValueOf(l.Var())
+	}
+	return k
+}
+
+// KeyB returns key vector B of the last Sat answer.
+func (m *KeyMiter) KeyB() []bool {
+	m.mustModel()
+	k := make([]bool, len(m.keyB))
+	for i, l := range m.keyB {
+		k[i] = m.S.ValueOf(l.Var())
+	}
+	return k
+}
+
+func (m *KeyMiter) mustModel() {
+	if !m.haveModel {
+		panic("cnf: KeyMiter model read without a Sat answer")
+	}
+}
+
+// AddIOConstraint pins both key vectors to reproduce the oracle's
+// observed behavior out = C(in, K): the locked netlist is encoded twice
+// more (once per key vector) with its primary inputs fixed to the
+// constant pattern in, and each copy's outputs are constrained to out.
+// in is in PI order, out in output order.
+func (m *KeyMiter) AddIOConstraint(in, out []bool) error {
+	if len(in) != len(m.piVars) {
+		return fmt.Errorf("%w: DIP width %d vs %d primary inputs", ErrMismatch, len(in), len(m.piVars))
+	}
+	if len(out) != m.locked.NumOutputs() {
+		return fmt.Errorf("%w: response width %d vs %d outputs", ErrMismatch, len(out), m.locked.NumOutputs())
+	}
+	constLit := func(v bool) sat.Lit {
+		if v {
+			return m.falseLit.Not()
+		}
+		return m.falseLit
+	}
+	kIdx := m.locked.KeyInputIndices()
+	keyPos := make(map[int]int, len(kIdx))
+	for j, ki := range kIdx {
+		keyPos[ki] = j
+	}
+	for _, key := range [][]sat.Lit{m.keyA, m.keyB} {
+		outs := m.encodeCopy(func(i int) sat.Lit {
+			if p := m.inMap[i]; p >= 0 {
+				return constLit(in[p])
+			}
+			return key[keyPos[i]]
+		})
+		for o, l := range outs {
+			if out[o] {
+				m.S.AddClause(l)
+			} else {
+				m.S.AddClause(l.Not())
+			}
+		}
+	}
+	return nil
+}
+
+// HookCtx makes every subsequent Solve on the miter's solver honor ctx,
+// surfacing cancellation as sat.Unknown.
+func (m *KeyMiter) HookCtx(ctx context.Context) { hookCtx(m.S, ctx) }

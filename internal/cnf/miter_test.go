@@ -1,0 +1,173 @@
+package cnf
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/sat"
+)
+
+func TestEquivalentMismatchError(t *testing.T) {
+	g1 := aig.New()
+	a := g1.AddInput("a")
+	g1.AddOutput(a, "o")
+	g2 := aig.New()
+	b := g2.AddInput("a")
+	c := g2.AddInput("b")
+	g2.AddOutput(g2.And(b, c), "o")
+	ok, cex, err := Equivalent(g1, g2)
+	if ok || cex != nil {
+		t.Fatalf("mismatched interfaces: ok=%v cex=%v", ok, cex)
+	}
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+}
+
+func TestEquivalentCtxCanceled(t *testing.T) {
+	g := circuits.MustGenerate("c6288")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ok, _, err := EquivalentCtx(ctx, g, g.Clone())
+	if ok {
+		t.Fatal("canceled check claimed equivalence")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEquivalentUnderKeyCtxCanceled(t *testing.T) {
+	g := circuits.MustGenerate("c6288")
+	locked, key := lock.Lock(g, 8, rand.New(rand.NewSource(3)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ok, _, err := EquivalentUnderKeyCtx(ctx, g, locked, key)
+	if ok {
+		t.Fatal("canceled check claimed equivalence")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestKeyMiterRequiresKeyInputs(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	if _, err := NewKeyMiter(g); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("unlocked netlist: err = %v, want ErrMismatch", err)
+	}
+}
+
+// oracle answers queries by simulating the original circuit.
+func oracle(g *aig.AIG) func([]bool) []bool {
+	var sim aig.SimScratch
+	return func(in []bool) []bool {
+		word := make([]uint64, len(in))
+		for i, b := range in {
+			if b {
+				word[i] = 1
+			}
+		}
+		outs := g.SimulateInto(&sim, nil, word)
+		res := make([]bool, len(outs))
+		for i, w := range outs {
+			res[i] = w&1 == 1
+		}
+		return res
+	}
+}
+
+func TestKeyMiterDIPLoopRecoversKey(t *testing.T) {
+	// The classic SAT-attack loop, hand-rolled over the miter: it must
+	// terminate with a key that unlocks the circuit exactly.
+	g := circuits.MustGenerate("c432")
+	rng := rand.New(rand.NewSource(11))
+	locked, key := lock.Lock(g, 16, rng)
+	m, err := NewKeyMiter(locked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumKeys() != len(key) || m.NumPIs() != g.NumInputs() {
+		t.Fatalf("miter shape: keys=%d pis=%d", m.NumKeys(), m.NumPIs())
+	}
+	ask := oracle(g)
+	dips := 0
+	for {
+		st := m.SolveDIP()
+		if st == sat.Unsat {
+			break
+		}
+		if st != sat.Sat {
+			t.Fatalf("SolveDIP = %v", st)
+		}
+		dips++
+		if dips > 10000 {
+			t.Fatal("DIP loop diverged")
+		}
+		in := m.DIP()
+		if err := m.AddIOConstraint(in, ask(in)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, st := m.SolveKey()
+	if st != sat.Sat {
+		t.Fatalf("SolveKey = %v", st)
+	}
+	ok, cex, err := EquivalentUnderKey(g, locked, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("recovered key %v does not unlock (cex %v); truth %v, %d DIPs", got, cex, key, dips)
+	}
+	t.Logf("recovered functionally correct key in %d DIPs", dips)
+}
+
+func TestKeyMiterBudgetedUnknown(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := lock.Lock(g, 16, rand.New(rand.NewSource(5)))
+	m, err := NewKeyMiter(locked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.S.MaxPropagations = 10
+	if st := m.SolveDIP(); st != sat.Unknown {
+		t.Fatalf("budgeted SolveDIP = %v, want Unknown", st)
+	}
+}
+
+func TestKeyMiterCtxCancel(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := lock.Lock(g, 16, rand.New(rand.NewSource(6)))
+	m, err := NewKeyMiter(locked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m.HookCtx(ctx)
+	m.S.PollEvery = 1
+	if st := m.SolveDIP(); st != sat.Unknown {
+		t.Fatalf("canceled SolveDIP = %v, want Unknown", st)
+	}
+}
+
+func TestKeyMiterIOConstraintMismatch(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, _ := lock.Lock(g, 2, rand.New(rand.NewSource(7)))
+	m, err := NewKeyMiter(locked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddIOConstraint([]bool{true}, make([]bool, g.NumOutputs())); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("short DIP: err = %v, want ErrMismatch", err)
+	}
+	if err := m.AddIOConstraint(make([]bool, m.NumPIs()), []bool{}); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("short response: err = %v, want ErrMismatch", err)
+	}
+}

@@ -211,7 +211,7 @@ func TestSecureSynthesisEndToEnd(t *testing.T) {
 	if h.Netlist.NumKeyInputs() != 8 || len(h.Key) != 8 {
 		t.Fatalf("hardened interface wrong: %v", h.Netlist.Stats())
 	}
-	if ok, cex := cnf.EquivalentUnderKey(g, h.Netlist, h.Key); !ok {
+	if ok, cex, _ := cnf.EquivalentUnderKey(g, h.Netlist, h.Key); !ok {
 		t.Fatalf("ALMOST netlist broken under correct key (cex=%v)", cex)
 	}
 	if len(h.Recipe) != cfg.RecipeLen {

@@ -194,7 +194,7 @@ func TestSecureSynthesisEnsembleAndMuxLocker(t *testing.T) {
 	if h1.Netlist.NumKeyInputs() != 8 {
 		t.Fatalf("key inputs = %d", h1.Netlist.NumKeyInputs())
 	}
-	if ok, cex := cnf.EquivalentUnderKey(g, h1.Netlist, h1.Key); !ok {
+	if ok, cex, _ := cnf.EquivalentUnderKey(g, h1.Netlist, h1.Key); !ok {
 		t.Fatalf("mixed-locked hardened netlist broken under key (cex=%v)", cex)
 	}
 }

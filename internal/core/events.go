@@ -6,6 +6,7 @@ import (
 
 	"github.com/nyu-secml/almost/internal/attack/omla"
 	"github.com/nyu-secml/almost/internal/attack/redundancy"
+	"github.com/nyu-secml/almost/internal/attack/satattack"
 	"github.com/nyu-secml/almost/internal/synth"
 )
 
@@ -109,6 +110,12 @@ type runOptions struct {
 	// redundancyCfg overrides the built-in redundancy attacker's effort
 	// settings (WithRedundancyConfig).
 	redundancyCfg *redundancy.Config
+	// satCfg overrides the built-in SAT/AppSAT attackers' budgets
+	// (WithSATAttackConfig).
+	satCfg *satattack.Config
+	// oracle supplies an explicit I/O oracle to oracle-guided attackers
+	// (WithOracle); when absent they derive one from the true key.
+	oracle satattack.Oracle
 }
 
 // WithObserver streams progress events to fn. Multiple observers may be
@@ -141,6 +148,22 @@ func WithOMLAConfig(cfg omla.Config) Option {
 // in quick experiment runs). Other attackers ignore it.
 func WithRedundancyConfig(cfg redundancy.Config) Option {
 	return func(o *runOptions) { o.redundancyCfg = &cfg }
+}
+
+// WithSATAttackConfig overrides the built-in "satattack"/"appsat"
+// attackers' budgets and approximation schedule for one AttackCtx call.
+// Other attackers ignore it.
+func WithSATAttackConfig(cfg satattack.Config) Option {
+	return func(o *runOptions) { o.satCfg = &cfg }
+}
+
+// WithOracle hands the oracle-guided attackers an explicit I/O oracle —
+// the working unlocked chip of the SAT-attack threat model. Inside the
+// ensemble objective the oracle is derived automatically from the true
+// key; PredictKeyCtx (which has no true key) requires this option.
+// Oracle-less attackers ignore it.
+func WithOracle(o satattack.Oracle) Option {
+	return func(ro *runOptions) { ro.oracle = o }
 }
 
 func buildOptions(opts []Option) *runOptions {

@@ -11,6 +11,7 @@ import (
 	"github.com/nyu-secml/almost/internal/aig"
 	"github.com/nyu-secml/almost/internal/attack/omla"
 	"github.com/nyu-secml/almost/internal/attack/redundancy"
+	"github.com/nyu-secml/almost/internal/attack/satattack"
 	"github.com/nyu-secml/almost/internal/attack/scope"
 	"github.com/nyu-secml/almost/internal/lock"
 	"github.com/nyu-secml/almost/internal/synth"
@@ -259,6 +260,66 @@ func (a redundancyAttacker) PredictKeyCtx(ctx context.Context, netlist *aig.AIG,
 	return key, canceledIfCtx(ctx, err)
 }
 
+// satFamilyAttacker adapts the oracle-guided SAT attack (and its AppSAT
+// approximate variant) to the Attacker interface. These attackers model
+// a strictly stronger adversary than the paper's oracle-less ones: they
+// hold a working unlocked chip. Inside AttackCtx that oracle is derived
+// from the true key the ensemble objective already supplies (the locked
+// netlist under the correct key IS the working chip), so "satattack" and
+// "appsat" can appear in Config.EvalAttacks with no extra plumbing.
+// PredictKeyCtx has no true key and requires WithOracle.
+//
+// Budget exhaustion (MaxDIPs/SolveConflicts) is not an error: the
+// attacker scores its best-so-far key, which is exactly the defender's
+// question — how much key material does a budgeted SAT adversary pry
+// out? Config comes from WithSATAttackConfig (default DefaultConfig).
+type satFamilyAttacker struct {
+	name        string
+	approximate bool
+}
+
+func (a satFamilyAttacker) Name() string { return a.name }
+
+func (a satFamilyAttacker) run(ctx context.Context, netlist *aig.AIG, oracle satattack.Oracle, opts []Option) (satattack.Result, error) {
+	ro := buildOptions(opts)
+	cfg := satattack.DefaultConfig()
+	if ro.satCfg != nil {
+		cfg = *ro.satCfg
+	}
+	if a.approximate {
+		return satattack.AppSATCtx(ctx, netlist, oracle, cfg)
+	}
+	return satattack.AttackCtx(ctx, netlist, oracle, cfg)
+}
+
+func (a satFamilyAttacker) AttackCtx(ctx context.Context, netlist *aig.AIG, truth lock.Key, opts ...Option) (float64, error) {
+	oracle := buildOptions(opts).oracle
+	if oracle == nil {
+		unlocked, err := lock.ApplyKey(netlist, truth)
+		if err != nil {
+			return 0, err
+		}
+		oracle = satattack.SimOracle(unlocked)
+	}
+	res, err := a.run(ctx, netlist, oracle, opts)
+	if err != nil {
+		return lock.Accuracy(truth, res.Key), canceledIfCtx(ctx, err)
+	}
+	return lock.Accuracy(truth, res.Key), nil
+}
+
+func (a satFamilyAttacker) PredictKeyCtx(ctx context.Context, netlist *aig.AIG, opts ...Option) (lock.Key, error) {
+	oracle := buildOptions(opts).oracle
+	if oracle == nil {
+		return nil, fmt.Errorf("core: the %s attacker needs an I/O oracle to predict a key: pass WithOracle", a.name)
+	}
+	res, err := a.run(ctx, netlist, oracle, opts)
+	if err != nil {
+		return res.Key, canceledIfCtx(ctx, err)
+	}
+	return res.Key, nil
+}
+
 // --- built-in lockers --------------------------------------------------
 
 // rllLocker is plain random logic locking (XOR/XNOR key gates), the
@@ -287,15 +348,33 @@ func (muxLocker) LockCtx(_ context.Context, g *aig.AIG, keySize int, rng *rand.R
 	return locked, key, nil
 }
 
+// antiSATLocker is the anti-SAT/SARLock point-function scheme: it
+// corrupts one input pattern per wrong key, inflating the oracle-guided
+// SAT attack's DIP count exponentially while leaving oracle-less attack
+// surfaces essentially unchanged. Chain it after a functional scheme
+// ("rll,antisat") — by itself it protects almost nothing functionally.
+type antiSATLocker struct{}
+
+func (antiSATLocker) Name() string { return "antisat" }
+
+func (antiSATLocker) LockCtx(_ context.Context, g *aig.AIG, keySize int, rng *rand.Rand) (*aig.AIG, lock.Key, error) {
+	locked, key := lock.LockAntiSAT(g, keySize, rng)
+	return locked, key, nil
+}
+
 func init() {
 	// Built-in registration order defines the canonical ensemble
 	// reduction order and the CLI listing order.
-	for _, a := range []Attacker{omlaAttacker{}, scopeAttacker{}, redundancyAttacker{}} {
+	for _, a := range []Attacker{
+		omlaAttacker{}, scopeAttacker{}, redundancyAttacker{},
+		satFamilyAttacker{name: "satattack"},
+		satFamilyAttacker{name: "appsat", approximate: true},
+	} {
 		if err := RegisterAttacker(a); err != nil {
 			panic(err)
 		}
 	}
-	for _, l := range []Locker{rllLocker{}, muxLocker{}} {
+	for _, l := range []Locker{rllLocker{}, muxLocker{}, antiSATLocker{}} {
 		if err := RegisterLocker(l); err != nil {
 			panic(err)
 		}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/attack/satattack"
 	"github.com/nyu-secml/almost/internal/circuits"
 	"github.com/nyu-secml/almost/internal/cnf"
 	"github.com/nyu-secml/almost/internal/lock"
@@ -41,19 +42,21 @@ func (f fakeLocker) LockCtx(_ context.Context, g *aig.AIG, keySize int, rng *ran
 
 func TestRegistryBuiltins(t *testing.T) {
 	atks := Attackers()
-	if len(atks) < 3 {
-		t.Fatalf("Attackers() = %v, want at least the three built-ins", atks)
+	if len(atks) < 5 {
+		t.Fatalf("Attackers() = %v, want at least the five built-ins", atks)
 	}
 	// Registration order starts with the built-ins, which is the
-	// canonical ensemble reduction order.
-	if atks[0] != "omla" || atks[1] != "scope" || atks[2] != "redundancy" {
+	// canonical ensemble reduction order: the paper's oracle-less
+	// attacks first, then the oracle-guided SAT family.
+	if atks[0] != "omla" || atks[1] != "scope" || atks[2] != "redundancy" ||
+		atks[3] != "satattack" || atks[4] != "appsat" {
 		t.Fatalf("built-in attacker order drifted: %v", atks)
 	}
 	lks := Lockers()
-	if len(lks) < 2 {
-		t.Fatalf("Lockers() = %v, want at least rll and mux", lks)
+	if len(lks) < 3 {
+		t.Fatalf("Lockers() = %v, want at least rll, mux, antisat", lks)
 	}
-	if lks[0] != "rll" || lks[1] != "mux" {
+	if lks[0] != "rll" || lks[1] != "mux" || lks[2] != "antisat" {
 		t.Fatalf("built-in locker order drifted: %v", lks)
 	}
 	for _, n := range atks {
@@ -214,7 +217,7 @@ func TestLockWithCtxChainsSchemes(t *testing.T) {
 	if len(key) != 17 || locked.NumKeyInputs() != 17 {
 		t.Fatalf("key = %d bits, %d key inputs; want 17", len(key), locked.NumKeyInputs())
 	}
-	if ok, cex := cnf.EquivalentUnderKey(g, locked, key); !ok {
+	if ok, cex, _ := cnf.EquivalentUnderKey(g, locked, key); !ok {
 		t.Fatalf("rll+mux chain broken under concatenated key (cex=%v)", cex)
 	}
 	if _, _, err := LockWithCtx(context.Background(), g, 8, []string{"bogus"}, rng); !errors.Is(err, ErrInvalidConfig) {
@@ -226,7 +229,7 @@ func TestBuiltinAttackersHonorContext(t *testing.T) {
 	locked, key := lockedC432(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	for _, name := range []string{"omla", "scope", "redundancy"} {
+	for _, name := range []string{"omla", "scope", "redundancy", "satattack", "appsat"} {
 		atk, ok := LookupAttacker(name)
 		if !ok {
 			t.Fatalf("built-in %q missing", name)
@@ -250,6 +253,31 @@ func TestBuiltinAttackersPredictKeys(t *testing.T) {
 			t.Fatalf("built-in %q lacks KeyPredictor", name)
 		}
 		guess, err := kp.PredictKeyCtx(context.Background(), locked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(guess) != len(key) {
+			t.Fatalf("%s predicted %d bits, want %d", name, len(guess), len(key))
+		}
+	}
+	// The oracle-guided predictors need a working chip: without
+	// WithOracle they must refuse (there is no true key to derive one
+	// from), with it they predict a full-width key.
+	unlocked, err := lock.ApplyKey(locked, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"satattack", "appsat"} {
+		atk, _ := LookupAttacker(name)
+		kp, ok := atk.(KeyPredictor)
+		if !ok {
+			t.Fatalf("built-in %q lacks KeyPredictor", name)
+		}
+		if _, err := kp.PredictKeyCtx(context.Background(), locked); err == nil {
+			t.Fatalf("%s predicted a key without an oracle", name)
+		}
+		guess, err := kp.PredictKeyCtx(context.Background(), locked,
+			WithOracle(satattack.SimOracle(unlocked)))
 		if err != nil {
 			t.Fatal(err)
 		}

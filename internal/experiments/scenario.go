@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/attack/redundancy"
+	"github.com/nyu-secml/almost/internal/attack/satattack"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/cnf"
+	"github.com/nyu-secml/almost/internal/core"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/netio"
+)
+
+// Scenario is one randomized cross-scheme interaction check: a random
+// circuit is round-tripped through a netlist format, locked with a
+// scheme chain, round-tripped again, relocked on top of the parsed
+// netlist, and optionally attacked — with functional-correctness and
+// determinism assertions at every seam. The locker × attacker × format
+// matrix is exactly where cross-layer bugs hide (PR 3's writer bug and
+// PR 4's NaN-annealing bug were both cross-scheme interactions), so the
+// fuzzer treats every violation as a hard failure.
+type Scenario struct {
+	// Seed drives every random choice: circuit shape, locking, attack.
+	Seed int64
+	// Lockers is the scheme chain, as in Config.Lockers (empty = rll).
+	Lockers []string
+	// Attack optionally names a registered attacker to run with quick
+	// settings ("" skips the attack stage).
+	Attack string
+	// Format is the netlist format the scenario round-trips through.
+	Format netio.Format
+	// KeySize is the total key width of the chain.
+	KeySize int
+	// Inputs/Outputs/Gates shape the random circuit.
+	Inputs, Outputs, Gates int
+}
+
+// Clamp normalizes a fuzz-generated scenario to the supported envelope,
+// keeping arbitrary fuzzer bytes from requesting absurd work while
+// still exploring the full structural space.
+func (sc *Scenario) Clamp() {
+	clamp := func(v *int, lo, hi int) {
+		if *v < lo {
+			*v = lo
+		}
+		if *v > hi {
+			*v = hi
+		}
+	}
+	clamp(&sc.Inputs, 2, 24)
+	clamp(&sc.Outputs, 1, 12)
+	clamp(&sc.Gates, 1, 300)
+	clamp(&sc.KeySize, 2, 24)
+	if len(sc.Lockers) == 0 {
+		sc.Lockers = []string{"rll"}
+	}
+	if sc.Format != netio.FormatBench && sc.Format != netio.FormatAAG {
+		sc.Format = netio.FormatBench
+	}
+}
+
+// RunScenario executes one scenario and returns the first invariant
+// violation as an error (nil means the scenario held). It is the engine
+// behind both the scenario matrix test and the CI fuzz smoke target.
+func RunScenario(ctx context.Context, sc Scenario) error {
+	sc.Clamp()
+	rng := rand.New(rand.NewSource(sc.Seed))
+	g := circuits.RandomCircuit(rng, sc.Inputs, sc.Outputs, sc.Gates)
+
+	// Seam 1: the unlocked circuit must survive a write→parse round
+	// trip untouched.
+	rt, err := roundTrip(g, sc.Format)
+	if err != nil {
+		return fmt.Errorf("round-trip unlocked: %w", err)
+	}
+	if ok, cex, err := cnf.EquivalentCtx(ctx, g, rt); err != nil {
+		return fmt.Errorf("equivalence after round-trip: %w", err)
+	} else if !ok {
+		return fmt.Errorf("round-trip changed function (cex %v)", cex)
+	}
+
+	// Seam 2: the locker chain composes functionally on the parsed
+	// netlist.
+	locked, key, err := core.LockWithCtx(ctx, rt, sc.KeySize, sc.Lockers, rand.New(rand.NewSource(sc.Seed+1)))
+	if err != nil {
+		return fmt.Errorf("lock chain %v: %w", sc.Lockers, err)
+	}
+	if ok, cex, err := cnf.EquivalentUnderKeyCtx(ctx, rt, locked, key); err != nil {
+		return fmt.Errorf("key equivalence after locking: %w", err)
+	} else if !ok {
+		return fmt.Errorf("chain %v key does not unlock (cex %v)", sc.Lockers, cex)
+	}
+
+	// Determinism: the same seed must reproduce the identical locked
+	// netlist, bit for bit.
+	locked2, key2, err := core.LockWithCtx(ctx, rt, sc.KeySize, sc.Lockers, rand.New(rand.NewSource(sc.Seed+1)))
+	if err != nil {
+		return fmt.Errorf("relock for determinism: %w", err)
+	}
+	if key.String() != key2.String() {
+		return fmt.Errorf("nondeterministic key: %s vs %s", key, key2)
+	}
+	b1, err := netio.WriteBenchString(locked)
+	if err != nil {
+		return fmt.Errorf("write locked: %w", err)
+	}
+	b2, err := netio.WriteBenchString(locked2)
+	if err != nil {
+		return fmt.Errorf("write relocked: %w", err)
+	}
+	if b1 != b2 {
+		return fmt.Errorf("nondeterministic locked netlist for seed %d", sc.Seed)
+	}
+
+	// Seam 3: the locked netlist round-trips with its key-input
+	// identities (names, flags, order) intact.
+	lockedRT, err := roundTrip(locked, sc.Format)
+	if err != nil {
+		return fmt.Errorf("round-trip locked: %w", err)
+	}
+	if got, want := lockedRT.NumKeyInputs(), locked.NumKeyInputs(); got != want {
+		return fmt.Errorf("round-trip lost key inputs: %d vs %d", got, want)
+	}
+	for i, ki := range locked.KeyInputIndices() {
+		rtKi := lockedRT.KeyInputIndices()[i]
+		if locked.InputName(ki) != lockedRT.InputName(rtKi) {
+			return fmt.Errorf("key input %d renamed across round-trip: %q vs %q",
+				i, locked.InputName(ki), lockedRT.InputName(rtKi))
+		}
+	}
+	if ok, cex, err := cnf.EquivalentUnderKeyCtx(ctx, rt, lockedRT, key); err != nil {
+		return fmt.Errorf("key equivalence after locked round-trip: %w", err)
+	} else if !ok {
+		return fmt.Errorf("locked round-trip broke the key (cex %v)", cex)
+	}
+
+	// Seam 4 (the prime suspect): lock AGAIN on the parsed locked
+	// netlist. The "keyinput%d" base-offset numbering must continue
+	// from the existing key inputs, not collide with them.
+	extra := 2 + int(sc.Seed%3)
+	relocked, extraKey, err := core.LockWithCtx(ctx, lockedRT, extra, sc.Lockers[:1], rand.New(rand.NewSource(sc.Seed+2)))
+	if err != nil {
+		return fmt.Errorf("lock-again after round-trip: %w", err)
+	}
+	names := map[string]bool{}
+	for _, ki := range relocked.KeyInputIndices() {
+		name := relocked.InputName(ki)
+		if !strings.HasPrefix(name, netio.KeyInputPrefix) {
+			return fmt.Errorf("key input %q lost the naming convention after lock-again", name)
+		}
+		if names[name] {
+			return fmt.Errorf("duplicate key input name %q after write→parse→lock-again", name)
+		}
+		names[name] = true
+	}
+	fullKey := append(append(lock.Key{}, key...), extraKey...)
+	if ok, cex, err := cnf.EquivalentUnderKeyCtx(ctx, rt, relocked, fullKey); err != nil {
+		return fmt.Errorf("key equivalence after lock-again: %w", err)
+	} else if !ok {
+		return fmt.Errorf("lock-again key does not unlock (cex %v)", cex)
+	}
+
+	// Seam 5: optionally attack the locked netlist with quick settings;
+	// the attacker must finish without error and score a sane accuracy.
+	if sc.Attack != "" {
+		acc, err := runQuickAttack(ctx, sc.Attack, locked, key, sc.Seed)
+		if err != nil {
+			return fmt.Errorf("attack %s: %w", sc.Attack, err)
+		}
+		if acc < 0 || acc > 1 {
+			return fmt.Errorf("attack %s reported accuracy %v outside [0,1]", sc.Attack, acc)
+		}
+	}
+	return nil
+}
+
+// roundTrip writes g in format f to memory and parses it back.
+func roundTrip(g *aig.AIG, f netio.Format) (*aig.AIG, error) {
+	var buf bytes.Buffer
+	if err := netio.Write(&buf, g, f); err != nil {
+		return nil, err
+	}
+	return netio.Read(&buf, f)
+}
+
+// runQuickAttack runs a registered attacker with effort settings small
+// enough for a fuzz smoke budget.
+func runQuickAttack(ctx context.Context, name string, locked *aig.AIG, key lock.Key, seed int64) (float64, error) {
+	atk, ok := core.LookupAttacker(name)
+	if !ok {
+		return 0, fmt.Errorf("experiments: attack %q is not registered", name)
+	}
+	rcfg := redundancy.DefaultConfig()
+	rcfg.FaultSamples = 4
+	rcfg.SATConflicts = 200
+	rcfg.Seed = seed
+	scfg := satattack.DefaultConfig()
+	scfg.MaxDIPs = 64
+	scfg.SolveConflicts = 20000
+	scfg.QuerySamples = 16
+	scfg.Seed = seed
+	return atk.AttackCtx(ctx, locked, key,
+		core.WithRedundancyConfig(rcfg), core.WithSATAttackConfig(scfg))
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/nyu-secml/almost/internal/netio"
+)
+
+// TestScenarioMatrix sweeps the locker × attacker × format matrix with a
+// few seeds each — the deterministic core of the scenario fuzzer. OMLA
+// is excluded only because GNN training dwarfs the smoke budget; it is
+// exercised by the pipeline tests.
+func TestScenarioMatrix(t *testing.T) {
+	chains := [][]string{
+		{"rll"},
+		{"mux"},
+		{"antisat"},
+		{"rll", "antisat"},
+		{"rll", "mux", "antisat"},
+		{"mux", "rll"},
+	}
+	attacks := []string{"", "scope", "redundancy", "satattack", "appsat"}
+	formats := []netio.Format{netio.FormatBench, netio.FormatAAG}
+	seeds := []int64{1, 7}
+	if testing.Short() {
+		attacks = []string{"", "satattack"}
+		seeds = seeds[:1]
+	}
+	ctx := context.Background()
+	for _, chain := range chains {
+		for _, atk := range attacks {
+			for _, f := range formats {
+				for _, seed := range seeds {
+					sc := Scenario{
+						Seed: seed, Lockers: chain, Attack: atk, Format: f,
+						KeySize: 8 + int(seed)%8,
+						Inputs:  6 + int(seed)%6, Outputs: 3, Gates: 60,
+					}
+					if err := RunScenario(ctx, sc); err != nil {
+						t.Errorf("scenario %+v: %v", sc, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScenarioNoGoroutineLeak asserts the whole matrix leaves no stray
+// goroutines behind — attacks and solvers must clean up their workers.
+func TestScenarioNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sc := Scenario{Seed: 3, Lockers: []string{"rll", "antisat"}, Attack: "satattack",
+		Format: netio.FormatBench, KeySize: 10, Inputs: 8, Outputs: 4, Gates: 80}
+	if err := RunScenario(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+	// Allow the runtime a moment to retire exiting goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestScenarioTinyCircuits drives the degenerate shapes (fewer inputs
+// than the anti-SAT block wants, more key bits than gates) that clamping
+// and fallback paths must absorb.
+func TestScenarioTinyCircuits(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 6; seed++ {
+		sc := Scenario{
+			Seed: seed, Lockers: []string{"rll", "antisat"}, Attack: "satattack",
+			Format: netio.FormatAAG, KeySize: 24, Inputs: 2, Outputs: 1, Gates: 3,
+		}
+		if err := RunScenario(ctx, sc); err != nil {
+			t.Errorf("tiny scenario seed %d: %v", seed, err)
+		}
+	}
+}
+
+// FuzzScenario is the CI fuzz-smoke entry: arbitrary bytes become a
+// scenario (clamped to the supported envelope), and every invariant
+// violation is a crash.
+func FuzzScenario(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(8), uint8(6), uint8(3), uint8(60))
+	f.Add(int64(7), uint8(3), uint8(2), uint8(12), uint8(10), uint8(2), uint8(120))
+	f.Add(int64(42), uint8(5), uint8(4), uint8(24), uint8(2), uint8(1), uint8(3))
+	chains := [][]string{
+		{"rll"}, {"mux"}, {"antisat"},
+		{"rll", "antisat"}, {"mux", "antisat"}, {"rll", "mux", "antisat"},
+	}
+	attacks := []string{"", "scope", "redundancy", "satattack", "appsat"}
+	f.Fuzz(func(t *testing.T, seed int64, chainSel, attackSel, keySize, inputs, outputs, gates uint8) {
+		sc := Scenario{
+			Seed:    seed,
+			Lockers: chains[int(chainSel)%len(chains)],
+			Attack:  attacks[int(attackSel)%len(attacks)],
+			Format:  netio.FormatBench,
+			KeySize: int(keySize), Inputs: int(inputs), Outputs: int(outputs), Gates: int(gates),
+		}
+		if seed%2 == 0 {
+			sc.Format = netio.FormatAAG
+		}
+		if err := RunScenario(context.Background(), sc); err != nil {
+			t.Fatalf("scenario %+v: %v", sc, err)
+		}
+	})
+}

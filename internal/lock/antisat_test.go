@@ -1,0 +1,135 @@
+package lock
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/cnf"
+)
+
+func TestLockAntiSATCorrectKey(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, key := LockAntiSAT(g, 16, rand.New(rand.NewSource(31)))
+	if len(key) != 16 {
+		t.Fatalf("key size %d, want 16", len(key))
+	}
+	ok, cex, err := cnf.EquivalentUnderKey(g, locked, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("correct key does not unlock (cex %v)", cex)
+	}
+}
+
+func TestLockAntiSATKeyClass(t *testing.T) {
+	// The correct-key class is exactly K2 == K1[:m]: any K1 with a
+	// matching K2 unlocks, and any mismatched pair corrupts.
+	g := circuits.MustGenerate("c432")
+	locked, key := LockAntiSAT(g, 16, rand.New(rand.NewSource(32)))
+	n, m := 8, 8
+
+	other := make(Key, len(key))
+	for i := 0; i < n; i++ {
+		other[i] = !key[i] // a completely different K1
+	}
+	for j := 0; j < m; j++ {
+		other[n+j] = other[j] // with consistent K2
+	}
+	if ok, _, err := cnf.EquivalentUnderKey(g, locked, other); err != nil || !ok {
+		t.Fatalf("consistent key pair must unlock (ok=%v err=%v)", ok, err)
+	}
+
+	bad := make(Key, len(key))
+	copy(bad, key)
+	bad[n] = !bad[n] // break K2 consistency
+	if ok, _, err := cnf.EquivalentUnderKey(g, locked, bad); err != nil || ok {
+		t.Fatalf("inconsistent key pair must corrupt (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestLockAntiSATWrongKeyIsPointFunction(t *testing.T) {
+	// A wrong key corrupts only the (single-point) input class matching
+	// x[sel] = ¬K1 — output corruption must be rare under random
+	// stimulus even though the key is wrong everywhere it matters.
+	g := circuits.MustGenerate("c880")
+	rng := rand.New(rand.NewSource(33))
+	locked, key := LockAntiSAT(g, 20, rng)
+	bad := make(Key, len(key))
+	copy(bad, key)
+	bad[len(key)-1] = !bad[len(key)-1]
+	badG, err := ApplyKey(locked, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodG, err := ApplyKey(locked, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 * 32 random patterns; a 10-input point function corrupts a
+	// 2^-10 fraction, so expect at most a handful of mismatched words.
+	mismatched := 0
+	var sA, sB aig.SimScratch
+	in := make([]uint64, goodG.NumInputs())
+	var bufA, bufB []uint64
+	for r := 0; r < 32; r++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		bufA = goodG.SimulateInto(&sA, bufA, in)
+		bufB = badG.SimulateInto(&sB, bufB, in)
+		for o := range bufA {
+			if bufA[o] != bufB[o] {
+				mismatched++
+			}
+		}
+	}
+	if mismatched > 8 {
+		t.Fatalf("wrong anti-SAT key corrupts too broadly: %d mismatching words", mismatched)
+	}
+}
+
+func TestLockAntiSATComposesWithRLLAndMux(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	rng := rand.New(rand.NewSource(34))
+	l1, k1 := Lock(g, 8, rng)
+	l2, k2 := LockMux(l1, 4, rng)
+	l3, k3 := LockAntiSAT(l2, 8, rng)
+	full := make(Key, 0, len(k1)+len(k2)+len(k3))
+	full = append(full, k1...)
+	full = append(full, k2...)
+	full = append(full, k3...)
+	if l3.NumKeyInputs() != len(full) {
+		t.Fatalf("key inputs %d, want %d", l3.NumKeyInputs(), len(full))
+	}
+	// Key-input names must stay globally unique and sequential.
+	seen := map[string]bool{}
+	for _, ki := range l3.KeyInputIndices() {
+		name := l3.InputName(ki)
+		if !strings.HasPrefix(name, "keyinput") || seen[name] {
+			t.Fatalf("bad or duplicate key input name %q", name)
+		}
+		seen[name] = true
+	}
+	ok, cex, err := cnf.EquivalentUnderKey(g, l3, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("composed rll+mux+antisat key does not unlock (cex %v)", cex)
+	}
+}
+
+func TestLockAntiSATTinyKeyFallsBack(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, key := LockAntiSAT(g, 1, rand.New(rand.NewSource(35)))
+	if len(key) != 1 {
+		t.Fatalf("key size %d, want 1", len(key))
+	}
+	if ok, _, err := cnf.EquivalentUnderKey(g, locked, key); err != nil || !ok {
+		t.Fatalf("fallback lock broken (ok=%v err=%v)", ok, err)
+	}
+}

@@ -147,6 +147,88 @@ func LockMux(g *aig.AIG, keySize int, rng *rand.Rand) (*aig.AIG, Key) {
 	return rb.Finish(), key
 }
 
+// LockAntiSAT inserts an anti-SAT / SARLock-style point-function block
+// (Xie & Srivastava, CHES 2016; Yasin et al., HOST 2016) and returns the
+// locked netlist with the correct key. The block computes
+//
+//	Y = AND_i(x_i ⊕ K1_i) ∧ ¬AND_j(x_j ⊕ K2_j)   (i < n, j < m ≤ n)
+//
+// over n randomly chosen primary inputs, with an n-bit key half K1 and
+// an m-bit half K2, and XORs Y into one randomly chosen output. Under
+// any key with K2 = K1[:m] the two AND trees cancel (Y ≡ 0) and the
+// circuit is functionally intact; under any other key exactly the input
+// patterns matching x[0:n] = ¬K1 are corrupted — a 2^-n fraction. Each
+// DIP therefore eliminates essentially one wrong key class, which is
+// precisely the behavior that pushes the oracle-guided SAT attack to
+// exponentially many iterations, while the output corruption rate stays
+// near zero (the reason AppSAT-style approximate attacks exist).
+//
+// keySize splits as n = ceil(keySize/2), m = keySize - n; n is clamped
+// to the number of available primary inputs (with m clamped to n), so
+// the returned key may be shorter than requested on tiny circuits.
+// keySize < 2 falls back to Lock — a point function needs both halves.
+// Key inputs follow the same "keyinput%d" naming convention, numbered
+// after existing key inputs, so the scheme composes with Lock and
+// LockMux for mixed-scheme chains.
+func LockAntiSAT(g *aig.AIG, keySize int, rng *rand.Rand) (*aig.AIG, Key) {
+	var pis []int // non-key input indices
+	for i := 0; i < g.NumInputs(); i++ {
+		if !g.InputIsKey(i) {
+			pis = append(pis, i)
+		}
+	}
+	n := (keySize + 1) / 2
+	if n > len(pis) {
+		n = len(pis)
+	}
+	m := keySize - n
+	if m > n {
+		m = n
+	}
+	if keySize < 2 || n == 0 || m == 0 {
+		return Lock(g, keySize, rng)
+	}
+	perm := rng.Perm(len(pis))
+	sel := make([]int, n)
+	for i := range sel {
+		sel[i] = pis[perm[i]]
+	}
+	k1 := RandomKey(rng, n)
+	key := make(Key, 0, n+m)
+	key = append(key, k1...)
+	key = append(key, k1[:m]...)
+
+	base := g.NumKeyInputs()
+	rb := aig.NewRebuilder(g)
+	keyLits := make([]aig.Lit, n+m)
+	for i := range keyLits {
+		keyLits[i] = rb.Dst.AddKeyInput(fmt.Sprintf("keyinput%d", base+i))
+	}
+	for _, id := range g.TopoOrder() {
+		f0, f1 := g.Fanins(id)
+		rb.Map(id, rb.Dst.And(rb.LitOf(f0), rb.LitOf(f1)))
+	}
+	aTerms := make([]aig.Lit, n)
+	for i := 0; i < n; i++ {
+		aTerms[i] = rb.Dst.Xor(rb.LitOf(g.Input(sel[i])), keyLits[i])
+	}
+	bTerms := make([]aig.Lit, m)
+	for j := 0; j < m; j++ {
+		bTerms[j] = rb.Dst.Xor(rb.LitOf(g.Input(sel[j])), keyLits[n+j])
+	}
+	y := rb.Dst.And(rb.Dst.AndN(aTerms), rb.Dst.AndN(bTerms).Not())
+
+	victim := rng.Intn(g.NumOutputs())
+	for i := 0; i < g.NumOutputs(); i++ {
+		ol := rb.LitOf(g.Output(i))
+		if i == victim {
+			ol = rb.Dst.Xor(ol, y)
+		}
+		rb.Dst.AddOutput(ol, g.OutputName(i))
+	}
+	return rb.Dst, key
+}
+
 // chooseTargets picks keySize distinct live AND nodes, uniformly.
 func chooseTargets(g *aig.AIG, keySize int, rng *rand.Rand) []int {
 	order := g.TopoOrder()

@@ -60,7 +60,7 @@ func TestLockCorrectKeyPreservesFunction(t *testing.T) {
 	g := circuits.MustGenerate("c499")
 	rng := rand.New(rand.NewSource(2))
 	locked, key := Lock(g, 24, rng)
-	if ok, cex := cnf.EquivalentUnderKey(g, locked, key); !ok {
+	if ok, cex, _ := cnf.EquivalentUnderKey(g, locked, key); !ok {
 		t.Fatalf("correct key does not restore function (cex=%v)", cex)
 	}
 }
@@ -71,7 +71,7 @@ func TestLockWrongKeyBreaksFunction(t *testing.T) {
 	locked, key := Lock(g, 8, rng)
 	wrong := append(Key(nil), key...)
 	wrong[0] = !wrong[0]
-	if ok, _ := cnf.EquivalentUnderKey(g, locked, wrong); ok {
+	if ok, _, _ := cnf.EquivalentUnderKey(g, locked, wrong); ok {
 		t.Fatalf("wrong key still equivalent — key gate dead?")
 	}
 }
@@ -100,7 +100,7 @@ func TestLockMuxCorrectKeyPreservesFunction(t *testing.T) {
 			t.Fatalf("bad key input name %q", locked.InputName(ki))
 		}
 	}
-	if ok, cex := cnf.EquivalentUnderKey(g, locked, key); !ok {
+	if ok, cex, _ := cnf.EquivalentUnderKey(g, locked, key); !ok {
 		t.Fatalf("correct key does not restore function (cex=%v)", cex)
 	}
 }
@@ -113,7 +113,7 @@ func TestLockMuxSurvivesSynthesis(t *testing.T) {
 	if synthed.NumKeyInputs() != 12 {
 		t.Fatalf("synthesis lost key inputs: %d", synthed.NumKeyInputs())
 	}
-	if ok, _ := cnf.EquivalentUnderKey(g, synthed, key); !ok {
+	if ok, _, _ := cnf.EquivalentUnderKey(g, synthed, key); !ok {
 		t.Fatalf("synthesized MUX-locked circuit broken under correct key")
 	}
 }
@@ -139,7 +139,7 @@ func TestLockMuxComposesWithRLL(t *testing.T) {
 		t.Fatalf("key inputs = %d, want 16", l2.NumKeyInputs())
 	}
 	full := append(append(Key(nil), k1...), k2...)
-	if ok, _ := cnf.EquivalentUnderKey(g, l2, full); !ok {
+	if ok, _, _ := cnf.EquivalentUnderKey(g, l2, full); !ok {
 		t.Fatalf("RLL+MUX chain broken under concatenated key")
 	}
 }
@@ -158,7 +158,7 @@ func TestApplyKeyRemovesKeyInputs(t *testing.T) {
 	if unlocked.NumInputs() != g.NumInputs() {
 		t.Fatalf("inputs = %d, want %d", unlocked.NumInputs(), g.NumInputs())
 	}
-	if ok, _ := cnf.Equivalent(g, unlocked); !ok {
+	if ok, _, _ := cnf.Equivalent(g, unlocked); !ok {
 		t.Fatalf("ApplyKey(correct key) != original")
 	}
 	// Wrong key must not be equivalent.
@@ -168,7 +168,7 @@ func TestApplyKeyRemovesKeyInputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := cnf.Equivalent(g, bad); ok {
+	if ok, _, _ := cnf.Equivalent(g, bad); ok {
 		t.Fatalf("ApplyKey(wrong key) == original")
 	}
 }
@@ -199,7 +199,7 @@ func TestRelockAddsDistinctKeyInputs(t *testing.T) {
 	}
 	// Full key (original + extra) must restore the original function.
 	full := append(append(Key(nil), key...), extraKey...)
-	if ok, _ := cnf.EquivalentUnderKey(g, relocked, full); !ok {
+	if ok, _, _ := cnf.EquivalentUnderKey(g, relocked, full); !ok {
 		t.Fatalf("relocked circuit broken under full correct key")
 	}
 }
@@ -214,7 +214,7 @@ func TestLockedSurvivesSynthesis(t *testing.T) {
 	if synthed.NumKeyInputs() != 16 {
 		t.Fatalf("synthesis lost key inputs: %d", synthed.NumKeyInputs())
 	}
-	if ok, _ := cnf.EquivalentUnderKey(g, synthed, key); !ok {
+	if ok, _, _ := cnf.EquivalentUnderKey(g, synthed, key); !ok {
 		t.Fatalf("synthesized locked circuit broken under correct key")
 	}
 }
@@ -249,7 +249,7 @@ func TestLockPropertyQuick(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := randomAIG(rng, 5+rng.Intn(4), 2, 20+rng.Intn(40))
 		locked, key := Lock(g, 4, rng)
-		ok, _ := cnf.EquivalentUnderKey(g, locked, key)
+		ok, _, _ := cnf.EquivalentUnderKey(g, locked, key)
 		return ok && locked.NumKeyInputs() == 4
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {

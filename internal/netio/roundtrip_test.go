@@ -58,7 +58,7 @@ func TestBuiltinsRoundTrip(t *testing.T) {
 					t.Fatalf("%s: function changed through round trip", label)
 				}
 				if exactSet[name] && !testing.Short() {
-					if eq, cex := cnf.Equivalent(g, chain); !eq {
+					if eq, cex, _ := cnf.Equivalent(g, chain); !eq {
 						t.Fatalf("%s: SAT found a counterexample: %v", label, cex)
 					}
 				}

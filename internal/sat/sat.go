@@ -62,7 +62,10 @@ type watcher struct {
 	blocker Lit
 }
 
-// Status is the result of Solve.
+// Status is the result of Solve. Unknown is returned only on resource
+// exhaustion (conflict/propagation budgets) or an external Stop request —
+// never as a satisfiability verdict — so callers can always distinguish
+// "proved UNSAT" from "gave up".
 type Status int
 
 // Solve outcomes.
@@ -101,16 +104,38 @@ type Solver struct {
 
 	claInc float64
 
-	ok        bool
-	unsatSeen bool
+	ok bool
 
-	// Limits. MaxConflicts <= 0 means unlimited.
+	// MaxConflicts bounds the conflicts of one Solve call; <= 0 means
+	// unlimited. When the budget is exhausted Solve returns Unknown.
 	MaxConflicts int64
+	// MaxPropagations bounds the propagated literals of one Solve call;
+	// <= 0 means unlimited. Exhaustion returns Unknown. Propagation count
+	// is a deterministic, platform-independent proxy for solver work, so
+	// it doubles as a reproducible deadline.
+	MaxPropagations int64
+	// Stop, when non-nil, is polled roughly every PollEvery conflicts or
+	// decisions; returning true makes Solve return Unknown at the next
+	// poll. It is the cancellation hook: point it at a context
+	// (func() bool { return ctx.Err() != nil }) to make long solves
+	// interruptible.
+	Stop func() bool
+	// PollEvery is the conflict/decision interval between Stop polls;
+	// <= 0 selects DefaultPollEvery.
+	PollEvery int64
+
 	conflicts    int64
+	propagations int64
+	sincePoll    int64
 
 	seen   []bool
 	minStk []Lit
 }
+
+// DefaultPollEvery is the Stop-poll cadence used when PollEvery is unset:
+// frequent enough that cancellation latency stays in the microseconds on
+// real workloads, rare enough to keep the hook off the hot path.
+const DefaultPollEvery = 256
 
 // New returns a solver with n variables pre-allocated.
 func New(n int) *Solver {
@@ -148,11 +173,19 @@ func (s *Solver) value(l Lit) lbool {
 
 // AddClause adds a clause; returns false if the formula became trivially
 // unsatisfiable. Literals must reference existing variables.
+//
+// AddClause may be called between Solve calls (incremental solving): it
+// first backtracks to decision level 0, so literal values observed during
+// simplification are root-level facts, never leftovers of the previous
+// call's model. Without that, a clause satisfied only by the last model
+// would be silently dropped.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
-	// Simplify: drop false/duplicate literals, detect tautology.
+	s.backtrack(0)
+	// Simplify: drop false/duplicate literals, detect tautology. All
+	// values below are level-0 facts thanks to the backtrack above.
 	out := lits[:0:0]
 	for _, l := range lits {
 		if int(l.Var()) >= s.NumVars() {
@@ -162,9 +195,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		case lTrue:
 			return true // already satisfied at level 0
 		case lFalse:
-			if s.decisionLevel() == 0 {
-				continue
-			}
+			continue
 		}
 		dup := false
 		for _, o := range out {
@@ -233,6 +264,7 @@ func (s *Solver) propagate() int {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
+		s.propagations++
 		ws := s.watches[p]
 		kept := ws[:0]
 		for wi := 0; wi < len(ws); wi++ {
@@ -488,13 +520,53 @@ func quickMedian(xs []float64) float64 {
 	return cp[len(cp)/2]
 }
 
+// outOfBudget reports whether the current Solve call exhausted a
+// resource budget, and polls the Stop hook every PollEvery ticks (each
+// conflict and each decision is one tick). Any true answer makes Solve
+// return Unknown — never Unsat — so budget exhaustion is always
+// distinguishable from a proof.
+func (s *Solver) outOfBudget() bool {
+	if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+		return true
+	}
+	if s.MaxPropagations > 0 && s.propagations >= s.MaxPropagations {
+		return true
+	}
+	if s.Stop != nil {
+		s.sincePoll++
+		poll := s.PollEvery
+		if poll <= 0 {
+			poll = DefaultPollEvery
+		}
+		if s.sincePoll >= poll {
+			s.sincePoll = 0
+			if s.Stop() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Solve determines satisfiability under the given assumptions.
+// Assumptions are temporary unit constraints for this call only: Unsat
+// means "unsatisfiable under the assumptions", and the solver state
+// (learnt clauses, activities) carries over to the next call, enabling
+// incremental solving. Unknown is returned — with all state intact — when
+// a budget (MaxConflicts, MaxPropagations) runs out or Stop requests
+// cancellation.
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
 	s.backtrack(0)
 	s.conflicts = 0
+	s.propagations = 0
+	// sincePoll deliberately persists across Solve calls: an incremental
+	// caller issuing many short solves (each under PollEvery ticks, e.g.
+	// the SAT attack's DIP loop on an easy miter) must still reach the
+	// Stop hook every PollEvery ticks cumulatively, or cancellation
+	// starves.
 	var restartN int64 = 1
 	conflictBudget := 100 * luby(restartN)
 	sinceRestart := int64(0)
@@ -509,8 +581,11 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(confl)
-			// Never backtrack past the assumption levels blindly: clamp to
-			// current assumption depth handled below by re-solving.
+			// The learnt clause's asserting level may lie below the
+			// assumption levels; backtracking there retracts assumptions,
+			// and the assumption block below re-applies them one level at
+			// a time (an assumption falsified by the new level-0 fact then
+			// correctly yields Unsat-under-assumptions).
 			s.backtrack(btLevel)
 			if len(learnt) == 1 {
 				if !s.enqueue(learnt[0], -1) {
@@ -524,7 +599,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			}
 			s.varInc /= 0.95
 			s.claInc /= 0.999
-			if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+			if s.outOfBudget() {
 				return Unknown
 			}
 			nLearnt := 0
@@ -562,6 +637,11 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			s.enqueue(a, -1)
 			continue
 		}
+		// Poll budgets on decisions too: a satisfiable instance can run
+		// long with few conflicts, and cancellation must still land.
+		if s.outOfBudget() {
+			return Unknown
+		}
 		next := s.pickBranch()
 		if next == Lit(-1) {
 			return Sat
@@ -576,6 +656,9 @@ func (s *Solver) ValueOf(v int) bool { return s.assign[v] == lTrue }
 
 // NumConflicts returns the conflicts seen by the last Solve call.
 func (s *Solver) NumConflicts() int64 { return s.conflicts }
+
+// NumPropagations returns the literals propagated by the last Solve call.
+func (s *Solver) NumPropagations() int64 { return s.propagations }
 
 // heap is a max-heap over variable activity with position tracking.
 type heap struct {

@@ -1,0 +1,264 @@
+package sat
+
+import "testing"
+
+// pigeonhole builds PHP(n+1, n) — UNSAT and hard enough to need real
+// search — on a fresh solver. Used as the standard "expensive instance"
+// for budget and cancellation tests.
+func pigeonhole(n int) *Solver {
+	v := func(p, h int) int { return p*n + h }
+	s := New((n + 1) * n)
+	for p := 0; p <= n; p++ {
+		var cl []Lit
+		for h := 0; h < n; h++ {
+			cl = append(cl, MkLit(v(p, h), false))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(v(p1, h), true), MkLit(v(p2, h), true))
+			}
+		}
+	}
+	return s
+}
+
+func TestUnknownNeverConflatedWithUnsat(t *testing.T) {
+	// Sweep tiny conflict budgets over an UNSAT instance: every budgeted
+	// call must answer Unknown (never a fake Unsat), and the same solver
+	// must still prove Unsat once the budget is lifted — state survives
+	// budget exhaustion.
+	s := pigeonhole(7)
+	for budget := int64(1); budget <= 16; budget *= 2 {
+		s.MaxConflicts = budget
+		if got := s.Solve(); got != Unknown {
+			t.Fatalf("MaxConflicts=%d: Solve = %v, want Unknown", budget, got)
+		}
+		if s.NumConflicts() < budget {
+			t.Fatalf("MaxConflicts=%d: stopped after %d conflicts", budget, s.NumConflicts())
+		}
+	}
+	s.MaxConflicts = 0
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("unbudgeted re-solve = %v, want Unsat", got)
+	}
+}
+
+func TestMaxPropagationsUnknown(t *testing.T) {
+	s := pigeonhole(7)
+	s.MaxPropagations = 50
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("propagation-budgeted solve = %v, want Unknown", got)
+	}
+	if s.NumPropagations() < 50 {
+		t.Fatalf("stopped after only %d propagations", s.NumPropagations())
+	}
+	s.MaxPropagations = 0
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("re-solve = %v, want Unsat", got)
+	}
+}
+
+func TestBudgetsResetPerSolveCall(t *testing.T) {
+	// An easy Sat call after a budget-exhausted one must not inherit the
+	// previous call's counters.
+	s := New(2)
+	s.AddClause(MkLit(0, false), MkLit(1, false))
+	if got := s.Solve(MkLit(0, false)); got != Sat {
+		t.Fatalf("unbudgeted solve = %v, want Sat", got)
+	}
+	// A budget exactly covering one call must keep covering each later
+	// call — counters reset, they do not accumulate across calls.
+	s.MaxPropagations = s.NumPropagations() + 1
+	for i := 0; i < 5; i++ {
+		if got := s.Solve(MkLit(0, false)); got != Sat {
+			t.Fatalf("call %d under per-call budget = %v, want Sat", i, got)
+		}
+	}
+}
+
+func TestStopHookCancels(t *testing.T) {
+	s := pigeonhole(8)
+	polls := 0
+	s.PollEvery = 1
+	s.Stop = func() bool {
+		polls++
+		return polls >= 3
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("stopped solve = %v, want Unknown", got)
+	}
+	if polls != 3 {
+		t.Fatalf("Stop polled %d times, want exactly 3", polls)
+	}
+	// Clearing the hook lets the same instance finish.
+	s.Stop = nil
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("re-solve = %v, want Unsat", got)
+	}
+}
+
+func TestStopHookPollCadence(t *testing.T) {
+	// With a large PollEvery the hook must stay off the hot path: an
+	// instance solved in fewer ticks than PollEvery never polls.
+	s := New(3)
+	s.AddClause(MkLit(0, false), MkLit(1, false), MkLit(2, false))
+	s.PollEvery = 1 << 30
+	polled := false
+	s.Stop = func() bool { polled = true; return true }
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+	if polled {
+		t.Fatalf("Stop polled before PollEvery ticks elapsed")
+	}
+}
+
+// TestStopHookPollsAcrossShortSolves is a regression for a cancellation
+// starvation bug: sincePoll used to reset on every Solve call, so an
+// incremental caller issuing many solves each shorter than PollEvery
+// (the SAT attack's DIP loop on an easy miter) never reached the Stop
+// hook at all. The tick count must accumulate across calls.
+func TestStopHookPollsAcrossShortSolves(t *testing.T) {
+	s := New(8)
+	for i := 0; i+1 < 8; i += 2 {
+		s.AddClause(MkLit(i, false), MkLit(i+1, false))
+	}
+	s.PollEvery = 64 // far more ticks than any single solve below uses
+	polled := false
+	s.Stop = func() bool { polled = true; return false }
+	for i := 0; i < 200 && !polled; i++ {
+		if got := s.Solve(); got != Sat {
+			t.Fatalf("Solve #%d = %v, want Sat", i, got)
+		}
+	}
+	if !polled {
+		t.Fatal("Stop never polled across 200 short Solve calls")
+	}
+}
+
+func TestStopHookOnSatisfiableInstance(t *testing.T) {
+	// Cancellation must land even when the instance produces decisions but
+	// few conflicts: n free variables mean n decisions and zero conflicts.
+	const n = 64
+	s := New(n)
+	for i := 0; i+1 < n; i += 2 {
+		s.AddClause(MkLit(i, false), MkLit(i+1, false))
+	}
+	s.PollEvery = 1
+	s.Stop = func() bool { return true }
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("stopped satisfiable solve = %v, want Unknown", got)
+	}
+}
+
+func TestConflictAtAssumptionLevel(t *testing.T) {
+	// (x0|x1) & (x0|!x1): assuming !x0 propagates x1 and !x1 — a conflict
+	// at the assumption level. The learnt unit x0 lands at level 0, where
+	// re-applying the assumption sees it falsified: Unsat under the
+	// assumptions, while the formula itself stays Sat.
+	s := New(2)
+	s.AddClause(MkLit(0, false), MkLit(1, false))
+	s.AddClause(MkLit(0, false), MkLit(1, true))
+	if got := s.Solve(MkLit(0, true)); got != Unsat {
+		t.Fatalf("Solve(!x0) = %v, want Unsat", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want Sat", got)
+	}
+	if !s.ValueOf(0) {
+		t.Fatalf("x0 must be forced true")
+	}
+}
+
+func TestConflictBacktracksBelowAssumptionLevels(t *testing.T) {
+	// (x0|x2|x1) & (x0|x2|!x1) under assumptions !x0, !x2: the conflict
+	// fires at assumption level 2 and the learnt clause (x0|x2) asserts x2
+	// back at level 1 — below the level of the second assumption. The
+	// re-application pass must then see assumption !x2 falsified and
+	// answer Unsat instead of looping or crashing.
+	s := New(3)
+	s.AddClause(MkLit(0, false), MkLit(2, false), MkLit(1, false))
+	s.AddClause(MkLit(0, false), MkLit(2, false), MkLit(1, true))
+	if got := s.Solve(MkLit(0, true), MkLit(2, true)); got != Unsat {
+		t.Fatalf("Solve(!x0,!x2) = %v, want Unsat", got)
+	}
+	// Each assumption alone is fine.
+	if got := s.Solve(MkLit(0, true)); got != Sat {
+		t.Fatalf("Solve(!x0) = %v, want Sat", got)
+	}
+	if got := s.Solve(MkLit(2, true)); got != Sat {
+		t.Fatalf("Solve(!x2) = %v, want Sat", got)
+	}
+}
+
+func TestRepeatedSolveDifferentAssumptions(t *testing.T) {
+	// One instance, many assumption sets, interleaving Sat and Unsat —
+	// the incremental pattern the key-miter DIP loop relies on.
+	s := New(4)
+	s.AddClause(MkLit(0, false), MkLit(1, false)) // x0 | x1
+	s.AddClause(MkLit(2, true), MkLit(3, false))  // x2 -> x3
+	cases := []struct {
+		assume []Lit
+		want   Status
+	}{
+		{[]Lit{MkLit(0, true), MkLit(1, true)}, Unsat},
+		{[]Lit{MkLit(0, true)}, Sat},
+		{[]Lit{MkLit(2, false), MkLit(3, true)}, Unsat},
+		{[]Lit{MkLit(2, false)}, Sat},
+		{[]Lit{MkLit(1, true), MkLit(0, true)}, Unsat},
+		{nil, Sat},
+	}
+	for i, c := range cases {
+		if got := s.Solve(c.assume...); got != c.want {
+			t.Fatalf("case %d: Solve(%v) = %v, want %v", i, c.assume, got, c.want)
+		}
+	}
+	// Model checks on the Sat cases.
+	if s.Solve(MkLit(0, true)) != Sat || !s.ValueOf(1) {
+		t.Fatalf("under !x0, x1 must be true")
+	}
+	if s.Solve(MkLit(2, false)) != Sat || !s.ValueOf(3) {
+		t.Fatalf("under x2, x3 must be true")
+	}
+}
+
+func TestSatisfiedAssumptionKeepsLevelCorrespondence(t *testing.T) {
+	// When an assumption is already true by propagation, the solver opens
+	// an empty decision level so level k still corresponds to assumption
+	// k. A conflict involving a later assumption must still resolve
+	// correctly.
+	s := New(3)
+	s.AddClause(MkLit(0, false))                 // x0 (unit: assumption 0 pre-satisfied)
+	s.AddClause(MkLit(1, true), MkLit(2, false)) // x1 -> x2
+	if got := s.Solve(MkLit(0, false), MkLit(1, false), MkLit(2, true)); got != Unsat {
+		t.Fatalf("Solve(x0,x1,!x2) = %v, want Unsat", got)
+	}
+	if got := s.Solve(MkLit(0, false), MkLit(1, false)); got != Sat {
+		t.Fatalf("Solve(x0,x1) = %v, want Sat", got)
+	}
+	if !s.ValueOf(2) {
+		t.Fatalf("x2 must be propagated true")
+	}
+}
+
+func TestAddClauseAfterSatNotDroppedByStaleModel(t *testing.T) {
+	// Regression: AddClause used to simplify against the previous Solve
+	// call's model still sitting on the trail, so a clause satisfied only
+	// by that stale model was silently dropped. Incremental loops (the
+	// SAT attack adds I/O constraints after each Sat answer) then solved
+	// the wrong formula.
+	s := New(2)
+	s.AddClause(MkLit(0, false), MkLit(1, false))
+	if got := s.Solve(MkLit(0, false)); got != Sat {
+		t.Fatalf("setup solve = %v, want Sat", got)
+	}
+	// x0 is true in the stale model but NOT a level-0 fact; this clause
+	// must be recorded, not dropped.
+	s.AddClause(MkLit(0, false))
+	if got := s.Solve(MkLit(0, true)); got != Unsat {
+		t.Fatalf("Solve(!x0) after AddClause(x0) = %v, want Unsat — clause was dropped against a stale model", got)
+	}
+}

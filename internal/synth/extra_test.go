@@ -49,7 +49,7 @@ func TestBalanceRespectsSharedNodes(t *testing.T) {
 	g.AddOutput(o1, "o1")
 	g.AddOutput(o2, "o2")
 	h := Balance(g, nil)
-	if ok, _ := cnf.Equivalent(g, h); !ok {
+	if ok, _, _ := cnf.Equivalent(g, h); !ok {
 		t.Fatal("balance broke shared logic")
 	}
 	if h.NumAnds() > g.NumAnds() {
@@ -74,7 +74,7 @@ func TestRepeatedTransformIdempotentInSize(t *testing.T) {
 	if h2.NumAnds() > h1.NumAnds() {
 		t.Fatalf("second rewrite grew: %d -> %d", h1.NumAnds(), h2.NumAnds())
 	}
-	if ok, _ := cnf.Equivalent(g, h2); !ok {
+	if ok, _, _ := cnf.Equivalent(g, h2); !ok {
 		t.Fatal("double rewrite broke function")
 	}
 }

@@ -198,7 +198,7 @@ func TestMergeCutsAndDominance(t *testing.T) {
 func checkTransform(t *testing.T, name string, f func(*aig.AIG) *aig.AIG, g *aig.AIG) *aig.AIG {
 	t.Helper()
 	h := f(g)
-	if ok, cex := cnf.Equivalent(g, h); !ok {
+	if ok, cex, _ := cnf.Equivalent(g, h); !ok {
 		t.Fatalf("%s changed function (cex=%v)", name, cex)
 	}
 	return h
@@ -256,7 +256,7 @@ func TestTransformsPreserveFunctionQuick(t *testing.T) {
 		g := randomAIG(rng, 5+rng.Intn(4), 1+rng.Intn(3), 15+rng.Intn(50))
 		for _, s := range AllSteps() {
 			h := s.Apply(g)
-			if ok, _ := cnf.Equivalent(g, h); !ok {
+			if ok, _, _ := cnf.Equivalent(g, h); !ok {
 				t.Logf("seed %d: %v changed function", seed, s)
 				return false
 			}
@@ -280,7 +280,7 @@ func TestRewriteReducesRedundantLogic(t *testing.T) {
 	g.AddOutput(g.Or(ab, abc), "o")
 	before := g.NumAnds()
 	h := Rewrite(g, false, nil)
-	if ok, _ := cnf.Equivalent(g, h); !ok {
+	if ok, _, _ := cnf.Equivalent(g, h); !ok {
 		t.Fatal("rewrite changed function")
 	}
 	if h.NumAnds() >= before {
@@ -301,7 +301,7 @@ func TestResubMergesEquivalentNodes(t *testing.T) {
 	g.AddOutput(g.And(x1, x2), "both") // = x1 since x1==x2 functionally
 	before := g.NumAnds()
 	h := Resub(g, false, nil)
-	if ok, _ := cnf.Equivalent(g, h); !ok {
+	if ok, _, _ := cnf.Equivalent(g, h); !ok {
 		t.Fatal("resub changed function")
 	}
 	if h.NumAnds() >= before {
@@ -385,7 +385,7 @@ func TestRandomRecipeAndMutate(t *testing.T) {
 func TestResyn2OnBenchmarkShrinks(t *testing.T) {
 	g := circuits.MustGenerate("c1908")
 	h := Resyn2().Apply(g)
-	if ok, _ := cnf.Equivalent(g, h); !ok {
+	if ok, _, _ := cnf.Equivalent(g, h); !ok {
 		t.Fatal("resyn2 changed function")
 	}
 	if h.NumAnds() > g.NumAnds() {
@@ -404,7 +404,7 @@ func TestDifferentRecipesDifferentStructure(t *testing.T) {
 	r2 := RandomRecipe(rng, 6)
 	h1 := r1.Apply(g)
 	h2 := r2.Apply(g)
-	if ok, _ := cnf.Equivalent(h1, h2); !ok {
+	if ok, _, _ := cnf.Equivalent(h1, h2); !ok {
 		t.Fatal("recipes changed function")
 	}
 	if h1.NumAnds() == h2.NumAnds() && h1.NumLevels() == h2.NumLevels() {

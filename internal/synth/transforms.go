@@ -339,6 +339,10 @@ func zeroResub(g *aig.AIG, id int, sigs [][]uint64, byKey map[uint64][]int, negK
 				continue
 			}
 			eq, proven := cnf.LitsEquivalent(g, aig.MakeLit(id, false), aig.MakeLit(m, neg), resubSATBudget)
+			// proven gates eq: on budget exhaustion (Unknown) the pair is
+			// skipped — never merged on an unproven claim, and never
+			// treated as proved-different either (a later candidate may
+			// still match).
 			if proven && eq {
 				return aig.MakeLit(m, neg), true
 			}
