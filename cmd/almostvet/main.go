@@ -1,0 +1,21 @@
+// Command almostvet checks the repository's load-bearing invariants:
+// zero-allocation hot paths, deterministic result reduction, context
+// threading, SAT-outcome discipline, registry hygiene, and the ban on
+// deprecation markers. See internal/analysis for the analyzer suite.
+//
+// Run it standalone:
+//
+//	go run ./cmd/almostvet ./...
+//
+// or as a vet tool, which also covers test-variant packages and caches
+// per-package results:
+//
+//	go build -o "$(go env GOPATH)/bin/almostvet" ./cmd/almostvet
+//	go vet -vettool="$(go env GOPATH)/bin/almostvet" ./...
+package main
+
+import "github.com/nyu-secml/almost/internal/analysis"
+
+func main() {
+	analysis.Main(analysis.All()...)
+}

@@ -297,6 +297,8 @@ func (g *AIG) OrN(ls []Lit) Lit {
 // FanoutCountsInto is the scratch-reusing variant of FanoutCounts: the
 // buffer is resized (reallocating only when capacity is short), cleared,
 // filled, and returned.
+//
+//almost:hotpath
 func (g *AIG) FanoutCountsInto(counts []int) []int {
 	if cap(counts) < len(g.nodes) {
 		counts = make([]int, len(g.nodes))
@@ -314,6 +316,7 @@ func (g *AIG) FanoutCounts() []int {
 	return g.fanoutCountsInto(make([]int, len(g.nodes)))
 }
 
+//almost:hotpath
 func (g *AIG) fanoutCountsInto(counts []int) []int {
 	for id := range g.nodes {
 		if g.nodes[id].kind != KindAnd {
@@ -454,6 +457,8 @@ func (rb *Rebuilder) Reset(src *AIG) { rb.ResetInto(src, New()) }
 // warmed rebuilder and recycled graph performs no steady-state
 // allocations. The previous destination is untouched — it has usually
 // escaped as a pass's result.
+//
+//almost:hotpath
 func (rb *Rebuilder) ResetInto(src, dst *AIG) {
 	dst.Reset()
 	rb.Src, rb.Dst = src, dst
@@ -533,6 +538,8 @@ func (g *AIG) TopoOrder() []int {
 // reused slice truncated to zero length). Fanin IDs are always smaller
 // than fanout IDs in an append-only AIG, so liveness propagates in one
 // descending sweep with no recursion.
+//
+//almost:hotpath
 func (g *AIG) topoOrderInto(live []bool, order []int) []int {
 	for _, po := range g.pos {
 		live[po.Node()] = true
@@ -545,7 +552,7 @@ func (g *AIG) topoOrderInto(live []bool, order []int) []int {
 	}
 	for id := 1; id < len(g.nodes); id++ {
 		if live[id] && g.nodes[id].kind == KindAnd {
-			order = append(order, id)
+			order = append(order, id) //almost:nolint hotpathalloc // appends into the caller's recycled order buffer
 		}
 	}
 	return order
@@ -555,6 +562,8 @@ func (g *AIG) topoOrderInto(live []bool, order []int) []int {
 // resized (reallocating only when capacity is short) and cleared, and
 // the order is appended into order[:0]. It returns the resized live
 // buffer and the order for the caller to retain for the next call.
+//
+//almost:hotpath
 func (g *AIG) TopoOrderInto(live []bool, order []int) ([]bool, []int) {
 	if cap(live) < len(g.nodes) {
 		live = make([]bool, len(g.nodes))

@@ -45,6 +45,8 @@ func (s *SimScratch) Reset() {
 // Ascending node ID is a topological — hence level-respecting — order in
 // an append-only AIG, so the schedule is the AND nodes in ID order with
 // their fanin literals flattened out of the node array.
+//
+//almost:hotpath
 func (s *SimScratch) schedule(g *AIG) []simGate {
 	if s.owner == g && s.gen == g.gen && s.nNodes == len(g.nodes) {
 		return s.sched
@@ -57,6 +59,7 @@ func (s *SimScratch) schedule(g *AIG) []simGate {
 	for id := 1; id < len(g.nodes); id++ {
 		n := &g.nodes[id]
 		if n.kind == KindAnd {
+			//almost:nolint hotpathalloc // appends into the cap-reserved schedule buffer grown above
 			s.sched = append(s.sched, simGate{f0: n.fanin0, f1: n.fanin1, out: int32(id)})
 		}
 	}
@@ -64,6 +67,8 @@ func (s *SimScratch) schedule(g *AIG) []simGate {
 }
 
 // buf returns the scratch value buffer resized to n words.
+//
+//almost:hotpath
 func (s *SimScratch) buf(n int) []uint64 {
 	if cap(s.vals) < n {
 		s.vals = make([]uint64, n)
@@ -74,6 +79,8 @@ func (s *SimScratch) buf(n int) []uint64 {
 // simCore runs the schedule over a node-major value buffer with stride w
 // words per node. This is the single literal-evaluation loop behind
 // Simulate64, SimulateWords, Signatures, and their Into variants.
+//
+//almost:hotpath
 func simCore(sched []simGate, vals []uint64, w int) {
 	if w == 1 {
 		for _, op := range sched {
@@ -112,6 +119,8 @@ func simCore(sched []simGate, vals []uint64, w int) {
 // grown (reallocated) only when its capacity is short. It returns
 // dst[:NumOutputs]. With a warm scratch and an adequate dst it performs
 // no allocations. s must not be nil.
+//
+//almost:hotpath
 func (g *AIG) SimulateInto(s *SimScratch, dst, in []uint64) []uint64 {
 	if len(in) != len(g.pis) {
 		panic(fmt.Sprintf("aig: SimulateInto input width mismatch: %d patterns for %d inputs", len(in), len(g.pis)))
@@ -155,6 +164,8 @@ func (g *AIG) Simulate64(in []uint64) []uint64 {
 // rows into dst. dst and its rows are grown only when capacity is short;
 // pass the previous return value to reuse them. The result rows are
 // caller-owned (they do not alias the scratch). s must not be nil.
+//
+//almost:hotpath
 func (g *AIG) SimulateWordsInto(s *SimScratch, dst [][]uint64, in [][]uint64, w int) [][]uint64 {
 	if len(in) != len(g.pis) {
 		panic(fmt.Sprintf("aig: SimulateWordsInto input width mismatch: %d patterns for %d inputs", len(in), len(g.pis)))
@@ -258,6 +269,8 @@ func RandomPatterns(rng *rand.Rand, nIn int) []uint64 {
 // retain them must copy. It panics when w < 1 (a zero-width signature
 // would make every pair of nodes look equivalent downstream). s must not
 // be nil.
+//
+//almost:hotpath
 func (g *AIG) SignaturesInto(s *SimScratch, rng *rand.Rand, w int) [][]uint64 {
 	if w < 1 {
 		panic(fmt.Sprintf("aig: SignaturesInto needs w >= 1 words, got %d", w))

@@ -1,0 +1,317 @@
+// Package analysis is almostvet: a suite of repo-specific static
+// analyzers that mechanize the invariants this reproduction depends on —
+// allocation-free hot paths (hotpathalloc), jobs-invariant deterministic
+// result reduction (mapdeterminism), context threading through every
+// exact-reasoning call (ctxflow), the Unknown-is-not-Unsat SAT outcome
+// discipline (satoutcome), registry registration hygiene
+// (registrydiscipline), and the ban on resurrecting the retired
+// panic-era API (deprecated).
+//
+// The package also carries the minimal driver machinery the analyzers
+// run on. The module is deliberately dependency-free, so instead of
+// golang.org/x/tools/go/analysis this package implements the same
+// vocabulary (Analyzer, Pass, driver, `go vet -vettool` unitchecker
+// protocol, analysistest-style harness) against the standard library
+// alone. The shapes match x/tools closely enough that porting an
+// analyzer in either direction is mechanical.
+//
+// Findings are suppressed line-by-line with a directive comment of the
+// form
+//
+//	x := f() //almost:nolint satoutcome // budget collapse is safe here because ...
+//
+// The reason after the second `//` is mandatory: a directive without one
+// does not suppress anything and is itself reported. A directive on a
+// line of its own applies to the following line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. It is the stdlib-only
+// mirror of golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, command-line flags,
+	// and nolint directives. Lowercase, no spaces.
+	Name string
+	// Doc is the help text: first line is a one-line summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one package to an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// All returns the full almostvet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HotPathAlloc,
+		MapDeterminism,
+		CtxFlow,
+		SatOutcome,
+		RegistryDiscipline,
+		Deprecated,
+	}
+}
+
+// byName resolves the known analyzer names for nolint validation.
+func byName() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range All() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// A Package bundles everything the driver needs to analyze one package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// RunAnalyzers applies the analyzers to pkg, honoring nolint directives,
+// and returns the surviving diagnostics in positional order. Malformed
+// directives (missing reason, unknown analyzer name) are reported as
+// diagnostics of the pseudo-analyzer "nolint" and never suppress
+// anything.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := collectNolint(pkg)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.report = func(d Diagnostic) {
+			if !sup.suppressed(pkg.Fset, d) {
+				out = append(out, d)
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	out = append(out, sup.malformed...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// nolintDirective is one parsed suppression comment.
+type nolintDirective struct {
+	analyzers map[string]bool
+	file      string
+	line      int
+}
+
+// nolintIndex holds every well-formed directive of a package plus the
+// diagnostics for malformed ones.
+type nolintIndex struct {
+	directives []nolintDirective
+	malformed  []Diagnostic
+}
+
+const nolintPrefix = "almost:nolint"
+
+// collectNolint parses the package's suppression directives. A
+// directive has the form `//almost:nolint name[,name...] // reason`;
+// the analyzer list and the reason are both mandatory.
+func collectNolint(pkg *Package) *nolintIndex {
+	idx := &nolintIndex{}
+	known := byName()
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+nolintPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				names, reason, hasReason := strings.Cut(text, "//")
+				if !hasReason || strings.TrimSpace(reason) == "" {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "nolint",
+						Message:  "malformed //almost:nolint directive: a reason is required (`//almost:nolint <analyzer> // why it is safe`)",
+					})
+					continue
+				}
+				d := nolintDirective{analyzers: map[string]bool{}, file: pos.Filename, line: pos.Line}
+				for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					if !known[n] {
+						idx.malformed = append(idx.malformed, Diagnostic{
+							Pos:      c.Pos(),
+							Analyzer: "nolint",
+							Message:  fmt.Sprintf("//almost:nolint names unknown analyzer %q", n),
+						})
+						continue
+					}
+					d.analyzers[n] = true
+				}
+				if len(d.analyzers) == 0 {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "nolint",
+						Message:  "//almost:nolint must name the analyzers it suppresses",
+					})
+					continue
+				}
+				idx.directives = append(idx.directives, d)
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether d is covered by a directive on its line or
+// on the line directly above it.
+func (idx *nolintIndex) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, dir := range idx.directives {
+		if dir.file != pos.Filename || !dir.analyzers[d.Analyzer] {
+			continue
+		}
+		if dir.line == pos.Line || dir.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// --- shared analyzer helpers -------------------------------------------
+
+// unparen strips any enclosing parentheses (ast.Unparen needs a go1.22
+// language level; the module pins go1.21).
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isTestFile reports whether the file containing pos is a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// hasMarker reports whether a doc comment group carries the given
+// directive (e.g. "almost:hotpath") as a line of its own.
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//"+marker)
+		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			return true
+		}
+	}
+	return false
+}
+
+// funcHasCtxParam returns the *types.Var of the function's
+// context.Context parameter, or nil.
+func funcHasCtxParam(sig *types.Signature) *types.Var {
+	if sig == nil {
+		return nil
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return params.At(i)
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// builtinName returns the name of the builtin a call invokes ("make",
+// "append", ...) or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// calleeFunc resolves a call's static callee, unwrapping parens and
+// generic instantiation. Returns nil for builtins, conversions, and
+// dynamic calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := unparen(call.Fun)
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		fun = unparen(e.X)
+	case *ast.IndexListExpr:
+		fun = unparen(e.X)
+	}
+	var obj types.Object
+	switch e := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// pkgPathTail reports whether the package path's last element equals
+// name (used so analyzers recognize both the real tree and testdata
+// stand-in packages).
+func pkgPathTail(path, name string) bool {
+	return path == name || strings.HasSuffix(path, "/"+name)
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func TestHotPathAlloc(t *testing.T)   { RunTest(t, "testdata", "hotpath", HotPathAlloc) }
+func TestMapDeterminism(t *testing.T) { RunTest(t, "testdata", "engine", MapDeterminism) }
+func TestCtxFlow(t *testing.T)        { RunTest(t, "testdata", "ctxflow", CtxFlow) }
+func TestSatOutcome(t *testing.T)     { RunTest(t, "testdata", "satuse", SatOutcome) }
+func TestDeprecated(t *testing.T)     { RunTest(t, "testdata", "deprecate", Deprecated) }
+
+func TestRegistryDiscipline(t *testing.T) {
+	RunTest(t, "testdata", "registry", RegistryDiscipline)
+	RunTest(t, "testdata", "registryfwd", RegistryDiscipline)
+}
+
+// TestRepoClean runs the full suite over the real module: the tree must
+// stay analyzer-clean, mirroring the CI vettool gate.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module analysis in -short mode")
+	}
+	pkgs, err := LoadPackages("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, All())
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s: %s (%s)", pkg.Path, pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}
+
+// parseAndCheck builds a single-file Package for directive-parsing
+// tests; src must not need any imports.
+func parseAndCheck(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := newTypesInfo()
+	var conf types.Config
+	files := []*ast.File{f}
+	tpkg, err := conf.Check("p", fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "p", Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+// TestNolintMalformed checks that a directive without a reason, or
+// naming an unknown analyzer, suppresses nothing and is itself
+// reported.
+func TestNolintMalformed(t *testing.T) {
+	const src = `package p
+
+//almost:hotpath
+func bad(n int) []int {
+	//almost:nolint hotpathalloc
+	s := make([]int, n)
+	//almost:nolint nosuchanalyzer // reasoned but unknown
+	t := make([]int, n)
+	return append(s, t...)
+}
+`
+	pkg := parseAndCheck(t, src)
+	diags, err := RunAnalyzers(pkg, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	wantSubstrings := []string{
+		"nolint: malformed //almost:nolint directive: a reason is required",
+		"nolint: //almost:nolint names unknown analyzer \"nosuchanalyzer\"",
+		"hotpathalloc: hot path", // the reasonless directive did not suppress the first make
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic containing %q in %q", want, got)
+		}
+	}
+	// Both makes and the append must all be reported: 3 hotpathalloc + 2
+	// nolint diagnostics. The unknown-analyzer directive ends up with an
+	// empty analyzer list, which is reported once more.
+	if len(diags) != 6 {
+		t.Errorf("got %d diagnostics, want 6: %q", len(diags), got)
+	}
+}
+
+// TestNolintSameLine checks suppression on the directive's own line.
+func TestNolintSameLine(t *testing.T) {
+	const src = `package p
+
+//almost:hotpath
+func ok(n int) []int {
+	return make([]int, n) //almost:nolint hotpathalloc // caller-owned result
+}
+`
+	pkg := parseAndCheck(t, src)
+	diags, err := RunAnalyzers(pkg, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected full suppression, got %v", diags)
+	}
+}

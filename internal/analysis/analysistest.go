@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// This file is the golden-test harness (the x/tools "analysistest"
+// role). Test packages live under testdata/src/<importpath> in
+// GOPATH-style layout; expected findings are marked in-line:
+//
+//	for k := range m { // want `map iteration order`
+//
+// Each `want` takes one or more quoted regexps that must each match a
+// distinct diagnostic reported on that line, and every diagnostic must
+// be matched by a want. Because the harness drives RunAnalyzers, nolint
+// directives participate exactly as they do in production — including
+// malformed-directive findings from the "nolint" pseudo-analyzer.
+
+// RunTest analyzes the testdata package at srcdir/src/<path> with the
+// given analyzers and checks the findings against the want comments.
+func RunTest(t *testing.T, srcdir, path string, analyzers ...*Analyzer) {
+	t.Helper()
+	ld := newTestLoader(srcdir)
+	pkg, err := ld.load(path)
+	if err != nil {
+		t.Fatalf("loading testdata package %s: %v", path, err)
+	}
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", path, err)
+	}
+	checkWants(t, pkg, diags)
+}
+
+// testLoader type-checks GOPATH-style testdata packages, resolving
+// local imports from the same tree and everything else from the
+// toolchain's export data.
+type testLoader struct {
+	srcdir string
+	fset   *token.FileSet
+	pkgs   map[string]*Package
+
+	stdOnce sync.Once
+	stdImp  types.Importer
+	stdErr  error
+	stdExp  map[string]string
+}
+
+func newTestLoader(srcdir string) *testLoader {
+	return &testLoader{srcdir: srcdir, fset: token.NewFileSet(), pkgs: map[string]*Package{}}
+}
+
+// load parses and type-checks one testdata package (and, recursively,
+// the local packages it imports).
+func (ld *testLoader) load(path string) (*Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.srcdir, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: importerFunc(ld.importPkg)}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Fset: ld.fset, Files: files, Types: tpkg, Info: info}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (ld *testLoader) importPkg(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(ld.srcdir, "src", filepath.FromSlash(path))); err == nil {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	std, err := ld.stdImporter()
+	if err != nil {
+		return nil, err
+	}
+	return std.Import(path)
+}
+
+// stdImporter lazily builds a gc importer over the standard library's
+// export data, located once via `go list -export std`.
+func (ld *testLoader) stdImporter() (types.Importer, error) {
+	ld.stdOnce.Do(func() {
+		listed, err := goList(ld.srcdir, "std")
+		if err != nil {
+			ld.stdErr = err
+			return
+		}
+		ld.stdExp = make(map[string]string, len(listed))
+		for _, p := range listed {
+			if p.Export != "" {
+				ld.stdExp[p.ImportPath] = p.Export
+			}
+		}
+		ld.stdImp = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+			exp, ok := ld.stdExp[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(exp)
+		})
+	})
+	return ld.stdImp, ld.stdErr
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// wantExpectation is one quoted regexp from a want comment.
+type wantExpectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// checkWants cross-checks diagnostics against the package's want
+// comments, reporting both unexpected and missing findings.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := map[lineKey][]*wantExpectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				rest := m[1]
+				for {
+					rest = strings.TrimSpace(rest)
+					if rest == "" {
+						break
+					}
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s: malformed want comment %q", pos, c.Text)
+						break
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern %q", pos, q)
+						break
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						break
+					}
+					wants[k] = append(wants[k], &wantExpectation{re: re})
+					rest = rest[len(q):]
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces context threading through the library (the PR-2/PR-6
+// invariant: every exact-reasoning and search call is cancellable, and
+// cancellation reaches it through the caller's ctx, never a fresh one).
+// It skips package main (cmd/, examples/ own their root context) and
+// _test.go files. Three rules:
+//
+//  1. context.Background()/context.TODO() may appear only in the
+//     documented compatibility-wrapper position: a function without a
+//     ctx parameter passing it straight into a *Ctx sibling
+//     (func F(...) { return FCtx(context.Background(), ...) }).
+//     Anywhere a ctx parameter is already in scope, minting a fresh
+//     context severs cancellation — exactly the PR-6 redundancy bug.
+//  2. Inside a function with a ctx parameter, calling F when a sibling
+//     FCtx (same package, or same method set for methods) accepts a
+//     context drops the caller's ctx on the floor; call FCtx.
+//  3. A named (non-blank) ctx parameter must actually be used; schemes
+//     that intentionally ignore cancellation document it by naming the
+//     parameter _.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "report context.Background/TODO misuse and ctx values dropped on the way to ctx-aware callees",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFlowFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkCtxFlowFunc(pass *Pass, fd *ast.FuncDecl) {
+	var sig *types.Signature
+	if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		sig = obj.Type().(*types.Signature)
+	}
+	ctxParam := funcHasCtxParam(sig)
+	hasCtx := ctxParam != nil
+
+	ctxUsed := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			if id, isIdent := n.(*ast.Ident); isIdent && hasCtx && pass.TypesInfo.Uses[id] == ctxParam {
+				ctxUsed = true
+			}
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		switch fn.FullName() {
+		case "context.Background", "context.TODO":
+			if hasCtx {
+				pass.Reportf(call.Pos(), "%s inside a function that already has a ctx parameter severs cancellation; pass the caller's ctx", fn.FullName())
+			} else if fn.Name() == "TODO" {
+				pass.Reportf(call.Pos(), "context.TODO marks unfinished threading; use context.Background in a compatibility wrapper or thread a real ctx")
+			} else if !inCtxWrapperPosition(pass, fd, call) {
+				pass.Reportf(call.Pos(), "context.Background outside the compatibility-wrapper position (an argument to a *Ctx sibling); thread a ctx parameter instead")
+			}
+			return true
+		}
+		if hasCtx && funcHasCtxParam(fn.Type().(*types.Signature)) == nil {
+			if sib := ctxSibling(fn); sib != "" {
+				pass.Reportf(call.Pos(), "ctx is in scope but %s is called without it; use %s", fn.Name(), sib)
+			}
+		}
+		return true
+	})
+	if hasCtx && !ctxUsed && ctxParam.Name() != "" && ctxParam.Name() != "_" {
+		pass.Reportf(fd.Pos(), "ctx parameter %q is never used; thread it into callees (or name it _ to document that %s ignores cancellation)", ctxParam.Name(), fd.Name.Name)
+	}
+}
+
+// inCtxWrapperPosition reports whether call (a context.Background call)
+// is directly an argument of a call to a *Ctx-suffixed function inside
+// fd — the documented compatibility-wrapper shape.
+func inCtxWrapperPosition(pass *Pass, fd *ast.FuncDecl, bg *ast.CallExpr) bool {
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		outer, isCall := n.(*ast.CallExpr)
+		if !isCall || ok {
+			return !ok
+		}
+		fn := calleeFunc(pass.TypesInfo, outer)
+		if fn == nil || !strings.HasSuffix(fn.Name(), "Ctx") {
+			return true
+		}
+		for _, arg := range outer.Args {
+			if unparen(arg) == bg {
+				ok = true
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// ctxSibling returns the qualified name of fn's ctx-accepting sibling
+// (fn's name + "Ctx", in the same package scope for functions or the
+// same method set for methods), or "" when none exists.
+func ctxSibling(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	want := fn.Name() + "Ctx"
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), want)
+		if m, ok := obj.(*types.Func); ok && funcHasCtxParam(m.Type().(*types.Signature)) != nil {
+			return typeShortName(recv.Type()) + "." + want
+		}
+		return ""
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	if m, ok := fn.Pkg().Scope().Lookup(want).(*types.Func); ok && funcHasCtxParam(m.Type().(*types.Signature)) != nil {
+		return fn.Pkg().Name() + "." + want
+	}
+	return ""
+}
+
+// typeShortName renders a receiver type as its bare type name.
+func typeShortName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// deprecatedMarker is the godoc deprecation paragraph prefix.
+const deprecatedMarker = "Deprecated:"
+
+// Deprecated bans the deprecation marker outright. PR 4 retired the
+// panic-era API for good; nothing in this module is allowed to carry a
+// godoc deprecation paragraph, because a deprecated-but-present symbol
+// is exactly the half-retired state that produced the panic-era
+// compatibility bugs. Remove the symbol instead of marking it. This
+// analyzer replaces the old CI grep gate.
+var Deprecated = &Analyzer{
+	Name: "deprecated",
+	Doc:  "report godoc deprecation markers; this module removes symbols instead of deprecating them",
+	Run:  runDeprecated,
+}
+
+func runDeprecated(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if deprecatedComment(c.Text) {
+					pass.Reportf(c.Pos(), "deprecation marker found: delete the symbol instead of deprecating it (the panic-era API retirement is final)")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// deprecatedComment reports whether any line of the comment starts a
+// godoc deprecation paragraph.
+func deprecatedComment(text string) bool {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), deprecatedMarker) {
+			return true
+		}
+	}
+	return false
+}

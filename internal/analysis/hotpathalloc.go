@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const hotpathMarker = "almost:hotpath"
+
+// HotPathAlloc enforces the PR-5 zero-allocation contract on functions
+// annotated with a `//almost:hotpath` doc-comment line (simCore, the
+// Into/With APIs, the engine cache-hit path). Inside an annotated
+// function it flags the allocating constructs that PR 5 evicted:
+//
+//   - make and new, unless the make is the documented grow-on-demand
+//     idiom — inside an if whose condition checks cap(...) — which is
+//     amortized-zero and allowed;
+//   - append, which hides a grow;
+//   - map composite literals;
+//   - func literals, which usually escape (and allocate) when they
+//     capture.
+//
+// Intentional allocations (e.g. a returned, caller-owned result slice)
+// carry a //almost:nolint hotpathalloc directive with the reason.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "report allocating constructs inside //almost:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd.Doc, hotpathMarker) {
+				continue
+			}
+			checkHotPathBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotPathBody(pass *Pass, fd *ast.FuncDecl) {
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			switch builtinName(pass.TypesInfo, e) {
+			case "make":
+				if !capGuarded(stack) {
+					pass.Reportf(e.Pos(), "hot path (//%s): make allocates on every call; grow on demand behind a cap() check or reuse a scratch buffer", hotpathMarker)
+				}
+			case "new":
+				pass.Reportf(e.Pos(), "hot path (//%s): new allocates; reuse pooled or caller-owned storage", hotpathMarker)
+			case "append":
+				pass.Reportf(e.Pos(), "hot path (//%s): append may grow and allocate; write into a cap-reserved buffer", hotpathMarker)
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.TypeOf(e); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(e.Pos(), "hot path (//%s): map literal allocates; hoist the map out of the hot path", hotpathMarker)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "hot path (//%s): func literal may escape and allocate; hoist the closure out of the hot path", hotpathMarker)
+			return false // don't double-report constructs inside it
+		}
+		return true
+	})
+}
+
+// capGuarded reports whether the innermost enclosing if statement's
+// condition consults cap(...) — the grow-on-demand idiom:
+//
+//	if cap(buf) < n { buf = make([]T, n) }
+func capGuarded(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "cap" {
+				guarded = true
+			}
+			return !guarded
+		})
+		return guarded
+	}
+	return false
+}

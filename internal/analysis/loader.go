@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the standalone package loader: `almostvet ./...` without
+// go vet in front. It shells out to `go list -export -deps -json`,
+// which compiles (into the build cache) and reports export data for
+// every dependency, then type-checks each target package with the gc
+// importer reading those export files. This is the same data flow the
+// unitchecker path gets handed via the .cfg file, minus cmd/go as the
+// orchestrator.
+
+// listedPackage mirrors the `go list -json` fields the loader consumes.
+type listedPackage struct {
+	Dir         string
+	ImportPath  string
+	Name        string
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	Standard    bool
+	DepOnly     bool
+	ForTest     string
+	ImportMap   map[string]string
+	Error       *struct{ Err string }
+}
+
+// goList runs `go list -e -export -json` with the given extra
+// arguments in dir and decodes the JSON stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadPackages loads, parses, and type-checks the packages matching
+// patterns (relative to dir), including in-package test variants, ready
+// for RunAnalyzers. Generated test-main packages and pure dependencies
+// are loaded for their export data only.
+func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, append([]string{"-deps", "-test"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // generated test main
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := typeCheckListed(p, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// typeCheckListed parses and type-checks one listed package against the
+// export data of its dependencies.
+func typeCheckListed(p *listedPackage, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := newTypesInfo()
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{Path: p.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// newTypesInfo allocates the maps the analyzers consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// RegistryDiscipline enforces the PR-4 adversary-zoo registration
+// contract:
+//
+//   - RegisterAttacker / RegisterLocker may be called only from an init
+//     function or from a same-named forwarder (the public almost.Register*
+//     wrappers). Registration from arbitrary call paths makes the zoo's
+//     contents order- and timing-dependent.
+//   - The returned error must be consumed: discarding it hides duplicate
+//     or empty registration keys until an experiment silently runs the
+//     wrong ensemble.
+//   - Every Attacker/Locker implementation's Name method must return a
+//     constant lowercase literal or a receiver field, so the registration
+//     key is stable and greppable; computed names break CLI listing and
+//     scenario parsing.
+//
+// Test files are exempt (registry tests exercise the failure paths
+// deliberately).
+var RegistryDiscipline = &Analyzer{
+	Name: "registrydiscipline",
+	Doc:  "report attacker/locker registrations outside init and unstable Name() keys",
+	Run:  runRegistryDiscipline,
+}
+
+func runRegistryDiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		pluggable := pluggableReceivers(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRegisterCalls(pass, fd)
+			checkNameMethod(pass, fd, pluggable)
+		}
+	}
+	return nil
+}
+
+// pluggableReceivers collects receiver type names that carry an
+// AttackCtx or LockCtx method in this file — the syntactic signature of
+// an Attacker/Locker implementation.
+func pluggableReceivers(f *ast.File) map[string]bool {
+	out := map[string]bool{}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil {
+			continue
+		}
+		if fd.Name.Name == "AttackCtx" || fd.Name.Name == "LockCtx" {
+			if name := recvTypeName(fd); name != "" {
+				out[name] = true
+			}
+		}
+	}
+	return out
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func checkRegisterCalls(pass *Pass, fd *ast.FuncDecl) {
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || (fn.Name() != "RegisterAttacker" && fn.Name() != "RegisterLocker") {
+			return true
+		}
+		if fd.Name.Name != "init" && fd.Name.Name != fn.Name() {
+			pass.Reportf(call.Pos(), "%s must be called from init (or a same-named forwarder), not from %s: late registration makes the zoo order-dependent", fn.Name(), fd.Name.Name)
+		}
+		if registerErrorDiscarded(stack, call) {
+			pass.Reportf(call.Pos(), "%s error discarded: duplicate or empty registration keys would go unnoticed", fn.Name())
+		}
+		return true
+	})
+}
+
+// registerErrorDiscarded reports whether the registration call's error
+// result is thrown away: a bare expression statement, or an assignment
+// to blank.
+func registerErrorDiscarded(stack []ast.Node, call *ast.CallExpr) bool {
+	switch p := parentNode(stack).(type) {
+	case *ast.ExprStmt:
+		return true
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if unparen(rhs) != call || i >= len(p.Lhs) {
+				continue
+			}
+			if id, ok := p.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkNameMethod validates Name() on Attacker/Locker implementations:
+// the body must be a single return of a lowercase string literal or of
+// a receiver field selector.
+func checkNameMethod(pass *Pass, fd *ast.FuncDecl, pluggable map[string]bool) {
+	if fd.Recv == nil || fd.Name.Name != "Name" || !pluggable[recvTypeName(fd)] {
+		return
+	}
+	if len(fd.Body.List) != 1 {
+		pass.Reportf(fd.Pos(), "Name() of a registered scheme must be a single return of a constant lowercase literal (or receiver field); the registration key must be stable")
+		return
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		pass.Reportf(fd.Pos(), "Name() of a registered scheme must return exactly one value")
+		return
+	}
+	switch e := unparen(ret.Results[0]).(type) {
+	case *ast.BasicLit:
+		name, err := strconv.Unquote(e.Value)
+		if err != nil || name == "" || name != strings.ToLower(name) || strings.ContainsAny(name, " \t") {
+			pass.Reportf(e.Pos(), "registration key %s must be a non-empty lowercase literal with no spaces", e.Value)
+		}
+	case *ast.SelectorExpr:
+		// A receiver field (e.g. `return a.name`): the key is fixed at
+		// construction time, which the registry validates at Register.
+		if _, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); !ok {
+			pass.Reportf(e.Pos(), "Name() must return a constant literal or a receiver field, not a computed value")
+		}
+	default:
+		pass.Reportf(ret.Pos(), "Name() must return a constant lowercase literal or a receiver field, not a computed value")
+	}
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SatOutcome enforces the PR-6 budget discipline at every
+// sat.Solver.Solve call site: Unknown (budget exhausted / cancelled)
+// must be handled distinctly from Unsat. Collapsing the three-valued
+// Status to a boolean (st == Unsat, st != Sat) silently converts a
+// timeout into a proof, which is exactly how budgeted exact reasoning
+// goes wrong. A call site is compliant when the result is
+//
+//   - returned to the caller (the caller owns the decision),
+//   - switched on with an explicit Unknown case, or with both Sat and
+//     Unsat cases so Unknown reaches a distinct default path, or
+//   - compared against Unknown.
+//
+// Test files are exempt: assertions like `if s.Solve() != Sat` pin an
+// expected outcome rather than make a budget decision.
+var SatOutcome = &Analyzer{
+	Name: "satoutcome",
+	Doc:  "report sat.Solver.Solve call sites that conflate Unknown with Unsat",
+	Run:  runSatOutcome,
+}
+
+func runSatOutcome(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSolveSites(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkSolveSites(pass *Pass, fd *ast.FuncDecl) {
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSolverSolve(pass.TypesInfo, call) {
+			return true
+		}
+		if !solveHandled(pass, fd, stack, call) {
+			pass.Reportf(call.Pos(), "Solve result must distinguish Unknown from Unsat: return it, switch with an Unknown (or Sat+Unsat) case, or compare against Unknown")
+		}
+		return true
+	})
+}
+
+// isSolverSolve reports whether call invokes the Solve method of a
+// sat-package Solver.
+func isSolverSolve(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Solve" || fn.Pkg() == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return false
+	}
+	return typeShortName(recv.Type()) == "Solver" && pkgPathTail(fn.Pkg().Path(), "sat")
+}
+
+// solveHandled decides compliance from the call's syntactic context;
+// stack is the path from fd.Body down to call (inclusive).
+func solveHandled(pass *Pass, fd *ast.FuncDecl, stack []ast.Node, call *ast.CallExpr) bool {
+	parent := parentNode(stack)
+	switch p := parent.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.SwitchStmt:
+		if unparen(p.Tag) == call {
+			return switchCasesCompliant(pass, p)
+		}
+	case *ast.BinaryExpr:
+		if p.Op == token.EQL || p.Op == token.NEQ {
+			other := p.X
+			if unparen(other) == call {
+				other = p.Y
+			}
+			return statusConstName(pass.TypesInfo, other) == "Unknown"
+		}
+	case *ast.AssignStmt:
+		obj := assignedObj(pass.TypesInfo, p, call)
+		if obj != nil {
+			return statusVarHandled(pass, fd, obj)
+		}
+	}
+	return false
+}
+
+// parentNode returns the nearest enclosing node that is not a paren
+// wrapper around the top of the stack.
+func parentNode(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, isParen := stack[i].(*ast.ParenExpr); isParen {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// switchCasesCompliant reports whether the switch distinguishes Unknown:
+// either an explicit Unknown case, or both Sat and Unsat cases so that
+// Unknown flows to a distinct default path.
+func switchCasesCompliant(pass *Pass, sw *ast.SwitchStmt) bool {
+	var hasUnknown, hasSat, hasUnsat bool
+	for _, st := range sw.Body.List {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			switch statusConstName(pass.TypesInfo, e) {
+			case "Unknown":
+				hasUnknown = true
+			case "Sat":
+				hasSat = true
+			case "Unsat":
+				hasUnsat = true
+			}
+		}
+	}
+	return hasUnknown || (hasSat && hasUnsat)
+}
+
+// assignedObj returns the object bound to the Solve result in an
+// assignment like `st := s.Solve(...)` (or `st = ...`), or nil when the
+// result position can't be resolved to a single named variable.
+func assignedObj(info *types.Info, as *ast.AssignStmt, call *ast.CallExpr) types.Object {
+	for i, rhs := range as.Rhs {
+		if unparen(rhs) != call || i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if def := info.Defs[id]; def != nil {
+			return def
+		}
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// statusVarHandled scans fd for a compliant use of the status variable:
+// a switch over it with compliant cases, a comparison against Unknown,
+// or a return statement carrying it.
+func statusVarHandled(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	handled := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if handled {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SwitchStmt:
+			if id, ok := unparen(e.Tag).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				handled = switchCasesCompliant(pass, e)
+			}
+		case *ast.BinaryExpr:
+			if e.Op != token.EQL && e.Op != token.NEQ {
+				return true
+			}
+			xIs := identIsObj(pass.TypesInfo, e.X, obj)
+			yIs := identIsObj(pass.TypesInfo, e.Y, obj)
+			if (xIs && statusConstName(pass.TypesInfo, e.Y) == "Unknown") ||
+				(yIs && statusConstName(pass.TypesInfo, e.X) == "Unknown") {
+				handled = true
+			}
+		case *ast.ReturnStmt:
+			// Only the status itself being returned counts; returning a
+			// derived boolean is exactly the collapse being policed.
+			for _, r := range e.Results {
+				if identIsObj(pass.TypesInfo, r, obj) {
+					handled = true
+				}
+			}
+		}
+		return !handled
+	})
+	return handled
+}
+
+func identIsObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// statusConstName returns "Unknown"/"Sat"/"Unsat" when e resolves to
+// the corresponding sat.Status constant, else "".
+func statusConstName(info *types.Info, e ast.Expr) string {
+	var obj types.Object
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil || !pkgPathTail(c.Pkg().Path(), "sat") {
+		return ""
+	}
+	if named, ok := c.Type().(*types.Named); !ok || named.Obj().Name() != "Status" {
+		return ""
+	}
+	switch c.Name() {
+	case "Unknown", "Sat", "Unsat":
+		return c.Name()
+	}
+	return ""
+}

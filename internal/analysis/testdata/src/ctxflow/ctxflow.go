@@ -1,0 +1,74 @@
+// Package ctxflow exercises the ctxflow analyzer.
+package ctxflow
+
+import "context"
+
+// EvalCtx is the ctx-aware primitive the package is built around.
+func EvalCtx(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+		return n
+	}
+}
+
+// Eval is the documented compatibility-wrapper shape: no ctx parameter,
+// Background passed straight into the Ctx sibling.
+func Eval(n int) int {
+	return EvalCtx(context.Background(), n)
+}
+
+// Minting a fresh context while one is in scope severs cancellation.
+func evalTwice(ctx context.Context, n int) int {
+	a := EvalCtx(ctx, n)
+	b := EvalCtx(context.Background(), n) // want `severs cancellation`
+	return a + b
+}
+
+// TODO is never acceptable in library code.
+func evalTodo(n int) int {
+	return EvalCtx(context.TODO(), n) // want `context.TODO marks unfinished threading`
+}
+
+// Background outside the wrapper argument position is flagged even
+// without a ctx parameter in scope.
+func evalStored(n int) int {
+	bg := context.Background() // want `outside the compatibility-wrapper position`
+	return EvalCtx(bg, n)
+}
+
+// Calling the ctx-less variant while holding a ctx drops it.
+func evalDropped(ctx context.Context, n int) int {
+	_ = ctx.Err()
+	return Eval(n) // want `ctx is in scope but Eval is called without it; use ctxflow.EvalCtx`
+}
+
+// An unused named ctx parameter is dead weight or a latent drop.
+func evalIgnored(ctx context.Context, n int) int { // want `ctx parameter "ctx" is never used`
+	return n
+}
+
+// Naming the parameter _ documents that cancellation is ignored.
+func evalUncancellable(_ context.Context, n int) int {
+	return n
+}
+
+// A reasoned directive suppresses the finding.
+func evalDetached(ctx context.Context, n int) int {
+	_ = ctx.Err()
+	//almost:nolint ctxflow // detached audit logging must survive caller cancellation
+	return EvalCtx(context.Background(), n)
+}
+
+// Method pairs resolve through the receiver's method set.
+type Runner struct{}
+
+func (Runner) Run(n int) int { return n }
+
+func (Runner) RunCtx(ctx context.Context, n int) int { return EvalCtx(ctx, n) }
+
+func runDropped(ctx context.Context, r Runner, n int) int {
+	_ = ctx.Err()
+	return r.Run(n) // want `ctx is in scope but Run is called without it; use Runner.RunCtx`
+}

@@ -1,0 +1,12 @@
+// Package deprecate exercises the analyzer that bans godoc deprecation
+// markers: symbols are removed, never marked.
+package deprecate
+
+// OldEval is the retired shape.
+//
+// Deprecated: use Eval instead. // want `deprecation marker found`
+func OldEval(n int) int { return n }
+
+// Eval mentions that something was deprecated mid-sentence, which is
+// prose, not a marker paragraph.
+func Eval(n int) int { return n }

@@ -1,0 +1,51 @@
+// Package engine exercises the mapdeterminism analyzer: the package
+// name stands in for the real determinism-critical packages, which are
+// matched by import-path tail.
+package engine
+
+import "sort"
+
+// Folding directly in map order is the bug class.
+func foldUnsorted(scores map[string]float64) float64 {
+	var total float64
+	for _, v := range scores { // want `map iteration order is random`
+		total += v
+	}
+	return total
+}
+
+// Collect-then-sort is the sanctioned shape: a pure append body is
+// allowed, and the sorted iteration that follows ranges over a slice.
+func foldSorted(scores map[string]float64) float64 {
+	var names []string
+	for name := range scores {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var total float64
+	for _, name := range names {
+		total += scores[name]
+	}
+	return total
+}
+
+// A reasoned directive suppresses the finding.
+func foldCommutative(counts map[string]int) int {
+	n := 0
+	//almost:nolint mapdeterminism // integer addition is commutative and associative; order cannot reach the result
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// A mixed body is not a pure collection.
+func collectAndCount(scores map[string]float64) ([]string, int) {
+	var names []string
+	n := 0
+	for name := range scores { // want `map iteration order is random`
+		names = append(names, name)
+		n++
+	}
+	return names, n
+}

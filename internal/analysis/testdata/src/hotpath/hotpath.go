@@ -1,0 +1,44 @@
+// Package hotpath exercises the hotpathalloc analyzer.
+package hotpath
+
+// Annotated: every allocating construct is flagged.
+//
+//almost:hotpath
+func bad(n int) []int {
+	s := make([]int, n) // want `make allocates on every call`
+	p := new(int)       // want `new allocates`
+	s = append(s, *p)   // want `append may grow and allocate`
+	m := map[int]int{}  // want `map literal allocates`
+	_ = m
+	f := func() int { return n } // want `func literal may escape`
+	_ = f
+	return s
+}
+
+// Annotated: the grow-on-demand idiom is allowed.
+//
+//almost:hotpath
+func growOnDemand(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	return buf[:n]
+}
+
+// Annotated: a justified allocation is suppressed with a reasoned
+// directive.
+//
+//almost:hotpath
+func ownedResult(n int) []int {
+	out := make([]int, n) //almost:nolint hotpathalloc // the result is caller-owned by contract
+	return out
+}
+
+// Unannotated functions may allocate freely.
+func cold(n int) []int {
+	s := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, i)
+	}
+	return s
+}

@@ -1,0 +1,66 @@
+// Package registry exercises the registrydiscipline analyzer.
+package registry
+
+import "errors"
+
+// Attacker is the pluggable-attack shape (recognized syntactically by
+// its AttackCtx method).
+type Attacker interface {
+	Name() string
+	AttackCtx() error
+}
+
+// RegisterAttacker records an attacker under its Name key.
+func RegisterAttacker(a Attacker) error {
+	if a == nil || a.Name() == "" {
+		return errors.New("registry: invalid attacker")
+	}
+	return nil
+}
+
+type goodAttacker struct{}
+
+func (goodAttacker) Name() string     { return "good" }
+func (goodAttacker) AttackCtx() error { return nil }
+
+type fieldAttacker struct{ name string }
+
+// A receiver field is a stable key fixed at construction time.
+func (a fieldAttacker) Name() string     { return a.name }
+func (a fieldAttacker) AttackCtx() error { return nil }
+
+type shoutingAttacker struct{}
+
+func (shoutingAttacker) Name() string {
+	return "SHOUTING" // want `registration key "SHOUTING" must be a non-empty lowercase literal`
+}
+func (shoutingAttacker) AttackCtx() error { return nil }
+
+type computedAttacker struct{}
+
+func (computedAttacker) Name() string {
+	return "com" + "puted" // want `Name\(\) must return a constant lowercase literal or a receiver field`
+}
+func (computedAttacker) AttackCtx() error { return nil }
+
+func init() {
+	if err := RegisterAttacker(goodAttacker{}); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	RegisterAttacker(fieldAttacker{name: "field"})     // want `RegisterAttacker error discarded`
+	_ = RegisterAttacker(fieldAttacker{name: "blank"}) // want `RegisterAttacker error discarded`
+}
+
+// Registration outside init makes the zoo order-dependent.
+func enableLate(a Attacker) error {
+	return RegisterAttacker(a) // want `RegisterAttacker must be called from init`
+}
+
+// A reasoned directive suppresses the finding.
+func enableForBenchmarks(a Attacker) error {
+	//almost:nolint registrydiscipline // the benchmark harness swaps zoos per run and owns the registry lifecycle
+	return RegisterAttacker(a)
+}

@@ -1,0 +1,17 @@
+// Package registryfwd exercises the same-named-forwarder exemption of
+// registrydiscipline: the public API surface re-exports the registry
+// entry points, which is not a late registration.
+package registryfwd
+
+import "registry"
+
+// RegisterAttacker forwards to the internal registry; same-named
+// forwarders are the one sanctioned non-init call site.
+func RegisterAttacker(a registry.Attacker) error {
+	return registry.RegisterAttacker(a)
+}
+
+// enable is not a forwarder: the call escapes init discipline.
+func enable(a registry.Attacker) error {
+	return registry.RegisterAttacker(a) // want `RegisterAttacker must be called from init`
+}

@@ -1,0 +1,74 @@
+// Package satuse exercises the satoutcome analyzer.
+package satuse
+
+import "sat"
+
+// Comparing to Unsat collapses Unknown into the wrong branch.
+func collapsedUnsat(s *sat.Solver) bool {
+	return s.Solve() == sat.Unsat // want `Solve result must distinguish Unknown from Unsat`
+}
+
+// Discarding the outcome is worse still.
+func discarded(s *sat.Solver) {
+	s.Solve() // want `Solve result must distinguish Unknown from Unsat`
+}
+
+// A switch that only separates Unsat from everything else conflates
+// Unknown with Sat.
+func collapsedSwitch(s *sat.Solver) bool {
+	switch s.Solve() { // want `Solve result must distinguish Unknown from Unsat`
+	case sat.Unsat:
+		return false
+	default:
+		return true
+	}
+}
+
+// Returning the status hands the decision to the caller.
+func forwarded(s *sat.Solver) sat.Status {
+	return s.Solve()
+}
+
+// An explicit Unknown case is compliant.
+func explicitUnknown(s *sat.Solver) int {
+	switch s.Solve() {
+	case sat.Unknown:
+		return 0
+	case sat.Unsat:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Sat and Unsat cases leave Unknown a distinct default path.
+func satUnsatSplit(s *sat.Solver) int {
+	st := s.Solve()
+	switch st {
+	case sat.Sat:
+		return 1
+	case sat.Unsat:
+		return 2
+	}
+	return 0
+}
+
+// Comparing against Unknown is a budget check.
+func budgetCheck(s *sat.Solver) bool {
+	return s.Solve() != sat.Unknown
+}
+
+// The assigned variable may be checked later in the function.
+func deferredCheck(s *sat.Solver) bool {
+	st := s.Solve()
+	if st == sat.Unknown {
+		return false
+	}
+	return st == sat.Sat
+}
+
+// A reasoned directive suppresses the finding.
+func provenTotal(s *sat.Solver) bool {
+	//almost:nolint satoutcome // the formula is constructed without budget limits, so Unknown cannot occur
+	return s.Solve() == sat.Sat
+}

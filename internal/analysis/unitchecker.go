@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` protocol (the x/tools
+// "unitchecker" role) plus the standalone pattern mode. cmd/go probes
+// the tool with -V=full (cache key) and -flags (supported flags), then
+// invokes it once per package with a single *.cfg argument describing
+// the compiled package: file list, import map, and export-data paths.
+// Exit status 2 reports findings; 1 reports tool failure.
+
+// vetConfig mirrors the JSON payload cmd/go writes to the .cfg file.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// triState distinguishes an unset analyzer flag from an explicit
+// true/false, matching cmd/go's analyzer-selection convention: if any
+// analyzer flag is explicitly true, only those analyzers run; explicit
+// falses subtract from the full suite.
+type triState int
+
+const (
+	unset triState = iota
+	setTrue
+	setFalse
+)
+
+func (t *triState) String() string {
+	return map[triState]string{setTrue: "true", setFalse: "false"}[*t]
+}
+
+func (t *triState) Set(s string) error {
+	switch s {
+	case "true", "":
+		*t = setTrue
+	case "false":
+		*t = setFalse
+	default:
+		return fmt.Errorf("invalid boolean %q", s)
+	}
+	return nil
+}
+
+func (t *triState) IsBoolFlag() bool { return true }
+
+// versionFlag implements -V=full: cmd/go hashes this output into its
+// action cache key, so it must change whenever the tool binary does.
+type versionFlag struct{}
+
+func (versionFlag) String() string { return "" }
+func (versionFlag) IsBoolFlag() bool {
+	return true
+}
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+// Main is the entry point shared by cmd/almostvet: it speaks the
+// vettool protocol when handed a .cfg file and otherwise loads the
+// argument patterns itself.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: %s [-analyzer...] package...\n", progname)
+		fmt.Fprintf(fs.Output(), "   or: go vet -vettool=$(command -v %s) package...\n\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(fs.Output(), "  %-20s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	fs.Var(versionFlag{}, "V", "print version and exit")
+	printflags := fs.Bool("flags", false, "print analyzer flags in JSON")
+	jsonOut := fs.Bool("json", false, "emit JSON output")
+	selection := make(map[string]*triState, len(analyzers))
+	for _, a := range analyzers {
+		t := new(triState)
+		fs.Var(t, a.Name, "enable "+a.Name+" analysis")
+		selection[a.Name] = t
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+	if *printflags {
+		printFlagsJSON(fs)
+		os.Exit(0)
+	}
+	enabled := selectAnalyzers(analyzers, selection)
+	args := fs.Args()
+	switch {
+	case len(args) == 0:
+		fs.Usage()
+		os.Exit(1)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		runVetConfig(args[0], enabled, *jsonOut)
+	default:
+		runPatterns(args, enabled, *jsonOut)
+	}
+}
+
+// printFlagsJSON emits the flag inventory cmd/go reads to decide which
+// command-line flags it may forward to the tool.
+func printFlagsJSON(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// selectAnalyzers applies the triState flag convention.
+func selectAnalyzers(analyzers []*Analyzer, selection map[string]*triState) []*Analyzer {
+	anyTrue := false
+	for _, t := range selection {
+		if *t == setTrue {
+			anyTrue = true
+		}
+	}
+	var out []*Analyzer
+	for _, a := range analyzers {
+		t := *selection[a.Name]
+		if (anyTrue && t == setTrue) || (!anyTrue && t != setFalse) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// runVetConfig analyzes the single package described by a cmd/go .cfg
+// file and exits with the protocol status.
+func runVetConfig(cfgPath string, analyzers []*Analyzer, jsonOut bool) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("parsing %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOnly {
+		// Facts-only invocation for a dependency; this suite keeps no
+		// cross-package facts, so an empty vetx satisfies cmd/go.
+		writeVetx(cfg.VetxOutput)
+		os.Exit(0)
+	}
+	pkg, err := typeCheckVetConfig(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput)
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeVetx(cfg.VetxOutput)
+	reportAndExit(cfg.ID, pkg.Fset, diags, jsonOut)
+}
+
+// typeCheckVetConfig builds a Package from the .cfg description, using
+// the export-data files cmd/go already compiled.
+func typeCheckVetConfig(cfg *vetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	return &Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func writeVetx(path string) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, nil, 0o666); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runPatterns is the standalone mode: load the patterns with go list
+// and analyze every matched package.
+func runPatterns(patterns []string, analyzers []*Analyzer, jsonOut bool) {
+	pkgs, err := LoadPackages(".", patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(diags) > 0 {
+			exit = 2
+		}
+		printDiagnostics(pkg.Path, pkg.Fset, diags, jsonOut)
+	}
+	os.Exit(exit)
+}
+
+// reportAndExit prints one package's findings and exits with the
+// vettool protocol status: 0 clean, 2 findings (JSON mode always exits
+// 0 and lets cmd/go interpret the payload).
+func reportAndExit(id string, fset *token.FileSet, diags []Diagnostic, jsonOut bool) {
+	printDiagnostics(id, fset, diags, jsonOut)
+	if len(diags) > 0 && !jsonOut {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func printDiagnostics(id string, fset *token.FileSet, diags []Diagnostic, jsonOut bool) {
+	if jsonOut {
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := make(map[string][]jsonDiag)
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{fset.Position(d.Pos).String(), d.Message})
+		}
+		out, err := json.MarshalIndent(map[string]map[string][]jsonDiag{id: byAnalyzer}, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}

@@ -153,9 +153,11 @@ func TrainOnDataCtx(ctx context.Context, data []*gnn.Graph, cfg Config,
 // PredictKeyWith predicts every key bit of the netlist, in key-input
 // order, using sc's pooled inference matrices (nil for a private
 // scratch). Predictions are bit-for-bit identical for any scratch.
+//
+//almost:hotpath
 func (a *Attack) PredictKeyWith(sc *gnn.Scratch, g *aig.AIG) lock.Key {
 	gs := a.Ext.All(g)
-	key := make(lock.Key, len(gs))
+	key := make(lock.Key, len(gs)) //almost:nolint hotpathalloc // the returned key is caller-owned by contract
 	for i, sg := range gs {
 		key[i] = a.Model.PredictWith(sc, sg) == 1
 	}
@@ -182,6 +184,8 @@ func (a *Attack) PredictKeyIndices(g *aig.AIG, kis []int) lock.Key {
 // using sc's pooled inference matrices (nil for a private scratch) —
 // the per-candidate evaluation of the Eq. 1 search, where the engine
 // hands every worker its own scratch.
+//
+//almost:hotpath
 func (a *Attack) AccuracyWith(sc *gnn.Scratch, g *aig.AIG, truth lock.Key) float64 {
 	return lock.Accuracy(truth, a.PredictKeyWith(sc, g))
 }

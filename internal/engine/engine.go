@@ -86,9 +86,11 @@ func RecipeKey(r synth.Recipe) string {
 // appendRecipeKey appends r's canonical key bytes to dst. With a
 // stack-backed dst and a map lookup of the form m[string(key)] the whole
 // path is allocation-free (the compiler elides the string conversion).
+//
+//almost:hotpath
 func appendRecipeKey(dst []byte, r synth.Recipe) []byte {
 	for _, s := range r {
-		dst = append(dst, byte(s))
+		dst = append(dst, byte(s)) //almost:nolint hotpathalloc // dst is a stack-backed [32]byte that never grows past a recipe's length
 	}
 	return dst
 }
@@ -210,6 +212,8 @@ func (e *Evaluator) Evaluate(r synth.Recipe) float64 {
 // EvaluateCtx is the cancellable variant of Evaluate. A settled cache hit
 // is answered inline without allocating; misses go through the batch
 // path (worker dispatch, single-flight deduplication).
+//
+//almost:hotpath
 func (e *Evaluator) EvaluateCtx(ctx context.Context, r synth.Recipe) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -422,6 +426,8 @@ func (e *Evaluator) await(ctx context.Context, r synth.Recipe, key string, en *e
 // Cached returns the settled cached score of r, if present. An
 // in-flight evaluation does not count as cached. Like EvaluateCtx's hit
 // path, the lookup is allocation-free.
+//
+//almost:hotpath
 func (e *Evaluator) Cached(r synth.Recipe) (float64, bool) {
 	var kb [32]byte
 	key := appendRecipeKey(kb[:0], r)

@@ -142,8 +142,12 @@ func RunTableII(ctx context.Context, opt Options) (TableIIResult, error) {
 			res.Recipes[bench] = map[int]synth.Recipe{}
 		}
 		res.Recipes[bench][keySize] = p.recipe
-		for name, cell := range p.cells {
-			rows[name][keySize].Cells[bench] = cell
+		// Fold in canonical attack order, not map order: the row maps are
+		// keyed per attack, and iterating p.cells directly would fill
+		// them in a randomized order (harmless today, but exactly the
+		// shape mapdeterminism exists to keep out of reduction paths).
+		for _, name := range attacks {
+			rows[name][keySize].Cells[bench] = p.cells[name]
 		}
 	}
 	for _, atk := range attacks {

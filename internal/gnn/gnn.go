@@ -88,6 +88,8 @@ func aggregate(h *nn.Matrix, adj [][]int, eps float64) *nn.Matrix {
 
 // aggregateInto computes (1+eps)H + A·H into dst (same shape as h, fully
 // overwritten), returning dst.
+//
+//almost:hotpath
 func aggregateInto(dst, h *nn.Matrix, adj [][]int, eps float64) *nn.Matrix {
 	for i := 0; i < h.R; i++ {
 		sr := dst.Row(i)
@@ -311,6 +313,8 @@ func (m *Model) backward(c *forwardCache, dLogits *nn.Matrix) {
 
 // PredictProbWith returns P(label=1) for one graph, using sc's pooled
 // matrices (nil for a private scratch).
+//
+//almost:hotpath
 func (m *Model) PredictProbWith(sc *Scratch, g *Graph) float64 {
 	if sc == nil {
 		sc = NewScratch()
@@ -326,6 +330,8 @@ func (m *Model) PredictProb(g *Graph) float64 { return m.PredictProbWith(nil, g)
 
 // PredictWith returns the predicted label of one graph, using sc's
 // pooled matrices (nil for a private scratch).
+//
+//almost:hotpath
 func (m *Model) PredictWith(sc *Scratch, g *Graph) int {
 	if m.PredictProbWith(sc, g) >= 0.5 {
 		return 1
@@ -338,6 +344,8 @@ func (m *Model) Predict(g *Graph) int { return m.PredictWith(nil, g) }
 
 // AccuracyWith evaluates classification accuracy on a set, using sc's
 // pooled matrices (nil for a private scratch).
+//
+//almost:hotpath
 func (m *Model) AccuracyWith(sc *Scratch, gs []*Graph) float64 {
 	if len(gs) == 0 {
 		return 0
@@ -359,6 +367,8 @@ func (m *Model) Accuracy(gs []*Graph) float64 { return m.AccuracyWith(nil, gs) }
 
 // LossWith computes, without updating, the mean CE loss on a set, using
 // sc's pooled matrices (nil for a private scratch).
+//
+//almost:hotpath
 func (m *Model) LossWith(sc *Scratch, gs []*Graph) float64 {
 	if sc == nil {
 		sc = NewScratch()

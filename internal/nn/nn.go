@@ -54,6 +54,8 @@ func MatMul(a, b *Matrix) *Matrix {
 // alias a or b), returning dst. It performs the exact accumulation order
 // of MatMul — including the zero-skip — so results are bit-for-bit
 // identical; dst is fully overwritten.
+//
+//almost:hotpath
 func MatMulInto(dst, a, b *Matrix) *Matrix {
 	if a.C != b.R {
 		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C))
@@ -160,6 +162,8 @@ func (l *Linear) Forward(x *Matrix) *Matrix {
 
 // ForwardInto computes X·W + b into dst (which must be R(x)×out and must
 // not alias x), returning dst. Bit-for-bit identical to Forward.
+//
+//almost:hotpath
 func (l *Linear) ForwardInto(dst, x *Matrix) *Matrix {
 	y := MatMulInto(dst, x, l.W.W)
 	for i := 0; i < y.R; i++ {
@@ -208,6 +212,8 @@ func ReLU(x *Matrix) *Matrix {
 // ReLUInPlace clamps x to max(0,x) elementwise without allocating. Only
 // for inference paths: the training path needs the pre-activation kept
 // separate from the mask, so it stays on ReLU.
+//
+//almost:hotpath
 func ReLUInPlace(x *Matrix) *Matrix {
 	for i, v := range x.D {
 		if v < 0 {
