@@ -85,6 +85,7 @@ var commands = map[string]command{
 	"convert":    cmdConvert,
 	"pipeline":   cmdPipeline,
 	"experiment": cmdExperiment,
+	"scaling":    cmdScaling,
 }
 
 func main() {
@@ -142,6 +143,8 @@ commands:
   pipeline    full lock -> harden -> attack flow on any circuit
   experiment  regenerate a paper artifact
               (transfer | table1 | fig4 | table2 | table3 | fig5)
+  scaling     incremental-vs-full candidate-evaluation latency curve
+              (the BENCH_pr8.json artifact)
 
 netlist files may be .bench, .aag, or .aig (format sniffed from the
 extension); -circuit also accepts a built-in benchmark name.
@@ -506,12 +509,18 @@ func cmdTune(ctx context.Context, args []string, stdout, stderr io.Writer) error
 	attacks := attacksFlag(fs)
 	jobs := jobsFlag(fs)
 	progress := progressFlag(fs)
+	cpuProfile, memProfile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *keyFile == "" {
 		return fmt.Errorf("tune: -keyfile is required")
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	g, err := resolveInput("tune", *in, *circuit)
 	if err != nil {
 		return err
@@ -608,12 +617,18 @@ func cmdPipeline(ctx context.Context, args []string, stdout, stderr io.Writer) e
 	keyFile := fs.String("keyfile", "", "optional file to store the correct key")
 	jobs := jobsFlag(fs)
 	progress := progressFlag(fs)
+	cpuProfile, memProfile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *full && *quick {
 		return fmt.Errorf("pipeline: -full and -quick are mutually exclusive")
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	g, err := resolveInput("pipeline", *in, *circuit)
 	if err != nil {
 		return err

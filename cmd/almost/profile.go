@@ -1,0 +1,60 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags registers the shared -cpuprofile/-memprofile flags on the
+// compute-heavy subcommands, so scaling and tuning runs can be profiled
+// without a rebuild.
+func profileFlags(fs *flag.FlagSet) (cpu, mem *string) {
+	cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	return cpu, mem
+}
+
+// startProfiles begins CPU profiling (when cpu is non-empty) and returns
+// a stop function that finishes the CPU profile and writes the heap
+// profile (when mem is non-empty). The stop function is safe to call
+// exactly once, including on error paths via defer; profile-write
+// failures are reported to stderr rather than clobbering the command's
+// own error.
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "almost: -cpuprofile: %v\n", err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "almost: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize the steady-state heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "almost: -memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "almost: -memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,348 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// The scaling benchmark measures what PR 8 is for: the per-candidate
+// cost of evaluating an SA locking/synthesis proposal, incremental
+// (mark -> cone patch -> windowed resynthesis -> delta simulation ->
+// rollback, all against one persistent base with warm scratch state)
+// versus full (clone the base, apply the identical patch and windowed
+// recipe, simulate from scratch — the pre-PR 8 shape of one engine
+// evaluation). Both paths compute the same candidate, and the harness
+// verifies that claim per size: identical scores on every candidate and
+// identical structural digests on sampled candidates, checked in an
+// untimed pass.
+
+// scalingPoint is one circuit size on the curve.
+type scalingPoint struct {
+	Circuit            string  `json:"circuit"`
+	Gates              int     `json:"gates"`
+	Candidates         int     `json:"candidates"`
+	FullNsPerCandidate int64   `json:"full_ns_per_candidate"`
+	IncrNsPerCandidate int64   `json:"incr_ns_per_candidate"`
+	Speedup            float64 `json:"speedup"`
+	DigestVerified     bool    `json:"digest_verified"`
+	ScoresIdentical    bool    `json:"scores_identical"`
+}
+
+// scalingReport is the BENCH_pr8.json artifact.
+type scalingReport struct {
+	Benchmark        string         `json:"benchmark"`
+	Recipe           string         `json:"recipe"`
+	KeysPerCandidate int            `json:"keys_per_candidate"`
+	SigWords         int            `json:"sig_words"`
+	PatchWindow      int            `json:"patch_window"`
+	Seed             int64          `json:"seed"`
+	Points           []scalingPoint `json:"points"`
+}
+
+// scalingCase drives one circuit through both evaluation paths.
+type scalingCase struct {
+	base    *aig.AIG
+	fanouts [][]int
+	recipe  synth.Recipe
+	seed    int64
+	nKeys   int
+	sigW    int
+	window  int
+
+	// warm incremental state, persistent across candidates. mark is
+	// taken once on the pristine base; every rollback restores exactly
+	// that state, so the same mark stays valid for the whole run.
+	mark  aig.Mark
+	arena *synth.Arena
+	sim   *aig.SimScratch
+
+	// warm full-path state (scratch is reused, but every candidate gets a
+	// fresh clone, so simulation and synthesis start cold each time)
+	fullArena *synth.Arena
+	fullSim   *aig.SimScratch
+}
+
+func newScalingCase(base *aig.AIG, recipe synth.Recipe, seed int64, nKeys, sigW, window int) *scalingCase {
+	return &scalingCase{
+		base:      base,
+		fanouts:   base.Fanouts(),
+		recipe:    recipe,
+		seed:      seed,
+		nKeys:     nKeys,
+		sigW:      sigW,
+		window:    window,
+		mark:      base.MarkClean(),
+		arena:     synth.NewArena(),
+		sim:       &aig.SimScratch{},
+		fullArena: synth.NewArena(),
+		fullSim:   &aig.SimScratch{},
+	}
+}
+
+// patch applies candidate c's deterministic locking move to g: XOR a
+// fresh key input into nKeys AND cones via RewriteCone. The base and its
+// clones share node ids, so the same candidate index produces the same
+// patch on either.
+//
+// Targets are drawn from the most recent `window` nodes. Node ids are
+// topological, so a node's transitive fanout lives entirely above it —
+// a bounded window bounds the dirty region, which is what makes the
+// patch a *local* edit (the shape an SA locking move has) instead of a
+// rewrite of a constant fraction of the graph. window <= 0 draws from
+// the whole graph; the artifact records the setting.
+func (sc *scalingCase) patch(g *aig.AIG, c int) {
+	rng := rand.New(rand.NewSource(sc.seed + int64(c)*7919))
+	n := g.NumNodes()
+	w := sc.window
+	if w <= 0 || w > n-1 {
+		w = n - 1
+	}
+	targets := make([]int, 0, sc.nKeys)
+	seen := make(map[int]bool, sc.nKeys)
+	for misses := 0; len(targets) < sc.nKeys; {
+		id := n - 1 - rng.Intn(w)
+		if g.IsAnd(id) && !seen[id] {
+			seen[id] = true
+			targets = append(targets, id)
+			continue
+		}
+		// An AND-sparse tail (tiny or input-heavy circuits): widen until
+		// the draw can succeed.
+		if misses++; misses > 64 && w < n-1 {
+			w *= 2
+			if w > n-1 {
+				w = n - 1
+			}
+			misses = 0
+		}
+	}
+	keys := make([]aig.Lit, len(targets))
+	for i := range keys {
+		keys[i] = g.AddKeyInput(fmt.Sprintf("kp%d", i))
+	}
+	g.RewriteCone(targets, sc.fanouts, func(i int, nl aig.Lit) aig.Lit {
+		return g.Xor(nl, keys[i])
+	})
+}
+
+// score folds the output signature words into one value — a stand-in for
+// the real proxy-attack scoring that depends on every output bit, so a
+// simulation divergence between the two paths cannot cancel out.
+func (sc *scalingCase) score(g *aig.AIG, rows [][]uint64) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < g.NumOutputs(); i++ {
+		po := g.Output(i)
+		row := rows[po.Node()]
+		for _, w := range row {
+			if po.Neg() {
+				w = ^w
+			}
+			h = (h ^ w) * 1099511628211
+		}
+	}
+	return h
+}
+
+// evalIncr scores candidate c against the persistent base: patch in
+// place, windowed resynthesis seeded from the dirty region, delta
+// simulation of the appended suffix, then rollback. Returns the score
+// and (when wantDigest) the patched graph's structural digest, taken
+// before rollback in verification passes only.
+func (sc *scalingCase) evalIncr(c int, wantDigest bool) (uint64, uint64) {
+	g := sc.base
+	m := sc.mark
+	sc.patch(g, c)
+	sc.recipe.RunWindow(g, m, sc.arena)
+	rows := g.SignaturesInto(sc.sim, rand.New(rand.NewSource(sc.seed^0x5EED)), sc.sigW)
+	v := sc.score(g, rows)
+	var d uint64
+	if wantDigest {
+		d = g.StructuralDigest()
+	}
+	g.Rollback(m)
+	sc.sim.TrimTo(g, m.Nodes())
+	return v, d
+}
+
+// evalFull scores candidate c the pre-incremental way: clone the base,
+// apply the identical patch and windowed recipe, simulate from scratch.
+func (sc *scalingCase) evalFull(c int, wantDigest bool) (uint64, uint64) {
+	h := sc.base.Clone()
+	m := h.MarkClean()
+	sc.patch(h, c)
+	sc.recipe.RunWindow(h, m, sc.fullArena)
+	rows := h.SignaturesInto(sc.fullSim, rand.New(rand.NewSource(sc.seed^0x5EED)), sc.sigW)
+	v := sc.score(h, rows)
+	var d uint64
+	if wantDigest {
+		d = h.StructuralDigest()
+	}
+	return v, d
+}
+
+// runPoint measures one circuit size: an untimed identity pass first
+// (digests on sampled candidates), then the timed loops.
+func runPoint(ctx context.Context, name string, base *aig.AIG, recipe synth.Recipe,
+	seed int64, candidates, nKeys, sigW, window int, stderr io.Writer) (scalingPoint, error) {
+	sc := newScalingCase(base, recipe, seed, nKeys, sigW, window)
+	pt := scalingPoint{
+		Circuit:         name,
+		Gates:           base.NumAnds(),
+		Candidates:      candidates,
+		DigestVerified:  true,
+		ScoresIdentical: true,
+	}
+
+	// Verification pass: digest-checked bit-identity on a candidate
+	// sample (digests are O(n), so the sample stays small at 1M gates).
+	verify := candidates
+	if verify > 4 {
+		verify = 4
+	}
+	for c := 0; c < verify; c++ {
+		if err := ctx.Err(); err != nil {
+			return pt, err
+		}
+		vi, di := sc.evalIncr(c, true)
+		vf, df := sc.evalFull(c, true)
+		if di != df {
+			pt.DigestVerified = false
+		}
+		if vi != vf {
+			pt.ScoresIdentical = false
+		}
+	}
+	if !pt.DigestVerified || !pt.ScoresIdentical {
+		return pt, fmt.Errorf("scaling: %s: incremental and full paths diverged (digest ok=%v, scores ok=%v)",
+			name, pt.DigestVerified, pt.ScoresIdentical)
+	}
+
+	// Timed passes. The verification loop doubled as warmup for both
+	// paths' scratch state. Scores are compared across the full candidate
+	// set as a cheap identity check on every timed evaluation too.
+	incrScores := make([]uint64, candidates)
+	start := time.Now()
+	for c := 0; c < candidates; c++ {
+		incrScores[c], _ = sc.evalIncr(c, false)
+	}
+	incrNs := time.Since(start).Nanoseconds() / int64(candidates)
+
+	if err := ctx.Err(); err != nil {
+		return pt, err
+	}
+	start = time.Now()
+	for c := 0; c < candidates; c++ {
+		v, _ := sc.evalFull(c, false)
+		if v != incrScores[c] {
+			pt.ScoresIdentical = false
+		}
+	}
+	fullNs := time.Since(start).Nanoseconds() / int64(candidates)
+	if !pt.ScoresIdentical {
+		return pt, fmt.Errorf("scaling: %s: timed passes disagree on candidate scores", name)
+	}
+
+	pt.IncrNsPerCandidate = incrNs
+	pt.FullNsPerCandidate = fullNs
+	if incrNs > 0 {
+		pt.Speedup = float64(fullNs) / float64(incrNs)
+	}
+	fmt.Fprintf(stderr, "scaling: %-9s %8d gates  full %10.3fms  incr %10.3fms  speedup %6.1fx\n",
+		name, pt.Gates, float64(fullNs)/1e6, float64(incrNs)/1e6, pt.Speedup)
+	return pt, nil
+}
+
+// resolveScalingCircuit turns one -sizes entry into a named circuit: a
+// registered benchmark name (built-in or synthetic preset), or a bare
+// integer gate count generating an ad-hoc mixed-profile circuit.
+func resolveScalingCircuit(entry string, seed int64) (string, *aig.AIG, error) {
+	if n, err := strconv.Atoi(entry); err == nil {
+		if n < 10 {
+			return "", nil, fmt.Errorf("scaling: ad-hoc size %d too small", n)
+		}
+		ins := 32
+		for ins*ins < n {
+			ins *= 2
+		}
+		g := circuits.RandomCircuitProfile(rand.New(rand.NewSource(seed)), ins, 32, n, circuits.DepthMixed)
+		return fmt.Sprintf("rand%d", n), g, nil
+	}
+	g, err := loadCircuit(entry)
+	if err != nil {
+		return "", nil, err
+	}
+	return entry, g, nil
+}
+
+// cmdScaling produces the incremental-vs-full candidate-evaluation
+// latency curve (the BENCH_pr8.json artifact).
+func cmdScaling(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("scaling", stderr)
+	sizes := fs.String("sizes", "rand10k,rand100k,rand1m",
+		"comma-separated circuit entries: benchmark names (built-in or synthetic preset) or bare gate counts")
+	candidates := fs.Int("candidates", 16, "SA candidates evaluated per path per size")
+	nKeys := fs.Int("keys", 4, "key gates inserted per candidate patch")
+	window := fs.Int("patchwindow", 512,
+		"draw patch targets from the most recent N nodes, bounding the dirty region (0 = whole graph)")
+	sigW := fs.Int("sigwords", 4, "signature width in 64-bit words")
+	seed := fs.Int64("seed", 1, "patch/generation seed")
+	recipeStr := fs.String("recipe", "resyn2", `windowed recipe applied per candidate (script or "resyn2")`)
+	out := fs.String("o", "", "output JSON path (default stdout)")
+	cpuProfile, memProfile := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *candidates < 1 || *nKeys < 1 || *sigW < 1 {
+		return fmt.Errorf("scaling: -candidates, -keys, and -sigwords must be positive")
+	}
+	recipe, err := parseRecipeFlag(*recipeStr)
+	if err != nil {
+		return err
+	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+
+	rep := scalingReport{
+		Benchmark:        "incremental vs full candidate evaluation (PR 8)",
+		Recipe:           recipe.String(),
+		KeysPerCandidate: *nKeys,
+		SigWords:         *sigW,
+		PatchWindow:      *window,
+		Seed:             *seed,
+	}
+	for _, entry := range splitList(*sizes) {
+		name, g, err := resolveScalingCircuit(entry, *seed)
+		if err != nil {
+			return err
+		}
+		pt, err := runPoint(ctx, name, g, recipe, *seed, *candidates, *nKeys, *sigW, *window, stderr)
+		if err != nil {
+			return err
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}

@@ -94,6 +94,13 @@ type AIG struct {
 	// schedules, synthesis arenas) include it so recycled storage —
 	// same pointer, rebuilt contents — never serves stale entries.
 	gen uint64
+
+	// shrink counts Rollback calls (see incr.go). The graph is append-only
+	// between Resets *and Rollbacks*; delta-simulation state additionally
+	// keys on this counter so a rollback followed by fresh appends — which
+	// can reproduce an earlier (gen, node count) pair with different
+	// contents — can never serve stale cached values.
+	shrink uint64
 }
 
 // New returns an empty AIG containing only the constant node.

@@ -1,0 +1,311 @@
+package aig
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the dirty-region primitives behind incremental
+// candidate evaluation (PR 8). The AIG is append-only between Resets, so
+// a mutation's dirty region has a very regular shape: every node appended
+// after a watermark, plus any outputs rewired by SetOutput. A Mark
+// captures the watermark; Rollback truncates the graph back to it. The
+// structural-hashing table is maintained incrementally across a rollback
+// — entries for truncated nodes are deleted individually, so the buckets
+// for the (typically much larger) clean prefix are reused as-is instead
+// of being rebuilt, and And behaves bit-for-bit as it would on a freshly
+// built copy of the truncated graph.
+
+// Mark is a clean-state watermark of an AIG: everything at or above the
+// recorded node/input/output counts is "dirty" (appended after the mark),
+// as is any output whose driver was redirected since. A Mark is only
+// meaningful on the graph that produced it and only until the graph's
+// next Reset.
+type Mark struct {
+	gen    uint64
+	shrink uint64
+	nodes  int
+	pis    int
+	pos    int
+	outs   []Lit // snapshot of the output literals at mark time
+}
+
+// Nodes returns the watermark node count: node IDs >= Nodes() are dirty.
+func (m Mark) Nodes() int { return m.nodes }
+
+// Inputs returns the watermark input count.
+func (m Mark) Inputs() int { return m.pis }
+
+// Outputs returns the watermark output count.
+func (m Mark) Outputs() int { return m.pos }
+
+// MarkClean records the current extent of the graph as clean. Mutations
+// after the mark (appended nodes, rewired or added outputs) form the
+// dirty region that Rollback undoes and the windowed transforms in
+// internal/synth confine themselves to.
+func (g *AIG) MarkClean() Mark {
+	return g.MarkCleanInto(nil)
+}
+
+// MarkCleanInto is the scratch-reusing variant of MarkClean: the output
+// snapshot is written into outs, which is grown (reallocated) only when
+// its capacity is short. The returned Mark owns the buffer until the
+// caller stops using the Mark.
+//
+//almost:hotpath
+func (g *AIG) MarkCleanInto(outs []Lit) Mark {
+	if cap(outs) < len(g.pos) {
+		outs = make([]Lit, len(g.pos))
+	}
+	outs = outs[:len(g.pos)]
+	copy(outs, g.pos)
+	return Mark{
+		gen:    g.gen,
+		shrink: g.shrink,
+		nodes:  len(g.nodes),
+		pis:    len(g.pis),
+		pos:    len(g.pos),
+		outs:   outs,
+	}
+}
+
+// Dirty reports whether the graph has changed since the mark: nodes,
+// inputs, or outputs appended, or an output redirected.
+func (m Mark) Dirty(g *AIG) bool {
+	if m.gen != g.gen {
+		return true
+	}
+	if len(g.nodes) != m.nodes || len(g.pis) != m.pis || len(g.pos) != m.pos {
+		return true
+	}
+	for i, l := range m.outs {
+		if g.pos[i] != l {
+			return true
+		}
+	}
+	return false
+}
+
+// DirtyOutputsInto appends to dst[:0] the indices of outputs that are
+// dirty relative to the mark: outputs whose driver literal changed since
+// the mark, plus outputs appended after it. The windowed transforms use
+// this as the seed set for dirty-region traversal.
+func (m Mark) DirtyOutputsInto(g *AIG, dst []int) []int {
+	dst = dst[:0]
+	for i, l := range m.outs {
+		if g.pos[i] != l {
+			dst = append(dst, i)
+		}
+	}
+	for i := m.pos; i < len(g.pos); i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// ShrinkSeq returns the graph's rollback counter. Together with
+// Generation and NumNodes it keys delta-simulation state: two
+// observations of the same *AIG with equal Generation, ShrinkSeq, and
+// non-decreasing NumNodes expose the same node prefix, because between
+// Resets and Rollbacks the graph is strictly append-only.
+func (g *AIG) ShrinkSeq() uint64 { return g.shrink }
+
+// Rollback truncates the graph back to the mark, undoing every mutation
+// since MarkClean: appended nodes, inputs, and outputs are removed and
+// redirected outputs are restored from the mark's snapshot. The
+// structural-hashing table is maintained incrementally — only the
+// truncated suffix's entries are deleted, preserving first-wins semantics
+// for any duplicate keys, so a post-rollback And is bit-for-bit identical
+// to one on a freshly built copy of the truncated graph.
+//
+// Rollback panics if the graph was Reset since the mark, or if the graph
+// shrank below the mark (a rollback past an earlier rollback point).
+// When nothing changed since the mark it is a no-op; otherwise it bumps
+// the shrink counter, which invalidates any SimScratch delta state
+// (SimScratch.TrimTo re-validates the clean prefix for exclusive owners).
+//
+//almost:hotpath
+func (g *AIG) Rollback(m Mark) {
+	if m.gen != g.gen {
+		panic("aig: Rollback across Reset")
+	}
+	if m.nodes > len(g.nodes) || m.pis > len(g.pis) || m.pos > len(g.pos) {
+		panic(fmt.Sprintf("aig: Rollback target (%d nodes, %d inputs, %d outputs) exceeds graph (%d, %d, %d)",
+			m.nodes, m.pis, m.pos, len(g.nodes), len(g.pis), len(g.pos)))
+	}
+	if !m.Dirty(g) {
+		return
+	}
+	if g.strash != nil {
+		for id := m.nodes; id < len(g.nodes); id++ {
+			n := &g.nodes[id]
+			if n.kind != KindAnd {
+				continue
+			}
+			k := strashKey(n.fanin0, n.fanin1)
+			if hit, ok := g.strash[k]; ok && hit == id {
+				delete(g.strash, k)
+			}
+		}
+	}
+	g.nodes = g.nodes[:m.nodes]
+	g.pis = g.pis[:m.pis]
+	g.piNames = g.piNames[:m.pis]
+	g.isKey = g.isKey[:m.pis]
+	g.pos = g.pos[:m.pos]
+	g.poNames = g.poNames[:m.pos]
+	copy(g.pos, m.outs)
+	g.shrink++
+}
+
+// fnv64 constants (FNV-1a).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func fnvStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// StructuralDigest returns a 64-bit FNV-1a digest of the graph's exact
+// structure: node kinds and fanin literals in ID order, input names and
+// key flags, and output literals and names. Two graphs have equal
+// digests iff (modulo hash collisions) they are node-for-node identical —
+// the bit-for-bit identity invariant the incremental evaluation path is
+// held to. Levels are derived state and excluded.
+//
+// The digest is O(nodes); incremental callers compute it per base (or in
+// verification passes), never per candidate.
+func (g *AIG) StructuralDigest() uint64 {
+	h := uint64(fnvOffset)
+	h = fnvU64(h, uint64(len(g.nodes)))
+	h = fnvU64(h, uint64(len(g.pis)))
+	h = fnvU64(h, uint64(len(g.pos)))
+	for i, id := range g.pis {
+		h = fnvU64(h, uint64(id))
+		h = fnvStr(h, g.piNames[i])
+		if g.isKey[i] {
+			h = fnvU64(h, 1)
+		} else {
+			h = fnvU64(h, 0)
+		}
+	}
+	for id := range g.nodes {
+		n := &g.nodes[id]
+		h = fnvU64(h, uint64(n.kind))
+		if n.kind == KindAnd {
+			h = fnvU64(h, uint64(n.fanin0)<<32|uint64(n.fanin1))
+		}
+	}
+	for i, po := range g.pos {
+		h = fnvU64(h, uint64(po))
+		h = fnvStr(h, g.poNames[i])
+	}
+	return h
+}
+
+// RewriteCone re-expresses the transitive fanout of the target nodes by
+// appending substituted copies — the append-only, cone-local counterpart
+// of a whole-graph Rebuilder pass. For each affected node in ascending
+// (topological) ID order it recomputes the AND of its substituted fanins
+// via structural hashing; for a target node it additionally passes the
+// recomputed literal through wrap, whose return value is what every
+// consumer of the target sees. wrap may append nodes of its own (e.g. a
+// key XOR). Outputs driven by rewritten nodes are redirected in place
+// with SetOutput.
+//
+// fanouts must come from Fanouts() on the current graph (it is consulted
+// only for the pre-existing nodes, so a base-graph index can be reused
+// across many RewriteCone calls between mutations). Cost is
+// O(|TFO(targets)|) plus the appended logic — independent of graph size —
+// with O(|TFO|) transient allocations for the substitution map.
+//
+// Combined with MarkClean/Rollback this is the candidate-evaluation
+// patch primitive: mark, rewrite a cone (say, insert key gates), score
+// the patched graph, roll back, repeat — no clone, no full rebuild.
+func (g *AIG) RewriteCone(targets []int, fanouts [][]int, wrap func(i int, nl Lit) Lit) {
+	if len(targets) == 0 {
+		return
+	}
+	tIndex := make(map[int]int, len(targets))
+	for i, t := range targets {
+		if t <= 0 || t >= len(g.nodes) {
+			panic(fmt.Sprintf("aig: RewriteCone target %d out of range", t))
+		}
+		if _, dup := tIndex[t]; dup {
+			panic(fmt.Sprintf("aig: RewriteCone duplicate target %d", t))
+		}
+		tIndex[t] = i
+	}
+
+	// Collect the affected set: the targets plus their transitive fanout
+	// among pre-existing AND nodes, then order it ascending so the sweep
+	// below sees substituted fanins before their consumers.
+	affected := make([]int, 0, len(targets)*4)
+	inSet := make(map[int]bool, len(targets)*4)
+	for _, t := range targets {
+		if !inSet[t] {
+			inSet[t] = true
+			affected = append(affected, t)
+		}
+	}
+	for i := 0; i < len(affected); i++ {
+		id := affected[i]
+		if id >= len(fanouts) {
+			continue
+		}
+		for _, fo := range fanouts[id] {
+			if !inSet[fo] {
+				inSet[fo] = true
+				affected = append(affected, fo)
+			}
+		}
+	}
+	sort.Ints(affected)
+
+	// Sweep: recompute each affected node over the substitution map. A
+	// node whose fanins are unchanged strash-hits itself, so untouched
+	// corners of the cone cost a map lookup and nothing else.
+	repl := make(map[int]Lit, len(affected))
+	sub := func(l Lit) Lit {
+		if r, ok := repl[l.Node()]; ok {
+			return r.NotIf(l.Neg())
+		}
+		return l
+	}
+	for _, id := range affected {
+		n := &g.nodes[id]
+		var nl Lit
+		if n.kind == KindAnd {
+			nl = g.And(sub(n.fanin0), sub(n.fanin1))
+		} else {
+			nl = MakeLit(id, false) // input target: nothing to recompute
+		}
+		if ti, isTarget := tIndex[id]; isTarget {
+			nl = wrap(ti, nl)
+		}
+		if nl != MakeLit(id, false) {
+			repl[id] = nl
+		}
+	}
+
+	for i, po := range g.pos {
+		if r, ok := repl[po.Node()]; ok {
+			g.SetOutput(i, r.NotIf(po.Neg()))
+		}
+	}
+}

@@ -1,0 +1,460 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRandom constructs a deterministic pseudo-random AIG for the
+// incremental tests: plenty of shared logic, complemented edges, and
+// multiple outputs.
+func buildRandom(rng *rand.Rand, nIn, nOut, nGates int) *AIG {
+	g := New()
+	lits := make([]Lit, 0, nIn+nGates)
+	for i := 0; i < nIn; i++ {
+		lits = append(lits, g.AddInput("x"))
+	}
+	for len(lits) < nIn+nGates {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		nl := g.And(a, b)
+		if nl.Node() >= g.NumInputs()+1 {
+			lits = append(lits, nl)
+		}
+	}
+	for i := 0; i < nOut; i++ {
+		g.AddOutput(lits[len(lits)-1-i].NotIf(i%2 == 1), "o")
+	}
+	return g
+}
+
+// randomPatch appends a small dirty region: a few AND nodes over random
+// existing literals, sometimes a fresh key input XORed in, and rewires a
+// random output to the new logic.
+func randomPatch(g *AIG, rng *rand.Rand) {
+	pick := func() Lit {
+		id := 1 + rng.Intn(g.NumNodes()-1)
+		return MakeLit(id, rng.Intn(2) == 0)
+	}
+	nl := g.And(pick(), pick())
+	for i := 0; i < 3; i++ {
+		nl = g.And(nl.NotIf(rng.Intn(2) == 0), pick())
+	}
+	if rng.Intn(2) == 0 {
+		k := g.AddKeyInput("kp")
+		nl = g.Xor(nl, k)
+	}
+	g.SetOutput(rng.Intn(g.NumOutputs()), nl)
+}
+
+// TestMarkRollbackRestoresStructure checks that Rollback undoes an
+// arbitrary patch exactly: digest, counts, and output literals all
+// return to their marked values, and structural hashing afterwards
+// behaves identically to a freshly built copy.
+func TestMarkRollbackRestoresStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := buildRandom(rng, 8, 4, 60)
+	want := g.StructuralDigest()
+	twin := g.Clone()
+
+	for round := 0; round < 20; round++ {
+		m := g.MarkClean()
+		if m.Dirty(g) {
+			t.Fatalf("round %d: fresh mark reports dirty", round)
+		}
+		randomPatch(g, rng)
+		if !m.Dirty(g) {
+			t.Fatalf("round %d: patch not detected as dirty", round)
+		}
+		if g.StructuralDigest() == want {
+			t.Fatalf("round %d: digest unchanged by patch", round)
+		}
+		g.Rollback(m)
+		if got := g.StructuralDigest(); got != want {
+			t.Fatalf("round %d: digest %x after rollback, want %x", round, got, want)
+		}
+		if m.Dirty(g) {
+			t.Fatalf("round %d: dirty after rollback", round)
+		}
+	}
+
+	// Post-rollback strash must behave exactly like a fresh graph's: the
+	// same And calls produce the same literals on both.
+	for i := 0; i < 200; i++ {
+		a := MakeLit(1+rng.Intn(twin.NumNodes()-1), rng.Intn(2) == 0)
+		b := MakeLit(1+rng.Intn(twin.NumNodes()-1), rng.Intn(2) == 0)
+		la, lb := g.And(a, b), twin.And(a, b)
+		if la != lb {
+			t.Fatalf("And(%v,%v) = %v on rolled-back, %v on fresh", a, b, la, lb)
+		}
+	}
+	if g.StructuralDigest() != twin.StructuralDigest() {
+		t.Fatalf("digest diverged after identical post-rollback appends")
+	}
+}
+
+// TestRollbackWithoutStrash covers the cloned-graph case: Clone does not
+// copy the strash table, so Rollback must tolerate a nil table and the
+// lazily rebuilt one must exclude truncated nodes.
+func TestRollbackWithoutStrash(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := buildRandom(rng, 6, 2, 30)
+	c := g.Clone() // strash nil
+	m := c.MarkClean()
+	x := c.And(c.Input(0), c.Input(1).Not())
+	c.SetOutput(0, x)
+	c.Rollback(m)
+	if c.StructuralDigest() != g.StructuralDigest() {
+		t.Fatalf("rollback on strash-less clone did not restore structure")
+	}
+	// The lazily rebuilt strash must not resurrect the truncated node.
+	y := c.And(c.Input(0), c.Input(1).Not())
+	z := g.And(g.Input(0), g.Input(1).Not())
+	if y != z {
+		t.Fatalf("post-rollback And %v != fresh-graph And %v", y, z)
+	}
+}
+
+// TestRollbackNoOpWhenClean pins that a rollback with no changes does
+// not bump the shrink counter (which would needlessly invalidate delta
+// state).
+func TestRollbackNoOpWhenClean(t *testing.T) {
+	g := buildChain(5)
+	m := g.MarkClean()
+	before := g.ShrinkSeq()
+	g.Rollback(m)
+	if g.ShrinkSeq() != before {
+		t.Fatalf("clean rollback bumped shrink seq")
+	}
+	g.And(g.Input(0), g.Input(1))
+	g.Rollback(m)
+	if g.ShrinkSeq() != before+1 {
+		t.Fatalf("dirty rollback did not bump shrink seq")
+	}
+}
+
+// TestDeltaSimulateMatchesFull drives the SimulateInto delta path
+// through many patch/score/rollback cycles and pins every result to the
+// allocating full-path oracle, including rounds where the inputs change
+// (forcing the transparent fall-back).
+func TestDeltaSimulateMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := buildRandom(rng, 10, 5, 120)
+	var s SimScratch
+	var dst []uint64
+
+	in := RandomPatterns(rng, g.NumInputs())
+	dst = g.SimulateInto(&s, dst, in)
+
+	for round := 0; round < 40; round++ {
+		m := g.MarkClean()
+		randomPatch(g, rng)
+		// Extend the input vector for any appended key inputs.
+		for len(in) < g.NumInputs() {
+			in = append(in, rng.Uint64())
+		}
+		if round%5 == 4 {
+			in[rng.Intn(len(in))] = rng.Uint64() // clean-prefix input change: full fall-back
+		}
+		dst = g.SimulateInto(&s, dst, in)
+		want := g.Simulate64(in)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("round %d output %d: delta %x != full %x", round, i, dst[i], want[i])
+			}
+		}
+		g.Rollback(m)
+		s.TrimTo(g, m.Nodes())
+		in = in[:g.NumInputs()]
+
+		// Post-rollback simulation of the base must also be exact.
+		dst = g.SimulateInto(&s, dst, in)
+		want = g.Simulate64(in)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("round %d base output %d: %x != %x", round, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDeltaSimulateUsesSuffixOnly asserts the delta path really does
+// skip the clean prefix: after a warm base simulation, a patched
+// re-simulation must keep the recorded simSched watermark rather than
+// restarting from zero.
+func TestDeltaSimulateUsesSuffixOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := buildRandom(rng, 8, 3, 200)
+	var s SimScratch
+	in := RandomPatterns(rng, g.NumInputs())
+	g.SimulateInto(&s, nil, in)
+	baseSched := s.simSched
+	if baseSched == 0 {
+		t.Fatalf("no schedule recorded")
+	}
+
+	m := g.MarkClean()
+	nl := g.And(g.Input(0), MakeLit(g.NumNodes()-1, true))
+	g.SetOutput(0, nl)
+	g.SimulateInto(&s, nil, in)
+	if s.simSched <= baseSched {
+		t.Fatalf("schedule did not extend: %d <= %d", s.simSched, baseSched)
+	}
+	if s.simNodes != g.NumNodes() {
+		t.Fatalf("simNodes %d != %d", s.simNodes, g.NumNodes())
+	}
+	g.Rollback(m)
+	s.TrimTo(g, m.Nodes())
+	if s.simSched != baseSched || s.nNodes != m.Nodes() {
+		t.Fatalf("TrimTo did not restore the base watermark: sched %d nodes %d", s.simSched, s.nNodes)
+	}
+}
+
+// TestDeltaSignaturesMatchesFull pins the SignaturesInto delta path to
+// the full-path oracle across patch/rollback cycles with a fixed seed
+// (the resub usage pattern).
+func TestDeltaSignaturesMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := buildRandom(rng, 9, 4, 100)
+	const w = 4
+	const seed = 0x5EED
+	var s SimScratch
+
+	g.SignaturesInto(&s, rand.New(rand.NewSource(seed)), w)
+	for round := 0; round < 20; round++ {
+		m := g.MarkClean()
+		randomPatch(g, rng)
+		got := g.SignaturesInto(&s, rand.New(rand.NewSource(seed)), w)
+		want := g.Signatures(rand.New(rand.NewSource(seed)), w)
+		for id := range want {
+			for k := 0; k < w; k++ {
+				if got[id][k] != want[id][k] {
+					t.Fatalf("round %d node %d word %d: %x != %x", round, id, k, got[id][k], want[id][k])
+				}
+			}
+		}
+		g.Rollback(m)
+		s.TrimTo(g, m.Nodes())
+	}
+}
+
+// TestScheduleRecycledGraphRegression is the satellite regression test:
+// a recycled graph — Reset then rebuilt to the same node count — must
+// not be served a stale schedule or stale cached values.
+func TestScheduleRecycledGraphRegression(t *testing.T) {
+	g := New()
+	x := g.AddInput("x")
+	y := g.AddInput("y")
+	g.AddOutput(g.And(x, y), "o")
+	var s SimScratch
+	in := []uint64{0xF0F0F0F0F0F0F0F0, 0xFF00FF00FF00FF00}
+	got := g.SimulateInto(&s, nil, in)
+	if got[0] != in[0]&in[1] {
+		t.Fatalf("AND sim wrong: %x", got[0])
+	}
+
+	// Recycle: same pointer, same node count, different function.
+	g.Reset()
+	x = g.AddInput("x")
+	y = g.AddInput("y")
+	g.AddOutput(g.Or(x, y).Not(), "o") // NOR = !(x|y); still one AND node
+	if g.NumNodes() != 4 {
+		t.Fatalf("rebuild changed node count: %d", g.NumNodes())
+	}
+	got = g.SimulateInto(&s, got, in)
+	if want := ^(in[0] | in[1]); got[0] != want {
+		t.Fatalf("stale schedule after Reset: got %x want %x", got[0], want)
+	}
+}
+
+// TestScheduleRollbackReappendRegression covers the hazard Rollback
+// introduces: shrink then re-append to the same node count reproduces an
+// earlier (pointer, generation, node count) triple with different
+// contents. The shrink sequence must force a rebuild.
+func TestScheduleRollbackReappendRegression(t *testing.T) {
+	g := New()
+	x := g.AddInput("x")
+	y := g.AddInput("y")
+	z := g.AddInput("z")
+	g.AddOutput(g.And(x, y), "o")
+	var s SimScratch
+	in := []uint64{0xAAAAAAAAAAAAAAAA, 0xCCCCCCCCCCCCCCCC, 0xF0F0F0F0F0F0F0F0}
+	g.SimulateInto(&s, nil, in)
+
+	m := g.MarkClean()
+	a := g.And(x, z) // one appended AND
+	g.SetOutput(0, a)
+	g.SimulateInto(&s, nil, in) // schedule now covers the appended node
+
+	g.Rollback(m)
+	b := g.And(y, z) // same node count, different gate
+	g.SetOutput(0, b)
+	got := g.SimulateInto(&s, nil, in)
+	if want := in[1] & in[2]; got[0] != want {
+		t.Fatalf("stale schedule after rollback/re-append: got %x want %x", got[0], want)
+	}
+}
+
+// TestRewriteConeMatchesCloneTwin verifies the bit-for-bit contract of
+// the patch path: applying the identical RewriteCone to the graph and to
+// a fresh clone yields identical structures, and with the key forced to
+// zero the patched graph still computes the base function.
+func TestRewriteConeMatchesCloneTwin(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := buildRandom(rng, 8, 4, 80)
+	base := g.Clone()
+	fanouts := g.Fanouts()
+
+	// Pick a few AND targets.
+	var targets []int
+	for id := 1; id < g.NumNodes() && len(targets) < 3; id++ {
+		if g.IsAnd(id) && rng.Intn(4) == 0 {
+			targets = append(targets, id)
+		}
+	}
+	if len(targets) == 0 {
+		t.Fatalf("no targets chosen")
+	}
+
+	apply := func(h *AIG, fo [][]int) []Lit {
+		keys := make([]Lit, len(targets))
+		for i := range targets {
+			keys[i] = h.AddKeyInput("k")
+		}
+		h.RewriteCone(targets, fo, func(i int, nl Lit) Lit {
+			return h.Xor(nl, keys[i])
+		})
+		return keys
+	}
+
+	twin := g.Clone()
+	apply(g, fanouts)
+	apply(twin, twin.Fanouts())
+	if g.StructuralDigest() != twin.StructuralDigest() {
+		t.Fatalf("incremental patch diverged from clone twin")
+	}
+
+	// With every key input at 0, XOR(f, 0) = f: outputs must match base.
+	var sb, sg SimScratch
+	inB := RandomPatterns(rng, base.NumInputs())
+	inG := append(append([]uint64(nil), inB...), make([]uint64, len(targets))...)
+	ob := base.SimulateInto(&sb, nil, inB)
+	og := g.SimulateInto(&sg, nil, inG)
+	for i := range ob {
+		if ob[i] != og[i] {
+			t.Fatalf("output %d corrupted with zero key: %x != %x", i, ob[i], og[i])
+		}
+	}
+}
+
+// TestStructuralDigestSensitivity spot-checks that the digest reacts to
+// every structural dimension it claims to cover.
+func TestStructuralDigestSensitivity(t *testing.T) {
+	mk := func(mut func(g *AIG)) uint64 {
+		g := New()
+		x := g.AddInput("x")
+		y := g.AddInput("y")
+		g.AddOutput(g.And(x, y), "o")
+		if mut != nil {
+			mut(g)
+		}
+		return g.StructuralDigest()
+	}
+	base := mk(nil)
+	if mk(nil) != base {
+		t.Fatalf("digest not deterministic")
+	}
+	if mk(func(g *AIG) { g.SetOutput(0, g.Output(0).Not()) }) == base {
+		t.Fatalf("digest misses output polarity")
+	}
+	if mk(func(g *AIG) { g.AddKeyInput("k") }) == base {
+		t.Fatalf("digest misses appended input")
+	}
+	g2 := New()
+	x := g2.AddKeyInput("x") // same shape, input 0 is now a key input
+	y := g2.AddInput("y")
+	g2.AddOutput(g2.And(x, y), "o")
+	if g2.StructuralDigest() == base {
+		t.Fatalf("digest misses key flag")
+	}
+}
+
+// TestDeltaSimulateZeroAlloc gates the steady-state patch loop — mark,
+// append, delta-simulate, rollback, trim — at zero allocations per
+// candidate once buffers are warm.
+func TestDeltaSimulateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	g := buildRandom(rng, 8, 3, 100)
+	var s SimScratch
+	var dst []uint64
+	var outBuf []Lit
+	in := RandomPatterns(rng, g.NumInputs())
+	dst = g.SimulateInto(&s, dst, in)
+
+	x, y := g.Input(0), g.Input(1)
+	cycle := func() {
+		m := g.MarkCleanInto(outBuf)
+		outBuf = m.outs
+		nl := g.And(x, MakeLit(g.NumNodes()-1, true))
+		nl = g.And(nl, y.Not())
+		g.SetOutput(0, nl)
+		dst = g.SimulateInto(&s, dst, in)
+		g.Rollback(m)
+		s.TrimTo(g, m.Nodes())
+	}
+	// Warm the buffers (node slice growth headroom, schedule, vals).
+	for i := 0; i < 16; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("patch cycle allocates %.1f times per candidate", avg)
+	}
+}
+
+// TestSignaturesRowsCacheRegression pins the hazards of the cached row
+// headers in SignaturesInto: the headers alias the scratch value buffer,
+// so a buffer reallocation (a patch large enough to outgrow the headroom)
+// or a width change must invalidate them, and reusing the scratch on a
+// smaller graph must truncate them — in every case the returned rows
+// must match a cold-scratch computation bit for bit.
+func TestSignaturesRowsCacheRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := buildRandom(rng, 9, 4, 80)
+	const seed = 0x5EED
+	var s SimScratch
+
+	check := func(stage string, g *AIG, w int) {
+		t.Helper()
+		got := g.SignaturesInto(&s, rand.New(rand.NewSource(seed)), w)
+		want := g.Signatures(rand.New(rand.NewSource(seed)), w)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows, want %d", stage, len(got), len(want))
+		}
+		for id := range want {
+			for k := 0; k < w; k++ {
+				if got[id][k] != want[id][k] {
+					t.Fatalf("%s: node %d word %d: %x != %x", stage, id, k, got[id][k], want[id][k])
+				}
+			}
+		}
+	}
+
+	check("cold", g, 4)
+	m := g.MarkClean()
+	// A dirty region far beyond the buffer's growth headroom, so vals is
+	// reallocated mid-delta and every cached row header goes stale.
+	for i, grow := 0, g.NumNodes(); i < grow; i++ {
+		randomPatch(g, rng)
+	}
+	check("realloc patch", g, 4)
+	g.Rollback(m)
+	s.TrimTo(g, m.Nodes())
+	check("after rollback", g, 4)
+	// Width change: same backing buffer can hold it, but every header has
+	// the wrong stride now.
+	check("width change", g, 2)
+	// Scratch reuse on a smaller graph: cached rows must truncate.
+	small := buildRandom(rand.New(rand.NewSource(62)), 5, 2, 20)
+	check("smaller graph", small, 2)
+	check("back to original", g, 4)
+}

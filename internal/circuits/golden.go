@@ -42,11 +42,16 @@ var goldens = func() map[string]*golden {
 
 // Generate builds the named benchmark by parsing its embedded golden
 // BENCH text (once per process; the result is cached and cloned).
-// Generation is deterministic.
+// Sized synthetic presets (SyntheticNames) resolve here too, generated
+// on first use under the same cache-and-clone discipline. Generation is
+// deterministic.
 func Generate(name string) (*aig.AIG, error) {
+	if g, ok := generateSynthetic(name); ok {
+		return g, nil
+	}
 	gl, ok := goldens[name]
 	if !ok {
-		return nil, fmt.Errorf("circuits: unknown benchmark %q (known: %v)", name, Names())
+		return nil, fmt.Errorf("circuits: unknown benchmark %q (known: %v and synthetic %v)", name, Names(), SyntheticNames())
 	}
 	gl.once.Do(func() {
 		data, err := goldenFS.ReadFile("golden/" + name + ".bench")

@@ -34,6 +34,12 @@ import (
 	"github.com/nyu-secml/almost/internal/synth"
 )
 
+// engineOpts is threaded into every engine.New call in this package. It
+// is empty in production; the determinism suites set it (to
+// engine.WithoutPrefixReuse) to prove that full search trajectories are
+// bit-for-bit identical with the incremental prefix-reuse path disabled.
+var engineOpts []engine.Option
+
 // ModelKind selects the proxy-attacker training regime (Table I).
 type ModelKind int
 
@@ -270,11 +276,14 @@ func gnnScratch(s *engine.Scratch) *gnn.Scratch {
 // advEnergy builds the engine EvalFunc for one augmentation round: score
 // a recipe by the model's (negated) loss on the re-synthesized localities
 // of the relocked netlist. maximize loss = minimize negative loss.
-// Synthesis runs through the worker's arena and the scored netlist is
-// recycled; model inference reuses the worker's GNN scratch.
+// Synthesis goes through the scratch's Synth/Release pair, so SA
+// proposals that share a recipe prefix with the previous candidate are
+// applied as deltas against the worker's persistent base instead of
+// re-synthesized from scratch; model inference reuses the worker's GNN
+// scratch.
 func advEnergy(model *gnn.Model, keyOrder []int, bits []bool, ext subgraph.Extractor) engine.EvalFunc {
 	return func(g *aig.AIG, s *engine.Scratch, r synth.Recipe) float64 {
-		resynth := r.Run(g, s.Arena)
+		resynth := s.Synth(r)
 		kisAll := resynth.KeyInputIndices()
 		kis := make([]int, len(keyOrder))
 		for i, ko := range keyOrder {
@@ -282,9 +291,7 @@ func advEnergy(model *gnn.Model, keyOrder []int, bits []bool, ext subgraph.Extra
 		}
 		gs := ext.Labeled(resynth, kis, bits)
 		loss := model.LossWith(gnnScratch(s), gs)
-		if resynth != g { // an empty recipe returns g itself
-			s.Arena.Recycle(resynth)
-		}
+		s.Release(resynth)
 		return -loss
 	}
 }
@@ -339,7 +346,7 @@ func trainAdversarialCtx(ctx context.Context, locked *aig.AIG, cfg Config,
 			relocked, keyOrder, bits := lock.Relock(locked, cfg.AdvGates, rng)
 			init := synth.RandomRecipe(recipeRng, cfg.RecipeLen)
 			res, err := func() (anneal.Result[synth.Recipe], error) {
-				eng := engine.New(relocked, cfg.Parallelism, advEnergy(model, keyOrder, bits, ext))
+				eng := engine.New(relocked, cfg.Parallelism, advEnergy(model, keyOrder, bits, ext), engineOpts...)
 				defer eng.Close()
 				saCfg := anneal.Config{Iterations: cfg.AdvSAIters, InitTemp: cfg.SA.InitTemp,
 					Acceptance: cfg.SA.Acceptance}
@@ -577,17 +584,15 @@ func SearchRecipeCtx(ctx context.Context, locked *aig.AIG, truth lock.Key,
 	}
 
 	eng := engine.New(locked, cfg.Parallelism, func(g *aig.AIG, s *engine.Scratch, r synth.Recipe) float64 {
-		net := r.Run(g, s.Arena)
+		net := s.Synth(r)
 		accs := make([]float64, len(evals))
 		for i, eval := range evals {
 			accs[i] = eval(net, s, r)
 		}
 		prob.accs.Store(engine.RecipeKey(r), accs)
-		if net != g { // an empty recipe returns g itself
-			s.Arena.Recycle(net)
-		}
+		s.Release(net)
 		return prob.reduceEnergy(accs)
-	})
+	}, engineOpts...)
 	defer eng.Close()
 	prob.eng = eng
 	rng := rand.New(rand.NewSource(cfg.Seed + 307))

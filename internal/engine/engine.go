@@ -4,8 +4,10 @@
 // it (proxy attack accuracy, model loss, mapped PPA, ...) — is
 // independent of every other candidate, so the engine fans candidates
 // out across a pool of workers, each holding its own private copy of the
-// base netlist, and memoizes results in a cache keyed by a canonical
-// recipe hash so recipes the annealer revisits are never re-synthesized.
+// base netlist, and memoizes results in a cache keyed by (base
+// structural digest, canonical recipe bytes) so recipes the annealer
+// revisits are never re-synthesized — and scores minted against one base
+// can never answer a lookup against another after a Rebase.
 //
 // The cache is single-flight: when several concurrent batches miss on
 // the same recipe key, exactly one caller runs the synthesize+attack
@@ -53,8 +55,8 @@ import (
 type Scratch struct {
 	g *aig.AIG // worker-private clone of the evaluator's base netlist
 
-	// Arena pools synthesis storage; score netlists with r.Run(g, s.Arena)
-	// and hand the result to s.Arena.Recycle once scored.
+	// Arena pools synthesis storage; score netlists with s.Synth(r) and
+	// hand the result to s.Release once scored.
 	Arena *synth.Arena
 	// Sim pools simulation schedules and buffers for the Into-style
 	// aig APIs.
@@ -62,6 +64,114 @@ type Scratch struct {
 	// Aux is EvalFunc-owned per-worker state, lazily initialized by the
 	// EvalFunc itself (it starts nil on a fresh scratch).
 	Aux any
+
+	// epoch identifies which evaluator base s.g is a clone of; workers
+	// re-clone lazily when a Rebase bumps the evaluator's epoch.
+	epoch uint64
+	// prefix enables the recipe-prefix chain below (disabled by
+	// WithoutPrefixReuse).
+	prefix bool
+	// chainSteps/chainNets cache the per-step intermediate netlists of
+	// the most recent Synth call: chainNets[i] is chainSteps[:i+1] run
+	// against the base. The annealer's neighborhood move redraws one
+	// recipe position, so consecutive candidates usually share a long
+	// prefix and Synth resumes from the deepest shared intermediate —
+	// each SA proposal is applied as a delta against the persistent base
+	// rather than re-synthesized from scratch.
+	chainSteps synth.Recipe
+	chainNets  []*aig.AIG
+}
+
+// Synth synthesizes recipe r against the worker's base netlist and
+// returns the result, reusing the longest shared recipe prefix from the
+// previous Synth call on this scratch (unless prefix reuse is disabled,
+// in which case it is exactly r.Run(s.g, s.Arena)). The returned graph
+// is owned by the scratch's chain — score it, then hand it to s.Release
+// and do not retain it past the EvalFunc call. An empty recipe returns
+// the base itself. Results are bit-for-bit identical with and without
+// prefix reuse: every chained intermediate is the deterministic product
+// of its step prefix against the same base content.
+func (s *Scratch) Synth(r synth.Recipe) *aig.AIG {
+	if !s.prefix {
+		return r.Run(s.g, s.Arena)
+	}
+	p := 0
+	for p < len(r) && p < len(s.chainSteps) && r[p] == s.chainSteps[p] {
+		p++
+	}
+	for i := len(s.chainNets) - 1; i >= p; i-- {
+		s.Arena.Recycle(s.chainNets[i])
+		s.chainNets[i] = nil
+	}
+	s.chainSteps = s.chainSteps[:p]
+	s.chainNets = s.chainNets[:p]
+	cur := s.g
+	if p > 0 {
+		cur = s.chainNets[p-1]
+	}
+	for _, st := range r[p:] {
+		cur = st.Run(cur, s.Arena)
+		s.chainSteps = append(s.chainSteps, st)
+		s.chainNets = append(s.chainNets, cur)
+	}
+	return cur
+}
+
+// Release hands a netlist produced by Synth back to the scratch. Nets
+// owned by the prefix chain (and the base itself) are retained for
+// reuse; anything else is recycled into the arena. EvalFuncs call it
+// unconditionally on every net they are done scoring.
+func (s *Scratch) Release(net *aig.AIG) {
+	if net == nil || net == s.g {
+		return
+	}
+	for _, c := range s.chainNets {
+		if c == net {
+			return
+		}
+	}
+	s.Arena.Recycle(net)
+}
+
+// releaseChain recycles every chained intermediate (used on rebase —
+// the chain is only meaningful against one base).
+func (s *Scratch) releaseChain() {
+	for i := range s.chainNets {
+		s.Arena.Recycle(s.chainNets[i])
+		s.chainNets[i] = nil
+	}
+	s.chainNets = s.chainNets[:0]
+	s.chainSteps = s.chainSteps[:0]
+}
+
+// syncBase points the scratch at the evaluator base identified by epoch,
+// lazily re-cloning on the first job after a Rebase. The old clone's
+// storage and the stale prefix chain are recycled into the arena.
+func (s *Scratch) syncBase(base *aig.AIG, epoch uint64) {
+	if s.epoch == epoch && s.g != nil {
+		return
+	}
+	s.releaseChain()
+	if s.g != nil {
+		s.Arena.Recycle(s.g)
+	}
+	s.g = base.Clone()
+	s.Sim.Reset()
+	s.epoch = epoch
+}
+
+// NewScratch builds a standalone scratch over its own clone of base,
+// outside any evaluator. Benchmarks and identity tests use it to drive
+// the Synth/Release path directly; prefixReuse selects the incremental
+// prefix chain exactly as WithoutPrefixReuse does for an evaluator's
+// workers.
+func NewScratch(base *aig.AIG, prefixReuse bool) *Scratch {
+	return &Scratch{
+		g:      base.Clone(),
+		Arena:  synth.NewArena(),
+		Sim:    &aig.SimScratch{},
+		prefix: prefixReuse,
+	}
 }
 
 // EvalFunc scores one recipe. g is a worker-private copy of the base
@@ -74,11 +184,13 @@ type Scratch struct {
 // identical for any worker count.
 type EvalFunc func(g *aig.AIG, s *Scratch, r synth.Recipe) float64
 
-// RecipeKey returns the canonical cache key of a recipe: its step codes
-// as raw bytes. Two recipes share a key iff they are step-for-step equal,
-// so the "hash" is collision-free. It allocates the returned string; the
-// evaluator's own lookups go through appendRecipeKey + compiler-optimized
-// map indexing instead, so cache hits allocate nothing.
+// RecipeKey returns the canonical key of a recipe: its step codes as raw
+// bytes. Two recipes share a key iff they are step-for-step equal, so
+// the "hash" is collision-free. Callers that track per-recipe state
+// (core's searchProblem) key on it; the evaluator's own cache composes
+// it with the base digest (see appendEvalKey) and goes through
+// stack-backed buffers + compiler-optimized map indexing instead, so
+// cache hits allocate nothing.
 func RecipeKey(r synth.Recipe) string {
 	return string(appendRecipeKey(make([]byte, 0, len(r)), r))
 }
@@ -90,10 +202,30 @@ func RecipeKey(r synth.Recipe) string {
 //almost:hotpath
 func appendRecipeKey(dst []byte, r synth.Recipe) []byte {
 	for _, s := range r {
-		dst = append(dst, byte(s)) //almost:nolint hotpathalloc // dst is a stack-backed [32]byte that never grows past a recipe's length
+		dst = append(dst, byte(s)) //almost:nolint hotpathalloc // dst is a stack-backed buffer that never grows past a key's length
 	}
 	return dst
 }
+
+// appendEvalKey appends the evaluator cache key of (base, recipe) to
+// dst: the 8-byte structural digest of the base netlist followed by the
+// recipe's step codes — (base digest, delta digest) in the incremental
+// evaluation contract. Scores cached against one base can never answer
+// a lookup against another, and after Rebase returns to an
+// already-digested base its settled scores become hits again.
+//
+//almost:hotpath
+func appendEvalKey(dst []byte, baseKey uint64, r synth.Recipe) []byte {
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(baseKey>>(8*uint(i)))) //almost:nolint hotpathalloc // dst is a stack-backed buffer that never grows past a key's length
+	}
+	return appendRecipeKey(dst, r)
+}
+
+// evalKeyBufLen sizes the stack key buffers: 8 digest bytes plus the
+// longest recipe the hot paths see (RecipeLength is 10; 40 leaves slack
+// for experiment sweeps with long custom scripts).
+const evalKeyBufLen = 8 + 40
 
 // Stats reports cache effectiveness.
 type Stats struct {
@@ -108,9 +240,14 @@ type Stats struct {
 	Size int
 }
 
-// job is one cache miss dispatched to the worker pool.
+// job is one cache miss dispatched to the worker pool. It carries the
+// base (and its epoch) the recipe was keyed against at classification
+// time, so a concurrent Rebase can never mis-file a score under the
+// wrong base digest.
 type job struct {
 	recipe synth.Recipe
+	base   *aig.AIG
+	epoch  uint64
 	slot   int
 	out    []float64
 	wg     *sync.WaitGroup
@@ -149,38 +286,66 @@ func (en *entry) settled() bool {
 // for the settled value. Create with New, release with Close. All
 // methods are safe for concurrent use.
 type Evaluator struct {
-	jobs    int
-	fn      EvalFunc
-	reqs    chan job
-	wg      sync.WaitGroup
-	scratch sync.Pool // of *Scratch; New clones the base netlist lazily
+	jobs     int
+	fn       EvalFunc
+	noPrefix bool
+	reqs     chan job
+	wg       sync.WaitGroup
+	scratch  sync.Pool // of *Scratch; workers clone the base lazily via syncBase
 
 	mu      sync.Mutex
+	base    *aig.AIG
+	baseKey uint64 // StructuralDigest of base; cache-key prefix
+	epoch   uint64 // bumped by Rebase; workers re-clone on mismatch
 	cache   map[string]*entry
 	hits    int
 	miss    int
 	settled int
 }
 
+// Option configures an Evaluator at construction.
+type Option func(*Evaluator)
+
+// WithoutPrefixReuse disables the per-worker recipe-prefix chain:
+// Scratch.Synth degenerates to r.Run from the base clone and
+// Scratch.Release recycles every non-base net. Scores are bit-for-bit
+// identical either way (the identity tests pin this); the option exists
+// for those tests and for memory-constrained runs — the chain retains up
+// to one intermediate netlist per recipe step per worker.
+func WithoutPrefixReuse() Option {
+	return func(e *Evaluator) { e.noPrefix = true }
+}
+
 // New builds an evaluator over base with the given worker count (jobs <= 0
 // selects runtime.NumCPU()). Worker scratch state — a private Clone of
 // base plus synthesis/simulation buffers — comes from a sync.Pool: each
 // worker checks one out for its lifetime, so scratches (and their
-// warmed arenas) survive across batches instead of being rebuilt per
-// evaluation. Every e.fn invocation happens on a worker goroutine with
-// that worker's scratch; there is no inline evaluation path.
-func New(base *aig.AIG, jobs int, fn EvalFunc) *Evaluator {
+// warmed arenas and prefix chains) survive across batches instead of
+// being rebuilt per evaluation. Every e.fn invocation happens on a
+// worker goroutine with that worker's scratch; there is no inline
+// evaluation path.
+//
+// Cache keys compose the base's structural digest with the recipe (see
+// appendEvalKey), so an evaluator that is Rebased between batches keeps
+// one coherent cache across all bases it has seen.
+func New(base *aig.AIG, jobs int, fn EvalFunc, opts ...Option) *Evaluator {
 	if jobs <= 0 {
 		jobs = runtime.NumCPU()
 	}
 	e := &Evaluator{
-		jobs:  jobs,
-		fn:    fn,
-		reqs:  make(chan job),
-		cache: make(map[string]*entry),
+		jobs:    jobs,
+		fn:      fn,
+		base:    base,
+		baseKey: base.StructuralDigest(),
+		epoch:   1,
+		reqs:    make(chan job),
+		cache:   make(map[string]*entry),
+	}
+	for _, o := range opts {
+		o(e)
 	}
 	e.scratch.New = func() any {
-		return &Scratch{g: base.Clone(), Arena: synth.NewArena(), Sim: &aig.SimScratch{}}
+		return &Scratch{Arena: synth.NewArena(), Sim: &aig.SimScratch{}, prefix: !e.noPrefix}
 	}
 	for i := 0; i < jobs; i++ {
 		e.wg.Add(1)
@@ -192,11 +357,36 @@ func New(base *aig.AIG, jobs int, fn EvalFunc) *Evaluator {
 // Jobs returns the worker count.
 func (e *Evaluator) Jobs() int { return e.jobs }
 
+// Rebase atomically switches the evaluator to a new base netlist.
+// Workers re-clone lazily on their next job; settled scores stay in the
+// cache under their original base digest, so rebasing back to a
+// previously seen base (bit-identical content) turns its old scores
+// into hits again — the memo composes with incremental base evolution.
+// In-flight batches are unaffected: their jobs carry the base they were
+// keyed against. The caller must not mutate base while the evaluator
+// can still evaluate against it.
+func (e *Evaluator) Rebase(base *aig.AIG) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.base = base
+	e.baseKey = base.StructuralDigest()
+	e.epoch++
+}
+
+// BaseDigest returns the structural digest of the current base — the
+// prefix of every cache key minted for it.
+func (e *Evaluator) BaseDigest() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.baseKey
+}
+
 func (e *Evaluator) worker() {
 	defer e.wg.Done()
 	s := e.scratch.Get().(*Scratch)
 	defer e.scratch.Put(s)
 	for j := range e.reqs {
+		s.syncBase(j.base, j.epoch)
 		j.out[j.slot] = e.fn(s.g, s, j.recipe)
 		j.wg.Done()
 	}
@@ -218,9 +408,9 @@ func (e *Evaluator) EvaluateCtx(ctx context.Context, r synth.Recipe) (float64, e
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	var kb [32]byte
-	key := appendRecipeKey(kb[:0], r)
+	var kb [evalKeyBufLen]byte
 	e.mu.Lock()
+	key := appendEvalKey(kb[:0], e.baseKey, r)
 	if en, ok := e.cache[string(key)]; ok && en.settled() {
 		e.hits++
 		e.mu.Unlock()
@@ -272,9 +462,14 @@ func (e *Evaluator) EvaluateBatchCtx(ctx context.Context, rs []synth.Recipe) ([]
 	var ownedEntries []*entry
 	var waiting []int // first-occurrence indices resolved by waiting
 	var waitEntries []*entry
+	var kb [evalKeyBufLen]byte
 	e.mu.Lock()
+	// The whole batch is keyed against one base snapshot: a concurrent
+	// Rebase moves future batches to the new base but never re-keys or
+	// re-targets this one (jobs carry base+epoch explicitly).
+	base, baseKey, epoch := e.base, e.baseKey, e.epoch
 	for i, r := range rs {
-		k := RecipeKey(r)
+		k := string(appendEvalKey(kb[:0], baseKey, r))
 		keys[i] = k
 		if _, dup := first[k]; dup {
 			continue
@@ -310,7 +505,7 @@ func (e *Evaluator) EvaluateBatchCtx(ctx context.Context, rs []synth.Recipe) ([]
 			}
 			wg.Add(1)
 			select {
-			case e.reqs <- job{recipe: rs[i], slot: slot, out: vals, wg: &wg}:
+			case e.reqs <- job{recipe: rs[i], base: base, epoch: epoch, slot: slot, out: vals, wg: &wg}:
 				sent++
 			case <-ctx.Done():
 				wg.Done()
@@ -330,7 +525,7 @@ func (e *Evaluator) EvaluateBatchCtx(ctx context.Context, rs []synth.Recipe) ([]
 	// settled by now, so two batches waiting on parts of each other's
 	// work cannot deadlock.
 	for wi, i := range waiting {
-		v, err := e.await(ctx, rs[i], keys[i], waitEntries[wi])
+		v, err := e.await(ctx, rs[i], keys[i], waitEntries[wi], base, epoch)
 		if err != nil {
 			return nil, err
 		}
@@ -377,8 +572,9 @@ func (e *Evaluator) settle(keys []string, owned []int, entries []*entry, vals []
 
 // await blocks until the in-flight evaluation of key settles, the
 // context is canceled, or — if the evaluating caller abandoned the key —
-// this caller takes over and evaluates r itself.
-func (e *Evaluator) await(ctx context.Context, r synth.Recipe, key string, en *entry) (float64, error) {
+// this caller takes over and evaluates r itself against the same base
+// snapshot the key was built from.
+func (e *Evaluator) await(ctx context.Context, r synth.Recipe, key string, en *entry, base *aig.AIG, epoch uint64) (float64, error) {
 	for {
 		select {
 		case <-ctx.Done():
@@ -409,7 +605,7 @@ func (e *Evaluator) await(ctx context.Context, r synth.Recipe, key string, en *e
 		wg.Add(1)
 		sent := 1
 		select {
-		case e.reqs <- job{recipe: r, slot: 0, out: vals, wg: &wg}:
+		case e.reqs <- job{recipe: r, base: base, epoch: epoch, slot: 0, out: vals, wg: &wg}:
 		case <-ctx.Done():
 			wg.Done()
 			sent = 0
@@ -429,10 +625,10 @@ func (e *Evaluator) await(ctx context.Context, r synth.Recipe, key string, en *e
 //
 //almost:hotpath
 func (e *Evaluator) Cached(r synth.Recipe) (float64, bool) {
-	var kb [32]byte
-	key := appendRecipeKey(kb[:0], r)
+	var kb [evalKeyBufLen]byte
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	key := appendEvalKey(kb[:0], e.baseKey, r)
 	en, ok := e.cache[string(key)]
 	if !ok || !en.settled() {
 		return 0, false

@@ -1,0 +1,457 @@
+package synth
+
+import (
+	"sort"
+
+	"github.com/nyu-secml/almost/internal/aig"
+)
+
+// This file implements the windowed transform variants behind
+// incremental candidate evaluation (PR 8). Where the whole-graph
+// transforms rebuild the entire netlist through a Rebuilder, the
+// windowed ones confine themselves to the dirty region of an append-only
+// AIG — the nodes appended after an aig.Mark plus the outputs rewired
+// since — and mutate in place: replacement logic is appended (so
+// aig.Rollback undoes the whole pass) and dirty outputs are redirected
+// with SetOutput. Clean nodes are read-only window leaves; no traversal,
+// fanout count, or cut ever crosses the watermark, which is what makes a
+// pass O(dirty region) instead of O(graph).
+//
+// Each windowed transform is its own deterministic specification: it is
+// a pure function of the graph's content and the mark, so running it on
+// the patched base in place and on a fresh clone of the same content
+// yields bit-for-bit identical structures (the PR 8 identity invariant).
+// It deliberately does NOT promise the same result as its whole-graph
+// namesake — the whole-graph pass sees optimization opportunities across
+// the clean region that a window, by design, must not touch.
+
+// wUnmapped is the sentinel for "window node not (yet) replaced".
+const wUnmapped = ^aig.Lit(0)
+
+// winState bundles the per-pass view of the dirty region, backed by
+// arena buffers that stay valid across the steps of a windowed recipe.
+type winState struct {
+	from  int   // watermark: node IDs >= from are dirty
+	order []int // live dirty AND node IDs, ascending (topological)
+	outs  []int // dirty output indices
+}
+
+// winPrep computes the live dirty region: AND nodes at or above the
+// watermark reachable from the dirty outputs, in ascending (topological)
+// ID order, plus region-local fanout counts. The substitution map is
+// reset to unmapped.
+func winPrep(g *aig.AIG, m aig.Mark, a *Arena) winState {
+	from := m.Nodes()
+	n := g.NumNodes()
+	region := n - from
+
+	a.wOuts = m.DirtyOutputsInto(g, a.wOuts)
+
+	if cap(a.wLive) < region {
+		a.wLive = make([]bool, region)
+	}
+	a.wLive = a.wLive[:region]
+	for i := range a.wLive {
+		a.wLive[i] = false
+	}
+	for _, oi := range a.wOuts {
+		if id := g.Output(oi).Node(); id >= from {
+			a.wLive[id-from] = true
+		}
+	}
+	for id := n - 1; id >= from; id-- {
+		if a.wLive[id-from] && g.IsAnd(id) {
+			f0, f1 := g.Fanins(id)
+			if f0.Node() >= from {
+				a.wLive[f0.Node()-from] = true
+			}
+			if f1.Node() >= from {
+				a.wLive[f1.Node()-from] = true
+			}
+		}
+	}
+	a.wOrder = a.wOrder[:0]
+	for id := from; id < n; id++ {
+		if a.wLive[id-from] && g.IsAnd(id) {
+			a.wOrder = append(a.wOrder, id)
+		}
+	}
+
+	// Region fanout counts: references to dirty nodes from every dirty
+	// AND node (live or not, mirroring FanoutCounts) and from outputs.
+	// Clean nodes cannot reference dirty ones (their IDs are smaller), so
+	// these counts are complete.
+	if cap(a.wFc) < region {
+		a.wFc = make([]int, region)
+	}
+	a.wFc = a.wFc[:region]
+	for i := range a.wFc {
+		a.wFc[i] = 0
+	}
+	for id := from; id < n; id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		if f0.Node() >= from {
+			a.wFc[f0.Node()-from]++
+		}
+		if f1.Node() >= from {
+			a.wFc[f1.Node()-from]++
+		}
+	}
+	for i := 0; i < g.NumOutputs(); i++ {
+		if id := g.Output(i).Node(); id >= from {
+			a.wFc[id-from]++
+		}
+	}
+
+	if cap(a.wMap) < region {
+		a.wMap = make([]aig.Lit, region)
+	}
+	a.wMap = a.wMap[:region]
+	for i := range a.wMap {
+		a.wMap[i] = wUnmapped
+	}
+
+	return winState{from: from, order: a.wOrder, outs: a.wOuts}
+}
+
+// wlit maps a literal through the window substitution map.
+func wlit(a *Arena, from int, l aig.Lit) aig.Lit {
+	id := l.Node()
+	if id >= from && a.wMap[id-from] != wUnmapped {
+		return a.wMap[id-from].NotIf(l.Neg())
+	}
+	return l
+}
+
+// winFinish redirects the dirty outputs through the substitution map.
+func winFinish(g *aig.AIG, a *Arena, w winState) {
+	for _, oi := range w.outs {
+		po := g.Output(oi)
+		if nl := wlit(a, w.from, po); nl != po {
+			g.SetOutput(oi, nl)
+		}
+	}
+}
+
+// RunWindow applies the transformation restricted to the dirty region of
+// g relative to mark m, mutating g in place: replacement logic is
+// appended and dirty outputs are redirected. Function is preserved
+// exactly as in the whole-graph transforms. a supplies reusable scratch
+// storage and may be nil. Cost is proportional to the dirty region, not
+// the graph.
+//
+// The windowed resub variants (resub, resub -z) share one
+// implementation: exact truth-table-based zero-resubstitution inside the
+// window (no SAT oracle is consulted, so there is nothing for -z to
+// relax).
+func (s Step) RunWindow(g *aig.AIG, m aig.Mark, a *Arena) {
+	a = ensure(a)
+	switch s {
+	case StepBalance:
+		balanceWindow(g, m, a)
+	case StepRewrite:
+		rewriteWindow(g, m, false, a)
+	case StepRewriteZ:
+		rewriteWindow(g, m, true, a)
+	case StepRefactor:
+		refactorWindow(g, m, false, a)
+	case StepRefactorZ:
+		refactorWindow(g, m, true, a)
+	case StepResub, StepResubZ:
+		resubWindow(g, m, a)
+	default:
+		panic("synth: invalid step in RunWindow")
+	}
+}
+
+// RunWindow applies the recipe left to right, each step windowed to the
+// dirty region relative to m. The region naturally accretes the
+// replacement logic of earlier steps (everything stays above the
+// watermark), so later steps see and can further optimize it.
+func (r Recipe) RunWindow(g *aig.AIG, m aig.Mark, a *Arena) {
+	a = ensure(a)
+	for _, s := range r {
+		s.RunWindow(g, m, a)
+	}
+}
+
+// balanceWindow is the windowed Balance: maximal single-fanout AND trees
+// inside the dirty region are collapsed and re-associated pairing the
+// two shallowest operands first. Tree absorption never crosses the
+// watermark — a clean fanin is always a leaf.
+func balanceWindow(g *aig.AIG, m aig.Mark, a *Arena) {
+	w := winPrep(g, m, a)
+	from := w.from
+
+	region := g.NumNodes() - from
+	if cap(a.wAbs) < region {
+		a.wAbs = make([]bool, region)
+	}
+	abs := a.wAbs[:region]
+	for i := range abs {
+		abs[i] = false
+	}
+	for _, id := range w.order {
+		f0, f1 := g.Fanins(id)
+		for _, f := range [2]aig.Lit{f0, f1} {
+			fid := f.Node()
+			if !f.Neg() && fid >= from && g.IsAnd(fid) && a.wFc[fid-from] == 1 {
+				abs[fid-from] = true
+			}
+		}
+	}
+	var conjuncts func(l aig.Lit, out []aig.Lit) []aig.Lit
+	conjuncts = func(l aig.Lit, out []aig.Lit) []aig.Lit {
+		if !l.Neg() && l.Node() >= from && g.IsAnd(l.Node()) && abs[l.Node()-from] {
+			c0, c1 := g.Fanins(l.Node())
+			out = conjuncts(c0, out)
+			return conjuncts(c1, out)
+		}
+		return append(out, l)
+	}
+	for _, id := range w.order {
+		if abs[id-from] {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		lits := conjuncts(f0, a.conj[:0])
+		lits = conjuncts(f1, lits)
+		a.conj = lits
+		if cap(a.dstLits) < len(lits) {
+			a.dstLits = make([]aig.Lit, len(lits))
+		}
+		dst := a.dstLits[:len(lits)]
+		for i, l := range lits {
+			dst[i] = wlit(a, from, l)
+		}
+		a.wMap[id-from] = balancedAnd(g, dst)
+	}
+	winFinish(g, a, w)
+}
+
+// reconvWindowDirty grows a reconvergence-driven window rooted at id
+// with at most limit leaves, exactly as reconvWindow but confined to the
+// dirty region: only dirty AND nodes are expandable, so every interior
+// node is dirty and clean boundary nodes are leaves.
+func (a *Arena) reconvWindowDirty(g *aig.AIG, id, from, limit int) []int {
+	f0, f1 := g.Fanins(id)
+	leaves := append(a.winLeaves[:0], f0.Node(), f1.Node())
+	if leaves[0] == leaves[1] {
+		leaves = leaves[:1]
+	}
+	for {
+		bestIdx, bestScore := -1, -1
+		for i, l := range leaves {
+			if l < from || !g.IsAnd(l) {
+				continue
+			}
+			c0, c1 := g.Fanins(l)
+			added := 0
+			if !containsInt(leaves, c0.Node()) {
+				added++
+			}
+			if c1.Node() != c0.Node() && !containsInt(leaves, c1.Node()) {
+				added++
+			}
+			if len(leaves)-1+added > limit {
+				continue
+			}
+			score := (2-added)*1000 + g.Level(l)
+			if score > bestScore {
+				bestScore, bestIdx = score, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		l := leaves[bestIdx]
+		leaves = append(leaves[:bestIdx], leaves[bestIdx+1:]...)
+		c0, c1 := g.Fanins(l)
+		if !containsInt(leaves, c0.Node()) {
+			leaves = append(leaves, c0.Node())
+		}
+		if !containsInt(leaves, c1.Node()) {
+			leaves = append(leaves, c1.Node())
+		}
+	}
+	sort.Ints(leaves)
+	a.winLeaves = leaves
+	return leaves
+}
+
+// savedWindow counts how many live dirty AND nodes die if root is
+// reimplemented over the window leaves: the region-confined analogue of
+// Arena.savedNodes, using the region fanout counts.
+func (a *Arena) savedWindow(g *aig.AIG, root, from int, leaves []int) int {
+	e := a.nextEpoch(g.NumNodes())
+
+	a.stack = append(a.stack[:0], root)
+	for len(a.stack) > 0 {
+		id := a.stack[len(a.stack)-1]
+		a.stack = a.stack[:len(a.stack)-1]
+		if containsInt(leaves, id) || a.mark[id] == e || id < from || !g.IsAnd(id) {
+			continue
+		}
+		a.mark[id] = e
+		f0, f1 := g.Fanins(id)
+		a.stack = append(a.stack, f0.Node(), f1.Node())
+	}
+
+	saved := 0
+	if a.mark[root] == e {
+		saved++
+	}
+	a.mffcMark[root] = e
+	a.collectMFFCWindow(g, root, from, e, &saved)
+	return saved
+}
+
+func (a *Arena) collectMFFCWindow(g *aig.AIG, id, from int, e int32, saved *int) {
+	f0, f1 := g.Fanins(id)
+	for _, f := range [2]aig.Lit{f0, f1} {
+		fid := f.Node()
+		if fid < from || !g.IsAnd(fid) {
+			continue
+		}
+		if a.refEpoch[fid] != e {
+			a.refEpoch[fid] = e
+			a.ref[fid] = 0
+		}
+		a.ref[fid]++
+		if int(a.ref[fid]) == a.wFc[fid-from] && a.mffcMark[fid] != e {
+			a.mffcMark[fid] = e
+			if a.mark[fid] == e {
+				*saved++
+			}
+			a.collectMFFCWindow(g, fid, from, e, saved)
+		}
+	}
+}
+
+// resynthWindow is the shared body of rewriteWindow and refactorWindow:
+// for every live dirty node grow a reconvergence window of at most limit
+// leaves, and replace the node with the ISOP resynthesis of its window
+// function when that saves dirty nodes (or is cost-neutral with
+// zero=true).
+func resynthWindow(g *aig.AIG, m aig.Mark, zero bool, limit int, a *Arena) {
+	w := winPrep(g, m, a)
+	from := w.from
+	for _, id := range w.order {
+		leaves := a.reconvWindowDirty(g, id, from, limit)
+		replaced := false
+		if len(leaves) >= 2 && len(leaves) <= 6 {
+			if tt, ok := a.windowTT(g, id, leaves); ok {
+				cost := a.ttPlanFor(tt, len(leaves)).cost
+				gain := a.savedWindow(g, id, from, leaves) - cost
+				if gain > 0 || (zero && gain == 0) {
+					if cap(a.dstLits) < len(leaves) {
+						a.dstLits = make([]aig.Lit, len(leaves))
+					}
+					leafLits := a.dstLits[:len(leaves)]
+					for i, l := range leaves {
+						leafLits[i] = wlit(a, from, aig.MakeLit(l, false))
+					}
+					a.wMap[id-from] = a.synthTT(g, tt, leafLits)
+					replaced = true
+				}
+			}
+		}
+		if !replaced {
+			f0, f1 := g.Fanins(id)
+			nl := g.And(wlit(a, from, f0), wlit(a, from, f1))
+			if nl != aig.MakeLit(id, false) {
+				a.wMap[id-from] = nl
+			}
+		}
+	}
+	winFinish(g, a, w)
+}
+
+// rewriteWindow is the windowed Rewrite analogue. Cut enumeration over
+// the whole graph would defeat locality, so it shares refactor's
+// reconvergence-window machinery at rewrite's smaller leaf limit.
+func rewriteWindow(g *aig.AIG, m aig.Mark, zero bool, a *Arena) {
+	resynthWindow(g, m, zero, cutSize, a)
+}
+
+// refactorWindow is the windowed Refactor analogue.
+func refactorWindow(g *aig.AIG, m aig.Mark, zero bool, a *Arena) {
+	resynthWindow(g, m, zero, refactorLeafLimit, a)
+}
+
+// winEntry is one record in the windowed resub table: the truth table of
+// a processed dirty node over its window leaves (stored in wLeafStore).
+type winEntry struct {
+	tt     uint64
+	off, n int
+	lit    aig.Lit // replacement literal of the recorded node
+}
+
+// resubWindow performs exact zero-resubstitution inside the dirty
+// region: a dirty node whose window truth table (over an identical leaf
+// set) matches an earlier dirty node's — up to complement — is merged
+// into it. Equality of truth tables over identical leaves is exact
+// functional equality, so no SAT proof is needed and no unproven merge
+// can happen.
+func resubWindow(g *aig.AIG, m aig.Mark, a *Arena) {
+	w := winPrep(g, m, a)
+	from := w.from
+	a.wEnt = a.wEnt[:0]
+	a.wLeafStore = a.wLeafStore[:0]
+	for _, id := range w.order {
+		leaves := a.reconvWindowDirty(g, id, from, refactorLeafLimit)
+		merged := false
+		if len(leaves) >= 1 && len(leaves) <= 6 {
+			if tt, ok := a.windowTT(g, id, leaves); ok {
+				mask := aig.TTMask(len(leaves))
+				for _, e := range a.wEnt {
+					if e.n != len(leaves) {
+						continue
+					}
+					same := true
+					for i, l := range leaves {
+						if a.wLeafStore[e.off+i] != l {
+							same = false
+							break
+						}
+					}
+					if !same {
+						continue
+					}
+					if e.tt == tt {
+						a.wMap[id-from] = e.lit
+						merged = true
+						break
+					}
+					if e.tt == ^tt&mask {
+						a.wMap[id-from] = e.lit.Not()
+						merged = true
+						break
+					}
+				}
+				if !merged {
+					off := len(a.wLeafStore)
+					a.wLeafStore = append(a.wLeafStore, leaves...)
+					f0, f1 := g.Fanins(id)
+					nl := g.And(wlit(a, from, f0), wlit(a, from, f1))
+					if nl != aig.MakeLit(id, false) {
+						a.wMap[id-from] = nl
+					}
+					a.wEnt = append(a.wEnt, winEntry{tt: tt, off: off, n: len(leaves), lit: wlit(a, from, aig.MakeLit(id, false))})
+					continue
+				}
+			}
+		}
+		if !merged {
+			f0, f1 := g.Fanins(id)
+			nl := g.And(wlit(a, from, f0), wlit(a, from, f1))
+			if nl != aig.MakeLit(id, false) {
+				a.wMap[id-from] = nl
+			}
+		}
+	}
+	winFinish(g, a, w)
+}

@@ -1,0 +1,177 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/cnf"
+)
+
+// patchKeyGates applies a deterministic key-gate patch to g (the
+// incremental locking move the SA loop evaluates): XOR a fresh key input
+// into a few AND nodes' fanout cones via RewriteCone.
+func patchKeyGates(g *aig.AIG, seed int64, nKeys int) {
+	rng := rand.New(rand.NewSource(seed))
+	fanouts := g.Fanouts()
+	var targets []int
+	for id := 1; id < g.NumNodes() && len(targets) < nKeys; id++ {
+		if g.IsAnd(id) && rng.Intn(3) == 0 {
+			targets = append(targets, id)
+		}
+	}
+	if len(targets) == 0 {
+		panic("patchKeyGates: no targets")
+	}
+	keys := make([]aig.Lit, len(targets))
+	for i := range keys {
+		keys[i] = g.AddKeyInput("kw")
+	}
+	g.RewriteCone(targets, fanouts, func(i int, nl aig.Lit) aig.Lit {
+		return g.Xor(nl, keys[i])
+	})
+}
+
+// windowSteps lists every step once for the windowed tests.
+func windowSteps() []Step { return AllSteps() }
+
+// TestRunWindowPreservesFunction checks every windowed step against the
+// pre-transform graph by random simulation: the dirty-region rewrite
+// must not change any output function.
+func TestRunWindowPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, s := range windowSteps() {
+		g := randomAIG(rand.New(rand.NewSource(62)), 8, 4, 80)
+		m := g.MarkClean()
+		patchKeyGates(g, 63, 3)
+		before := g.Clone()
+		a := NewArena()
+		s.RunWindow(g, m, a)
+		if !aig.EquivalentBySim(before, g, rng, 32) {
+			t.Fatalf("%v: windowed transform changed function", s)
+		}
+	}
+}
+
+// TestRunWindowPreservesFunctionExact proves function preservation with
+// SAT on a small circuit, for every windowed step and a windowed recipe.
+func TestRunWindowPreservesFunctionExact(t *testing.T) {
+	build := func() *aig.AIG {
+		g := randomAIG(rand.New(rand.NewSource(64)), 5, 3, 24)
+		return g
+	}
+	check := func(name string, run func(g *aig.AIG, m aig.Mark)) {
+		g := build()
+		m := g.MarkClean()
+		patchKeyGates(g, 65, 2)
+		before := g.Clone()
+		run(g, m)
+		eq, cex, err := cnf.Equivalent(before, g)
+		if err != nil {
+			t.Fatalf("%s: equivalence check failed: %v", name, err)
+		}
+		if !eq {
+			t.Fatalf("%s: windowed transform changed function, cex %v", name, cex)
+		}
+	}
+	a := NewArena()
+	for _, s := range windowSteps() {
+		s := s
+		check(s.String(), func(g *aig.AIG, m aig.Mark) { s.RunWindow(g, m, a) })
+	}
+	check("recipe", func(g *aig.AIG, m aig.Mark) { Resyn2().RunWindow(g, m, a) })
+}
+
+// TestRunWindowCloneTwinIdentity is the PR 8 bit-identity invariant at
+// the synth layer: the same windowed recipe applied to the patched base
+// in place and to a fresh clone of identical content must produce
+// node-for-node identical graphs.
+func TestRunWindowCloneTwinIdentity(t *testing.T) {
+	g := randomAIG(rand.New(rand.NewSource(71)), 9, 5, 120)
+	m := g.MarkClean()
+	patchKeyGates(g, 72, 3)
+
+	// A clone carries the same node layout, so the mark's watermark
+	// counts describe identical content on the twin.
+	twin := g.Clone()
+	r := Recipe{StepBalance, StepRewrite, StepResub, StepRefactorZ, StepBalance}
+	r.RunWindow(g, m, NewArena())
+	r.RunWindow(twin, m, NewArena())
+	if g.StructuralDigest() != twin.StructuralDigest() {
+		t.Fatalf("windowed recipe diverged between in-place graph and clone twin")
+	}
+
+	// And it must be deterministic run-to-run with a shared (warm) arena.
+	a := NewArena()
+	var want uint64
+	for i := 0; i < 3; i++ {
+		h := twin.Clone()
+		r.RunWindow(h, m, a)
+		if i == 0 {
+			want = h.StructuralDigest()
+		} else if h.StructuralDigest() != want {
+			t.Fatalf("windowed recipe not deterministic across arena reuse (run %d)", i)
+		}
+	}
+}
+
+// TestRunWindowRollbackRestoresBase pins the append-only contract: a
+// windowed recipe only appends nodes and redirects outputs, so Rollback
+// to the pre-patch mark must restore the base exactly.
+func TestRunWindowRollbackRestoresBase(t *testing.T) {
+	g := randomAIG(rand.New(rand.NewSource(81)), 8, 4, 90)
+	base := g.StructuralDigest()
+	m := g.MarkClean()
+	for round := 0; round < 5; round++ {
+		patchKeyGates(g, int64(82+round), 2)
+		Resyn2().RunWindow(g, m, NewArena())
+		g.Rollback(m)
+		if g.StructuralDigest() != base {
+			t.Fatalf("round %d: rollback after windowed recipe did not restore base", round)
+		}
+	}
+}
+
+// TestRunWindowCleanRegionNoOp checks that with an empty dirty region a
+// windowed step changes nothing.
+func TestRunWindowCleanRegionNoOp(t *testing.T) {
+	g := randomAIG(rand.New(rand.NewSource(91)), 6, 3, 40)
+	d := g.StructuralDigest()
+	m := g.MarkClean()
+	a := NewArena()
+	for _, s := range windowSteps() {
+		s.RunWindow(g, m, a)
+		if g.StructuralDigest() != d {
+			t.Fatalf("%v: windowed step mutated a clean graph", s)
+		}
+	}
+}
+
+// TestRunWindowReducesPatchLogic sanity-checks that the windowed
+// transforms actually optimize: on a deliberately redundant patch the
+// live dirty region must shrink.
+func TestRunWindowReducesPatchLogic(t *testing.T) {
+	g := randomAIG(rand.New(rand.NewSource(95)), 6, 2, 30)
+	m := g.MarkClean()
+	// Redundant patch: a chain with duplicated logic the optimizer can fold.
+	x, y := g.Input(0), g.Input(1)
+	a1 := g.And(x, y)
+	a2 := g.And(a1, g.And(x, y.Not()))
+	a3 := g.And(a2, a1.Not())
+	dup := g.And(a3.Not(), g.And(a2, a1.Not()).Not())
+	g.SetOutput(0, g.And(dup, a3.Not()))
+
+	liveBefore := liveDirty(g, m)
+	Resyn2().RunWindow(g, m, NewArena())
+	liveAfter := liveDirty(g, m)
+	if liveAfter > liveBefore {
+		t.Fatalf("windowed recipe grew live dirty region: %d -> %d", liveBefore, liveAfter)
+	}
+}
+
+// liveDirty counts live dirty AND nodes relative to the mark.
+func liveDirty(g *aig.AIG, m aig.Mark) int {
+	a := NewArena()
+	w := winPrep(g, m, a)
+	return len(w.order)
+}
