@@ -55,6 +55,7 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"github.com/nyu-secml/almost/internal/aig"
 	"github.com/nyu-secml/almost/internal/attack/satattack"
@@ -86,11 +87,30 @@ var commands = map[string]command{
 	"pipeline":   cmdPipeline,
 	"experiment": cmdExperiment,
 	"scaling":    cmdScaling,
+	"remote":     cmdRemote,
+	"soak":       cmdSoak,
 }
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Manual signal handling instead of signal.NotifyContext: the first
+	// signal cancels the context (handlers stop at their next checkpoint
+	// and the deferred profile stops run), but NotifyContext keeps its
+	// registration after that, so a second Ctrl-C on a wedged run would
+	// be swallowed and the only way out — SIGKILL — loses any active
+	// -cpuprofile/-memprofile data. Here the second signal finalizes the
+	// profiles itself and force-exits.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		cancel()
+		<-sigc
+		finalizeProfiles()
+		fmt.Fprintln(os.Stderr, "almost: forced exit")
+		os.Exit(130)
+	}()
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
@@ -145,6 +165,10 @@ commands:
               (transfer | table1 | fig4 | table2 | table3 | fig5)
   scaling     incremental-vs-full candidate-evaluation latency curve
               (the BENCH_pr8.json artifact)
+  remote      talk to an almostd hardening server
+              (submit | status | result | cancel | watch | list | stats)
+  soak        hammer an almostd server with mixed load and verify
+              determinism end to end (self-hosts when -server is empty)
 
 netlist files may be .bench, .aag, or .aig (format sniffed from the
 extension); -circuit also accepts a built-in benchmark name.
@@ -168,6 +192,22 @@ func jobsFlag(fs *flag.FlagSet) *int {
 // subcommands.
 func progressFlag(fs *flag.FlagSet) *bool {
 	return fs.Bool("progress", false, "stream one-line status updates (epochs, SA iterations) to stderr")
+}
+
+// timeoutFlag registers the shared -timeout flag on long-running
+// subcommands: a wall-clock deadline on the run context.
+func timeoutFlag(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("timeout", 0,
+		"abort after this long (0 = no limit); exits through the same best-so-far path as Ctrl-C")
+}
+
+// applyTimeout derives the command context from -timeout. The returned
+// cancel must be deferred even when no deadline is set.
+func applyTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
 }
 
 // lockerFlag registers the shared -locker flag: a registered locking
@@ -427,9 +467,12 @@ func cmdAttack(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	oracleFile := fs.String("oracle", "",
 		"unlocked netlist simulated as the oracle (oracle-guided attacks: satattack, appsat)")
 	list := fs.Bool("list", false, "list the registered attacks and exit")
+	timeout := timeoutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancelTimeout := applyTimeout(ctx, *timeout)
+	defer cancelTimeout()
 	if *list {
 		for _, name := range core.Attackers() {
 			fmt.Fprintln(stdout, name)
@@ -509,10 +552,13 @@ func cmdTune(ctx context.Context, args []string, stdout, stderr io.Writer) error
 	attacks := attacksFlag(fs)
 	jobs := jobsFlag(fs)
 	progress := progressFlag(fs)
+	timeout := timeoutFlag(fs)
 	cpuProfile, memProfile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancelTimeout := applyTimeout(ctx, *timeout)
+	defer cancelTimeout()
 	if *keyFile == "" {
 		return fmt.Errorf("tune: -keyfile is required")
 	}
@@ -617,10 +663,13 @@ func cmdPipeline(ctx context.Context, args []string, stdout, stderr io.Writer) e
 	keyFile := fs.String("keyfile", "", "optional file to store the correct key")
 	jobs := jobsFlag(fs)
 	progress := progressFlag(fs)
+	timeout := timeoutFlag(fs)
 	cpuProfile, memProfile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancelTimeout := applyTimeout(ctx, *timeout)
+	defer cancelTimeout()
 	if *full && *quick {
 		return fmt.Errorf("pipeline: -full and -quick are mutually exclusive")
 	}

@@ -1,0 +1,316 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/nyu-secml/almost/internal/netio"
+	"github.com/nyu-secml/almost/internal/service"
+)
+
+// cmdRemote is the client side of almostd: submit jobs to a hardening
+// server, follow their event streams, fetch results, cancel them. The
+// wire protocol is plain HTTP+JSON (see internal/service), so anything
+// these subcommands do, curl can too.
+func cmdRemote(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
+		remoteUsage(stderr)
+		return fmt.Errorf("remote: a subcommand is required")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "submit":
+		return remoteSubmit(ctx, rest, stdout, stderr)
+	case "status":
+		return remoteStatus(ctx, rest, stdout, stderr)
+	case "result":
+		return remoteResult(ctx, rest, stdout, stderr)
+	case "cancel":
+		return remoteCancel(ctx, rest, stdout, stderr)
+	case "watch":
+		return remoteWatch(ctx, rest, stdout, stderr)
+	case "list":
+		return remoteList(ctx, rest, stdout, stderr)
+	case "stats":
+		return remoteStats(ctx, rest, stdout, stderr)
+	case "help", "-h", "--help":
+		remoteUsage(stderr)
+		return nil
+	}
+	remoteUsage(stderr)
+	return fmt.Errorf("remote: unknown subcommand %q", sub)
+}
+
+func remoteUsage(w io.Writer) {
+	fmt.Fprintln(w, `almost remote — talk to an almostd hardening server
+
+subcommands:
+  submit   submit a lock/attack/harden/pipeline job (prints the job ID)
+  status   show one job's state
+  result   fetch a finished job's result (JSON)
+  cancel   cancel a job wherever it is
+  watch    stream a job's live progress (NDJSON feed, rendered)
+  list     list all jobs on the server
+  stats    show queue/pool/counter snapshot
+
+the server resolves from -server, then $`+service.EnvAddr+`, then `+service.DefaultAddr+`
+
+run "almost remote <subcommand> -h" for per-subcommand flags`)
+}
+
+// serverFlag registers the shared -server flag.
+func serverFlag(fs interface {
+	String(name, value, usage string) *string
+}) *string {
+	return fs.String("server", "", "almostd address (default $"+service.EnvAddr+" or "+service.DefaultAddr+")")
+}
+
+// remoteClient resolves the server address and builds a client.
+func remoteClient(addr string) *service.Client {
+	if addr == "" {
+		if v, ok := os.LookupEnv(service.EnvAddr); ok && v != "" {
+			addr = v
+		} else {
+			addr = service.DefaultAddr
+		}
+	}
+	return service.NewClient(addr)
+}
+
+func remoteSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("remote submit", stderr)
+	server := serverFlag(fs)
+	kind := fs.String("kind", "harden", "job kind (lock | attack | harden | pipeline)")
+	in, circuit := circuitFlags(fs)
+	keySize := fs.Int("keysize", 0, "number of key gates (0 = server default)")
+	seed := fs.Int64("seed", 0, "framework seed (0 = server default)")
+	locker := fs.String("locker", "", "locking scheme chain, comma-separated (empty = rll)")
+	evalAttacks := fs.String("attacks", "", "search-objective attack ensemble, comma-separated (empty = omla proxy)")
+	attacks := fs.String("attack", "", "evaluation attacks, comma-separated (attack and pipeline jobs)")
+	recipeStr := fs.String("recipe", "", "defender's recipe for self-referencing attacks (attack jobs)")
+	keyFile := fs.String("keyfile", "", "true key file (attack jobs)")
+	effort := fs.String("effort", "", "framework budget (smoke | quick | default | full; empty = quick)")
+	jobs := fs.Int("jobs", 0, "requested engine-worker budget (the server clamps to its pool)")
+	timeout := fs.Duration("timeout", 0, "server-side run deadline (0 = none)")
+	watch := fs.Bool("watch", false, "follow the job's event stream until it finishes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := service.JobSpec{
+		Kind:        service.JobKind(*kind),
+		KeySize:     *keySize,
+		Seed:        *seed,
+		Lockers:     splitList(*locker),
+		EvalAttacks: splitList(*evalAttacks),
+		Attacks:     splitList(*attacks),
+		Recipe:      *recipeStr,
+		Effort:      service.Effort(*effort),
+		Parallelism: *jobs,
+		Timeout:     service.Duration(*timeout),
+	}
+	switch {
+	case *in != "" && *circuit != "":
+		return fmt.Errorf("remote submit: -in and -circuit are mutually exclusive")
+	case *in != "":
+		// The server may not share our filesystem: inline the netlist,
+		// normalized to BENCH text by the same netio path the library
+		// uses.
+		g, err := netio.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		var sb strings.Builder
+		if err := netio.WriteBench(&sb, g); err != nil {
+			return err
+		}
+		spec.Netlist, spec.Format = sb.String(), "bench"
+	case *circuit != "":
+		if isNetlistFile(*circuit) {
+			g, err := netio.ReadFile(*circuit)
+			if err != nil {
+				return err
+			}
+			var sb strings.Builder
+			if err := netio.WriteBench(&sb, g); err != nil {
+				return err
+			}
+			spec.Netlist, spec.Format = sb.String(), "bench"
+		} else {
+			spec.Circuit = *circuit
+		}
+	default:
+		return fmt.Errorf("remote submit: -in (or -circuit) is required")
+	}
+	if *keyFile != "" {
+		key, err := readKeyFile(*keyFile)
+		if err != nil {
+			return err
+		}
+		spec.Key = key.String()
+	}
+	client := remoteClient(*server)
+	id, err := client.Submit(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("remote submit: %w", err)
+	}
+	fmt.Fprintln(stdout, id)
+	if !*watch {
+		return nil
+	}
+	return followJob(ctx, client, id, 0, stdout, stderr)
+}
+
+// followJob renders a job's stream until its terminal event, then
+// prints the result (or surfaces the failure).
+func followJob(ctx context.Context, client *service.Client, id string, from int,
+	stdout, stderr io.Writer) error {
+	render := progressObserver(stderr)
+	term, err := client.Watch(ctx, id, from, func(ev service.StreamEvent) error {
+		switch ev.Type {
+		case service.StreamProgress:
+			if ev.Event != nil {
+				render(*ev.Event)
+			}
+		case service.StreamStateChange:
+			fmt.Fprintf(stderr, "[%s] %s\n", id, ev.State)
+		case service.StreamGap:
+			fmt.Fprintf(stderr, "[%s] (%d events aged out of the replay buffer)\n", id, ev.Dropped)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("remote watch: %w", err)
+	}
+	if term.Type == service.StreamError {
+		return fmt.Errorf("job %s %s: %s", id, term.State, term.Error)
+	}
+	return printJSON(stdout, term.Result)
+}
+
+// printJSON renders v as indented JSON on w.
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// remoteJobID extracts the job ID positional argument.
+func remoteJobID(fs interface{ Args() []string }, sub string) (string, error) {
+	args := fs.Args()
+	if len(args) != 1 {
+		return "", fmt.Errorf("remote %s: exactly one job ID argument is required", sub)
+	}
+	return args[0], nil
+}
+
+func remoteStatus(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("remote status", stderr)
+	server := serverFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := remoteJobID(fs, "status")
+	if err != nil {
+		return err
+	}
+	st, err := remoteClient(*server).Status(ctx, id)
+	if err != nil {
+		return fmt.Errorf("remote status: %w", err)
+	}
+	return printJSON(stdout, st)
+}
+
+func remoteResult(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("remote result", stderr)
+	server := serverFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := remoteJobID(fs, "result")
+	if err != nil {
+		return err
+	}
+	res, st, err := remoteClient(*server).Result(ctx, id)
+	if err != nil {
+		return fmt.Errorf("remote result: %w", err)
+	}
+	if res == nil {
+		return fmt.Errorf("remote result: job %s is %s (%s)", id, st.State, st.Error)
+	}
+	return printJSON(stdout, res)
+}
+
+func remoteCancel(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("remote cancel", stderr)
+	server := serverFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := remoteJobID(fs, "cancel")
+	if err != nil {
+		return err
+	}
+	if err := remoteClient(*server).Cancel(ctx, id); err != nil {
+		return fmt.Errorf("remote cancel: %w", err)
+	}
+	fmt.Fprintf(stdout, "canceling %s\n", id)
+	return nil
+}
+
+func remoteWatch(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("remote watch", stderr)
+	server := serverFlag(fs)
+	from := fs.Int("from", 0, "resume the stream from this sequence number")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := remoteJobID(fs, "watch")
+	if err != nil {
+		return err
+	}
+	return followJob(ctx, remoteClient(*server), id, *from, stdout, stderr)
+}
+
+func remoteList(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("remote list", stderr)
+	server := serverFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	jobs, err := remoteClient(*server).Jobs(ctx)
+	if err != nil {
+		return fmt.Errorf("remote list: %w", err)
+	}
+	for _, j := range jobs {
+		line := fmt.Sprintf("%s  %-8s  %-8s", j.ID, j.Kind, j.State)
+		if j.Phase != "" && !j.State.Terminal() {
+			line += "  " + string(j.Phase)
+		}
+		if j.Error != "" {
+			line += "  (" + j.Error + ")"
+		}
+		fmt.Fprintln(stdout, line)
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(stderr, "no jobs")
+	}
+	return nil
+}
+
+func remoteStats(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("remote stats", stderr)
+	server := serverFlag(fs)
+	withJobs := fs.Bool("jobs", false, "include per-job statuses")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stats, err := remoteClient(*server).Stats(ctx, *withJobs)
+	if err != nil {
+		return fmt.Errorf("remote stats: %w", err)
+	}
+	return printJSON(stdout, stats)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"github.com/nyu-secml/almost/internal/service"
+)
+
+// cmdSoak hammers an almostd server with the mixed submit/cancel/watch
+// load from internal/service.Soak and holds it to the harness's bar:
+// every job terminal, no stalled streams, verified results
+// byte-identical to direct library runs. With no -server it self-hosts:
+// an in-process almostd on a loopback port, torn down afterwards with a
+// goroutine-leak check — the acceptance soak in one command:
+//
+//	almost soak                      (self-hosted, 500 requests, 32 workers)
+//	almost soak -n 80 -c 8           (CI smoke shape)
+//	almost soak -server host:9571    (against a running daemon)
+func cmdSoak(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("soak", stderr)
+	server := serverFlag(fs)
+	n := fs.Int("n", 500, "total job submissions")
+	c := fs.Int("c", 32, "concurrent client workers")
+	verify := fs.Int("verify", 5, "verify every Nth completed job against a direct library run (0 = off)")
+	seed := fs.Int64("seed", 1, "request-mix seed")
+	circuit := fs.String("circuit", "c432", "benchmark the jobs run on")
+	pool := fs.Int("pool", 4, "self-hosted server's worker pool size")
+	queue := fs.Int("queue", 48, "self-hosted server's queue limit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := service.SoakConfig{
+		Requests:    *n,
+		Concurrency: *c,
+		VerifyEvery: *verify,
+		Seed:        *seed,
+		Circuit:     *circuit,
+		Out:         stderr,
+	}
+
+	var client *service.Client
+	var teardown func() error
+	if *server != "" {
+		client = remoteClient(*server)
+		teardown = func() error { return nil }
+	} else {
+		before := runtime.NumGoroutine()
+		sctx, cancel := context.WithCancel(ctx)
+		sched := service.NewScheduler(sctx, service.SchedulerConfig{
+			PoolSize: *pool, QueueLimit: *queue})
+		srv := &http.Server{Handler: service.NewServer(sched)}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cancel()
+			return err
+		}
+		go srv.Serve(ln)
+		fmt.Fprintf(stderr, "soak: self-hosted almostd on %s (pool=%d queue<=%d)\n",
+			ln.Addr(), *pool, *queue)
+		client = service.NewClient(ln.Addr().String())
+		teardown = func() error {
+			srv.Close()
+			sched.Close()
+			cancel()
+			// The leak check: after teardown the process must return to
+			// its baseline goroutine count, or a runner/stream/waiter is
+			// stuck.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				runtime.GC()
+				if g := runtime.NumGoroutine(); g <= before+2 {
+					return nil
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("soak: goroutine leak: %d before, %d after teardown",
+						before, runtime.NumGoroutine())
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+	}
+
+	start := time.Now()
+	report, err := service.Soak(ctx, client, cfg)
+	if err != nil {
+		teardown()
+		return fmt.Errorf("soak: %w (report: %+v)", err, report)
+	}
+	if err := teardown(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "soak: clean in %s\n", time.Since(start).Round(time.Millisecond))
+	return printJSON(stdout, report)
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTimeoutFlagCancelsComputeCommands drives -timeout on the three
+// long-running commands with a deadline that expires before any real
+// work: each must exit through the same "interrupted" path as Ctrl-C,
+// promptly, instead of running to completion.
+func TestTimeoutFlagCancelsComputeCommands(t *testing.T) {
+	dir := t.TempDir()
+	locked := filepath.Join(dir, "locked.bench")
+	keyFile := filepath.Join(dir, "key.txt")
+	if code, _, stderr := runCLI("lock", "-circuit", "c432", "-keysize", "8",
+		"-o", locked, "-keyfile", keyFile); code != 0 {
+		t.Fatalf("lock failed: %s", stderr)
+	}
+	for _, args := range [][]string{
+		{"attack", "-in", locked, "-attack", "omla", "-keyfile", keyFile, "-timeout", "1ms"},
+		{"tune", "-in", locked, "-keyfile", keyFile, "-timeout", "1ms"},
+		{"pipeline", "-circuit", "c432", "-quick", "-timeout", "1ms"},
+	} {
+		code, _, stderr := runCLI(args...)
+		if code != 1 {
+			t.Fatalf("run(%v) = %d, want 1 (stderr: %s)", args, code, stderr)
+		}
+		if !strings.Contains(stderr, "interrupted") {
+			t.Fatalf("run(%v) stderr lacks 'interrupted': %q", args, stderr)
+		}
+	}
+}
+
+// TestTimeoutFlagParsing covers the flag edges: a malformed duration is
+// a parse error, and an explicit zero means "no limit" (the command
+// proceeds to its ordinary flag validation).
+func TestTimeoutFlagParsing(t *testing.T) {
+	code, _, stderr := runCLI("tune", "-timeout", "forever")
+	if code != 1 || !strings.Contains(stderr, "invalid value") {
+		t.Fatalf("tune -timeout forever: code=%d stderr=%q", code, stderr)
+	}
+	code, _, stderr = runCLI("tune", "-timeout", "0")
+	if code != 1 || !strings.Contains(stderr, "-keyfile is required") {
+		t.Fatalf("tune -timeout 0: code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestFinalizeProfilesOnSignalPath exercises the forced-exit flow: a
+// command starts profiling, the second signal calls finalizeProfiles
+// mid-run, and the profile files must land complete anyway. The
+// command's own deferred stop must then be a harmless no-op, and after
+// unregistration a later finalizeProfiles must not touch the files.
+func TestFinalizeProfilesOnSignalPath(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := startProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to hold.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+
+	finalizeProfiles() // what the signal goroutine does before os.Exit
+
+	for _, path := range []string{cpu, mem} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		// pprof output is gzip-compressed protobuf.
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Fatalf("%s is not a gzip pprof profile (%d bytes)", path, len(data))
+		}
+	}
+
+	// The normal deferred stop runs after the signal path already
+	// finalized: it must not double-stop or rewrite the files.
+	before, err := os.ReadFile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	after, err := os.ReadFile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("stop() after finalizeProfiles rewrote the CPU profile: %d -> %d bytes",
+			len(before), len(after))
+	}
+
+	// stop() unregistered the finalizer; a later sweep must leave a
+	// removed file removed rather than resurrect it.
+	if err := os.Remove(mem); err != nil {
+		t.Fatal(err)
+	}
+	finalizeProfiles()
+	if _, err := os.Stat(mem); !os.IsNotExist(err) {
+		t.Fatalf("finalizeProfiles after unregister recreated %s", mem)
+	}
+}
+
+// TestStartProfilesSequentialRuns makes sure one command's profiling
+// session doesn't wedge the next (CPU profiling is process-global).
+func TestStartProfilesSequentialRuns(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		cpu := filepath.Join(dir, "cpu.pprof")
+		stop, err := startProfiles(cpu, "")
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		stop()
+		if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+			t.Fatalf("round %d: cpu profile missing or empty (%v)", i, err)
+		}
+	}
+}
+
+// TestRemoteDispatch covers the remote subcommand surface that needs no
+// server: usage, help, and unknown-subcommand handling.
+func TestRemoteDispatch(t *testing.T) {
+	code, _, stderr := runCLI("remote")
+	if code != 1 || !strings.Contains(stderr, "a subcommand is required") ||
+		!strings.Contains(stderr, "subcommands:") {
+		t.Fatalf("remote: code=%d stderr=%q", code, stderr)
+	}
+	code, _, stderr = runCLI("remote", "frobnicate")
+	if code != 1 || !strings.Contains(stderr, `unknown subcommand "frobnicate"`) {
+		t.Fatalf("remote frobnicate: code=%d stderr=%q", code, stderr)
+	}
+	code, _, stderr = runCLI("remote", "help")
+	if code != 0 || !strings.Contains(stderr, "subcommands:") {
+		t.Fatalf("remote help: code=%d stderr=%q", code, stderr)
+	}
+	code, _, stderr = runCLI("remote", "status")
+	if code != 1 || !strings.Contains(stderr, "job ID") {
+		t.Fatalf("remote status without id: code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestSoakFlagValidation: the soak command must fail flag parsing
+// before standing up any server.
+func TestSoakFlagValidation(t *testing.T) {
+	code, _, stderr := runCLI("soak", "-n", "lots")
+	if code != 1 || !strings.Contains(stderr, "invalid value") {
+		t.Fatalf("soak -n lots: code=%d stderr=%q", code, stderr)
+	}
+}

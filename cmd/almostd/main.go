@@ -1,0 +1,115 @@
+// Command almostd is the ALMOST hardening-as-a-service job server.
+// Clients (almost remote ...) submit lock/attack/harden/pipeline jobs
+// over plain HTTP+JSON; the daemon runs them through the library on a
+// shared, fairly scheduled engine-worker pool and streams each job's
+// progress feed back as NDJSON. Everything is stdlib: no TLS
+// termination, no auth — put it behind a reverse proxy for anything but
+// loopback use.
+//
+// Configuration is environment-first (ALMOSTD_ADDR, ALMOSTD_POOL_SIZE,
+// ALMOSTD_QUEUE_LIMIT, ALMOSTD_EVENT_BUFFER); flags override for ad-hoc
+// runs:
+//
+//	almostd
+//	almostd -addr 127.0.0.1:9571 -pool 8 -queue 128
+//
+// SIGINT/SIGTERM shut down gracefully: the listener closes, every
+// queued and running job is canceled at its next checkpoint, and the
+// process exits once the job table drains. A second signal force-exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/nyu-secml/almost/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr *os.File) int {
+	fs := flag.NewFlagSet("almostd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "listen address (overrides $"+service.EnvAddr+"; default "+service.DefaultAddr+")")
+	pool := fs.Int("pool", 0, "engine worker slots shared by all jobs (overrides $"+service.EnvPoolSize+")")
+	queue := fs.Int("queue", 0, "max accepted-but-unfinished jobs (overrides $"+service.EnvQueueLimit+")")
+	buffer := fs.Int("buffer", 0, "per-job event replay buffer (overrides $"+service.EnvEventBuffer+")")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	cfg, err := service.ConfigFromEnv(nil)
+	if err != nil {
+		fmt.Fprintf(stderr, "almostd: %v\n", err)
+		return 2
+	}
+	if *addr != "" {
+		cfg.Addr = *addr
+	}
+	if *pool > 0 {
+		cfg.Scheduler.PoolSize = *pool
+	}
+	if *queue > 0 {
+		cfg.Scheduler.QueueLimit = *queue
+	}
+	if *buffer > 0 {
+		cfg.Scheduler.EventBuffer = *buffer
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sched := service.NewScheduler(ctx, cfg.Scheduler)
+	srv := &http.Server{Handler: service.NewServer(sched)}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "almostd: %v\n", err)
+		return 1
+	}
+	filled := sched.Config()
+	fmt.Fprintf(stderr, "almostd: listening on %s (pool=%d queue<=%d buffer=%d)\n",
+		ln.Addr(), filled.PoolSize, filled.QueueLimit, filled.EventBuffer)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "almostd: %v\n", err)
+			return 1
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(stderr, "almostd: %v — draining (signal again to force exit)\n", sig)
+		go func() {
+			<-sigc
+			fmt.Fprintln(stderr, "almostd: forced exit")
+			os.Exit(130)
+		}()
+		// Stop accepting, cancel the job table, then close the streams:
+		// watchers see each job's canceled terminal event before their
+		// connections drop.
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer shutCancel()
+		cancel()
+		sched.Close()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			srv.Close()
+		}
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+// Remote: the hardening-as-a-service quickstart. It stands up an
+// in-process almostd (the same scheduler + HTTP handler the daemon
+// runs), then walks the whole client protocol: submit a harden job,
+// follow its live NDJSON event stream, fetch the bit-stable result, and
+// prove the served recipe matches a direct library call with the same
+// seed — the determinism contract the soak harness enforces at scale.
+//
+// Against a real deployment nothing changes but the address:
+//
+//	almostd &                                         # or a remote host
+//	almost remote submit -kind harden -circuit c432 -watch
+//
+//	go run ./examples/remote          (~30 seconds)
+//	go run ./examples/remote -quick   (a few seconds; CI uses this)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	// In-repo example: the service lives under internal/. External
+	// clients don't import anything — the protocol is plain HTTP+JSON,
+	// so any language's stdlib is a complete client.
+	"github.com/nyu-secml/almost/internal/service"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smoke-effort job so the example finishes in seconds")
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// An in-process almostd: shared 2-slot worker pool, bounded queue.
+	sched := service.NewScheduler(ctx, service.SchedulerConfig{PoolSize: 2, QueueLimit: 8})
+	defer sched.Close()
+	srv := &http.Server{Handler: service.NewServer(sched)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Printf("server:   %s\n", ln.Addr())
+
+	client := service.NewClient(ln.Addr().String())
+
+	// Submit the full ALMOST flow as a job. Effort picks the framework
+	// budget; Parallelism asks for pool slots (the server clamps it, and
+	// the result provably doesn't depend on what it grants).
+	spec := service.JobSpec{
+		Kind:        service.KindHarden,
+		Circuit:     "c432",
+		KeySize:     16,
+		Seed:        7,
+		Effort:      service.EffortQuick,
+		Parallelism: 2,
+	}
+	if *quick {
+		spec.KeySize = 8
+		spec.Effort = service.EffortSmoke
+	}
+	id, err := client.Submit(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job:      %s\n", id)
+
+	// Follow the live stream: state changes and the pipeline's progress
+	// events (training epochs, SA iterations) as they happen.
+	events := 0
+	result, err := client.Wait(ctx, id, func(ev service.StreamEvent) error {
+		events++
+		switch ev.Type {
+		case service.StreamStateChange:
+			fmt.Printf("  [%03d] state: %s\n", ev.Seq, ev.State)
+		case service.StreamProgress:
+			if ev.Event != nil && ev.Event.Iteration == 0 && ev.Event.Epoch == 0 {
+				fmt.Printf("  [%03d] phase: %s\n", ev.Seq, ev.Event.Phase)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stream:   %d events\n", events)
+	fmt.Printf("recipe:   %s\n", result.Recipe)
+	fmt.Printf("accuracy: %.2f%% (proxy)\n", result.Accuracy*100)
+	fmt.Printf("key:      %s\n", result.Key)
+
+	// The determinism contract: a direct library call with the same spec
+	// and Parallelism 1 must reproduce the served result bit for bit.
+	direct, err := service.RunSpec(ctx, spec, 1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if direct.Recipe != result.Recipe || direct.Key != result.Key || direct.Netlist != result.Netlist {
+		log.Fatal("served result differs from the direct library call")
+	}
+	fmt.Println("verified: served result == direct library run")
+}

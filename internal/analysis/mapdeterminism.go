@@ -9,7 +9,7 @@ import (
 // promise bit-for-bit identical output for any Parallelism (the PR 1/5
 // trajectory invariant). Matched by the last path element so testdata
 // stand-ins qualify too.
-var determinismPackages = []string{"engine", "anneal", "core", "experiments"}
+var determinismPackages = []string{"engine", "anneal", "core", "experiments", "service"}
 
 // MapDeterminism flags `range` over a map inside the determinism-critical
 // packages. Go randomizes map iteration order, so any reduction folded in
@@ -26,7 +26,7 @@ var determinismPackages = []string{"engine", "anneal", "core", "experiments"}
 // reach results.
 var MapDeterminism = &Analyzer{
 	Name: "mapdeterminism",
-	Doc:  "report map iteration in result-reduction paths of engine/anneal/core/experiments",
+	Doc:  "report map iteration in result-reduction paths of engine/anneal/core/experiments/service",
 	Run:  runMapDeterminism,
 }
 

@@ -24,6 +24,7 @@ package anneal
 
 import (
 	"context"
+	"encoding/json"
 	"math"
 	"math/rand"
 )
@@ -55,12 +56,62 @@ func PaperConfig() Config {
 }
 
 // TracePoint records one iteration for the Fig. 4/5 style curves.
+//
+// TracePoint has a stable JSON wire encoding (the field tags below are
+// a compatibility surface for persisted traces and the almostd event
+// stream): a non-finite energy — the +Inf "never evaluated" sentinel,
+// or the NaN an aborted ensemble evaluation leaves behind — is omitted
+// on marshal and restored as NaN on unmarshal.
 type TracePoint[S any] struct {
-	Iteration int
-	Energy    float64 // energy of the current state after the move
-	Best      float64 // best energy so far
-	State     S       // current state
-	BestState S       // best state so far (may still be the initial state)
+	Iteration int     `json:"iteration"`
+	Energy    float64 `json:"energy"`     // energy of the current state after the move
+	Best      float64 `json:"best"`       // best energy so far
+	State     S       `json:"state"`      // current state
+	BestState S       `json:"best_state"` // best state so far (may still be the initial state)
+}
+
+// finitePtr returns &f for finite values and nil otherwise, so NaN/Inf
+// (which encoding/json rejects) marshal as an omitted field.
+func finitePtr(f float64) *float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil
+	}
+	return &f
+}
+
+// fromFinitePtr inverts finitePtr: an absent energy unmarshals as NaN.
+func fromFinitePtr(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+// MarshalJSON implements the wire contract above: finite energies are
+// always emitted (including zeros), non-finite ones are omitted.
+func (tp TracePoint[S]) MarshalJSON() ([]byte, error) {
+	type alias TracePoint[S]
+	return json.Marshal(struct {
+		alias
+		Energy *float64 `json:"energy,omitempty"`
+		Best   *float64 `json:"best,omitempty"`
+	}{alias(tp), finitePtr(tp.Energy), finitePtr(tp.Best)})
+}
+
+// UnmarshalJSON restores an omitted energy field as NaN (see TracePoint).
+func (tp *TracePoint[S]) UnmarshalJSON(data []byte) error {
+	type alias TracePoint[S]
+	aux := struct {
+		*alias
+		Energy *float64 `json:"energy"`
+		Best   *float64 `json:"best"`
+	}{alias: (*alias)(tp)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	tp.Energy = fromFinitePtr(aux.Energy)
+	tp.Best = fromFinitePtr(aux.Best)
+	return nil
 }
 
 // Result is the annealing outcome.

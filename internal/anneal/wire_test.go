@@ -1,0 +1,68 @@
+package anneal
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestTracePointWireGolden pins the JSON field names of TracePoint —
+// persisted traces and the almostd event stream depend on them.
+func TestTracePointWireGolden(t *testing.T) {
+	tp := TracePoint[[]int]{Iteration: 7, Energy: 0.5, Best: 0.25,
+		State: []int{1, 2}, BestState: []int{3}}
+	data, err := json.Marshal(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"iteration":7,"state":[1,2],"best_state":[3],"energy":0.5,"best":0.25}`
+	if string(data) != want {
+		t.Fatalf("TracePoint wire format drifted:\n got  %s\n want %s", data, want)
+	}
+}
+
+// TestTracePointRoundTrip checks marshal/unmarshal identity, including
+// zero energies (which must stay on the wire, not be dropped).
+func TestTracePointRoundTrip(t *testing.T) {
+	points := []TracePoint[string]{
+		{},
+		{Iteration: 1, Energy: 0, Best: 0, State: "a", BestState: "a"},
+		{Iteration: 99, Energy: -1.5, Best: -2.25, State: "x", BestState: "y"},
+	}
+	for _, tp := range points {
+		data, err := json.Marshal(tp)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", tp, err)
+		}
+		var back TracePoint[string]
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !reflect.DeepEqual(tp, back) {
+			t.Fatalf("round trip changed the point:\n in  %+v\n out %+v", tp, back)
+		}
+	}
+}
+
+// TestTracePointNonFiniteEnergies checks that the +Inf never-evaluated
+// sentinel and NaN energies marshal as omitted fields and unmarshal as
+// NaN instead of failing or collapsing to 0.
+func TestTracePointNonFiniteEnergies(t *testing.T) {
+	tp := TracePoint[int]{Iteration: 0, Energy: math.Inf(1), Best: math.NaN(), State: 4, BestState: 4}
+	data, err := json.Marshal(tp)
+	if err != nil {
+		t.Fatalf("marshal with Inf/NaN energies: %v", err)
+	}
+	want := `{"iteration":0,"state":4,"best_state":4}`
+	if string(data) != want {
+		t.Fatalf("non-finite energies not omitted:\n got  %s\n want %s", data, want)
+	}
+	var back TracePoint[int]
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.Energy) || !math.IsNaN(back.Best) {
+		t.Fatalf("omitted energies should unmarshal as NaN, got %v / %v", back.Energy, back.Best)
+	}
+}

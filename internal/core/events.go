@@ -1,8 +1,10 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/nyu-secml/almost/internal/attack/omla"
 	"github.com/nyu-secml/almost/internal/attack/redundancy"
@@ -56,39 +58,95 @@ const (
 // epoch fields, search phases fill the iteration/recipe fields, and
 // PhaseSearch additionally reports the proxy-estimated attack accuracy
 // (the y-axis of Fig. 4).
+//
+// Event has a stable JSON wire encoding — the almostd job server
+// streams it to remote clients, so the field names below are a
+// compatibility surface, not an implementation detail. Unset optional
+// fields are omitted; recipes render as arrays of ABC-style step names
+// (["balance","rewrite -z",...]); a non-finite float (the NaN that
+// marks a not-yet-measured accuracy) is omitted on marshal and restored
+// as NaN on unmarshal, so absence and 0.0 never conflate.
 type Event struct {
-	Phase Phase
+	Phase Phase `json:"phase"`
 
 	// Attack labels the event with the registered attack it concerns:
 	// PhaseSearch events under an ensemble objective carry one event per
 	// attack per iteration, and attacker adapters label their own
 	// training epochs. Empty for events that concern no specific attack.
-	Attack string
+	Attack string `json:"attack,omitempty"`
 	// Lockers names the locking-scheme chain being applied (PhaseLock).
-	Lockers []string
+	Lockers []string `json:"lockers,omitempty"`
 
 	// Epoch / Epochs count completed training epochs (PhaseTrain).
-	Epoch  int
-	Epochs int
+	Epoch  int `json:"epoch,omitempty"`
+	Epochs int `json:"epochs,omitempty"`
 	// Samples is the training-set size at this epoch, growing at every
 	// Eq. 6 augmentation (PhaseTrain).
-	Samples int
+	Samples int `json:"samples,omitempty"`
 
 	// Iteration / Iterations count SA steps (PhaseSearch, PhaseAdvSearch).
-	Iteration  int
-	Iterations int
+	Iteration  int `json:"iteration,omitempty"`
+	Iterations int `json:"iterations,omitempty"`
 	// Energy and BestEnergy are the SA objective after the move and the
 	// best seen so far (PhaseSearch: |Acc − 0.5|; PhaseAdvSearch:
 	// negated model loss).
-	Energy     float64
-	BestEnergy float64
+	Energy     float64 `json:"energy"`
+	BestEnergy float64 `json:"best_energy"`
 	// Accuracy is the proxy-estimated attack accuracy of the current
 	// recipe (PhaseSearch only; 0.5 means random guessing).
-	Accuracy float64
+	Accuracy float64 `json:"accuracy"`
 	// Recipe is the SA chain's current state; Best is the best-so-far
 	// recipe. Observers must not mutate them.
-	Recipe synth.Recipe
-	Best   synth.Recipe
+	Recipe synth.Recipe `json:"recipe,omitempty"`
+	Best   synth.Recipe `json:"best,omitempty"`
+}
+
+// finitePtr returns &f for finite values and nil otherwise, so NaN/Inf
+// (which encoding/json rejects) marshal as an omitted field.
+func finitePtr(f float64) *float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil
+	}
+	return &f
+}
+
+// fromFinitePtr inverts finitePtr: an absent float unmarshals as NaN,
+// keeping "not measured" distinct from an explicit 0.
+func fromFinitePtr(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+// MarshalJSON implements the wire contract above: finite floats are
+// always emitted (including zeros), non-finite floats are omitted.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type alias Event // drops the methods, keeping the field tags
+	return json.Marshal(struct {
+		alias
+		Energy     *float64 `json:"energy,omitempty"`
+		BestEnergy *float64 `json:"best_energy,omitempty"`
+		Accuracy   *float64 `json:"accuracy,omitempty"`
+	}{alias(e), finitePtr(e.Energy), finitePtr(e.BestEnergy), finitePtr(e.Accuracy)})
+}
+
+// UnmarshalJSON restores an omitted float field as NaN (see Event).
+func (e *Event) UnmarshalJSON(data []byte) error {
+	type alias Event
+	aux := struct {
+		*alias
+		Energy     *float64 `json:"energy"`
+		BestEnergy *float64 `json:"best_energy"`
+		Accuracy   *float64 `json:"accuracy"`
+	}{alias: (*alias)(e)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	e.Energy = fromFinitePtr(aux.Energy)
+	e.BestEnergy = fromFinitePtr(aux.BestEnergy)
+	e.Accuracy = fromFinitePtr(aux.Accuracy)
+	return nil
 }
 
 // Observer consumes streamed Events. Observers run synchronously on the

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// TestEventWireGolden pins the JSON wire format of Event: the almostd
+// server streams these bytes to remote clients, so a field rename or a
+// recipe-encoding change is a protocol break, not a refactor.
+func TestEventWireGolden(t *testing.T) {
+	ev := Event{
+		Phase:      PhaseSearch,
+		Attack:     "omla",
+		Iteration:  3,
+		Iterations: 40,
+		Energy:     0.125,
+		BestEnergy: 0.0625,
+		Accuracy:   0.625,
+		Recipe:     synth.Recipe{synth.StepBalance, synth.StepRewriteZ},
+		Best:       synth.Recipe{synth.StepBalance},
+	}
+	got, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"phase":"recipe-search","attack":"omla","iteration":3,"iterations":40,` +
+		`"recipe":["balance","rewrite -z"],"best":["balance"],` +
+		`"energy":0.125,"best_energy":0.0625,"accuracy":0.625}`
+	if string(got) != want {
+		t.Fatalf("Event wire format drifted:\n got  %s\n want %s", got, want)
+	}
+
+	lockEv := Event{Phase: PhaseLock, Lockers: []string{"rll", "mux"}}
+	got, err = json.Marshal(lockEv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"phase":"lock","lockers":["rll","mux"],"energy":0,"best_energy":0,"accuracy":0}`
+	if string(got) != want {
+		t.Fatalf("lock Event wire format drifted:\n got  %s\n want %s", got, want)
+	}
+}
+
+// TestEventRoundTrip checks marshal/unmarshal identity across the phase
+// shapes the pipeline actually emits, including zero floats (which must
+// stay distinguishable from omitted ones).
+func TestEventRoundTrip(t *testing.T) {
+	events := []Event{
+		{},
+		{Phase: PhaseLock, Lockers: []string{"rll"}},
+		{Phase: PhaseTrain, Attack: "omla", Epoch: 2, Epochs: 30, Samples: 1200},
+		{Phase: PhaseAdvSearch, Iteration: 5, Iterations: 12, Energy: -0.75, BestEnergy: -0.875},
+		{Phase: PhaseSearch, Attack: "scope", Iteration: 0, Iterations: 40,
+			Energy: 0, BestEnergy: 0, Accuracy: 0.5,
+			Recipe: synth.Resyn2(), Best: synth.Resyn2()},
+		{Phase: PhaseSynth, Accuracy: 0.51, Recipe: synth.Recipe{synth.StepResub}},
+	}
+	for _, ev := range events {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", ev, err)
+		}
+		var back Event
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !reflect.DeepEqual(ev, back) {
+			t.Fatalf("round trip changed the event:\n in   %+v\n out  %+v\n wire %s", ev, back, data)
+		}
+	}
+}
+
+// TestEventNonFiniteFloats checks the NaN/Inf discipline: non-finite
+// floats marshal as omitted fields (NaN would make json.Marshal fail)
+// and come back as NaN, never as a silent 0.
+func TestEventNonFiniteFloats(t *testing.T) {
+	ev := Event{Phase: PhaseSearch, Accuracy: math.NaN(), Energy: math.Inf(1), BestEnergy: 0.25}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatalf("marshal with NaN/Inf: %v", err)
+	}
+	want := `{"phase":"recipe-search","best_energy":0.25}`
+	if string(data) != want {
+		t.Fatalf("non-finite floats not omitted:\n got  %s\n want %s", data, want)
+	}
+	var back Event
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.Accuracy) || !math.IsNaN(back.Energy) {
+		t.Fatalf("omitted floats should unmarshal as NaN, got acc=%v energy=%v", back.Accuracy, back.Energy)
+	}
+	if back.BestEnergy != 0.25 {
+		t.Fatalf("finite float lost in round trip: %v", back.BestEnergy)
+	}
+}

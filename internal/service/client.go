@@ -1,0 +1,222 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Client talks the Server protocol. It is a thin, context-threaded
+// veneer over net/http: every call takes a context and honors it,
+// including mid-stream in Watch.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for addr — "host:port" or a full
+// "http://..." base URL.
+func NewClient(addr string) *Client {
+	return NewClientHTTP(addr, http.DefaultClient)
+}
+
+// NewClientHTTP is NewClient with an explicit http.Client (tests,
+// custom transports).
+func NewClientHTTP(addr string, hc *http.Client) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimSuffix(base, "/"), hc: hc}
+}
+
+// decodeError rebuilds a service error from a non-2xx response so
+// errors.Is works across the wire the same as in-process.
+func decodeError(resp *http.Response, body []byte) error {
+	var er errorResponse
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		msg = er.Error
+	}
+	var sentinel error
+	switch resp.StatusCode {
+	case http.StatusBadRequest:
+		sentinel = ErrBadSpec
+	case http.StatusNotFound:
+		sentinel = ErrNoSuchJob
+	case http.StatusTooManyRequests:
+		sentinel = ErrQueueFull
+	case http.StatusServiceUnavailable:
+		sentinel = ErrClosed
+	}
+	if sentinel != nil {
+		return fmt.Errorf("server: %w (%s)", sentinel, msg)
+	}
+	return fmt.Errorf("server: %s (HTTP %d)", msg, resp.StatusCode)
+}
+
+// do runs one request and decodes the JSON response into out (nil skips
+// decoding). ok lists the status codes that mean success.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, ok ...int) (int, error) {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	accepted := false
+	for _, code := range ok {
+		if resp.StatusCode == code {
+			accepted = true
+			break
+		}
+	}
+	if !accepted {
+		return resp.StatusCode, decodeError(resp, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Submit sends a job spec and returns its server-assigned ID.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (string, error) {
+	var sr submitResponse
+	_, err := c.do(ctx, http.MethodPost, "/jobs", spec, &sr, http.StatusCreated)
+	return sr.ID, err
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	_, err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st, http.StatusOK)
+	return st, err
+}
+
+// Result fetches a job's result; the pointer is nil until the job is
+// done (the status tells why).
+func (c *Client) Result(ctx context.Context, id string) (*JobResult, JobStatus, error) {
+	var rr resultResponse
+	_, err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/result", nil, &rr,
+		http.StatusOK, http.StatusAccepted)
+	return rr.Result, rr.Status, err
+}
+
+// Cancel asks the server to cancel a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	_, err := c.do(ctx, http.MethodPost, "/jobs/"+id+"/cancel", nil, nil, http.StatusOK)
+	return err
+}
+
+// Jobs lists all job statuses in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var js []JobStatus
+	_, err := c.do(ctx, http.MethodGet, "/jobs", nil, &js, http.StatusOK)
+	return js, err
+}
+
+// Stats fetches the server snapshot.
+func (c *Client) Stats(ctx context.Context, withJobs bool) (Stats, error) {
+	path := "/stats"
+	if withJobs {
+		path += "?jobs=1"
+	}
+	var st Stats
+	_, err := c.do(ctx, http.MethodGet, path, nil, &st, http.StatusOK)
+	return st, err
+}
+
+// Healthz probes liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	_, err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, http.StatusOK)
+	return err
+}
+
+// Watch streams a job's events from sequence from, calling fn for each
+// line until the stream's terminal event, an fn error, or ctx
+// cancellation. It returns the terminal event (zero if the stream ended
+// early with an error).
+func (c *Client) Watch(ctx context.Context, id string, from int, fn func(StreamEvent) error) (StreamEvent, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/jobs/"+id+"/events?from="+strconv.Itoa(from), nil)
+	if err != nil {
+		return StreamEvent{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return StreamEvent{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return StreamEvent{}, decodeError(resp, data)
+	}
+	// Result lines carry whole netlists; give the scanner room.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return StreamEvent{}, fmt.Errorf("decoding stream line: %w", err)
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return StreamEvent{}, err
+			}
+		}
+		if ev.Terminal() {
+			return ev, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return StreamEvent{}, ctx.Err()
+		}
+		return StreamEvent{}, err
+	}
+	return StreamEvent{}, fmt.Errorf("event stream for %s ended without a terminal event", id)
+}
+
+// Wait watches a job to completion and returns its result, unwrapping a
+// failed or canceled job into an error.
+func (c *Client) Wait(ctx context.Context, id string, fn func(StreamEvent) error) (*JobResult, error) {
+	term, err := c.Watch(ctx, id, 0, fn)
+	if err != nil {
+		return nil, err
+	}
+	if term.Type == StreamError {
+		return nil, fmt.Errorf("job %s %s: %s", id, term.State, term.Error)
+	}
+	return term.Result, nil
+}

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// Environment variable names. almostd is configured entirely through
+// the environment (flags only override), so a unit file or container
+// spec is the whole deployment story.
+const (
+	// EnvAddr is the listen address (host:port).
+	EnvAddr = "ALMOSTD_ADDR"
+	// EnvPoolSize is the shared engine-worker slot count.
+	EnvPoolSize = "ALMOSTD_POOL_SIZE"
+	// EnvQueueLimit caps accepted-but-unfinished jobs.
+	EnvQueueLimit = "ALMOSTD_QUEUE_LIMIT"
+	// EnvEventBuffer caps each job's event replay buffer.
+	EnvEventBuffer = "ALMOSTD_EVENT_BUFFER"
+)
+
+// DefaultAddr is the loopback-only default listen address.
+const DefaultAddr = "127.0.0.1:9571"
+
+// ServerConfig is almostd's full configuration.
+type ServerConfig struct {
+	Addr      string
+	Scheduler SchedulerConfig
+}
+
+// ConfigFromEnv reads the ALMOSTD_* variables through lookup (nil means
+// os.LookupEnv). Unset variables keep their defaults; a set-but-bad
+// value is an error, not a silent fallback.
+func ConfigFromEnv(lookup func(string) (string, bool)) (ServerConfig, error) {
+	if lookup == nil {
+		lookup = os.LookupEnv
+	}
+	cfg := ServerConfig{Addr: DefaultAddr}
+	if v, ok := lookup(EnvAddr); ok {
+		cfg.Addr = v
+	}
+	var err error
+	if cfg.Scheduler.PoolSize, err = envInt(lookup, EnvPoolSize, 0); err != nil {
+		return ServerConfig{}, err
+	}
+	if cfg.Scheduler.QueueLimit, err = envInt(lookup, EnvQueueLimit, 0); err != nil {
+		return ServerConfig{}, err
+	}
+	if cfg.Scheduler.EventBuffer, err = envInt(lookup, EnvEventBuffer, 0); err != nil {
+		return ServerConfig{}, err
+	}
+	return cfg, nil
+}
+
+func envInt(lookup func(string) (string, bool), name string, def int) (int, error) {
+	v, ok := lookup(name)
+	if !ok || v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("service: %s must be a non-negative integer, got %q", name, v)
+	}
+	return n, nil
+}

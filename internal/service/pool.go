@@ -1,0 +1,156 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// defaultMaxSkips bounds how many later arrivals may overtake a blocked
+// head-of-line waiter before the pool stops admitting anyone else until
+// the head fits. Small enough that a big job waits O(1) small jobs, big
+// enough to keep the pool busy while the head's budget drains free.
+const defaultMaxSkips = 4
+
+// Pool is the shared engine-worker slot pool all jobs draw from. A job
+// asks for its Parallelism budget and holds the granted slots for its
+// whole run; fairness is enforced at admission:
+//
+//   - waiters queue FIFO;
+//   - a later, smaller request may overtake a blocked head-of-line
+//     waiter at most maxSkips times (so small jobs flow around a big
+//     one while its slots drain free);
+//   - after that the head gets strict priority — nothing is admitted
+//     until it fits — so no request starves;
+//   - aggregate granted budget never exceeds the capacity, by
+//     construction: grants only subtract from the free count under the
+//     one mutex.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	free     int
+	waiters  []*waiter
+	maxSkips int
+}
+
+type waiter struct {
+	n     int
+	ready chan struct{} // closed-over grant signal, buffered
+	skips int           // times overtaken while at the head
+}
+
+// NewPool creates a pool with the given slot capacity (min 1).
+func NewPool(capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{capacity: capacity, free: capacity, maxSkips: defaultMaxSkips}
+}
+
+// Capacity returns the pool's total slot count.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// InFlight returns the aggregate granted budget right now.
+func (p *Pool) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity - p.free
+}
+
+// Waiting returns the number of requests queued for slots.
+func (p *Pool) Waiting() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.waiters)
+}
+
+// Acquire blocks until n slots are granted or ctx is done. n is clamped
+// to [1, capacity] — a job asking for more than the pool holds gets the
+// whole pool, not an error, because results don't depend on the budget.
+// It returns the granted count and a release function that must be
+// called exactly once when the job's run ends (calling it again is a
+// no-op).
+func (p *Pool) Acquire(ctx context.Context, n int) (granted int, release func(), err error) {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.capacity {
+		n = p.capacity
+	}
+	p.mu.Lock()
+	if len(p.waiters) == 0 && p.free >= n {
+		p.free -= n
+		p.mu.Unlock()
+		return n, p.releaseFunc(n), nil
+	}
+	w := &waiter{n: n, ready: make(chan struct{}, 1)}
+	p.waiters = append(p.waiters, w)
+	// The new arrival may fit around a blocked head (bounded overtaking)
+	// even though slots were not just released — scan now, not at the
+	// next release.
+	p.grantLocked()
+	p.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return n, p.releaseFunc(n), nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the cancellation: hand the slots straight
+			// back so they are not stranded.
+			p.free += n
+			p.grantLocked()
+		default:
+			for i, q := range p.waiters {
+				if q == w {
+					p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+		p.mu.Unlock()
+		return 0, nil, ctx.Err()
+	}
+}
+
+// releaseFunc builds the idempotent release closure for n granted slots.
+func (p *Pool) releaseFunc(n int) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.mu.Lock()
+			p.free += n
+			p.grantLocked()
+			p.mu.Unlock()
+		})
+	}
+}
+
+// grantLocked admits as many waiters as fairness allows. Called with
+// p.mu held.
+func (p *Pool) grantLocked() {
+	for len(p.waiters) > 0 {
+		head := p.waiters[0]
+		if p.free >= head.n {
+			p.free -= head.n
+			p.waiters = p.waiters[1:]
+			head.ready <- struct{}{}
+			continue
+		}
+		// The head doesn't fit. Let smaller requests flow around it, but
+		// only maxSkips times — then the pool drains until it fits.
+		for j := 1; j < len(p.waiters) && head.skips < p.maxSkips; {
+			w := p.waiters[j]
+			if p.free >= w.n {
+				p.free -= w.n
+				p.waiters = append(p.waiters[:j], p.waiters[j+1:]...)
+				w.ready <- struct{}{}
+				head.skips++
+				continue
+			}
+			j++
+		}
+		return
+	}
+}

@@ -1,0 +1,193 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// acquireAsync starts an Acquire on its own goroutine and returns a
+// channel that delivers the grant.
+type grant struct {
+	n       int
+	release func()
+	err     error
+}
+
+func acquireAsync(ctx context.Context, p *Pool, n int) <-chan grant {
+	ch := make(chan grant, 1)
+	go func() {
+		g, rel, err := p.Acquire(ctx, n)
+		ch <- grant{n: g, release: rel, err: err}
+	}()
+	return ch
+}
+
+func mustGrant(t *testing.T, ch <-chan grant) grant {
+	t.Helper()
+	select {
+	case g := <-ch:
+		if g.err != nil {
+			t.Fatalf("Acquire failed: %v", g.err)
+		}
+		return g
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire did not complete")
+	}
+	return grant{}
+}
+
+func mustBlock(t *testing.T, ch <-chan grant) {
+	t.Helper()
+	select {
+	case g := <-ch:
+		t.Fatalf("Acquire should still be blocked, got grant of %d (err %v)", g.n, g.err)
+	case <-time.After(30 * time.Millisecond):
+	}
+}
+
+// TestPoolClamping checks the budget clamp: requests outside [1, cap]
+// are folded into range instead of erroring, because results never
+// depend on the granted budget.
+func TestPoolClamping(t *testing.T) {
+	p := NewPool(4)
+	ctx := context.Background()
+	g, rel, err := p.Acquire(ctx, 99)
+	if err != nil || g != 4 {
+		t.Fatalf("Acquire(99) on cap 4: granted %d, err %v; want 4", g, err)
+	}
+	rel()
+	g, rel, err = p.Acquire(ctx, 0)
+	if err != nil || g != 1 {
+		t.Fatalf("Acquire(0): granted %d, err %v; want 1", g, err)
+	}
+	rel()
+	rel() // release must be idempotent
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("InFlight after releases = %d, want 0", got)
+	}
+}
+
+// TestPoolFairness walks the bounded-overtaking schedule by hand:
+// small requests flow around a blocked big head exactly maxSkips times,
+// then the pool drains for the head — so the big job cannot starve and
+// the small jobs still get the leftover slots meanwhile.
+func TestPoolFairness(t *testing.T) {
+	p := NewPool(4)
+	p.maxSkips = 2
+	ctx := context.Background()
+
+	a := mustGrant(t, acquireAsync(ctx, p, 3)) // free = 1
+	big := acquireAsync(ctx, p, 4)             // blocked head
+	mustBlock(t, big)
+
+	// Overtake 1 and 2: single-slot requests fit in the leftover slot.
+	c := mustGrant(t, acquireAsync(ctx, p, 1))
+	c.release()
+	d := mustGrant(t, acquireAsync(ctx, p, 1))
+	d.release()
+
+	// Overtake budget spent: the next small request must queue behind
+	// the big head even though a slot is free.
+	e := acquireAsync(ctx, p, 1)
+	mustBlock(t, e)
+	if got := p.Waiting(); got != 2 {
+		t.Fatalf("Waiting = %d, want 2 (big head + barred small)", got)
+	}
+
+	// The head's budget drains free: big goes first, then the barred
+	// small request.
+	a.release()
+	b := mustGrant(t, big)
+	if b.n != 4 {
+		t.Fatalf("big grant = %d, want 4", b.n)
+	}
+	mustBlock(t, e) // pool is full again
+	b.release()
+	eg := mustGrant(t, e)
+	eg.release()
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("InFlight at end = %d, want 0", got)
+	}
+}
+
+// TestPoolAcquireCancel checks that a canceled waiter leaves the queue
+// without stranding slots or blocking later waiters.
+func TestPoolAcquireCancel(t *testing.T) {
+	p := NewPool(2)
+	ctx := context.Background()
+	a := mustGrant(t, acquireAsync(ctx, p, 2))
+
+	cctx, cancel := context.WithCancel(ctx)
+	blocked := acquireAsync(cctx, p, 2)
+	mustBlock(t, blocked)
+	cancel()
+	select {
+	case g := <-blocked:
+		if g.err == nil {
+			t.Fatal("canceled Acquire returned a grant")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled Acquire did not return")
+	}
+
+	// The canceled waiter must not block the next one.
+	next := acquireAsync(ctx, p, 1)
+	mustBlock(t, next)
+	a.release()
+	ng := mustGrant(t, next)
+	ng.release()
+	if got, want := p.InFlight(), 0; got != want {
+		t.Fatalf("InFlight = %d, want %d", got, want)
+	}
+}
+
+// TestPoolStress is the satellite invariant under churn: dozens of
+// concurrent unequal-budget requests, aggregate in-flight never above
+// capacity, and every request eventually served (no starvation).
+func TestPoolStress(t *testing.T) {
+	const cap = 3
+	p := NewPool(cap)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var inFlight, maxSeen int64
+	var wg sync.WaitGroup
+	for i := 0; i < 48; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for round := 0; round < 6; round++ {
+				g, rel, err := p.Acquire(ctx, 1+rng.Intn(5))
+				if err != nil {
+					t.Errorf("goroutine %d round %d: %v", i, round, err)
+					return
+				}
+				cur := atomic.AddInt64(&inFlight, int64(g))
+				for {
+					prev := atomic.LoadInt64(&maxSeen)
+					if cur <= prev || atomic.CompareAndSwapInt64(&maxSeen, prev, cur) {
+						break
+					}
+				}
+				time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+				atomic.AddInt64(&inFlight, -int64(g))
+				rel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if max := atomic.LoadInt64(&maxSeen); max > cap {
+		t.Fatalf("aggregate in-flight reached %d, pool capacity is %d", max, cap)
+	}
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", got)
+	}
+	if got := p.Waiting(); got != 0 {
+		t.Fatalf("Waiting after drain = %d, want 0", got)
+	}
+}

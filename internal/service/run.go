@@ -1,0 +1,250 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/core"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/netio"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// RunSpec executes a validated job spec through the library's Ctx entry
+// points and returns its wire result. This is the only execution path:
+// the server's job runner calls it with the granted pool budget, and
+// the soak harness's verifier calls it directly with Parallelism 1 — so
+// "server result ≡ direct library call with the same seed" holds by
+// construction *and* re-proves the engine's jobs-invariant determinism
+// across the whole service stack every time the soak asserts it.
+//
+// The context is honored at every library checkpoint; on cancellation
+// the error matches core.ErrCanceled/ctx.Err() and no result is
+// returned (partial results are not wire-stable). Progress streams to
+// observe when non-nil.
+func RunSpec(ctx context.Context, spec JobSpec, parallelism int, observe func(core.Event)) (*JobResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	design, err := specCircuit(spec)
+	if err != nil {
+		return nil, err
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	keySize := spec.KeySize
+	if keySize == 0 {
+		keySize = 32
+	}
+	var opts []core.Option
+	if observe != nil {
+		opts = append(opts, core.WithObserver(observe))
+	}
+	switch spec.Kind {
+	case KindLock:
+		return runLock(ctx, spec, design, keySize, seed)
+	case KindAttack:
+		return runAttack(ctx, spec, design, opts)
+	case KindHarden, KindPipeline:
+		return runHarden(ctx, spec, design, keySize, seed, parallelism, opts)
+	}
+	return nil, badSpec("unknown kind %q", spec.Kind)
+}
+
+// specCircuit resolves the job's input netlist: a built-in benchmark
+// name or inline netlist text.
+func specCircuit(spec JobSpec) (*aig.AIG, error) {
+	if spec.Circuit != "" {
+		g, err := circuits.Generate(spec.Circuit)
+		if err != nil {
+			return nil, badSpec("circuit: %v", err)
+		}
+		return g, nil
+	}
+	r := strings.NewReader(spec.Netlist)
+	var (
+		g   *aig.AIG
+		err error
+	)
+	switch spec.Format {
+	case "bench":
+		g, err = netio.ParseBench(r)
+	case "aag":
+		g, err = netio.ParseAIGER(r)
+	default:
+		return nil, badSpec("unknown inline netlist format %q", spec.Format)
+	}
+	if err != nil {
+		return nil, badSpec("netlist: %v", err)
+	}
+	return g, nil
+}
+
+// specConfig builds the framework Config for the spec's effort tier.
+func specConfig(spec JobSpec, seed int64, parallelism int) (core.Config, error) {
+	var cfg core.Config
+	switch spec.Effort {
+	case EffortFull:
+		cfg = core.PaperConfig()
+	case EffortDefault:
+		cfg = core.DefaultConfig()
+	case EffortQuick, "":
+		// The CLI's -quick trims: keep the flow's shape, shrink the
+		// training and search budgets.
+		cfg = core.DefaultConfig()
+		cfg.Attack.Epochs = 15
+		cfg.Attack.Rounds = 6
+		cfg.SA.Iterations = 20
+		cfg.AdvPeriod = 5
+		cfg.AdvGates = 30
+		cfg.AdvSAIters = 6
+	case EffortSmoke:
+		// Minimal budgets that still visit every stage — sized so a soak
+		// run can push hundreds of jobs through a small machine.
+		cfg = core.DefaultConfig()
+		cfg.Attack.Epochs = 2
+		cfg.Attack.Rounds = 1
+		cfg.Attack.GatesPerRound = 8
+		cfg.Attack.Hops = 1
+		cfg.Attack.Hidden = 8
+		cfg.Attack.Layers = 1
+		cfg.SA.Iterations = 2
+		cfg.SAProposals = 2
+		cfg.AdvPeriod = 1
+		cfg.AdvGates = 4
+		cfg.AdvSAIters = 1
+		cfg.RecipeLen = 5
+	default:
+		return core.Config{}, badSpec("unknown effort %q", spec.Effort)
+	}
+	cfg.Seed = seed
+	cfg.Parallelism = parallelism
+	cfg.Lockers = spec.Lockers
+	cfg.EvalAttacks = spec.EvalAttacks
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}
+
+// benchText renders a netlist as dependency-ordered BENCH text — the
+// deterministic artifact encoding of every netlist on the wire.
+func benchText(g *aig.AIG) (string, error) {
+	var sb strings.Builder
+	if err := netio.WriteBench(&sb, g); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// parseKey decodes a 0/1 key string (Validate already vetted the
+// alphabet).
+func parseKey(s string) lock.Key {
+	key := make(lock.Key, 0, len(s))
+	for _, c := range s {
+		key = append(key, c == '1')
+	}
+	return key
+}
+
+func runLock(ctx context.Context, spec JobSpec, design *aig.AIG, keySize int, seed int64) (*JobResult, error) {
+	locked, key, err := core.LockWithCtx(ctx, design, keySize, spec.Lockers, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	text, err := benchText(locked)
+	if err != nil {
+		return nil, err
+	}
+	chain := spec.Lockers
+	if len(chain) == 0 {
+		chain = []string{"rll"}
+	}
+	return &JobResult{Kind: spec.Kind, Key: key.String(), Netlist: text, Lockers: chain}, nil
+}
+
+func runAttack(ctx context.Context, spec JobSpec, locked *aig.AIG, opts []core.Option) (*JobResult, error) {
+	if locked.NumKeyInputs() == 0 {
+		return nil, badSpec("attack jobs need a locked netlist (no key inputs found)")
+	}
+	truth := parseKey(spec.Key)
+	if locked.NumKeyInputs() != len(truth) {
+		return nil, badSpec("key has %d bits but the netlist has %d key inputs", len(truth), locked.NumKeyInputs())
+	}
+	recipe := synth.Resyn2()
+	if spec.Recipe != "" {
+		var err error
+		if recipe, err = synth.ParseRecipe(spec.Recipe); err != nil {
+			return nil, badSpec("recipe: %v", err)
+		}
+	}
+	res := &JobResult{Kind: spec.Kind}
+	for _, name := range spec.Attacks {
+		atk, ok := core.LookupAttacker(name)
+		if !ok {
+			return nil, badSpec("unknown attack %q", name)
+		}
+		acc, err := atk.AttackCtx(ctx, locked, truth, append(opts, core.WithRecipe(recipe))...)
+		if err != nil {
+			return nil, fmt.Errorf("attack %q: %w", name, err)
+		}
+		res.Accuracies = append(res.Accuracies, AttackAccuracy{Attack: name, Accuracy: acc})
+	}
+	return res, nil
+}
+
+func runHarden(ctx context.Context, spec JobSpec, design *aig.AIG, keySize int,
+	seed int64, parallelism int, opts []core.Option) (*JobResult, error) {
+	cfg, err := specConfig(spec, seed, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	h, err := core.SecureSynthesisCtx(ctx, design, keySize, cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	text, err := benchText(h.Netlist)
+	if err != nil {
+		return nil, err
+	}
+	res := &JobResult{
+		Kind:     spec.Kind,
+		Recipe:   h.Recipe.String(),
+		Accuracy: h.Search.Accuracy,
+		Key:      h.Key.String(),
+		Netlist:  text,
+		Lockers:  h.Lockers,
+	}
+	// h.Search.Attacks is the canonical-order slice; the map is only
+	// consulted by key, so the result order is deterministic.
+	for _, name := range h.Search.Attacks {
+		res.Accuracies = append(res.Accuracies, AttackAccuracy{Attack: name, Accuracy: h.Search.Accuracies[name]})
+	}
+	if spec.Kind != KindPipeline {
+		return res, nil
+	}
+	resyn := synth.Resyn2()
+	baseline := resyn.Apply(h.Locked)
+	for _, name := range spec.Attacks {
+		atk, ok := core.LookupAttacker(name)
+		if !ok {
+			return nil, badSpec("unknown attack %q", name)
+		}
+		base, err := atk.AttackCtx(ctx, baseline, h.Key, append(opts, core.WithRecipe(resyn))...)
+		if err != nil {
+			return nil, fmt.Errorf("attack %q on baseline: %w", name, err)
+		}
+		hard, err := atk.AttackCtx(ctx, h.Netlist, h.Key, append(opts, core.WithRecipe(h.Recipe))...)
+		if err != nil {
+			return nil, fmt.Errorf("attack %q on hardened netlist: %w", name, err)
+		}
+		res.Attacks = append(res.Attacks, AttackOutcome{Attack: name, Baseline: base, Hardened: hard})
+	}
+	return res, nil
+}

@@ -1,0 +1,413 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/nyu-secml/almost/internal/core"
+)
+
+// SchedulerConfig sizes a Scheduler. Zero values pick sane defaults.
+type SchedulerConfig struct {
+	// PoolSize is the shared engine-worker slot count (default 4).
+	PoolSize int
+	// QueueLimit caps jobs that are accepted but not yet finished; a
+	// submit past the cap is rejected with ErrQueueFull (default 256).
+	QueueLimit int
+	// EventBuffer caps the per-job replay buffer; older events age out
+	// and watchers that fell that far behind see a gap event
+	// (default 1024).
+	EventBuffer int
+}
+
+func (c *SchedulerConfig) fill() {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 256
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 1024
+	}
+}
+
+// Submission errors.
+var (
+	// ErrQueueFull rejects a submit when the bounded queue is at its
+	// limit — backpressure instead of unbounded memory.
+	ErrQueueFull = errors.New("job queue is full")
+	// ErrClosed rejects a submit after Close.
+	ErrClosed = errors.New("scheduler is closed")
+	// ErrNoSuchJob reports an unknown job ID.
+	ErrNoSuchJob = errors.New("no such job")
+)
+
+// Scheduler owns the job table: it accepts specs into a bounded queue,
+// runs each job on the shared Pool with its clamped Parallelism budget,
+// buffers every job's event stream for replay, and keeps the counters
+// /stats reports. All state lives behind one mutex; job execution
+// happens on per-job goroutines that only touch the table through the
+// small locked helpers below.
+type Scheduler struct {
+	ctx  context.Context
+	cfg  SchedulerConfig
+	pool *Pool
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order; the only way the table is iterated
+	nextID int
+	closed bool
+
+	accepted  int64
+	rejected  int64
+	canceled  int64
+	completed int64
+	failed    int64
+
+	wg sync.WaitGroup
+}
+
+// job is the scheduler-internal record of one submission. Mutable
+// fields are guarded by Scheduler.mu.
+type job struct {
+	id     string
+	spec   JobSpec
+	cancel context.CancelFunc
+
+	state     JobState
+	phase     core.Phase
+	granted   int
+	errText   string
+	result    *JobResult
+	submitted time.Time
+	finished  *time.Time
+
+	// Event replay buffer: events holds seqs [firstSeq, nextSeq);
+	// notify is closed and replaced on every append.
+	events   []StreamEvent
+	firstSeq int
+	nextSeq  int
+	dropped  int
+	notify   chan struct{}
+
+	timedOut  bool // the job's own timeout fired
+	requested bool // Cancel was called explicitly
+}
+
+// NewScheduler creates a scheduler whose jobs derive from ctx: cancel
+// it (server shutdown) and every queued and running job cancels too.
+// Job lifetimes must not be tied to any single HTTP request, which is
+// why the base context is taken here and not per call.
+func NewScheduler(ctx context.Context, cfg SchedulerConfig) *Scheduler {
+	cfg.fill()
+	return &Scheduler{
+		ctx:  ctx,
+		cfg:  cfg,
+		pool: NewPool(cfg.PoolSize),
+		jobs: make(map[string]*job),
+	}
+}
+
+// Pool exposes the shared slot pool (stats and tests).
+func (s *Scheduler) Pool() *Pool { return s.pool }
+
+// Config returns the scheduler's configuration with defaults filled in.
+func (s *Scheduler) Config() SchedulerConfig { return s.cfg }
+
+// Submit validates the spec, admits it into the bounded queue, and
+// starts its runner goroutine. It returns the job ID immediately — all
+// further interaction is by ID.
+func (s *Scheduler) Submit(spec JobSpec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.rejected++
+		s.mu.Unlock()
+		return "", ErrClosed
+	}
+	if s.liveLocked() >= s.cfg.QueueLimit {
+		s.rejected++
+		s.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	ctx, cancel := context.WithCancel(s.ctx)
+	j := &job{
+		id:        id,
+		spec:      spec,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: time.Now().UTC(),
+		notify:    make(chan struct{}),
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.accepted++
+	s.appendLocked(j, StreamEvent{Type: StreamStateChange, State: StateQueued})
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.run(ctx, j)
+	return id, nil
+}
+
+// liveLocked counts jobs that still hold queue capacity.
+func (s *Scheduler) liveLocked() int {
+	n := 0
+	for _, id := range s.order {
+		if !s.jobs[id].state.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// run is the per-job goroutine: wait for pool slots, execute, finish.
+func (s *Scheduler) run(ctx context.Context, j *job) {
+	defer s.wg.Done()
+	defer j.cancel()
+	if j.spec.Timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, time.Duration(j.spec.Timeout))
+		defer tcancel()
+	}
+	s.transition(j, StateWaiting, 0)
+	granted, release, err := s.pool.Acquire(ctx, j.spec.Parallelism)
+	if err != nil {
+		s.finish(ctx, j, nil, err)
+		return
+	}
+	defer release()
+	s.transition(j, StateRunning, granted)
+	res, err := RunSpec(ctx, j.spec, granted, func(ev core.Event) { s.progress(j, ev) })
+	release() // hand slots back before bookkeeping so successors start sooner
+	s.finish(ctx, j, res, err)
+}
+
+// Cancel cancels a job wherever it is in its lifecycle: queued and
+// waiting jobs finish as canceled without ever taking pool slots,
+// running jobs stop at the library's next context checkpoint.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if ok && !j.state.Terminal() {
+		j.requested = true
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchJob, id)
+	}
+	j.cancel()
+	return nil
+}
+
+// transition moves a job to a non-terminal state and streams the change.
+func (s *Scheduler) transition(j *job, state JobState, granted int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	if granted > 0 {
+		j.granted = granted
+	}
+	s.appendLocked(j, StreamEvent{Type: StreamStateChange, State: state})
+}
+
+// progress records one library event on the job's stream.
+func (s *Scheduler) progress(j *job, ev core.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.phase = ev.Phase
+	e := ev
+	s.appendLocked(j, StreamEvent{Type: StreamProgress, Event: &e})
+}
+
+// finish records the job's terminal state, result, and counters, and
+// emits the stream's terminal event.
+func (s *Scheduler) finish(ctx context.Context, j *job, res *JobResult, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	now := time.Now().UTC()
+	j.finished = &now
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+		s.completed++
+		s.appendLocked(j, StreamEvent{Type: StreamResult, Result: res})
+	case canceledErr(ctx, err):
+		j.state = StateCanceled
+		j.errText = cancelCause(ctx, j)
+		s.canceled++
+		s.appendLocked(j, StreamEvent{Type: StreamError, State: StateCanceled, Error: j.errText})
+	default:
+		j.state = StateFailed
+		j.errText = err.Error()
+		s.failed++
+		s.appendLocked(j, StreamEvent{Type: StreamError, State: StateFailed, Error: j.errText})
+	}
+}
+
+// canceledErr reports whether err means "stopped on purpose" rather
+// than "broke": a context cancellation/timeout at any library layer.
+func canceledErr(ctx context.Context, err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, core.ErrCanceled) ||
+		ctx.Err() != nil
+}
+
+// cancelCause names why a job was canceled.
+func cancelCause(ctx context.Context, j *job) string {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return "timed out after " + time.Duration(j.spec.Timeout).String()
+	}
+	if j.requested {
+		return "canceled by client"
+	}
+	return "canceled"
+}
+
+// appendLocked pushes one event onto j's replay buffer, ages out the
+// overflow, and wakes every watcher. Called with s.mu held.
+func (s *Scheduler) appendLocked(j *job, ev StreamEvent) {
+	ev.Seq = j.nextSeq
+	j.nextSeq++
+	j.events = append(j.events, ev)
+	if over := len(j.events) - s.cfg.EventBuffer; over > 0 {
+		j.events = append([]StreamEvent(nil), j.events[over:]...)
+		j.firstSeq += over
+		j.dropped += over
+	}
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// EventsSince returns the job's buffered events with sequence >= from,
+// plus a channel that is closed on the next append — the building block
+// of a watch loop:
+//
+//	for {
+//	    evs, wake, _ := s.EventsSince(id, cursor)
+//	    ... write evs, stop on a terminal one, cursor = last seq + 1 ...
+//	    select { case <-wake: case <-ctx.Done(): return }
+//	}
+//
+// If from predates the replay buffer, the slice leads with a gap event
+// so the loss is explicit, never silent.
+func (s *Scheduler) EventsSince(id string, from int) ([]StreamEvent, <-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoSuchJob, id)
+	}
+	if from < 0 {
+		from = 0
+	}
+	var out []StreamEvent
+	if from < j.firstSeq {
+		out = append(out, StreamEvent{Seq: from, Type: StreamGap, Dropped: j.firstSeq - from})
+		from = j.firstSeq
+	}
+	out = append(out, j.events[from-j.firstSeq:]...)
+	return out, j.notify, nil
+}
+
+// statusLocked renders a job's wire status. Called with s.mu held.
+func (s *Scheduler) statusLocked(j *job) JobStatus {
+	return JobStatus{
+		ID:        j.id,
+		Kind:      j.spec.Kind,
+		State:     j.state,
+		Phase:     j.phase,
+		Granted:   j.granted,
+		Events:    j.nextSeq,
+		Dropped:   j.dropped,
+		Error:     j.errText,
+		Submitted: j.submitted,
+		Finished:  j.finished,
+	}
+}
+
+// Status returns a job's current wire status.
+func (s *Scheduler) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %s", ErrNoSuchJob, id)
+	}
+	return s.statusLocked(j), nil
+}
+
+// Result returns a finished job's result alongside its status. The
+// result pointer is nil unless the job is done.
+func (s *Scheduler) Result(id string) (*JobResult, JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, fmt.Errorf("%w: %s", ErrNoSuchJob, id)
+	}
+	return j.result, s.statusLocked(j), nil
+}
+
+// Stats snapshots the scheduler: queue depth, pool occupancy, lifetime
+// counters, and per-job statuses in submission order.
+func (s *Scheduler) Stats(withJobs bool) Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		PoolSize:  s.pool.Capacity(),
+		InFlight:  s.pool.InFlight(),
+		Waiting:   s.pool.Waiting(),
+		Accepted:  s.accepted,
+		Rejected:  s.rejected,
+		Canceled:  s.canceled,
+		Completed: s.completed,
+		Failed:    s.failed,
+	}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		switch j.state {
+		case StateQueued, StateWaiting:
+			st.QueueDepth++
+		case StateRunning:
+			st.Running++
+		}
+		if withJobs {
+			st.Jobs = append(st.Jobs, s.statusLocked(j))
+		}
+	}
+	return st
+}
+
+// Close stops accepting submissions, cancels every live job, and waits
+// for all runner goroutines to drain — after it returns nothing the
+// scheduler started is still running.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.jobs[id].cancel()
+	}
+	s.wg.Wait()
+}

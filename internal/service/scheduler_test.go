@@ -1,0 +1,269 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestScheduler(t *testing.T, cfg SchedulerConfig) *Scheduler {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewScheduler(ctx, cfg)
+	t.Cleanup(func() { s.Close(); cancel() })
+	return s
+}
+
+// waitTerminal polls a job to a terminal state.
+func waitTerminal(t *testing.T, s *Scheduler, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatalf("Status(%s): %v", id, err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return JobStatus{}
+}
+
+// waitState polls until the job reports the wanted (or a terminal)
+// state.
+func waitState(t *testing.T, s *Scheduler, id string, want JobState) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatalf("Status(%s): %v", id, err)
+		}
+		if st.State == want || st.State.Terminal() {
+			if st.State != want {
+				t.Fatalf("job %s reached %s while waiting for %s", id, st.State, want)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}
+
+func lockJobSpec(seed int64) JobSpec {
+	return JobSpec{Kind: KindLock, Circuit: "c432", KeySize: 8, Seed: seed}
+}
+
+// TestSchedulerLockJob walks one cheap job through its whole lifecycle
+// and checks the replay buffer tells the same story: dense sequence
+// numbers from the queued transition to the terminal result.
+func TestSchedulerLockJob(t *testing.T) {
+	s := newTestScheduler(t, SchedulerConfig{PoolSize: 2})
+	id, err := s.Submit(lockJobSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, id)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", st.State, st.Error)
+	}
+	res, _, err := s.Result(id)
+	if err != nil || res == nil {
+		t.Fatalf("Result: %v, res=%v", err, res)
+	}
+	if res.Key == "" || !strings.Contains(res.Netlist, "INPUT") {
+		t.Fatalf("lock result incomplete: key %q, netlist %d bytes", res.Key, len(res.Netlist))
+	}
+
+	evs, _, err := s.EventsSince(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) < 3 { // queued, waiting, running, ... result
+		t.Fatalf("only %d events buffered", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d — not dense", i, ev.Seq)
+		}
+	}
+	if first := evs[0]; first.Type != StreamStateChange || first.State != StateQueued {
+		t.Fatalf("first event = %+v, want queued state change", first)
+	}
+	last := evs[len(evs)-1]
+	if last.Type != StreamResult || last.Result == nil {
+		t.Fatalf("last event = %+v, want result", last)
+	}
+}
+
+// TestSchedulerCancelQueued checks that a job canceled before it ever
+// gets pool slots finishes as canceled without running.
+func TestSchedulerCancelQueued(t *testing.T) {
+	s := newTestScheduler(t, SchedulerConfig{PoolSize: 1})
+	// Occupy the pool so followers queue.
+	hog, err := s.Submit(JobSpec{Kind: KindHarden, Circuit: "c432", KeySize: 6,
+		Seed: 3, Effort: EffortSmoke, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, hog, StateRunning)
+	id, err := s.Submit(lockJobSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, id)
+	if st.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	if st.Granted != 0 {
+		t.Fatalf("canceled-in-queue job was granted %d slots", st.Granted)
+	}
+	if !strings.Contains(st.Error, "canceled by client") {
+		t.Fatalf("error = %q, want the client-cancel cause", st.Error)
+	}
+	if err := s.Cancel(hog); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, s, hog); st.State != StateCanceled {
+		t.Fatalf("hog state = %s, want canceled", st.State)
+	}
+}
+
+// TestSchedulerTimeout checks the spec's Timeout: the job is cut off at
+// its deadline and lands in canceled with a timeout cause.
+func TestSchedulerTimeout(t *testing.T) {
+	s := newTestScheduler(t, SchedulerConfig{PoolSize: 1})
+	id, err := s.Submit(JobSpec{Kind: KindHarden, Circuit: "c432", KeySize: 6,
+		Seed: 5, Effort: EffortSmoke, Timeout: Duration(time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, id)
+	if st.State != StateCanceled {
+		t.Fatalf("state = %s (%s), want canceled", st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, "timed out") {
+		t.Fatalf("error = %q, want a timeout cause", st.Error)
+	}
+}
+
+// TestSchedulerQueueLimit checks the bounded queue's backpressure and
+// that rejected submissions are counted.
+func TestSchedulerQueueLimit(t *testing.T) {
+	s := newTestScheduler(t, SchedulerConfig{PoolSize: 1, QueueLimit: 2})
+	a, err := s.Submit(JobSpec{Kind: KindHarden, Circuit: "c432", KeySize: 6,
+		Seed: 2, Effort: EffortSmoke})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, a, StateRunning)
+	b, err := s.Submit(lockJobSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(lockJobSpec(3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: want ErrQueueFull, got %v", err)
+	}
+	if _, err := s.Submit(JobSpec{Kind: "nope"}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("bad spec: want ErrBadSpec, got %v", err)
+	}
+	stats := s.Stats(false)
+	if stats.Rejected != 2 {
+		t.Fatalf("Rejected = %d, want 2", stats.Rejected)
+	}
+	if stats.Accepted != 2 {
+		t.Fatalf("Accepted = %d, want 2", stats.Accepted)
+	}
+	_ = s.Cancel(a)
+	waitTerminal(t, s, a)
+	waitTerminal(t, s, b) // the lock job drains once the hog is gone
+	// Capacity freed: submits are accepted again.
+	c, err := s.Submit(lockJobSpec(4))
+	if err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	waitTerminal(t, s, c)
+}
+
+// TestSchedulerEventGap checks the bounded replay buffer: a watcher
+// reading from 0 after overflow gets an explicit gap event, never a
+// silent hole.
+func TestSchedulerEventGap(t *testing.T) {
+	s := newTestScheduler(t, SchedulerConfig{PoolSize: 1, EventBuffer: 4})
+	id, err := s.Submit(JobSpec{Kind: KindHarden, Circuit: "c432", KeySize: 6,
+		Seed: 4, Effort: EffortSmoke})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, id)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", st.State, st.Error)
+	}
+	if st.Dropped == 0 {
+		t.Fatalf("smoke harden emitted %d events but none aged out of a 4-slot buffer", st.Events)
+	}
+	evs, _, err := s.EventsSince(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Type != StreamGap || evs[0].Dropped != st.Dropped {
+		t.Fatalf("first replayed event = %+v, want a gap of %d", evs[0], st.Dropped)
+	}
+	if last := evs[len(evs)-1]; last.Type != StreamResult {
+		t.Fatalf("last replayed event = %+v, want the result", last)
+	}
+}
+
+// TestSchedulerFairBudgets is the satellite scenario end to end: jobs
+// with unequal Parallelism budgets share a small pool; every job
+// finishes (no starvation) and the pool never over-grants (checked by
+// the pool's own invariant via stats sampling).
+func TestSchedulerFairBudgets(t *testing.T) {
+	const pool = 3
+	s := newTestScheduler(t, SchedulerConfig{PoolSize: pool})
+	budgets := []int{1, 3, 2, 1, 5, 1, 2, 3, 1, 2}
+	ids := make([]string, len(budgets))
+	for i, b := range budgets {
+		id, err := s.Submit(JobSpec{Kind: KindLock, Circuit: "c432",
+			KeySize: 4 + i, Seed: int64(i + 1), Parallelism: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, id := range ids {
+			waitTerminal(t, s, id)
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			for _, id := range ids {
+				st, _ := s.Status(id)
+				if st.State != StateDone {
+					t.Fatalf("job %s = %s (%s), want done", id, st.State, st.Error)
+				}
+				if st.Granted < 1 || st.Granted > pool {
+					t.Fatalf("job %s granted %d slots on a pool of %d", id, st.Granted, pool)
+				}
+			}
+			return
+		default:
+			if in := s.Pool().InFlight(); in > pool {
+				t.Fatalf("aggregate in-flight %d exceeds pool %d", in, pool)
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+}

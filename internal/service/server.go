@@ -1,0 +1,229 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Server is the HTTP face of a Scheduler. The protocol is deliberately
+// small and stdlib-only — JSON request/response bodies plus one
+// line-delimited JSON (NDJSON) streaming endpoint:
+//
+//	POST /jobs               submit a JobSpec  -> {"id": "job-000001"}
+//	GET  /jobs               all job statuses, submission order
+//	GET  /jobs/{id}          one job's status
+//	GET  /jobs/{id}/result   terminal result (202 while running)
+//	POST /jobs/{id}/cancel   cancel wherever it is
+//	GET  /jobs/{id}/events   NDJSON StreamEvent feed; ?from=N resumes
+//	GET  /stats              queue/pool/counter snapshot (?jobs=1 adds per-job rows)
+//	GET  /healthz            liveness
+//
+// Routing is by hand because the module targets Go 1.21 (no ServeMux
+// method patterns).
+type Server struct {
+	sched *Scheduler
+}
+
+// NewServer wraps a scheduler in the wire protocol.
+func NewServer(sched *Scheduler) *Server { return &Server{sched: sched} }
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// submitResponse is the body of a successful POST /jobs.
+type submitResponse struct {
+	ID string `json:"id"`
+}
+
+// resultResponse is the body of GET /jobs/{id}/result.
+type resultResponse struct {
+	Status JobStatus  `json:"status"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// httpError maps a service error to its status code.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrNoSuchJob):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func methodNotAllowed(w http.ResponseWriter, want string) {
+	w.Header().Set("Allow", want)
+	writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+}
+
+// ServeHTTP routes the protocol.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case path == "/stats":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.sched.Stats(r.URL.Query().Get("jobs") == "1"))
+	case path == "/jobs":
+		s.serveJobs(w, r)
+	case strings.HasPrefix(path, "/jobs/"):
+		s.serveJob(w, r, strings.TrimPrefix(path, "/jobs/"))
+	default:
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such endpoint"})
+	}
+}
+
+func (s *Server) serveJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var spec JobSpec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, badSpec("decoding body: %v", err))
+			return
+		}
+		id, err := s.sched.Submit(spec)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, submitResponse{ID: id})
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.sched.Stats(true).Jobs)
+	default:
+		methodNotAllowed(w, "GET, POST")
+	}
+}
+
+func (s *Server) serveJob(w http.ResponseWriter, r *http.Request, rest string) {
+	id, action, _ := strings.Cut(rest, "/")
+	switch action {
+	case "":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		st, err := s.sched.Status(id)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case "result":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		res, st, err := s.sched.Result(id)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		code := http.StatusOK
+		if !st.State.Terminal() {
+			code = http.StatusAccepted
+		}
+		writeJSON(w, code, resultResponse{Status: st, Result: res})
+	case "cancel":
+		if r.Method != http.MethodPost {
+			methodNotAllowed(w, http.MethodPost)
+			return
+		}
+		if err := s.sched.Cancel(id); err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "canceling"})
+	case "events":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		s.serveEvents(w, r, id)
+	default:
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such endpoint"})
+	}
+}
+
+// serveEvents streams a job's StreamEvents as NDJSON until the stream's
+// terminal event or the client hangs up. A watcher that falls behind
+// the replay buffer gets a gap event; a slow watcher never blocks the
+// scheduler, because the stream loop reads buffered snapshots and waits
+// on a notification channel — the event path never writes to a socket.
+func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, id string) {
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			httpError(w, badSpec("from must be a non-negative integer"))
+			return
+		}
+		from = n
+	}
+	// Surface a bad ID as a 404 before committing to the stream.
+	if _, _, err := s.sched.EventsSince(id, from); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for {
+		evs, wake, err := s.sched.EventsSince(id, from)
+		if err != nil {
+			return
+		}
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			from = ev.Seq + 1
+			if ev.Terminal() {
+				if flusher != nil {
+					flusher.Flush()
+				}
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// String renders the endpoint table (cmd/almostd's startup banner).
+func (s *Server) String() string {
+	return fmt.Sprintf("almostd: pool=%d queue<=%d buffer=%d",
+		s.sched.pool.Capacity(), s.sched.cfg.QueueLimit, s.sched.cfg.EventBuffer)
+}

@@ -1,0 +1,320 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SoakConfig shapes a soak run. Zero values select the short smoke
+// shape; the CLI's `almost soak` raises them to the acceptance load.
+type SoakConfig struct {
+	// Requests is the number of job submissions (default 80).
+	Requests int
+	// Concurrency is the number of client workers (default 8).
+	Concurrency int
+	// VerifyEvery verifies every Nth completed job's result against a
+	// direct RunSpec call with the same seed and Parallelism 1 — the
+	// end-to-end determinism assertion (default 5; 0 disables).
+	VerifyEvery int
+	// Seed drives the deterministic request mix.
+	Seed int64
+	// Circuit is the benchmark the jobs run on (default c432).
+	Circuit string
+	// Out receives progress lines; nil silences them.
+	Out io.Writer
+}
+
+func (c *SoakConfig) fill() {
+	if c.Requests <= 0 {
+		c.Requests = 80
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.VerifyEvery == 0 {
+		c.VerifyEvery = 5
+	}
+	if c.Circuit == "" {
+		c.Circuit = "c432"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// SoakReport is what a soak run measured. Every submitted job must
+// reach a terminal state — Soak errors out otherwise — so the counters
+// always add up.
+type SoakReport struct {
+	Submitted int `json:"submitted"`
+	Done      int `json:"done"`
+	Canceled  int `json:"canceled"`
+	Failed    int `json:"failed"`
+	// BadSpecs counts deliberately malformed submissions the server
+	// rejected with 400 (protocol exercise, not job outcomes).
+	BadSpecs int `json:"bad_specs"`
+	// Retries counts submits that hit the bounded queue's backpressure
+	// and were retried.
+	Retries int `json:"retries"`
+	// Watched counts jobs followed over the NDJSON stream; Events counts
+	// stream lines received across them.
+	Watched int `json:"watched"`
+	Events  int `json:"events"`
+	// Verified counts completed jobs whose served result was
+	// byte-identical to a direct library run.
+	Verified int `json:"verified"`
+}
+
+// soakMode is how a worker follows a submitted job.
+type soakMode int
+
+const (
+	modePoll soakMode = iota
+	modeWatch
+	modeCancel
+)
+
+// Soak hammers a server with a deterministic mixed load — submits,
+// cancellations, stream watches, malformed specs, queue backpressure —
+// and fails if any job stalls short of a terminal state or any verified
+// result differs from a direct library call. Run it under -race with a
+// goroutine-leak check around it (the tests and CI do) and it is the
+// service's endurance proof.
+func Soak(ctx context.Context, client *Client, cfg SoakConfig) (SoakReport, error) {
+	cfg.fill()
+	logf := func(format string, args ...any) {
+		if cfg.Out != nil {
+			fmt.Fprintf(cfg.Out, format+"\n", args...)
+		}
+	}
+
+	// Prepare a locked netlist once so attack jobs are self-contained.
+	lockSpec := JobSpec{Kind: KindLock, Circuit: cfg.Circuit, KeySize: 12, Seed: cfg.Seed}
+	base, err := RunSpec(ctx, lockSpec, 1, nil)
+	if err != nil {
+		return SoakReport{}, fmt.Errorf("soak setup: %w", err)
+	}
+
+	var (
+		mu     sync.Mutex
+		report SoakReport
+		firstE error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstE == nil {
+			firstE = err
+		}
+		mu.Unlock()
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= cfg.Requests {
+					return
+				}
+				if err := soakOne(ctx, client, cfg, base, i, &mu, &report); err != nil {
+					fail(fmt.Errorf("request %d: %w", i, err))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		return report, firstE
+	}
+	if err := ctx.Err(); err != nil {
+		return report, err
+	}
+	if got := report.Done + report.Canceled + report.Failed; got != report.Submitted {
+		return report, fmt.Errorf("soak: %d submitted jobs but only %d reached a terminal state", report.Submitted, got)
+	}
+	if report.Failed > 0 {
+		return report, fmt.Errorf("soak: %d jobs failed", report.Failed)
+	}
+	logf("soak: %d jobs (%d done, %d canceled), %d watched / %d events, %d verified, %d bad specs, %d retries",
+		report.Submitted, report.Done, report.Canceled, report.Watched,
+		report.Events, report.Verified, report.BadSpecs, report.Retries)
+	return report, nil
+}
+
+// soakSpec builds the deterministic spec and follow mode for request i.
+func soakSpec(cfg SoakConfig, base *JobResult, i int) (JobSpec, soakMode) {
+	var spec JobSpec
+	switch r := i % 40; {
+	case r == 0:
+		// Rare full-flow job: lock → train → search → synthesize at smoke
+		// effort, asking for more slots than its neighbors.
+		spec = JobSpec{Kind: KindHarden, Circuit: cfg.Circuit, KeySize: 8,
+			Seed: cfg.Seed + int64(i), Effort: EffortSmoke, Parallelism: 1 + i%4}
+	case r <= 12:
+		// Attack jobs on the pre-locked netlist: closed-form scope attack,
+		// millisecond scale.
+		spec = JobSpec{Kind: KindAttack, Netlist: base.Netlist, Format: "bench",
+			Key: base.Key, Attacks: []string{"scope"}, Parallelism: 1 + i%3}
+	default:
+		// The bulk: cheap lock jobs with varying keys and seeds.
+		spec = JobSpec{Kind: KindLock, Circuit: cfg.Circuit, KeySize: 4 + i%8,
+			Seed: cfg.Seed + int64(i), Parallelism: 1 + i%2}
+	}
+	switch {
+	case i%7 == 3:
+		return spec, modeCancel
+	case i%3 == 0:
+		return spec, modeWatch
+	}
+	return spec, modePoll
+}
+
+// soakOne drives one request from submit to terminal state.
+func soakOne(ctx context.Context, client *Client, cfg SoakConfig, base *JobResult,
+	i int, mu *sync.Mutex, report *SoakReport) error {
+	// Sprinkle malformed specs through the load to keep the 400 path hot.
+	if i%29 == 11 {
+		_, err := client.Submit(ctx, JobSpec{Kind: "frobnicate"})
+		if !errors.Is(err, ErrBadSpec) {
+			return fmt.Errorf("malformed spec: want ErrBadSpec, got %v", err)
+		}
+		mu.Lock()
+		report.BadSpecs++
+		mu.Unlock()
+		return nil
+	}
+	spec, mode := soakSpec(cfg, base, i)
+
+	// Submit, riding out queue backpressure.
+	var id string
+	for {
+		var err error
+		id, err = client.Submit(ctx, spec)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			return fmt.Errorf("submit: %w", err)
+		}
+		mu.Lock()
+		report.Retries++
+		mu.Unlock()
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	mu.Lock()
+	report.Submitted++
+	mu.Unlock()
+
+	var state JobState
+	var result *JobResult
+	switch mode {
+	case modeCancel:
+		if err := client.Cancel(ctx, id); err != nil {
+			return fmt.Errorf("cancel %s: %w", id, err)
+		}
+		st, err := soakPoll(ctx, client, id)
+		if err != nil {
+			return err
+		}
+		state = st.State
+	case modeWatch:
+		events := 0
+		term, err := client.Watch(ctx, id, 0, func(StreamEvent) error { events++; return nil })
+		if err != nil {
+			return fmt.Errorf("watch %s: %w", id, err)
+		}
+		mu.Lock()
+		report.Watched++
+		report.Events += events
+		mu.Unlock()
+		state = StateDone
+		if term.Type == StreamError {
+			state = term.State
+		}
+		result = term.Result
+	default:
+		st, err := soakPoll(ctx, client, id)
+		if err != nil {
+			return err
+		}
+		state = st.State
+		if st.State == StateDone {
+			if result, _, err = client.Result(ctx, id); err != nil {
+				return fmt.Errorf("result %s: %w", id, err)
+			}
+		}
+	}
+
+	mu.Lock()
+	switch state {
+	case StateDone:
+		report.Done++
+	case StateCanceled:
+		report.Canceled++
+	default:
+		report.Failed++
+	}
+	mu.Unlock()
+	if state == StateFailed {
+		st, _ := client.Status(ctx, id)
+		return fmt.Errorf("job %s failed: %s", id, st.Error)
+	}
+
+	// The determinism assertion: the served result must be byte-identical
+	// to a direct library call with the same spec, seed, and Parallelism
+	// 1 — any divergence in the engine, the scheduler, or the wire
+	// encoding shows up here.
+	if cfg.VerifyEvery > 0 && state == StateDone && result != nil && i%cfg.VerifyEvery == 0 {
+		direct, err := RunSpec(ctx, spec, 1, nil)
+		if err != nil {
+			return fmt.Errorf("direct run for %s: %w", id, err)
+		}
+		served, err := json.Marshal(result)
+		if err != nil {
+			return err
+		}
+		local, err := json.Marshal(direct)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(served, local) {
+			return fmt.Errorf("job %s: served result differs from direct run\n served: %.200s\n direct: %.200s", id, served, local)
+		}
+		mu.Lock()
+		report.Verified++
+		mu.Unlock()
+	}
+	return nil
+}
+
+// soakPoll polls a job's status until it is terminal.
+func soakPoll(ctx context.Context, client *Client, id string) (JobStatus, error) {
+	for {
+		st, err := client.Status(ctx, id)
+		if err != nil {
+			return JobStatus{}, fmt.Errorf("status %s: %w", id, err)
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-time.After(3 * time.Millisecond):
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		}
+	}
+}

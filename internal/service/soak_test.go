@@ -1,0 +1,79 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSoak runs the mixed-load soak against an in-process server and
+// holds it to the harness's own bar: every job terminal, watched
+// streams complete, verified results byte-identical to direct library
+// runs — all under the race detector in CI, wrapped in a goroutine-leak
+// check.
+func TestSoak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	sched := NewScheduler(ctx, SchedulerConfig{PoolSize: 4, QueueLimit: 24, EventBuffer: 64})
+	ts := httptest.NewServer(NewServer(sched))
+	client := NewClientHTTP(ts.URL, ts.Client())
+
+	cfg := SoakConfig{Requests: 80, Concurrency: 8, Seed: 3}
+	if testing.Short() {
+		cfg = SoakConfig{Requests: 44, Concurrency: 6, Seed: 3}
+	}
+	report, err := Soak(ctx, client, cfg)
+	if err != nil {
+		t.Fatalf("soak failed: %v (report %+v)", err, report)
+	}
+	if report.Done == 0 || report.Canceled == 0 {
+		t.Fatalf("mix did not exercise both outcomes: %+v", report)
+	}
+	if report.Watched == 0 || report.Events == 0 {
+		t.Fatalf("no streams watched: %+v", report)
+	}
+	if report.Verified == 0 {
+		t.Fatalf("no results verified against direct runs: %+v", report)
+	}
+	if report.BadSpecs == 0 {
+		t.Fatalf("malformed-spec path never exercised: %+v", report)
+	}
+
+	// Server-side accounting must agree with the client's view.
+	stats, err := client.Stats(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(stats.Completed) != report.Done {
+		t.Fatalf("server completed %d, client saw %d done", stats.Completed, report.Done)
+	}
+	if int(stats.Canceled) != report.Canceled {
+		t.Fatalf("server canceled %d, client saw %d", stats.Canceled, report.Canceled)
+	}
+	if stats.QueueDepth != 0 || stats.Running != 0 || stats.InFlight != 0 {
+		t.Fatalf("server not quiescent after soak: %+v", stats)
+	}
+
+	// Tear everything down and hold the goroutine count to the baseline:
+	// a stuck stream handler, a leaked runner, or an unreleased pool
+	// waiter all show up here.
+	ts.Close()
+	sched.Close()
+	cancel()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -54,6 +54,27 @@ func (s Step) String() string {
 	return fmt.Sprintf("step(%d)", uint8(s))
 }
 
+// MarshalText encodes the step as its ABC-style name, giving recipes a
+// stable wire representation (JSON renders a Recipe as a name array,
+// e.g. ["balance","rewrite -z"]) that survives any renumbering of the
+// Step constants.
+func (s Step) MarshalText() ([]byte, error) {
+	if s >= numSteps {
+		return nil, fmt.Errorf("synth: invalid step %d", uint8(s))
+	}
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText decodes an ABC-style step name (long or short form).
+func (s *Step) UnmarshalText(text []byte) error {
+	step, err := ParseStep(string(text))
+	if err != nil {
+		return err
+	}
+	*s = step
+	return nil
+}
+
 // ParseStep converts an ABC-style name into a Step.
 func ParseStep(name string) (Step, error) {
 	switch strings.TrimSpace(name) {

@@ -1,0 +1,52 @@
+package synth
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestStepTextRoundTrip checks that every step marshals to its ABC-style
+// name and parses back — the encoding recipes use on the wire.
+func TestStepTextRoundTrip(t *testing.T) {
+	for _, s := range AllSteps() {
+		text, err := s.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", s, err)
+		}
+		var back Step
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != s {
+			t.Fatalf("step %v round-tripped to %v via %q", s, back, text)
+		}
+	}
+	if _, err := Step(200).MarshalText(); err == nil {
+		t.Fatal("MarshalText on an out-of-range step should fail")
+	}
+	var s Step
+	if err := s.UnmarshalText([]byte("frobnicate")); err == nil {
+		t.Fatal("UnmarshalText on an unknown name should fail")
+	}
+}
+
+// TestRecipeJSONGolden pins the JSON shape of a recipe: an array of
+// step names, stable across renumbering of the Step constants.
+func TestRecipeJSONGolden(t *testing.T) {
+	r := Recipe{StepBalance, StepRewriteZ, StepResub}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `["balance","rewrite -z","resub"]`
+	if string(data) != want {
+		t.Fatalf("recipe JSON drifted:\n got  %s\n want %s", data, want)
+	}
+	var back Recipe
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Fatalf("recipe round-tripped to %v", back)
+	}
+}
