@@ -7,8 +7,8 @@
 // loopback use.
 //
 // Configuration is environment-first (ALMOSTD_ADDR, ALMOSTD_POOL_SIZE,
-// ALMOSTD_QUEUE_LIMIT, ALMOSTD_EVENT_BUFFER); flags override for ad-hoc
-// runs:
+// ALMOSTD_QUEUE_LIMIT, ALMOSTD_EVENT_BUFFER, ALMOSTD_HISTORY_LIMIT);
+// flags override for ad-hoc runs:
 //
 //	almostd
 //	almostd -addr 127.0.0.1:9571 -pool 8 -queue 128
@@ -44,6 +44,7 @@ func run(args []string, stderr *os.File) int {
 	pool := fs.Int("pool", 0, "engine worker slots shared by all jobs (overrides $"+service.EnvPoolSize+")")
 	queue := fs.Int("queue", 0, "max accepted-but-unfinished jobs (overrides $"+service.EnvQueueLimit+")")
 	buffer := fs.Int("buffer", 0, "per-job event replay buffer (overrides $"+service.EnvEventBuffer+")")
+	history := fs.Int("history", 0, "max retained terminal jobs (overrides $"+service.EnvHistoryLimit+")")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -67,6 +68,9 @@ func run(args []string, stderr *os.File) int {
 	if *buffer > 0 {
 		cfg.Scheduler.EventBuffer = *buffer
 	}
+	if *history > 0 {
+		cfg.Scheduler.HistoryLimit = *history
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -79,8 +83,8 @@ func run(args []string, stderr *os.File) int {
 		return 1
 	}
 	filled := sched.Config()
-	fmt.Fprintf(stderr, "almostd: listening on %s (pool=%d queue<=%d buffer=%d)\n",
-		ln.Addr(), filled.PoolSize, filled.QueueLimit, filled.EventBuffer)
+	fmt.Fprintf(stderr, "almostd: listening on %s (pool=%d queue<=%d buffer=%d history<=%d)\n",
+		ln.Addr(), filled.PoolSize, filled.QueueLimit, filled.EventBuffer, filled.HistoryLimit)
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

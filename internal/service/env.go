@@ -18,6 +18,8 @@ const (
 	EnvQueueLimit = "ALMOSTD_QUEUE_LIMIT"
 	// EnvEventBuffer caps each job's event replay buffer.
 	EnvEventBuffer = "ALMOSTD_EVENT_BUFFER"
+	// EnvHistoryLimit caps retained terminal jobs before eviction.
+	EnvHistoryLimit = "ALMOSTD_HISTORY_LIMIT"
 )
 
 // DefaultAddr is the loopback-only default listen address.
@@ -48,6 +50,9 @@ func ConfigFromEnv(lookup func(string) (string, bool)) (ServerConfig, error) {
 		return ServerConfig{}, err
 	}
 	if cfg.Scheduler.EventBuffer, err = envInt(lookup, EnvEventBuffer, 0); err != nil {
+		return ServerConfig{}, err
+	}
+	if cfg.Scheduler.HistoryLimit, err = envInt(lookup, EnvHistoryLimit, 0); err != nil {
 		return ServerConfig{}, err
 	}
 	return cfg, nil

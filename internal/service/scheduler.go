@@ -21,6 +21,12 @@ type SchedulerConfig struct {
 	// and watchers that fell that far behind see a gap event
 	// (default 1024).
 	EventBuffer int
+	// HistoryLimit caps retained terminal jobs. Once more than this many
+	// jobs have finished, the oldest terminal jobs are evicted — status,
+	// replay buffer, and result — so a long-running daemon's memory stays
+	// bounded no matter how many jobs flow through it. Live jobs are
+	// never evicted (default 512).
+	HistoryLimit int
 }
 
 func (c *SchedulerConfig) fill() {
@@ -32,6 +38,9 @@ func (c *SchedulerConfig) fill() {
 	}
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 1024
+	}
+	if c.HistoryLimit <= 0 {
+		c.HistoryLimit = 512
 	}
 }
 
@@ -250,7 +259,7 @@ func (s *Scheduler) finish(ctx context.Context, j *job, res *JobResult, err erro
 		j.result = res
 		s.completed++
 		s.appendLocked(j, StreamEvent{Type: StreamResult, Result: res})
-	case canceledErr(ctx, err):
+	case canceledErr(err):
 		j.state = StateCanceled
 		j.errText = cancelCause(ctx, j)
 		s.canceled++
@@ -261,15 +270,47 @@ func (s *Scheduler) finish(ctx context.Context, j *job, res *JobResult, err erro
 		s.failed++
 		s.appendLocked(j, StreamEvent{Type: StreamError, State: StateFailed, Error: j.errText})
 	}
+	s.evictLocked()
 }
 
 // canceledErr reports whether err means "stopped on purpose" rather
-// than "broke": a context cancellation/timeout at any library layer.
-func canceledErr(ctx context.Context, err error) bool {
+// than "broke": a context cancellation/timeout surfaced through the
+// error chain. Only the chain is consulted — a job that genuinely
+// fails just as the server shuts down (or as its timeout fires) must
+// stay failed with its real error preserved, not be relabeled
+// canceled because some context happens to be done.
+func canceledErr(err error) bool {
 	return errors.Is(err, context.Canceled) ||
 		errors.Is(err, context.DeadlineExceeded) ||
-		errors.Is(err, core.ErrCanceled) ||
-		ctx.Err() != nil
+		errors.Is(err, core.ErrCanceled)
+}
+
+// evictLocked drops the oldest terminal jobs past the history cap so
+// the jobs table, event buffers, and result payloads (whole netlists)
+// cannot grow without bound in a long-running daemon. Called with s.mu
+// held whenever a job turns terminal. Lifetime counters are unaffected;
+// an evicted ID simply reads as ErrNoSuchJob afterwards.
+func (s *Scheduler) evictLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].state.Terminal() {
+			terminal++
+		}
+	}
+	over := terminal - s.cfg.HistoryLimit
+	if over <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if over > 0 && s.jobs[id].state.Terminal() {
+			delete(s.jobs, id)
+			over--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
 }
 
 // cancelCause names why a job was canceled.
@@ -319,6 +360,12 @@ func (s *Scheduler) EventsSince(id string, from int) ([]StreamEvent, <-chan stru
 	}
 	if from < 0 {
 		from = 0
+	}
+	// A cursor past the end of the stream (a client resuming with a
+	// bogus ?from) means "nothing new yet", never a slice past the
+	// buffer.
+	if from > j.nextSeq {
+		from = j.nextSeq
 	}
 	var out []StreamEvent
 	if from < j.firstSeq {
@@ -404,10 +451,15 @@ func (s *Scheduler) Stats(withJobs bool) Stats {
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	s.closed = true
-	ids := append([]string(nil), s.order...)
+	// Snapshot the cancel funcs under the lock: history eviction may
+	// remove entries from s.jobs concurrently with this loop.
+	cancels := make([]context.CancelFunc, 0, len(s.order))
+	for _, id := range s.order {
+		cancels = append(cancels, s.jobs[id].cancel)
+	}
 	s.mu.Unlock()
-	for _, id := range ids {
-		s.jobs[id].cancel()
+	for _, cancel := range cancels {
+		cancel()
 	}
 	s.wg.Wait()
 }

@@ -222,6 +222,106 @@ func TestSchedulerEventGap(t *testing.T) {
 	}
 }
 
+// TestSchedulerEventsSinceBeyondEnd is a regression test: a resume
+// cursor past the end of the stream (any remote client can send
+// ?from=999999) must clamp to "nothing new yet", not panic slicing
+// past the buffer.
+func TestSchedulerEventsSinceBeyondEnd(t *testing.T) {
+	s := newTestScheduler(t, SchedulerConfig{PoolSize: 1})
+	id, err := s.Submit(lockJobSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, id)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", st.State, st.Error)
+	}
+	evs, wake, err := s.EventsSince(id, 999999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("cursor beyond the end returned %d events: %+v", len(evs), evs)
+	}
+	if wake == nil {
+		t.Fatal("no notify channel returned")
+	}
+	// Resuming exactly at the end is the normal tail-follow case and
+	// must also be empty without error.
+	if evs, _, err = s.EventsSince(id, st.Events); err != nil || len(evs) != 0 {
+		t.Fatalf("cursor at the end: %d events, %v", len(evs), err)
+	}
+}
+
+// TestSchedulerHistoryEviction checks the bounded terminal-job history:
+// finished jobs past HistoryLimit are evicted oldest-first (the ID
+// reads as ErrNoSuchJob), recent ones keep full status and result, and
+// lifetime counters survive eviction.
+func TestSchedulerHistoryEviction(t *testing.T) {
+	const limit = 2
+	s := newTestScheduler(t, SchedulerConfig{PoolSize: 1, HistoryLimit: limit})
+	var ids []string
+	for seed := int64(1); seed <= 5; seed++ {
+		id, err := s.Submit(lockJobSpec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, s, id)
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:len(ids)-limit] {
+		if _, err := s.Status(id); !errors.Is(err, ErrNoSuchJob) {
+			t.Fatalf("evicted job %s: want ErrNoSuchJob, got %v", id, err)
+		}
+	}
+	for _, id := range ids[len(ids)-limit:] {
+		st, err := s.Status(id)
+		if err != nil || st.State != StateDone {
+			t.Fatalf("retained job %s: %+v, %v", id, st, err)
+		}
+		if res, _, err := s.Result(id); err != nil || res == nil {
+			t.Fatalf("retained job %s lost its result: %v", id, err)
+		}
+	}
+	stats := s.Stats(true)
+	if stats.Completed != int64(len(ids)) {
+		t.Fatalf("Completed = %d after eviction, want %d", stats.Completed, len(ids))
+	}
+	if len(stats.Jobs) != limit {
+		t.Fatalf("stats lists %d jobs, want the %d retained", len(stats.Jobs), limit)
+	}
+}
+
+// TestSchedulerFailurePreservedDuringShutdown pins the terminal-state
+// classification: a job that genuinely fails while its context is
+// already canceled (server shutdown racing a real error) must be
+// recorded as failed with the real error text, not relabeled canceled.
+func TestSchedulerFailurePreservedDuringShutdown(t *testing.T) {
+	s := newTestScheduler(t, SchedulerConfig{PoolSize: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // shutdown already in flight
+	j := &job{id: "job-x", state: StateRunning, notify: make(chan struct{}), cancel: func() {}}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	realErr := errors.New("parsing netlist: unexpected token")
+	s.finish(ctx, j, nil, realErr)
+	st, err := s.Status(j.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed {
+		t.Fatalf("state = %s, want failed", st.State)
+	}
+	if st.Error != realErr.Error() {
+		t.Fatalf("error = %q, want the real failure %q", st.Error, realErr)
+	}
+	if stats := s.Stats(false); stats.Failed != 1 || stats.Canceled != 0 {
+		t.Fatalf("counters failed=%d canceled=%d, want 1/0", stats.Failed, stats.Canceled)
+	}
+}
+
 // TestSchedulerFairBudgets is the satellite scenario end to end: jobs
 // with unequal Parallelism budgets share a small pool; every job
 // finishes (no starvation) and the pool never over-grants (checked by

@@ -214,6 +214,13 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, id string) 
 		if flusher != nil {
 			flusher.Flush()
 		}
+		// A terminal job appends nothing further. If the cursor already
+		// sits at or past its last event (an over-large ?from clamped by
+		// EventsSince), or the job has been evicted from the history, end
+		// the stream instead of holding the connection open forever.
+		if st, err := s.sched.Status(id); err != nil || (st.State.Terminal() && from >= st.Events) {
+			return
+		}
 		select {
 		case <-wake:
 		case <-ctx.Done():
@@ -224,6 +231,7 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, id string) 
 
 // String renders the endpoint table (cmd/almostd's startup banner).
 func (s *Server) String() string {
-	return fmt.Sprintf("almostd: pool=%d queue<=%d buffer=%d",
-		s.sched.pool.Capacity(), s.sched.cfg.QueueLimit, s.sched.cfg.EventBuffer)
+	return fmt.Sprintf("almostd: pool=%d queue<=%d buffer=%d history<=%d",
+		s.sched.pool.Capacity(), s.sched.cfg.QueueLimit, s.sched.cfg.EventBuffer,
+		s.sched.cfg.HistoryLimit)
 }

@@ -157,3 +157,35 @@ func TestServerStreamResume(t *testing.T) {
 		t.Fatalf("resume from %d returned %d events (%+v)", resumeAt, len(tail), tail)
 	}
 }
+
+// TestServerStreamFromBeyondEnd is the remote half of the cursor-clamp
+// regression: GET /jobs/{id}/events?from=999999 on a finished job must
+// not panic the handler — the server ends the (empty) stream instead of
+// holding the connection, and the client surfaces the missing terminal
+// event as an error.
+func TestServerStreamFromBeyondEnd(t *testing.T) {
+	_, client := newTestServer(t, SchedulerConfig{PoolSize: 1})
+	ctx := context.Background()
+	id, err := client.Submit(ctx, JobSpec{Kind: KindLock, Circuit: "c432", KeySize: 6, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Wait(ctx, id, nil); err != nil {
+		t.Fatal(err)
+	}
+	var got []StreamEvent
+	_, err = client.Watch(ctx, id, 999999, func(ev StreamEvent) error {
+		got = append(got, ev)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "without a terminal event") {
+		t.Fatalf("watch beyond the end: err = %v, want a no-terminal-event stream end", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("watch beyond the end delivered %d events: %+v", len(got), got)
+	}
+	// The job itself is untouched and still queryable.
+	if st, err := client.Status(ctx, id); err != nil || st.State != StateDone {
+		t.Fatalf("status after bad watch: %+v, %v", st, err)
+	}
+}

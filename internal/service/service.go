@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -90,9 +91,11 @@ func (d *Duration) UnmarshalJSON(data []byte) error {
 		*d = Duration(dur)
 		return nil
 	}
-	var ns int64
-	if _, err := fmt.Sscanf(s, "%d", &ns); err != nil {
-		return fmt.Errorf("service: bad duration %s", s)
+	// Strict integer parse: Sscanf-style prefix matching would read
+	// "1.5" as 1ns, silently accepting a malformed timeout.
+	ns, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("service: bad duration %s (want a duration string or integer nanoseconds)", s)
 	}
 	*d = Duration(ns)
 	return nil

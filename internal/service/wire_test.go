@@ -27,6 +27,11 @@ func TestDurationWire(t *testing.T) {
 	if err := json.Unmarshal([]byte(`"yesterday"`), &d); err == nil {
 		t.Fatal("bad duration should fail")
 	}
+	// Strict numeric parse: a float must error, not truncate to its
+	// integer-prefix nanoseconds.
+	if err := json.Unmarshal([]byte(`1.5`), &d); err == nil {
+		t.Fatal("fractional number should fail, not decode as 1ns")
+	}
 }
 
 // TestJobSpecWire round-trips a fully populated spec and pins the
@@ -138,6 +143,7 @@ func TestConfigFromEnv(t *testing.T) {
 	}
 	env := map[string]string{
 		EnvAddr: "0.0.0.0:8080", EnvPoolSize: "8", EnvQueueLimit: "64", EnvEventBuffer: "128",
+		EnvHistoryLimit: "32",
 	}
 	lookup := func(k string) (string, bool) { v, ok := env[k]; return v, ok }
 	cfg, err = ConfigFromEnv(lookup)
@@ -145,7 +151,7 @@ func TestConfigFromEnv(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := ServerConfig{Addr: "0.0.0.0:8080",
-		Scheduler: SchedulerConfig{PoolSize: 8, QueueLimit: 64, EventBuffer: 128}}
+		Scheduler: SchedulerConfig{PoolSize: 8, QueueLimit: 64, EventBuffer: 128, HistoryLimit: 32}}
 	if cfg != want {
 		t.Fatalf("env config = %+v, want %+v", cfg, want)
 	}
