@@ -14,7 +14,6 @@ package aig
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Lit is a literal: a node ID shifted left by one, with the low bit
@@ -607,12 +606,31 @@ func (g *AIG) String() string {
 
 // KeyInputIndices returns the input indices flagged as key inputs, sorted.
 func (g *AIG) KeyInputIndices() []int {
-	var idx []int
-	for i, k := range g.isKey {
+	return g.KeyInputIndicesInto(nil)
+}
+
+// KeyInputIndicesInto is the scratch-reusing form of KeyInputIndices:
+// the indices are written into dst (grown only when capacity is short)
+// and returned. The flag slice is scanned in input order, so the result
+// is already sorted.
+//
+//almost:hotpath
+func (g *AIG) KeyInputIndicesInto(dst []int) []int {
+	n := 0
+	for _, k := range g.isKey {
 		if k {
-			idx = append(idx, i)
+			n++
 		}
 	}
-	sort.Ints(idx)
-	return idx
+	if cap(dst) < n {
+		dst = make([]int, 0, n)
+	}
+	dst = dst[:0]
+	for i, k := range g.isKey {
+		if k {
+			//almost:nolint hotpathalloc // appends into the cap-reserved buffer grown above
+			dst = append(dst, i)
+		}
+	}
+	return dst
 }

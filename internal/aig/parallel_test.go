@@ -1,0 +1,76 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomWords draws a [input][word] pattern block.
+func randomWords(rng *rand.Rand, nIn, w int) [][]uint64 {
+	in := make([][]uint64, nIn)
+	for i := range in {
+		in[i] = make([]uint64, w)
+		for k := range in[i] {
+			in[i][k] = rng.Uint64()
+		}
+	}
+	return in
+}
+
+// TestSimulateWordsTiledBitIdentity runs wide simulations with every
+// interesting worker budget against the serial reference and requires
+// exact equality on every output word. The width is chosen so the tiled
+// path actually engages (sched×words above the fan-out grain), and odd
+// budgets exercise uneven word splits. Run under -race this doubles as
+// the data-race gate on the disjoint-column ownership argument.
+func TestSimulateWordsTiledBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomAIG(rng, 24, 8, 1200)
+	for _, w := range []int{16, 63, 256} {
+		in := randomWords(rng, g.NumInputs(), w)
+		want := g.SimulateWords(in, w) // serial: zero-value scratch has Workers 0
+		var dst [][]uint64
+		for _, workers := range []int{1, 2, 3, 7, 64} {
+			s := SimScratch{Workers: workers}
+			dst = g.SimulateWordsInto(&s, dst, in, w)
+			if len(dst) != len(want) {
+				t.Fatalf("w=%d workers=%d: %d outputs, want %d", w, workers, len(dst), len(want))
+			}
+			for i := range want {
+				for k := range want[i] {
+					if dst[i][k] != want[i][k] {
+						t.Fatalf("w=%d workers=%d: output %d word %d differs: %x != %x",
+							w, workers, i, k, dst[i][k], want[i][k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSimulateWordsTiledNarrow pins the gating: narrow or small
+// simulations must stay serial regardless of the budget (each shard
+// needs minShardWords columns and the total work must clear the grain).
+func TestSimulateWordsTiledNarrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	small := randomAIG(rng, 8, 2, 40)
+	var s SimScratch
+	s.Workers = 16
+	if got := s.simWorkers(s.schedule(small), 256); got != 1 {
+		t.Fatalf("small schedule fanned out to %d shards, want 1", got)
+	}
+	big := randomAIG(rng, 24, 4, 1200)
+	sched := s.schedule(big)
+	if got := s.simWorkers(sched, 8); got != 1 {
+		t.Fatalf("narrow simulation fanned out to %d shards, want 1", got)
+	}
+	if got := s.simWorkers(sched, 256); got != 16 {
+		t.Fatalf("wide simulation used %d shards, want the full budget 16", got)
+	}
+	// The shard count is capped so every worker owns at least
+	// minShardWords columns.
+	s.Workers = 1000
+	if got := s.simWorkers(sched, 256); got != 256/minShardWords {
+		t.Fatalf("oversized budget used %d shards, want %d", got, 256/minShardWords)
+	}
+}

@@ -9,11 +9,14 @@ import (
 	"testing"
 )
 
-func TestHotPathAlloc(t *testing.T)   { RunTest(t, "testdata", "hotpath", HotPathAlloc) }
-func TestMapDeterminism(t *testing.T) { RunTest(t, "testdata", "engine", MapDeterminism) }
-func TestCtxFlow(t *testing.T)        { RunTest(t, "testdata", "ctxflow", CtxFlow) }
-func TestSatOutcome(t *testing.T)     { RunTest(t, "testdata", "satuse", SatOutcome) }
-func TestDeprecated(t *testing.T)     { RunTest(t, "testdata", "deprecate", Deprecated) }
+func TestHotPathAlloc(t *testing.T) { RunTest(t, "testdata", "hotpath", HotPathAlloc) }
+func TestMapDeterminism(t *testing.T) {
+	RunTest(t, "testdata", "engine", MapDeterminism)
+	RunTest(t, "testdata", "gnn", MapDeterminism)
+}
+func TestCtxFlow(t *testing.T)    { RunTest(t, "testdata", "ctxflow", CtxFlow) }
+func TestSatOutcome(t *testing.T) { RunTest(t, "testdata", "satuse", SatOutcome) }
+func TestDeprecated(t *testing.T) { RunTest(t, "testdata", "deprecate", Deprecated) }
 
 func TestRegistryDiscipline(t *testing.T) {
 	RunTest(t, "testdata", "registry", RegistryDiscipline)

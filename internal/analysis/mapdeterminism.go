@@ -7,9 +7,16 @@ import (
 
 // determinismPackages are the packages whose result-reduction paths
 // promise bit-for-bit identical output for any Parallelism (the PR 1/5
-// trajectory invariant). Matched by the last path element so testdata
-// stand-ins qualify too.
-var determinismPackages = []string{"engine", "anneal", "core", "experiments", "service"}
+// trajectory invariant). The batched-inference layers (gnn, omla,
+// subgraph) are included because the fused attack pass promises
+// bit-identity with the scalar path — a map-ordered fold anywhere in
+// extraction, packing, or readout would break the trajectory identity
+// suites. Matched by the last path element so testdata stand-ins
+// qualify too.
+var determinismPackages = []string{
+	"engine", "anneal", "core", "experiments", "service",
+	"gnn", "omla", "subgraph",
+}
 
 // MapDeterminism flags `range` over a map inside the determinism-critical
 // packages. Go randomizes map iteration order, so any reduction folded in
@@ -26,7 +33,7 @@ var determinismPackages = []string{"engine", "anneal", "core", "experiments", "s
 // reach results.
 var MapDeterminism = &Analyzer{
 	Name: "mapdeterminism",
-	Doc:  "report map iteration in result-reduction paths of engine/anneal/core/experiments/service",
+	Doc:  "report map iteration in result-reduction paths of engine/anneal/core/experiments/service/gnn/omla/subgraph",
 	Run:  runMapDeterminism,
 }
 
@@ -87,7 +94,10 @@ func isPureCollection(body *ast.BlockStmt) bool {
 		if !ok || id.Name != "append" || len(call.Args) == 0 {
 			return false
 		}
-		if exprString(call.Args[0]) != exprString(as.Lhs[0]) {
+		lhs := exprString(as.Lhs[0])
+		// An unrenderable shape (e.g. a pointer deref) must not match
+		// another unrenderable shape by both collapsing to "".
+		if lhs == "" || exprString(call.Args[0]) != lhs {
 			return false
 		}
 	}

@@ -1,0 +1,37 @@
+// Package gnn exercises mapdeterminism over the batched-inference
+// layers: gnn/omla/subgraph joined the determinism-critical set when the
+// fused attack pass started promising bit-identity with the scalar path.
+package gnn
+
+import "sort"
+
+// A map-ordered fold inside batch readout would make scores vary run to
+// run — exactly what the trajectory identity suites forbid.
+func readoutInMapOrder(logitsByGraph map[int]float64) float64 {
+	var total float64
+	for _, v := range logitsByGraph { // want `map iteration order is random`
+		total += v
+	}
+	return total
+}
+
+// Appending through an unrenderable lvalue is not the sanctioned pure
+// collection (`s = append(s, ...)`): the analyzer must not let two
+// unrenderable shapes match each other.
+func packInMapOrder(nodesByGraph map[int][]int, xs *[]int) {
+	for _, nodes := range nodesByGraph { // want `map iteration order is random`
+		*xs = append(*xs, nodes...)
+	}
+}
+
+// Collect-then-sort is the sanctioned shape.
+func packSorted(nodesByGraph map[int][]int, xs *[]int) {
+	var ids []int
+	for id := range nodesByGraph {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		*xs = append(*xs, nodesByGraph[id]...)
+	}
+}

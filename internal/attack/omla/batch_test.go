@@ -1,0 +1,77 @@
+package omla
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/aig"
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/lock"
+	"github.com/nyu-secml/almost/internal/synth"
+)
+
+// tinyAttack trains a small but real attacker for identity checks.
+func tinyAttack(t testing.TB, locked *aig.AIG) *Attack {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Rounds = 2
+	cfg.GatesPerRound = 12
+	cfg.Epochs = 4
+	return Train(locked, synth.Resyn2(), cfg)
+}
+
+// TestPredictKeyBatchBitIdentity gates the fused attack pass: batched
+// key prediction and accuracy must equal the scalar per-gate loop
+// exactly, including across scratch reuse and circuit swaps.
+func TestPredictKeyBatchBitIdentity(t *testing.T) {
+	g1, key1 := lock.Lock(circuits.MustGenerate("c432"), 16, rand.New(rand.NewSource(1)))
+	g2, key2 := lock.Lock(circuits.MustGenerate("c880"), 24, rand.New(rand.NewSource(2)))
+	atk := tinyAttack(t, g1)
+	var bs BatchScratch
+	for round := 0; round < 2; round++ {
+		for _, tc := range []struct {
+			g     *aig.AIG
+			truth lock.Key
+		}{{g1, key1}, {g2, key2}} {
+			scalarKey := atk.PredictKey(tc.g)
+			batchKey := atk.PredictKeyBatchWith(&bs, tc.g)
+			if len(batchKey) != len(scalarKey) {
+				t.Fatalf("batched key has %d bits, scalar %d", len(batchKey), len(scalarKey))
+			}
+			for i := range scalarKey {
+				if batchKey[i] != scalarKey[i] {
+					t.Fatalf("round %d: key bit %d differs (batched %v, scalar %v)", round, i, batchKey[i], scalarKey[i])
+				}
+			}
+			if ba, sa := atk.AccuracyBatchWith(&bs, tc.g, tc.truth), atk.Accuracy(tc.g, tc.truth); ba != sa {
+				t.Fatalf("round %d: batched accuracy %v != scalar %v", round, ba, sa)
+			}
+		}
+	}
+	// nil-scratch conveniences agree too.
+	if ba, sa := atk.AccuracyBatch(g1, key1), atk.Accuracy(g1, key1); ba != sa {
+		t.Fatalf("nil-scratch batched accuracy %v != scalar %v", ba, sa)
+	}
+	k := atk.PredictKeyBatch(g1)
+	for i, bit := range atk.PredictKey(g1) {
+		if k[i] != bit {
+			t.Fatalf("nil-scratch batched key bit %d differs", i)
+		}
+	}
+}
+
+// TestAccuracyBatchAllocs gates the steady state of the fused scoring
+// path the engine workers run per candidate: zero allocations with a
+// warm BatchScratch.
+func TestAccuracyBatchAllocs(t *testing.T) {
+	locked, key := lock.Lock(circuits.MustGenerate("c880"), 32, rand.New(rand.NewSource(3)))
+	atk := tinyAttack(t, locked)
+	var bs BatchScratch
+	atk.AccuracyBatchWith(&bs, locked, key) // warm
+	allocs := testing.AllocsPerRun(20, func() {
+		atk.AccuracyBatchWith(&bs, locked, key)
+	})
+	if allocs != 0 {
+		t.Fatalf("fused accuracy steady state allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -169,6 +169,75 @@ func (a *Attack) PredictKey(g *aig.AIG) lock.Key {
 	return a.PredictKeyWith(nil, g)
 }
 
+// BatchScratch bundles the reusable state of one fused attack pass: the
+// batched extraction scratch, the pooled inference matrices, the packed
+// batch itself, and the probability buffer. One BatchScratch per engine
+// worker; not safe for concurrent use. The zero value is ready.
+type BatchScratch struct {
+	Sub   subgraph.Scratch
+	NN    gnn.Scratch
+	batch gnn.Batch
+	probs []float64
+}
+
+// PredictKeyBatchWith predicts every key bit of the netlist in one fused
+// pass: all key-gate localities are extracted into a single packed batch
+// (sharing the fanout index and BFS scratch) and pushed through the GIN
+// stack as blocked matmuls. bs may be nil for a private scratch.
+// Predictions are bit-for-bit identical to PredictKeyWith — the batched
+// extraction and forward reproduce the scalar arithmetic row for row.
+//
+//almost:hotpath
+func (a *Attack) PredictKeyBatchWith(bs *BatchScratch, g *aig.AIG) lock.Key {
+	if bs == nil {
+		bs = &BatchScratch{}
+	}
+	b := a.Ext.AllInto(&bs.Sub, g, &bs.batch)
+	bs.probs = a.Model.PredictProbBatchWith(&bs.NN, b, bs.probs[:0])
+	key := make(lock.Key, len(bs.probs)) //almost:nolint hotpathalloc // the returned key is caller-owned by contract
+	for i, p := range bs.probs {
+		key[i] = p >= 0.5
+	}
+	return key
+}
+
+// PredictKeyBatch predicts every key bit in one fused batch pass.
+func (a *Attack) PredictKeyBatch(g *aig.AIG) lock.Key {
+	return a.PredictKeyBatchWith(nil, g)
+}
+
+// AccuracyBatchWith attacks g through the fused batch seam and scores
+// the prediction against the true key without allocating the
+// intermediate key (the per-candidate evaluation of the Eq. 1 search).
+// Bit-for-bit identical to AccuracyWith. bs may be nil for a private
+// scratch.
+//
+//almost:hotpath
+func (a *Attack) AccuracyBatchWith(bs *BatchScratch, g *aig.AIG, truth lock.Key) float64 {
+	if bs == nil {
+		bs = &BatchScratch{}
+	}
+	b := a.Ext.AllInto(&bs.Sub, g, &bs.batch)
+	bs.probs = a.Model.PredictProbBatchWith(&bs.NN, b, bs.probs[:0])
+	// Fold exactly as lock.Accuracy does over a predicted key.
+	if len(truth) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range truth {
+		if i < len(bs.probs) && (bs.probs[i] >= 0.5) == truth[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(truth))
+}
+
+// AccuracyBatch attacks g through the fused batch seam and scores the
+// prediction against the true key.
+func (a *Attack) AccuracyBatch(g *aig.AIG, truth lock.Key) float64 {
+	return a.AccuracyBatchWith(nil, g, truth)
+}
+
 // PredictKeyIndices predicts bits only for the key inputs at the given
 // input indices.
 func (a *Attack) PredictKeyIndices(g *aig.AIG, kis []int) lock.Key {

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nyu-secml/almost/internal/circuits"
+	"github.com/nyu-secml/almost/internal/lock"
+)
+
+// withScalarInference disables the fused batch seam for the duration of
+// fn, restoring the production default afterwards. The batched identity
+// suites run full searches both ways and require bit-identical
+// trajectories.
+func withScalarInference(fn func()) {
+	scalarInference = true
+	defer func() { scalarInference = false }()
+	fn()
+}
+
+// TestSearchTrajectoryIdentityScalarVsBatched is the PR's headline
+// determinism gate: a full SearchRecipe run over the omla, scope,
+// redundancy ensemble must produce a bit-identical trajectory — every
+// iteration's recipe, energy, and per-attack accuracies — whether the
+// omla proxy scores candidates through the fused batch seam or the
+// scalar per-key-gate loop, at any engine Parallelism.
+func TestSearchTrajectoryIdentityScalarVsBatched(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, key := lock.Lock(g, 8, rand.New(rand.NewSource(53)))
+	cfg := tinyConfig()
+	cfg.EvalAttacks = []string{"omla", "scope", "redundancy"}
+	// Shorter recipes halve every candidate synthesis (SCOPE alone runs
+	// two cofactor syntheses per key bit per candidate); every identity
+	// assertion below is iteration- and recipe-length-agnostic.
+	cfg.RecipeLen = 5
+	proxy := trainProxyT(t, locked, ModelResyn2, cfg)
+
+	var scalar SearchResult
+	withScalarInference(func() {
+		scalar = searchT(t, locked, key, proxy, cfg)
+	})
+
+	sweep := []int{1, 4}
+	if testing.Short() {
+		sweep = sweep[1:]
+	}
+	for _, jobs := range sweep {
+		cfg.Parallelism = jobs
+		batched := searchT(t, locked, key, proxy, cfg)
+		if !batched.Recipe.Equal(scalar.Recipe) {
+			t.Fatalf("jobs=%d: batched and scalar searches found different recipes:\n  %s\n  %s",
+				jobs, batched.Recipe, scalar.Recipe)
+		}
+		if batched.Accuracy != scalar.Accuracy {
+			t.Fatalf("jobs=%d: accuracy differs: %v vs %v", jobs, batched.Accuracy, scalar.Accuracy)
+		}
+		for name, acc := range scalar.Accuracies {
+			if batched.Accuracies[name] != acc {
+				t.Fatalf("jobs=%d: %s accuracy differs: %v vs %v", jobs, name, batched.Accuracies[name], acc)
+			}
+		}
+		if len(batched.Trace) != len(scalar.Trace) {
+			t.Fatalf("jobs=%d: trace lengths differ: %d vs %d", jobs, len(batched.Trace), len(scalar.Trace))
+		}
+		for i := range scalar.Trace {
+			if batched.Trace[i].Accuracy != scalar.Trace[i].Accuracy ||
+				!batched.Trace[i].Recipe.Equal(scalar.Trace[i].Recipe) {
+				t.Fatalf("jobs=%d: trajectory diverges at iteration %d", jobs, i)
+			}
+		}
+	}
+}
+
+// TestAdversarialProxyIdentityScalarVsBatched covers the other fused
+// path: Algorithm 1's Eq. 3 adversarial searches score candidates by
+// batched loss. Training an adversarial proxy must land on exactly the
+// same model either way — checked by comparing full key predictions and
+// accuracy on the locked netlist.
+func TestAdversarialProxyIdentityScalarVsBatched(t *testing.T) {
+	g := circuits.MustGenerate("c432")
+	locked, key := lock.Lock(g, 8, rand.New(rand.NewSource(59)))
+	cfg := tinyConfig()
+
+	batched := trainProxyT(t, locked, ModelAdversarial, cfg)
+	var scalar *Proxy
+	withScalarInference(func() {
+		scalar = trainProxyT(t, locked, ModelAdversarial, cfg)
+	})
+
+	bk := batched.Attack.PredictKey(locked)
+	sk := scalar.Attack.PredictKey(locked)
+	for i := range sk {
+		if bk[i] != sk[i] {
+			t.Fatalf("adversarial proxies diverged: key bit %d differs", i)
+		}
+	}
+	if ba, sa := batched.Attack.Accuracy(locked, key), scalar.Attack.Accuracy(locked, key); ba != sa {
+		t.Fatalf("adversarial proxy accuracy differs: %v vs %v", ba, sa)
+	}
+}

@@ -40,6 +40,13 @@ import (
 // bit-for-bit identical with the incremental prefix-reuse path disabled.
 var engineOpts []engine.Option
 
+// scalarInference is a test hook: when set (before any engine is built),
+// the per-candidate scoring paths fall back to the scalar per-key-gate
+// extraction and forward instead of the fused batch seam. The batched
+// identity suites run full searches both ways and require bit-identical
+// trajectories.
+var scalarInference bool
+
 // ModelKind selects the proxy-attacker training regime (Table I).
 type ModelKind int
 
@@ -262,15 +269,26 @@ func (p *advProblem) Neighbor(r synth.Recipe, rng *rand.Rand) synth.Recipe {
 	return synth.MutateRecipe(rng, r)
 }
 
-// gnnScratch returns the worker's pooled GNN inference scratch, lazily
-// parked in the engine scratch's Aux slot.
-func gnnScratch(s *engine.Scratch) *gnn.Scratch {
-	sc, ok := s.Aux.(*gnn.Scratch)
+// workerState is the per-engine-worker inference state parked in the
+// engine scratch's Aux slot: the fused attack scratch (batched
+// extraction + pooled matrices + packed batch) plus the buffers the
+// adversarial energy needs for labeled extraction over chosen key gates.
+type workerState struct {
+	bs     omla.BatchScratch // fused PredictKeyBatch/AccuracyBatch state
+	batch  gnn.Batch         // packed labeled localities for advEnergy
+	kisAll []int             // all key-input indices of a candidate
+	kis    []int             // the relocked subset, in keyOrder
+}
+
+// auxScratch returns the worker's inference state, lazily parked in the
+// engine scratch's Aux slot.
+func auxScratch(s *engine.Scratch) *workerState {
+	ws, ok := s.Aux.(*workerState)
 	if !ok {
-		sc = gnn.NewScratch()
-		s.Aux = sc
+		ws = &workerState{}
+		s.Aux = ws
 	}
-	return sc
+	return ws
 }
 
 // advEnergy builds the engine EvalFunc for one augmentation round: score
@@ -279,18 +297,29 @@ func gnnScratch(s *engine.Scratch) *gnn.Scratch {
 // Synthesis goes through the scratch's Synth/Release pair, so SA
 // proposals that share a recipe prefix with the previous candidate are
 // applied as deltas against the worker's persistent base instead of
-// re-synthesized from scratch; model inference reuses the worker's GNN
-// scratch.
+// re-synthesized from scratch. Scoring runs through the fused batch
+// seam: one batched extraction plus one blocked GIN forward over all
+// chosen key gates, reusing the worker's state — bit-for-bit identical
+// to the scalar per-gate path (see the batched identity suites).
 func advEnergy(model *gnn.Model, keyOrder []int, bits []bool, ext subgraph.Extractor) engine.EvalFunc {
 	return func(g *aig.AIG, s *engine.Scratch, r synth.Recipe) float64 {
+		ws := auxScratch(s)
 		resynth := s.Synth(r)
-		kisAll := resynth.KeyInputIndices()
-		kis := make([]int, len(keyOrder))
-		for i, ko := range keyOrder {
-			kis[i] = kisAll[ko]
+		ws.kisAll = resynth.KeyInputIndicesInto(ws.kisAll)
+		if cap(ws.kis) < len(keyOrder) {
+			ws.kis = make([]int, len(keyOrder))
 		}
-		gs := ext.Labeled(resynth, kis, bits)
-		loss := model.LossWith(gnnScratch(s), gs)
+		ws.kis = ws.kis[:len(keyOrder)]
+		for i, ko := range keyOrder {
+			ws.kis[i] = ws.kisAll[ko]
+		}
+		var loss float64
+		if scalarInference {
+			loss = model.LossWith(&ws.bs.NN, ext.Labeled(resynth, ws.kis, bits))
+		} else {
+			ext.LabeledInto(&ws.bs.Sub, resynth, ws.kis, bits, &ws.batch)
+			loss = model.LossBatchWith(&ws.bs.NN, &ws.batch)
+		}
 		s.Release(resynth)
 		return -loss
 	}
@@ -561,8 +590,15 @@ func SearchRecipeCtx(ctx context.Context, locked *aig.AIG, truth lock.Key,
 	evals := make([]func(net *aig.AIG, s *engine.Scratch, r synth.Recipe) float64, len(attacks))
 	for i, name := range attacks {
 		if name == "omla" {
+			// The proxy scores every key gate of the candidate through one
+			// fused batch: a single shared-index extraction and one blocked
+			// GIN forward, bit-identical to the scalar per-gate loop.
 			evals[i] = func(net *aig.AIG, s *engine.Scratch, _ synth.Recipe) float64 {
-				return proxy.Attack.AccuracyWith(gnnScratch(s), net, truth)
+				ws := auxScratch(s)
+				if scalarInference {
+					return proxy.Attack.AccuracyWith(&ws.bs.NN, net, truth)
+				}
+				return proxy.Attack.AccuracyBatchWith(&ws.bs, net, truth)
 			}
 			continue
 		}

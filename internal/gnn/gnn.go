@@ -134,9 +134,32 @@ func (s *Scratch) mat(r, c int) *nn.Matrix {
 	return nn.NewMatrix(r, c)
 }
 
-// put returns a matrix to the pool.
+// maxPool bounds the Scratch free-list. A forward pass holds at most a
+// handful of intermediates, so a healthy pool stays far below the bound;
+// the bound exists because mixed matrix shapes (alternating batched and
+// scalar traffic, graphs of very different sizes) would otherwise ratchet
+// the list up without limit — every undersized entry skipped by mat is
+// dead weight that still pins its backing array.
+const maxPool = 32
+
+// put returns a matrix to the pool. At the bound it keeps the pool's
+// total capacity most useful: the smallest-capacity entry is evicted in
+// favor of a larger incoming matrix, and a smaller incoming matrix is
+// simply dropped for the garbage collector.
 func (s *Scratch) put(m *nn.Matrix) {
-	s.pool = append(s.pool, m)
+	if len(s.pool) < maxPool {
+		s.pool = append(s.pool, m)
+		return
+	}
+	mi := 0
+	for i, p := range s.pool[1:] {
+		if cap(p.D) < cap(s.pool[mi].D) {
+			mi = i + 1
+		}
+	}
+	if cap(s.pool[mi].D) < cap(m.D) {
+		s.pool[mi] = m
+	}
 }
 
 // forwardLogits runs an inference-only forward pass (no activation

@@ -51,9 +51,11 @@ func MatMul(a, b *Matrix) *Matrix {
 }
 
 // MatMulInto computes A·B into dst (which must be R(a)×C(b) and must not
-// alias a or b), returning dst. It performs the exact accumulation order
-// of MatMul — including the zero-skip — so results are bit-for-bit
-// identical; dst is fully overwritten.
+// alias a or b), returning dst. The blocked (and, above parallelGrain
+// with a SetParallelism budget, goroutine-tiled) kernels behind it
+// preserve the exact accumulation order of the naive triple loop —
+// including the zero-skip — so results are bit-for-bit identical for any
+// tiling or worker count; dst is fully overwritten.
 //
 //almost:hotpath
 func MatMulInto(dst, a, b *Matrix) *Matrix {
@@ -63,64 +65,22 @@ func MatMulInto(dst, a, b *Matrix) *Matrix {
 	if dst.R != a.R || dst.C != b.C {
 		panic(fmt.Sprintf("nn: matmul dst shape %dx%d, want %dx%d", dst.R, dst.C, a.R, b.C))
 	}
-	dst.Zero()
-	for i := 0; i < a.R; i++ {
-		ar := a.Row(i)
-		or := dst.Row(i)
-		for k, av := range ar {
-			if av == 0 {
-				continue
-			}
-			br := b.Row(k)
-			for j, bv := range br {
-				or[j] += av * bv
-			}
-		}
+	if w := matMulWorkers(a, b); w > 1 {
+		matMulTiled(dst, a, b, w)
+		return dst
 	}
+	matMulPanel(dst, a, b, 0, a.R)
 	return dst
 }
 
 // MatMulATB returns Aᵀ·B.
 func MatMulATB(a, b *Matrix) *Matrix {
-	if a.R != b.R {
-		panic("nn: matmulATB shape mismatch")
-	}
-	out := NewMatrix(a.C, b.C)
-	for i := 0; i < a.R; i++ {
-		ar := a.Row(i)
-		br := b.Row(i)
-		for k, av := range ar {
-			if av == 0 {
-				continue
-			}
-			or := out.Row(k)
-			for j, bv := range br {
-				or[j] += av * bv
-			}
-		}
-	}
-	return out
+	return MatMulATBInto(NewMatrix(a.C, b.C), a, b)
 }
 
 // MatMulABT returns A·Bᵀ.
 func MatMulABT(a, b *Matrix) *Matrix {
-	if a.C != b.C {
-		panic("nn: matmulABT shape mismatch")
-	}
-	out := NewMatrix(a.R, b.R)
-	for i := 0; i < a.R; i++ {
-		ar := a.Row(i)
-		or := out.Row(i)
-		for j := 0; j < b.R; j++ {
-			br := b.Row(j)
-			var s float64
-			for k := range ar {
-				s += ar[k] * br[k]
-			}
-			or[j] = s
-		}
-	}
-	return out
+	return MatMulABTInto(NewMatrix(a.R, b.R), a, b)
 }
 
 // Param is a trainable tensor with its gradient accumulator.

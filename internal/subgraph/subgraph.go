@@ -157,10 +157,3 @@ func (e Extractor) Labeled(g *aig.AIG, kis []int, bits []bool) []*gnn.Graph {
 	}
 	return gs
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
